@@ -1,0 +1,56 @@
+// E3 — CAPEX ("Cost-Effective Transitioning to SDN").
+//
+// The paper's economic argument as a sweepable table: the cost of
+// giving N access ports OpenFlow capability under the three migration
+// strategies, per-port cost, and the multiple each alternative pays
+// over HARMLESS. A greenfield sensitivity column shows the result is
+// not an artifact of treating the legacy switches as sunk.
+#include <iostream>
+
+#include "harmless/cost_model.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace harmless::core;
+using harmless::util::Table;
+using harmless::util::format;
+
+int main() {
+  CostModel model;
+  std::cout << "E3 - CAPEX to SDN-enable N access ports (2017 catalog prices)\n\n";
+
+  std::cout << "Catalog:\n";
+  Table catalog({"device", "price (USD)", "ports/unit"});
+  const Catalog& skus = model.catalog();
+  for (const DeviceSku* sku : {&skus.legacy_switch, &skus.sdn_switch, &skus.server,
+                               &skus.nic_10g, &skus.nic_quad_1g, &skus.trunk_cable})
+    catalog.add_row({sku->name, format("%.0f", sku->price_usd), std::to_string(sku->ports)});
+  std::cout << catalog.to_string() << '\n';
+
+  Table table({"ports", "forklift SDN ($)", "pure software ($)", "HARMLESS ($)",
+               "HARMLESS $/port", "forklift/HARMLESS", "software/HARMLESS",
+               "HARMLESS greenfield ($)"});
+  for (const int ports : {24, 48, 96, 192, 384}) {
+    const double forklift = model.estimate(Strategy::kForkliftSdn, ports).total_usd();
+    const double software = model.estimate(Strategy::kPureSoftware, ports).total_usd();
+    const CostEstimate harmless_cost = model.estimate(Strategy::kHarmless, ports);
+    const double greenfield =
+        model.estimate(Strategy::kHarmless, ports, /*greenfield=*/true).total_usd();
+    table.add_row({std::to_string(ports), format("%.0f", forklift), format("%.0f", software),
+                   format("%.0f", harmless_cost.total_usd()),
+                   format("%.1f", harmless_cost.usd_per_port()),
+                   format("%.1fx", forklift / harmless_cost.total_usd()),
+                   format("%.1fx", software / harmless_cost.total_usd()),
+                   format("%.0f", greenfield)});
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "Example bill of materials (48 ports, HARMLESS):\n"
+            << model.estimate(Strategy::kHarmless, 48).to_string() << '\n';
+
+  std::cout << "Shape check: HARMLESS is the cheapest strategy at every N (it buys\n"
+               "one server per already-owned switch); the forklift pays the full\n"
+               "COTS-SDN price per 48 ports, pure software pays the port-density tax\n"
+               "(chassis + quad NICs). The gap persists even greenfield.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// E5 — flow-table lookup scaling: linear vs ESwitch-style specialized
+// matching (the dataplane-specialization idea of the software switch
+// the demo runs, Molnár et al. [9]).
+//
+// google-benchmark microbenchmarks over real wall-clock time, swept
+// over table size and rule shape:
+//   * exact  — pure exact-match L2 rules (compiles to one hash probe)
+//   * acl    — prefix/wildcard ACL rules (stays a linear scan)
+//   * mixed  — 90% exact + 10% ACL (the realistic enterprise table)
+// The specialized matcher should be flat in table size for `exact`,
+// and degrade gracefully toward linear as the wildcard share grows.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string_view>
+
+#include "net/build.hpp"
+#include "openflow/flow_table.hpp"
+#include "util/rng.hpp"
+
+using namespace harmless;
+using namespace harmless::openflow;
+
+namespace {
+
+enum class RuleShape { kExact, kAcl, kMixed };
+
+std::vector<std::unique_ptr<FlowEntry>> make_rules(RuleShape shape, std::size_t count,
+                                                   util::Rng& rng) {
+  std::vector<std::unique_ptr<FlowEntry>> rules;
+  rules.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto entry = std::make_unique<FlowEntry>();
+    entry->priority = 10;
+    const bool acl = shape == RuleShape::kAcl || (shape == RuleShape::kMixed && i % 10 == 0);
+    if (acl) {
+      entry->priority = 20;
+      entry->match.eth_type(0x0800)
+          .ip_dst_prefix(net::Ipv4Addr(static_cast<std::uint32_t>(rng.below(1u << 24)) << 8),
+                         static_cast<int>(8 + rng.below(17)));
+    } else {
+      entry->match.eth_dst(net::MacAddr::from_u64(0x020000000000ULL + i));
+    }
+    entry->instructions = apply({output(static_cast<std::uint32_t>(1 + i % 8))});
+    rules.push_back(std::move(entry));
+  }
+  return rules;
+}
+
+std::vector<FieldView> make_probe_views(std::size_t rule_count, std::size_t probes,
+                                        util::Rng& rng) {
+  std::vector<FieldView> views;
+  views.reserve(probes);
+  for (std::size_t i = 0; i < probes; ++i) {
+    net::FlowKey key;
+    key.eth_src = net::MacAddr::from_u64(0x02ff);
+    // Mostly hits spread over the rule space, some misses.
+    key.eth_dst = net::MacAddr::from_u64(0x020000000000ULL + rng.below(rule_count + 16));
+    key.ip_src = net::Ipv4Addr(static_cast<std::uint32_t>(rng.below(UINT32_MAX)));
+    key.ip_dst = net::Ipv4Addr(static_cast<std::uint32_t>(rng.below(UINT32_MAX)));
+    key.src_port = 1234;
+    key.dst_port = 80;
+    views.push_back(build_field_view(net::parse_packet(net::make_udp(key, 64)), 1));
+  }
+  return views;
+}
+
+void lookup_benchmark(benchmark::State& state, RuleShape shape, bool specialized) {
+  const auto rule_count = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(42);
+  auto rules = make_rules(shape, rule_count, rng);
+  std::vector<FlowEntry*> raw;
+  raw.reserve(rules.size());
+  for (const auto& rule : rules) raw.push_back(rule.get());
+
+  auto matcher = make_matcher(specialized);
+  matcher->rebuild(raw);
+  const auto views = make_probe_views(rule_count, 1024, rng);
+
+  std::size_t index = 0;
+  std::uint64_t scanned = 0, probes = 0, lookups = 0;
+  for (auto _ : state) {
+    LookupCost cost;
+    FlowEntry* hit = matcher->lookup(views[index], cost);
+    benchmark::DoNotOptimize(hit);
+    scanned += cost.entries_scanned;
+    probes += cost.hash_probes;
+    ++lookups;
+    index = (index + 1) & 1023;
+  }
+  state.counters["entries_scanned/lookup"] =
+      benchmark::Counter(static_cast<double>(scanned) / static_cast<double>(lookups));
+  state.counters["hash_probes/lookup"] =
+      benchmark::Counter(static_cast<double>(probes) / static_cast<double>(lookups));
+}
+
+void register_all() {
+  static const struct {
+    const char* name;
+    RuleShape shape;
+  } kShapes[] = {{"exact", RuleShape::kExact}, {"acl", RuleShape::kAcl},
+                 {"mixed", RuleShape::kMixed}};
+  for (const auto& shape : kShapes) {
+    for (const bool specialized : {false, true}) {
+      const std::string name = std::string("lookup/") + shape.name + "/" +
+                               (specialized ? "specialized" : "linear");
+      auto* bench = benchmark::RegisterBenchmark(
+          name.c_str(),
+          [shape = shape.shape, specialized](benchmark::State& state) {
+            lookup_benchmark(state, shape, specialized);
+          });
+      bench->RangeMultiplier(10)->Range(1, 10000);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E5 - flow-table lookup: linear vs specialized (ESwitch-style) matcher\n");
+  register_all();
+  // Keep the default sweep quick (~30 s); pass your own
+  // --benchmark_min_time to override for tighter confidence intervals.
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.05s";
+  const bool user_set_min_time = std::any_of(args.begin(), args.end(), [](const char* arg) {
+    return std::string_view(arg).find("--benchmark_min_time") != std::string_view::npos;
+  });
+  if (!user_set_min_time) args.push_back(min_time.data());
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf(
+      "\nShape check: specialized/exact stays flat (one hash probe) while\n"
+      "linear/exact grows with the table; for pure ACL tables both scan, and\n"
+      "the mixed table sits in between - the crossover that motivates\n"
+      "dataplane specialization in the software switch HARMLESS deploys.\n");
+  return 0;
+}

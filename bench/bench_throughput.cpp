@@ -1,0 +1,130 @@
+// E1 — throughput ("without incurring any major performance penalty").
+//
+// Two tables, matching the two readings of the claim:
+//
+//  Table 1 (capacity): RFC 2544-style no-drop rate — for each data
+//  plane and frame size, a binary search over offered load finds the
+//  highest rate forwarded with <0.5% loss on a 10G feed. The legacy
+//  ASIC runs at line rate; the software switches are CPU-bound; the
+//  HARMLESS path crosses SS_1 twice per packet, so its NDR is roughly
+//  half the native soft switch's until the wire becomes the limit.
+//
+//  Table 2 (deployment envelope): offered load fixed at the 1G access
+//  line rate — the rates a migrated legacy switch actually serves.
+//  Here HARMLESS tracks the legacy baseline at every frame size: the
+//  paper's "no major performance penalty" in its operating regime.
+#include <cmath>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace harmless;
+using namespace harmless::bench;
+
+namespace {
+
+constexpr std::size_t kTrialPackets = 4'000;
+constexpr double kLossBudget = 0.005;  // 0.5%
+
+/// Offered fraction of line rate -> measured loss ratio.
+template <typename Rig>
+double loss_at(const RigOptions& options, std::size_t frame_size, double fraction) {
+  Rig rig(options);
+  sim::LatencyRecorder recorder;
+  rig.hosts[0]->set_recorder(&recorder);
+  rig.hosts[1]->set_recorder(&recorder);
+  const double line_interval =
+      static_cast<double>(options.access_link.rate.serialization_ns(frame_size));
+  const auto interval = static_cast<sim::SimNanos>(std::ceil(line_interval / fraction));
+  rig.stream(0, 1, kTrialPackets, frame_size, interval);
+  rig.network.run();
+  return 1.0 - static_cast<double>(recorder.completed()) / kTrialPackets;
+}
+
+/// RFC 2544-ish binary search for the no-drop rate, in packets/s.
+template <typename Rig>
+double ndr_pps(const RigOptions& options, std::size_t frame_size) {
+  const double line_pps =
+      1e9 / static_cast<double>(options.access_link.rate.serialization_ns(frame_size));
+  if (loss_at<Rig>(options, frame_size, 1.0) <= kLossBudget) return line_pps;
+  double lo = 0.01, hi = 1.0;
+  for (int step = 0; step < 9; ++step) {
+    const double mid = (lo + hi) / 2;
+    if (loss_at<Rig>(options, frame_size, mid) <= kLossBudget)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return line_pps * lo;
+}
+
+/// Fixed-rate delivery (Table 2): offered exactly at line rate.
+template <typename Rig>
+Throughput delivered_at_line(const RigOptions& options, std::size_t frame_size) {
+  Rig rig(options);
+  sim::LatencyRecorder recorder;
+  rig.hosts[0]->set_recorder(&recorder);
+  rig.hosts[1]->set_recorder(&recorder);
+  rig.stream(0, 1, kTrialPackets, frame_size,
+             options.access_link.rate.serialization_ns(frame_size));
+  rig.network.run();
+  return measure(recorder, frame_size);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E1 - throughput: legacy vs native software switch vs HARMLESS\n"
+            << "(unidirectional h1->h2, preinstalled L2 state, " << kTrialPackets
+            << " packets per trial)\n\n";
+
+  {
+    RigOptions options;
+    options.access_link = sim::LinkSpec::gbps(10);
+    options.trunk_link = sim::LinkSpec::gbps(10);
+    std::cout << "Table 1 - no-drop rate on a 10G feed (<0.5% loss, binary search):\n";
+    util::Table table({"frame", "legacy (pps)", "native SS (pps)", "HARMLESS (pps)",
+                       "HARMLESS (Gb/s)", "vs legacy", "vs native"});
+    for (const std::size_t frame_size : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
+      const double legacy_pps = ndr_pps<LegacyRig>(options, frame_size);
+      const double native_pps = ndr_pps<NativeRig>(options, frame_size);
+      const double harmless_pps = ndr_pps<HarmlessRig>(options, frame_size);
+      table.add_row({std::to_string(frame_size) + "B", util::si_format(legacy_pps, "pps"),
+                     util::si_format(native_pps, "pps"), util::si_format(harmless_pps, "pps"),
+                     util::format("%.2f", harmless_pps * static_cast<double>(frame_size) * 8 / 1e9),
+                     util::format("%.2fx", harmless_pps / legacy_pps),
+                     util::format("%.2fx", harmless_pps / native_pps)});
+    }
+    std::cout << table.to_string() << '\n';
+  }
+
+  {
+    RigOptions options;
+    options.access_link = sim::LinkSpec::gbps(1);
+    options.trunk_link = sim::LinkSpec::gbps(10);
+    std::cout << "Table 2 - goodput at the 1G access line rate (deployment envelope):\n";
+    util::Table table({"frame", "legacy (pps)", "native SS (pps)", "HARMLESS (pps)",
+                       "HARMLESS (Gb/s)", "vs legacy", "vs native"});
+    for (const std::size_t frame_size : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
+      const Throughput legacy_tp = delivered_at_line<LegacyRig>(options, frame_size);
+      const Throughput native_tp = delivered_at_line<NativeRig>(options, frame_size);
+      const Throughput harmless_tp = delivered_at_line<HarmlessRig>(options, frame_size);
+      table.add_row({std::to_string(frame_size) + "B", util::si_format(legacy_tp.pps, "pps"),
+                     util::si_format(native_tp.pps, "pps"),
+                     util::si_format(harmless_tp.pps, "pps"),
+                     util::format("%.2f", harmless_tp.gbps),
+                     util::format("%.2fx", harmless_tp.pps / legacy_tp.pps),
+                     util::format("%.2fx", harmless_tp.pps / native_tp.pps)});
+    }
+    std::cout << table.to_string() << '\n';
+  }
+
+  std::cout << "Shape check: Table 2 should read 1.00x across the board (the paper's\n"
+               "'no major performance penalty' at access-network rates). Table 1 shows\n"
+               "the honest capacity bill: HARMLESS's NDR is about half the native soft\n"
+               "switch at small frames (every packet crosses SS_1 twice) and converges\n"
+               "to line rate once serialization dominates (>=512B).\n";
+  return 0;
+}

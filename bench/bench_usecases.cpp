@@ -1,0 +1,210 @@
+// E4 — the three demo use cases of §2, run at benchmark scale on the
+// full HARMLESS fabric, with the numbers each demo is judged by:
+//   (a) Load Balancer: per-backend share + max imbalance vs the ideal
+//   (b) DMZ: allowed/denied matrix counts (policy exactness)
+//   (c) Parental Control: blocked/allowed requests + data-plane-drop
+//       ratio after the on-the-fly flow install
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "controller/apps/dmz.hpp"
+#include "controller/apps/learning.hpp"
+#include "controller/apps/load_balancer.hpp"
+#include "controller/apps/parental.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace harmless;
+using namespace harmless::bench;
+
+namespace {
+
+void run_load_balancer() {
+  constexpr int kBackends = 4;
+  constexpr std::uint32_t kClients = 2000;
+
+  RigOptions options;
+  options.host_count = kBackends + 1;  // port 1 = uplink
+  HarmlessRig rig(options);
+  // Replace the static L2 program: the LB app owns SS_2's table.
+  rig.fabric->ss2().pipeline().table(0).remove(openflow::Match{}, /*strict=*/false);
+
+  controller::LoadBalancerConfig config;
+  config.vip = net::Ipv4Addr(10, 0, 0, 100);
+  config.vip_mac = net::MacAddr::from_u64(0x02000000dead);
+  config.client_ports = {1};
+  for (int i = 0; i < kBackends; ++i) {
+    rig.hosts[static_cast<std::size_t>(i + 1)]->serve_http(80);
+    config.backends.push_back(controller::Backend{host_mac(i + 1), host_ip(i + 1),
+                                                  static_cast<std::uint32_t>(i + 2), 1});
+  }
+  controller::Controller ctrl;
+  ctrl.add_app<controller::LoadBalancerApp>(config);
+  ctrl.connect(rig.fabric->control_channel());
+  rig.network.run();
+
+  // Pace the client arrivals so the uplink queue never tail-drops.
+  for (std::uint32_t client = 1; client <= kClients; ++client) {
+    rig.network.engine().schedule_at(static_cast<sim::SimNanos>(client) * 5'000, [&rig, &config,
+                                                                                  client] {
+      net::FlowKey key;
+      key.eth_src = rig.hosts[0]->mac();
+      key.eth_dst = config.vip_mac;
+      key.ip_src = net::Ipv4Addr(0xac100000u + client);
+      key.ip_dst = config.vip;
+      key.src_port = static_cast<std::uint16_t>(20000 + (client % 40000));
+      key.dst_port = 80;
+      rig.hosts[0]->send(net::make_http_get(key, "vip.example"));
+    });
+  }
+  rig.network.run();
+
+  std::cout << "(a) Load Balancer - " << kClients << " client IPs over " << kBackends
+            << " backends (src-IP hash group):\n";
+  util::Table table({"backend", "requests", "share", "ideal"});
+  std::uint64_t total = 0;
+  std::uint64_t max_served = 0;
+  for (int i = 0; i < kBackends; ++i) {
+    const auto served = rig.hosts[static_cast<std::size_t>(i + 1)]->counters().http_requests_served;
+    total += served;
+    max_served = std::max(max_served, served);
+  }
+  for (int i = 0; i < kBackends; ++i) {
+    const auto served = rig.hosts[static_cast<std::size_t>(i + 1)]->counters().http_requests_served;
+    table.add_row({"web" + std::to_string(i + 1), std::to_string(served),
+                   util::format("%.1f%%", 100.0 * static_cast<double>(served) / static_cast<double>(total)),
+                   util::format("%.1f%%", 100.0 / kBackends)});
+  }
+  std::cout << table.to_string();
+  std::cout << util::format(
+      "served=%llu/%u  max-imbalance=%.2fx ideal  200s delivered to uplink=%llu\n\n",
+      static_cast<unsigned long long>(total), kClients,
+      static_cast<double>(max_served) * kBackends / static_cast<double>(total),
+      static_cast<unsigned long long>(rig.hosts[0]->counters().http_ok_received));
+}
+
+void run_dmz() {
+  constexpr int kVms = 6;
+  RigOptions options;
+  options.host_count = kVms;
+  HarmlessRig rig(options);
+  rig.fabric->ss2().pipeline().table(0).remove(openflow::Match{}, /*strict=*/false);
+
+  controller::DmzPolicy policy;
+  for (int i = 0; i < kVms; ++i)
+    policy.hosts.push_back(controller::DmzHost{"vm" + std::to_string(i + 1), host_ip(i),
+                                               static_cast<std::uint32_t>(i + 1)});
+  policy.allowed_pairs = {{"vm1", "vm2"}, {"vm3", "vm4"}};
+  controller::Controller ctrl;
+  ctrl.add_app<controller::DmzPolicyApp>(policy);
+  ctrl.connect(rig.fabric->control_channel());
+  rig.network.run();
+
+  constexpr int kProbesPerPair = 20;
+  int allowed_delivered = 0, allowed_total = 0;
+  int denied_delivered = 0, denied_total = 0;
+  for (int from = 0; from < kVms; ++from) {
+    for (int to = 0; to < kVms; ++to) {
+      if (from == to) continue;
+      const bool should_pass = (from / 2 == to / 2) && (from / 2 < 2);
+      const auto rx_before = rig.hosts[static_cast<std::size_t>(to)]->counters().rx_udp;
+      for (int probe = 0; probe < kProbesPerPair; ++probe) {
+        net::FlowKey key;
+        key.eth_src = host_mac(from);
+        key.eth_dst = host_mac(to);
+        key.ip_src = host_ip(from);
+        key.ip_dst = host_ip(to);
+        key.src_port = static_cast<std::uint16_t>(1000 + probe);
+        key.dst_port = 7000;
+        rig.hosts[static_cast<std::size_t>(from)]->send(net::make_udp(key, 128));
+      }
+      rig.network.run();
+      const int delivered = static_cast<int>(
+          rig.hosts[static_cast<std::size_t>(to)]->counters().rx_udp - rx_before);
+      if (should_pass) {
+        allowed_total += kProbesPerPair;
+        allowed_delivered += delivered;
+      } else {
+        denied_total += kProbesPerPair;
+        denied_delivered += delivered;
+      }
+    }
+  }
+
+  std::cout << "(b) DMZ - " << kVms << " tenant VMs, pairs {vm1,vm2} and {vm3,vm4} allowed, "
+            << kProbesPerPair << " probes per ordered pair:\n";
+  util::Table table({"class", "probes", "delivered", "policy-correct"});
+  table.add_row({"allowed pairs", std::to_string(allowed_total),
+                 std::to_string(allowed_delivered),
+                 allowed_delivered == allowed_total ? "yes" : "NO"});
+  table.add_row({"denied pairs", std::to_string(denied_total),
+                 std::to_string(denied_delivered),
+                 denied_delivered == 0 ? "yes" : "NO"});
+  std::cout << table.to_string() << '\n';
+}
+
+void run_parental_control() {
+  constexpr int kUsers = 3;           // hosts 1..3; host 4 = web server
+  constexpr int kRequestsPerUser = 50;
+  RigOptions options;
+  options.host_count = kUsers + 1;
+  HarmlessRig rig(options);
+  rig.fabric->ss2().pipeline().table(0).remove(openflow::Match{}, /*strict=*/false);
+
+  controller::ParentalControlConfig config;
+  config.blocklist[host_ip(0)] = {"games.example", "social.example"};
+  config.blocklist[host_ip(1)] = {"games.example"};
+  controller::Controller ctrl;
+  auto& app = ctrl.add_app<controller::ParentalControlApp>(config);
+  ctrl.add_app<controller::LearningSwitchApp>(/*table=*/1);
+  ctrl.connect(rig.fabric->control_channel());
+  rig.network.run();
+
+  sim::Host& server = *rig.hosts[kUsers];
+  server.serve_http(80);
+
+  const char* sites[] = {"games.example", "social.example", "news.example"};
+  for (int user = 0; user < kUsers; ++user) {
+    for (int request = 0; request < kRequestsPerUser; ++request) {
+      rig.hosts[static_cast<std::size_t>(user)]->http_get(server.mac(), server.ip(),
+                                                          sites[request % 3]);
+      // Let each request settle: blocked users get IP-level drop flows,
+      // so ordering matters for the "first offence" accounting.
+      rig.network.run();
+    }
+  }
+
+  std::cout << "(c) Parental Control - " << kUsers << " users x " << kRequestsPerUser
+            << " requests over 3 sites (user1 blocks 2 sites, user2 blocks 1):\n";
+  util::Table table({"user", "403s received", "200s received", "note"});
+  for (int user = 0; user < kUsers; ++user) {
+    const auto& counters = rig.hosts[static_cast<std::size_t>(user)]->counters();
+    const char* note = user == 0   ? "strictest blocklist"
+                       : user == 1 ? "one blocked site"
+                                   : "unrestricted";
+    table.add_row({"user" + std::to_string(user + 1),
+                   std::to_string(counters.http_forbidden_received),
+                   std::to_string(counters.http_ok_received), note});
+  }
+  std::cout << table.to_string();
+  std::cout << util::format(
+      "app: seen=%llu blocked=%llu allowed=%llu drop-flows=%llu "
+      "(after the first offence the block is pure data plane)\n\n",
+      static_cast<unsigned long long>(app.stats().requests_seen),
+      static_cast<unsigned long long>(app.stats().blocked),
+      static_cast<unsigned long long>(app.stats().allowed),
+      static_cast<unsigned long long>(app.stats().drop_flows_installed));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E4 - the paper's three in-network use cases on the HARMLESS fabric\n\n";
+  run_load_balancer();
+  run_dmz();
+  run_parental_control();
+  std::cout << "Shape check: (a) near-even split, sticky per source IP; (b) policy\n"
+               "matrix exact; (c) per-user blocking with 403s, repeats dropped in\n"
+               "the data plane - all on an unmodified legacy switch.\n";
+  return 0;
+}

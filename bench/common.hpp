@@ -1,0 +1,177 @@
+// bench/common.hpp — shared rig builders for the experiment harness.
+//
+// Three comparable data planes, all with the same host population:
+//   * LegacyRig   — hosts on the legacy switch, one shared VLAN (the
+//                   pre-migration network; the hardware baseline)
+//   * NativeRig   — hosts directly on one software switch (the
+//                   "forklift to a soft switch" comparator)
+//   * HarmlessRig — hosts on the legacy switch migrated by HARMLESS
+//                   (tag-and-hairpin through SS_1/SS_2)
+// Forwarding state is preinstalled (exact-match L2 rules / pre-learned
+// MACs) so benches measure the data plane, not controller warmup.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "harmless/fabric.hpp"
+#include "legacy/legacy_switch.hpp"
+#include "net/build.hpp"
+#include "sim/network.hpp"
+#include "softswitch/soft_switch.hpp"
+
+namespace harmless::bench {
+
+struct RigOptions {
+  int host_count = 4;
+  sim::LinkSpec access_link = sim::LinkSpec::gbps(10);
+  sim::LinkSpec trunk_link = sim::LinkSpec::gbps(10);
+  bool specialized_matchers = true;
+  /// Bonded trunk legs between the legacy switch and the S4 box.
+  int trunk_count = 1;
+};
+
+inline net::MacAddr host_mac(int index) {
+  return net::MacAddr::from_u64(0x020000000001ULL + static_cast<std::uint64_t>(index));
+}
+inline net::Ipv4Addr host_ip(int index) {
+  return net::Ipv4Addr(0x0a000001u + static_cast<std::uint32_t>(index));
+}
+
+/// The legacy switch config HARMLESS needs (unique PVID per access
+/// port + trunks) for `n` hosts; trunk legs occupy ports n+1..n+T with
+/// VLANs distributed round-robin to mirror PortMap::make_bonded.
+inline legacy::SwitchConfig harmless_legacy_config(int n, int trunk_count = 1) {
+  legacy::SwitchConfig config;
+  config.hostname = "bench-legacy";
+  std::vector<std::set<net::VlanId>> per_trunk(static_cast<std::size_t>(trunk_count));
+  for (int port = 1; port <= n; ++port) {
+    config.ports[port] = legacy::PortConfig{
+        legacy::PortMode::kAccess, static_cast<net::VlanId>(100 + port), {}, std::nullopt,
+        true,                      ""};
+    per_trunk[static_cast<std::size_t>((port - 1) % trunk_count)].insert(
+        static_cast<net::VlanId>(100 + port));
+  }
+  for (int leg = 0; leg < trunk_count; ++leg)
+    config.ports[n + 1 + leg] = legacy::PortConfig{legacy::PortMode::kTrunk, 1,
+                                                   per_trunk[static_cast<std::size_t>(leg)],
+                                                   std::nullopt, true, ""};
+  return config;
+}
+
+/// Pre-migration network: one VLAN, plain L2 switching.
+inline legacy::SwitchConfig flat_legacy_config(int n) {
+  legacy::SwitchConfig config;
+  config.hostname = "bench-legacy-flat";
+  for (int port = 1; port <= n; ++port) config.ports[port] = legacy::PortConfig{};
+  return config;
+}
+
+struct BaseRig {
+  sim::Network network;
+  std::vector<sim::Host*> hosts;
+
+  void add_hosts(sim::Node& attach_to, const RigOptions& options, int first_switch_port = 0) {
+    for (int i = 0; i < options.host_count; ++i) {
+      sim::Host& host =
+          network.add_host("h" + std::to_string(i + 1), host_mac(i), host_ip(i));
+      network.connect(host, 0, attach_to,
+                      static_cast<std::size_t>(first_switch_port + i), options.access_link);
+      hosts.push_back(&host);
+    }
+  }
+
+  /// Paced unidirectional stream: `from` offers exactly its line rate.
+  void stream(int from, int to, std::size_t count, std::size_t frame_size,
+              sim::SimNanos interval) {
+    hosts[static_cast<std::size_t>(from)]->send_udp_stream(
+        hosts[static_cast<std::size_t>(to)]->mac(), hosts[static_cast<std::size_t>(to)]->ip(),
+        count, frame_size, interval);
+  }
+};
+
+struct LegacyRig : BaseRig {
+  legacy::LegacySwitch* device = nullptr;
+
+  explicit LegacyRig(const RigOptions& options = {}) {
+    device = &network.add_node<legacy::LegacySwitch>("legacy",
+                                                     flat_legacy_config(options.host_count));
+    add_hosts(*device, options);
+    // Pre-learn every MAC: one warmup frame per host to a peer.
+    for (int i = 0; i < options.host_count; ++i)
+      stream(i, (i + 1) % options.host_count, 1, 64, 0);
+    network.run();
+  }
+};
+
+struct NativeRig : BaseRig {
+  softswitch::SoftSwitch* datapath = nullptr;
+
+  explicit NativeRig(const RigOptions& options = {}) {
+    datapath = &network.add_node<softswitch::SoftSwitch>(
+        "native-ss", 0xbe, static_cast<std::size_t>(options.host_count), 1,
+        options.specialized_matchers);
+    add_hosts(*datapath, options);
+    for (int i = 0; i < options.host_count; ++i) {
+      openflow::FlowModMsg mod;
+      mod.table_id = 0;
+      mod.priority = 10;
+      mod.match.eth_dst(host_mac(i));
+      mod.instructions = openflow::apply({openflow::output(static_cast<std::uint32_t>(i + 1))});
+      datapath->install(mod).check();
+    }
+  }
+};
+
+struct HarmlessRig : BaseRig {
+  legacy::LegacySwitch* device = nullptr;
+  std::optional<core::Fabric> fabric;
+
+  explicit HarmlessRig(const RigOptions& options = {}) {
+    device = &network.add_node<legacy::LegacySwitch>(
+        "legacy", harmless_legacy_config(options.host_count, options.trunk_count));
+    add_hosts(*device, options);
+    std::vector<int> access_ports;
+    for (int port = 1; port <= options.host_count; ++port) access_ports.push_back(port);
+    std::vector<int> trunk_ports;
+    for (int leg = 0; leg < options.trunk_count; ++leg)
+      trunk_ports.push_back(options.host_count + 1 + leg);
+    auto map = core::PortMap::make_bonded(access_ports, trunk_ports);
+    core::FabricSpec spec;
+    spec.trunk_link = options.trunk_link;
+    spec.specialized_matchers = options.specialized_matchers;
+    fabric.emplace(core::Fabric::build(network, *device, *map, spec));
+    // Static L2 program on SS_2 (what the learning app would converge to).
+    for (int i = 0; i < options.host_count; ++i) {
+      openflow::FlowModMsg mod;
+      mod.table_id = 0;
+      mod.priority = 10;
+      mod.match.eth_dst(host_mac(i));
+      mod.instructions = openflow::apply({openflow::output(static_cast<std::uint32_t>(i + 1))});
+      fabric->ss2().install(mod).check();
+    }
+    // Pre-learn legacy MACs along the hairpin path.
+    for (int i = 0; i < options.host_count; ++i)
+      stream(i, (i + 1) % options.host_count, 1, 64, 0);
+    network.run();
+  }
+};
+
+/// Measured delivery rate for a finished run.
+struct Throughput {
+  double pps = 0;
+  double gbps = 0;
+};
+
+inline Throughput measure(const sim::LatencyRecorder& recorder, std::size_t frame_size) {
+  Throughput result;
+  if (recorder.completed() < 2) return result;
+  const double duration_ns =
+      static_cast<double>(recorder.last_received() - recorder.first_sent());
+  if (duration_ns <= 0) return result;
+  result.pps = static_cast<double>(recorder.completed()) * 1e9 / duration_ns;
+  result.gbps = result.pps * static_cast<double>(frame_size) * 8.0 / 1e9;
+  return result;
+}
+
+}  // namespace harmless::bench

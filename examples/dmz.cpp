@@ -1,0 +1,112 @@
+// dmz — use case (b) of the paper: "implement and fine-tune VM-level
+// access policies in a multi-tenant cloud using OF" on a migrated
+// legacy switch: pairwise default-deny, plus a runtime policy edit.
+//
+//   $ ./dmz
+#include <cstdio>
+#include <iostream>
+
+#include "controller/apps/dmz.hpp"
+#include "harmless/fabric.hpp"
+#include "net/build.hpp"
+#include "sim/network.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace harmless;
+
+namespace {
+
+net::Packet udp_between(sim::Host& from, sim::Host& to) {
+  net::FlowKey key;
+  key.eth_src = from.mac();
+  key.eth_dst = to.mac();
+  key.ip_src = from.ip();
+  key.ip_dst = to.ip();
+  key.dst_port = 5000;
+  return net::make_udp(key, 128);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== HARMLESS DMZ: VM-level access policy on a legacy switch ==\n");
+
+  sim::Network network;
+  legacy::SwitchConfig config;
+  config.hostname = "dmz-legacy";
+  std::set<net::VlanId> vlans;
+  for (int port = 1; port <= 4; ++port) {
+    config.ports[port] = legacy::PortConfig{legacy::PortMode::kAccess,
+                                            static_cast<net::VlanId>(100 + port),
+                                            {},
+                                            std::nullopt,
+                                            true,
+                                            ""};
+    vlans.insert(static_cast<net::VlanId>(100 + port));
+  }
+  config.ports[5] = legacy::PortConfig{legacy::PortMode::kTrunk, 1, vlans, std::nullopt, true, ""};
+  auto& device = network.add_node<legacy::LegacySwitch>("legacy", config);
+
+  std::vector<sim::Host*> vms;
+  for (int i = 0; i < 4; ++i) {
+    auto& vm = network.add_host("vm" + std::to_string(i + 1),
+                                net::MacAddr::from_u64(0x0200000000a1ULL + i),
+                                net::Ipv4Addr(10, 20, 0, static_cast<std::uint8_t>(i + 1)));
+    network.connect(vm, 0, device, static_cast<std::size_t>(i), sim::LinkSpec::gbps(1));
+    vms.push_back(&vm);
+  }
+
+  auto map = core::PortMap::make({1, 2, 3, 4}, 5);
+  auto fabric = core::Fabric::build(network, device, *map);
+
+  controller::DmzPolicy policy;
+  for (int i = 0; i < 4; ++i)
+    policy.hosts.push_back(
+        controller::DmzHost{"vm" + std::to_string(i + 1), vms[static_cast<std::size_t>(i)]->ip(),
+                            static_cast<std::uint32_t>(i + 1)});
+  policy.allowed_pairs = {{"vm1", "vm2"}};  // the Fig.-1 "DMZ" row
+  policy.exposed_services = {{"vm4", 80}};  // vm4 is the shared web VM
+
+  controller::Controller ctrl("dmz-controller");
+  auto& app = ctrl.add_app<controller::DmzPolicyApp>(policy);
+  ctrl.connect(fabric.control_channel(), "SS_2");
+  network.run();
+  vms[3]->serve_http(80);
+
+  // Probe every ordered pair, one packet at a time, and tabulate what
+  // the policy let through.
+  auto probe_matrix = [&](const char* title) {
+    util::Table table({"pair", "delivered"});
+    std::puts(title);
+    for (int from = 0; from < 4; ++from)
+      for (int to = 0; to < 4; ++to) {
+        if (from == to) continue;
+        const auto rx0 = vms[static_cast<std::size_t>(to)]->counters().rx_udp;
+        vms[static_cast<std::size_t>(from)]->send(
+            udp_between(*vms[static_cast<std::size_t>(from)], *vms[static_cast<std::size_t>(to)]));
+        network.run();
+        const bool delivered = vms[static_cast<std::size_t>(to)]->counters().rx_udp > rx0;
+        table.add_row({util::format("vm%d -> vm%d", from + 1, to + 1),
+                       delivered ? "yes" : "-"});
+      }
+    std::cout << table.to_string() << '\n';
+  };
+
+  probe_matrix("Initial policy: only vm1 <-> vm2 allowed:");
+
+  // "Fine-tune on the fly": allow vm1 <-> vm3 without touching the
+  // legacy switch — one OF rule pair.
+  std::puts("Operator allows vm1 <-> vm3 at runtime...\n");
+  app.allow_pair(*ctrl.sessions().front(), "vm1", "vm3");
+  network.run();
+  probe_matrix("After the runtime edit:");
+
+  // The exposed web service works for everyone.
+  vms[0]->http_get(vms[3]->mac(), vms[3]->ip(), "dmz.web.example");
+  vms[2]->http_get(vms[3]->mac(), vms[3]->ip(), "dmz.web.example");
+  network.run();
+  std::printf("Exposed service vm4:80 served %llu requests (vm1+vm3).\n",
+              static_cast<unsigned long long>(vms[3]->counters().http_requests_served));
+  return 0;
+}

@@ -1,0 +1,102 @@
+// load_balancer — use case (a) of the paper: "equally distribute
+// ingress web traffic between multiple backends based on matching of
+// the source IP address", in-network, on a migrated legacy switch.
+//
+//   $ ./load_balancer [clients]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "controller/apps/load_balancer.hpp"
+#include "harmless/fabric.hpp"
+#include "net/build.hpp"
+#include "sim/network.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace harmless;
+
+int main(int argc, char** argv) {
+  const std::uint32_t clients = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 300;
+  std::printf("== HARMLESS load balancer: %u clients across 3 backends ==\n\n", clients);
+
+  // Legacy switch with the HARMLESS VLAN layout: port 1 = uplink where
+  // client traffic enters, ports 2-4 = web backends, port 5 = trunk.
+  sim::Network network;
+  legacy::SwitchConfig config;
+  config.hostname = "lb-legacy";
+  std::set<net::VlanId> vlans;
+  for (int port = 1; port <= 4; ++port) {
+    config.ports[port] = legacy::PortConfig{legacy::PortMode::kAccess,
+                                            static_cast<net::VlanId>(100 + port),
+                                            {},
+                                            std::nullopt,
+                                            true,
+                                            ""};
+    vlans.insert(static_cast<net::VlanId>(100 + port));
+  }
+  config.ports[5] = legacy::PortConfig{legacy::PortMode::kTrunk, 1, vlans, std::nullopt, true, ""};
+  auto& device = network.add_node<legacy::LegacySwitch>("legacy", config);
+
+  auto& uplink = network.add_host("uplink", net::MacAddr::from_u64(0x02u), net::Ipv4Addr(172, 16, 0, 254));
+  network.connect(uplink, 0, device, 0, sim::LinkSpec::gbps(1));
+  std::vector<sim::Host*> backends;
+  for (int i = 0; i < 3; ++i) {
+    auto& backend = network.add_host("web" + std::to_string(i + 1),
+                                     net::MacAddr::from_u64(0x02000000b001ULL + i),
+                                     net::Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(10 + i)));
+    network.connect(backend, 0, device, static_cast<std::size_t>(i + 1), sim::LinkSpec::gbps(1));
+    backend.serve_http(80);
+    backends.push_back(&backend);
+  }
+
+  // HARMLESS-S4 around it.
+  auto map = core::PortMap::make({1, 2, 3, 4}, 5);
+  auto fabric = core::Fabric::build(network, device, *map);
+
+  // The LB app: VIP 10.0.0.100:80 -> the three backends.
+  controller::LoadBalancerConfig lb;
+  lb.vip = net::Ipv4Addr(10, 0, 0, 100);
+  lb.vip_mac = net::MacAddr::from_u64(0x02000000dead);
+  lb.service_port = 80;
+  lb.client_ports = {1};
+  for (std::size_t i = 0; i < backends.size(); ++i)
+    lb.backends.push_back(controller::Backend{backends[i]->mac(), backends[i]->ip(),
+                                              static_cast<std::uint32_t>(i + 2), 1});
+  controller::Controller ctrl("lb-controller");
+  ctrl.add_app<controller::LoadBalancerApp>(lb);
+  ctrl.connect(fabric.control_channel(), "SS_2");
+  network.run();
+
+  // Fire one HTTP GET per client source IP, paced at 5 us so the
+  // uplink NIC queue never overflows (clients arrive over time, not as
+  // one line-rate burst).
+  for (std::uint32_t client = 1; client <= clients; ++client) {
+    network.engine().schedule_at(static_cast<sim::SimNanos>(client) * 5'000, [&, client] {
+      net::FlowKey key;
+      key.eth_src = uplink.mac();
+      key.eth_dst = lb.vip_mac;
+      key.ip_src = net::Ipv4Addr(0xac100000u + client);
+      key.ip_dst = lb.vip;
+      key.src_port = static_cast<std::uint16_t>(20000 + (client % 40000));
+      key.dst_port = 80;
+      uplink.send(net::make_http_get(key, "vip.shop.example"));
+    });
+  }
+  network.run();
+
+  util::Table table({"backend", "requests served", "share"});
+  std::uint64_t total = 0;
+  for (sim::Host* backend : backends) total += backend->counters().http_requests_served;
+  for (sim::Host* backend : backends) {
+    const auto served = backend->counters().http_requests_served;
+    table.add_row({backend->name(), std::to_string(served),
+                   util::format("%.1f%%", total ? 100.0 * served / total : 0.0)});
+  }
+  std::cout << table.to_string();
+  std::printf("\nclients=%u served=%llu 200s-at-uplink=%llu (VIP masquerade verified: %s)\n",
+              clients, static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(uplink.counters().http_ok_received),
+              uplink.counters().http_ok_received == clients ? "yes" : "NO");
+  return uplink.counters().http_ok_received == clients ? 0 : 1;
+}

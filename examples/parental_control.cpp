@@ -1,0 +1,92 @@
+// parental_control — use case (c) of the paper: "selectively deny
+// access to specific users to certain web pages on-the-fly".
+//
+// Two users behind a migrated legacy switch share a web server. The
+// kid's machine is blocked from games.example; the first offending GET
+// is answered with an HTTP 403 straight from the control plane and a
+// drop flow is pushed into the data plane.
+//
+//   $ ./parental_control
+#include <cstdio>
+#include <iostream>
+
+#include "controller/apps/learning.hpp"
+#include "controller/apps/parental.hpp"
+#include "harmless/fabric.hpp"
+#include "net/build.hpp"
+#include "sim/network.hpp"
+
+using namespace harmless;
+
+int main() {
+  std::puts("== HARMLESS parental control: per-user HTTP host blocking ==\n");
+
+  sim::Network network;
+  legacy::SwitchConfig config;
+  config.hostname = "home-legacy";
+  std::set<net::VlanId> vlans;
+  for (int port = 1; port <= 3; ++port) {
+    config.ports[port] = legacy::PortConfig{legacy::PortMode::kAccess,
+                                            static_cast<net::VlanId>(100 + port),
+                                            {},
+                                            std::nullopt,
+                                            true,
+                                            ""};
+    vlans.insert(static_cast<net::VlanId>(100 + port));
+  }
+  config.ports[4] = legacy::PortConfig{legacy::PortMode::kTrunk, 1, vlans, std::nullopt, true, ""};
+  auto& device = network.add_node<legacy::LegacySwitch>("legacy", config);
+
+  auto& kid = network.add_host("kid-laptop", net::MacAddr::from_u64(0x02000000c001),
+                               net::Ipv4Addr(192, 168, 1, 10));
+  auto& parent = network.add_host("parent-pc", net::MacAddr::from_u64(0x02000000c002),
+                                  net::Ipv4Addr(192, 168, 1, 11));
+  auto& server = network.add_host("web-server", net::MacAddr::from_u64(0x02000000c003),
+                                  net::Ipv4Addr(192, 168, 1, 80));
+  network.connect(kid, 0, device, 0, sim::LinkSpec::gbps(1));
+  network.connect(parent, 0, device, 1, sim::LinkSpec::gbps(1));
+  network.connect(server, 0, device, 2, sim::LinkSpec::gbps(1));
+  server.serve_http(80);
+
+  auto map = core::PortMap::make({1, 2, 3}, 4);
+  auto fabric = core::Fabric::build(network, device, *map);
+
+  controller::ParentalControlConfig pc;
+  pc.blocklist[kid.ip()] = {"games.example"};
+  controller::Controller ctrl("home-controller");
+  auto& app = ctrl.add_app<controller::ParentalControlApp>(pc);
+  ctrl.add_app<controller::LearningSwitchApp>(/*table=*/1);
+  ctrl.connect(fabric.control_channel(), "SS_2");
+  network.run();
+
+  std::puts("kid  -> GET games.example   (blocked host for this user)");
+  kid.http_get(server.mac(), server.ip(), "games.example");
+  network.run();
+  std::printf("     kid received 403: %s; server saw the request: %s\n",
+              kid.counters().http_forbidden_received ? "yes" : "no",
+              server.counters().http_requests_served ? "yes" : "no");
+
+  std::puts("parent -> GET games.example (same site, different user)");
+  parent.http_get(server.mac(), server.ip(), "games.example");
+  network.run();
+  std::printf("     parent received 200: %s\n",
+              parent.counters().http_ok_received ? "yes" : "no");
+
+  std::puts("kid  -> GET school.example  (IP-level drop flow now covers the pair)");
+  kid.http_get(server.mac(), server.ip(), "school.example");
+  network.run();
+  std::printf("     delivered: %s (dropped in the data plane, no controller round-trip)\n",
+              kid.counters().http_ok_received ? "yes" : "no");
+
+  std::printf("\napp stats: seen=%llu blocked=%llu allowed=%llu drop-flows=%llu\n",
+              static_cast<unsigned long long>(app.stats().requests_seen),
+              static_cast<unsigned long long>(app.stats().blocked),
+              static_cast<unsigned long long>(app.stats().allowed),
+              static_cast<unsigned long long>(app.stats().drop_flows_installed));
+
+  const bool ok = kid.counters().http_forbidden_received == 1 &&
+                  parent.counters().http_ok_received == 1 &&
+                  server.counters().http_requests_served == 1;
+  std::puts(ok ? "\nparental_control: OK" : "\nparental_control: FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+#include "controller/apps/dmz.hpp"
+
+#include "util/status.hpp"
+
+namespace harmless::controller {
+
+using namespace openflow;
+
+namespace {
+constexpr std::uint64_t kDmzCookie = 0xD312;
+}
+
+DmzPolicyApp::DmzPolicyApp(DmzPolicy policy) : policy_(std::move(policy)) {
+  for (const auto& [a, b] : policy_.allowed_pairs) {
+    if (find_host(a) == nullptr || find_host(b) == nullptr)
+      throw util::ConfigError("DMZ pair references unknown host: " + a + "/" + b);
+  }
+  for (const auto& [host, port] : policy_.exposed_services) {
+    (void)port;
+    if (find_host(host) == nullptr)
+      throw util::ConfigError("DMZ service references unknown host: " + host);
+  }
+}
+
+const DmzHost* DmzPolicyApp::find_host(const std::string& name) const {
+  for (const DmzHost& host : policy_.hosts)
+    if (host.name == name) return &host;
+  return nullptr;
+}
+
+void DmzPolicyApp::install_pair(Session& session, const DmzHost& a, const DmzHost& b) {
+  session.flow_add(policy_.table, /*priority=*/100,
+                   Match()
+                       .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                       .ip_src(a.ip)
+                       .ip_dst(b.ip),
+                   apply({output(b.of_port)}), kDmzCookie);
+  session.flow_add(policy_.table, /*priority=*/100,
+                   Match()
+                       .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                       .ip_src(b.ip)
+                       .ip_dst(a.ip),
+                   apply({output(a.of_port)}), kDmzCookie);
+}
+
+void DmzPolicyApp::on_connect(Session& session) {
+  // ARP must flow or nobody resolves anybody: flood it (the legacy
+  // switch's per-port VLANs make this loop-free by construction).
+  session.flow_add(policy_.table, /*priority=*/150,
+                   Match().eth_type(static_cast<std::uint16_t>(net::EtherType::kArp)),
+                   apply({flood()}), kDmzCookie);
+
+  for (const auto& [a, b] : policy_.allowed_pairs)
+    install_pair(session, *find_host(a), *find_host(b));
+
+  for (const auto& [host_name, tcp_port] : policy_.exposed_services) {
+    const DmzHost* host = find_host(host_name);
+    session.flow_add(policy_.table, /*priority=*/120,
+                     Match()
+                         .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                         .ip_dst(host->ip)
+                         .ip_proto(static_cast<std::uint8_t>(net::IpProto::kTcp))
+                         .l4_dst(tcp_port),
+                     apply({output(host->of_port)}), kDmzCookie);
+    // Replies from an exposed service are allowed back out by source
+    // port (stateless approximation of connection tracking).
+    session.flow_add(policy_.table, /*priority=*/120,
+                     Match()
+                         .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                         .ip_src(host->ip)
+                         .ip_proto(static_cast<std::uint8_t>(net::IpProto::kTcp))
+                         .l4_src(tcp_port),
+                     apply({flood()}), kDmzCookie);
+  }
+
+  // Default deny: explicit drop entry so the miss counter stays clean
+  // and the intent is visible in flow dumps.
+  session.flow_add(policy_.table, /*priority=*/0, Match{}, Instructions{}, kDmzCookie);
+  session.barrier();
+}
+
+void DmzPolicyApp::allow_pair(Session& session, const std::string& a, const std::string& b) {
+  const DmzHost* host_a = find_host(a);
+  const DmzHost* host_b = find_host(b);
+  if (host_a == nullptr || host_b == nullptr)
+    throw util::ConfigError("allow_pair: unknown host " + a + " or " + b);
+  policy_.allowed_pairs.emplace_back(a, b);
+  install_pair(session, *host_a, *host_b);
+}
+
+}  // namespace harmless::controller

@@ -1,0 +1,55 @@
+// controller/apps/dmz.hpp — use case (b) of the paper: "implement and
+// fine-tune VM-level access policies in a multi-tenant cloud".
+//
+// A default-deny pairwise policy: traffic flows only between hosts the
+// policy explicitly allows (the "DMZ" row in Fig. 1's SS_2 table is
+// one such pair). Rules are proactive — one allow entry per direction
+// per pair — plus an ARP flood entry so neighbours can resolve, and an
+// optional per-(host, tcp port) service exposure (e.g. "anyone may
+// reach the web VM on port 443").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "net/ipv4.hpp"
+
+namespace harmless::controller {
+
+struct DmzHost {
+  std::string name;
+  net::Ipv4Addr ip;
+  std::uint32_t of_port = 0;
+};
+
+struct DmzPolicy {
+  std::vector<DmzHost> hosts;
+  /// Unordered allowed pairs (both directions installed).
+  std::vector<std::pair<std::string, std::string>> allowed_pairs;
+  /// (host name, tcp port): reachable by every tenant on that port.
+  std::vector<std::pair<std::string, std::uint16_t>> exposed_services;
+  std::uint8_t table = 0;
+};
+
+class DmzPolicyApp : public App {
+ public:
+  explicit DmzPolicyApp(DmzPolicy policy);
+
+  [[nodiscard]] const char* name() const override { return "dmz_policy"; }
+  void on_connect(Session& session) override;
+
+  /// Add an allowed pair at runtime ("fine-tune ... using OF"):
+  /// installs on every ready session immediately.
+  void allow_pair(Session& session, const std::string& a, const std::string& b);
+
+  [[nodiscard]] const DmzPolicy& policy() const { return policy_; }
+
+ private:
+  [[nodiscard]] const DmzHost* find_host(const std::string& name) const;
+  void install_pair(Session& session, const DmzHost& a, const DmzHost& b);
+
+  DmzPolicy policy_;
+};
+
+}  // namespace harmless::controller

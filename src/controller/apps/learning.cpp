@@ -1,0 +1,53 @@
+#include "controller/apps/learning.hpp"
+
+#include "net/parse.hpp"
+
+namespace harmless::controller {
+
+using namespace openflow;
+
+/// Cookie tagging every rule this app installs ("L2" in hex-speak).
+constexpr std::uint64_t kLearningCookie = 0x4C32;
+
+void LearningSwitchApp::on_connect(Session& session) {
+  // Table-miss: punt everything unknown to the controller.
+  session.flow_add(table_, /*priority=*/0, Match{}, apply({to_controller()}),
+                   /*cookie=*/kLearningCookie);
+}
+
+std::optional<std::uint32_t> LearningSwitchApp::lookup(std::uint64_t datapath_id,
+                                                       net::MacAddr mac) const {
+  const auto it = mac_to_port_.find(Key{datapath_id, mac.to_u64()});
+  if (it == mac_to_port_.end()) return std::nullopt;
+  return it->second;
+}
+
+void LearningSwitchApp::on_packet_in(Session& session, const PacketInMsg& event) {
+  // Only react to punts from our own table: co-resident apps (e.g. the
+  // parental-control interceptor in table 0) own their punted packets.
+  if (event.table_id != table_) return;
+  const net::ParsedPacket parsed = net::parse_packet(event.packet);
+  if (!parsed.l2_valid) return;
+
+  // Learn the source.
+  if (!parsed.eth_src.is_multicast() && !parsed.eth_src.is_zero()) {
+    const Key key{session.datapath_id(), parsed.eth_src.to_u64()};
+    const auto [it, inserted] = mac_to_port_.insert_or_assign(key, event.in_port);
+    (void)it;
+    if (inserted) ++stats_.learned;
+  }
+
+  // Forward: known destination gets a flow; unknown floods.
+  const auto destination = lookup(session.datapath_id(), parsed.eth_dst);
+  if (destination && !parsed.eth_dst.is_multicast()) {
+    session.flow_add(table_, /*priority=*/10, Match().eth_dst(parsed.eth_dst),
+                     apply({output(*destination)}), /*cookie=*/kLearningCookie, idle_timeout_);
+    ++stats_.flows_installed;
+    session.packet_out(event.packet, {output(*destination)}, event.in_port);
+  } else {
+    ++stats_.floods;
+    session.packet_out(event.packet, {flood()}, event.in_port);
+  }
+}
+
+}  // namespace harmless::controller

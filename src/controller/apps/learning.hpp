@@ -1,0 +1,60 @@
+// controller/apps/learning.hpp — the canonical L2 learning switch app.
+//
+// Reactive MAC learning over a designated table:
+//   * on connect: install a table-miss entry punting to the controller
+//   * on packet-in: learn (datapath, src MAC) -> in_port; if the dst
+//     MAC is known, install a forward flow (with idle timeout) and
+//     packet-out the trigger frame; otherwise flood it.
+// This is the default "make it behave like the old network" program a
+// small enterprise would run on day one after a HARMLESS migration.
+#pragma once
+
+#include <unordered_map>
+
+#include "controller/controller.hpp"
+#include "net/mac.hpp"
+
+namespace harmless::controller {
+
+class LearningSwitchApp : public App {
+ public:
+  /// `table` is where rules live (HARMLESS deployments may reserve
+  /// table 0 for a policy app and chain learning behind it).
+  explicit LearningSwitchApp(std::uint8_t table = 0, sim::SimNanos idle_timeout = 0)
+      : table_(table), idle_timeout_(idle_timeout) {}
+
+  [[nodiscard]] const char* name() const override { return "learning_switch"; }
+
+  void on_connect(Session& session) override;
+  void on_packet_in(Session& session, const openflow::PacketInMsg& event) override;
+
+  struct Stats {
+    std::uint64_t learned = 0;
+    std::uint64_t flows_installed = 0;
+    std::uint64_t floods = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Learned port for (datapath, mac), if any — exposed for tests.
+  [[nodiscard]] std::optional<std::uint32_t> lookup(std::uint64_t datapath_id,
+                                                    net::MacAddr mac) const;
+
+ private:
+  struct Key {
+    std::uint64_t datapath_id;
+    std::uint64_t mac;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      return std::hash<std::uint64_t>{}(key.datapath_id * 0x9e3779b97f4a7c15ULL ^ key.mac);
+    }
+  };
+
+  std::uint8_t table_;
+  sim::SimNanos idle_timeout_;
+  std::unordered_map<Key, std::uint32_t, KeyHash> mac_to_port_;
+  Stats stats_;
+};
+
+}  // namespace harmless::controller

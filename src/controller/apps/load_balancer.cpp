@@ -1,0 +1,101 @@
+#include "controller/apps/load_balancer.hpp"
+
+#include "net/build.hpp"
+#include "net/parse.hpp"
+#include "util/status.hpp"
+
+namespace harmless::controller {
+
+using namespace openflow;
+
+namespace {
+constexpr std::uint64_t kLbCookie = 0x1BA1;
+}
+
+LoadBalancerApp::LoadBalancerApp(LoadBalancerConfig config) : config_(std::move(config)) {
+  if (config_.backends.empty())
+    throw util::ConfigError("load balancer needs at least one backend");
+  if (config_.client_ports.empty())
+    throw util::ConfigError("load balancer needs at least one client port");
+}
+
+void LoadBalancerApp::on_connect(Session& session) {
+  // The SELECT group: one bucket per backend, rewriting VIP -> backend.
+  GroupEntry group_entry;
+  group_entry.group_id = config_.group_id;
+  group_entry.type = GroupType::kSelect;
+  // Paper: split "based on matching of the source IP address" — the
+  // same client must stick to the same backend across connections.
+  group_entry.select_hash = SelectHash::kSourceIp;
+  for (const Backend& backend : config_.backends) {
+    Bucket bucket;
+    bucket.weight = backend.weight;
+    bucket.actions = {set_eth_dst(backend.mac), set_ip_dst(backend.ip),
+                      output(backend.of_port)};
+    group_entry.buckets.push_back(std::move(bucket));
+  }
+  session.group_add(std::move(group_entry));
+
+  // Forward direction: web traffic to the VIP -> group.
+  session.flow_add(config_.table, /*priority=*/200,
+                   Match()
+                       .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                       .ip_dst(config_.vip)
+                       .ip_proto(static_cast<std::uint8_t>(net::IpProto::kTcp))
+                       .l4_dst(config_.service_port),
+                   apply({group(config_.group_id)}), kLbCookie);
+
+  // Reverse direction: one rule per backend, masquerading as the VIP.
+  for (const Backend& backend : config_.backends) {
+    ActionList reverse{set_eth_src(config_.vip_mac), set_ip_src(config_.vip)};
+    if (config_.client_ports.size() == 1) {
+      reverse.push_back(output(config_.client_ports.front()));
+    } else {
+      // Multiple client ports: let the punting path flood (rare in the
+      // demo topologies; documented simplification).
+      reverse.push_back(flood());
+    }
+    session.flow_add(config_.table, /*priority=*/200,
+                     Match()
+                         .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                         .ip_src(backend.ip)
+                         .ip_proto(static_cast<std::uint8_t>(net::IpProto::kTcp))
+                         .l4_src(config_.service_port),
+                     apply(std::move(reverse)), kLbCookie);
+  }
+
+  // ARP glue. With the proxy enabled, requests for the VIP punt to the
+  // controller (which answers as the VIP); everything else floods so
+  // real hosts still resolve each other.
+  if (config_.arp_proxy) {
+    session.flow_add(config_.table, /*priority=*/160,
+                     Match()
+                         .eth_type(static_cast<std::uint16_t>(net::EtherType::kArp))
+                         .arp_op(static_cast<std::uint16_t>(net::ArpOp::kRequest)),
+                     apply({to_controller()}), kLbCookie);
+  }
+  session.flow_add(config_.table, /*priority=*/150,
+                   Match().eth_type(static_cast<std::uint16_t>(net::EtherType::kArp)),
+                   apply({flood()}), kLbCookie);
+
+  session.barrier();
+}
+
+void LoadBalancerApp::on_packet_in(Session& session, const PacketInMsg& event) {
+  if (!config_.arp_proxy) return;
+  const net::ParsedPacket parsed = net::parse_packet(event.packet);
+  if (!parsed.arp || parsed.arp->op != net::ArpOp::kRequest) return;
+
+  if (parsed.arp->target_ip == config_.vip) {
+    // Proxy ARP: the controller answers as the VIP.
+    ++stats_.arp_replies_sent;
+    session.packet_out(net::make_arp_reply(config_.vip_mac, config_.vip,
+                                           parsed.arp->sender_mac, parsed.arp->sender_ip),
+                       {output(event.in_port)});
+    return;
+  }
+  // Not for the VIP: behave like the flood rule would have.
+  session.packet_out(event.packet, {flood()}, event.in_port);
+}
+
+}  // namespace harmless::controller

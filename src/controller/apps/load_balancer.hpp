@@ -1,0 +1,63 @@
+// controller/apps/load_balancer.hpp — use case (a) of the paper:
+// "equally distribute ingress web traffic between multiple backends
+// based on matching of the source IP address".
+//
+// Implementation: a SELECT group with one bucket per backend. Each
+// bucket rewrites the destination MAC/IP from the VIP to the backend
+// and outputs to its port; bucket choice is a deterministic hash of
+// the flow key, so the split is per-source-IP sticky, exactly the
+// paper's "matching of the source IP address". Reverse rules rewrite
+// the backend's replies to come from the VIP.
+#pragma once
+
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "net/ipv4.hpp"
+#include "net/mac.hpp"
+
+namespace harmless::controller {
+
+struct Backend {
+  net::MacAddr mac;
+  net::Ipv4Addr ip;
+  std::uint32_t of_port = 0;  // SS_2 port == legacy access port number
+  std::uint16_t weight = 1;
+};
+
+struct LoadBalancerConfig {
+  net::Ipv4Addr vip;
+  net::MacAddr vip_mac;
+  std::uint16_t service_port = 80;
+  std::vector<Backend> backends;
+  /// Port(s) clients live behind (reverse traffic exits here). A
+  /// single uplink covers the demo topology; several are allowed.
+  std::vector<std::uint32_t> client_ports;
+  std::uint32_t group_id = 1;
+  std::uint8_t table = 0;
+  /// Answer ARP requests for the VIP from the controller (proxy ARP),
+  /// so clients can resolve a VIP no host owns.
+  bool arp_proxy = true;
+};
+
+class LoadBalancerApp : public App {
+ public:
+  explicit LoadBalancerApp(LoadBalancerConfig config);
+
+  [[nodiscard]] const char* name() const override { return "load_balancer"; }
+  void on_connect(Session& session) override;
+  void on_packet_in(Session& session, const openflow::PacketInMsg& event) override;
+
+  [[nodiscard]] const LoadBalancerConfig& config() const { return config_; }
+
+  struct Stats {
+    std::uint64_t arp_replies_sent = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  LoadBalancerConfig config_;
+  Stats stats_;
+};
+
+}  // namespace harmless::controller

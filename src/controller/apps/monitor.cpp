@@ -1,0 +1,43 @@
+#include "controller/apps/monitor.hpp"
+
+namespace harmless::controller {
+
+void StatsMonitorApp::on_connect(Session& session) {
+  if (polls_ <= 0) return;
+  engine_.schedule_after(interval_, [this, &session] { poll(session, polls_ - 1); });
+}
+
+void StatsMonitorApp::poll(Session& session, int remaining) {
+  session.request_flow_stats([this, &session](const openflow::FlowStatsReplyMsg& reply) {
+    Sample sample;
+    sample.at = engine_.now();
+    sample.flows = reply.flows.size();
+    for (const openflow::FlowStatsEntry& flow : reply.flows) {
+      sample.packets += flow.packet_count;
+      sample.bytes += flow.byte_count;
+    }
+    history_[session.datapath_id()].push_back(sample);
+  });
+  if (remaining > 0)
+    engine_.schedule_after(interval_, [this, &session, remaining] {
+      poll(session, remaining - 1);
+    });
+}
+
+const std::vector<StatsMonitorApp::Sample>& StatsMonitorApp::history(
+    std::uint64_t datapath_id) const {
+  const auto it = history_.find(datapath_id);
+  return it == history_.end() ? empty_ : it->second;
+}
+
+double StatsMonitorApp::packet_rate(std::uint64_t datapath_id) const {
+  const auto& samples = history(datapath_id);
+  if (samples.size() < 2) return 0;
+  const Sample& first = samples.front();
+  const Sample& last = samples.back();
+  const double duration_ns = static_cast<double>(last.at - first.at);
+  if (duration_ns <= 0) return 0;
+  return static_cast<double>(last.packets - first.packets) * 1e9 / duration_ns;
+}
+
+}  // namespace harmless::controller

@@ -1,0 +1,52 @@
+// controller/apps/monitor.hpp — flow-stats telemetry.
+//
+// Polls every connected datapath's flow stats on a fixed cadence and
+// keeps a bounded history of (time, packets, bytes) samples per
+// datapath — the data an operator graphs to see whether the migrated
+// switch actually carries traffic. Poll count is bounded so simulations
+// still drain their event queues.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "sim/event.hpp"
+
+namespace harmless::controller {
+
+class StatsMonitorApp : public App {
+ public:
+  /// Polls each datapath `polls` times, every `interval` ns, starting
+  /// one interval after it connects.
+  StatsMonitorApp(sim::Engine& engine, sim::SimNanos interval, int polls)
+      : engine_(engine), interval_(interval), polls_(polls) {}
+
+  [[nodiscard]] const char* name() const override { return "stats_monitor"; }
+  void on_connect(Session& session) override;
+
+  struct Sample {
+    sim::SimNanos at = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::size_t flows = 0;
+  };
+
+  [[nodiscard]] const std::vector<Sample>& history(std::uint64_t datapath_id) const;
+
+  /// Average packet rate between the first and last sample (pkt/s of
+  /// simulated time); 0 with fewer than two samples.
+  [[nodiscard]] double packet_rate(std::uint64_t datapath_id) const;
+
+ private:
+  void poll(Session& session, int remaining);
+
+  sim::Engine& engine_;
+  sim::SimNanos interval_;
+  int polls_;
+  std::map<std::uint64_t, std::vector<Sample>> history_;
+  std::vector<Sample> empty_;
+};
+
+}  // namespace harmless::controller

@@ -1,0 +1,98 @@
+#include "controller/apps/parental.hpp"
+
+#include "net/build.hpp"
+#include "net/parse.hpp"
+#include "util/strings.hpp"
+
+namespace harmless::controller {
+
+using namespace openflow;
+
+namespace {
+constexpr std::uint64_t kPcCookie = 0x9C;  // "PC"
+}
+
+ParentalControlApp::ParentalControlApp(ParentalControlConfig config)
+    : config_(std::move(config)) {}
+
+void ParentalControlApp::block(net::Ipv4Addr user, std::string host) {
+  config_.blocklist[user].insert(util::to_lower(host));
+}
+
+void ParentalControlApp::on_connect(Session& session) {
+  // Intercept HTTP; everything else continues down the pipeline.
+  session.flow_add(config_.table, /*priority=*/300,
+                   Match()
+                       .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                       .ip_proto(static_cast<std::uint8_t>(net::IpProto::kTcp))
+                       .l4_dst(config_.http_port),
+                   apply({to_controller()}), kPcCookie);
+  Instructions chain;
+  chain.goto_table = config_.next_table;
+  session.flow_add(config_.table, /*priority=*/0, Match{}, std::move(chain), kPcCookie);
+  session.barrier();
+}
+
+std::string ParentalControlApp::http_host_of(std::string_view payload) {
+  if (!util::starts_with(payload, "GET ") && !util::starts_with(payload, "POST ")) return {};
+  constexpr std::string_view kHostHeader = "Host:";
+  const std::size_t pos = payload.find(kHostHeader);
+  if (pos == std::string_view::npos) return {};
+  std::size_t end = payload.find("\r\n", pos);
+  if (end == std::string_view::npos) end = payload.size();
+  return util::to_lower(util::trim(payload.substr(pos + kHostHeader.size(),
+                                                  end - pos - kHostHeader.size())));
+}
+
+void ParentalControlApp::on_packet_in(Session& session, const PacketInMsg& event) {
+  const net::ParsedPacket parsed = net::parse_packet(event.packet);
+  if (!parsed.tcp || !parsed.ipv4 || parsed.tcp->dst_port != config_.http_port) return;
+
+  const std::string host = http_host_of(net::l4_payload(parsed, event.packet.frame()));
+  if (host.empty()) {
+    // Not a request segment (e.g. bare SYN): let it through the normal
+    // path so connections can establish.
+    session.packet_out(event.packet, {flood()}, event.in_port);
+    return;
+  }
+  ++stats_.requests_seen;
+
+  const auto user_entry = config_.blocklist.find(parsed.ipv4->src);
+  const bool blocked =
+      user_entry != config_.blocklist.end() && user_entry->second.contains(host);
+
+  if (!blocked) {
+    ++stats_.allowed;
+    session.packet_out(event.packet, {flood()}, event.in_port);
+    return;
+  }
+
+  ++stats_.blocked;
+
+  // Answer the user with a 403 directly from the control plane.
+  net::FlowKey reply;
+  reply.eth_src = parsed.eth_dst;
+  reply.eth_dst = parsed.eth_src;
+  reply.ip_src = parsed.ipv4->dst;
+  reply.ip_dst = parsed.ipv4->src;
+  reply.src_port = parsed.tcp->dst_port;
+  reply.dst_port = parsed.tcp->src_port;
+  net::Packet forbidden = net::make_tcp(
+      reply, net::kTcpPsh | net::kTcpAck,
+      "HTTP/1.1 403 Forbidden\r\nContent-Length: 7\r\n\r\nblocked");
+  session.packet_out(std::move(forbidden), {output(event.in_port)});
+
+  // "On-the-fly": push the block into the data plane for this
+  // (user, server) pair so repeats don't even reach us.
+  session.flow_add(config_.table, /*priority=*/400,
+                   Match()
+                       .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                       .ip_src(parsed.ipv4->src)
+                       .ip_dst(parsed.ipv4->dst)
+                       .ip_proto(static_cast<std::uint8_t>(net::IpProto::kTcp))
+                       .l4_dst(config_.http_port),
+                   Instructions{}, kPcCookie);
+  ++stats_.drop_flows_installed;
+}
+
+}  // namespace harmless::controller

@@ -1,0 +1,32 @@
+#include "controller/apps/static_flows.hpp"
+
+namespace harmless::controller {
+
+StaticFlowApp& StaticFlowApp::flow(openflow::FlowModMsg mod,
+                                   std::optional<std::uint64_t> datapath_id) {
+  flows_.push_back(PendingFlow{std::move(mod), datapath_id});
+  return *this;
+}
+
+StaticFlowApp& StaticFlowApp::group(openflow::GroupModMsg mod,
+                                    std::optional<std::uint64_t> datapath_id) {
+  groups_.push_back(PendingGroup{std::move(mod), datapath_id});
+  return *this;
+}
+
+void StaticFlowApp::on_connect(Session& session) {
+  // Groups first: flows may reference them.
+  for (const auto& pending : groups_) {
+    if (pending.datapath_id && *pending.datapath_id != session.datapath_id()) continue;
+    session.send(pending.mod);
+    ++installed_;
+  }
+  for (const auto& pending : flows_) {
+    if (pending.datapath_id && *pending.datapath_id != session.datapath_id()) continue;
+    session.send(pending.mod);
+    ++installed_;
+  }
+  session.barrier();
+}
+
+}  // namespace harmless::controller

@@ -1,0 +1,45 @@
+// controller/apps/static_flows.hpp — declarative rule pusher.
+//
+// Holds a list of flow/group mods and installs them on every datapath
+// that connects (optionally filtered by datapath id). The building
+// block for scripted deployments and for tests that need a precise
+// table state.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "controller/controller.hpp"
+
+namespace harmless::controller {
+
+class StaticFlowApp : public App {
+ public:
+  [[nodiscard]] const char* name() const override { return "static_flows"; }
+
+  /// Queue a flow for installation on connect. If `datapath_id` is
+  /// given, only that datapath receives it.
+  StaticFlowApp& flow(openflow::FlowModMsg mod,
+                      std::optional<std::uint64_t> datapath_id = std::nullopt);
+  StaticFlowApp& group(openflow::GroupModMsg mod,
+                       std::optional<std::uint64_t> datapath_id = std::nullopt);
+
+  void on_connect(Session& session) override;
+
+  [[nodiscard]] std::size_t installed_count() const { return installed_; }
+
+ private:
+  struct PendingFlow {
+    openflow::FlowModMsg mod;
+    std::optional<std::uint64_t> datapath_id;
+  };
+  struct PendingGroup {
+    openflow::GroupModMsg mod;
+    std::optional<std::uint64_t> datapath_id;
+  };
+  std::vector<PendingGroup> groups_;
+  std::vector<PendingFlow> flows_;
+  std::size_t installed_ = 0;
+};
+
+}  // namespace harmless::controller

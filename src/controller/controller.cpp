@@ -1,0 +1,124 @@
+#include "controller/controller.hpp"
+
+namespace harmless::controller {
+
+using namespace openflow;
+
+Session::Session(Controller& owner, ControlChannel& channel, std::string label)
+    : owner_(owner), channel_(channel), label_(std::move(label)) {}
+
+void Session::start_handshake() {
+  channel_.set_controller_handler([this](Message&& message) { handle(std::move(message)); });
+  channel_.send_to_switch(HelloMsg{});
+  channel_.send_to_switch(FeaturesRequestMsg{});
+}
+
+void Session::send(Message message) { channel_.send_to_switch(std::move(message)); }
+
+void Session::flow_add(std::uint8_t table, std::uint16_t priority, Match match,
+                       Instructions instructions, std::uint64_t cookie,
+                       sim::SimNanos idle_timeout, sim::SimNanos hard_timeout) {
+  FlowModMsg mod;
+  mod.command = FlowModMsg::Command::kAdd;
+  mod.table_id = table;
+  mod.priority = priority;
+  mod.match = std::move(match);
+  mod.instructions = std::move(instructions);
+  mod.cookie = cookie;
+  mod.idle_timeout = idle_timeout;
+  mod.hard_timeout = hard_timeout;
+  mod.send_flow_removed = (idle_timeout > 0 || hard_timeout > 0);
+  channel_.send_to_switch(std::move(mod));
+}
+
+void Session::flow_delete(std::uint8_t table, const Match& match) {
+  FlowModMsg mod;
+  mod.command = FlowModMsg::Command::kDelete;
+  mod.table_id = table;
+  mod.match = match;
+  channel_.send_to_switch(std::move(mod));
+}
+
+void Session::group_add(GroupEntry entry) {
+  GroupModMsg mod;
+  mod.command = GroupModMsg::Command::kAdd;
+  mod.entry = std::move(entry);
+  channel_.send_to_switch(std::move(mod));
+}
+
+void Session::packet_out(net::Packet packet, ActionList actions, std::uint32_t in_port) {
+  PacketOutMsg out;
+  out.packet = std::move(packet);
+  out.actions = std::move(actions);
+  out.in_port = in_port;
+  channel_.send_to_switch(std::move(out));
+}
+
+void Session::barrier() { channel_.send_to_switch(BarrierRequestMsg{next_xid_++}); }
+
+void Session::ping(std::uint64_t payload) { channel_.send_to_switch(EchoRequestMsg{payload}); }
+
+void Session::request_flow_stats(std::function<void(const FlowStatsReplyMsg&)> callback) {
+  stats_callbacks_.push_back(std::move(callback));
+  channel_.send_to_switch(FlowStatsRequestMsg{});
+}
+
+void Session::handle(Message&& message) {
+  if (std::holds_alternative<HelloMsg>(message)) return;
+  if (std::holds_alternative<EchoReplyMsg>(message)) {
+    ++echo_replies_;
+    return;
+  }
+  if (const auto* features = std::get_if<FeaturesReplyMsg>(&message)) {
+    features_ = *features;
+    const bool first = !ready_;
+    ready_ = true;
+    if (first) owner_.dispatch_connect(*this);
+    return;
+  }
+  if (const auto* stats = std::get_if<FlowStatsReplyMsg>(&message)) {
+    if (!stats_callbacks_.empty()) {
+      auto callback = std::move(stats_callbacks_.front());
+      stats_callbacks_.erase(stats_callbacks_.begin());
+      callback(*stats);
+    }
+    return;
+  }
+  owner_.dispatch(*this, std::move(message));
+}
+
+Session& Controller::connect(ControlChannel& channel, std::string label) {
+  sessions_.push_back(std::make_unique<Session>(*this, channel, std::move(label)));
+  Session& session = *sessions_.back();
+  session.start_handshake();
+  return session;
+}
+
+void Controller::dispatch_connect(Session& session) {
+  for (const auto& app : apps_) app->on_connect(session);
+}
+
+void Controller::dispatch(Session& session, Message&& message) {
+  if (const auto* packet_in = std::get_if<PacketInMsg>(&message)) {
+    ++stats_.packet_ins;
+    for (const auto& app : apps_) app->on_packet_in(session, *packet_in);
+    return;
+  }
+  if (const auto* port_status = std::get_if<PortStatusMsg>(&message)) {
+    for (const auto& app : apps_) app->on_port_status(session, *port_status);
+    return;
+  }
+  if (const auto* flow_removed = std::get_if<FlowRemovedMsg>(&message)) {
+    ++stats_.flow_removed;
+    for (const auto& app : apps_) app->on_flow_removed(session, *flow_removed);
+    return;
+  }
+  if (const auto* error = std::get_if<ErrorMsg>(&message)) {
+    ++stats_.errors;
+    for (const auto& app : apps_) app->on_error(session, *error);
+    return;
+  }
+  // barrier replies / echo replies need no app dispatch
+}
+
+}  // namespace harmless::controller

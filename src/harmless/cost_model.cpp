@@ -1,0 +1,81 @@
+#include "harmless/cost_model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace harmless::core {
+
+const char* strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kForkliftSdn: return "forklift-COTS-SDN";
+    case Strategy::kPureSoftware: return "pure-software";
+    case Strategy::kHarmless: return "HARMLESS";
+  }
+  return "?";
+}
+
+double CostEstimate::total_usd() const {
+  double total = 0;
+  for (const BomLine& line : bom) total += line.total_usd();
+  return total;
+}
+
+std::string CostEstimate::to_string() const {
+  std::ostringstream os;
+  os << strategy_name(strategy) << " for " << sdn_ports << " SDN ports:\n";
+  for (const BomLine& line : bom)
+    os << util::format("  %-38s x%-3d $%8.0f\n", line.item.c_str(), line.quantity,
+                       line.total_usd());
+  os << util::format("  total $%.0f  ($%.1f/port)\n", total_usd(), usd_per_port());
+  return os.str();
+}
+
+CostEstimate CostModel::estimate(Strategy strategy, int port_count, bool greenfield) const {
+  if (port_count <= 0) throw util::ConfigError("cost model: port_count must be positive");
+  CostEstimate estimate;
+  estimate.strategy = strategy;
+  estimate.sdn_ports = port_count;
+
+  const int legacy_switches = static_cast<int>(
+      std::ceil(static_cast<double>(port_count) / catalog_.legacy_switch.ports));
+
+  switch (strategy) {
+    case Strategy::kForkliftSdn: {
+      const int units = static_cast<int>(
+          std::ceil(static_cast<double>(port_count) / catalog_.sdn_switch.ports));
+      estimate.bom.push_back({catalog_.sdn_switch.name, units, catalog_.sdn_switch.price_usd});
+      break;
+    }
+    case Strategy::kPureSoftware: {
+      // Every host port is a NIC port in a server chassis.
+      const int nics = static_cast<int>(
+          std::ceil(static_cast<double>(port_count) / catalog_.nic_quad_1g.ports));
+      const int nics_per_server = catalog_.server_max_nic_ports / catalog_.nic_quad_1g.ports;
+      const int servers =
+          static_cast<int>(std::ceil(static_cast<double>(nics) / nics_per_server));
+      estimate.bom.push_back({catalog_.server.name, servers, catalog_.server.price_usd});
+      estimate.bom.push_back({catalog_.nic_quad_1g.name, nics, catalog_.nic_quad_1g.price_usd});
+      break;
+    }
+    case Strategy::kHarmless: {
+      // Keep the legacy switches; add one server + 10G NIC + trunk
+      // cable per switch. (One ESwitch-class server saturates a 10G
+      // trunk, which oversubscribes 48x1G at 4.8:1 — standard access
+      // oversubscription; E7 quantifies the knee.)
+      if (greenfield)
+        estimate.bom.push_back(
+            {catalog_.legacy_switch.name, legacy_switches, catalog_.legacy_switch.price_usd});
+      estimate.bom.push_back({catalog_.server.name, legacy_switches, catalog_.server.price_usd});
+      estimate.bom.push_back({catalog_.nic_10g.name, legacy_switches, catalog_.nic_10g.price_usd});
+      estimate.bom.push_back(
+          {catalog_.trunk_cable.name, legacy_switches, catalog_.trunk_cable.price_usd});
+      break;
+    }
+  }
+  return estimate;
+}
+
+}  // namespace harmless::core

@@ -1,0 +1,171 @@
+#include "harmless/manager.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace harmless::core {
+
+std::string MigrationReport::to_string() const {
+  std::ostringstream os;
+  os << "HARMLESS migration of '" << device_hostname << "': "
+     << (success ? "SUCCESS" : ("FAILED: " + failure)) << (rolled_back ? " (rolled back)" : "")
+     << '\n';
+  for (const std::string& step : steps) os << "  - " << step << '\n';
+  return os.str();
+}
+
+std::string HarmlessManager::render_target_config(const PortMap& map) const {
+  legacy::SwitchConfig target;
+  target.hostname = device_.config().hostname;
+
+  // Each trunk leg carries exactly the VLANs of the access ports
+  // assigned to it — a misdirected tag dies at trunk ingress.
+  std::vector<std::set<net::VlanId>> per_trunk_vlans(map.trunk_count());
+  for (const MappedPort& mapped : map.ports()) {
+    legacy::PortConfig port;
+    port.mode = legacy::PortMode::kAccess;
+    port.pvid = mapped.vlan;
+    port.description = util::format("HARMLESS access (vlan %u)", mapped.vlan);
+    target.ports[mapped.legacy_port] = std::move(port);
+    per_trunk_vlans[static_cast<std::size_t>(mapped.trunk_index)].insert(mapped.vlan);
+  }
+  for (std::size_t leg = 0; leg < map.trunk_count(); ++leg) {
+    legacy::PortConfig trunk;
+    trunk.mode = legacy::PortMode::kTrunk;
+    trunk.allowed_vlans = std::move(per_trunk_vlans[leg]);
+    trunk.description =
+        util::format("HARMLESS trunk leg %zu/%zu to S4 box", leg + 1, map.trunk_count());
+    target.ports[map.trunk_ports()[leg]] = std::move(trunk);
+  }
+
+  return driver_.render_config(target);
+}
+
+std::pair<MigrationReport, std::optional<Deployment>> HarmlessManager::migrate(
+    const MigrationRequest& request, controller::Controller& controller) {
+  MigrationReport report;
+  auto fail = [&](const std::string& why) {
+    report.failure = why;
+    return std::pair<MigrationReport, std::optional<Deployment>>{std::move(report),
+                                                                 std::nullopt};
+  };
+
+  // 1. Discover the device through the management plane.
+  auto facts = driver_.get_facts();
+  if (!facts) return fail("discovery: " + facts.message());
+  report.device_hostname = facts->hostname;
+  report.steps.push_back(util::format("discovered '%s' (%d interfaces) via %s",
+                                      facts->hostname.c_str(), facts->interface_count,
+                                      driver_.platform().c_str()));
+
+  auto interfaces = driver_.get_interfaces();
+  if (!interfaces) return fail("interface walk: " + interfaces.message());
+
+  // 2. Plan the port map.
+  const std::vector<int> trunks = request.effective_trunks();
+  std::vector<int> access_ports = request.access_ports;
+  if (access_ports.empty()) {
+    for (const mgmt::InterfaceInfo& info : *interfaces)
+      if (std::find(trunks.begin(), trunks.end(), info.number) == trunks.end())
+        access_ports.push_back(info.number);
+  } else {
+    // Every requested port must exist on the box.
+    for (const int number : access_ports) {
+      const bool known = std::any_of(
+          interfaces->begin(), interfaces->end(),
+          [number](const mgmt::InterfaceInfo& info) { return info.number == number; });
+      if (!known) return fail("plan: requested port " + std::to_string(number) +
+                              " does not exist on the device");
+    }
+  }
+  for (const int trunk : trunks) {
+    const bool trunk_known = std::any_of(
+        interfaces->begin(), interfaces->end(),
+        [trunk](const mgmt::InterfaceInfo& info) { return info.number == trunk; });
+    if (!trunk_known)
+      return fail("plan: trunk port " + std::to_string(trunk) +
+                  " does not exist on the device");
+  }
+
+  auto map = PortMap::make_bonded(access_ports, trunks, request.vlan_base);
+  if (!map) return fail("plan: " + map.message());
+  report.port_map = *map;
+  report.steps.push_back("planned " + map->to_string());
+
+  // 3. Render the VLAN layout in the device's dialect.
+  report.rendered_config = render_target_config(*map);
+  report.steps.push_back(util::format("rendered %zu bytes of %s config",
+                                      report.rendered_config.size(),
+                                      driver_.platform().c_str()));
+
+  // 4. Push: stage, diff, commit.
+  auto status = driver_.load_merge_candidate(report.rendered_config);
+  if (!status) return fail("stage: " + status.message());
+  auto diff = driver_.compare_config();
+  if (!diff) return fail("diff: " + diff.message());
+  report.steps.push_back(diff->empty() ? "device already in target state"
+                                       : "candidate differs from running; committing");
+  status = driver_.commit_config();
+  if (!status) return fail("commit: " + status.message());
+  report.steps.push_back("committed VLAN config");
+
+  // 5. Verify the running state matches the plan; roll back otherwise.
+  auto verify = driver_.get_interfaces();
+  bool verified = verify.is_ok();
+  if (verified) {
+    for (const MappedPort& mapped : map->ports()) {
+      const auto it = std::find_if(
+          verify->begin(), verify->end(),
+          [&](const mgmt::InterfaceInfo& info) { return info.number == mapped.legacy_port; });
+      if (it == verify->end() || it->mode != legacy::PortMode::kAccess ||
+          it->pvid != mapped.vlan) {
+        verified = false;
+        break;
+      }
+    }
+  }
+  if (!verified) {
+    report.rolled_back = driver_.rollback().is_ok();
+    return fail("verify: device state does not match plan");
+  }
+  report.steps.push_back("verified per-port VLANs on the device");
+
+  // 6. Instantiate HARMLESS-S4 (SS_1 + SS_2 + patches + trunk wiring);
+  // translator rules are installed by the fabric.
+  Fabric fabric = Fabric::build(network_, device_, *map, request.fabric);
+  report.steps.push_back(util::format("instantiated S4: SS_1 (%zu ports) + SS_2 (%zu ports), %zu translator rules",
+                                      fabric.ss1().of_port_count(),
+                                      fabric.ss2().of_port_count(),
+                                      fabric.translator_rules().flow_mods.size()));
+
+  // 7. Connect SS_2 to the SDN controller.
+  controller::Session& session =
+      controller.connect(fabric.control_channel(), facts->hostname + "/SS_2");
+  report.steps.push_back("connected SS_2 to controller '" + controller.name() + "'");
+
+  report.success = true;
+  return {std::move(report), Deployment(std::move(fabric), session)};
+}
+
+MigrationReport HarmlessManager::decommission(Deployment& deployment) {
+  MigrationReport report;
+  report.device_hostname = device_.config().hostname;
+
+  const util::Status status = driver_.rollback();
+  if (!status) {
+    report.failure = "decommission rollback: " + status.message();
+    return report;
+  }
+  report.rolled_back = true;
+  report.steps.push_back("restored pre-migration configuration via " + driver_.platform());
+
+  deployment.fabric().set_trunk_up(false);
+  report.steps.push_back("severed the trunk; hosts are back on plain legacy switching");
+
+  report.success = true;
+  return report;
+}
+
+}  // namespace harmless::core

@@ -1,0 +1,105 @@
+// harmless/manager.hpp — the HARMLESS Manager.
+//
+// The paper's §2: "Relying on Python and BASH, we developed the
+// HARMLESS Manager that automatically manages and queries the legacy
+// Ethernet switch via SNMP through NAPALM ... According to the desired
+// OpenFlow-enabled port-setting, the manager configures the legacy
+// switch, then instantiates HARMLESS-S4. Finally, it installs the
+// corresponding flow rules into SS_1 and connects SS_2 to the SDN
+// controller."
+//
+// migrate() reproduces that exact sequence, each step auditable in the
+// returned report:
+//   1. discover   — get_facts/get_interfaces through the driver
+//   2. plan       — build + validate the PortMap
+//   3. render     — per-port VLAN config in the device's own dialect
+//   4. push       — load_merge_candidate, compare, commit
+//   5. verify     — re-read interfaces; any mismatch triggers rollback
+//   6. instantiate— Fabric::build (SS_1 + SS_2 + patches + trunk)
+//   7. connect    — hand SS_2's channel to the SDN controller
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "harmless/fabric.hpp"
+#include "mgmt/driver.hpp"
+
+namespace harmless::core {
+
+struct MigrationRequest {
+  /// Legacy access ports to uplift to OpenFlow (1-based). Empty =
+  /// every port the device reports except the trunk(s).
+  std::vector<int> access_ports;
+  /// Legacy port cabled to the HARMLESS-S4 box.
+  int trunk_port = 0;
+  /// Bonded deployment: several legacy ports cabled to the S4 box.
+  /// When non-empty this supersedes `trunk_port`.
+  std::vector<int> trunk_ports;
+  int vlan_base = 100;
+  FabricSpec fabric;
+
+  [[nodiscard]] std::vector<int> effective_trunks() const {
+    return trunk_ports.empty() ? std::vector<int>{trunk_port} : trunk_ports;
+  }
+};
+
+struct MigrationReport {
+  bool success = false;
+  std::string failure;            // empty on success
+  bool rolled_back = false;
+  std::vector<std::string> steps;  // human-readable audit trail
+  std::string device_hostname;
+  std::string rendered_config;     // what was pushed, in dialect text
+  std::optional<PortMap> port_map;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Deployment {
+ public:
+  Deployment(Fabric fabric, controller::Session& session)
+      : fabric_(std::move(fabric)), session_(&session) {}
+
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] controller::Session& session() { return *session_; }
+
+ private:
+  Fabric fabric_;
+  controller::Session* session_;
+};
+
+class HarmlessManager {
+ public:
+  /// `driver` speaks to the legacy device's management plane; `device`
+  /// is the simulated box itself (needed only to build the data-plane
+  /// fabric around it — the config path goes through the driver).
+  HarmlessManager(mgmt::NetworkDriver& driver, legacy::LegacySwitch& device,
+                  sim::Network& network)
+      : driver_(driver), device_(device), network_(network) {}
+
+  /// Run the full migration; on success the returned Deployment holds
+  /// the live fabric and the controller session.
+  std::pair<MigrationReport, std::optional<Deployment>> migrate(
+      const MigrationRequest& request, controller::Controller& controller);
+
+  /// Reverse a migration: restore the pre-migration configuration on
+  /// the legacy switch (driver rollback) and sever the trunk, so hosts
+  /// fall back to plain legacy L2 switching. The S4 software switches
+  /// stay instantiated but isolated (simulated boxes cannot be
+  /// "unracked"; the data plane no longer reaches them).
+  MigrationReport decommission(Deployment& deployment);
+
+ private:
+  /// Render the target VLAN layout in the driver's dialect.
+  [[nodiscard]] std::string render_target_config(const PortMap& map) const;
+
+  mgmt::NetworkDriver& driver_;
+  legacy::LegacySwitch& device_;
+  sim::Network& network_;
+};
+
+}  // namespace harmless::core

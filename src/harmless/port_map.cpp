@@ -1,0 +1,130 @@
+#include "harmless/port_map.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace harmless::core {
+
+util::Result<PortMap> PortMap::make(std::vector<int> access_ports, int trunk_port,
+                                    int vlan_base) {
+  return make_bonded(std::move(access_ports), {trunk_port}, vlan_base);
+}
+
+util::Result<PortMap> PortMap::make_bonded(std::vector<int> access_ports,
+                                           std::vector<int> trunk_ports, int vlan_base) {
+  if (trunk_ports.empty())
+    return util::Result<PortMap>::error("PortMap: at least one trunk port required");
+  std::vector<MappedPort> ports;
+  ports.reserve(access_ports.size());
+  std::uint32_t ss2_port = 1;
+  for (const int legacy_port : access_ports) {
+    MappedPort mapped;
+    mapped.legacy_port = legacy_port;
+    mapped.vlan = static_cast<net::VlanId>(vlan_base + legacy_port);
+    mapped.ss2_port = ss2_port;
+    // Round-robin trunk assignment balances access ports across legs.
+    mapped.trunk_index = static_cast<int>((ss2_port - 1) % trunk_ports.size());
+    ++ss2_port;
+    ports.push_back(mapped);
+  }
+  return validated(PortMap(std::move(ports), std::move(trunk_ports)));
+}
+
+util::Result<PortMap> PortMap::make_explicit(std::vector<MappedPort> ports,
+                                             std::vector<int> trunk_ports) {
+  if (trunk_ports.empty())
+    return util::Result<PortMap>::error("PortMap: at least one trunk port required");
+  return validated(PortMap(std::move(ports), std::move(trunk_ports)));
+}
+
+util::Result<PortMap> PortMap::validated(PortMap map) {
+  auto fail = [](const std::string& why) { return util::Result<PortMap>::error(why); };
+  if (map.ports_.empty()) return fail("PortMap: no access ports to manage");
+
+  std::set<int> trunk_seen;
+  for (const int trunk : map.trunk_ports_) {
+    if (trunk < 1) return fail("PortMap: trunk ports must be 1-based");
+    if (!trunk_seen.insert(trunk).second)
+      return fail("PortMap: duplicate trunk port " + std::to_string(trunk));
+  }
+
+  std::set<int> legacy_seen;
+  std::set<net::VlanId> vlan_seen;
+  std::set<std::uint32_t> ss2_seen;
+  for (const MappedPort& mapped : map.ports_) {
+    if (mapped.legacy_port < 1)
+      return fail("PortMap: legacy port numbers are 1-based, got " +
+                  std::to_string(mapped.legacy_port));
+    if (trunk_seen.contains(mapped.legacy_port))
+      return fail("PortMap: trunk port " + std::to_string(mapped.legacy_port) +
+                  " cannot also be a managed access port");
+    if (!net::vlan_id_valid(mapped.vlan))
+      return fail("PortMap: invalid VLAN id " + std::to_string(mapped.vlan));
+    if (mapped.ss2_port < 1)
+      return fail("PortMap: SS_2 ports are 1-based, got " + std::to_string(mapped.ss2_port));
+    if (mapped.trunk_index < 0 ||
+        static_cast<std::size_t>(mapped.trunk_index) >= map.trunk_ports_.size())
+      return fail("PortMap: trunk index " + std::to_string(mapped.trunk_index) +
+                  " out of range");
+    if (!legacy_seen.insert(mapped.legacy_port).second)
+      return fail("PortMap: duplicate legacy port " + std::to_string(mapped.legacy_port));
+    if (!vlan_seen.insert(mapped.vlan).second)
+      return fail("PortMap: duplicate VLAN id " + std::to_string(mapped.vlan) +
+                  " (tags must identify ports uniquely)");
+    if (!ss2_seen.insert(mapped.ss2_port).second)
+      return fail("PortMap: duplicate SS_2 port " + std::to_string(mapped.ss2_port));
+  }
+  return map;
+}
+
+std::optional<net::VlanId> PortMap::vlan_for_legacy(int legacy_port) const {
+  for (const MappedPort& mapped : ports_)
+    if (mapped.legacy_port == legacy_port) return mapped.vlan;
+  return std::nullopt;
+}
+
+std::optional<int> PortMap::legacy_for_vlan(net::VlanId vlan) const {
+  for (const MappedPort& mapped : ports_)
+    if (mapped.vlan == vlan) return mapped.legacy_port;
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> PortMap::ss2_for_vlan(net::VlanId vlan) const {
+  for (const MappedPort& mapped : ports_)
+    if (mapped.vlan == vlan) return mapped.ss2_port;
+  return std::nullopt;
+}
+
+std::optional<net::VlanId> PortMap::vlan_for_ss2(std::uint32_t ss2_port) const {
+  for (const MappedPort& mapped : ports_)
+    if (mapped.ss2_port == ss2_port) return mapped.vlan;
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> PortMap::ss2_for_legacy(int legacy_port) const {
+  for (const MappedPort& mapped : ports_)
+    if (mapped.legacy_port == legacy_port) return mapped.ss2_port;
+  return std::nullopt;
+}
+
+std::string PortMap::to_string() const {
+  std::ostringstream os;
+  os << "trunks={";
+  for (std::size_t i = 0; i < trunk_ports_.size(); ++i) {
+    if (i) os << ',';
+    os << "port" << trunk_ports_[i];
+  }
+  os << "} [";
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (i) os << ", ";
+    os << "port" << ports_[i].legacy_port << "<->vlan" << ports_[i].vlan << "<->ss2:"
+       << ports_[i].ss2_port;
+    if (trunk_ports_.size() > 1) os << "@t" << ports_[i].trunk_index;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace harmless::core

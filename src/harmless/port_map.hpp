@@ -1,0 +1,95 @@
+// harmless/port_map.hpp — the heart of the Tagging-and-Hairpinning
+// scheme: the bijection
+//
+//     legacy access port  <->  VLAN id  <->  SS_2 OpenFlow port
+//
+// Fig. 1 of the paper: access port 1 <-> VLAN 101 <-> SS_2 port 1,
+// access port 2 <-> VLAN 102 <-> SS_2 port 2, ... The PortMap also
+// fixes where each mapping lives in SS_1's port space: SS_1 port 1 is
+// the trunk; SS_1 port (1 + k) is the patch leg toward SS_2 port k.
+//
+// Everything downstream is *generated* from this object — the legacy
+// VLAN config, SS_1's translator rules, the patch wiring — so a single
+// validated source of truth rules out the classic hybrid-SDN failure
+// mode of drifting port/VLAN tables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/vlan.hpp"
+#include "util/result.hpp"
+
+namespace harmless::core {
+
+struct MappedPort {
+  int legacy_port = 0;          // 1-based access port on the legacy switch
+  net::VlanId vlan = 0;         // unique tag for this port
+  std::uint32_t ss2_port = 0;   // OF port on SS_2 (1-based)
+  /// Which trunk leg carries this port's VLAN (index into
+  /// PortMap::trunk_ports(); always 0 for single-trunk deployments).
+  int trunk_index = 0;
+
+  friend bool operator==(const MappedPort&, const MappedPort&) = default;
+};
+
+class PortMap {
+ public:
+  /// Build the canonical mapping of the paper: access ports as given,
+  /// VLAN id = `vlan_base` + legacy port number (port 1 -> 101 with the
+  /// default base 100), SS_2 ports numbered 1..N in list order.
+  /// `trunk_port` is the legacy port cabled to the SS_1 box.
+  static util::Result<PortMap> make(std::vector<int> access_ports, int trunk_port,
+                                    int vlan_base = 100);
+
+  /// Bonded variant: several legacy ports are cabled to the S4 box
+  /// (one NIC port each); access ports are assigned to trunks round-
+  /// robin, which balances per-port load without per-flow hashing.
+  static util::Result<PortMap> make_bonded(std::vector<int> access_ports,
+                                           std::vector<int> trunk_ports, int vlan_base = 100);
+
+  /// Fully explicit construction (tests exercise odd shapes).
+  static util::Result<PortMap> make_explicit(std::vector<MappedPort> ports,
+                                             std::vector<int> trunk_ports);
+
+  [[nodiscard]] const std::vector<MappedPort>& ports() const { return ports_; }
+  /// First (or only) trunk — kept for the common single-trunk case.
+  [[nodiscard]] int trunk_port() const { return trunk_ports_.front(); }
+  [[nodiscard]] const std::vector<int>& trunk_ports() const { return trunk_ports_; }
+  [[nodiscard]] std::size_t trunk_count() const { return trunk_ports_.size(); }
+  [[nodiscard]] std::size_t size() const { return ports_.size(); }
+
+  // ---- lookups (nullopt when unmapped) ----
+  [[nodiscard]] std::optional<net::VlanId> vlan_for_legacy(int legacy_port) const;
+  [[nodiscard]] std::optional<int> legacy_for_vlan(net::VlanId vlan) const;
+  [[nodiscard]] std::optional<std::uint32_t> ss2_for_vlan(net::VlanId vlan) const;
+  [[nodiscard]] std::optional<net::VlanId> vlan_for_ss2(std::uint32_t ss2_port) const;
+  [[nodiscard]] std::optional<std::uint32_t> ss2_for_legacy(int legacy_port) const;
+
+  /// SS_1's OF port for trunk leg `trunk_index` (legs occupy 1..T).
+  [[nodiscard]] std::uint32_t ss1_trunk_port(int trunk_index = 0) const {
+    return static_cast<std::uint32_t>(trunk_index) + 1;
+  }
+  /// SS_1's OF port patched to the given SS_2 port (after the trunks).
+  [[nodiscard]] std::uint32_t ss1_patch_port(std::uint32_t ss2_port) const {
+    return static_cast<std::uint32_t>(trunk_ports_.size()) + ss2_port;
+  }
+  /// Ports SS_1 needs in total (trunk legs + one patch per mapping).
+  [[nodiscard]] std::size_t ss1_port_count() const {
+    return trunk_ports_.size() + ports_.size();
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  PortMap(std::vector<MappedPort> ports, std::vector<int> trunk_ports)
+      : ports_(std::move(ports)), trunk_ports_(std::move(trunk_ports)) {}
+  [[nodiscard]] static util::Result<PortMap> validated(PortMap map);
+
+  std::vector<MappedPort> ports_;
+  std::vector<int> trunk_ports_;
+};
+
+}  // namespace harmless::core

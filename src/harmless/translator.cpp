@@ -1,0 +1,58 @@
+#include "harmless/translator.hpp"
+
+#include <sstream>
+
+namespace harmless::core {
+
+using namespace openflow;
+
+TranslatorRules make_translator_rules(const PortMap& map) {
+  TranslatorRules rules;
+  rules.flow_mods.reserve(2 * map.size() + 1);
+
+  for (const MappedPort& mapped : map.ports()) {
+    const std::uint32_t patch = map.ss1_patch_port(mapped.ss2_port);
+    const std::uint32_t trunk = map.ss1_trunk_port(mapped.trunk_index);
+
+    // Trunk ingress: tagged frame identifies its legacy access port;
+    // strip the tag and hand the bare frame to SS_2's matching port.
+    FlowModMsg to_patch;
+    to_patch.table_id = 0;
+    to_patch.priority = 100;
+    to_patch.match.in_port(trunk).vlan_vid(mapped.vlan);
+    to_patch.instructions = apply({pop_vlan(), output(patch)});
+    to_patch.cookie = mapped.vlan;
+    rules.flow_mods.push_back(std::move(to_patch));
+
+    // Patch ingress: SS_2 chose this output port; re-tag with the
+    // port's VLAN and hairpin back down this port's trunk leg.
+    FlowModMsg to_trunk;
+    to_trunk.table_id = 0;
+    to_trunk.priority = 100;
+    to_trunk.match.in_port(patch);
+    to_trunk.instructions = apply({push_vlan(), set_vlan_vid(mapped.vlan), output(trunk)});
+    to_trunk.cookie = mapped.vlan;
+    rules.flow_mods.push_back(std::move(to_trunk));
+  }
+
+  // Explicit miss: unmapped VLANs (or untagged trunk noise) must drop,
+  // never flood — data-plane transparency hinges on it.
+  FlowModMsg miss;
+  miss.table_id = 0;
+  miss.priority = 0;
+  miss.instructions = Instructions{};
+  rules.flow_mods.push_back(std::move(miss));
+  return rules;
+}
+
+std::string TranslatorRules::to_string() const {
+  std::ostringstream os;
+  os << "Flow table of SS_1:\n";
+  for (const FlowModMsg& mod : flow_mods) {
+    os << "  prio=" << mod.priority << "  match[" << mod.match.to_string() << "]  actions["
+       << mod.instructions.to_string() << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace harmless::core

@@ -1,0 +1,45 @@
+// harmless/translator.hpp — the OpenFlow Translator Component (SS_1).
+//
+// §2 of the paper: "To avoid having to tailor controller programs to
+// the way HARMLESS maps output ports to VLAN ids and vice versa, we
+// introduce an additional OpenFlow Translator Component as an
+// adaptation layer, implemented by another software switch instance
+// (SS_1) ... to dispatch packets to and from the patch ports based on
+// the used VLAN ids."
+//
+// This module generates SS_1's complete flow table from a PortMap —
+// exactly the "Flow table of SS_1" shown in Fig. 1:
+//
+//   trunk-to-patch (per mapping k):
+//     match: in_port=1, vlan_vid=vlan_k   actions: pop_vlan, output:patch_k
+//   patch-to-trunk (per mapping k):
+//     match: in_port=patch_k              actions: push_vlan,
+//                                                  set_vlan_vid:vlan_k,
+//                                                  output:1
+//   miss: drop (a frame with an unmapped VLAN must never leak).
+#pragma once
+
+#include <vector>
+
+#include "harmless/port_map.hpp"
+#include "openflow/messages.hpp"
+
+namespace harmless::core {
+
+struct TranslatorRules {
+  std::vector<openflow::FlowModMsg> flow_mods;
+
+  /// 2 rules per mapped port (+1 explicit miss entry).
+  [[nodiscard]] std::size_t expected_count(const PortMap& map) const {
+    return 2 * map.size() + 1;
+  }
+
+  /// Render the table the way Fig. 1 prints it.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Generate SS_1's rules for `map`. Priorities: 100 for mapped traffic,
+/// 0 for the explicit drop-miss entry.
+[[nodiscard]] TranslatorRules make_translator_rules(const PortMap& map);
+
+}  // namespace harmless::core

@@ -1,0 +1,75 @@
+#include "legacy/config.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace harmless::legacy {
+
+util::Status SwitchConfig::validate() const {
+  for (const auto& [number, port] : ports) {
+    if (number < 1)
+      return util::Status::error(hostname + ": port numbers are 1-based, got " +
+                                 std::to_string(number));
+    if (port.mode == PortMode::kAccess) {
+      if (!net::vlan_id_valid(port.pvid))
+        return util::Status::error(util::format("%s: port %d: invalid PVID %u",
+                                                hostname.c_str(), number, port.pvid));
+    } else {
+      if (port.allowed_vlans.empty() && !port.native_vlan)
+        return util::Status::error(util::format(
+            "%s: port %d: trunk carries no VLANs", hostname.c_str(), number));
+      for (const net::VlanId vid : port.allowed_vlans)
+        if (!net::vlan_id_valid(vid))
+          return util::Status::error(util::format("%s: port %d: invalid allowed VLAN %u",
+                                                  hostname.c_str(), number, vid));
+      if (port.native_vlan && !net::vlan_id_valid(*port.native_vlan))
+        return util::Status::error(util::format("%s: port %d: invalid native VLAN %u",
+                                                hostname.c_str(), number, *port.native_vlan));
+    }
+  }
+  return util::Status::ok();
+}
+
+std::set<int> SwitchConfig::ports_in_vlan(net::VlanId vid) const {
+  std::set<int> result;
+  for (const auto& [number, port] : ports)
+    if (port.carries(vid)) result.insert(number);
+  return result;
+}
+
+std::set<net::VlanId> SwitchConfig::all_vlans() const {
+  std::set<net::VlanId> result;
+  for (const auto& [number, port] : ports) {
+    (void)number;
+    if (port.mode == PortMode::kAccess) {
+      result.insert(port.pvid);
+    } else {
+      result.insert(port.allowed_vlans.begin(), port.allowed_vlans.end());
+      if (port.native_vlan) result.insert(*port.native_vlan);
+    }
+  }
+  return result;
+}
+
+std::string SwitchConfig::to_text() const {
+  std::ostringstream os;
+  os << "hostname " << hostname << '\n';
+  for (const auto& [number, port] : ports) {
+    os << "interface " << number << '\n';
+    if (!port.description.empty()) os << "  description " << port.description << '\n';
+    if (port.mode == PortMode::kAccess) {
+      os << "  switchport mode access\n  switchport access vlan " << port.pvid << '\n';
+    } else {
+      os << "  switchport mode trunk\n  switchport trunk allowed vlan ";
+      std::vector<std::string> vids;
+      for (const net::VlanId vid : port.allowed_vlans) vids.push_back(std::to_string(vid));
+      os << util::join(vids, ",") << '\n';
+      if (port.native_vlan) os << "  switchport trunk native vlan " << *port.native_vlan << '\n';
+    }
+    if (!port.enabled) os << "  shutdown\n";
+  }
+  return os.str();
+}
+
+}  // namespace harmless::legacy

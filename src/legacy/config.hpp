@@ -1,0 +1,68 @@
+// legacy/config.hpp — the legacy switch's "running configuration".
+//
+// This mirrors what a real access switch stores in NVRAM: per-port
+// mode (access/trunk), PVID, trunk allowed-VLAN list, plus global MAC
+// aging. The HARMLESS Manager never touches the switch object directly;
+// it renders one of these into a vendor dialect (mgmt/dialects) and
+// pushes it through the emulated management plane, exactly as the paper
+// does with SNMP/NAPALM.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "net/vlan.hpp"
+#include "sim/time.hpp"
+#include "util/status.hpp"
+
+namespace harmless::legacy {
+
+enum class PortMode {
+  kAccess,  // untagged toward the host; frames classified into the PVID
+  kTrunk,   // 802.1Q tagged; carries the allowed VLAN set
+};
+
+struct PortConfig {
+  PortMode mode = PortMode::kAccess;
+  /// Access: the VLAN untagged ingress frames join (and the only VLAN
+  /// this port egresses, untagged).
+  net::VlanId pvid = 1;
+  /// Trunk: VLANs carried (tagged). Ignored for access ports.
+  std::set<net::VlanId> allowed_vlans;
+  /// Trunk: VLAN sent/received untagged on the trunk, if any.
+  std::optional<net::VlanId> native_vlan;
+  bool enabled = true;
+  std::string description;
+
+  [[nodiscard]] bool carries(net::VlanId vid) const {
+    if (!enabled) return false;
+    if (mode == PortMode::kAccess) return pvid == vid;
+    return allowed_vlans.contains(vid) || (native_vlan && *native_vlan == vid);
+  }
+};
+
+struct SwitchConfig {
+  std::string hostname = "legacy-sw";
+  /// Port number (1-based, like real gear) -> config.
+  std::map<int, PortConfig> ports;
+  sim::SimNanos mac_aging = 300u * 1000u * 1000u * 1000u;  // 300 s, the 802.1D default
+
+  /// Structural validation: VLAN ids in range, trunks with non-empty
+  /// allowed sets, no disabled port carrying config mistakes.
+  [[nodiscard]] util::Status validate() const;
+
+  /// Ports that carry `vid` (for flood domains and the MIB).
+  [[nodiscard]] std::set<int> ports_in_vlan(net::VlanId vid) const;
+
+  /// All VLAN ids referenced anywhere in the config.
+  [[nodiscard]] std::set<net::VlanId> all_vlans() const;
+
+  /// Canonical textual rendering (vendor-neutral), used by tests and
+  /// config diffing in the management layer.
+  [[nodiscard]] std::string to_text() const;
+};
+
+}  // namespace harmless::legacy

@@ -1,0 +1,118 @@
+#include "legacy/legacy_switch.hpp"
+
+#include <algorithm>
+
+namespace harmless::legacy {
+
+LegacySwitch::LegacySwitch(sim::Engine& engine, std::string name, SwitchConfig config)
+    : ServicedNode(engine, std::move(name)), mac_table_(config.mac_aging) {
+  apply_config(std::move(config));
+}
+
+void LegacySwitch::apply_config(SwitchConfig config) {
+  config.validate().check();
+  // Conservative and correct: any config change invalidates learned
+  // state (real switches flush per-VLAN; the distinction is invisible
+  // to our tests and the Manager reconfigures rarely).
+  mac_table_.clear();
+  mac_table_.set_aging(config.mac_aging);
+  config_ = std::move(config);
+  int max_port = 0;
+  for (const auto& [number, port] : config_.ports) max_port = std::max(max_port, number);
+  ensure_ports(static_cast<std::size_t>(max_port));
+}
+
+std::optional<LegacySwitch::Classified> LegacySwitch::classify(
+    int port_number, const net::ParsedPacket& parsed) const {
+  const auto it = config_.ports.find(port_number);
+  if (it == config_.ports.end() || !it->second.enabled) return std::nullopt;
+  const PortConfig& port = it->second;
+
+  if (port.mode == PortMode::kAccess) {
+    // 802.1Q access ports drop tagged frames (no VLAN leaking).
+    if (parsed.has_vlan()) return std::nullopt;
+    return Classified{port.pvid, false};
+  }
+
+  // Trunk.
+  if (parsed.has_vlan()) {
+    const net::VlanId vid = parsed.vlan_vid();
+    if (!port.allowed_vlans.contains(vid)) return std::nullopt;
+    return Classified{vid, true};
+  }
+  if (port.native_vlan) return Classified{*port.native_vlan, false};
+  return std::nullopt;
+}
+
+void LegacySwitch::egress(int port_number, net::VlanId vlan, net::Packet packet) {
+  const PortConfig& port = config_.ports.at(port_number);
+  const bool tagged = net::vlan_peek(packet.frame()).has_value();
+
+  if (port.mode == PortMode::kAccess) {
+    // Access egress is always untagged.
+    if (tagged) net::vlan_pop(packet.frame());
+  } else {
+    const bool send_untagged = port.native_vlan && *port.native_vlan == vlan;
+    if (send_untagged) {
+      if (tagged) net::vlan_pop(packet.frame());
+    } else if (!tagged) {
+      net::vlan_push(packet.frame(), net::VlanTag{vlan, 0, false});
+    } else {
+      net::vlan_set_vid(packet.frame(), vlan);
+    }
+  }
+  packet.charge(costs_.rewrite_ns);
+  emit(static_cast<std::size_t>(port_number - 1), std::move(packet));
+}
+
+sim::SimNanos LegacySwitch::service(int in_port, net::Packet&& packet) {
+  const int port_number = in_port + 1;
+  const net::ParsedPacket parsed = net::parse_packet(packet);
+  sim::SimNanos cost = costs_.classify_ns;
+
+  packet.add_hop();
+
+  const auto classified = classify(port_number, parsed);
+  if (!classified || !parsed.l2_valid) {
+    ++counters_.ingress_filtered;
+    packet.charge(cost);
+    return cost;
+  }
+  const net::VlanId vlan = classified->vlan;
+
+  // Learning (unicast sources only).
+  cost += costs_.lookup_ns;
+  if (!parsed.eth_src.is_multicast() && !parsed.eth_src.is_zero())
+    mac_table_.learn(vlan, parsed.eth_src, port_number, engine_.now());
+
+  // Known unicast?
+  std::optional<int> out;
+  if (!parsed.eth_dst.is_multicast())
+    out = mac_table_.lookup(vlan, parsed.eth_dst, engine_.now());
+
+  packet.charge(cost);
+
+  if (out && *out != port_number) {
+    ++counters_.forwarded;
+    egress(*out, vlan, std::move(packet));
+    return cost + costs_.rewrite_ns;
+  }
+  if (out && *out == port_number) {
+    // Destination is on the ingress segment; filter (802.1D).
+    return cost;
+  }
+
+  // Flood within the VLAN.
+  ++counters_.flooded;
+  std::size_t copies = 0;
+  for (const int member : config_.ports_in_vlan(vlan)) {
+    if (member == port_number) continue;
+    ++copies;
+    egress(member, vlan, packet);  // copy per member
+  }
+  counters_.flood_copies += copies;
+  if (copies == 0) ++counters_.no_member_egress;
+  return cost + static_cast<sim::SimNanos>(copies) * costs_.rewrite_ns;
+}
+
+}  // namespace harmless::legacy

@@ -1,0 +1,34 @@
+#include "legacy/mac_table.hpp"
+
+namespace harmless::legacy {
+
+void MacTable::learn(net::VlanId vlan, net::MacAddr mac, int port, sim::SimNanos now) {
+  const Key key{vlan, mac};
+  const auto it = table_.find(key);
+  if (it != table_.end()) {
+    if (it->second.port != port) ++moves_;
+    it->second = Entry{port, now};
+    return;
+  }
+  if (table_.size() >= capacity_) return;  // table full: keep flooding
+  table_.emplace(key, Entry{port, now});
+}
+
+std::optional<int> MacTable::lookup(net::VlanId vlan, net::MacAddr mac,
+                                    sim::SimNanos now) const {
+  const auto it = table_.find(Key{vlan, mac});
+  if (it == table_.end()) return std::nullopt;
+  if (aging_ > 0 && now - it->second.learned_at > aging_) return std::nullopt;  // aged out
+  return it->second.port;
+}
+
+void MacTable::flush_port(int port) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second.port == port)
+      it = table_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace harmless::legacy

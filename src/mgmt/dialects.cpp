@@ -1,0 +1,177 @@
+#include "mgmt/dialects.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace harmless::mgmt {
+
+namespace {
+
+using legacy::PortConfig;
+using legacy::PortMode;
+using legacy::SwitchConfig;
+
+/// Shared line-oriented renderer/parser; dialects differ in interface
+/// naming, indentation and section separators.
+class TextDialect : public Dialect {
+ public:
+  TextDialect(std::string name, std::string if_prefix, std::string indent, bool bang_separators)
+      : name_(std::move(name)),
+        if_prefix_(std::move(if_prefix)),
+        indent_(std::move(indent)),
+        bang_separators_(bang_separators) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::string interface_name(int port_number) const override {
+    return if_prefix_ + std::to_string(port_number);
+  }
+
+  [[nodiscard]] std::optional<int> parse_interface_name(std::string_view text) const override {
+    if (!util::starts_with(text, if_prefix_)) return std::nullopt;
+    std::uint64_t number = 0;
+    if (!util::parse_u64(text.substr(if_prefix_.size()), number) || number == 0 ||
+        number > 4096)
+      return std::nullopt;
+    return static_cast<int>(number);
+  }
+
+  [[nodiscard]] std::string render(const SwitchConfig& config) const override {
+    std::ostringstream os;
+    os << "hostname " << config.hostname << '\n';
+    for (const auto& [number, port] : config.ports) {
+      if (bang_separators_) os << "!\n";
+      os << "interface " << interface_name(number) << '\n';
+      if (!port.description.empty()) os << indent_ << "description " << port.description << '\n';
+      if (port.mode == PortMode::kAccess) {
+        os << indent_ << "switchport mode access\n";
+        os << indent_ << "switchport access vlan " << port.pvid << '\n';
+      } else {
+        os << indent_ << "switchport mode trunk\n";
+        if (!port.allowed_vlans.empty()) {
+          std::vector<std::string> vids;
+          for (const net::VlanId vid : port.allowed_vlans) vids.push_back(std::to_string(vid));
+          os << indent_ << "switchport trunk allowed vlan " << util::join(vids, ",") << '\n';
+        }
+        if (port.native_vlan)
+          os << indent_ << "switchport trunk native vlan " << *port.native_vlan << '\n';
+      }
+      if (!port.enabled) os << indent_ << "shutdown\n";
+    }
+    if (bang_separators_) os << "!\n";
+    return os.str();
+  }
+
+  [[nodiscard]] util::Result<SwitchConfig> parse(const std::string& text) const override {
+    SwitchConfig config;
+    config.ports.clear();
+    PortConfig* current = nullptr;
+    int line_number = 0;
+
+    for (const auto& raw_line : util::split(text, '\n')) {
+      ++line_number;
+      const std::string_view line = util::trim(raw_line);
+      if (line.empty() || line == "!" || line == "end") continue;
+      const auto words = util::split_ws(line);
+
+      auto fail = [&](const std::string& why) {
+        return util::Result<SwitchConfig>::error(
+            util::format("%s: line %d: %s: '%.*s'", name_.c_str(), line_number, why.c_str(),
+                         static_cast<int>(line.size()), line.data()));
+      };
+
+      if (words[0] == "hostname") {
+        if (words.size() != 2) return fail("hostname takes one argument");
+        config.hostname = words[1];
+        continue;
+      }
+      if (words[0] == "interface") {
+        if (words.size() != 2) return fail("interface takes one argument");
+        const auto number = parse_interface_name(words[1]);
+        if (!number) return fail("unknown interface name");
+        current = &config.ports[*number];
+        continue;
+      }
+      if (current == nullptr) return fail("statement outside interface section");
+
+      if (words[0] == "description") {
+        if (words.size() < 2) return fail("description needs an argument");
+        current->description =
+            std::string(util::trim(line.substr(std::string_view("description").size())));
+        continue;
+      }
+      if (words[0] == "shutdown") {
+        current->enabled = false;
+        continue;
+      }
+      if (words[0] == "switchport") {
+        if (words.size() >= 3 && words[1] == "mode") {
+          if (words[2] == "access")
+            current->mode = PortMode::kAccess;
+          else if (words[2] == "trunk")
+            current->mode = PortMode::kTrunk;
+          else
+            return fail("unknown switchport mode");
+          continue;
+        }
+        if (words.size() == 4 && words[1] == "access" && words[2] == "vlan") {
+          std::uint64_t vid = 0;
+          if (!util::parse_u64(words[3], vid) ||
+              !net::vlan_id_valid(static_cast<net::VlanId>(vid)))
+            return fail("bad access vlan");
+          current->pvid = static_cast<net::VlanId>(vid);
+          continue;
+        }
+        if (words.size() == 5 && words[1] == "trunk" && words[2] == "allowed" &&
+            words[3] == "vlan") {
+          current->allowed_vlans.clear();
+          for (const auto& part : util::split(words[4], ',')) {
+            std::uint64_t vid = 0;
+            if (!util::parse_u64(part, vid) ||
+                !net::vlan_id_valid(static_cast<net::VlanId>(vid)))
+              return fail("bad trunk vlan list");
+            current->allowed_vlans.insert(static_cast<net::VlanId>(vid));
+          }
+          continue;
+        }
+        if (words.size() == 5 && words[1] == "trunk" && words[2] == "native" &&
+            words[3] == "vlan") {
+          std::uint64_t vid = 0;
+          if (!util::parse_u64(words[4], vid) ||
+              !net::vlan_id_valid(static_cast<net::VlanId>(vid)))
+            return fail("bad native vlan");
+          current->native_vlan = static_cast<net::VlanId>(vid);
+          continue;
+        }
+        return fail("unknown switchport statement");
+      }
+      return fail("unknown statement");
+    }
+    return config;
+  }
+
+ private:
+  std::string name_;
+  std::string if_prefix_;
+  std::string indent_;
+  bool bang_separators_;
+};
+
+}  // namespace
+
+std::unique_ptr<Dialect> make_ios_like_dialect() {
+  return std::make_unique<TextDialect>("ios_like", "GigabitEthernet0/", " ", true);
+}
+
+std::unique_ptr<Dialect> make_eos_like_dialect() {
+  return std::make_unique<TextDialect>("eos_like", "Ethernet", "   ", false);
+}
+
+std::unique_ptr<Dialect> make_dialect(std::string_view platform) {
+  if (platform == "ios_like") return make_ios_like_dialect();
+  if (platform == "eos_like") return make_eos_like_dialect();
+  return nullptr;
+}
+
+}  // namespace harmless::mgmt

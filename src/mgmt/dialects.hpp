@@ -1,0 +1,54 @@
+// mgmt/dialects.hpp — vendor configuration dialects.
+//
+// NAPALM's value proposition is "one API, many NOS dialects"; the
+// HARMLESS Manager leans on it so a deployment never depends on the
+// brand of the legacy switch. We reproduce that seam: a Dialect renders
+// a SwitchConfig to vendor CLI text and parses it back. Two dialects
+// with genuinely different syntax (interface naming, indentation,
+// banner lines) keep the abstraction honest.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "legacy/config.hpp"
+#include "util/result.hpp"
+
+namespace harmless::mgmt {
+
+class Dialect {
+ public:
+  virtual ~Dialect() = default;
+
+  /// NAPALM-style platform string ("ios_like", "eos_like").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Interface name for a 1-based port number.
+  [[nodiscard]] virtual std::string interface_name(int port_number) const = 0;
+
+  /// Inverse of interface_name; nullopt if the name is foreign.
+  [[nodiscard]] virtual std::optional<int> parse_interface_name(
+      std::string_view name) const = 0;
+
+  /// Render a full running config in this dialect.
+  [[nodiscard]] virtual std::string render(const legacy::SwitchConfig& config) const = 0;
+
+  /// Parse dialect text back into a config. Unknown lines are an error
+  /// (config push must be exact); missing sections simply stay absent.
+  [[nodiscard]] virtual util::Result<legacy::SwitchConfig> parse(
+      const std::string& text) const = 0;
+};
+
+/// Cisco-IOS-flavoured: "interface GigabitEthernet0/3", one-space
+/// indent, '!' separators.
+std::unique_ptr<Dialect> make_ios_like_dialect();
+
+/// Arista-EOS-flavoured: "interface Ethernet3", three-space indent.
+std::unique_ptr<Dialect> make_eos_like_dialect();
+
+/// Factory by platform name; nullptr for unknown platforms.
+std::unique_ptr<Dialect> make_dialect(std::string_view platform);
+
+}  // namespace harmless::mgmt

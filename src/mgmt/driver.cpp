@@ -1,0 +1,148 @@
+#include "mgmt/driver.hpp"
+
+#include "util/strings.hpp"
+
+namespace harmless::mgmt {
+
+namespace {
+
+util::Result<std::int64_t> get_int(SnmpAgent& agent, const Oid& oid) {
+  auto value = agent.get(oid);
+  if (!value) return util::Result<std::int64_t>::error(value.message());
+  if (const auto* i = std::get_if<std::int64_t>(&value.value())) return *i;
+  return util::Result<std::int64_t>::error(oid.to_string() + ": not an integer");
+}
+
+util::Result<std::string> get_string(SnmpAgent& agent, const Oid& oid) {
+  auto value = agent.get(oid);
+  if (!value) return util::Result<std::string>::error(value.message());
+  return snmp_value_to_string(value.value());
+}
+
+}  // namespace
+
+SnmpDriver::SnmpDriver(SnmpAgent& agent, std::unique_ptr<Dialect> dialect)
+    : agent_(agent), dialect_(std::move(dialect)) {
+  if (!dialect_) throw util::ConfigError("SnmpDriver requires a dialect");
+}
+
+util::Result<DeviceFacts> SnmpDriver::get_facts() {
+  DeviceFacts facts;
+  auto name = get_string(agent_, oids::kSysName);
+  if (!name) return util::Result<DeviceFacts>::error(name.message());
+  facts.hostname = *name;
+  auto descr = get_string(agent_, oids::kSysDescr);
+  if (!descr) return util::Result<DeviceFacts>::error(descr.message());
+  facts.description = *descr;
+  auto count = get_int(agent_, oids::kIfNumber);
+  if (!count) return util::Result<DeviceFacts>::error(count.message());
+  facts.interface_count = static_cast<int>(*count);
+  return facts;
+}
+
+util::Result<std::vector<InterfaceInfo>> SnmpDriver::read_ports() {
+  std::vector<InterfaceInfo> out;
+  // ifIndex column enumerates the ports.
+  for (const auto& bind : agent_.walk(oids::kIfTable.child(1))) {
+    const auto* index = std::get_if<std::int64_t>(&bind.value);
+    if (!index) continue;
+    InterfaceInfo info;
+    info.number = static_cast<int>(*index);
+    const auto p = static_cast<std::uint32_t>(info.number);
+
+    auto descr = get_string(agent_, oids::kIfTable.child({2, p}));
+    if (descr) info.description = *descr;
+
+    auto mode = get_int(agent_, oids::kEnterprise.child({1, 1, p}));
+    if (!mode) return util::Result<std::vector<InterfaceInfo>>::error(mode.message());
+    info.mode = (*mode == 1) ? legacy::PortMode::kAccess : legacy::PortMode::kTrunk;
+
+    auto pvid = get_int(agent_, oids::kEnterprise.child({1, 2, p}));
+    if (!pvid) return util::Result<std::vector<InterfaceInfo>>::error(pvid.message());
+    info.pvid = static_cast<net::VlanId>(*pvid);
+
+    auto vlans = get_string(agent_, oids::kEnterprise.child({1, 3, p}));
+    if (vlans && !vlans->empty()) {
+      for (const auto& part : util::split(*vlans, ',')) {
+        std::uint64_t vid = 0;
+        if (util::parse_u64(part, vid))
+          info.trunk_vlans.insert(static_cast<net::VlanId>(vid));
+      }
+    }
+
+    auto enabled = get_int(agent_, oids::kEnterprise.child({1, 4, p}));
+    if (!enabled) return util::Result<std::vector<InterfaceInfo>>::error(enabled.message());
+    info.enabled = (*enabled == 1);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+util::Result<std::vector<InterfaceInfo>> SnmpDriver::get_interfaces() { return read_ports(); }
+
+util::Status SnmpDriver::stage_port(int number, const legacy::PortConfig& port) {
+  const auto p = static_cast<std::uint32_t>(number);
+  auto check = [](const util::Result<SnmpValue>& result) {
+    return result ? util::Status::ok() : util::Status::error(result.message());
+  };
+
+  auto status = check(agent_.set(oids::kEnterprise.child({1, 1, p}),
+                                 std::int64_t{port.mode == legacy::PortMode::kAccess ? 1 : 2}));
+  if (!status) return status;
+  status = check(agent_.set(oids::kEnterprise.child({1, 2, p}), std::int64_t{port.pvid}));
+  if (!status) return status;
+
+  std::vector<std::string> vids;
+  for (const net::VlanId vid : port.allowed_vlans) vids.push_back(std::to_string(vid));
+  status = check(agent_.set(oids::kEnterprise.child({1, 3, p}), util::join(vids, ",")));
+  if (!status) return status;
+
+  return check(
+      agent_.set(oids::kEnterprise.child({1, 4, p}), std::int64_t{port.enabled ? 1 : 0}));
+}
+
+util::Status SnmpDriver::load_merge_candidate(const std::string& config_text) {
+  auto parsed = dialect_->parse(config_text);
+  if (!parsed) return util::Status::error(parsed.message());
+  for (const auto& [number, port] : parsed->ports) {
+    auto status = stage_port(number, port);
+    if (!status) return status;
+  }
+  return util::Status::ok();
+}
+
+util::Result<std::string> SnmpDriver::compare_config() {
+  return get_string(agent_, oids::kEnterprise.child({3, 0}));
+}
+
+util::Status SnmpDriver::commit_config() {
+  // Snapshot the running config first so rollback() can restore it.
+  auto snapshot = read_ports();
+  if (!snapshot) return snapshot.status();
+
+  auto result = agent_.set(oids::kEnterprise.child({2, 0}), std::int64_t{1});
+  if (!result) return util::Status::error(result.message());
+
+  pre_commit_snapshot_ = std::move(snapshot.value());
+  has_snapshot_ = true;
+  return util::Status::ok();
+}
+
+util::Status SnmpDriver::rollback() {
+  if (!has_snapshot_) return util::Status::error("rollback: no committed snapshot");
+  for (const auto& info : pre_commit_snapshot_) {
+    legacy::PortConfig port;
+    port.mode = info.mode;
+    port.pvid = info.pvid;
+    port.allowed_vlans = info.trunk_vlans;
+    port.enabled = info.enabled;
+    port.description = info.description;
+    auto status = stage_port(info.number, port);
+    if (!status) return status;
+  }
+  auto result = agent_.set(oids::kEnterprise.child({2, 0}), std::int64_t{1});
+  if (!result) return util::Status::error(result.message());
+  return util::Status::ok();
+}
+
+}  // namespace harmless::mgmt

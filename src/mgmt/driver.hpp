@@ -1,0 +1,96 @@
+// mgmt/driver.hpp — the NAPALM-style device driver.
+//
+// The paper's Manager "automatically manages and queries the legacy
+// Ethernet switch via SNMP through NAPALM". NetworkDriver is that
+// abstraction: candidate-config workflow (load / compare / commit /
+// rollback) plus read-only fact gathering. SnmpDriver is the concrete
+// implementation that speaks to a SwitchMib through an SnmpAgent and
+// renders/parses configs in a vendor Dialect — so the orchestration
+// code in harmless/manager.cpp exercises the same seams the Python
+// original does.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mgmt/dialects.hpp"
+#include "mgmt/mib.hpp"
+#include "mgmt/snmp.hpp"
+#include "util/result.hpp"
+#include "util/status.hpp"
+
+namespace harmless::mgmt {
+
+struct DeviceFacts {
+  std::string hostname;
+  std::string description;
+  int interface_count = 0;
+};
+
+struct InterfaceInfo {
+  int number = 0;
+  std::string description;
+  bool enabled = true;
+  legacy::PortMode mode = legacy::PortMode::kAccess;
+  net::VlanId pvid = 1;
+  std::set<net::VlanId> trunk_vlans;
+};
+
+class NetworkDriver {
+ public:
+  virtual ~NetworkDriver() = default;
+
+  [[nodiscard]] virtual std::string platform() const = 0;
+  [[nodiscard]] virtual util::Result<DeviceFacts> get_facts() = 0;
+  [[nodiscard]] virtual util::Result<std::vector<InterfaceInfo>> get_interfaces() = 0;
+
+  /// Render a target config in this device's own CLI language (what an
+  /// operator would paste; also what load_merge_candidate consumes).
+  [[nodiscard]] virtual std::string render_config(const legacy::SwitchConfig& config) const = 0;
+
+  /// Stage a (partial) config given as dialect text; merged into the
+  /// device's candidate. Nothing changes on the box yet.
+  [[nodiscard]] virtual util::Status load_merge_candidate(const std::string& config_text) = 0;
+
+  /// Candidate-vs-running diff; empty string when in sync.
+  [[nodiscard]] virtual util::Result<std::string> compare_config() = 0;
+
+  /// Apply the candidate. Takes a pre-commit snapshot for rollback().
+  [[nodiscard]] virtual util::Status commit_config() = 0;
+
+  /// Restore the configuration captured by the last successful commit.
+  [[nodiscard]] virtual util::Status rollback() = 0;
+};
+
+/// SNMP-backed implementation (see file comment).
+class SnmpDriver : public NetworkDriver {
+ public:
+  SnmpDriver(SnmpAgent& agent, std::unique_ptr<Dialect> dialect);
+
+  [[nodiscard]] std::string platform() const override { return dialect_->name(); }
+  [[nodiscard]] std::string render_config(const legacy::SwitchConfig& config) const override {
+    return dialect_->render(config);
+  }
+  [[nodiscard]] util::Result<DeviceFacts> get_facts() override;
+  [[nodiscard]] util::Result<std::vector<InterfaceInfo>> get_interfaces() override;
+  [[nodiscard]] util::Status load_merge_candidate(const std::string& config_text) override;
+  [[nodiscard]] util::Result<std::string> compare_config() override;
+  [[nodiscard]] util::Status commit_config() override;
+  [[nodiscard]] util::Status rollback() override;
+
+  [[nodiscard]] const Dialect& dialect() const { return *dialect_; }
+
+ private:
+  /// Push one port's candidate fields through SNMP SETs.
+  util::Status stage_port(int number, const legacy::PortConfig& port);
+  /// Read the device's current per-port config through SNMP.
+  util::Result<std::vector<InterfaceInfo>> read_ports();
+
+  SnmpAgent& agent_;
+  std::unique_ptr<Dialect> dialect_;
+  std::vector<InterfaceInfo> pre_commit_snapshot_;
+  bool has_snapshot_ = false;
+};
+
+}  // namespace harmless::mgmt

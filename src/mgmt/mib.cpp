@@ -1,0 +1,145 @@
+#include "mgmt/mib.hpp"
+
+#include "util/diff.hpp"
+#include "util/strings.hpp"
+
+namespace harmless::mgmt {
+
+namespace {
+
+/// Parse "101,102,107" into a VLAN set; empty string -> empty set.
+util::Result<std::set<net::VlanId>> parse_vlan_list(const std::string& text) {
+  std::set<net::VlanId> out;
+  if (util::trim(text).empty()) return out;
+  for (const auto& part : util::split(text, ',')) {
+    std::uint64_t vid = 0;
+    if (!util::parse_u64(std::string(util::trim(part)), vid) ||
+        !net::vlan_id_valid(static_cast<net::VlanId>(vid)))
+      return util::Result<std::set<net::VlanId>>::error("bad VLAN id '" + part + "'");
+    out.insert(static_cast<net::VlanId>(vid));
+  }
+  return out;
+}
+
+std::string render_vlan_list(const std::set<net::VlanId>& vlans) {
+  std::vector<std::string> parts;
+  for (const net::VlanId vid : vlans) parts.push_back(std::to_string(vid));
+  return util::join(parts, ",");
+}
+
+}  // namespace
+
+SwitchMib::SwitchMib(SnmpAgent& agent, legacy::LegacySwitch& device)
+    : agent_(agent), device_(device), candidate_(device.config()) {
+  register_all();
+}
+
+SwitchMib::~SwitchMib() {
+  agent_.unregister_subtree(Oid{1, 3, 6, 1});
+}
+
+void SwitchMib::register_all() {
+  agent_.register_var(oids::kSysDescr, [this] {
+    return SnmpValue{std::string("HARMLESS emulated legacy Ethernet switch (802.1Q), ") +
+                     std::to_string(device_.config().ports.size()) + " ports"};
+  });
+  agent_.register_var(oids::kSysName,
+                      [this] { return SnmpValue{device_.config().hostname}; });
+  agent_.register_var(oids::kIfNumber, [this] {
+    return SnmpValue{static_cast<std::int64_t>(device_.config().ports.size())};
+  });
+
+  for (const auto& [number, port] : device_.config().ports) {
+    (void)port;
+    const auto p = static_cast<std::uint32_t>(number);
+    const int port_number = number;
+    agent_.register_var(oids::kIfTable.child({1, p}),
+                        [port_number] { return SnmpValue{std::int64_t{port_number}}; });
+    agent_.register_var(oids::kIfTable.child({2, p}), [this, port_number] {
+      const auto& cfg = device_.config().ports.at(port_number);
+      return SnmpValue{cfg.description.empty() ? "port" + std::to_string(port_number)
+                                               : cfg.description};
+    });
+    agent_.register_var(oids::kIfTable.child({8, p}), [this, port_number] {
+      return SnmpValue{std::int64_t{device_.config().ports.at(port_number).enabled ? 1 : 2}};
+    });
+
+    // Writable VLAN config columns (staged).
+    for (int field = 1; field <= 4; ++field) {
+      agent_.register_var(
+          oids::kEnterprise.child({1, static_cast<std::uint32_t>(field), p}),
+          // Reads reflect the *running* config (operational state, as on
+          // real gear); writes stage into the candidate.
+          [this, port_number, field]() -> SnmpValue {
+            const auto& cfg = device_.config().ports.at(port_number);
+            switch (field) {
+              case 1: return std::int64_t{cfg.mode == legacy::PortMode::kAccess ? 1 : 2};
+              case 2: return std::int64_t{cfg.pvid};
+              case 3: return render_vlan_list(cfg.allowed_vlans);
+              default: return std::int64_t{cfg.enabled ? 1 : 0};
+            }
+          },
+          [this, port_number, field](const SnmpValue& value) {
+            return stage_port_field(port_number, field, value);
+          });
+    }
+  }
+
+  agent_.register_var(
+      oids::kEnterprise.child({2, 0}), [] { return SnmpValue{std::int64_t{0}}; },
+      [this](const SnmpValue& value) { return do_commit(value); });
+
+  agent_.register_var(oids::kEnterprise.child({3, 0}), [this]() -> SnmpValue {
+    // Candidate-vs-running as a proper line diff (what an operator
+    // reviews before committing).
+    return util::line_diff(device_.config().to_text(), candidate_.to_text(), /*context=*/1);
+  });
+}
+
+std::string SwitchMib::stage_port_field(int port_number, int field, const SnmpValue& value) {
+  auto& cfg = candidate_.ports[port_number];
+  switch (field) {
+    case 1: {
+      const auto* mode = std::get_if<std::int64_t>(&value);
+      if (!mode || (*mode != 1 && *mode != 2)) return "portMode must be 1 or 2";
+      cfg.mode = (*mode == 1) ? legacy::PortMode::kAccess : legacy::PortMode::kTrunk;
+      return {};
+    }
+    case 2: {
+      const auto* pvid = std::get_if<std::int64_t>(&value);
+      if (!pvid || !net::vlan_id_valid(static_cast<net::VlanId>(*pvid)))
+        return "portPvid out of range";
+      cfg.pvid = static_cast<net::VlanId>(*pvid);
+      return {};
+    }
+    case 3: {
+      const auto* text = std::get_if<std::string>(&value);
+      if (!text) return "portTrunkVlans must be a string";
+      auto vlans = parse_vlan_list(*text);
+      if (!vlans) return vlans.message();
+      cfg.allowed_vlans = std::move(vlans.value());
+      return {};
+    }
+    default: {
+      const auto* enabled = std::get_if<std::int64_t>(&value);
+      if (!enabled || (*enabled != 0 && *enabled != 1)) return "portEnabled must be 0 or 1";
+      cfg.enabled = (*enabled == 1);
+      return {};
+    }
+  }
+}
+
+std::string SwitchMib::do_commit(const SnmpValue& value) {
+  const auto* flag = std::get_if<std::int64_t>(&value);
+  if (!flag || *flag != 1) return "write 1 to commit";
+  const util::Status valid = candidate_.validate();
+  if (!valid.is_ok()) return "candidate invalid: " + valid.message();
+  device_.apply_config(candidate_);
+  candidate_ = device_.config();
+  ++commits_;
+  // configCommitted trap: <enterprise>.0.1 carrying the commit count.
+  agent_.notify(oids::kEnterprise.child({0, 1}), std::int64_t{commits_});
+  return {};
+}
+
+}  // namespace harmless::mgmt

@@ -1,0 +1,68 @@
+// mgmt/mib.hpp — the legacy switch's MIB, bound to a live switch model.
+//
+// Exposes the subset of MIB-II plus a Q-BRIDGE-flavoured VLAN table the
+// HARMLESS Manager uses:
+//
+//   1.3.6.1.2.1.1.1.0        sysDescr          (ro, string)
+//   1.3.6.1.2.1.1.5.0        sysName           (ro, string)
+//   1.3.6.1.2.1.2.1.0        ifNumber          (ro, int)
+//   1.3.6.1.2.1.2.2.1.1.<p>  ifIndex           (ro, int)
+//   1.3.6.1.2.1.2.2.1.2.<p>  ifDescr           (ro, string)
+//   1.3.6.1.2.1.2.2.1.8.<p>  ifOperStatus      (ro, 1=up 2=down)
+//   <ent>.1.1.<p>            portMode          (rw, 1=access 2=trunk)
+//   <ent>.1.2.<p>            portPvid          (rw, VLAN id)
+//   <ent>.1.3.<p>            portTrunkVlans    (rw, "101,102,...")
+//   <ent>.1.4.<p>            portEnabled       (rw, 1/0)
+//   <ent>.2.0                commit            (wo, set 1 to apply)
+//   <ent>.3.0                stagedDiff        (ro, candidate vs running)
+//
+// where <ent> = 1.3.6.1.4.1.99999 (a made-up private enterprise arc).
+// Writes stage into a candidate SwitchConfig; nothing touches the
+// switch until commit, mirroring candidate/commit vendor semantics.
+#pragma once
+
+#include <string>
+
+#include "legacy/legacy_switch.hpp"
+#include "mgmt/snmp.hpp"
+
+namespace harmless::mgmt {
+
+/// Well-known OIDs (see the table above).
+namespace oids {
+inline const Oid kSysDescr{1, 3, 6, 1, 2, 1, 1, 1, 0};
+inline const Oid kSysName{1, 3, 6, 1, 2, 1, 1, 5, 0};
+inline const Oid kIfNumber{1, 3, 6, 1, 2, 1, 2, 1, 0};
+inline const Oid kIfTable{1, 3, 6, 1, 2, 1, 2, 2, 1};
+inline const Oid kEnterprise{1, 3, 6, 1, 4, 1, 99999};
+}  // namespace oids
+
+class SwitchMib {
+ public:
+  /// Registers every variable on `agent`; both references must outlive
+  /// the MIB binding.
+  SwitchMib(SnmpAgent& agent, legacy::LegacySwitch& device);
+  ~SwitchMib();
+
+  SwitchMib(const SwitchMib&) = delete;
+  SwitchMib& operator=(const SwitchMib&) = delete;
+
+  /// The candidate config writes are staged into (copy of running at
+  /// bind time / after each commit).
+  [[nodiscard]] const legacy::SwitchConfig& candidate() const { return candidate_; }
+
+  /// Number of commits applied through the MIB.
+  [[nodiscard]] int commits() const { return commits_; }
+
+ private:
+  void register_all();
+  std::string stage_port_field(int port_number, int field, const SnmpValue& value);
+  std::string do_commit(const SnmpValue& value);
+
+  SnmpAgent& agent_;
+  legacy::LegacySwitch& device_;
+  legacy::SwitchConfig candidate_;
+  int commits_ = 0;
+};
+
+}  // namespace harmless::mgmt

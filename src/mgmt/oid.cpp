@@ -1,0 +1,38 @@
+#include "mgmt/oid.hpp"
+
+#include "util/strings.hpp"
+
+namespace harmless::mgmt {
+
+std::optional<Oid> Oid::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::vector<std::uint32_t> arcs;
+  for (const auto& part : util::split(text, '.')) {
+    std::uint64_t arc = 0;
+    if (!util::parse_u64(part, arc) || arc > UINT32_MAX) return std::nullopt;
+    arcs.push_back(static_cast<std::uint32_t>(arc));
+  }
+  return Oid(std::move(arcs));
+}
+
+Oid Oid::child(std::initializer_list<std::uint32_t> suffix) const {
+  std::vector<std::uint32_t> arcs = arcs_;
+  arcs.insert(arcs.end(), suffix.begin(), suffix.end());
+  return Oid(std::move(arcs));
+}
+
+bool Oid::has_prefix(const Oid& prefix) const {
+  if (prefix.arcs_.size() > arcs_.size()) return false;
+  return std::equal(prefix.arcs_.begin(), prefix.arcs_.end(), arcs_.begin());
+}
+
+std::string Oid::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    if (i) out += '.';
+    out += std::to_string(arcs_[i]);
+  }
+  return out;
+}
+
+}  // namespace harmless::mgmt

@@ -1,0 +1,52 @@
+// mgmt/oid.hpp — SNMP object identifiers.
+//
+// An Oid is a sequence of unsigned arcs ("1.3.6.1.2.1.1.1.0").
+// Lexicographic ordering over arcs is what GETNEXT walks.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harmless::mgmt {
+
+class Oid {
+ public:
+  Oid() = default;
+  Oid(std::initializer_list<std::uint32_t> arcs) : arcs_(arcs) {}
+  explicit Oid(std::vector<std::uint32_t> arcs) : arcs_(std::move(arcs)) {}
+
+  /// Parse dotted notation; nullopt on malformed text.
+  static std::optional<Oid> parse(std::string_view text);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& arcs() const { return arcs_; }
+  [[nodiscard]] std::size_t size() const { return arcs_.size(); }
+  [[nodiscard]] bool empty() const { return arcs_.empty(); }
+
+  /// This OID extended with extra arcs: sysDescr + {0}.
+  [[nodiscard]] Oid child(std::initializer_list<std::uint32_t> suffix) const;
+  [[nodiscard]] Oid child(std::uint32_t arc) const { return child({arc}); }
+
+  /// True if `prefix` is a (non-strict) prefix of this OID.
+  [[nodiscard]] bool has_prefix(const Oid& prefix) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Oid&, const Oid&) = default;
+  friend std::strong_ordering operator<=>(const Oid& a, const Oid& b) {
+    const std::size_t n = std::min(a.arcs_.size(), b.arcs_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.arcs_[i] != b.arcs_[i]) return a.arcs_[i] <=> b.arcs_[i];
+    }
+    return a.arcs_.size() <=> b.arcs_.size();
+  }
+
+ private:
+  std::vector<std::uint32_t> arcs_;
+};
+
+}  // namespace harmless::mgmt

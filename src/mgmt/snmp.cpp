@@ -1,0 +1,80 @@
+#include "mgmt/snmp.hpp"
+
+namespace harmless::mgmt {
+
+std::string snmp_value_to_string(const SnmpValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) return std::to_string(*i);
+  return std::get<std::string>(value);
+}
+
+std::string to_string(SnmpError error) {
+  switch (error) {
+    case SnmpError::kNoSuchName: return "noSuchName";
+    case SnmpError::kReadOnly: return "readOnly";
+    case SnmpError::kBadValue: return "badValue";
+    case SnmpError::kEndOfMib: return "endOfMibView";
+  }
+  return "unknown";
+}
+
+void SnmpAgent::register_var(const Oid& oid, Reader reader, Writer writer) {
+  tree_[oid] = Var{std::move(reader), std::move(writer)};
+}
+
+void SnmpAgent::unregister_subtree(const Oid& prefix) {
+  for (auto it = tree_.begin(); it != tree_.end();) {
+    if (it->first.has_prefix(prefix))
+      it = tree_.erase(it);
+    else
+      ++it;
+  }
+}
+
+util::Result<SnmpValue> SnmpAgent::get(const Oid& oid) const {
+  ++stats_.gets;
+  const auto it = tree_.find(oid);
+  if (it == tree_.end())
+    return util::Result<SnmpValue>::error(to_string(SnmpError::kNoSuchName) + ": " +
+                                          oid.to_string());
+  return it->second.reader();
+}
+
+util::Result<SnmpAgent::VarBind> SnmpAgent::get_next(const Oid& oid) const {
+  ++stats_.gets;
+  auto it = tree_.upper_bound(oid);
+  if (it == tree_.end())
+    return util::Result<VarBind>::error(to_string(SnmpError::kEndOfMib));
+  return VarBind{it->first, it->second.reader()};
+}
+
+util::Result<SnmpValue> SnmpAgent::set(const Oid& oid, SnmpValue value) {
+  ++stats_.sets;
+  const auto it = tree_.find(oid);
+  if (it == tree_.end())
+    return util::Result<SnmpValue>::error(to_string(SnmpError::kNoSuchName) + ": " +
+                                          oid.to_string());
+  if (!it->second.writer)
+    return util::Result<SnmpValue>::error(to_string(SnmpError::kReadOnly) + ": " +
+                                          oid.to_string());
+  const std::string rejection = it->second.writer(value);
+  if (!rejection.empty())
+    return util::Result<SnmpValue>::error(to_string(SnmpError::kBadValue) + ": " + rejection);
+  return value;
+}
+
+void SnmpAgent::notify(const Oid& oid, SnmpValue value) {
+  ++stats_.traps;
+  const VarBind bind{oid, std::move(value)};
+  for (const TrapSink& sink : trap_sinks_) sink(bind);
+}
+
+std::vector<SnmpAgent::VarBind> SnmpAgent::walk(const Oid& prefix) const {
+  ++stats_.walks;
+  std::vector<VarBind> out;
+  for (auto it = tree_.lower_bound(prefix); it != tree_.end() && it->first.has_prefix(prefix);
+       ++it)
+    out.push_back(VarBind{it->first, it->second.reader()});
+  return out;
+}
+
+}  // namespace harmless::mgmt

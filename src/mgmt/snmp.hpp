@@ -1,0 +1,85 @@
+// mgmt/snmp.hpp — an in-process SNMP agent.
+//
+// Models the protocol surface the HARMLESS Manager needs: GET, SET,
+// GETNEXT and WALK against an OID-ordered tree of variables. Variables
+// are registered with read callbacks (values computed from live switch
+// state) and optional write callbacks (SETs staged into a candidate
+// config). Wire encoding (BER) is out of scope: the transport in this
+// reproduction is a function call, the semantics are SNMP's.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "mgmt/oid.hpp"
+#include "util/result.hpp"
+
+namespace harmless::mgmt {
+
+/// INTEGER / OCTET STRING are all our MIB needs.
+using SnmpValue = std::variant<std::int64_t, std::string>;
+
+std::string snmp_value_to_string(const SnmpValue& value);
+
+enum class SnmpError {
+  kNoSuchName,   // OID not in the MIB
+  kReadOnly,     // SET on a read-only variable
+  kBadValue,     // write callback rejected the value
+  kEndOfMib,     // GETNEXT walked past the last variable
+};
+
+std::string to_string(SnmpError error);
+
+class SnmpAgent {
+ public:
+  using Reader = std::function<SnmpValue()>;
+  /// Returns an error message to reject the SET, empty to accept.
+  using Writer = std::function<std::string(const SnmpValue&)>;
+
+  /// Register a variable. Writer may be null (read-only variable).
+  void register_var(const Oid& oid, Reader reader, Writer writer = nullptr);
+  void unregister_subtree(const Oid& prefix);
+
+  struct VarBind {
+    Oid oid;
+    SnmpValue value;
+  };
+
+  [[nodiscard]] util::Result<SnmpValue> get(const Oid& oid) const;
+  [[nodiscard]] util::Result<VarBind> get_next(const Oid& oid) const;
+  [[nodiscard]] util::Result<SnmpValue> set(const Oid& oid, SnmpValue value);
+
+  // ---- notifications (SNMP traps) ----
+  /// Register a trap receiver; all receivers see every trap.
+  using TrapSink = std::function<void(const VarBind&)>;
+  void add_trap_sink(TrapSink sink) { trap_sinks_.push_back(std::move(sink)); }
+  /// Emit a trap (called by MIB implementations, e.g. on config commit).
+  void notify(const Oid& oid, SnmpValue value);
+
+  /// All variables under `prefix`, in OID order (SNMP walk).
+  [[nodiscard]] std::vector<VarBind> walk(const Oid& prefix) const;
+
+  /// Request counters, visible in the examples' status output.
+  struct Stats {
+    std::uint64_t gets = 0;
+    std::uint64_t sets = 0;
+    std::uint64_t walks = 0;
+    std::uint64_t traps = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Var {
+    Reader reader;
+    Writer writer;
+  };
+  std::map<Oid, Var> tree_;
+  std::vector<TrapSink> trap_sinks_;
+  mutable Stats stats_;
+};
+
+}  // namespace harmless::mgmt

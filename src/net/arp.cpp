@@ -1,0 +1,50 @@
+#include "net/arp.hpp"
+
+#include "util/strings.hpp"
+
+namespace harmless::net {
+
+std::optional<ArpPacket> ArpPacket::parse(BytesView payload) {
+  if (payload.size() < kArpPayloadSize) return std::nullopt;
+  if (rd16(payload, 0) != 1) return std::nullopt;       // htype Ethernet
+  if (rd16(payload, 2) != 0x0800) return std::nullopt;  // ptype IPv4
+  if (payload[4] != 6 || payload[5] != 4) return std::nullopt;
+  const std::uint16_t op = rd16(payload, 6);
+  if (op != 1 && op != 2) return std::nullopt;
+
+  ArpPacket arp;
+  arp.op = static_cast<ArpOp>(op);
+  std::array<std::uint8_t, 6> mac{};
+  std::copy(payload.begin() + 8, payload.begin() + 14, mac.begin());
+  arp.sender_mac = MacAddr(mac);
+  arp.sender_ip = Ipv4Addr(rd32(payload, 14));
+  std::copy(payload.begin() + 18, payload.begin() + 24, mac.begin());
+  arp.target_mac = MacAddr(mac);
+  arp.target_ip = Ipv4Addr(rd32(payload, 24));
+  return arp;
+}
+
+Bytes ArpPacket::serialize() const {
+  Bytes out;
+  out.reserve(kArpPayloadSize);
+  put16(out, 1);       // htype Ethernet
+  put16(out, 0x0800);  // ptype IPv4
+  put8(out, 6);        // hlen
+  put8(out, 4);        // plen
+  put16(out, static_cast<std::uint16_t>(op));
+  out.insert(out.end(), sender_mac.octets().begin(), sender_mac.octets().end());
+  put32(out, sender_ip.value());
+  out.insert(out.end(), target_mac.octets().begin(), target_mac.octets().end());
+  put32(out, target_ip.value());
+  return out;
+}
+
+std::string ArpPacket::to_string() const {
+  if (op == ArpOp::kRequest)
+    return util::format("arp who-has %s tell %s", target_ip.to_string().c_str(),
+                        sender_ip.to_string().c_str());
+  return util::format("arp %s is-at %s", sender_ip.to_string().c_str(),
+                      sender_mac.to_string().c_str());
+}
+
+}  // namespace harmless::net

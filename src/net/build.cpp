@@ -1,0 +1,112 @@
+#include "net/build.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "net/ethernet.hpp"
+#include "net/ip.hpp"
+
+namespace harmless::net {
+
+namespace {
+
+/// Assemble eth(ip(l4)) and pad to the Ethernet minimum.
+Packet assemble(MacAddr src, MacAddr dst, Ipv4Addr ip_src, Ipv4Addr ip_dst, IpProto proto,
+                Bytes l4_segment) {
+  Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(proto);
+  ip.src = ip_src;
+  ip.dst = ip_dst;
+  ip.total_length = static_cast<std::uint16_t>(kIpv4HeaderSize + l4_segment.size());
+
+  Bytes frame;
+  frame.reserve(kEthHeaderSize + ip.total_length);
+  frame.resize(kEthHeaderSize);
+  EthernetHeader eth{dst, src, static_cast<std::uint16_t>(EtherType::kIpv4)};
+  eth.write(frame);
+  const Bytes ip_bytes = ip.serialize();
+  frame.insert(frame.end(), ip_bytes.begin(), ip_bytes.end());
+  frame.insert(frame.end(), l4_segment.begin(), l4_segment.end());
+  if (frame.size() < kMinFrameSize) frame.resize(kMinFrameSize, 0);
+  return Packet(std::move(frame));
+}
+
+}  // namespace
+
+Packet make_udp(const FlowKey& flow, std::size_t frame_size, std::uint8_t fill) {
+  frame_size = std::clamp<std::size_t>(frame_size, kMinFrameSize, kMaxFrameSize);
+  const std::size_t overhead = kEthHeaderSize + kIpv4HeaderSize + kUdpHeaderSize;
+  const std::size_t payload_size = frame_size > overhead ? frame_size - overhead : 0;
+  const Bytes payload(payload_size, fill);
+  Bytes segment =
+      UdpHeader::serialize(flow.src_port, flow.dst_port, payload, flow.ip_src, flow.ip_dst);
+  return assemble(flow.eth_src, flow.eth_dst, flow.ip_src, flow.ip_dst, IpProto::kUdp,
+                  std::move(segment));
+}
+
+Packet make_tcp(const FlowKey& flow, std::uint8_t tcp_flags, std::string_view payload) {
+  TcpHeader header;
+  header.src_port = flow.src_port;
+  header.dst_port = flow.dst_port;
+  header.flags = tcp_flags;
+  const BytesView payload_bytes{reinterpret_cast<const std::uint8_t*>(payload.data()),
+                                payload.size()};
+  Bytes segment = TcpHeader::serialize(header, payload_bytes, flow.ip_src, flow.ip_dst);
+  return assemble(flow.eth_src, flow.eth_dst, flow.ip_src, flow.ip_dst, IpProto::kTcp,
+                  std::move(segment));
+}
+
+Packet make_arp_request(MacAddr sender_mac, Ipv4Addr sender_ip, Ipv4Addr target_ip) {
+  ArpPacket arp;
+  arp.op = ArpOp::kRequest;
+  arp.sender_mac = sender_mac;
+  arp.sender_ip = sender_ip;
+  arp.target_ip = target_ip;
+  return make_raw(sender_mac, MacAddr::broadcast(),
+                  static_cast<std::uint16_t>(EtherType::kArp), arp.serialize());
+}
+
+Packet make_arp_reply(MacAddr sender_mac, Ipv4Addr sender_ip, MacAddr target_mac,
+                      Ipv4Addr target_ip) {
+  ArpPacket arp;
+  arp.op = ArpOp::kReply;
+  arp.sender_mac = sender_mac;
+  arp.sender_ip = sender_ip;
+  arp.target_mac = target_mac;
+  arp.target_ip = target_ip;
+  return make_raw(sender_mac, target_mac, static_cast<std::uint16_t>(EtherType::kArp),
+                  arp.serialize());
+}
+
+Packet make_icmp_echo(const FlowKey& flow, bool request, std::uint16_t identifier,
+                      std::uint16_t sequence) {
+  IcmpHeader icmp;
+  icmp.type = request ? IcmpType::kEchoRequest : IcmpType::kEchoReply;
+  icmp.identifier = identifier;
+  icmp.sequence = sequence;
+  const Bytes payload(32, 0x5a);
+  Bytes segment = IcmpHeader::serialize(icmp, payload);
+  return assemble(flow.eth_src, flow.eth_dst, flow.ip_src, flow.ip_dst, IpProto::kIcmp,
+                  std::move(segment));
+}
+
+Packet make_raw(MacAddr src, MacAddr dst, std::uint16_t ether_type, BytesView payload) {
+  Bytes frame;
+  frame.resize(kEthHeaderSize);
+  EthernetHeader eth{dst, src, ether_type};
+  eth.write(frame);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  if (frame.size() < kMinFrameSize) frame.resize(kMinFrameSize, 0);
+  return Packet(std::move(frame));
+}
+
+Packet make_http_get(const FlowKey& flow, std::string_view host, std::string_view path) {
+  std::string request = "GET ";
+  request += path;
+  request += " HTTP/1.1\r\nHost: ";
+  request += host;
+  request += "\r\nUser-Agent: harmless-sim\r\n\r\n";
+  return make_tcp(flow, kTcpPsh | kTcpAck, request);
+}
+
+}  // namespace harmless::net

@@ -1,0 +1,57 @@
+// net/build.hpp — packet construction helpers.
+//
+// Workload generators and tests build frames through these; each
+// returns a complete, checksummed Ethernet frame padded to the 60-byte
+// Ethernet minimum.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/arp.hpp"
+#include "net/bytes.hpp"
+#include "net/ipv4.hpp"
+#include "net/l4.hpp"
+#include "net/mac.hpp"
+#include "net/packet.hpp"
+#include "net/vlan.hpp"
+
+namespace harmless::net {
+
+struct FlowKey {
+  MacAddr eth_src;
+  MacAddr eth_dst;
+  Ipv4Addr ip_src;
+  Ipv4Addr ip_dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+/// UDP datagram, payload filled with `fill` repeated. `frame_size` is
+/// the final Ethernet frame size (headers included); it is clamped to
+/// [60, 1518] and the payload is sized to fit.
+Packet make_udp(const FlowKey& flow, std::size_t frame_size = 64, std::uint8_t fill = 0xab);
+
+/// TCP segment with the given flags and payload text (e.g. an HTTP
+/// request line for the parental-control use case).
+Packet make_tcp(const FlowKey& flow, std::uint8_t tcp_flags, std::string_view payload = {});
+
+/// ARP request: who-has target_ip tell sender.
+Packet make_arp_request(MacAddr sender_mac, Ipv4Addr sender_ip, Ipv4Addr target_ip);
+
+/// ARP reply: sender_ip is-at sender_mac, unicast to the requester.
+Packet make_arp_reply(MacAddr sender_mac, Ipv4Addr sender_ip, MacAddr target_mac,
+                      Ipv4Addr target_ip);
+
+/// ICMP echo request/reply.
+Packet make_icmp_echo(const FlowKey& flow, bool request, std::uint16_t identifier,
+                      std::uint16_t sequence);
+
+/// Raw Ethernet frame with an arbitrary EtherType and payload.
+Packet make_raw(MacAddr src, MacAddr dst, std::uint16_t ether_type, BytesView payload);
+
+/// Minimal HTTP/1.1 GET over TCP (single segment) — used by the
+/// parental-control scenario; the Host header is what the app inspects.
+Packet make_http_get(const FlowKey& flow, std::string_view host, std::string_view path = "/");
+
+}  // namespace harmless::net

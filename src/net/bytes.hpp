@@ -1,0 +1,54 @@
+// net/bytes.hpp — big-endian (network byte order) buffer accessors.
+//
+// All wire formats in this library are serialized into plain
+// std::vector<uint8_t> in network byte order; these helpers are the
+// single place where byte order is handled.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace harmless::net {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+inline std::uint16_t rd16(BytesView buf, std::size_t offset) {
+  return static_cast<std::uint16_t>((buf[offset] << 8) | buf[offset + 1]);
+}
+
+inline std::uint32_t rd32(BytesView buf, std::size_t offset) {
+  return (static_cast<std::uint32_t>(buf[offset]) << 24) |
+         (static_cast<std::uint32_t>(buf[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(buf[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(buf[offset + 3]);
+}
+
+inline void wr16(std::span<std::uint8_t> buf, std::size_t offset, std::uint16_t value) {
+  buf[offset] = static_cast<std::uint8_t>(value >> 8);
+  buf[offset + 1] = static_cast<std::uint8_t>(value);
+}
+
+inline void wr32(std::span<std::uint8_t> buf, std::size_t offset, std::uint32_t value) {
+  buf[offset] = static_cast<std::uint8_t>(value >> 24);
+  buf[offset + 1] = static_cast<std::uint8_t>(value >> 16);
+  buf[offset + 2] = static_cast<std::uint8_t>(value >> 8);
+  buf[offset + 3] = static_cast<std::uint8_t>(value);
+}
+
+/// Append big-endian values while building a packet.
+inline void put8(Bytes& buf, std::uint8_t value) { buf.push_back(value); }
+inline void put16(Bytes& buf, std::uint16_t value) {
+  buf.push_back(static_cast<std::uint8_t>(value >> 8));
+  buf.push_back(static_cast<std::uint8_t>(value));
+}
+inline void put32(Bytes& buf, std::uint32_t value) {
+  buf.push_back(static_cast<std::uint8_t>(value >> 24));
+  buf.push_back(static_cast<std::uint8_t>(value >> 16));
+  buf.push_back(static_cast<std::uint8_t>(value >> 8));
+  buf.push_back(static_cast<std::uint8_t>(value));
+}
+
+}  // namespace harmless::net

@@ -1,0 +1,30 @@
+#include "net/ethernet.hpp"
+
+#include "util/strings.hpp"
+
+namespace harmless::net {
+
+std::optional<EthernetHeader> EthernetHeader::parse(BytesView frame) {
+  if (frame.size() < kEthHeaderSize) return std::nullopt;
+  EthernetHeader header;
+  std::array<std::uint8_t, 6> mac{};
+  std::copy(frame.begin(), frame.begin() + 6, mac.begin());
+  header.dst = MacAddr(mac);
+  std::copy(frame.begin() + 6, frame.begin() + 12, mac.begin());
+  header.src = MacAddr(mac);
+  header.ether_type = rd16(frame, 12);
+  return header;
+}
+
+void EthernetHeader::write(std::span<std::uint8_t> frame) const {
+  std::copy(dst.octets().begin(), dst.octets().end(), frame.begin());
+  std::copy(src.octets().begin(), src.octets().end(), frame.begin() + 6);
+  wr16(frame, 12, ether_type);
+}
+
+std::string EthernetHeader::to_string() const {
+  return util::format("eth %s > %s type=0x%04x", src.to_string().c_str(),
+                      dst.to_string().c_str(), ether_type);
+}
+
+}  // namespace harmless::net

@@ -1,0 +1,45 @@
+// net/ethernet.hpp — Ethernet II framing.
+//
+// Frame layout (no FCS; the simulator does not model bit errors):
+//   [0..5]  destination MAC
+//   [6..11] source MAC
+//   [12..13] EtherType (or TPID 0x8100 when a VLAN tag follows)
+//   payload...
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/bytes.hpp"
+#include "net/mac.hpp"
+
+namespace harmless::net {
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kVlan = 0x8100,   // 802.1Q TPID
+  kIpv6 = 0x86dd,
+  kExperimental = 0x88b5,
+};
+
+constexpr std::size_t kEthHeaderSize = 14;
+constexpr std::size_t kMinFrameSize = 60;    // 64 on the wire minus 4-byte FCS
+constexpr std::size_t kMaxFrameSize = 1518;  // 1500 MTU + header + 802.1Q
+
+struct EthernetHeader {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ether_type = 0;
+
+  /// Parse the first 14 bytes; nullopt if the buffer is too short.
+  static std::optional<EthernetHeader> parse(BytesView frame);
+
+  /// Serialize into the first 14 bytes of `frame` (must be large enough).
+  void write(std::span<std::uint8_t> frame) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace harmless::net

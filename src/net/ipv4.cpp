@@ -1,0 +1,29 @@
+#include "net/ipv4.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace harmless::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    std::uint64_t octet = 0;
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    if (!util::parse_u64(part, octet) || octet > 255) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+}  // namespace harmless::net

@@ -1,0 +1,53 @@
+// net/ipv4.hpp — IPv4 address value type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace harmless::net {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order_value) : value_(host_order_value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parse dotted-quad "10.0.0.1". nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr bool is_zero() const { return value_ == 0; }
+  [[nodiscard]] constexpr bool is_broadcast() const { return value_ == 0xffffffffU; }
+  /// 224.0.0.0/4.
+  [[nodiscard]] constexpr bool is_multicast() const { return (value_ >> 28) == 0xe; }
+
+  /// True if this address is inside `network`/`prefix_len`.
+  [[nodiscard]] constexpr bool in_subnet(Ipv4Addr network, int prefix_len) const {
+    if (prefix_len <= 0) return true;
+    if (prefix_len >= 32) return value_ == network.value_;
+    const std::uint32_t mask = ~((1U << (32 - prefix_len)) - 1);
+    return (value_ & mask) == (network.value_ & mask);
+  }
+
+  friend constexpr bool operator==(const Ipv4Addr&, const Ipv4Addr&) = default;
+  friend constexpr auto operator<=>(const Ipv4Addr&, const Ipv4Addr&) = default;
+
+ private:
+  std::uint32_t value_ = 0;  // host byte order; serialized big-endian by writers
+};
+
+}  // namespace harmless::net
+
+template <>
+struct std::hash<harmless::net::Ipv4Addr> {
+  std::size_t operator()(const harmless::net::Ipv4Addr& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};

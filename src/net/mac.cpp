@@ -1,0 +1,39 @@
+#include "net/mac.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace harmless::net {
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<MacAddr> MacAddr::parse(std::string_view text) {
+  // Exactly "xx:xx:xx:xx:xx:xx" — 17 chars.
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t base = static_cast<std::size_t>(i) * 3;
+    const int hi = hex_digit(text[base]);
+    const int lo = hex_digit(text[base + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    if (i < 5 && text[base + 2] != ':') return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return MacAddr(octets);
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+}  // namespace harmless::net

@@ -1,0 +1,67 @@
+// net/mac.hpp — 48-bit Ethernet MAC address value type.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace harmless::net {
+
+class MacAddr {
+ public:
+  /// Zero (invalid-as-source) address.
+  constexpr MacAddr() = default;
+
+  constexpr explicit MacAddr(std::array<std::uint8_t, 6> octets) : octets_(octets) {}
+
+  /// Build from the low 48 bits of a u64 (useful for generated hosts:
+  /// MacAddr::from_u64(0x0200'0000'0000 | host_id)).
+  static constexpr MacAddr from_u64(std::uint64_t value) {
+    return MacAddr({static_cast<std::uint8_t>(value >> 40), static_cast<std::uint8_t>(value >> 32),
+                    static_cast<std::uint8_t>(value >> 24), static_cast<std::uint8_t>(value >> 16),
+                    static_cast<std::uint8_t>(value >> 8), static_cast<std::uint8_t>(value)});
+  }
+
+  /// Parse "aa:bb:cc:dd:ee:ff" (case-insensitive). nullopt on any
+  /// malformed input.
+  static std::optional<MacAddr> parse(std::string_view text);
+
+  /// ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddr broadcast() {
+    return MacAddr({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  [[nodiscard]] constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto octet : octets_) v = (v << 8) | octet;
+    return v;
+  }
+
+  [[nodiscard]] const std::array<std::uint8_t, 6>& octets() const { return octets_; }
+
+  /// Group bit (bit 0 of first octet): multicast and broadcast frames
+  /// must never be learned as source addresses.
+  [[nodiscard]] constexpr bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+  [[nodiscard]] constexpr bool is_broadcast() const { return to_u64() == 0xffffffffffffULL; }
+  [[nodiscard]] constexpr bool is_zero() const { return to_u64() == 0; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const MacAddr&, const MacAddr&) = default;
+  friend constexpr auto operator<=>(const MacAddr&, const MacAddr&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+}  // namespace harmless::net
+
+template <>
+struct std::hash<harmless::net::MacAddr> {
+  std::size_t operator()(const harmless::net::MacAddr& mac) const noexcept {
+    return std::hash<std::uint64_t>{}(mac.to_u64());
+  }
+};

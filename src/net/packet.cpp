@@ -1,0 +1,29 @@
+#include "net/packet.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace harmless::net {
+
+std::string Packet::hexdump() const {
+  std::ostringstream os;
+  for (std::size_t offset = 0; offset < frame_.size(); offset += 16) {
+    os << util::format("%04zx: ", offset);
+    std::string ascii;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (offset + i < frame_.size()) {
+        const std::uint8_t byte = frame_[offset + i];
+        os << util::format("%02x ", byte);
+        ascii += std::isprint(byte) ? static_cast<char>(byte) : '.';
+      } else {
+        os << "   ";
+      }
+    }
+    os << ' ' << ascii << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace harmless::net

@@ -1,0 +1,59 @@
+// net/packet.hpp — the unit of work that flows through the simulator.
+//
+// A Packet owns its frame bytes (ground truth) plus simulator metadata:
+// a unique id, the creation timestamp (for end-to-end latency) and an
+// accumulated processing-cost account (see sim/ and softswitch/ for who
+// charges it). Header mutation goes through the byte-level helpers in
+// net/vlan.hpp and net/parse.hpp so the bytes always stay canonical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "net/bytes.hpp"
+
+namespace harmless::net {
+
+/// Simulated nanoseconds (duplicated from sim/time.hpp to keep net/
+/// independent of sim/).
+using SimNanos = std::int64_t;
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(Bytes frame) : frame_(std::move(frame)) {}
+
+  [[nodiscard]] const Bytes& frame() const { return frame_; }
+  [[nodiscard]] Bytes& frame() { return frame_; }
+  [[nodiscard]] std::size_t size() const { return frame_.size(); }
+
+  /// Monotone per-process id, assigned at first call; used to correlate
+  /// send/receive events in tests and latency recorders.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  void set_id(std::uint64_t id) { id_ = id; }
+
+  [[nodiscard]] SimNanos created_at() const { return created_at_; }
+  void set_created_at(SimNanos t) { created_at_ = t; }
+
+  /// Cumulative simulated processing cost charged by every element the
+  /// packet traversed (ns of CPU/ASIC time, distinct from wire time).
+  [[nodiscard]] SimNanos processing_ns() const { return processing_ns_; }
+  void charge(SimNanos ns) { processing_ns_ += ns; }
+
+  /// Number of switching elements traversed (legacy, SS_1, SS_2...).
+  [[nodiscard]] int hops() const { return hops_; }
+  void add_hop() { ++hops_; }
+
+  /// classic "offset: xx xx .. ascii" dump for debugging and examples.
+  [[nodiscard]] std::string hexdump() const;
+
+ private:
+  Bytes frame_;
+  std::uint64_t id_ = 0;
+  SimNanos created_at_ = 0;
+  SimNanos processing_ns_ = 0;
+  int hops_ = 0;
+};
+
+}  // namespace harmless::net

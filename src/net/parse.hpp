@@ -1,0 +1,76 @@
+// net/parse.hpp — one-pass full-stack packet parser.
+//
+// `ParsedPacket` is the flat field view every lookup path consumes: the
+// legacy switch reads the VLAN tag and MACs, the OpenFlow pipeline
+// matches on all of it. Parsing is strict about lengths but tolerant of
+// unknown EtherTypes/protocols (fields stay unset, `l2_valid` alone).
+//
+// The view holds copies of the fields (not pointers into the frame), so
+// it stays valid while actions rewrite the frame; re-parse after
+// structural changes (tag push/pop).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/arp.hpp"
+#include "net/bytes.hpp"
+#include "net/ethernet.hpp"
+#include "net/ip.hpp"
+#include "net/l4.hpp"
+#include "net/packet.hpp"
+#include "net/vlan.hpp"
+
+namespace harmless::net {
+
+struct ParsedPacket {
+  // L2 — always present when l2_valid.
+  bool l2_valid = false;
+  MacAddr eth_dst;
+  MacAddr eth_src;
+  /// EtherType after any VLAN tags (the "effective" type).
+  std::uint16_t eth_type = 0;
+
+  // Outermost 802.1Q tag, if any.
+  std::optional<VlanTag> vlan;
+
+  // ARP (when eth_type == kArp and payload parses).
+  std::optional<ArpPacket> arp;
+
+  // IPv4 (when eth_type == kIpv4 and header parses).
+  std::optional<Ipv4Header> ipv4;
+
+  // L4 over IPv4.
+  std::optional<UdpHeader> udp;
+  std::optional<TcpHeader> tcp;
+  std::optional<IcmpHeader> icmp;
+
+  /// Byte offset of the L4 payload within the frame (0 when absent);
+  /// used by the parental-control app to inspect HTTP request lines.
+  std::size_t l4_payload_offset = 0;
+  std::size_t l4_payload_size = 0;
+
+  [[nodiscard]] bool has_vlan() const { return vlan.has_value(); }
+  [[nodiscard]] VlanId vlan_vid() const { return vlan ? vlan->vid : kVlanNone; }
+
+  /// L4 source/destination ports (TCP or UDP), 0 when neither.
+  [[nodiscard]] std::uint16_t src_port() const;
+  [[nodiscard]] std::uint16_t dst_port() const;
+
+  /// tcpdump-ish one-liner.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parse a frame. Never throws; missing/garbled layers simply leave the
+/// corresponding optionals empty.
+ParsedPacket parse_packet(BytesView frame);
+
+/// Convenience overload.
+inline ParsedPacket parse_packet(const Packet& packet) { return parse_packet(packet.frame()); }
+
+/// Extract the L4 payload of a parsed packet as a string_view into the
+/// original frame (empty if none). The frame must outlive the view.
+std::string_view l4_payload(const ParsedPacket& parsed, BytesView frame);
+
+}  // namespace harmless::net

@@ -1,0 +1,100 @@
+#include "net/pcap.hpp"
+
+#include <fstream>
+
+namespace harmless::net {
+
+namespace {
+
+// Little-endian writers: pcap headers are host-endian by convention;
+// we fix little-endian and the reader handles only that (plus the
+// matching magics), which covers every file this library produces.
+void put16le(Bytes& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+void put32le(Bytes& out, std::uint32_t value) {
+  put16le(out, static_cast<std::uint16_t>(value));
+  put16le(out, static_cast<std::uint16_t>(value >> 16));
+}
+std::uint32_t rd32le(BytesView in, std::size_t offset) {
+  return static_cast<std::uint32_t>(in[offset]) |
+         (static_cast<std::uint32_t>(in[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[offset + 3]) << 24);
+}
+
+constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::uint32_t snaplen)
+    : snaplen_(snaplen == 0 ? 0xffffffffu : snaplen) {
+  // Global header, nanosecond-resolution magic.
+  put32le(buffer_, kMagicNanos);
+  put16le(buffer_, 2);  // version major
+  put16le(buffer_, 4);  // version minor
+  put32le(buffer_, 0);  // thiszone
+  put32le(buffer_, 0);  // sigfigs
+  put32le(buffer_, snaplen_);
+  put32le(buffer_, kLinkTypeEthernet);
+}
+
+void PcapWriter::write(std::int64_t timestamp_ns, BytesView frame) {
+  const auto seconds = static_cast<std::uint32_t>(timestamp_ns / 1'000'000'000);
+  const auto nanos = static_cast<std::uint32_t>(timestamp_ns % 1'000'000'000);
+  const auto captured = static_cast<std::uint32_t>(
+      std::min<std::size_t>(frame.size(), snaplen_));
+  put32le(buffer_, seconds);
+  put32le(buffer_, nanos);
+  put32le(buffer_, captured);
+  put32le(buffer_, static_cast<std::uint32_t>(frame.size()));
+  buffer_.insert(buffer_.end(), frame.begin(), frame.begin() + captured);
+  ++records_;
+}
+
+bool PcapWriter::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(buffer_.data()),
+            static_cast<std::streamsize>(buffer_.size()));
+  return static_cast<bool>(out);
+}
+
+util::Result<std::vector<PcapRecord>> pcap_parse(BytesView file) {
+  using Out = util::Result<std::vector<PcapRecord>>;
+  if (file.size() < 24) return Out::error("pcap: truncated global header");
+  const std::uint32_t magic = rd32le(file, 0);
+  std::int64_t subsecond_scale = 0;
+  if (magic == kMagicNanos)
+    subsecond_scale = 1;
+  else if (magic == kMagicMicros)
+    subsecond_scale = 1000;
+  else
+    return Out::error("pcap: unknown magic (big-endian or not a pcap?)");
+  if (rd32le(file, 20) != kLinkTypeEthernet)
+    return Out::error("pcap: not an Ethernet capture");
+
+  std::vector<PcapRecord> records;
+  std::size_t offset = 24;
+  while (offset < file.size()) {
+    if (offset + 16 > file.size()) return Out::error("pcap: truncated record header");
+    PcapRecord record;
+    const std::uint32_t seconds = rd32le(file, offset);
+    const std::uint32_t subseconds = rd32le(file, offset + 4);
+    const std::uint32_t captured = rd32le(file, offset + 8);
+    record.timestamp_ns =
+        static_cast<std::int64_t>(seconds) * 1'000'000'000 + subseconds * subsecond_scale;
+    offset += 16;
+    if (offset + captured > file.size()) return Out::error("pcap: truncated record body");
+    record.frame.assign(file.begin() + static_cast<std::ptrdiff_t>(offset),
+                        file.begin() + static_cast<std::ptrdiff_t>(offset + captured));
+    offset += captured;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace harmless::net

@@ -1,0 +1,60 @@
+// net/pcap.hpp — libpcap-format capture writer/reader.
+//
+// Every simulated link can be tapped into a classic pcap file
+// (readable by tcpdump/Wireshark: magic 0xa1b2c3d4, LINKTYPE_ETHERNET)
+// with simulated timestamps, which is how you debug a hairpin path
+// without printf. The reader exists for tests and for replaying
+// captures through the simulator.
+//
+//   net::PcapWriter pcap;
+//   network.tap(channel, pcap);          // see sim/network.hpp
+//   ...run...
+//   pcap.save("trunk.pcap");
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/bytes.hpp"
+#include "net/packet.hpp"
+#include "util/result.hpp"
+
+namespace harmless::net {
+
+struct PcapRecord {
+  /// Capture timestamp in nanoseconds (simulated time).
+  std::int64_t timestamp_ns = 0;
+  Bytes frame;
+};
+
+class PcapWriter {
+ public:
+  /// `snaplen`: bytes kept per frame (pcap semantics; 0 = unlimited).
+  explicit PcapWriter(std::uint32_t snaplen = 65535);
+
+  void write(std::int64_t timestamp_ns, BytesView frame);
+  void write(std::int64_t timestamp_ns, const Packet& packet) {
+    write(timestamp_ns, packet.frame());
+  }
+
+  [[nodiscard]] std::size_t count() const { return records_; }
+
+  /// The full capture file (header + records) as bytes.
+  [[nodiscard]] const Bytes& bytes() const { return buffer_; }
+
+  /// Write the capture to disk. Returns false on I/O failure.
+  [[nodiscard]] bool save(const std::string& path) const;
+
+ private:
+  std::uint32_t snaplen_;
+  std::size_t records_ = 0;
+  Bytes buffer_;
+};
+
+/// Parse a pcap byte stream (as produced by PcapWriter or tcpdump with
+/// microsecond or nanosecond magic, native little-endian layout).
+[[nodiscard]] util::Result<std::vector<PcapRecord>> pcap_parse(BytesView file);
+
+}  // namespace harmless::net

@@ -1,0 +1,19 @@
+#include "openflow/channel.hpp"
+
+namespace harmless::openflow {
+
+void ControlChannel::send_to_controller(Message message) {
+  ++to_controller_count_;
+  engine_.schedule_after(latency_, [this, message = std::move(message)]() mutable {
+    if (controller_handler_) controller_handler_(std::move(message));
+  });
+}
+
+void ControlChannel::send_to_switch(Message message) {
+  ++to_switch_count_;
+  engine_.schedule_after(latency_, [this, message = std::move(message)]() mutable {
+    if (switch_handler_) switch_handler_(std::move(message));
+  });
+}
+
+}  // namespace harmless::openflow

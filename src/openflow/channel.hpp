@@ -1,0 +1,48 @@
+// openflow/channel.hpp — the control channel between a datapath and
+// its controller.
+//
+// In the paper SS_2 connects to the SDN controller over TCP; here the
+// transport is the event engine with a configurable one-way latency
+// (management networks are not free) and strictly FIFO delivery per
+// direction — which is what the barrier semantics rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "openflow/messages.hpp"
+#include "sim/event.hpp"
+
+namespace harmless::openflow {
+
+class ControlChannel {
+ public:
+  ControlChannel(sim::Engine& engine, sim::SimNanos one_way_latency = 50'000 /*50 us*/)
+      : engine_(engine), latency_(one_way_latency) {}
+
+  // ---- datapath side ----
+  void send_to_controller(Message message);
+  void set_controller_handler(std::function<void(Message&&)> handler) {
+    controller_handler_ = std::move(handler);
+  }
+
+  // ---- controller side ----
+  void send_to_switch(Message message);
+  void set_switch_handler(std::function<void(Message&&)> handler) {
+    switch_handler_ = std::move(handler);
+  }
+
+  [[nodiscard]] std::uint64_t to_controller_count() const { return to_controller_count_; }
+  [[nodiscard]] std::uint64_t to_switch_count() const { return to_switch_count_; }
+  [[nodiscard]] sim::SimNanos latency() const { return latency_; }
+
+ private:
+  sim::Engine& engine_;
+  sim::SimNanos latency_;
+  std::function<void(Message&&)> controller_handler_;
+  std::function<void(Message&&)> switch_handler_;
+  std::uint64_t to_controller_count_ = 0;
+  std::uint64_t to_switch_count_ = 0;
+};
+
+}  // namespace harmless::openflow

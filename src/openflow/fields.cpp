@@ -1,0 +1,81 @@
+#include "openflow/fields.hpp"
+
+namespace harmless::openflow {
+
+std::uint64_t field_all_ones(Field field) {
+  switch (field) {
+    case Field::kInPort: return 0xffffffffULL;
+    case Field::kEthDst:
+    case Field::kEthSrc: return 0xffffffffffffULL;
+    case Field::kEthType: return 0xffffULL;
+    case Field::kVlanVid: return 0x1fffULL;  // presence bit + 12-bit vid
+    case Field::kVlanPcp: return 0x7ULL;
+    case Field::kIpProto: return 0xffULL;
+    case Field::kIpSrc:
+    case Field::kIpDst: return 0xffffffffULL;
+    case Field::kIpDscp: return 0x3fULL;
+    case Field::kL4Src:
+    case Field::kL4Dst: return 0xffffULL;
+    case Field::kArpOp: return 0xffffULL;
+    case Field::kIcmpType: return 0xffULL;
+  }
+  return ~0ULL;
+}
+
+const char* field_name(Field field) {
+  switch (field) {
+    case Field::kInPort: return "in_port";
+    case Field::kEthDst: return "eth_dst";
+    case Field::kEthSrc: return "eth_src";
+    case Field::kEthType: return "eth_type";
+    case Field::kVlanVid: return "vlan_vid";
+    case Field::kVlanPcp: return "vlan_pcp";
+    case Field::kIpProto: return "ip_proto";
+    case Field::kIpSrc: return "ip_src";
+    case Field::kIpDst: return "ip_dst";
+    case Field::kIpDscp: return "ip_dscp";
+    case Field::kL4Src: return "l4_src";
+    case Field::kL4Dst: return "l4_dst";
+    case Field::kArpOp: return "arp_op";
+    case Field::kIcmpType: return "icmp_type";
+  }
+  return "?";
+}
+
+FieldView build_field_view(const net::ParsedPacket& parsed, std::uint32_t in_port) {
+  FieldView view;
+  view.set(Field::kInPort, in_port);
+  if (!parsed.l2_valid) return view;
+
+  view.set(Field::kEthDst, parsed.eth_dst.to_u64());
+  view.set(Field::kEthSrc, parsed.eth_src.to_u64());
+  view.set(Field::kEthType, parsed.eth_type);
+  // kVlanVid is *always* present so rules can match untagged (0)
+  // explicitly, per OF1.3 OFPVID_NONE semantics.
+  if (parsed.vlan) {
+    view.set(Field::kVlanVid, kVlanPresent | parsed.vlan->vid);
+    view.set(Field::kVlanPcp, parsed.vlan->pcp);
+  } else {
+    view.set(Field::kVlanVid, 0);
+  }
+
+  if (parsed.arp) {
+    view.set(Field::kArpOp, static_cast<std::uint64_t>(parsed.arp->op));
+    return view;
+  }
+  if (!parsed.ipv4) return view;
+
+  view.set(Field::kIpProto, parsed.ipv4->protocol);
+  view.set(Field::kIpSrc, parsed.ipv4->src.value());
+  view.set(Field::kIpDst, parsed.ipv4->dst.value());
+  view.set(Field::kIpDscp, parsed.ipv4->dscp);
+
+  if (parsed.tcp || parsed.udp) {
+    view.set(Field::kL4Src, parsed.src_port());
+    view.set(Field::kL4Dst, parsed.dst_port());
+  }
+  if (parsed.icmp) view.set(Field::kIcmpType, static_cast<std::uint64_t>(parsed.icmp->type));
+  return view;
+}
+
+}  // namespace harmless::openflow

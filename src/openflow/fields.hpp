@@ -1,0 +1,66 @@
+// openflow/fields.hpp — OXM-style match fields and the per-packet
+// field view.
+//
+// A FieldView is the flattened, numeric projection of a parsed packet
+// that lookups consume: one u64 slot per field plus a presence bitmap.
+// Building it once per pipeline entry (not per table) is the first of
+// the ESwitch-style specializations the paper's software switch [9]
+// relies on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "net/parse.hpp"
+
+namespace harmless::openflow {
+
+enum class Field : std::uint8_t {
+  kInPort = 0,
+  kEthDst,
+  kEthSrc,
+  kEthType,
+  kVlanVid,  // OF1.3 semantics: OFPVID_PRESENT(0x1000)|vid when tagged, 0 when untagged
+  kVlanPcp,
+  kIpProto,
+  kIpSrc,
+  kIpDst,
+  kIpDscp,
+  kL4Src,
+  kL4Dst,
+  kArpOp,
+  kIcmpType,
+};
+
+constexpr std::size_t kFieldCount = 14;
+
+/// OFPVID_PRESENT: set in kVlanVid for any tagged frame.
+constexpr std::uint64_t kVlanPresent = 0x1000;
+
+[[nodiscard]] constexpr std::uint32_t field_bit(Field field) {
+  return 1u << static_cast<unsigned>(field);
+}
+
+/// Field width in bits (used to derive "exact match" masks).
+[[nodiscard]] std::uint64_t field_all_ones(Field field);
+[[nodiscard]] const char* field_name(Field field);
+
+struct FieldView {
+  std::array<std::uint64_t, kFieldCount> values{};
+  std::uint32_t present = 0;
+
+  [[nodiscard]] bool has(Field field) const { return (present & field_bit(field)) != 0; }
+  [[nodiscard]] std::uint64_t get(Field field) const {
+    return values[static_cast<std::size_t>(field)];
+  }
+  void set(Field field, std::uint64_t value) {
+    values[static_cast<std::size_t>(field)] = value;
+    present |= field_bit(field);
+  }
+};
+
+/// Project a parsed packet (plus its ingress port) into a FieldView.
+[[nodiscard]] FieldView build_field_view(const net::ParsedPacket& parsed, std::uint32_t in_port);
+
+}  // namespace harmless::openflow

@@ -1,0 +1,37 @@
+#include "openflow/flow_entry.hpp"
+
+#include "util/strings.hpp"
+
+namespace harmless::openflow {
+
+Instructions apply(ActionList actions) {
+  Instructions inst;
+  inst.apply_actions = std::move(actions);
+  return inst;
+}
+
+Instructions apply_then_goto(ActionList actions, std::uint8_t table) {
+  Instructions inst;
+  inst.apply_actions = std::move(actions);
+  inst.goto_table = table;
+  return inst;
+}
+
+std::string Instructions::to_string() const {
+  std::string out;
+  if (!apply_actions.empty()) out += "apply(" + openflow::to_string(apply_actions) + ")";
+  if (clear_actions) out += (out.empty() ? "" : " ") + std::string("clear");
+  if (!write_actions.empty())
+    out += (out.empty() ? "" : " ") + ("write(" + openflow::to_string(write_actions) + ")");
+  if (goto_table) out += (out.empty() ? "" : " ") + ("goto:" + std::to_string(*goto_table));
+  if (out.empty()) out = "drop";
+  return out;
+}
+
+std::string FlowEntry::to_string() const {
+  return util::format("prio=%u %s -> %s (pkts=%llu)", priority, match.to_string().c_str(),
+                      instructions.to_string().c_str(),
+                      static_cast<unsigned long long>(packet_count));
+}
+
+}  // namespace harmless::openflow

@@ -1,0 +1,60 @@
+// openflow/flow_entry.hpp — flow entries and instructions.
+//
+// Instructions follow OF1.3: apply-actions runs immediately, write-
+// actions/clear-actions edit the action set, goto-table continues the
+// pipeline. Meters and metadata are out of scope (no experiment needs
+// them).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "openflow/action.hpp"
+#include "openflow/match.hpp"
+#include "sim/time.hpp"
+
+namespace harmless::openflow {
+
+struct Instructions {
+  ActionList apply_actions;
+  bool clear_actions = false;
+  ActionList write_actions;
+  std::optional<std::uint8_t> goto_table;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const Instructions&, const Instructions&) = default;
+};
+
+/// Shorthand: apply-actions only (the common case in every app).
+Instructions apply(ActionList actions);
+/// Shorthand: apply-actions then goto.
+Instructions apply_then_goto(ActionList actions, std::uint8_t table);
+
+struct FlowEntry {
+  std::uint16_t priority = 0;
+  Match match;
+  Instructions instructions;
+  std::uint64_t cookie = 0;
+
+  /// 0 = no timeout. Idle resets on every hit.
+  sim::SimNanos idle_timeout = 0;
+  sim::SimNanos hard_timeout = 0;
+  bool send_flow_removed = false;
+
+  // -- runtime state (maintained by FlowTable) --
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  sim::SimNanos installed_at = 0;
+  sim::SimNanos last_hit = 0;
+
+  [[nodiscard]] bool expired(sim::SimNanos now) const {
+    if (hard_timeout > 0 && now - installed_at >= hard_timeout) return true;
+    const sim::SimNanos last_activity = last_hit > 0 ? last_hit : installed_at;
+    return idle_timeout > 0 && now - last_activity >= idle_timeout;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace harmless::openflow

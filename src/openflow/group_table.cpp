@@ -1,0 +1,80 @@
+#include "openflow/group_table.hpp"
+
+namespace harmless::openflow {
+
+util::Status GroupTable::add(GroupEntry entry) {
+  if (groups_.contains(entry.group_id))
+    return util::Status::error("group " + std::to_string(entry.group_id) + " exists");
+  if (entry.buckets.empty())
+    return util::Status::error("group " + std::to_string(entry.group_id) + " has no buckets");
+  if (entry.type == GroupType::kSelect) {
+    std::uint64_t total = 0;
+    for (const Bucket& bucket : entry.buckets) total += bucket.weight;
+    if (total == 0)
+      return util::Status::error("SELECT group " + std::to_string(entry.group_id) +
+                                 " has zero total weight");
+  }
+  if (entry.type == GroupType::kIndirect && entry.buckets.size() != 1)
+    return util::Status::error("INDIRECT group must have exactly one bucket");
+  groups_.emplace(entry.group_id, std::move(entry));
+  return util::Status::ok();
+}
+
+util::Status GroupTable::modify(GroupEntry entry) {
+  const auto it = groups_.find(entry.group_id);
+  if (it == groups_.end())
+    return util::Status::error("group " + std::to_string(entry.group_id) + " does not exist");
+  groups_.erase(it);
+  return add(std::move(entry));
+}
+
+void GroupTable::remove(std::uint32_t group_id) { groups_.erase(group_id); }
+
+const GroupEntry* GroupTable::find(std::uint32_t group_id) const {
+  const auto it = groups_.find(group_id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+GroupEntry* GroupTable::find_mutable(std::uint32_t group_id) {
+  const auto it = groups_.find(group_id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+std::size_t GroupTable::select_bucket(const GroupEntry& entry, std::uint64_t flow_hash) const {
+  std::uint64_t total = 0;
+  for (const Bucket& bucket : entry.buckets) total += bucket.weight;
+  if (total == 0) return 0;
+  // Fibonacci scrambling decorrelates adjacent flow hashes before the
+  // modulo so bucket occupancy is near-uniform even for sequential IPs.
+  std::uint64_t point = (flow_hash * 0x9e3779b97f4a7c15ULL) % total;
+  for (std::size_t index = 0; index < entry.buckets.size(); ++index) {
+    const std::uint64_t weight = entry.buckets[index].weight;
+    if (point < weight) return index;
+    point -= weight;
+  }
+  return entry.buckets.size() - 1;
+}
+
+std::uint64_t flow_hash_of(const FieldView& view, SelectHash mode) {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::uint64_t h = 0;
+  if (view.has(Field::kIpSrc)) {
+    h = mix(h, view.get(Field::kIpSrc));
+    if (mode == SelectHash::kFiveTuple) {
+      h = mix(h, view.get(Field::kIpDst));
+      h = mix(h, view.has(Field::kIpProto) ? view.get(Field::kIpProto) : 0);
+      h = mix(h, view.has(Field::kL4Src) ? view.get(Field::kL4Src) : 0);
+      h = mix(h, view.has(Field::kL4Dst) ? view.get(Field::kL4Dst) : 0);
+    }
+  } else {
+    h = mix(h, view.has(Field::kEthSrc) ? view.get(Field::kEthSrc) : 0);
+    if (mode == SelectHash::kFiveTuple)
+      h = mix(h, view.has(Field::kEthDst) ? view.get(Field::kEthDst) : 0);
+  }
+  return h;
+}
+
+}  // namespace harmless::openflow

@@ -1,0 +1,81 @@
+// openflow/group_table.hpp — OF1.3 group table.
+//
+// Three group types, which is all the use cases need:
+//   ALL      — replicate the packet through every bucket (multicast)
+//   SELECT   — pick one bucket by a deterministic weighted hash of the
+//              flow key (the Load Balancer scenario)
+//   INDIRECT — single bucket indirection
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "openflow/action.hpp"
+#include "util/result.hpp"
+#include "util/status.hpp"
+
+namespace harmless::openflow {
+
+enum class GroupType : std::uint8_t {
+  kAll = 0,
+  kSelect = 1,
+  kIndirect = 2,
+};
+
+struct Bucket {
+  ActionList actions;
+  std::uint16_t weight = 1;  // SELECT only
+  std::uint64_t packet_count = 0;
+};
+
+/// What a SELECT group hashes to pick a bucket. kFiveTuple is the
+/// common switch default; kSourceIp gives the per-client stickiness
+/// the paper's Load Balancer use case specifies ("based on matching of
+/// the source IP address").
+enum class SelectHash : std::uint8_t {
+  kFiveTuple = 0,
+  kSourceIp = 1,
+};
+
+struct GroupEntry {
+  std::uint32_t group_id = 0;
+  GroupType type = GroupType::kAll;
+  SelectHash select_hash = SelectHash::kFiveTuple;
+  std::vector<Bucket> buckets;
+};
+
+class GroupTable {
+ public:
+  /// OFPGC_ADD; fails if the id exists or a SELECT group has zero
+  /// total weight.
+  util::Status add(GroupEntry entry);
+
+  /// OFPGC_MODIFY; fails if the id does not exist.
+  util::Status modify(GroupEntry entry);
+
+  /// OFPGC_DELETE (deleting a missing group is a no-op, per spec).
+  void remove(std::uint32_t group_id);
+
+  [[nodiscard]] const GroupEntry* find(std::uint32_t group_id) const;
+  GroupEntry* find_mutable(std::uint32_t group_id);
+
+  /// For SELECT groups: choose a bucket index for the given flow hash.
+  /// Deterministic: same flow -> same bucket (per-flow consistency, the
+  /// property the LB use case tests). Weights bias the choice.
+  [[nodiscard]] std::size_t select_bucket(const GroupEntry& entry,
+                                          std::uint64_t flow_hash) const;
+
+  [[nodiscard]] std::size_t size() const { return groups_.size(); }
+
+ private:
+  std::map<std::uint32_t, GroupEntry> groups_;
+};
+
+/// Hash of the fields that define a flow for SELECT balancing.
+/// kFiveTuple: src/dst IP + ports + proto (eth src/dst for non-IP);
+/// kSourceIp: source IP only (eth src for non-IP).
+std::uint64_t flow_hash_of(const FieldView& view, SelectHash mode = SelectHash::kFiveTuple);
+
+}  // namespace harmless::openflow

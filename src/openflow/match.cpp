@@ -1,0 +1,124 @@
+#include "openflow/match.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace harmless::openflow {
+
+Match& Match::set(Field field, std::uint64_t value) {
+  return set_masked(field, value, field_all_ones(field));
+}
+
+Match& Match::set_masked(Field field, std::uint64_t value, std::uint64_t mask) {
+  const auto index = static_cast<std::size_t>(field);
+  values_[index] = value & mask;
+  masks_[index] = mask;
+  present_ |= field_bit(field);
+  return *this;
+}
+
+Match& Match::ip_src_prefix(net::Ipv4Addr ip, int prefix_len) {
+  const std::uint64_t mask =
+      prefix_len <= 0 ? 0 : (prefix_len >= 32 ? 0xffffffffULL : ~((1ULL << (32 - prefix_len)) - 1) & 0xffffffffULL);
+  return set_masked(Field::kIpSrc, ip.value(), mask);
+}
+
+Match& Match::ip_dst_prefix(net::Ipv4Addr ip, int prefix_len) {
+  const std::uint64_t mask =
+      prefix_len <= 0 ? 0 : (prefix_len >= 32 ? 0xffffffffULL : ~((1ULL << (32 - prefix_len)) - 1) & 0xffffffffULL);
+  return set_masked(Field::kIpDst, ip.value(), mask);
+}
+
+bool Match::matches(const FieldView& view) const {
+  std::uint32_t remaining = present_;
+  while (remaining != 0) {
+    const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
+    remaining &= remaining - 1;
+    const auto field = static_cast<Field>(index);
+    if (!view.has(field)) return false;
+    if ((view.values[index] & masks_[index]) != values_[index]) return false;
+  }
+  return true;
+}
+
+bool Match::subsumes(const Match& other) const {
+  // For every constraint of ours, `other` must constrain at least as
+  // tightly: our mask bits ⊆ other's mask bits and values agree on our
+  // mask.
+  std::uint32_t remaining = present_;
+  while (remaining != 0) {
+    const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
+    remaining &= remaining - 1;
+    const auto field = static_cast<Field>(index);
+    if (!other.has(field)) return false;
+    const std::uint64_t our_mask = masks_[index];
+    if ((other.masks_[index] & our_mask) != our_mask) return false;
+    if ((other.values_[index] & our_mask) != values_[index]) return false;
+  }
+  return true;
+}
+
+bool Match::overlaps(const Match& other) const {
+  // Two matches overlap unless some field they both constrain disagrees
+  // on the intersection of the masks.
+  const std::uint32_t both = present_ & other.present_;
+  std::uint32_t remaining = both;
+  while (remaining != 0) {
+    const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
+    remaining &= remaining - 1;
+    const std::uint64_t common = masks_[index] & other.masks_[index];
+    if ((values_[index] & common) != (other.values_[index] & common)) return false;
+  }
+  return true;
+}
+
+bool Match::all_exact() const {
+  if (present_ == 0) return false;  // nothing to hash on
+  std::uint32_t remaining = present_;
+  while (remaining != 0) {
+    const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
+    remaining &= remaining - 1;
+    if (masks_[index] != field_all_ones(static_cast<Field>(index))) return false;
+  }
+  return true;
+}
+
+std::string Match::to_string() const {
+  if (present_ == 0) return "*";
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t index = 0; index < kFieldCount; ++index) {
+    if ((present_ & (1u << index)) == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    const auto field = static_cast<Field>(index);
+    os << field_name(field) << '=';
+    switch (field) {
+      case Field::kEthDst:
+      case Field::kEthSrc:
+        os << net::MacAddr::from_u64(values_[index]).to_string();
+        break;
+      case Field::kIpSrc:
+      case Field::kIpDst:
+        os << net::Ipv4Addr(static_cast<std::uint32_t>(values_[index])).to_string();
+        break;
+      case Field::kVlanVid:
+        if (values_[index] == 0 && masks_[index] == field_all_ones(field))
+          os << "untagged";
+        else
+          os << (values_[index] & 0x0fff);
+        break;
+      case Field::kEthType:
+        os << util::format("0x%04x", static_cast<unsigned>(values_[index]));
+        break;
+      default:
+        os << values_[index];
+    }
+    if (masks_[index] != field_all_ones(field))
+      os << util::format("/0x%llx", static_cast<unsigned long long>(masks_[index]));
+  }
+  return os.str();
+}
+
+}  // namespace harmless::openflow

@@ -1,0 +1,84 @@
+// openflow/match.hpp — the match half of a flow entry.
+//
+// A Match is a set of (field, value, mask) constraints. A packet's
+// FieldView satisfies the match iff, for every constrained field, the
+// field is present and (view & mask) == (value & mask). Fluent
+// builders cover the fields the HARMLESS apps use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ipv4.hpp"
+#include "net/mac.hpp"
+#include "net/vlan.hpp"
+#include "openflow/fields.hpp"
+
+namespace harmless::openflow {
+
+class Match {
+ public:
+  /// Wildcard-everything match (the table-miss match).
+  Match() = default;
+
+  // ---- generic ----
+  Match& set(Field field, std::uint64_t value);
+  Match& set_masked(Field field, std::uint64_t value, std::uint64_t mask);
+
+  // ---- fluent helpers ----
+  Match& in_port(std::uint32_t port) { return set(Field::kInPort, port); }
+  Match& eth_dst(net::MacAddr mac) { return set(Field::kEthDst, mac.to_u64()); }
+  Match& eth_src(net::MacAddr mac) { return set(Field::kEthSrc, mac.to_u64()); }
+  Match& eth_type(std::uint16_t type) { return set(Field::kEthType, type); }
+  /// Match a specific 802.1Q tag.
+  Match& vlan_vid(net::VlanId vid) { return set(Field::kVlanVid, kVlanPresent | vid); }
+  /// Match untagged frames (OFPVID_NONE).
+  Match& vlan_absent() { return set(Field::kVlanVid, 0); }
+  /// Match "any tagged frame" (OFPVID_PRESENT with mask).
+  Match& vlan_any() { return set_masked(Field::kVlanVid, kVlanPresent, kVlanPresent); }
+  Match& ip_proto(std::uint8_t proto) { return set(Field::kIpProto, proto); }
+  Match& ip_src(net::Ipv4Addr ip) { return set(Field::kIpSrc, ip.value()); }
+  Match& ip_dst(net::Ipv4Addr ip) { return set(Field::kIpDst, ip.value()); }
+  Match& ip_src_prefix(net::Ipv4Addr ip, int prefix_len);
+  Match& ip_dst_prefix(net::Ipv4Addr ip, int prefix_len);
+  Match& l4_src(std::uint16_t port) { return set(Field::kL4Src, port); }
+  Match& l4_dst(std::uint16_t port) { return set(Field::kL4Dst, port); }
+  Match& arp_op(std::uint16_t op) { return set(Field::kArpOp, op); }
+
+  // ---- evaluation ----
+  [[nodiscard]] bool matches(const FieldView& view) const;
+
+  /// True if every packet matching `other` also matches this (this is
+  /// equal or more general). Used by strict/non-strict flow-mod.
+  [[nodiscard]] bool subsumes(const Match& other) const;
+
+  /// True if some packet could match both (OFPFF_CHECK_OVERLAP).
+  [[nodiscard]] bool overlaps(const Match& other) const;
+
+  /// Exact structural equality (same fields, values, masks).
+  friend bool operator==(const Match&, const Match&) = default;
+
+  [[nodiscard]] bool is_wildcard_all() const { return present_ == 0; }
+  [[nodiscard]] std::uint32_t fields_present() const { return present_; }
+  [[nodiscard]] bool has(Field field) const { return (present_ & field_bit(field)) != 0; }
+  [[nodiscard]] std::uint64_t value_of(Field field) const {
+    return values_[static_cast<std::size_t>(field)];
+  }
+  [[nodiscard]] std::uint64_t mask_of(Field field) const {
+    return masks_[static_cast<std::size_t>(field)];
+  }
+
+  /// True if every constrained field uses a full (exact) mask — the
+  /// property the specialized matcher keys hash tables on.
+  [[nodiscard]] bool all_exact() const;
+
+  /// "in_port=3,vlan_vid=101" style.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<std::uint64_t, kFieldCount> values_{};
+  std::array<std::uint64_t, kFieldCount> masks_{};
+  std::uint32_t present_ = 0;
+};
+
+}  // namespace harmless::openflow

@@ -1,0 +1,153 @@
+#include "openflow/matcher.hpp"
+
+#include <algorithm>
+
+namespace harmless::openflow {
+
+namespace {
+
+bool priority_desc(const FlowEntry* a, const FlowEntry* b) {
+  return a->priority > b->priority;
+}
+
+/// FNV-1a over a stream of u64s.
+std::uint64_t hash_u64s(std::uint64_t seed, std::uint64_t value) {
+  std::uint64_t h = seed ^ value;
+  h *= 0x100000001b3ULL;
+  h ^= h >> 29;
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- linear
+
+void LinearMatcher::rebuild(std::span<FlowEntry* const> entries) {
+  by_priority_.assign(entries.begin(), entries.end());
+  std::stable_sort(by_priority_.begin(), by_priority_.end(), priority_desc);
+}
+
+FlowEntry* LinearMatcher::lookup(const FieldView& view, LookupCost& cost) const {
+  for (FlowEntry* entry : by_priority_) {
+    ++cost.entries_scanned;
+    if (entry->match.matches(view)) return entry;
+  }
+  return nullptr;
+}
+
+// ----------------------------------------------------------- specialized
+
+bool SpecializedMatcher::shape_key(const Shape& shape, const FieldView& view,
+                                   std::uint64_t& key) {
+  if ((view.present & shape.fields) != shape.fields) return false;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  std::uint32_t remaining = shape.fields;
+  while (remaining != 0) {
+    const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
+    remaining &= remaining - 1;
+    h = hash_u64s(h, view.values[index] & shape.masks[index]);
+  }
+  key = h;
+  return true;
+}
+
+void SpecializedMatcher::rebuild(std::span<FlowEntry* const> entries) {
+  shapes_.clear();
+
+  for (FlowEntry* entry : entries) {
+    const Match& match = entry->match;
+    // Find (or create) this entry's shape.
+    Shape* shape = nullptr;
+    for (Shape& candidate : shapes_) {
+      if (candidate.fields != match.fields_present()) continue;
+      bool same_masks = true;
+      std::uint32_t remaining = candidate.fields;
+      while (remaining != 0) {
+        const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
+        remaining &= remaining - 1;
+        if (candidate.masks[index] != match.mask_of(static_cast<Field>(index))) {
+          same_masks = false;
+          break;
+        }
+      }
+      if (same_masks) {
+        shape = &candidate;
+        break;
+      }
+    }
+    if (shape == nullptr) {
+      Shape fresh;
+      fresh.fields = match.fields_present();
+      for (std::size_t index = 0; index < kFieldCount; ++index)
+        if (fresh.fields & (1u << index))
+          fresh.masks[index] = match.mask_of(static_cast<Field>(index));
+      fresh.exact = match.all_exact() && fresh.fields != 0;
+      shapes_.push_back(std::move(fresh));
+      shape = &shapes_.back();
+    }
+
+    shape->max_priority = std::max(shape->max_priority, entry->priority);
+    if (shape->exact) {
+      // Key the entry by its own constrained values (same packing as
+      // shape_key uses for packets).
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      std::uint32_t remaining = shape->fields;
+      while (remaining != 0) {
+        const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
+        remaining &= remaining - 1;
+        h = hash_u64s(h, entry->match.value_of(static_cast<Field>(index)));
+      }
+      shape->buckets[h].push_back(entry);
+    } else {
+      shape->list.push_back(entry);
+    }
+  }
+
+  for (Shape& shape : shapes_) {
+    std::stable_sort(shape.list.begin(), shape.list.end(), priority_desc);
+    for (auto& [key, bucket] : shape.buckets)
+      std::stable_sort(bucket.begin(), bucket.end(), priority_desc);
+  }
+  std::stable_sort(shapes_.begin(), shapes_.end(),
+                   [](const Shape& a, const Shape& b) { return a.max_priority > b.max_priority; });
+}
+
+FlowEntry* SpecializedMatcher::lookup(const FieldView& view, LookupCost& cost) const {
+  FlowEntry* best = nullptr;
+  for (const Shape& shape : shapes_) {
+    // Shapes are ordered by max_priority: once the current best beats
+    // everything a shape could contain, we are done.
+    if (best != nullptr && best->priority >= shape.max_priority) break;
+
+    if (shape.exact) {
+      std::uint64_t key = 0;
+      if (!shape_key(shape, view, key)) continue;
+      ++cost.hash_probes;
+      const auto it = shape.buckets.find(key);
+      if (it == shape.buckets.end()) continue;
+      for (FlowEntry* entry : it->second) {
+        ++cost.entries_scanned;
+        if (entry->match.matches(view)) {  // guards against hash collisions
+          if (best == nullptr || entry->priority > best->priority) best = entry;
+          break;  // bucket is priority-sorted
+        }
+      }
+    } else {
+      for (FlowEntry* entry : shape.list) {
+        ++cost.entries_scanned;
+        if (entry->match.matches(view)) {
+          if (best == nullptr || entry->priority > best->priority) best = entry;
+          break;  // list is priority-sorted
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<Matcher> make_matcher(bool specialized) {
+  if (specialized) return std::make_unique<SpecializedMatcher>();
+  return std::make_unique<LinearMatcher>();
+}
+
+}  // namespace harmless::openflow

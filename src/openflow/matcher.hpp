@@ -1,0 +1,91 @@
+// openflow/matcher.hpp — flow-table lookup engines.
+//
+// Two engines implement the same contract so benches can swap them:
+//
+//  * LinearMatcher — the textbook approach: walk entries in priority
+//    order, first hit wins. O(n) per lookup.
+//
+//  * SpecializedMatcher — a miniature of ESwitch's dataplane
+//    specialization (Molnár et al., SIGCOMM'16 [9], the switch the
+//    HARMLESS demo runs): entries are partitioned by *shape* (the set
+//    of constrained fields + masks). Shapes whose constraints are all
+//    exact-match compile to a hash table keyed on the packed field
+//    values — one probe instead of n comparisons. Wildcarded shapes
+//    keep a priority-ordered list. Lookup visits shapes in descending
+//    max-priority order and stops as soon as no later shape can beat
+//    the best hit.
+//
+// Both report a LookupCost so the softswitch can charge simulated
+// nanoseconds proportional to real work.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "openflow/flow_entry.hpp"
+
+namespace harmless::openflow {
+
+struct LookupCost {
+  std::uint32_t entries_scanned = 0;  // linear comparisons performed
+  std::uint32_t hash_probes = 0;      // hash-table probes performed
+};
+
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Rebuild internal structures from `entries` (any order; matchers
+  /// sort internally). Pointers must stay valid until the next rebuild.
+  virtual void rebuild(std::span<FlowEntry* const> entries) = 0;
+
+  /// Highest-priority matching entry, or nullptr.
+  virtual FlowEntry* lookup(const FieldView& view, LookupCost& cost) const = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+class LinearMatcher : public Matcher {
+ public:
+  void rebuild(std::span<FlowEntry* const> entries) override;
+  FlowEntry* lookup(const FieldView& view, LookupCost& cost) const override;
+  [[nodiscard]] const char* name() const override { return "linear"; }
+
+ private:
+  std::vector<FlowEntry*> by_priority_;
+};
+
+class SpecializedMatcher : public Matcher {
+ public:
+  void rebuild(std::span<FlowEntry* const> entries) override;
+  FlowEntry* lookup(const FieldView& view, LookupCost& cost) const override;
+  [[nodiscard]] const char* name() const override { return "specialized"; }
+
+  /// Number of compiled shapes (exposed for tests/benches).
+  [[nodiscard]] std::size_t shape_count() const { return shapes_.size(); }
+
+ private:
+  struct Shape {
+    std::uint32_t fields = 0;  // presence bitmap
+    std::array<std::uint64_t, kFieldCount> masks{};
+    bool exact = false;              // all masks full-width -> hashed
+    std::uint16_t max_priority = 0;  // best entry priority in this shape
+    // exact shapes:
+    std::unordered_map<std::uint64_t, std::vector<FlowEntry*>> buckets;
+    // wildcard shapes (priority-desc):
+    std::vector<FlowEntry*> list;
+  };
+
+  /// Pack the constrained field values of `view` under `shape` into a
+  /// hash key. Returns false if the view lacks one of the fields.
+  static bool shape_key(const Shape& shape, const FieldView& view, std::uint64_t& key);
+
+  std::vector<Shape> shapes_;  // sorted by max_priority descending
+};
+
+std::unique_ptr<Matcher> make_matcher(bool specialized);
+
+}  // namespace harmless::openflow

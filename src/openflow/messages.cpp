@@ -1,0 +1,28 @@
+#include "openflow/messages.hpp"
+
+namespace harmless::openflow {
+
+namespace {
+struct Namer {
+  const char* operator()(const HelloMsg&) const { return "hello"; }
+  const char* operator()(const FeaturesRequestMsg&) const { return "features_request"; }
+  const char* operator()(const FeaturesReplyMsg&) const { return "features_reply"; }
+  const char* operator()(const FlowModMsg&) const { return "flow_mod"; }
+  const char* operator()(const GroupModMsg&) const { return "group_mod"; }
+  const char* operator()(const PacketInMsg&) const { return "packet_in"; }
+  const char* operator()(const PacketOutMsg&) const { return "packet_out"; }
+  const char* operator()(const PortStatusMsg&) const { return "port_status"; }
+  const char* operator()(const FlowRemovedMsg&) const { return "flow_removed"; }
+  const char* operator()(const FlowStatsRequestMsg&) const { return "flow_stats_request"; }
+  const char* operator()(const FlowStatsReplyMsg&) const { return "flow_stats_reply"; }
+  const char* operator()(const BarrierRequestMsg&) const { return "barrier_request"; }
+  const char* operator()(const BarrierReplyMsg&) const { return "barrier_reply"; }
+  const char* operator()(const EchoRequestMsg&) const { return "echo_request"; }
+  const char* operator()(const EchoReplyMsg&) const { return "echo_reply"; }
+  const char* operator()(const ErrorMsg&) const { return "error"; }
+};
+}  // namespace
+
+const char* message_name(const Message& message) { return std::visit(Namer{}, message); }
+
+}  // namespace harmless::openflow

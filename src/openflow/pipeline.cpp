@@ -1,0 +1,209 @@
+#include "openflow/pipeline.hpp"
+
+#include "net/parse.hpp"
+#include "util/status.hpp"
+
+namespace harmless::openflow {
+
+namespace {
+constexpr int kMaxGroupDepth = 4;  // guards against group->group cycles
+}
+
+Pipeline::Pipeline(std::size_t table_count, bool specialized) {
+  if (table_count == 0) throw util::ConfigError("pipeline needs at least one table");
+  tables_.reserve(table_count);
+  for (std::size_t index = 0; index < table_count; ++index)
+    tables_.emplace_back(static_cast<std::uint8_t>(index), specialized);
+}
+
+FlowTable& Pipeline::table(std::size_t index) {
+  if (index >= tables_.size())
+    throw util::ConfigError("pipeline table " + std::to_string(index) + " out of range");
+  return tables_[index];
+}
+
+const FlowTable& Pipeline::table(std::size_t index) const {
+  if (index >= tables_.size())
+    throw util::ConfigError("pipeline table " + std::to_string(index) + " out of range");
+  return tables_[index];
+}
+
+std::size_t Pipeline::total_entries() const {
+  std::size_t total = 0;
+  for (const FlowTable& table : tables_) total += table.size();
+  return total;
+}
+
+sim::SimNanos Pipeline::execute_actions(const ActionList& actions, net::Packet& packet,
+                                        std::uint32_t in_port, std::uint8_t table_id,
+                                        PipelineResult& result, bool& view_dirty, int depth) {
+  sim::SimNanos cost = 0;
+  for (const Action& action : actions) {
+    cost += costs_.action_ns;
+
+    if (const auto* out = std::get_if<OutputAction>(&action)) {
+      if (out->port == kPortController) {
+        PacketInEvent event;
+        event.packet = packet;  // copy: pipeline may continue
+        event.in_port = in_port;
+        event.table_id = table_id;
+        event.reason = PacketInReason::kAction;
+        result.packet_ins.push_back(std::move(event));
+      } else {
+        result.outputs.emplace_back(out->port, packet);  // copy per output
+      }
+      continue;
+    }
+
+    if (const auto* grp = std::get_if<GroupAction>(&action)) {
+      cost += costs_.group_ns;
+      if (depth >= kMaxGroupDepth) continue;  // malformed config: stop recursion
+      const GroupEntry* entry = groups_.find(grp->group_id);
+      if (entry == nullptr) continue;  // dangling group id: packets blackhole (per spec)
+      switch (entry->type) {
+        case GroupType::kAll:
+          for (const Bucket& bucket : entry->buckets) {
+            net::Packet copy = packet;
+            cost += execute_actions(bucket.actions, copy, in_port, table_id, result,
+                                    view_dirty, depth + 1);
+          }
+          break;
+        case GroupType::kSelect: {
+          const net::ParsedPacket parsed = net::parse_packet(packet);
+          const FieldView view = build_field_view(parsed, in_port);
+          const std::size_t index =
+              groups_.select_bucket(*entry, flow_hash_of(view, entry->select_hash));
+          GroupEntry* mutable_entry = groups_.find_mutable(grp->group_id);
+          mutable_entry->buckets[index].packet_count++;
+          net::Packet copy = packet;
+          cost += execute_actions(entry->buckets[index].actions, copy, in_port, table_id,
+                                  result, view_dirty, depth + 1);
+          break;
+        }
+        case GroupType::kIndirect: {
+          net::Packet copy = packet;
+          cost += execute_actions(entry->buckets[0].actions, copy, in_port, table_id, result,
+                                  view_dirty, depth + 1);
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Header-mutating action.
+    if (apply_header_action(action, packet)) view_dirty = true;
+  }
+  return cost;
+}
+
+PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now) {
+  PipelineResult result;
+  result.cost_ns += costs_.parse_ns;
+
+  net::ParsedPacket parsed = net::parse_packet(packet);
+  FieldView view = build_field_view(parsed, in_port);
+  bool view_dirty = false;
+
+  // The OF1.3 action set: at most one action per slot, executed in
+  // spec order at pipeline exit.
+  struct ActionSet {
+    bool pop_vlan = false;
+    bool push_vlan = false;
+    std::vector<SetFieldAction> set_fields;  // last write per field wins
+    std::optional<GroupAction> group;
+    std::optional<OutputAction> output;
+
+    void clear() { *this = ActionSet{}; }
+    void write(const ActionList& actions) {
+      for (const Action& action : actions) {
+        if (std::holds_alternative<PopVlanAction>(action)) {
+          pop_vlan = true;
+        } else if (std::holds_alternative<PushVlanAction>(action)) {
+          push_vlan = true;
+        } else if (const auto* set = std::get_if<SetFieldAction>(&action)) {
+          bool replaced = false;
+          for (auto& existing : set_fields)
+            if (existing.field == set->field) {
+              existing = *set;
+              replaced = true;
+              break;
+            }
+          if (!replaced) set_fields.push_back(*set);
+        } else if (const auto* grp = std::get_if<GroupAction>(&action)) {
+          group = *grp;
+        } else if (const auto* out = std::get_if<OutputAction>(&action)) {
+          output = *out;
+        }
+      }
+    }
+    [[nodiscard]] ActionList to_list() const {
+      ActionList list;
+      if (pop_vlan) list.push_back(PopVlanAction{});
+      if (push_vlan) list.push_back(PushVlanAction{});
+      for (const SetFieldAction& set : set_fields) list.push_back(set);
+      if (group) list.push_back(*group);
+      if (output) list.push_back(*output);
+      return list;
+    }
+  } action_set;
+
+  std::size_t table_index = 0;
+  while (table_index < tables_.size()) {
+    result.last_table = static_cast<std::uint8_t>(table_index);
+    if (view_dirty) {
+      parsed = net::parse_packet(packet);
+      view = build_field_view(parsed, in_port);
+      view_dirty = false;
+      result.cost_ns += costs_.parse_ns;
+    }
+
+    LookupCost lookup_cost;
+    FlowEntry* entry =
+        tables_[table_index].lookup(view, packet.size(), now, lookup_cost);
+    result.cost_ns += lookup_cost.hash_probes * costs_.hash_probe_ns +
+                      lookup_cost.entries_scanned * costs_.entry_scan_ns;
+
+    if (entry == nullptr) {
+      // Table miss without a miss entry: drop (OF1.3 default).
+      result.cost_ns += costs_.miss_ns;
+      return result;
+    }
+    result.matched = true;
+
+    const Instructions& inst = entry->instructions;
+    if (!inst.apply_actions.empty())
+      result.cost_ns += execute_actions(inst.apply_actions, packet, in_port,
+                                        static_cast<std::uint8_t>(table_index), result,
+                                        view_dirty, 0);
+    if (inst.clear_actions) action_set.clear();
+    if (!inst.write_actions.empty()) action_set.write(inst.write_actions);
+
+    if (inst.goto_table) {
+      if (*inst.goto_table <= table_index) {
+        // Spec forbids backward gotos; treat as pipeline end.
+        break;
+      }
+      table_index = *inst.goto_table;
+      continue;
+    }
+    break;
+  }
+
+  const ActionList final_actions = action_set.to_list();
+  if (!final_actions.empty())
+    result.cost_ns += execute_actions(final_actions, packet, in_port, result.last_table,
+                                      result, view_dirty, 0);
+  return result;
+}
+
+std::vector<FlowEntry> Pipeline::collect_expired(sim::SimNanos now) {
+  std::vector<FlowEntry> expired;
+  for (FlowTable& table : tables_) {
+    auto batch = table.collect_expired(now);
+    expired.insert(expired.end(), std::make_move_iterator(batch.begin()),
+                   std::make_move_iterator(batch.end()));
+  }
+  return expired;
+}
+
+}  // namespace harmless::openflow

@@ -1,0 +1,96 @@
+// openflow/pipeline.hpp — the multi-table OF1.3 pipeline.
+//
+// Execution model (the subset of OF1.3 §5 the system needs, faithfully):
+//   * packet enters table 0 with an empty action set
+//   * on match: apply-actions run immediately (header rewrites take
+//     effect for later tables), clear/write edit the action set,
+//     goto-table continues at a strictly higher table
+//   * when the pipeline stops (no goto), the action set executes in
+//     spec order: pop_vlan, push_vlan, set_field*, group, output
+//   * on miss: the packet is dropped (install a priority-0 wildcard
+//     entry — the table-miss entry — to get controller punts)
+//
+// The pipeline charges a simulated cost per packet assembled from the
+// work actually performed (parse, hash probes, linear scans, actions,
+// group executions). The constants model a 2017 x86 software switch in
+// the ESwitch/DPDK class and are the knob EXPERIMENTS.md documents.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "openflow/flow_table.hpp"
+#include "openflow/group_table.hpp"
+
+namespace harmless::openflow {
+
+struct PipelineCosts {
+  sim::SimNanos parse_ns = 25;       // header parse + FieldView build
+  sim::SimNanos hash_probe_ns = 12;  // one exact-match table probe
+  sim::SimNanos entry_scan_ns = 4;   // one linear entry comparison
+  sim::SimNanos action_ns = 6;       // one action application
+  sim::SimNanos group_ns = 10;       // group indirection overhead
+  sim::SimNanos miss_ns = 8;         // table miss bookkeeping
+};
+
+enum class PacketInReason : std::uint8_t {
+  kNoMatch = 0,  // reached via a table-miss entry with output:CONTROLLER
+  kAction = 1,
+};
+
+struct PacketInEvent {
+  net::Packet packet;
+  std::uint32_t in_port = 0;
+  std::uint8_t table_id = 0;
+  PacketInReason reason = PacketInReason::kAction;
+};
+
+struct PipelineResult {
+  /// (out_port, frame) pairs; out_port may be a ReservedPort (FLOOD,
+  /// ALL, IN_PORT) that the datapath resolves against its port set.
+  std::vector<std::pair<std::uint32_t, net::Packet>> outputs;
+  std::vector<PacketInEvent> packet_ins;
+  sim::SimNanos cost_ns = 0;
+  std::uint8_t last_table = 0;
+  bool matched = false;
+
+  [[nodiscard]] bool dropped() const { return outputs.empty() && packet_ins.empty(); }
+};
+
+class Pipeline {
+ public:
+  /// `table_count` tables (0..n-1); `specialized` picks the matcher.
+  explicit Pipeline(std::size_t table_count = 2, bool specialized = true);
+
+  [[nodiscard]] std::size_t table_count() const { return tables_.size(); }
+  [[nodiscard]] FlowTable& table(std::size_t index);
+  [[nodiscard]] const FlowTable& table(std::size_t index) const;
+  [[nodiscard]] GroupTable& groups() { return groups_; }
+  [[nodiscard]] const GroupTable& groups() const { return groups_; }
+
+  /// Run one packet; consumes it.
+  PipelineResult run(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now);
+
+  /// Sweep all tables for expired entries.
+  std::vector<FlowEntry> collect_expired(sim::SimNanos now);
+
+  void set_costs(const PipelineCosts& costs) { costs_ = costs; }
+  [[nodiscard]] const PipelineCosts& costs() const { return costs_; }
+
+  /// Total entries across tables.
+  [[nodiscard]] std::size_t total_entries() const;
+
+ private:
+  /// Execute an action list against `packet`; outputs/groups/punts are
+  /// routed into `result`. Returns the cost of the executed actions.
+  sim::SimNanos execute_actions(const ActionList& actions, net::Packet& packet,
+                                std::uint32_t in_port, std::uint8_t table_id,
+                                PipelineResult& result, bool& view_dirty, int depth);
+
+  std::vector<FlowTable> tables_;
+  GroupTable groups_;
+  PipelineCosts costs_;
+};
+
+}  // namespace harmless::openflow

@@ -1,0 +1,33 @@
+#include "sim/event.hpp"
+
+#include <algorithm>
+
+namespace harmless::sim {
+
+void Engine::schedule_at(SimNanos at, std::function<void()> fn) {
+  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the closure is moved out via a
+  // const_cast that is safe because pop() follows immediately.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.at;
+  ++events_dispatched_;
+  event.fn();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(SimNanos deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) step();
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace harmless::sim

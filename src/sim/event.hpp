@@ -1,0 +1,72 @@
+// sim/event.hpp — the discrete-event engine.
+//
+// A single min-heap of (time, sequence) ordered closures. Sequence
+// numbers break ties FIFO, which together with the seeded Rng makes
+// every run fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace harmless::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimNanos now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (clamped to now, never in the
+  /// past).
+  void schedule_at(SimNanos at, std::function<void()> fn);
+
+  /// Schedule `fn` `delay` ns from now.
+  void schedule_after(SimNanos delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Run events with time <= `deadline`; leaves later events queued and
+  /// advances now() to the deadline.
+  void run_until(SimNanos deadline);
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Monotone packet-id source shared by every generator in a network.
+  std::uint64_t next_packet_id() { return ++last_packet_id_; }
+
+  /// Total events dispatched (engine work metric for benches).
+  [[nodiscard]] std::uint64_t events_dispatched() const { return events_dispatched_; }
+
+ private:
+  struct Event {
+    SimNanos at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimNanos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t last_packet_id_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace harmless::sim

@@ -1,0 +1,40 @@
+#include "sim/link.hpp"
+
+#include <utility>
+
+namespace harmless::sim {
+
+Channel::Channel(Engine& engine, LinkSpec spec, std::string label)
+    : engine_(engine), spec_(spec), label_(std::move(label)) {}
+
+void Channel::transmit(net::Packet&& packet) {
+  if (!up_) {
+    ++drops_;
+    return;
+  }
+  if (queued_ >= spec_.queue_capacity_packets) {
+    ++drops_;
+    return;
+  }
+  ++queued_;
+
+  const SimNanos start = std::max(engine_.now(), transmitter_free_);
+  const SimNanos serialization = spec_.rate.serialization_ns(packet.size());
+  const SimNanos departs = start + serialization;
+  const SimNanos arrives = departs + spec_.propagation_delay;
+  transmitter_free_ = departs;
+  busy_ns_ += serialization;
+
+  // The slot is freed when the last bit leaves the transmitter;
+  // propagation keeps the packet "in flight" but not "queued".
+  engine_.schedule_at(departs, [this] { --queued_; });
+
+  const std::size_t size = packet.size();
+  engine_.schedule_at(arrives, [this, size, packet = std::move(packet)]() mutable {
+    delivered_.add(size);
+    if (tap_) tap_(engine_.now(), packet);
+    if (sink_) sink_(std::move(packet));
+  });
+}
+
+}  // namespace harmless::sim

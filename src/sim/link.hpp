@@ -1,0 +1,82 @@
+// sim/link.hpp — unidirectional wire model.
+//
+// A Channel models one direction of a cable: a drop-tail output queue
+// in front of a transmitter that serializes at the line rate, followed
+// by a fixed propagation delay. `Network::connect` pairs two Channels
+// into a duplex link.
+//
+// Timing model for a packet handed to transmit() at time t:
+//   start  = max(t, transmitter_free)
+//   departs = start + serialization(size)
+//   arrives = departs + propagation_delay
+// Packets whose queue (packets waiting to start) exceeds the capacity
+// are dropped and counted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/event.hpp"
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace harmless::sim {
+
+struct LinkSpec {
+  Rate rate = Rate::gbps(1);
+  SimNanos propagation_delay = 500_ns;  // ~100 m of fibre
+  std::size_t queue_capacity_packets = 256;
+
+  static LinkSpec gbps(double gigabits, SimNanos delay = 500_ns) {
+    return LinkSpec{Rate::gbps(gigabits), delay, 256};
+  }
+};
+
+class Channel {
+ public:
+  Channel(Engine& engine, LinkSpec spec, std::string label);
+
+  /// Where delivered packets go (the far-side port).
+  void set_sink(std::function<void(net::Packet&&)> sink) { sink_ = std::move(sink); }
+
+  /// Passive observer invoked at delivery time, before the sink (pcap
+  /// taps, test probes). At most one per channel.
+  void set_tap(std::function<void(SimNanos, const net::Packet&)> tap) {
+    tap_ = std::move(tap);
+  }
+
+  /// Enqueue a packet for transmission; may drop if the queue is full.
+  void transmit(net::Packet&& packet);
+
+  /// Failure injection: a downed channel drops everything handed to it
+  /// (counted in drops()).
+  void set_up(bool up) { up_ = up; }
+  [[nodiscard]] bool is_up() const { return up_; }
+
+  [[nodiscard]] const util::RateCounter& delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queued_; }
+  [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] const LinkSpec& spec() const { return spec_; }
+
+  /// Total time the transmitter has spent serializing; divide by the
+  /// observation window for utilization.
+  [[nodiscard]] SimNanos busy_ns() const { return busy_ns_; }
+
+ private:
+  Engine& engine_;
+  LinkSpec spec_;
+  std::string label_;
+  std::function<void(net::Packet&&)> sink_;
+  std::function<void(SimNanos, const net::Packet&)> tap_;
+  bool up_ = true;
+  SimNanos transmitter_free_ = 0;
+  std::size_t queued_ = 0;  // packets accepted but not yet departed
+  std::uint64_t drops_ = 0;
+  SimNanos busy_ns_ = 0;
+  util::RateCounter delivered_;
+};
+
+}  // namespace harmless::sim

@@ -1,0 +1,25 @@
+#include "sim/network.hpp"
+
+namespace harmless::sim {
+
+void Network::connect(Node& a, std::size_t a_port, Node& b, std::size_t b_port, LinkSpec spec) {
+  a.ensure_ports(a_port + 1);
+  b.ensure_ports(b_port + 1);
+
+  auto a_to_b = std::make_unique<Channel>(
+      engine_, spec, a.name() + ":" + std::to_string(a_port) + "->" + b.name());
+  auto b_to_a = std::make_unique<Channel>(
+      engine_, spec, b.name() + ":" + std::to_string(b_port) + "->" + a.name());
+
+  Port& pa = a.port(a_port);
+  Port& pb = b.port(b_port);
+  a_to_b->set_sink([&pb](net::Packet&& packet) { pb.receive(std::move(packet)); });
+  b_to_a->set_sink([&pa](net::Packet&& packet) { pa.receive(std::move(packet)); });
+  pa.attach(a_to_b.get());
+  pb.attach(b_to_a.get());
+
+  channels_.push_back(std::move(a_to_b));
+  channels_.push_back(std::move(b_to_a));
+}
+
+}  // namespace harmless::sim

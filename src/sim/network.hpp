@@ -1,0 +1,82 @@
+// sim/network.hpp — owns the engine, the nodes and the cables.
+//
+// Usage:
+//   Network net;
+//   auto& h1 = net.add_host("h1", mac1, ip1);
+//   auto& sw = net.add_node<legacy::LegacySwitch>(...);
+//   net.connect(h1, 0, sw, 1, LinkSpec::gbps(1));
+//   ... schedule traffic ...
+//   net.run();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/pcap.hpp"
+#include "sim/event.hpp"
+#include "sim/host.hpp"
+#include "sim/link.hpp"
+#include "sim/node.hpp"
+
+namespace harmless::sim {
+
+class Network {
+ public:
+  Network() = default;
+
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] SimNanos now() const { return engine_.now(); }
+
+  /// Construct a node in place; the network owns it.
+  template <typename NodeT, typename... Args>
+  NodeT& add_node(Args&&... args) {
+    auto node = std::make_unique<NodeT>(engine_, std::forward<Args>(args)...);
+    NodeT& ref = *node;
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  /// Shorthand for the most common node type.
+  Host& add_host(const std::string& name, net::MacAddr mac, net::Ipv4Addr ip) {
+    return add_node<Host>(name, mac, ip);
+  }
+
+  /// Wire port `a_port` of `a` to port `b_port` of `b` with a duplex
+  /// link of the given spec (both directions identical).
+  void connect(Node& a, std::size_t a_port, Node& b, std::size_t b_port, LinkSpec spec);
+
+  /// All channels, for utilization reports.
+  [[nodiscard]] const std::vector<std::unique_ptr<Channel>>& channels() const {
+    return channels_;
+  }
+
+  /// Tap every frame a channel delivers into a pcap capture (one tap
+  /// per channel; the writer must outlive the network run).
+  static void tap(Channel& channel, net::PcapWriter& pcap) {
+    channel.set_tap([&pcap](SimNanos at, const net::Packet& packet) {
+      pcap.write(at, packet);
+    });
+  }
+
+  /// Find channels by label substring ("legacy:4->SS_1" etc.).
+  [[nodiscard]] std::vector<Channel*> find_channels(std::string_view label_part) const {
+    std::vector<Channel*> found;
+    for (const auto& channel : channels_)
+      if (channel->label().find(label_part) != std::string::npos)
+        found.push_back(channel.get());
+    return found;
+  }
+
+  void run() { engine_.run(); }
+  void run_until(SimNanos deadline) { engine_.run_until(deadline); }
+
+ private:
+  Engine engine_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace harmless::sim

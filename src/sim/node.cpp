@@ -1,0 +1,87 @@
+#include "sim/node.hpp"
+
+#include "util/status.hpp"
+
+namespace harmless::sim {
+
+void Port::send(net::Packet&& packet) {
+  tx.add(packet.size());
+  if (out_ == nullptr) {
+    ++tx_unwired_drops;
+    return;
+  }
+  out_->transmit(std::move(packet));
+}
+
+void Port::receive(net::Packet&& packet) {
+  rx.add(packet.size());
+  owner_->handle(index_, std::move(packet));
+}
+
+void Node::ensure_ports(std::size_t count) {
+  while (ports_.size() < count)
+    ports_.push_back(std::make_unique<Port>(*this, static_cast<int>(ports_.size())));
+}
+
+Port& Node::port(std::size_t index) {
+  if (index >= ports_.size())
+    throw util::ConfigError(name() + ": port " + std::to_string(index) + " out of range");
+  return *ports_[index];
+}
+
+const Port& Node::port(std::size_t index) const {
+  if (index >= ports_.size())
+    throw util::ConfigError(name() + ": port " + std::to_string(index) + " out of range");
+  return *ports_[index];
+}
+
+void ServicedNode::handle(int in_port, net::Packet&& packet) {
+  if (queue_.size() >= queue_capacity_) {
+    ++queue_drops_;
+    return;
+  }
+  queue_.emplace_back(in_port, std::move(packet));
+  if (!draining_) {
+    draining_ = true;
+    engine_.schedule_at(std::max(engine_.now(), busy_until_), [this] { drain(); });
+  }
+}
+
+void ServicedNode::emit(std::size_t out_port, net::Packet&& packet) {
+  if (!in_service_)
+    throw util::ConfigError(name() + ": emit() called outside service()");
+  pending_out_.emplace_back(out_port, std::move(packet));
+}
+
+void ServicedNode::drain() {
+  if (queue_.empty()) {
+    draining_ = false;
+    return;
+  }
+  auto [in_port, packet] = std::move(queue_.front());
+  queue_.pop_front();
+
+  in_service_ = true;
+  pending_out_.clear();
+  const SimNanos cost = service(in_port, std::move(packet));
+  in_service_ = false;
+
+  busy_ns_ += cost;
+  busy_until_ = engine_.now() + cost;
+
+  // Outputs leave when the packet finishes processing; each carries the
+  // compute cost it accrued in its metadata (service() charges it).
+  if (!pending_out_.empty()) {
+    auto outputs = std::move(pending_out_);
+    pending_out_.clear();
+    engine_.schedule_at(busy_until_, [this, outputs = std::move(outputs)]() mutable {
+      for (auto& [out_port, out_packet] : outputs)
+        transmit(out_port, std::move(out_packet));
+    });
+  }
+
+  // Serve the next packet when this one's service time elapses.
+  engine_.schedule_at(busy_until_, [this] { drain(); });
+}
+
+}  // namespace harmless::sim

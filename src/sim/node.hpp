@@ -1,0 +1,130 @@
+// sim/node.hpp — nodes and ports.
+//
+// A Node is anything with numbered ports: hosts, the legacy switch, the
+// software switches. Ports receive from / transmit into Channels.
+//
+// `ServicedNode` adds the processing model every switching element
+// uses: packets are served one at a time from a bounded FIFO, each
+// taking `service(...)` nanoseconds of simulated compute. That single
+// queue is what turns per-packet costs into throughput limits, so the
+// relative numbers in E1/E2 come from code, not from constants pasted
+// into benches.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/event.hpp"
+#include "sim/link.hpp"
+#include "util/stats.hpp"
+
+namespace harmless::sim {
+
+class Node;
+
+/// One attachment point of a node. tx goes into a Channel (if wired).
+class Port {
+ public:
+  Port(Node& owner, int index) : owner_(&owner), index_(index) {}
+
+  /// Transmit through the attached channel; counts and drops silently
+  /// when unwired (like a NIC with no cable).
+  void send(net::Packet&& packet);
+
+  /// Called by the channel sink; forwards into the owner node.
+  void receive(net::Packet&& packet);
+
+  void attach(Channel* out) { out_ = out; }
+  [[nodiscard]] bool wired() const { return out_ != nullptr; }
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] Channel* channel() const { return out_; }
+
+  util::RateCounter tx;
+  util::RateCounter rx;
+  std::uint64_t tx_unwired_drops = 0;
+
+ private:
+  Node* owner_;
+  int index_;
+  Channel* out_ = nullptr;
+};
+
+class Node {
+ public:
+  Node(Engine& engine, std::string name) : engine_(engine), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Packet arrived on port `in_port` (rx counters already updated).
+  virtual void handle(int in_port, net::Packet&& packet) = 0;
+
+  /// Grow the port array to at least `count` ports.
+  void ensure_ports(std::size_t count);
+  [[nodiscard]] Port& port(std::size_t index);
+  [[nodiscard]] const Port& port(std::size_t index) const;
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ protected:
+  Engine& engine_;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+/// Single-server queueing node (see file comment).
+class ServicedNode : public Node {
+ public:
+  ServicedNode(Engine& engine, std::string name, std::size_t queue_capacity = 1024)
+      : Node(engine, std::move(name)), queue_capacity_(queue_capacity) {}
+
+  void handle(int in_port, net::Packet&& packet) final;
+
+  [[nodiscard]] std::uint64_t queue_drops() const { return queue_drops_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  /// Total simulated compute spent in service().
+  [[nodiscard]] SimNanos busy_ns() const { return busy_ns_; }
+
+ protected:
+  /// Process one packet: mutate/forward it via port(i).send(...) and
+  /// return the compute cost in ns. Outputs scheduled inside service()
+  /// are delayed by that same cost (they leave when processing ends).
+  virtual SimNanos service(int in_port, net::Packet&& packet) = 0;
+
+  /// Emit a packet from `out_port` once the current service completes.
+  /// Only valid while inside service().
+  void emit(std::size_t out_port, net::Packet&& packet);
+
+  /// True while service() is executing (emit() is legal).
+  [[nodiscard]] bool in_service() const { return in_service_; }
+
+  /// How a completed output leaves the node. Default: the sim port's
+  /// channel. SoftSwitch overrides this to divert patch-bound ports
+  /// into the peer switch without a wire.
+  virtual void transmit(std::size_t out_port, net::Packet&& packet) {
+    port(out_port).send(std::move(packet));
+  }
+
+ private:
+  void drain();
+
+  std::size_t queue_capacity_;
+  std::deque<std::pair<int, net::Packet>> queue_;
+  std::vector<std::pair<std::size_t, net::Packet>> pending_out_;
+  bool draining_ = false;
+  bool in_service_ = false;
+  SimNanos busy_until_ = 0;
+  SimNanos busy_ns_ = 0;
+  std::uint64_t queue_drops_ = 0;
+};
+
+}  // namespace harmless::sim

@@ -1,0 +1,32 @@
+#include "sim/recorder.hpp"
+
+namespace harmless::sim {
+
+void LatencyRecorder::arm(std::uint64_t packet_id, SimNanos sent_at) {
+  in_flight_.emplace(packet_id, sent_at);
+  if (first_sent_ < 0 || sent_at < first_sent_) first_sent_ = sent_at;
+}
+
+bool LatencyRecorder::complete(const net::Packet& packet, SimNanos received_at) {
+  const auto it = in_flight_.find(packet.id());
+  if (it == in_flight_.end()) return false;
+  latency_ns_.add(static_cast<double>(received_at - it->second));
+  processing_ns_.add(static_cast<double>(packet.processing_ns()));
+  hops_.add(static_cast<double>(packet.hops()));
+  in_flight_.erase(it);
+  ++completed_;
+  last_received_ = std::max(last_received_, received_at);
+  return true;
+}
+
+void LatencyRecorder::clear() {
+  in_flight_.clear();
+  latency_ns_.clear();
+  processing_ns_.clear();
+  hops_.clear();
+  completed_ = 0;
+  first_sent_ = -1;
+  last_received_ = 0;
+}
+
+}  // namespace harmless::sim

@@ -1,0 +1,317 @@
+#include "softswitch/soft_switch.hpp"
+
+#include "util/strings.hpp"
+
+namespace harmless::softswitch {
+
+using namespace openflow;
+
+SoftSwitch::SoftSwitch(sim::Engine& engine, std::string name, std::uint64_t datapath_id,
+                       std::size_t of_port_count, std::size_t table_count, bool specialized)
+    : ServicedNode(engine, std::move(name)),
+      datapath_id_(datapath_id),
+      of_port_count_(of_port_count),
+      pipeline_(table_count, specialized),
+      port_up_(of_port_count + 1, true) {
+  ensure_ports(of_port_count);
+}
+
+void SoftSwitch::bind_patch(std::uint32_t of_port, SoftSwitch& peer,
+                            std::uint32_t peer_of_port) {
+  if (of_port == 0 || of_port > of_port_count_)
+    throw util::ConfigError(name() + ": patch of_port " + std::to_string(of_port) +
+                            " out of range");
+  if (peer_of_port == 0 || peer_of_port > peer.of_port_count_)
+    throw util::ConfigError(peer.name() + ": patch of_port " + std::to_string(peer_of_port) +
+                            " out of range");
+  patches_[of_port] = PatchBinding{&peer, peer_of_port};
+  peer.patches_[peer_of_port] = PatchBinding{this, of_port};
+}
+
+void SoftSwitch::attach_channel(openflow::ControlChannel& channel) {
+  channel_ = &channel;
+  channel.set_switch_handler(
+      [this](Message&& message) { handle_controller_message(std::move(message)); });
+}
+
+bool SoftSwitch::port_up(std::uint32_t of_port) const {
+  if (of_port == 0 || of_port > of_port_count_) return false;
+  return port_up_[of_port];
+}
+
+void SoftSwitch::set_port_state(std::uint32_t of_port, bool up) {
+  if (of_port == 0 || of_port > of_port_count_) return;
+  if (port_up_[of_port] == up) return;
+  port_up_[of_port] = up;
+  send_port_status(of_port, up);
+}
+
+void SoftSwitch::send_port_status(std::uint32_t of_port, bool up) {
+  if (channel_ == nullptr) return;
+  PortStatusMsg status;
+  status.reason = PortStatusMsg::Reason::kModify;
+  status.desc.port_no = of_port;
+  status.desc.name = name() + "/" + std::to_string(of_port);
+  status.desc.up = up;
+  channel_->send_to_controller(status);
+}
+
+util::Status SoftSwitch::install(const FlowModMsg& mod) {
+  ++counters_.flow_mods;
+  if (mod.table_id >= pipeline_.table_count())
+    return util::Status::error(name() + ": bad table id " + std::to_string(mod.table_id));
+  FlowTable& table = pipeline_.table(mod.table_id);
+
+  switch (mod.command) {
+    case FlowModMsg::Command::kAdd: {
+      FlowEntry entry;
+      entry.priority = mod.priority;
+      entry.match = mod.match;
+      entry.instructions = mod.instructions;
+      entry.cookie = mod.cookie;
+      entry.idle_timeout = mod.idle_timeout;
+      entry.hard_timeout = mod.hard_timeout;
+      entry.send_flow_removed = mod.send_flow_removed;
+      auto status = table.add(std::move(entry), engine_.now(), mod.check_overlap);
+      if (status.is_ok() && (mod.idle_timeout > 0 || mod.hard_timeout > 0))
+        schedule_expiry_sweep();
+      return status;
+    }
+    case FlowModMsg::Command::kModify:
+      table.modify(mod.match, mod.instructions, /*strict=*/false);
+      return util::Status::ok();
+    case FlowModMsg::Command::kModifyStrict:
+      table.modify(mod.match, mod.instructions, /*strict=*/true, mod.priority);
+      return util::Status::ok();
+    case FlowModMsg::Command::kDelete:
+      table.remove(mod.match, /*strict=*/false);
+      return util::Status::ok();
+    case FlowModMsg::Command::kDeleteStrict:
+      table.remove(mod.match, /*strict=*/true, mod.priority);
+      return util::Status::ok();
+  }
+  return util::Status::error("unreachable");
+}
+
+util::Status SoftSwitch::install_group(const GroupModMsg& mod) {
+  switch (mod.command) {
+    case GroupModMsg::Command::kAdd: return pipeline_.groups().add(mod.entry);
+    case GroupModMsg::Command::kModify: return pipeline_.groups().modify(mod.entry);
+    case GroupModMsg::Command::kDelete:
+      pipeline_.groups().remove(mod.entry.group_id);
+      return util::Status::ok();
+  }
+  return util::Status::error("unreachable");
+}
+
+void SoftSwitch::schedule_expiry_sweep() {
+  if (sweep_scheduled_) return;
+  sweep_scheduled_ = true;
+  // 100 ms sweep cadence; reschedules itself only while timed entries
+  // remain, so idle simulations still drain their event queues.
+  engine_.schedule_after(100'000'000, [this] {
+    sweep_scheduled_ = false;
+    auto expired = pipeline_.collect_expired(engine_.now());
+    for (const FlowEntry& entry : expired) {
+      if (entry.send_flow_removed && channel_ != nullptr) {
+        FlowRemovedMsg removed;
+        removed.priority = entry.priority;
+        removed.match = entry.match;
+        removed.cookie = entry.cookie;
+        removed.packet_count = entry.packet_count;
+        removed.byte_count = entry.byte_count;
+        channel_->send_to_controller(removed);
+      }
+    }
+    bool timed_entries_remain = false;
+    for (std::size_t t = 0; t < pipeline_.table_count() && !timed_entries_remain; ++t)
+      for (const FlowEntry* entry : pipeline_.table(t).entries())
+        if (entry->idle_timeout > 0 || entry->hard_timeout > 0) {
+          timed_entries_remain = true;
+          break;
+        }
+    if (timed_entries_remain) schedule_expiry_sweep();
+  });
+}
+
+void SoftSwitch::handle_controller_message(Message&& message) {
+  if (std::holds_alternative<HelloMsg>(message)) {
+    channel_->send_to_controller(HelloMsg{});
+    return;
+  }
+  if (std::holds_alternative<FeaturesRequestMsg>(message)) {
+    FeaturesReplyMsg reply;
+    reply.datapath_id = datapath_id_;
+    reply.table_count = static_cast<std::uint8_t>(pipeline_.table_count());
+    for (std::uint32_t of_port = 1; of_port <= of_port_count_; ++of_port) {
+      PortDesc desc;
+      desc.port_no = of_port;
+      desc.name = name() + "/" + std::to_string(of_port);
+      desc.up = port_up_[of_port];
+      reply.ports.push_back(std::move(desc));
+    }
+    channel_->send_to_controller(std::move(reply));
+    return;
+  }
+  if (const auto* mod = std::get_if<FlowModMsg>(&message)) {
+    const util::Status status = install(*mod);
+    if (!status.is_ok()) {
+      ++counters_.errors;
+      channel_->send_to_controller(ErrorMsg{status.message()});
+    }
+    return;
+  }
+  if (const auto* group_mod = std::get_if<GroupModMsg>(&message)) {
+    const util::Status status = install_group(*group_mod);
+    if (!status.is_ok()) {
+      ++counters_.errors;
+      channel_->send_to_controller(ErrorMsg{status.message()});
+    }
+    return;
+  }
+  if (auto* packet_out = std::get_if<PacketOutMsg>(&message)) {
+    // Execute the action list on the supplied frame immediately (the
+    // datapath charges nothing extra: controller-path packets are rare
+    // and their cost is dominated by the channel RTT).
+    for (const Action& action : packet_out->actions) {
+      if (const auto* out = std::get_if<OutputAction>(&action)) {
+        net::Packet copy = packet_out->packet;
+        resolve_output(out->port, packet_out->in_port, std::move(copy));
+      } else {
+        apply_header_action(action, packet_out->packet);
+      }
+    }
+    return;
+  }
+  if (const auto* barrier = std::get_if<BarrierRequestMsg>(&message)) {
+    channel_->send_to_controller(BarrierReplyMsg{barrier->xid});
+    return;
+  }
+  if (const auto* echo = std::get_if<EchoRequestMsg>(&message)) {
+    channel_->send_to_controller(EchoReplyMsg{echo->payload});
+    return;
+  }
+  if (const auto* stats = std::get_if<FlowStatsRequestMsg>(&message)) {
+    FlowStatsReplyMsg reply;
+    for (std::size_t t = 0; t < pipeline_.table_count(); ++t) {
+      if (stats->table_id != 0xff && stats->table_id != t) continue;
+      for (const FlowEntry* entry : pipeline_.table(t).entries()) {
+        FlowStatsEntry row;
+        row.table_id = static_cast<std::uint8_t>(t);
+        row.priority = entry->priority;
+        row.match_text = entry->match.to_string();
+        row.instructions_text = entry->instructions.to_string();
+        row.cookie = entry->cookie;
+        row.packet_count = entry->packet_count;
+        row.byte_count = entry->byte_count;
+        reply.flows.push_back(std::move(row));
+      }
+    }
+    channel_->send_to_controller(std::move(reply));
+    return;
+  }
+  // Remaining message types are controller-bound only; ignore.
+}
+
+void SoftSwitch::resolve_output(std::uint32_t of_port, std::uint32_t in_of_port,
+                                net::Packet&& packet) {
+  auto deliver_one = [this](std::uint32_t port, net::Packet&& p) {
+    if (!port_up(port)) {
+      ++counters_.drops_port_down;
+      return;
+    }
+    ++counters_.packets_out;
+    if (in_service()) {
+      emit(port - 1, std::move(p));  // leaves when processing completes
+    } else {
+      // Controller-driven packet-out: no data-plane service slot was
+      // consumed; transmit immediately.
+      transmit(port - 1, std::move(p));
+    }
+  };
+
+  switch (of_port) {
+    case kPortFlood:
+    case kPortAll:
+      // No STP port blocking in this datapath, so FLOOD == ALL: every
+      // up port except the ingress one.
+      for (std::uint32_t port = 1; port <= of_port_count_; ++port) {
+        if (port == in_of_port) continue;
+        if (!port_up(port)) continue;
+        net::Packet copy = packet;
+        copy.charge(costs_.clone_ns);
+        deliver_one(port, std::move(copy));
+      }
+      break;
+    case kPortInPort:
+      deliver_one(in_of_port, std::move(packet));
+      break;
+    case kPortController: {
+      if (channel_ != nullptr) {
+        ++counters_.packet_ins;
+        PacketInMsg punt;
+        punt.in_port = in_of_port;
+        punt.reason = PacketInReason::kAction;
+        punt.packet = std::move(packet);
+        channel_->send_to_controller(std::move(punt));
+      }
+      break;
+    }
+    default:
+      if (of_port == 0 || of_port > of_port_count_) return;  // invalid port: drop
+      // OF1.3: output to the ingress port is suppressed unless the
+      // rule explicitly uses OFPP_IN_PORT.
+      if (of_port == in_of_port) return;
+      deliver_one(of_port, std::move(packet));
+  }
+}
+
+sim::SimNanos SoftSwitch::service(int in_port, net::Packet&& packet) {
+  const std::uint32_t in_of_port = static_cast<std::uint32_t>(in_port) + 1;
+  ++counters_.pipeline_runs;
+  packet.add_hop();
+
+  if (!port_up(in_of_port)) {
+    ++counters_.drops_port_down;
+    return costs_.rx_tx_ns;
+  }
+
+  PipelineResult result = pipeline_.run(std::move(packet), in_of_port, engine_.now());
+  const sim::SimNanos cost = costs_.rx_tx_ns + result.cost_ns;
+
+  if (result.dropped()) ++counters_.drops_no_match;
+
+  for (auto& [of_port, out_packet] : result.outputs) {
+    out_packet.charge(cost / static_cast<sim::SimNanos>(result.outputs.size()));
+    resolve_output(of_port, in_of_port, std::move(out_packet));
+  }
+  for (PacketInEvent& event : result.packet_ins) {
+    if (channel_ == nullptr) continue;
+    ++counters_.packet_ins;
+    PacketInMsg punt;
+    punt.in_port = event.in_port;
+    punt.table_id = event.table_id;
+    punt.reason = event.reason;
+    punt.packet = std::move(event.packet);
+    channel_->send_to_controller(std::move(punt));
+  }
+  return cost;
+}
+
+void SoftSwitch::transmit(std::size_t out_port, net::Packet&& packet) {
+  const std::uint32_t of_port = static_cast<std::uint32_t>(out_port) + 1;
+  const auto it = patches_.find(of_port);
+  if (it == patches_.end()) {
+    port(out_port).send(std::move(packet));
+    return;
+  }
+  // Patch hand-off: no wire, just a queue insert into the peer's
+  // datapath. rx/tx counters still tick on both pseudo-ports.
+  packet.charge(costs_.patch_ns);
+  port(out_port).tx.add(packet.size());
+  SoftSwitch& peer = *it->second.peer;
+  const std::uint32_t peer_of_port = it->second.peer_of_port;
+  peer.port(peer_of_port - 1).receive(std::move(packet));
+}
+
+}  // namespace harmless::softswitch

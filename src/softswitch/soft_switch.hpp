@@ -1,0 +1,109 @@
+// softswitch/soft_switch.hpp — the x86 software switch datapath.
+//
+// One SoftSwitch is one software-switch instance of the paper (SS_1 or
+// SS_2): an OF1.3 pipeline bound to ports. OpenFlow port n corresponds
+// to sim port index n-1. A port is either
+//   * wired  — attached to a sim Channel (a NIC + cable), or
+//   * patch  — bound to a port of another SoftSwitch in the same box
+//     (the SS_1<->SS_2 interconnect of Fig. 1): delivery is a queue
+//     hand-off that costs kPatchNs of compute instead of wire time.
+//
+// The datapath charges simulated nanoseconds per packet: a fixed RX/TX
+// overhead plus whatever the pipeline reports for lookups and actions.
+// Defaults model an ESwitch/DPDK-class switch (~10 Mpps/core simple
+// pipelines); the legacy ASIC in legacy_switch.hpp is faster per packet
+// but dumb — that contrast is exactly the trade HARMLESS exploits.
+//
+// The control side implements the OF session: hello/features, flow and
+// group mods with error replies, packet-in/out, barriers, flow stats,
+// flow-removed on expiry, port-status on failure injection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "openflow/channel.hpp"
+#include "openflow/messages.hpp"
+#include "openflow/pipeline.hpp"
+#include "sim/node.hpp"
+
+namespace harmless::softswitch {
+
+struct DatapathCosts {
+  sim::SimNanos rx_tx_ns = 55;   // NIC RX + TX per packet (poll-mode driver)
+  sim::SimNanos patch_ns = 20;   // patch-port hand-off (one enqueue)
+  sim::SimNanos clone_ns = 15;   // per extra copy on flood/group ALL
+};
+
+class SoftSwitch : public sim::ServicedNode {
+ public:
+  SoftSwitch(sim::Engine& engine, std::string name, std::uint64_t datapath_id,
+             std::size_t of_port_count, std::size_t table_count = 2, bool specialized = true);
+
+  [[nodiscard]] std::uint64_t datapath_id() const { return datapath_id_; }
+  [[nodiscard]] std::size_t of_port_count() const { return of_port_count_; }
+  [[nodiscard]] openflow::Pipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] const openflow::Pipeline& pipeline() const { return pipeline_; }
+
+  /// Bind OF port `of_port` to `peer`'s OF port `peer_of_port` as a
+  /// patch pair (both directions are bound; call once per pair).
+  void bind_patch(std::uint32_t of_port, SoftSwitch& peer, std::uint32_t peer_of_port);
+
+  /// Attach the controller channel (datapath side). The switch answers
+  /// hello/features/echo/barrier and routes packet-ins there.
+  void attach_channel(openflow::ControlChannel& channel);
+
+  /// Administratively set an OF port up/down. Down ports drop egress
+  /// and ingress; a PortStatus message is sent to the controller.
+  void set_port_state(std::uint32_t of_port, bool up);
+  [[nodiscard]] bool port_up(std::uint32_t of_port) const;
+
+  /// Direct rule installation, bypassing the channel — the HARMLESS
+  /// Manager uses this for SS_1, which is *not* controller-managed.
+  [[nodiscard]] util::Status install(const openflow::FlowModMsg& mod);
+  [[nodiscard]] util::Status install_group(const openflow::GroupModMsg& mod);
+
+  struct Counters {
+    std::uint64_t pipeline_runs = 0;
+    std::uint64_t packets_out = 0;      // data-plane outputs emitted
+    std::uint64_t packet_ins = 0;       // punts to controller
+    std::uint64_t drops_no_match = 0;   // pipeline produced nothing
+    std::uint64_t drops_port_down = 0;
+    std::uint64_t flow_mods = 0;
+    std::uint64_t errors = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  void set_costs(const DatapathCosts& costs) { costs_ = costs; }
+  [[nodiscard]] const DatapathCosts& costs() const { return costs_; }
+
+ protected:
+  sim::SimNanos service(int in_port, net::Packet&& packet) override;
+  void transmit(std::size_t out_port, net::Packet&& packet) override;
+
+ private:
+  struct PatchBinding {
+    SoftSwitch* peer = nullptr;
+    std::uint32_t peer_of_port = 0;
+  };
+
+  void handle_controller_message(openflow::Message&& message);
+  void send_port_status(std::uint32_t of_port, bool up);
+  /// Resolve a (possibly reserved) OF output port into concrete ports.
+  void resolve_output(std::uint32_t of_port, std::uint32_t in_of_port, net::Packet&& packet);
+  void schedule_expiry_sweep();
+
+  std::uint64_t datapath_id_;
+  std::size_t of_port_count_;
+  openflow::Pipeline pipeline_;
+  DatapathCosts costs_;
+  Counters counters_;
+  openflow::ControlChannel* channel_ = nullptr;
+  std::unordered_map<std::uint32_t, PatchBinding> patches_;
+  std::vector<bool> port_up_;
+  bool sweep_scheduled_ = false;
+};
+
+}  // namespace harmless::softswitch

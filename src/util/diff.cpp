@@ -1,0 +1,86 @@
+#include "util/diff.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace harmless::util {
+
+std::string line_diff(std::string_view before, std::string_view after, int context) {
+  if (before == after) return {};
+  const std::vector<std::string> a = split(before, '\n');
+  const std::vector<std::string> b = split(after, '\n');
+
+  // Classic LCS table; configs are tiny so O(n*m) is fine.
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::vector<std::uint32_t>> lcs(n + 1, std::vector<std::uint32_t>(m + 1, 0));
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = m; j-- > 0;) {
+      lcs[i][j] = (a[i] == b[j]) ? lcs[i + 1][j + 1] + 1
+                                 : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+    }
+  }
+
+  struct Line {
+    char tag;  // ' ', '-', '+'
+    const std::string* text;
+  };
+  std::vector<Line> script;
+  std::size_t i = 0, j = 0;
+  bool changed = false;
+  while (i < n && j < m) {
+    if (a[i] == b[j]) {
+      script.push_back({' ', &a[i]});
+      ++i;
+      ++j;
+    } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+      script.push_back({'-', &a[i++]});
+      changed = true;
+    } else {
+      script.push_back({'+', &b[j++]});
+      changed = true;
+    }
+  }
+  while (i < n) {
+    script.push_back({'-', &a[i++]});
+    changed = true;
+  }
+  while (j < m) {
+    script.push_back({'+', &b[j++]});
+    changed = true;
+  }
+  if (!changed) return {};
+
+  // Context filtering: keep unchanged lines only near changes.
+  std::vector<bool> keep(script.size(), context < 0);
+  if (context >= 0) {
+    for (std::size_t k = 0; k < script.size(); ++k) {
+      if (script[k].tag == ' ') continue;
+      const std::size_t lo = k >= static_cast<std::size_t>(context)
+                                 ? k - static_cast<std::size_t>(context)
+                                 : 0;
+      const std::size_t hi =
+          std::min(script.size() - 1, k + static_cast<std::size_t>(context));
+      for (std::size_t x = lo; x <= hi; ++x) keep[x] = true;
+    }
+  }
+
+  std::string out;
+  bool last_kept = true;
+  for (std::size_t k = 0; k < script.size(); ++k) {
+    if (!keep[k]) {
+      if (last_kept) out += "...\n";
+      last_kept = false;
+      continue;
+    }
+    last_kept = true;
+    out += script[k].tag == ' ' ? "  " : (script[k].tag == '-' ? "- " : "+ ");
+    out += *script[k].text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace harmless::util

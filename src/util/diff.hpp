@@ -1,0 +1,24 @@
+// util/diff.hpp — line-oriented diff for configuration text.
+//
+// NAPALM's compare_config returns a human-readable diff of candidate
+// vs running; this is the engine behind our reproduction of it. LCS
+// based (configs are small), output in the familiar -/+ form:
+//
+//     hostname sw1
+//   - switchport access vlan 1
+//   + switchport access vlan 101
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace harmless::util {
+
+/// Unified-style diff of `before` vs `after`. Unchanged lines are
+/// prefixed with two spaces, removals with "- ", additions with "+ ".
+/// Returns the empty string when the inputs are line-identical.
+/// `context`: unchanged lines kept around each change (-1 = keep all).
+[[nodiscard]] std::string line_diff(std::string_view before, std::string_view after,
+                                    int context = -1);
+
+}  // namespace harmless::util

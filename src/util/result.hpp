@@ -1,0 +1,69 @@
+// util/result.hpp — Result<T>: a value or an error message.
+//
+// GCC 12 does not ship std::expected (C++23), so this is the minimal
+// subset the library needs: construct from a value or via
+// Result<T>::error(), test, and access.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace harmless::util {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Success. Implicit so `return value;` works.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result error(std::string message) { return Result(std::move(message), ErrorTag{}); }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Value access. Throws ConfigError when called on an error result.
+  T& value() & {
+    require_ok();
+    return *value_;
+  }
+  const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  T&& value() && {
+    require_ok();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Failure message; empty when ok.
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Value or a fallback.
+  [[nodiscard]] T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : Status::error(message_);
+  }
+
+ private:
+  struct ErrorTag {};
+  Result(std::string message, ErrorTag) : message_(std::move(message)) {}
+  void require_ok() const {
+    if (!value_.has_value()) throw ConfigError("Result accessed on error: " + message_);
+  }
+
+  std::optional<T> value_;
+  std::string message_;
+};
+
+}  // namespace harmless::util

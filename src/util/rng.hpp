@@ -1,0 +1,50 @@
+// util/rng.hpp — deterministic PRNG for the whole simulator.
+//
+// All randomness in the library flows from a seeded Rng so that every
+// simulation, test and benchmark is reproducible bit-for-bit. The
+// generator is xoshiro256** (Blackman & Vigna), seeded via splitmix64;
+// both are public-domain algorithms reimplemented here.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace harmless::util {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialise the state from a 64-bit seed (splitmix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value (UniformRandomBitGenerator interface).
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return std::numeric_limits<std::uint64_t>::max(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace harmless::util

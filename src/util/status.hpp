@@ -1,0 +1,51 @@
+// util/status.hpp — lightweight error-reporting primitives.
+//
+// Expected, recoverable failures (a parse that does not apply, a config
+// the device rejects) travel as values: `Status` for operations without
+// a payload, `Result<T>` (result.hpp) for operations with one.
+// Programming errors and unrecoverable configuration errors throw
+// `ConfigError`.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace harmless::util {
+
+/// Thrown for invalid configuration that indicates a caller bug or an
+/// impossible deployment request (e.g. duplicate VLAN ids in a PortMap).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Value-style success/failure for expected failures. Cheap to copy on
+/// the success path (no allocation); carries a message on failure.
+class Status {
+ public:
+  /// Successful status.
+  Status() = default;
+
+  static Status ok() { return Status{}; }
+  static Status error(std::string message) { return Status{std::move(message)}; }
+
+  [[nodiscard]] bool is_ok() const { return message_.empty(); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Failure message; empty string when ok.
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Throws ConfigError if this status is a failure. Use at boundaries
+  /// where a failure can only mean a caller bug.
+  void check() const {
+    if (!is_ok()) throw ConfigError(message_);
+  }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::string message_;  // empty == ok
+};
+
+}  // namespace harmless::util

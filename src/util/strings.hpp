@@ -1,0 +1,40 @@
+// util/strings.hpp — small string helpers shared across the library
+// (config rendering/parsing in mgmt, table output, hexdump).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harmless::util {
+
+/// Split on a delimiter; empty tokens are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Split on runs of whitespace; empty tokens are dropped.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view separator);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view text);
+
+/// Parse a decimal unsigned integer; returns false on any non-digit or
+/// overflow. The strict counterpart of std::stoul for config parsing.
+bool parse_u64(std::string_view text, std::uint64_t& out);
+
+/// "1.50 Mpps"-style human formatting with SI prefixes (k, M, G).
+std::string si_format(double value, std::string_view unit, int precision = 2);
+
+/// printf-style helper returning std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace harmless::util

@@ -1,0 +1,35 @@
+// util/table.hpp — plain-text table rendering for benches and examples.
+//
+// Every benchmark prints the rows/series the paper reports; this is the
+// shared formatter so they all look alike:
+//
+//   +------------+---------+--------+
+//   | setup      | pps     | rel    |
+//   +------------+---------+--------+
+//   | legacy     | 14.8M   | 1.00x  |
+//   ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace harmless::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Add a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with ASCII borders.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace harmless::util

@@ -1,0 +1,265 @@
+// Controller framework tests: handshake, app dispatch, learning-switch
+// behaviour end-to-end on a SoftSwitch, static flows.
+#include <gtest/gtest.h>
+
+#include "controller/apps/learning.hpp"
+#include "controller/apps/monitor.hpp"
+#include "controller/apps/static_flows.hpp"
+#include "controller/controller.hpp"
+#include "net/build.hpp"
+#include "sim/network.hpp"
+#include "softswitch/soft_switch.hpp"
+
+namespace harmless::controller {
+namespace {
+
+using namespace net;
+using namespace openflow;
+using sim::Host;
+using sim::LinkSpec;
+using sim::Network;
+using softswitch::SoftSwitch;
+
+struct Rig {
+  Network network;
+  SoftSwitch* sw;
+  std::unique_ptr<ControlChannel> channel;
+  Host* h1;
+  Host* h2;
+  Host* h3;
+
+  Rig() {
+    sw = &network.add_node<SoftSwitch>("ss", 0xd1, 3);
+    channel = std::make_unique<ControlChannel>(network.engine(), 10'000);
+    sw->attach_channel(*channel);
+    h1 = &network.add_host("h1", MacAddr::from_u64(0x1), Ipv4Addr(10, 0, 0, 1));
+    h2 = &network.add_host("h2", MacAddr::from_u64(0x2), Ipv4Addr(10, 0, 0, 2));
+    h3 = &network.add_host("h3", MacAddr::from_u64(0x3), Ipv4Addr(10, 0, 0, 3));
+    network.connect(*h1, 0, *sw, 0, LinkSpec::gbps(1));
+    network.connect(*h2, 0, *sw, 1, LinkSpec::gbps(1));
+    network.connect(*h3, 0, *sw, 2, LinkSpec::gbps(1));
+  }
+
+  Packet udp(Host& from, Host& to) {
+    FlowKey key;
+    key.eth_src = from.mac();
+    key.eth_dst = to.mac();
+    key.ip_src = from.ip();
+    key.ip_dst = to.ip();
+    key.dst_port = 9000;
+    return make_udp(key, 100);
+  }
+};
+
+TEST(Controller, HandshakeMakesSessionReady) {
+  Rig rig;
+  Controller controller("c0");
+  Session& session = controller.connect(*rig.channel, "test-dp");
+  EXPECT_FALSE(session.ready());
+  rig.network.run();
+  EXPECT_TRUE(session.ready());
+  EXPECT_EQ(session.datapath_id(), 0xd1u);
+  EXPECT_EQ(session.features().ports.size(), 3u);
+  EXPECT_EQ(session.label(), "test-dp");
+}
+
+TEST(Controller, OnConnectFiresOncePerDatapath) {
+  Rig rig;
+  Controller controller;
+  struct CountingApp : App {
+    int connects = 0;
+    const char* name() const override { return "counting"; }
+    void on_connect(Session&) override { ++connects; }
+  };
+  auto& app = controller.add_app<CountingApp>();
+  controller.connect(*rig.channel);
+  rig.network.run();
+  EXPECT_EQ(app.connects, 1);
+}
+
+TEST(LearningSwitch, FloodsThenLearnsThenForwards) {
+  Rig rig;
+  Controller controller;
+  auto& app = controller.add_app<LearningSwitchApp>();
+  controller.connect(*rig.channel);
+  rig.network.run();  // handshake + table-miss install
+
+  // h1 -> h2 (unknown): packet-in, flood.
+  rig.h1->send(rig.udp(*rig.h1, *rig.h2));
+  rig.network.run();
+  EXPECT_EQ(rig.h2->counters().rx_udp, 1u);
+  EXPECT_EQ(rig.h3->counters().rx_filtered, 1u);  // flood copy, NIC-filtered
+  EXPECT_EQ(app.stats().floods, 1u);
+  EXPECT_EQ(app.lookup(0xd1, rig.h1->mac()), 1u);
+
+  // h2 -> h1 (h1 known): flow installed + packet delivered.
+  rig.h2->send(rig.udp(*rig.h2, *rig.h1));
+  rig.network.run();
+  EXPECT_EQ(rig.h1->counters().rx_udp, 1u);
+  EXPECT_EQ(app.stats().flows_installed, 1u);
+  EXPECT_GE(rig.sw->pipeline().table(0).size(), 2u);  // miss + h1 flow
+
+  // h1 -> h2 again: still needs a punt (h2's flow not installed yet)…
+  rig.h1->send(rig.udp(*rig.h1, *rig.h2));
+  rig.network.run();
+  EXPECT_EQ(rig.h2->counters().rx_udp, 2u);
+
+  // …but now both directions are in the data plane: no more punts.
+  const auto punts_before = controller.stats().packet_ins;
+  rig.h1->send(rig.udp(*rig.h1, *rig.h2));
+  rig.h2->send(rig.udp(*rig.h2, *rig.h1));
+  rig.network.run();
+  EXPECT_EQ(controller.stats().packet_ins, punts_before);
+  EXPECT_EQ(rig.h2->counters().rx_udp, 3u);
+  EXPECT_EQ(rig.h1->counters().rx_udp, 2u);
+}
+
+TEST(LearningSwitch, BroadcastAlwaysFloods) {
+  Rig rig;
+  Controller controller;
+  controller.add_app<LearningSwitchApp>();
+  controller.connect(*rig.channel);
+  rig.network.run();
+
+  rig.h1->arp_request(rig.h3->ip());
+  rig.network.run();
+  // ARP reached h2 and h3; h3 answered; reply flooded or forwarded back.
+  EXPECT_EQ(rig.h1->counters().rx_arp_reply, 1u);
+  EXPECT_GE(rig.h2->counters().rx_total, 1u);
+}
+
+TEST(StaticFlows, InstallsOnConnectFilteredByDatapath) {
+  Rig rig;
+  Controller controller;
+  auto& app = controller.add_app<StaticFlowApp>();
+
+  FlowModMsg keep;
+  keep.table_id = 0;
+  keep.priority = 5;
+  keep.match = Match().l4_dst(80);
+  keep.instructions = apply({output(2)});
+  app.flow(keep);
+
+  FlowModMsg skip = keep;
+  skip.priority = 6;
+  app.flow(skip, /*datapath_id=*/0x9999);  // not our datapath
+
+  GroupModMsg group_mod;
+  group_mod.entry.group_id = 3;
+  group_mod.entry.buckets.push_back(Bucket{{output(1)}, 1, 0});
+  app.group(group_mod);
+
+  controller.connect(*rig.channel);
+  rig.network.run();
+
+  EXPECT_EQ(rig.sw->pipeline().table(0).size(), 1u);
+  EXPECT_NE(rig.sw->pipeline().groups().find(3), nullptr);
+  EXPECT_EQ(app.installed_count(), 2u);
+}
+
+TEST(Controller, FlowStatsCallback) {
+  Rig rig;
+  Controller controller;
+  auto& app = controller.add_app<StaticFlowApp>();
+  FlowModMsg mod;
+  mod.table_id = 0;
+  mod.priority = 7;
+  mod.match = Match().l4_dst(443);
+  mod.instructions = apply({output(1)});
+  app.flow(mod);
+  Session& session = controller.connect(*rig.channel);
+  rig.network.run();
+
+  bool called = false;
+  session.request_flow_stats([&](const FlowStatsReplyMsg& reply) {
+    called = true;
+    ASSERT_EQ(reply.flows.size(), 1u);
+    EXPECT_EQ(reply.flows[0].priority, 7);
+    EXPECT_NE(reply.flows[0].match_text.find("l4_dst=443"), std::string::npos);
+  });
+  rig.network.run();
+  EXPECT_TRUE(called);
+}
+
+TEST(Controller, ErrorsDispatchToApps) {
+  Rig rig;
+  Controller controller;
+  struct ErrorApp : App {
+    int errors = 0;
+    const char* name() const override { return "err"; }
+    void on_error(Session&, const ErrorMsg&) override { ++errors; }
+  };
+  auto& app = controller.add_app<ErrorApp>();
+  Session& session = controller.connect(*rig.channel);
+  rig.network.run();
+
+  FlowModMsg bad;
+  bad.table_id = 99;
+  session.send(bad);
+  rig.network.run();
+  EXPECT_EQ(app.errors, 1);
+  EXPECT_EQ(controller.stats().errors, 1u);
+}
+
+TEST(Controller, EchoPingLiveness) {
+  Rig rig;
+  Controller controller;
+  Session& session = controller.connect(*rig.channel);
+  rig.network.run();
+  session.ping(1);
+  session.ping(2);
+  rig.network.run();
+  EXPECT_EQ(session.echo_replies(), 2u);
+}
+
+TEST(StatsMonitor, SamplesTrafficCounters) {
+  Rig rig;
+  Controller controller;
+  auto& app = controller.add_app<StaticFlowApp>();
+  FlowModMsg mod;
+  mod.table_id = 0;
+  mod.priority = 5;
+  mod.match = Match().eth_dst(rig.h2->mac());
+  mod.instructions = apply({output(2)});
+  app.flow(mod);
+  auto& monitor = controller.add_app<StatsMonitorApp>(rig.network.engine(),
+                                                      /*interval=*/1'000'000, /*polls=*/3);
+  Session& session = controller.connect(*rig.channel);
+  // Traffic is paced across the polling window (50 packets over ~2.5 ms,
+  // polls at ~1/2/3 ms) so successive samples see growing counters. It
+  // starts 200 us in, after the handshake has installed the flow.
+  rig.h1->send_udp_stream(rig.h2->mac(), rig.h2->ip(), 50, 128, 50'000, /*start=*/200'000);
+  rig.network.run();
+
+  const auto& samples = monitor.history(session.datapath_id());
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_LE(samples[0].packets, samples[1].packets);
+  EXPECT_LE(samples[1].packets, samples[2].packets);
+  EXPECT_EQ(samples[2].packets, 50u);
+  EXPECT_EQ(samples[2].flows, 1u);
+  EXPECT_GT(monitor.packet_rate(session.datapath_id()), 0.0);
+  EXPECT_TRUE(monitor.history(0xdead).empty());
+}
+
+TEST(Controller, PortStatusDispatch) {
+  Rig rig;
+  Controller controller;
+  struct PortApp : App {
+    std::vector<std::pair<std::uint32_t, bool>> events;
+    const char* name() const override { return "port"; }
+    void on_port_status(Session&, const PortStatusMsg& event) override {
+      events.emplace_back(event.desc.port_no, event.desc.up);
+    }
+  };
+  auto& app = controller.add_app<PortApp>();
+  controller.connect(*rig.channel);
+  rig.network.run();
+
+  rig.sw->set_port_state(3, false);
+  rig.network.run();
+  ASSERT_EQ(app.events.size(), 1u);
+  EXPECT_EQ(app.events[0], std::make_pair(3u, false));
+}
+
+}  // namespace
+}  // namespace harmless::controller

@@ -1,0 +1,92 @@
+// Cost model tests: bill-of-materials arithmetic and the paper's
+// headline shape — HARMLESS is the cheapest route to N SDN ports.
+#include <gtest/gtest.h>
+
+#include "harmless/cost_model.hpp"
+#include "util/status.hpp"
+
+namespace harmless::core {
+namespace {
+
+TEST(CostModel, ForkliftCountsSwitches) {
+  CostModel model;
+  const CostEstimate estimate = model.estimate(Strategy::kForkliftSdn, 48);
+  ASSERT_EQ(estimate.bom.size(), 1u);
+  EXPECT_EQ(estimate.bom[0].quantity, 1);
+  EXPECT_DOUBLE_EQ(estimate.total_usd(), model.catalog().sdn_switch.price_usd);
+
+  // 49 ports need a second switch (ceil).
+  EXPECT_DOUBLE_EQ(model.estimate(Strategy::kForkliftSdn, 49).total_usd(),
+                   2 * model.catalog().sdn_switch.price_usd);
+}
+
+TEST(CostModel, HarmlessAddsServerPerLegacySwitch) {
+  CostModel model;
+  const CostEstimate estimate = model.estimate(Strategy::kHarmless, 48);
+  // server + NIC + cable, one of each for one legacy switch.
+  double expected = model.catalog().server.price_usd + model.catalog().nic_10g.price_usd +
+                    model.catalog().trunk_cable.price_usd;
+  EXPECT_DOUBLE_EQ(estimate.total_usd(), expected);
+  // 96 ports -> two of everything.
+  EXPECT_DOUBLE_EQ(model.estimate(Strategy::kHarmless, 96).total_usd(), 2 * expected);
+}
+
+TEST(CostModel, PureSoftwareRespectsChassisPortDensity) {
+  CostModel model;
+  // 48 ports need 12 quad NICs; at 6 NICs (24 ports) per server, 2 servers.
+  const CostEstimate estimate = model.estimate(Strategy::kPureSoftware, 48);
+  double expected = 2 * model.catalog().server.price_usd + 12 * model.catalog().nic_quad_1g.price_usd;
+  EXPECT_DOUBLE_EQ(estimate.total_usd(), expected);
+}
+
+TEST(CostModel, PaperShapeHarmlessCheapestAtEveryScale) {
+  CostModel model;
+  for (const int ports : {24, 48, 96, 192, 384}) {
+    const double harmless_cost = model.estimate(Strategy::kHarmless, ports).total_usd();
+    const double forklift = model.estimate(Strategy::kForkliftSdn, ports).total_usd();
+    const double software = model.estimate(Strategy::kPureSoftware, ports).total_usd();
+    EXPECT_LT(harmless_cost, forklift) << ports << " ports";
+    EXPECT_LT(harmless_cost, software) << ports << " ports";
+  }
+}
+
+TEST(CostModel, PerPortCostComputed) {
+  CostModel model;
+  const CostEstimate estimate = model.estimate(Strategy::kHarmless, 48);
+  EXPECT_NEAR(estimate.usd_per_port(), estimate.total_usd() / 48.0, 1e-9);
+  EXPECT_GT(estimate.usd_per_port(), 0);
+}
+
+TEST(CostModel, GreenfieldAddsLegacyHardware) {
+  CostModel model;
+  const double sunk = model.estimate(Strategy::kHarmless, 48, /*greenfield=*/false).total_usd();
+  const double green = model.estimate(Strategy::kHarmless, 48, /*greenfield=*/true).total_usd();
+  EXPECT_DOUBLE_EQ(green - sunk, model.catalog().legacy_switch.price_usd);
+  // Even greenfield, HARMLESS undercuts the forklift with these prices.
+  EXPECT_LT(green, model.estimate(Strategy::kForkliftSdn, 48).total_usd());
+}
+
+TEST(CostModel, InvalidPortCountThrows) {
+  CostModel model;
+  EXPECT_THROW(model.estimate(Strategy::kHarmless, 0), util::ConfigError);
+  EXPECT_THROW(model.estimate(Strategy::kHarmless, -5), util::ConfigError);
+}
+
+TEST(CostModel, CustomCatalogFlowsThrough) {
+  Catalog catalog;
+  catalog.server.price_usd = 10'000;  // gold-plated servers
+  CostModel model(catalog);
+  EXPECT_GT(model.estimate(Strategy::kHarmless, 48).total_usd(), 10'000);
+}
+
+TEST(CostModel, RenderingMentionsStrategyAndTotal) {
+  CostModel model;
+  const std::string text = model.estimate(Strategy::kHarmless, 48).to_string();
+  EXPECT_NE(text.find("HARMLESS"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+  EXPECT_STREQ(strategy_name(Strategy::kForkliftSdn), "forklift-COTS-SDN");
+  EXPECT_STREQ(strategy_name(Strategy::kPureSoftware), "pure-software");
+}
+
+}  // namespace
+}  // namespace harmless::core

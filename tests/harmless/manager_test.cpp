@@ -1,0 +1,251 @@
+// HarmlessManager end-to-end: discovery through the emulated SNMP
+// management plane, config rendering in both vendor dialects, commit,
+// verification, fabric bring-up, controller attach, failure paths.
+#include <gtest/gtest.h>
+
+#include "controller/apps/learning.hpp"
+#include "harmless/manager.hpp"
+#include "net/build.hpp"
+#include "sim/network.hpp"
+
+namespace harmless::core {
+namespace {
+
+using namespace net;
+using controller::Controller;
+using controller::LearningSwitchApp;
+using legacy::LegacySwitch;
+using legacy::PortConfig;
+using legacy::PortMode;
+using legacy::SwitchConfig;
+using sim::Host;
+using sim::LinkSpec;
+using sim::Network;
+
+/// A factory-default 8-port switch: every port access in VLAN 1 —
+/// exactly what the Manager is supposed to reconfigure.
+SwitchConfig factory_default(int ports = 8) {
+  SwitchConfig config;
+  config.hostname = "dusty-closet-sw";
+  for (int port = 1; port <= ports; ++port)
+    config.ports[port] = PortConfig{PortMode::kAccess, 1, {}, std::nullopt, true, ""};
+  return config;
+}
+
+class ManagerTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  ManagerTest()
+      : device_(network_.add_node<LegacySwitch>("legacy", factory_default())),
+        mib_(agent_, device_),
+        driver_(agent_, mgmt::make_dialect(GetParam())) {
+    // Wire 4 hosts to access ports 1..4 (trunk will be port 8).
+    for (int i = 0; i < 4; ++i) {
+      Host& host = network_.add_host("h" + std::to_string(i + 1),
+                                     MacAddr::from_u64(0x02000000aa01ULL + i),
+                                     Ipv4Addr(192, 168, 50, static_cast<std::uint8_t>(i + 1)));
+      network_.connect(host, 0, device_, static_cast<std::size_t>(i), LinkSpec::gbps(1));
+      hosts_.push_back(&host);
+    }
+  }
+
+  MigrationRequest request() {
+    MigrationRequest req;
+    req.access_ports = {1, 2, 3, 4};
+    req.trunk_port = 8;
+    return req;
+  }
+
+  Network network_;
+  LegacySwitch& device_;
+  mgmt::SnmpAgent agent_;
+  mgmt::SwitchMib mib_;
+  mgmt::SnmpDriver driver_;
+  std::vector<Host*> hosts_;
+};
+
+TEST_P(ManagerTest, FullMigrationSucceeds) {
+  Controller controller("nox");
+  controller.add_app<LearningSwitchApp>();
+  HarmlessManager manager(driver_, device_, network_);
+
+  auto [report, deployment] = manager.migrate(request(), controller);
+  ASSERT_TRUE(report.success) << report.to_string();
+  ASSERT_TRUE(deployment.has_value());
+  EXPECT_EQ(report.device_hostname, "dusty-closet-sw");
+  EXPECT_GE(report.steps.size(), 6u);
+  EXPECT_FALSE(report.rolled_back);
+
+  // The device got the per-port VLANs through the management plane.
+  EXPECT_EQ(device_.config().ports.at(1).pvid, 101);
+  EXPECT_EQ(device_.config().ports.at(4).pvid, 104);
+  EXPECT_EQ(device_.config().ports.at(8).mode, PortMode::kTrunk);
+  EXPECT_EQ(device_.config().ports.at(8).allowed_vlans,
+            (std::set<VlanId>{101, 102, 103, 104}));
+
+  // The rendered config is in the right dialect.
+  const std::string& rendered = report.rendered_config;
+  if (std::string(GetParam()) == "ios_like")
+    EXPECT_NE(rendered.find("GigabitEthernet0/1"), std::string::npos);
+  else
+    EXPECT_NE(rendered.find("interface Ethernet1"), std::string::npos);
+
+  // Finish the handshake, then verify real traffic flows end-to-end.
+  network_.run();
+  FlowKey key;
+  key.eth_src = hosts_[0]->mac();
+  key.eth_dst = hosts_[1]->mac();
+  key.ip_src = hosts_[0]->ip();
+  key.ip_dst = hosts_[1]->ip();
+  hosts_[0]->send(make_udp(key, 128));
+  network_.run();
+  EXPECT_EQ(hosts_[1]->counters().rx_udp, 1u);
+
+  // The report is printable and mentions every phase.
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("SUCCESS"), std::string::npos);
+  EXPECT_NE(text.find("discovered"), std::string::npos);
+  EXPECT_NE(text.find("committed"), std::string::npos);
+  EXPECT_NE(text.find("connected SS_2"), std::string::npos);
+}
+
+TEST_P(ManagerTest, DefaultsToAllPortsWhenUnspecified) {
+  Controller controller;
+  controller.add_app<LearningSwitchApp>();
+  HarmlessManager manager(driver_, device_, network_);
+  MigrationRequest req;
+  req.trunk_port = 8;  // access_ports empty -> 1..7
+  auto [report, deployment] = manager.migrate(req, controller);
+  ASSERT_TRUE(report.success) << report.to_string();
+  EXPECT_EQ(report.port_map->size(), 7u);
+  EXPECT_EQ(deployment->fabric().ss2().of_port_count(), 7u);
+}
+
+TEST_P(ManagerTest, RejectsUnknownTrunkPort) {
+  Controller controller;
+  HarmlessManager manager(driver_, device_, network_);
+  MigrationRequest req = request();
+  req.trunk_port = 99;
+  auto [report, deployment] = manager.migrate(req, controller);
+  EXPECT_FALSE(report.success);
+  EXPECT_FALSE(deployment.has_value());
+  EXPECT_NE(report.failure.find("trunk port 99"), std::string::npos);
+  // Device untouched.
+  EXPECT_EQ(device_.config().ports.at(1).pvid, 1);
+}
+
+TEST_P(ManagerTest, RejectsUnknownAccessPort) {
+  Controller controller;
+  HarmlessManager manager(driver_, device_, network_);
+  MigrationRequest req = request();
+  req.access_ports.push_back(42);
+  auto [report, deployment] = manager.migrate(req, controller);
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.failure.find("port 42"), std::string::npos);
+}
+
+TEST_P(ManagerTest, RejectsTrunkInAccessList) {
+  Controller controller;
+  HarmlessManager manager(driver_, device_, network_);
+  MigrationRequest req = request();
+  req.access_ports.push_back(8);  // trunk among access ports
+  auto [report, deployment] = manager.migrate(req, controller);
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.failure.find("plan"), std::string::npos);
+}
+
+TEST_P(ManagerTest, VlanBaseIsConfigurable) {
+  Controller controller;
+  controller.add_app<LearningSwitchApp>();
+  HarmlessManager manager(driver_, device_, network_);
+  MigrationRequest req = request();
+  req.vlan_base = 2000;
+  auto [report, deployment] = manager.migrate(req, controller);
+  ASSERT_TRUE(report.success) << report.to_string();
+  EXPECT_EQ(device_.config().ports.at(1).pvid, 2001);
+}
+
+TEST_P(ManagerTest, BondedTrunksMigrateAndCarryTraffic) {
+  Controller controller;
+  controller.add_app<LearningSwitchApp>();
+  HarmlessManager manager(driver_, device_, network_);
+  MigrationRequest req;
+  req.access_ports = {1, 2, 3, 4};
+  req.trunk_ports = {7, 8};  // bonded: two legs to the S4 box
+  auto [report, deployment] = manager.migrate(req, controller);
+  ASSERT_TRUE(report.success) << report.to_string();
+
+  // Both legacy ports became trunks, each carrying its VLAN subset.
+  EXPECT_EQ(device_.config().ports.at(7).mode, PortMode::kTrunk);
+  EXPECT_EQ(device_.config().ports.at(8).mode, PortMode::kTrunk);
+  EXPECT_EQ(device_.config().ports.at(7).allowed_vlans, (std::set<VlanId>{101, 103}));
+  EXPECT_EQ(device_.config().ports.at(8).allowed_vlans, (std::set<VlanId>{102, 104}));
+  EXPECT_EQ(deployment->fabric().ss1().of_port_count(), 6u);  // 2 trunks + 4 patches
+
+  // Cross-leg traffic: h1 (leg 0) -> h2 (leg 1) hairpins up one leg
+  // and back down the other.
+  network_.run();
+  FlowKey key;
+  key.eth_src = hosts_[0]->mac();
+  key.eth_dst = hosts_[1]->mac();
+  key.ip_src = hosts_[0]->ip();
+  key.ip_dst = hosts_[1]->ip();
+  hosts_[0]->send(make_udp(key, 128));
+  network_.run();
+  EXPECT_EQ(hosts_[1]->counters().rx_udp, 1u);
+
+  // Trunk failure severs both legs.
+  deployment->fabric().set_trunk_up(false);
+  hosts_[0]->send(make_udp(key, 128));
+  network_.run();
+  EXPECT_EQ(hosts_[1]->counters().rx_udp, 1u);
+}
+
+TEST_P(ManagerTest, DecommissionRestoresLegacySwitching) {
+  Controller controller;
+  controller.add_app<LearningSwitchApp>();
+  HarmlessManager manager(driver_, device_, network_);
+  auto [report, deployment] = manager.migrate(request(), controller);
+  ASSERT_TRUE(report.success) << report.to_string();
+  network_.run();
+
+  // Migrated: per-port VLANs in place.
+  ASSERT_EQ(device_.config().ports.at(1).pvid, 101);
+
+  const MigrationReport undo = manager.decommission(*deployment);
+  ASSERT_TRUE(undo.success) << undo.to_string();
+  EXPECT_TRUE(undo.rolled_back);
+
+  // Factory config restored: everything back in VLAN 1.
+  EXPECT_EQ(device_.config().ports.at(1).pvid, 1);
+  EXPECT_EQ(device_.config().ports.at(8).mode, PortMode::kAccess);
+  EXPECT_FALSE(deployment->fabric().trunk_up());
+
+  // Hosts talk directly through the legacy switch again; the software
+  // switches see nothing.
+  const auto ss1_runs = deployment->fabric().ss1().counters().pipeline_runs;
+  FlowKey key;
+  key.eth_src = hosts_[0]->mac();
+  key.eth_dst = hosts_[1]->mac();
+  key.ip_src = hosts_[0]->ip();
+  key.ip_dst = hosts_[1]->ip();
+  hosts_[0]->send(make_udp(key, 128));
+  network_.run();
+  EXPECT_EQ(hosts_[1]->counters().rx_udp, 1u);
+  EXPECT_EQ(deployment->fabric().ss1().counters().pipeline_runs, ss1_runs);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothDialects, ManagerTest,
+                         ::testing::Values("ios_like", "eos_like"));
+
+TEST(ManagerReport, FailureRendering) {
+  MigrationReport report;
+  report.failure = "stage: boom";
+  report.rolled_back = true;
+  report.device_hostname = "sw";
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("FAILED: stage: boom"), std::string::npos);
+  EXPECT_NE(text.find("rolled back"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmless::core

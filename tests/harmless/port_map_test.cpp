@@ -1,0 +1,137 @@
+// PortMap validation and bijection properties.
+#include <gtest/gtest.h>
+
+#include "harmless/port_map.hpp"
+
+namespace harmless::core {
+namespace {
+
+TEST(PortMap, CanonicalPaperMapping) {
+  // Fig. 1: access ports 1..4, trunk elsewhere, VLAN = 100 + port.
+  auto map = PortMap::make({1, 2, 3, 4}, /*trunk_port=*/24);
+  ASSERT_TRUE(map) << map.message();
+  EXPECT_EQ(map->size(), 4u);
+  EXPECT_EQ(map->vlan_for_legacy(1), 101);
+  EXPECT_EQ(map->vlan_for_legacy(4), 104);
+  EXPECT_EQ(map->ss2_for_legacy(1), 1u);
+  EXPECT_EQ(map->legacy_for_vlan(102), 2);
+  EXPECT_EQ(map->ss2_for_vlan(103), 3u);
+  EXPECT_EQ(map->vlan_for_ss2(4), 104);
+  EXPECT_EQ(map->trunk_port(), 24);
+  EXPECT_FALSE(map->vlan_for_legacy(9).has_value());
+  EXPECT_FALSE(map->legacy_for_vlan(999).has_value());
+}
+
+TEST(PortMap, Ss1PortLayout) {
+  auto map = PortMap::make({1, 2, 3}, 24);
+  ASSERT_TRUE(map);
+  EXPECT_EQ(map->ss1_trunk_port(), 1u);
+  EXPECT_EQ(map->ss1_patch_port(1), 2u);
+  EXPECT_EQ(map->ss1_patch_port(3), 4u);
+  EXPECT_EQ(map->ss1_port_count(), 4u);
+}
+
+TEST(PortMap, NonContiguousAccessPorts) {
+  auto map = PortMap::make({3, 7, 19}, 24);
+  ASSERT_TRUE(map);
+  EXPECT_EQ(map->vlan_for_legacy(7), 107);
+  EXPECT_EQ(map->ss2_for_legacy(3), 1u);   // SS_2 ports by list order
+  EXPECT_EQ(map->ss2_for_legacy(19), 3u);
+}
+
+TEST(PortMap, RejectsTrunkAmongAccessPorts) {
+  auto map = PortMap::make({1, 2, 24}, 24);
+  EXPECT_FALSE(map);
+  EXPECT_NE(map.message().find("trunk"), std::string::npos);
+}
+
+TEST(PortMap, RejectsDuplicates) {
+  EXPECT_FALSE(PortMap::make({1, 1}, 24));
+  auto dup_vlan = PortMap::make_explicit({{1, 101, 1}, {2, 101, 2}}, {24});
+  EXPECT_FALSE(dup_vlan);
+  EXPECT_NE(dup_vlan.message().find("duplicate VLAN"), std::string::npos);
+  auto dup_ss2 = PortMap::make_explicit({{1, 101, 1}, {2, 102, 1}}, {24});
+  EXPECT_FALSE(dup_ss2);
+}
+
+TEST(PortMap, RejectsInvalidNumbers) {
+  EXPECT_FALSE(PortMap::make({}, 24));                       // empty
+  EXPECT_FALSE(PortMap::make({0}, 24));                      // 0-based
+  EXPECT_FALSE(PortMap::make({1}, 0));                       // bad trunk
+  EXPECT_FALSE(PortMap::make({1}, 2, /*vlan_base=*/4094));   // vlan 4095
+  EXPECT_FALSE(PortMap::make_explicit({{1, 0, 1}}, {24}));     // vlan 0
+  EXPECT_FALSE(PortMap::make_explicit({{1, 101, 0}}, {24}));   // ss2 0
+}
+
+class PortMapBijection : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PortMapBijection, RoundTripsForEveryPortAndBase) {
+  const auto [port_count, vlan_base] = GetParam();
+  std::vector<int> access_ports;
+  for (int port = 1; port <= port_count; ++port) access_ports.push_back(port);
+  auto map = PortMap::make(access_ports, port_count + 1, vlan_base);
+  ASSERT_TRUE(map) << map.message();
+
+  for (int port = 1; port <= port_count; ++port) {
+    const auto vlan = map->vlan_for_legacy(port);
+    ASSERT_TRUE(vlan);
+    EXPECT_EQ(map->legacy_for_vlan(*vlan), port);  // legacy <-> vlan
+    const auto ss2 = map->ss2_for_vlan(*vlan);
+    ASSERT_TRUE(ss2);
+    EXPECT_EQ(map->vlan_for_ss2(*ss2), *vlan);     // vlan <-> ss2
+    EXPECT_EQ(map->ss2_for_legacy(port), *ss2);    // legacy <-> ss2
+    // SS_1 patch ports never collide with the trunk leg.
+    EXPECT_GT(map->ss1_patch_port(*ss2), map->ss1_trunk_port());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PortMapBijection,
+                         ::testing::Combine(::testing::Values(1, 4, 23, 47),
+                                            ::testing::Values(100, 1000, 3000)));
+
+TEST(PortMap, ToStringListsMappings) {
+  auto map = PortMap::make({1, 2}, 24);
+  ASSERT_TRUE(map);
+  const std::string text = map->to_string();
+  EXPECT_NE(text.find("port1<->vlan101<->ss2:1"), std::string::npos);
+  EXPECT_NE(text.find("trunks={port24}"), std::string::npos);
+}
+
+TEST(PortMap, BondedTrunksRoundRobin) {
+  auto map = PortMap::make_bonded({1, 2, 3, 4, 5}, {10, 11});
+  ASSERT_TRUE(map) << map.message();
+  EXPECT_EQ(map->trunk_count(), 2u);
+  EXPECT_EQ(map->trunk_ports(), (std::vector<int>{10, 11}));
+  // Round-robin: ss2 ports 1,3,5 -> trunk 0; 2,4 -> trunk 1.
+  EXPECT_EQ(map->ports()[0].trunk_index, 0);
+  EXPECT_EQ(map->ports()[1].trunk_index, 1);
+  EXPECT_EQ(map->ports()[2].trunk_index, 0);
+  EXPECT_EQ(map->ports()[4].trunk_index, 0);
+  // SS_1 layout: trunk legs 1..2, patches 3..7.
+  EXPECT_EQ(map->ss1_trunk_port(0), 1u);
+  EXPECT_EQ(map->ss1_trunk_port(1), 2u);
+  EXPECT_EQ(map->ss1_patch_port(1), 3u);
+  EXPECT_EQ(map->ss1_port_count(), 7u);
+}
+
+TEST(PortMap, BondedValidation) {
+  EXPECT_FALSE(PortMap::make_bonded({1, 2}, {}));            // no trunks
+  EXPECT_FALSE(PortMap::make_bonded({1, 2}, {10, 10}));      // dup trunk
+  EXPECT_FALSE(PortMap::make_bonded({1, 10}, {10, 11}));     // trunk as access
+  auto bad_index = PortMap::make_explicit({{1, 101, 1, 5}}, {10});
+  EXPECT_FALSE(bad_index);
+  EXPECT_NE(bad_index.message().find("trunk index"), std::string::npos);
+}
+
+TEST(PortMap, BondedToStringShowsLegs) {
+  auto map = PortMap::make_bonded({1, 2}, {10, 11});
+  ASSERT_TRUE(map);
+  const std::string text = map->to_string();
+  EXPECT_NE(text.find("trunks={port10,port11}"), std::string::npos);
+  EXPECT_NE(text.find("@t0"), std::string::npos);
+  EXPECT_NE(text.find("@t1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmless::core
+

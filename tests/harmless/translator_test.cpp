@@ -1,0 +1,173 @@
+// Translator (SS_1) rule generation: exact Fig.-1 shape plus the
+// round-trip property — trunk->patch untags, patch->trunk retags — for
+// every mapping, executed on a real Pipeline.
+#include <gtest/gtest.h>
+
+#include "harmless/translator.hpp"
+#include "net/build.hpp"
+#include "openflow/pipeline.hpp"
+
+namespace harmless::core {
+namespace {
+
+using namespace net;
+using namespace openflow;
+
+PortMap paper_map() {
+  auto map = PortMap::make({1, 2, 3, 4}, 24);
+  return *map;
+}
+
+Packet tagged_udp(VlanId vid) {
+  FlowKey key;
+  key.eth_src = MacAddr::from_u64(0x02aa);
+  key.eth_dst = MacAddr::from_u64(0x02bb);
+  key.ip_src = Ipv4Addr(10, 0, 0, 1);
+  key.ip_dst = Ipv4Addr(10, 0, 0, 2);
+  Packet packet = make_udp(key, 100);
+  vlan_push(packet.frame(), VlanTag{vid, 0, false});
+  return packet;
+}
+
+TEST(Translator, GeneratesTwoRulesPerPortPlusMiss) {
+  const PortMap map = paper_map();
+  const TranslatorRules rules = make_translator_rules(map);
+  EXPECT_EQ(rules.flow_mods.size(), 9u);  // 2*4 + miss
+  EXPECT_EQ(rules.flow_mods.size(), rules.expected_count(map));
+}
+
+TEST(Translator, TrunkIngressRulesMatchVlanAndPopToPatch) {
+  const TranslatorRules rules = make_translator_rules(paper_map());
+  // First rule: in_port=1, vlan 101 -> pop, output patch 2.
+  const FlowModMsg& rule = rules.flow_mods[0];
+  EXPECT_EQ(rule.priority, 100);
+  EXPECT_TRUE(rule.match.has(Field::kInPort));
+  EXPECT_EQ(rule.match.value_of(Field::kInPort), 1u);
+  EXPECT_EQ(rule.match.value_of(Field::kVlanVid), kVlanPresent | 101);
+  ASSERT_EQ(rule.instructions.apply_actions.size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<PopVlanAction>(rule.instructions.apply_actions[0]));
+  EXPECT_EQ(std::get<OutputAction>(rule.instructions.apply_actions[1]).port, 2u);
+}
+
+TEST(Translator, PatchIngressRulesPushCorrectVlanToTrunk) {
+  const TranslatorRules rules = make_translator_rules(paper_map());
+  // Second rule: in_port=2 (patch for ss2:1) -> push vlan 101 -> trunk.
+  const FlowModMsg& rule = rules.flow_mods[1];
+  EXPECT_EQ(rule.match.value_of(Field::kInPort), 2u);
+  ASSERT_EQ(rule.instructions.apply_actions.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<PushVlanAction>(rule.instructions.apply_actions[0]));
+  const auto& set = std::get<SetFieldAction>(rule.instructions.apply_actions[1]);
+  EXPECT_EQ(set.field, Field::kVlanVid);
+  EXPECT_EQ(set.value & 0x0fff, 101u);
+  EXPECT_EQ(std::get<OutputAction>(rule.instructions.apply_actions[2]).port, 1u);
+}
+
+TEST(Translator, MissEntryDropsExplicitly) {
+  const TranslatorRules rules = make_translator_rules(paper_map());
+  const FlowModMsg& miss = rules.flow_mods.back();
+  EXPECT_EQ(miss.priority, 0);
+  EXPECT_TRUE(miss.match.is_wildcard_all());
+  EXPECT_TRUE(miss.instructions.apply_actions.empty());
+  EXPECT_FALSE(miss.instructions.goto_table.has_value());
+}
+
+TEST(Translator, ToStringRendersFig1Table) {
+  const std::string text = make_translator_rules(paper_map()).to_string();
+  EXPECT_NE(text.find("Flow table of SS_1"), std::string::npos);
+  EXPECT_NE(text.find("vlan_vid=101"), std::string::npos);
+  EXPECT_NE(text.find("pop_vlan"), std::string::npos);
+  EXPECT_NE(text.find("set_vlan_vid:104"), std::string::npos);
+}
+
+class TranslatorRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TranslatorRoundTrip, EveryMappingUntagsAndRetags) {
+  std::vector<int> access_ports;
+  for (int port = 1; port <= GetParam(); ++port) access_ports.push_back(port);
+  auto map = PortMap::make(access_ports, GetParam() + 1);
+  ASSERT_TRUE(map);
+
+  Pipeline ss1(1);
+  for (const FlowModMsg& mod : make_translator_rules(*map).flow_mods) {
+    FlowEntry entry;
+    entry.priority = mod.priority;
+    entry.match = mod.match;
+    entry.instructions = mod.instructions;
+    ASSERT_TRUE(ss1.table(0).add(std::move(entry), 0).is_ok());
+  }
+
+  for (const MappedPort& mapped : map->ports()) {
+    // Trunk -> patch: tagged frame pops to the right patch, untagged.
+    PipelineResult down =
+        ss1.run(tagged_udp(mapped.vlan), map->ss1_trunk_port(), 0);
+    ASSERT_EQ(down.outputs.size(), 1u) << "vlan " << mapped.vlan;
+    EXPECT_EQ(down.outputs[0].first, map->ss1_patch_port(mapped.ss2_port));
+    EXPECT_FALSE(parse_packet(down.outputs[0].second).has_vlan());
+
+    // Patch -> trunk: untagged frame gets this port's VLAN back.
+    FlowKey key;
+    key.eth_src = MacAddr::from_u64(0x02aa);
+    key.eth_dst = MacAddr::from_u64(0x02bb);
+    PipelineResult up =
+        ss1.run(make_udp(key, 100), map->ss1_patch_port(mapped.ss2_port), 0);
+    ASSERT_EQ(up.outputs.size(), 1u);
+    EXPECT_EQ(up.outputs[0].first, map->ss1_trunk_port());
+    const ParsedPacket parsed = parse_packet(up.outputs[0].second);
+    ASSERT_TRUE(parsed.has_vlan());
+    EXPECT_EQ(parsed.vlan_vid(), mapped.vlan);
+  }
+
+  // Unmapped VLAN on the trunk: dropped, never leaked.
+  const VlanId foreign = static_cast<VlanId>(100 + GetParam() + 50);
+  PipelineResult leak = ss1.run(tagged_udp(foreign), map->ss1_trunk_port(), 0);
+  EXPECT_TRUE(leak.dropped());
+
+  // Untagged frame on the trunk: also dropped.
+  FlowKey key;
+  key.eth_src = MacAddr::from_u64(0x02aa);
+  key.eth_dst = MacAddr::from_u64(0x02bb);
+  PipelineResult untagged = ss1.run(make_udp(key, 100), map->ss1_trunk_port(), 0);
+  EXPECT_TRUE(untagged.dropped());
+}
+
+INSTANTIATE_TEST_SUITE_P(PortCounts, TranslatorRoundTrip, ::testing::Values(1, 2, 4, 8, 24));
+
+TEST(TranslatorBonded, EachVlanUsesItsAssignedTrunkLeg) {
+  auto map = PortMap::make_bonded({1, 2, 3, 4}, {9, 10});
+  ASSERT_TRUE(map);
+
+  Pipeline ss1(1);
+  for (const FlowModMsg& mod : make_translator_rules(*map).flow_mods) {
+    FlowEntry entry;
+    entry.priority = mod.priority;
+    entry.match = mod.match;
+    entry.instructions = mod.instructions;
+    ASSERT_TRUE(ss1.table(0).add(std::move(entry), 0).is_ok());
+  }
+
+  for (const MappedPort& mapped : map->ports()) {
+    const std::uint32_t trunk = map->ss1_trunk_port(mapped.trunk_index);
+
+    // Down: the tag arrives on its own trunk leg and pops to its patch.
+    PipelineResult down = ss1.run(tagged_udp(mapped.vlan), trunk, 0);
+    ASSERT_EQ(down.outputs.size(), 1u);
+    EXPECT_EQ(down.outputs[0].first, map->ss1_patch_port(mapped.ss2_port));
+
+    // A tag arriving on the *wrong* leg is dropped (per-leg VLAN sets).
+    const std::uint32_t wrong_trunk = map->ss1_trunk_port(1 - mapped.trunk_index);
+    PipelineResult misdirected = ss1.run(tagged_udp(mapped.vlan), wrong_trunk, 0);
+    EXPECT_TRUE(misdirected.dropped());
+
+    // Up: the patch return exits on the same assigned leg.
+    FlowKey key;
+    key.eth_src = MacAddr::from_u64(0x02aa);
+    key.eth_dst = MacAddr::from_u64(0x02bb);
+    PipelineResult up = ss1.run(make_udp(key, 100), map->ss1_patch_port(mapped.ss2_port), 0);
+    ASSERT_EQ(up.outputs.size(), 1u);
+    EXPECT_EQ(up.outputs[0].first, trunk);
+  }
+}
+
+}  // namespace
+}  // namespace harmless::core
+

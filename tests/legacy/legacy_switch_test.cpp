@@ -1,0 +1,296 @@
+// Legacy 802.1Q switch behaviour: classification, learning, flooding,
+// VLAN isolation, trunk tagging — and the emergent hairpin property
+// HARMLESS builds on.
+#include <gtest/gtest.h>
+
+#include "legacy/legacy_switch.hpp"
+#include "sim/network.hpp"
+
+namespace harmless::legacy {
+namespace {
+
+using namespace net;
+using sim::Host;
+using sim::LinkSpec;
+using sim::Network;
+
+SwitchConfig two_access_one_vlan() {
+  SwitchConfig config;
+  config.hostname = "sw1";
+  config.ports[1] = PortConfig{PortMode::kAccess, 10, {}, std::nullopt, true, ""};
+  config.ports[2] = PortConfig{PortMode::kAccess, 10, {}, std::nullopt, true, ""};
+  config.ports[3] = PortConfig{PortMode::kAccess, 20, {}, std::nullopt, true, ""};
+  return config;
+}
+
+struct Rig {
+  Network network;
+  LegacySwitch* sw;
+  Host* h1;
+  Host* h2;
+  Host* h3;
+
+  explicit Rig(SwitchConfig config) {
+    sw = &network.add_node<LegacySwitch>("sw", std::move(config));
+    h1 = &network.add_host("h1", MacAddr::from_u64(0x1), Ipv4Addr(10, 0, 0, 1));
+    h2 = &network.add_host("h2", MacAddr::from_u64(0x2), Ipv4Addr(10, 0, 0, 2));
+    h3 = &network.add_host("h3", MacAddr::from_u64(0x3), Ipv4Addr(10, 0, 0, 3));
+    network.connect(*h1, 0, *sw, 0, LinkSpec::gbps(1));
+    network.connect(*h2, 0, *sw, 1, LinkSpec::gbps(1));
+    network.connect(*h3, 0, *sw, 2, LinkSpec::gbps(1));
+  }
+
+  Packet udp_h1_to_h2(std::size_t size = 100) {
+    FlowKey key;
+    key.eth_src = h1->mac();
+    key.eth_dst = h2->mac();
+    key.ip_src = h1->ip();
+    key.ip_dst = h2->ip();
+    return make_udp(key, size);
+  }
+};
+
+TEST(SwitchConfig, ValidateCatchesBadConfigs) {
+  SwitchConfig config = two_access_one_vlan();
+  EXPECT_TRUE(config.validate().is_ok());
+
+  config.ports[1].pvid = 0;
+  EXPECT_FALSE(config.validate().is_ok());
+
+  config = two_access_one_vlan();
+  config.ports[0] = PortConfig{};  // 0 is not 1-based
+  EXPECT_FALSE(config.validate().is_ok());
+
+  config = two_access_one_vlan();
+  config.ports[4] = PortConfig{PortMode::kTrunk, 1, {}, std::nullopt, true, ""};
+  EXPECT_FALSE(config.validate().is_ok());  // trunk with no VLANs
+
+  config.ports[4].allowed_vlans = {4095};
+  EXPECT_FALSE(config.validate().is_ok());  // reserved vid
+}
+
+TEST(SwitchConfig, VlanQueriesAndRendering) {
+  const SwitchConfig config = two_access_one_vlan();
+  EXPECT_EQ(config.ports_in_vlan(10), (std::set<int>{1, 2}));
+  EXPECT_EQ(config.ports_in_vlan(20), (std::set<int>{3}));
+  EXPECT_EQ(config.all_vlans(), (std::set<VlanId>{10, 20}));
+  const std::string text = config.to_text();
+  EXPECT_NE(text.find("switchport access vlan 10"), std::string::npos);
+}
+
+TEST(LegacySwitch, FloodsUnknownThenForwardsLearned) {
+  Rig rig(two_access_one_vlan());
+  // First frame h1->h2: dst unknown, floods to h2 (same VLAN) only.
+  rig.network.engine().schedule_at(0, [&] { rig.h1->send(rig.udp_h1_to_h2()); });
+  rig.network.run();
+  EXPECT_EQ(rig.h2->counters().rx_udp, 1u);
+  EXPECT_EQ(rig.h3->counters().rx_udp, 0u);  // different VLAN
+  EXPECT_EQ(rig.sw->counters().flooded, 1u);
+
+  // h2 replies: h1's MAC is now learned, so no flood.
+  FlowKey reply;
+  reply.eth_src = rig.h2->mac();
+  reply.eth_dst = rig.h1->mac();
+  reply.ip_src = rig.h2->ip();
+  reply.ip_dst = rig.h1->ip();
+  rig.h2->send(make_udp(reply, 100));
+  rig.network.run();
+  EXPECT_EQ(rig.h1->counters().rx_udp, 1u);
+  EXPECT_EQ(rig.sw->counters().forwarded, 1u);
+
+  // Third frame h1->h2 is now unicast-forwarded too.
+  rig.h1->send(rig.udp_h1_to_h2());
+  rig.network.run();
+  EXPECT_EQ(rig.h2->counters().rx_udp, 2u);
+  EXPECT_EQ(rig.sw->counters().forwarded, 2u);
+  EXPECT_EQ(rig.sw->counters().flooded, 1u);
+}
+
+TEST(LegacySwitch, VlanIsolationBlocksCrossVlanUnicast) {
+  Rig rig(two_access_one_vlan());
+  FlowKey key;
+  key.eth_src = rig.h1->mac();
+  key.eth_dst = rig.h3->mac();  // h3 is in VLAN 20
+  key.ip_src = rig.h1->ip();
+  key.ip_dst = rig.h3->ip();
+  rig.h1->send(make_udp(key, 100));
+  rig.network.run();
+  EXPECT_EQ(rig.h3->counters().rx_udp, 0u);
+}
+
+TEST(LegacySwitch, BroadcastStaysInVlan) {
+  Rig rig(two_access_one_vlan());
+  rig.h1->arp_request(Ipv4Addr(10, 0, 0, 99));
+  rig.network.run();
+  EXPECT_EQ(rig.h2->counters().rx_total, 1u);
+  EXPECT_EQ(rig.h3->counters().rx_total, 0u);
+}
+
+TEST(LegacySwitch, TaggedFrameOnAccessPortDropped) {
+  Rig rig(two_access_one_vlan());
+  Packet packet = rig.udp_h1_to_h2();
+  vlan_push(packet.frame(), VlanTag{10, 0, false});
+  rig.h1->send(std::move(packet));
+  rig.network.run();
+  EXPECT_EQ(rig.h2->counters().rx_total, 0u);
+  EXPECT_EQ(rig.sw->counters().ingress_filtered, 1u);
+}
+
+TEST(LegacySwitch, DisabledPortFiltersIngress) {
+  SwitchConfig config = two_access_one_vlan();
+  config.ports[1].enabled = false;
+  Rig rig(std::move(config));
+  rig.h1->send(rig.udp_h1_to_h2());
+  rig.network.run();
+  EXPECT_EQ(rig.h2->counters().rx_total, 0u);
+  EXPECT_EQ(rig.sw->counters().ingress_filtered, 1u);
+}
+
+// --- trunk behaviour -----------------------------------------------------
+
+SwitchConfig access_plus_trunk() {
+  SwitchConfig config;
+  config.hostname = "sw-trunk";
+  config.ports[1] = PortConfig{PortMode::kAccess, 101, {}, std::nullopt, true, ""};
+  config.ports[2] = PortConfig{PortMode::kAccess, 102, {}, std::nullopt, true, ""};
+  config.ports[3] = PortConfig{PortMode::kTrunk, 1, {101, 102}, std::nullopt, true, ""};
+  return config;
+}
+
+TEST(LegacySwitch, TrunkEgressCarriesAccessVlanTag) {
+  Rig rig(access_plus_trunk());  // h3 now hangs off the trunk port
+  rig.h3->set_promiscuous(true);  // trunk observer sees others' frames
+  std::optional<VlanId> seen_vid;
+  rig.h3->set_on_receive([&](const Packet&, const ParsedPacket& parsed) {
+    if (parsed.udp) seen_vid = parsed.vlan_vid();
+  });
+  // h1 -> unknown dst: floods; the only same-VLAN egress is the trunk.
+  rig.h1->send(rig.udp_h1_to_h2());
+  rig.network.run();
+  ASSERT_TRUE(seen_vid.has_value());
+  EXPECT_EQ(*seen_vid, 101);  // tagged with the ingress port's PVID
+}
+
+TEST(LegacySwitch, TrunkIngressRespectsAllowedList) {
+  Rig rig(access_plus_trunk());
+  // Tag 101 -> delivered untagged to h1.
+  FlowKey key;
+  key.eth_src = rig.h3->mac();
+  key.eth_dst = rig.h1->mac();
+  key.ip_src = rig.h3->ip();
+  key.ip_dst = rig.h1->ip();
+  // Let the switch learn h1 first.
+  rig.h1->send(rig.udp_h1_to_h2());
+  rig.network.run();
+
+  Packet allowed = make_udp(key, 100);
+  vlan_push(allowed.frame(), VlanTag{101, 0, false});
+  rig.h3->send(std::move(allowed));
+  rig.network.run();
+  EXPECT_EQ(rig.h1->counters().rx_udp, 1u);
+  // Delivered frame must be untagged (access egress strips).
+  bool untagged = false;
+  for (const auto& parsed : rig.h1->rx_log())
+    if (parsed.udp) untagged = !parsed.has_vlan();
+  EXPECT_TRUE(untagged);
+
+  // Tag 999 is not allowed: filtered at trunk ingress.
+  Packet filtered = make_udp(key, 100);
+  vlan_push(filtered.frame(), VlanTag{999, 0, false});
+  rig.h3->send(std::move(filtered));
+  rig.network.run();
+  EXPECT_EQ(rig.h1->counters().rx_udp, 1u);  // unchanged
+  EXPECT_GE(rig.sw->counters().ingress_filtered, 1u);
+}
+
+TEST(LegacySwitch, UntaggedOnTrunkWithoutNativeDropped) {
+  Rig rig(access_plus_trunk());
+  FlowKey key;
+  key.eth_src = rig.h3->mac();
+  key.eth_dst = rig.h1->mac();
+  rig.h3->send(make_udp(key, 100));
+  rig.network.run();
+  EXPECT_EQ(rig.sw->counters().ingress_filtered, 1u);
+}
+
+TEST(LegacySwitch, NativeVlanRidesUntagged) {
+  SwitchConfig config = access_plus_trunk();
+  config.ports[3].native_vlan = 101;
+  Rig rig(std::move(config));
+  rig.h3->set_promiscuous(true);
+  // h1 (vlan 101) -> flood reaches trunk *untagged* now.
+  std::optional<bool> tagged;
+  rig.h3->set_on_receive([&](const Packet&, const ParsedPacket& parsed) {
+    if (parsed.udp) tagged = parsed.has_vlan();
+  });
+  rig.h1->send(rig.udp_h1_to_h2());
+  rig.network.run();
+  ASSERT_TRUE(tagged.has_value());
+  EXPECT_FALSE(*tagged);
+}
+
+// --- the HARMLESS precondition -------------------------------------------
+
+TEST(LegacySwitch, UniquePvidsForceAllTrafficToTrunk) {
+  // Per-port unique VLANs (the HARMLESS config): hosts can never talk
+  // directly through the legacy switch; everything surfaces tagged on
+  // the trunk. This is the paper's tagging half of §2 working with
+  // zero special-case code in the switch model.
+  SwitchConfig config;
+  config.ports[1] = PortConfig{PortMode::kAccess, 101, {}, std::nullopt, true, ""};
+  config.ports[2] = PortConfig{PortMode::kAccess, 102, {}, std::nullopt, true, ""};
+  config.ports[3] = PortConfig{PortMode::kTrunk, 1, {101, 102}, std::nullopt, true, ""};
+  Rig rig(std::move(config));
+  rig.h3->set_promiscuous(true);
+
+  std::vector<VlanId> trunk_tags;
+  rig.h3->set_on_receive([&](const Packet&, const ParsedPacket& parsed) {
+    if (parsed.udp) trunk_tags.push_back(parsed.vlan_vid());
+  });
+
+  rig.h1->send(rig.udp_h1_to_h2());
+  rig.network.run();
+  FlowKey reverse;
+  reverse.eth_src = rig.h2->mac();
+  reverse.eth_dst = rig.h1->mac();
+  rig.h2->send(make_udp(reverse, 100));
+  rig.network.run();
+
+  // Hosts never hear each other...
+  EXPECT_EQ(rig.h1->counters().rx_udp, 0u);
+  EXPECT_EQ(rig.h2->counters().rx_udp, 0u);
+  // ...but the trunk saw both frames, each tagged with its ingress
+  // port's unique VLAN.
+  EXPECT_EQ(trunk_tags, (std::vector<VlanId>{101, 102}));
+}
+
+TEST(LegacySwitch, ApplyConfigFlushesLearnedState) {
+  Rig rig(two_access_one_vlan());
+  rig.h1->send(rig.udp_h1_to_h2());
+  rig.network.run();
+  EXPECT_GT(rig.sw->mac_table().size(), 0u);
+  rig.sw->apply_config(two_access_one_vlan());
+  EXPECT_EQ(rig.sw->mac_table().size(), 0u);
+}
+
+TEST(LegacySwitch, ApplyInvalidConfigThrows) {
+  Rig rig(two_access_one_vlan());
+  SwitchConfig bad = two_access_one_vlan();
+  bad.ports[1].pvid = 0;
+  EXPECT_THROW(rig.sw->apply_config(bad), util::ConfigError);
+}
+
+TEST(LegacySwitch, ChargesAsicCostsToPackets) {
+  Rig rig(two_access_one_vlan());
+  sim::LatencyRecorder recorder;
+  rig.h1->set_recorder(&recorder);
+  rig.h2->set_recorder(&recorder);
+  rig.h1->send(rig.udp_h1_to_h2());
+  rig.network.run();
+  ASSERT_EQ(recorder.completed(), 1u);
+  EXPECT_GT(recorder.processing().mean(), 0.0);
+  EXPECT_EQ(recorder.hops().mean(), 1.0);  // exactly one switch hop
+}
+
+}  // namespace
+}  // namespace harmless::legacy

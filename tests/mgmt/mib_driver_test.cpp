@@ -1,0 +1,218 @@
+// MIB binding + NAPALM-style driver tests: facts, interface walks,
+// candidate/commit/rollback, dialect render/parse round-trips.
+#include <gtest/gtest.h>
+
+#include "legacy/legacy_switch.hpp"
+#include "mgmt/dialects.hpp"
+#include "mgmt/driver.hpp"
+#include "mgmt/mib.hpp"
+#include "sim/network.hpp"
+
+namespace harmless::mgmt {
+namespace {
+
+using legacy::LegacySwitch;
+using legacy::PortConfig;
+using legacy::PortMode;
+using legacy::SwitchConfig;
+
+SwitchConfig base_config() {
+  SwitchConfig config;
+  config.hostname = "edge-7";
+  for (int port = 1; port <= 4; ++port)
+    config.ports[port] = PortConfig{PortMode::kAccess, 1, {}, std::nullopt, true, ""};
+  return config;
+}
+
+class MibDriverTest : public ::testing::Test {
+ protected:
+  MibDriverTest()
+      : device_(network_.add_node<LegacySwitch>("dev", base_config())),
+        mib_(agent_, device_),
+        driver_(agent_, make_ios_like_dialect()) {}
+
+  sim::Network network_;
+  LegacySwitch& device_;
+  SnmpAgent agent_;
+  SwitchMib mib_;
+  SnmpDriver driver_;
+};
+
+TEST_F(MibDriverTest, GetFactsReflectsDevice) {
+  auto facts = driver_.get_facts();
+  ASSERT_TRUE(facts);
+  EXPECT_EQ(facts->hostname, "edge-7");
+  EXPECT_EQ(facts->interface_count, 4);
+  EXPECT_NE(facts->description.find("802.1Q"), std::string::npos);
+}
+
+TEST_F(MibDriverTest, GetInterfacesReadsRunningConfig) {
+  auto interfaces = driver_.get_interfaces();
+  ASSERT_TRUE(interfaces);
+  ASSERT_EQ(interfaces->size(), 4u);
+  EXPECT_EQ((*interfaces)[0].number, 1);
+  EXPECT_EQ((*interfaces)[0].mode, PortMode::kAccess);
+  EXPECT_EQ((*interfaces)[0].pvid, 1);
+  EXPECT_TRUE((*interfaces)[0].enabled);
+}
+
+TEST_F(MibDriverTest, StageCommitAppliesVlanConfig) {
+  const std::string config_text =
+      "interface GigabitEthernet0/1\n"
+      " switchport mode access\n"
+      " switchport access vlan 101\n"
+      "interface GigabitEthernet0/4\n"
+      " switchport mode trunk\n"
+      " switchport trunk allowed vlan 101,102\n";
+  ASSERT_TRUE(driver_.load_merge_candidate(config_text));
+
+  // Nothing applied yet; the diff is non-empty.
+  auto diff = driver_.compare_config();
+  ASSERT_TRUE(diff);
+  EXPECT_FALSE(diff->empty());
+  EXPECT_EQ(device_.config().ports.at(1).pvid, 1);
+
+  ASSERT_TRUE(driver_.commit_config());
+  EXPECT_EQ(device_.config().ports.at(1).pvid, 101);
+  EXPECT_EQ(device_.config().ports.at(4).mode, PortMode::kTrunk);
+  EXPECT_EQ(device_.config().ports.at(4).allowed_vlans, (std::set<net::VlanId>{101, 102}));
+
+  // Post-commit the diff is clean.
+  diff = driver_.compare_config();
+  ASSERT_TRUE(diff);
+  EXPECT_TRUE(diff->empty());
+  EXPECT_EQ(mib_.commits(), 1);
+}
+
+TEST_F(MibDriverTest, RollbackRestoresPreCommitState) {
+  const std::string first =
+      "interface GigabitEthernet0/2\n"
+      " switchport access vlan 55\n";
+  ASSERT_TRUE(driver_.load_merge_candidate(first));
+  ASSERT_TRUE(driver_.commit_config());
+  ASSERT_EQ(device_.config().ports.at(2).pvid, 55);
+
+  const std::string second =
+      "interface GigabitEthernet0/2\n"
+      " switchport access vlan 66\n";
+  ASSERT_TRUE(driver_.load_merge_candidate(second));
+  ASSERT_TRUE(driver_.commit_config());
+  ASSERT_EQ(device_.config().ports.at(2).pvid, 66);
+
+  ASSERT_TRUE(driver_.rollback());
+  EXPECT_EQ(device_.config().ports.at(2).pvid, 55);
+}
+
+TEST_F(MibDriverTest, RollbackWithoutCommitFails) {
+  EXPECT_FALSE(driver_.rollback());
+}
+
+TEST_F(MibDriverTest, BadConfigTextRejectedAtStage) {
+  EXPECT_FALSE(driver_.load_merge_candidate("interface Ethernet1\n flurb\n"));
+  EXPECT_FALSE(driver_.load_merge_candidate("switchport mode access\n"));  // no section
+  EXPECT_FALSE(driver_.load_merge_candidate(
+      "interface GigabitEthernet0/1\n switchport access vlan 4095\n"));
+}
+
+TEST_F(MibDriverTest, InvalidCandidateRejectedAtCommit) {
+  // Trunk with no VLANs is structurally invalid -> commit must fail and
+  // leave the device untouched.
+  ASSERT_TRUE(driver_.load_merge_candidate(
+      "interface GigabitEthernet0/3\n switchport mode trunk\n"));
+  EXPECT_FALSE(driver_.commit_config());
+  EXPECT_EQ(device_.config().ports.at(3).mode, PortMode::kAccess);
+}
+
+TEST_F(MibDriverTest, CompareConfigIsALineDiff) {
+  ASSERT_TRUE(driver_.load_merge_candidate(
+      "interface GigabitEthernet0/1\n switchport access vlan 77\n"));
+  auto diff = driver_.compare_config();
+  ASSERT_TRUE(diff);
+  EXPECT_NE(diff->find("- "), std::string::npos);
+  EXPECT_NE(diff->find("+   switchport access vlan 77"), std::string::npos);
+}
+
+TEST_F(MibDriverTest, CommitEmitsTrap) {
+  std::vector<std::pair<Oid, std::int64_t>> traps;
+  agent_.add_trap_sink([&](const SnmpAgent::VarBind& bind) {
+    if (const auto* value = std::get_if<std::int64_t>(&bind.value))
+      traps.emplace_back(bind.oid, *value);
+  });
+  ASSERT_TRUE(driver_.load_merge_candidate(
+      "interface GigabitEthernet0/1\n switchport access vlan 55\n"));
+  ASSERT_TRUE(driver_.commit_config());
+  ASSERT_EQ(traps.size(), 1u);
+  EXPECT_EQ(traps[0].first, oids::kEnterprise.child({0, 1}));
+  EXPECT_EQ(traps[0].second, 1);
+  EXPECT_EQ(agent_.stats().traps, 1u);
+}
+
+TEST_F(MibDriverTest, SnmpSetValidation) {
+  // pvid out of range via raw SNMP.
+  auto result = agent_.set(oids::kEnterprise.child({1, 2, 1}), std::int64_t{0});
+  EXPECT_FALSE(result);
+  result = agent_.set(oids::kEnterprise.child({1, 1, 1}), std::int64_t{7});
+  EXPECT_FALSE(result);  // mode must be 1 or 2
+  result = agent_.set(oids::kEnterprise.child({1, 3, 1}), std::string("1,bogus"));
+  EXPECT_FALSE(result);
+  result = agent_.set(oids::kEnterprise.child({2, 0}), std::int64_t{0});
+  EXPECT_FALSE(result);  // commit wants 1
+}
+
+// ---------------------------------------------------------- dialects
+
+class DialectRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DialectRoundTrip, RenderParseIsIdentity) {
+  auto dialect = make_dialect(GetParam());
+  ASSERT_NE(dialect, nullptr);
+
+  SwitchConfig config;
+  config.hostname = "rt-sw";
+  config.ports[1] = PortConfig{PortMode::kAccess, 101, {}, std::nullopt, true, "host leg"};
+  config.ports[2] = PortConfig{PortMode::kAccess, 102, {}, std::nullopt, false, ""};
+  config.ports[9] =
+      PortConfig{PortMode::kTrunk, 1, {101, 102, 200}, net::VlanId{200}, true, "uplink"};
+
+  const std::string text = dialect->render(config);
+  auto parsed = dialect->parse(text);
+  ASSERT_TRUE(parsed) << parsed.message();
+  EXPECT_EQ(parsed->hostname, "rt-sw");
+  ASSERT_EQ(parsed->ports.size(), 3u);
+  EXPECT_EQ(parsed->ports.at(1).pvid, 101);
+  EXPECT_EQ(parsed->ports.at(1).description, "host leg");
+  EXPECT_FALSE(parsed->ports.at(2).enabled);
+  EXPECT_EQ(parsed->ports.at(9).mode, PortMode::kTrunk);
+  EXPECT_EQ(parsed->ports.at(9).allowed_vlans, (std::set<net::VlanId>{101, 102, 200}));
+  ASSERT_TRUE(parsed->ports.at(9).native_vlan);
+  EXPECT_EQ(*parsed->ports.at(9).native_vlan, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVendors, DialectRoundTrip,
+                         ::testing::Values("ios_like", "eos_like"));
+
+TEST(Dialects, InterfaceNamingDiffers) {
+  auto ios = make_ios_like_dialect();
+  auto eos = make_eos_like_dialect();
+  EXPECT_EQ(ios->interface_name(3), "GigabitEthernet0/3");
+  EXPECT_EQ(eos->interface_name(3), "Ethernet3");
+  EXPECT_EQ(ios->parse_interface_name("GigabitEthernet0/17"), 17);
+  EXPECT_EQ(eos->parse_interface_name("Ethernet17"), 17);
+  EXPECT_FALSE(ios->parse_interface_name("Ethernet17"));
+  EXPECT_FALSE(eos->parse_interface_name("GigabitEthernet0/17"));
+  EXPECT_FALSE(eos->parse_interface_name("Ethernet0"));
+}
+
+TEST(Dialects, UnknownPlatformIsNull) {
+  EXPECT_EQ(make_dialect("junos"), nullptr);
+}
+
+TEST(Dialects, ParseReportsLineNumbers) {
+  auto dialect = make_ios_like_dialect();
+  auto result = dialect->parse("hostname x\ninterface GigabitEthernet0/1\n bogus here\n");
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.message().find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmless::mgmt

@@ -1,0 +1,149 @@
+// OID ordering/parsing and the SNMP agent semantics (GET/SET/GETNEXT/
+// WALK, read-only enforcement, writer rejections).
+#include <gtest/gtest.h>
+
+#include "mgmt/oid.hpp"
+#include "mgmt/snmp.hpp"
+
+namespace harmless::mgmt {
+namespace {
+
+TEST(Oid, ParseAndFormat) {
+  const auto oid = Oid::parse("1.3.6.1.2.1.1.1.0");
+  ASSERT_TRUE(oid);
+  EXPECT_EQ(oid->to_string(), "1.3.6.1.2.1.1.1.0");
+  EXPECT_EQ(oid->size(), 9u);
+}
+
+TEST(Oid, ParseRejectsGarbage) {
+  EXPECT_FALSE(Oid::parse(""));
+  EXPECT_FALSE(Oid::parse("1..2"));
+  EXPECT_FALSE(Oid::parse("1.a.2"));
+  EXPECT_FALSE(Oid::parse("1.2.99999999999999"));
+}
+
+TEST(Oid, LexicographicOrdering) {
+  const Oid a{1, 3, 6};
+  const Oid b{1, 3, 6, 1};
+  const Oid c{1, 3, 7};
+  EXPECT_LT(a, b);  // prefix sorts first
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a, (Oid{1, 3, 6}));
+}
+
+TEST(Oid, ChildAndPrefix) {
+  const Oid base{1, 3, 6};
+  const Oid leaf = base.child({1, 0});
+  EXPECT_EQ(leaf, (Oid{1, 3, 6, 1, 0}));
+  EXPECT_TRUE(leaf.has_prefix(base));
+  EXPECT_FALSE(base.has_prefix(leaf));
+  EXPECT_TRUE(base.has_prefix(base));
+}
+
+class SnmpAgentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    agent_.register_var(Oid{1, 1, 0}, [this] { return SnmpValue{counter_}; });
+    agent_.register_var(
+        Oid{1, 2, 0}, [this] { return SnmpValue{name_}; },
+        [this](const SnmpValue& value) -> std::string {
+          const auto* text = std::get_if<std::string>(&value);
+          if (!text) return "must be a string";
+          if (text->empty()) return "must not be empty";
+          name_ = *text;
+          return {};
+        });
+    agent_.register_var(Oid{1, 3, 0}, [] { return SnmpValue{std::int64_t{42}}; });
+  }
+
+  SnmpAgent agent_;
+  std::int64_t counter_ = 5;
+  std::string name_ = "box";
+};
+
+TEST_F(SnmpAgentTest, GetReadsLiveValues) {
+  auto value = agent_.get(Oid{1, 1, 0});
+  ASSERT_TRUE(value);
+  EXPECT_EQ(std::get<std::int64_t>(*value), 5);
+  counter_ = 6;
+  EXPECT_EQ(std::get<std::int64_t>(*agent_.get(Oid{1, 1, 0})), 6);
+}
+
+TEST_F(SnmpAgentTest, GetUnknownOidFails) {
+  auto value = agent_.get(Oid{9, 9});
+  EXPECT_FALSE(value);
+  EXPECT_NE(value.message().find("noSuchName"), std::string::npos);
+}
+
+TEST_F(SnmpAgentTest, SetWritableVariable) {
+  auto result = agent_.set(Oid{1, 2, 0}, std::string("renamed"));
+  EXPECT_TRUE(result);
+  EXPECT_EQ(name_, "renamed");
+}
+
+TEST_F(SnmpAgentTest, SetReadOnlyFails) {
+  auto result = agent_.set(Oid{1, 1, 0}, std::int64_t{1});
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.message().find("readOnly"), std::string::npos);
+}
+
+TEST_F(SnmpAgentTest, WriterCanRejectValues) {
+  auto result = agent_.set(Oid{1, 2, 0}, std::string(""));
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.message().find("badValue"), std::string::npos);
+  EXPECT_EQ(name_, "box");  // unchanged
+
+  result = agent_.set(Oid{1, 2, 0}, std::int64_t{3});
+  EXPECT_FALSE(result);
+}
+
+TEST_F(SnmpAgentTest, GetNextWalksInOrder) {
+  auto next = agent_.get_next(Oid{1, 1, 0});
+  ASSERT_TRUE(next);
+  EXPECT_EQ(next->oid, (Oid{1, 2, 0}));
+  next = agent_.get_next(Oid{1, 2, 0});
+  ASSERT_TRUE(next);
+  EXPECT_EQ(next->oid, (Oid{1, 3, 0}));
+  next = agent_.get_next(Oid{1, 3, 0});
+  EXPECT_FALSE(next);  // endOfMib
+}
+
+TEST_F(SnmpAgentTest, GetNextFromNonexistentStartsAtSuccessor) {
+  auto next = agent_.get_next(Oid{1});
+  ASSERT_TRUE(next);
+  EXPECT_EQ(next->oid, (Oid{1, 1, 0}));
+}
+
+TEST_F(SnmpAgentTest, WalkReturnsSubtreeOnly) {
+  agent_.register_var(Oid{2, 1}, [] { return SnmpValue{std::int64_t{0}}; });
+  const auto binds = agent_.walk(Oid{1});
+  EXPECT_EQ(binds.size(), 3u);
+  const auto all = agent_.walk(Oid{});
+  EXPECT_EQ(all.size(), 4u);
+  const auto none = agent_.walk(Oid{3});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(SnmpAgentTest, UnregisterSubtree) {
+  agent_.unregister_subtree(Oid{1, 2});
+  EXPECT_FALSE(agent_.get(Oid{1, 2, 0}));
+  EXPECT_TRUE(agent_.get(Oid{1, 1, 0}));
+}
+
+TEST_F(SnmpAgentTest, StatsCountOperations) {
+  (void)agent_.get(Oid{1, 1, 0});
+  (void)agent_.set(Oid{1, 2, 0}, std::string("x"));
+  (void)agent_.walk(Oid{1});
+  EXPECT_EQ(agent_.stats().gets, 1u);
+  EXPECT_EQ(agent_.stats().sets, 1u);
+  EXPECT_EQ(agent_.stats().walks, 1u);
+}
+
+TEST(SnmpValue, ToString) {
+  EXPECT_EQ(snmp_value_to_string(SnmpValue{std::int64_t{-3}}), "-3");
+  EXPECT_EQ(snmp_value_to_string(SnmpValue{std::string("hi")}), "hi");
+}
+
+}  // namespace
+}  // namespace harmless::mgmt

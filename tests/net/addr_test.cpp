@@ -1,0 +1,98 @@
+// Tests for MacAddr and Ipv4Addr value types.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/ipv4.hpp"
+#include "net/mac.hpp"
+
+namespace harmless::net {
+namespace {
+
+TEST(MacAddr, ParseFormatsRoundTrip) {
+  const auto mac = MacAddr::parse("02:00:ab:cd:ef:01");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "02:00:ab:cd:ef:01");
+  EXPECT_EQ(mac->to_u64(), 0x0200abcdef01ULL);
+}
+
+TEST(MacAddr, ParseUppercase) {
+  const auto mac = MacAddr::parse("AA:BB:CC:DD:EE:FF");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "aa:bb:cc:dd:ee:ff");
+}
+
+TEST(MacAddr, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddr::parse(""));
+  EXPECT_FALSE(MacAddr::parse("aa:bb:cc:dd:ee"));
+  EXPECT_FALSE(MacAddr::parse("aa:bb:cc:dd:ee:ff:00"));
+  EXPECT_FALSE(MacAddr::parse("aa-bb-cc-dd-ee-ff"));
+  EXPECT_FALSE(MacAddr::parse("gg:bb:cc:dd:ee:ff"));
+  EXPECT_FALSE(MacAddr::parse("aa:bb:cc:dd:ee:f"));
+}
+
+TEST(MacAddr, FromU64MasksTo48Bits) {
+  const auto mac = MacAddr::from_u64(0xffff0200000000abULL);
+  EXPECT_EQ(mac.to_u64(), 0x0200000000abULL);
+}
+
+TEST(MacAddr, MulticastAndBroadcastBits) {
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddr::broadcast().is_multicast());
+  const auto multicast = MacAddr::parse("01:00:5e:00:00:01");
+  ASSERT_TRUE(multicast);
+  EXPECT_TRUE(multicast->is_multicast());
+  EXPECT_FALSE(multicast->is_broadcast());
+  const auto unicast = MacAddr::parse("02:00:00:00:00:01");
+  EXPECT_FALSE(unicast->is_multicast());
+  EXPECT_TRUE(MacAddr().is_zero());
+}
+
+TEST(MacAddr, HashableAndComparable) {
+  std::unordered_set<MacAddr> set;
+  set.insert(MacAddr::from_u64(1));
+  set.insert(MacAddr::from_u64(1));
+  set.insert(MacAddr::from_u64(2));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_LT(MacAddr::from_u64(1), MacAddr::from_u64(2));
+}
+
+TEST(Ipv4Addr, ParseFormatsRoundTrip) {
+  const auto ip = Ipv4Addr::parse("10.1.2.3");
+  ASSERT_TRUE(ip);
+  EXPECT_EQ(ip->to_string(), "10.1.2.3");
+  EXPECT_EQ(ip->value(), 0x0a010203u);
+  EXPECT_EQ(Ipv4Addr(10, 1, 2, 3), *ip);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1234.0.0.1"));
+}
+
+TEST(Ipv4Addr, SubnetMembership) {
+  const Ipv4Addr ip(192, 168, 1, 77);
+  EXPECT_TRUE(ip.in_subnet(Ipv4Addr(192, 168, 1, 0), 24));
+  EXPECT_FALSE(ip.in_subnet(Ipv4Addr(192, 168, 2, 0), 24));
+  EXPECT_TRUE(ip.in_subnet(Ipv4Addr(192, 168, 0, 0), 16));
+  EXPECT_TRUE(ip.in_subnet(Ipv4Addr(0, 0, 0, 0), 0));    // everything
+  EXPECT_TRUE(ip.in_subnet(ip, 32));                      // itself
+  EXPECT_FALSE(Ipv4Addr(192, 168, 1, 78).in_subnet(ip, 32));
+}
+
+TEST(Ipv4Addr, SpecialAddresses) {
+  EXPECT_TRUE(Ipv4Addr().is_zero());
+  EXPECT_TRUE(Ipv4Addr(0xffffffffu).is_broadcast());
+  EXPECT_TRUE(Ipv4Addr(224, 0, 0, 1).is_multicast());
+  EXPECT_TRUE(Ipv4Addr(239, 255, 255, 255).is_multicast());
+  EXPECT_FALSE(Ipv4Addr(223, 255, 255, 255).is_multicast());
+  EXPECT_FALSE(Ipv4Addr(240, 0, 0, 1).is_multicast());
+}
+
+}  // namespace
+}  // namespace harmless::net

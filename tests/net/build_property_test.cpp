@@ -1,0 +1,102 @@
+// Property tests on the packet builders: every built frame must parse
+// back to its FlowKey with valid checksums, across the whole size
+// sweep the benchmarks use, and VLAN push/pop must be an identity.
+#include <gtest/gtest.h>
+
+#include "net/build.hpp"
+#include "net/parse.hpp"
+#include "util/rng.hpp"
+
+namespace harmless::net {
+namespace {
+
+class FrameSizeProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FrameSizeProperty, UdpRoundTripsAtEverySize) {
+  FlowKey key;
+  key.eth_src = MacAddr::from_u64(0x020000000011);
+  key.eth_dst = MacAddr::from_u64(0x020000000022);
+  key.ip_src = Ipv4Addr(172, 16, 5, 1);
+  key.ip_dst = Ipv4Addr(172, 16, 5, 2);
+  key.src_port = 5555;
+  key.dst_port = 9000;
+
+  const std::size_t size = GetParam();
+  const Packet packet = make_udp(key, size);
+  EXPECT_EQ(packet.size(), std::clamp<std::size_t>(size, kMinFrameSize, kMaxFrameSize));
+
+  const ParsedPacket parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.ipv4) << "size=" << size;
+  ASSERT_TRUE(parsed.udp) << "size=" << size;
+  EXPECT_EQ(parsed.eth_src, key.eth_src);
+  EXPECT_EQ(parsed.eth_dst, key.eth_dst);
+  EXPECT_EQ(parsed.ipv4->src, key.ip_src);
+  EXPECT_EQ(parsed.ipv4->dst, key.ip_dst);
+  EXPECT_EQ(parsed.src_port(), key.src_port);
+  EXPECT_EQ(parsed.dst_port(), key.dst_port);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizeSweep, FrameSizeProperty,
+                         ::testing::Values(60, 64, 128, 256, 512, 1024, 1500, 1518, 9000));
+
+class VlanIdentityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(VlanIdentityProperty, PushPopIsIdentityForRandomPackets) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    FlowKey key;
+    key.eth_src = MacAddr::from_u64(0x020000000000 | rng.below(1 << 20));
+    key.eth_dst = MacAddr::from_u64(0x020000000000 | rng.below(1 << 20));
+    key.ip_src = Ipv4Addr(static_cast<std::uint32_t>(rng.below(UINT32_MAX)));
+    key.ip_dst = Ipv4Addr(static_cast<std::uint32_t>(rng.below(UINT32_MAX)));
+    key.src_port = static_cast<std::uint16_t>(rng.below(65536));
+    key.dst_port = static_cast<std::uint16_t>(rng.below(65536));
+    Packet packet = make_udp(key, 64 + rng.below(1400));
+    const Bytes original = packet.frame();
+
+    const auto vid = static_cast<VlanId>(1 + rng.below(4094));
+    vlan_push(packet.frame(), VlanTag{vid, 0, false});
+    ASSERT_EQ(parse_packet(packet).vlan_vid(), vid);
+    const auto popped = vlan_pop(packet.frame());
+    ASSERT_TRUE(popped);
+    EXPECT_EQ(popped->vid, vid);
+    EXPECT_EQ(packet.frame(), original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VlanIdentityProperty, ::testing::Range(1, 6));
+
+TEST(BuildProperty, TcpPayloadSurvivesChecksummedPath) {
+  FlowKey key;
+  key.eth_src = MacAddr::from_u64(1);
+  key.eth_dst = MacAddr::from_u64(2);
+  key.ip_src = Ipv4Addr(10, 0, 0, 1);
+  key.ip_dst = Ipv4Addr(10, 0, 0, 2);
+  key.src_port = 1;
+  key.dst_port = 2;
+  const std::string body = "payload-with-\x01-binary";
+  const Packet packet = make_tcp(key, kTcpPsh, body);
+  const ParsedPacket parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.tcp);
+  EXPECT_EQ(l4_payload(parsed, packet.frame()), body);
+}
+
+TEST(BuildProperty, ArpPairIsSymmetric) {
+  const auto mac_a = MacAddr::from_u64(0xa), mac_b = MacAddr::from_u64(0xb);
+  const Ipv4Addr ip_a(10, 0, 0, 1), ip_b(10, 0, 0, 2);
+  const Packet request = make_arp_request(mac_a, ip_a, ip_b);
+  const ParsedPacket parsed_request = parse_packet(request);
+  ASSERT_TRUE(parsed_request.arp);
+
+  const Packet reply =
+      make_arp_reply(mac_b, ip_b, parsed_request.arp->sender_mac, parsed_request.arp->sender_ip);
+  const ParsedPacket parsed_reply = parse_packet(reply);
+  ASSERT_TRUE(parsed_reply.arp);
+  EXPECT_EQ(parsed_reply.arp->op, ArpOp::kReply);
+  EXPECT_EQ(parsed_reply.arp->sender_ip, ip_b);
+  EXPECT_EQ(parsed_reply.arp->target_ip, ip_a);
+  EXPECT_EQ(parsed_reply.eth_dst, mac_a);  // unicast back
+}
+
+}  // namespace
+}  // namespace harmless::net

@@ -1,0 +1,238 @@
+// Header-level serialization tests: Ethernet, 802.1Q, ARP, IPv4
+// (checksums), UDP/TCP/ICMP.
+#include <gtest/gtest.h>
+
+#include "net/arp.hpp"
+#include "net/ethernet.hpp"
+#include "net/ip.hpp"
+#include "net/l4.hpp"
+#include "net/vlan.hpp"
+
+namespace harmless::net {
+namespace {
+
+const MacAddr kSrc = MacAddr::from_u64(0x020000000001);
+const MacAddr kDst = MacAddr::from_u64(0x020000000002);
+
+Bytes eth_frame(std::uint16_t ether_type, std::size_t payload = 50) {
+  Bytes frame(kEthHeaderSize + payload, 0);
+  EthernetHeader{kDst, kSrc, ether_type}.write(frame);
+  return frame;
+}
+
+TEST(Ethernet, WriteParseRoundTrip) {
+  const Bytes frame = eth_frame(0x0800);
+  const auto parsed = EthernetHeader::parse(frame);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->src, kSrc);
+  EXPECT_EQ(parsed->dst, kDst);
+  EXPECT_EQ(parsed->ether_type, 0x0800);
+}
+
+TEST(Ethernet, ParseRejectsRunt) {
+  const Bytes runt(13, 0);
+  EXPECT_FALSE(EthernetHeader::parse(runt));
+}
+
+TEST(Vlan, TciPackUnpack) {
+  const VlanTag tag{101, 5, true};
+  EXPECT_EQ(VlanTag::from_tci(tag.tci()), tag);
+  EXPECT_EQ(tag.tci() & 0x0fff, 101);
+}
+
+TEST(Vlan, PushInsertsTagAndPreservesType) {
+  Bytes frame = eth_frame(0x0800);
+  const std::size_t original = frame.size();
+  vlan_push(frame, VlanTag{101, 0, false});
+  EXPECT_EQ(frame.size(), original + 4);
+  const auto tag = vlan_peek(frame);
+  ASSERT_TRUE(tag);
+  EXPECT_EQ(tag->vid, 101);
+  // Inner EtherType slid to offset 16.
+  EXPECT_EQ(rd16(frame, 16), 0x0800);
+  // MACs untouched.
+  const auto eth = EthernetHeader::parse(frame);
+  EXPECT_EQ(eth->src, kSrc);
+  EXPECT_EQ(eth->dst, kDst);
+}
+
+TEST(Vlan, PopRestoresOriginalFrame) {
+  Bytes frame = eth_frame(0x0800);
+  const Bytes original = frame;
+  vlan_push(frame, VlanTag{202, 3, false});
+  const auto popped = vlan_pop(frame);
+  ASSERT_TRUE(popped);
+  EXPECT_EQ(popped->vid, 202);
+  EXPECT_EQ(popped->pcp, 3);
+  EXPECT_EQ(frame, original);
+}
+
+TEST(Vlan, PopUntaggedIsNoop) {
+  Bytes frame = eth_frame(0x0800);
+  const Bytes original = frame;
+  EXPECT_FALSE(vlan_pop(frame));
+  EXPECT_EQ(frame, original);
+}
+
+TEST(Vlan, QinQStacking) {
+  Bytes frame = eth_frame(0x0800);
+  vlan_push(frame, VlanTag{100, 0, false});
+  vlan_push(frame, VlanTag{200, 0, false});
+  EXPECT_EQ(vlan_peek(frame)->vid, 200);  // outermost
+  vlan_pop(frame);
+  EXPECT_EQ(vlan_peek(frame)->vid, 100);
+}
+
+TEST(Vlan, SetVidRewritesInPlace) {
+  Bytes frame = eth_frame(0x0800);
+  EXPECT_FALSE(vlan_set_vid(frame, 5));  // untagged
+  vlan_push(frame, VlanTag{100, 6, false});
+  EXPECT_TRUE(vlan_set_vid(frame, 105));
+  const auto tag = vlan_peek(frame);
+  EXPECT_EQ(tag->vid, 105);
+  EXPECT_EQ(tag->pcp, 6);  // priority preserved
+}
+
+TEST(Arp, SerializeParseRoundTrip) {
+  ArpPacket arp;
+  arp.op = ArpOp::kRequest;
+  arp.sender_mac = kSrc;
+  arp.sender_ip = Ipv4Addr(10, 0, 0, 1);
+  arp.target_ip = Ipv4Addr(10, 0, 0, 2);
+  const Bytes wire = arp.serialize();
+  EXPECT_EQ(wire.size(), kArpPayloadSize);
+  const auto parsed = ArpPacket::parse(wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->op, ArpOp::kRequest);
+  EXPECT_EQ(parsed->sender_mac, kSrc);
+  EXPECT_EQ(parsed->sender_ip, Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(parsed->target_ip, Ipv4Addr(10, 0, 0, 2));
+}
+
+TEST(Arp, ParseRejectsWrongTypes) {
+  ArpPacket arp;
+  Bytes wire = arp.serialize();
+  wire[0] = 9;  // htype
+  EXPECT_FALSE(ArpPacket::parse(wire));
+  wire = arp.serialize();
+  wire[7] = 9;  // op = 9
+  EXPECT_FALSE(ArpPacket::parse(wire));
+  EXPECT_FALSE(ArpPacket::parse(Bytes(10, 0)));
+}
+
+TEST(Ipv4Header, ChecksumValidatedOnParse) {
+  Ipv4Header ip;
+  ip.protocol = 17;
+  ip.src = Ipv4Addr(1, 2, 3, 4);
+  ip.dst = Ipv4Addr(5, 6, 7, 8);
+  ip.total_length = 40;
+  Bytes wire = ip.serialize();
+  EXPECT_EQ(internet_checksum(wire), 0);  // valid header sums to zero
+  ASSERT_TRUE(Ipv4Header::parse(wire));
+  wire[8] ^= 0xff;  // corrupt TTL
+  EXPECT_FALSE(Ipv4Header::parse(wire));
+}
+
+TEST(Ipv4Header, ParseRejectsBadVersionAndLength) {
+  Ipv4Header ip;
+  ip.total_length = 20;
+  Bytes wire = ip.serialize();
+  wire[0] = 0x65;  // version 6
+  EXPECT_FALSE(Ipv4Header::parse(wire));
+  EXPECT_FALSE(Ipv4Header::parse(Bytes(10, 0)));
+}
+
+TEST(Ipv4Header, RoundTripFields) {
+  Ipv4Header ip;
+  ip.dscp = 46;  // EF
+  ip.ttl = 17;
+  ip.protocol = 6;
+  ip.identification = 0xbeef;
+  ip.total_length = 120;
+  ip.src = Ipv4Addr(172, 16, 0, 9);
+  ip.dst = Ipv4Addr(172, 16, 0, 10);
+  const auto parsed = Ipv4Header::parse(ip.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->dscp, 46);
+  EXPECT_EQ(parsed->ttl, 17);
+  EXPECT_EQ(parsed->protocol, 6);
+  EXPECT_EQ(parsed->identification, 0xbeef);
+  EXPECT_EQ(parsed->total_length, 120);
+  EXPECT_EQ(parsed->src, ip.src);
+  EXPECT_EQ(parsed->dst, ip.dst);
+}
+
+TEST(InternetChecksum, OddLengthHandled) {
+  const Bytes odd{0x12, 0x34, 0x56};
+  // Manually: 0x1234 + 0x5600 = 0x6834 -> ~0x6834
+  EXPECT_EQ(internet_checksum(odd), static_cast<std::uint16_t>(~0x6834));
+}
+
+TEST(Udp, SerializeParseAndChecksum) {
+  const Ipv4Addr src(10, 0, 0, 1), dst(10, 0, 0, 2);
+  const Bytes payload{'h', 'i'};
+  const Bytes segment = UdpHeader::serialize(1111, 2222, payload, src, dst);
+  const auto parsed = UdpHeader::parse(segment);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->src_port, 1111);
+  EXPECT_EQ(parsed->dst_port, 2222);
+  EXPECT_EQ(parsed->length, kUdpHeaderSize + 2);
+  // Checksum over pseudo-header + segment must verify to zero.
+  Bytes pseudo;
+  put32(pseudo, src.value());
+  put32(pseudo, dst.value());
+  put8(pseudo, 0);
+  put8(pseudo, 17);
+  put16(pseudo, static_cast<std::uint16_t>(segment.size()));
+  pseudo.insert(pseudo.end(), segment.begin(), segment.end());
+  EXPECT_EQ(internet_checksum(pseudo), 0);
+}
+
+TEST(Udp, ParseRejectsBadLength) {
+  Bytes segment(kUdpHeaderSize, 0);
+  wr16(segment, 4, 4);  // length < header
+  EXPECT_FALSE(UdpHeader::parse(segment));
+  wr16(segment, 4, 100);  // length > buffer
+  EXPECT_FALSE(UdpHeader::parse(segment));
+}
+
+TEST(Tcp, SerializeParseRoundTrip) {
+  TcpHeader header;
+  header.src_port = 40000;
+  header.dst_port = 80;
+  header.seq = 0x11223344;
+  header.ack = 0x55667788;
+  header.flags = kTcpSyn | kTcpAck;
+  const Bytes segment =
+      TcpHeader::serialize(header, {}, Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2));
+  const auto parsed = TcpHeader::parse(segment);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->src_port, 40000);
+  EXPECT_EQ(parsed->dst_port, 80);
+  EXPECT_EQ(parsed->seq, 0x11223344u);
+  EXPECT_EQ(parsed->ack, 0x55667788u);
+  EXPECT_EQ(parsed->flags, kTcpSyn | kTcpAck);
+}
+
+TEST(Icmp, EchoRoundTrip) {
+  IcmpHeader icmp;
+  icmp.type = IcmpType::kEchoRequest;
+  icmp.identifier = 7;
+  icmp.sequence = 9;
+  const Bytes segment = IcmpHeader::serialize(icmp, Bytes(8, 0xaa));
+  EXPECT_EQ(internet_checksum(segment), 0);
+  const auto parsed = IcmpHeader::parse(segment);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->type, IcmpType::kEchoRequest);
+  EXPECT_EQ(parsed->identifier, 7);
+  EXPECT_EQ(parsed->sequence, 9);
+}
+
+TEST(Icmp, ParseRejectsUnknownType) {
+  Bytes segment(kIcmpHeaderSize, 0);
+  segment[0] = 13;  // timestamp, unsupported
+  EXPECT_FALSE(IcmpHeader::parse(segment));
+}
+
+}  // namespace
+}  // namespace harmless::net

@@ -1,0 +1,133 @@
+// pcap writer/reader round-trips, snaplen truncation, malformed-file
+// rejection, and the simulated trunk tap capturing tagged frames.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "harmless/fabric.hpp"
+#include "legacy/legacy_switch.hpp"
+#include "net/build.hpp"
+#include "net/pcap.hpp"
+#include "sim/network.hpp"
+
+namespace harmless::net {
+namespace {
+
+FlowKey flow() {
+  FlowKey key;
+  key.eth_src = MacAddr::from_u64(0x02aa);
+  key.eth_dst = MacAddr::from_u64(0x02bb);
+  key.ip_src = Ipv4Addr(10, 0, 0, 1);
+  key.ip_dst = Ipv4Addr(10, 0, 0, 2);
+  key.src_port = 1;
+  key.dst_port = 2;
+  return key;
+}
+
+TEST(Pcap, EmptyCaptureHasOnlyHeader) {
+  PcapWriter pcap;
+  EXPECT_EQ(pcap.count(), 0u);
+  EXPECT_EQ(pcap.bytes().size(), 24u);
+  auto parsed = pcap_parse(pcap.bytes());
+  ASSERT_TRUE(parsed) << parsed.message();
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(Pcap, WriteParseRoundTrip) {
+  PcapWriter pcap;
+  const Packet a = make_udp(flow(), 100);
+  const Packet b = make_udp(flow(), 200);
+  pcap.write(1'500'000'123, a);
+  pcap.write(2'000'000'456, b);
+  EXPECT_EQ(pcap.count(), 2u);
+
+  auto parsed = pcap_parse(pcap.bytes());
+  ASSERT_TRUE(parsed) << parsed.message();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].timestamp_ns, 1'500'000'123);
+  EXPECT_EQ((*parsed)[0].frame, a.frame());
+  EXPECT_EQ((*parsed)[1].timestamp_ns, 2'000'000'456);
+  EXPECT_EQ((*parsed)[1].frame, b.frame());
+}
+
+TEST(Pcap, SnaplenTruncatesCaptureNotLength) {
+  PcapWriter pcap(/*snaplen=*/60);
+  pcap.write(0, make_udp(flow(), 500));
+  auto parsed = pcap_parse(pcap.bytes());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ((*parsed)[0].frame.size(), 60u);
+}
+
+TEST(Pcap, ParseRejectsGarbage) {
+  EXPECT_FALSE(pcap_parse(Bytes{1, 2, 3}));
+  Bytes bogus(24, 0);
+  EXPECT_FALSE(pcap_parse(bogus));  // bad magic
+  PcapWriter pcap;
+  pcap.write(0, make_udp(flow(), 100));
+  Bytes truncated(pcap.bytes().begin(), pcap.bytes().end() - 5);
+  EXPECT_FALSE(pcap_parse(truncated));
+}
+
+TEST(Pcap, SaveWritesFile) {
+  PcapWriter pcap;
+  pcap.write(42, make_udp(flow(), 64));
+  const std::string path = ::testing::TempDir() + "/harmless_test.pcap";
+  ASSERT_TRUE(pcap.save(path));
+  std::ifstream in(path, std::ios::binary);
+  Bytes from_disk((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(from_disk, pcap.bytes());
+}
+
+TEST(Pcap, TrunkTapSeesTaggedFrames) {
+  // Build a tiny HARMLESS deployment, tap the legacy->SS_1 trunk
+  // direction, and verify the capture shows the 802.1Q tags that hosts
+  // themselves never see.
+  sim::Network network;
+  legacy::SwitchConfig config;
+  config.ports[1] = legacy::PortConfig{legacy::PortMode::kAccess, 101, {}, std::nullopt,
+                                       true, ""};
+  config.ports[2] = legacy::PortConfig{legacy::PortMode::kAccess, 102, {}, std::nullopt,
+                                       true, ""};
+  config.ports[3] =
+      legacy::PortConfig{legacy::PortMode::kTrunk, 1, {101, 102}, std::nullopt, true, ""};
+  auto& device = network.add_node<legacy::LegacySwitch>("legacy", config);
+  auto& h1 = network.add_host("h1", MacAddr::from_u64(0x1), Ipv4Addr(10, 0, 0, 1));
+  auto& h2 = network.add_host("h2", MacAddr::from_u64(0x2), Ipv4Addr(10, 0, 0, 2));
+  network.connect(h1, 0, device, 0, sim::LinkSpec::gbps(1));
+  network.connect(h2, 0, device, 1, sim::LinkSpec::gbps(1));
+
+  auto map = core::PortMap::make({1, 2}, 3);
+  auto fabric = core::Fabric::build(network, device, *map);
+  // Static L2 so traffic flows without a controller.
+  openflow::FlowModMsg mod;
+  mod.priority = 1;
+  mod.instructions = openflow::apply({openflow::flood()});
+  fabric.ss2().install(mod).check();
+
+  PcapWriter pcap;
+  // Channel labels use 0-based sim port indices: trunk port 3 -> "legacy:2".
+  const auto trunk_up = network.find_channels("legacy:2->SS_1");
+  ASSERT_EQ(trunk_up.size(), 1u);
+  sim::Network::tap(*trunk_up[0], pcap);
+
+  FlowKey key;
+  key.eth_src = h1.mac();
+  key.eth_dst = h2.mac();
+  key.ip_src = h1.ip();
+  key.ip_dst = h2.ip();
+  h1.send(make_udp(key, 128));
+  network.run();
+
+  ASSERT_EQ(pcap.count(), 1u);
+  auto parsed_file = pcap_parse(pcap.bytes());
+  ASSERT_TRUE(parsed_file);
+  const ParsedPacket captured = parse_packet((*parsed_file)[0].frame);
+  ASSERT_TRUE(captured.has_vlan());
+  EXPECT_EQ(captured.vlan_vid(), 101);      // tagged with the ingress port's VLAN
+  EXPECT_GT((*parsed_file)[0].timestamp_ns, 0);
+  // The host still received it untagged.
+  EXPECT_EQ(h2.counters().rx_udp, 1u);
+}
+
+}  // namespace
+}  // namespace harmless::net

@@ -1,0 +1,206 @@
+// FlowTable semantics under both matchers: priority lookup, add/replace,
+// strict/non-strict modify/delete, overlap checking, timeouts, counters.
+#include <gtest/gtest.h>
+
+#include "net/build.hpp"
+#include "openflow/flow_table.hpp"
+
+namespace harmless::openflow {
+namespace {
+
+using namespace net;
+
+FlowKey flow(std::uint8_t last_octet = 2) {
+  FlowKey key;
+  key.eth_src = MacAddr::from_u64(0x02aa);
+  key.eth_dst = MacAddr::from_u64(0x02bb);
+  key.ip_src = Ipv4Addr(10, 0, 0, 1);
+  key.ip_dst = Ipv4Addr(10, 0, 0, last_octet);
+  key.src_port = 1000;
+  key.dst_port = 80;
+  return key;
+}
+
+FieldView view_of(const Packet& packet, std::uint32_t in_port = 1) {
+  return build_field_view(parse_packet(packet), in_port);
+}
+
+FlowEntry entry(std::uint16_t priority, Match match, std::uint32_t out_port,
+                std::uint64_t cookie = 0) {
+  FlowEntry e;
+  e.priority = priority;
+  e.match = std::move(match);
+  e.instructions = apply({output(out_port)});
+  e.cookie = cookie;
+  return e;
+}
+
+std::uint32_t out_port_of(const FlowEntry* e) {
+  return std::get<OutputAction>(e->instructions.apply_actions.at(0)).port;
+}
+
+class FlowTableBothMatchers : public ::testing::TestWithParam<bool> {
+ protected:
+  FlowTableBothMatchers() : table_(0, /*specialized=*/GetParam()) {}
+  FlowTable table_;
+  LookupCost cost_;
+};
+
+TEST_P(FlowTableBothMatchers, HighestPriorityWins) {
+  ASSERT_TRUE(table_.add(entry(10, Match().ip_dst(Ipv4Addr(10, 0, 0, 2)), 1), 0).is_ok());
+  ASSERT_TRUE(table_.add(entry(20, Match().l4_dst(80), 2), 0).is_ok());
+  ASSERT_TRUE(table_.add(entry(5, Match(), 3), 0).is_ok());
+
+  FlowEntry* hit = table_.lookup(view_of(make_udp(flow(), 64)), 64, 0, cost_);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(out_port_of(hit), 2u);  // priority 20 beats 10 and 5
+
+  // A packet matching only the wildcard.
+  FlowKey other = flow();
+  other.ip_dst = Ipv4Addr(1, 1, 1, 1);
+  other.dst_port = 9999;
+  hit = table_.lookup(view_of(make_udp(other, 64)), 64, 0, cost_);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(out_port_of(hit), 3u);
+}
+
+TEST_P(FlowTableBothMatchers, EmptyTableMisses) {
+  EXPECT_EQ(table_.lookup(view_of(make_udp(flow(), 64)), 64, 0, cost_), nullptr);
+  EXPECT_EQ(table_.counters().lookups, 1u);
+  EXPECT_EQ(table_.counters().matches, 0u);
+}
+
+TEST_P(FlowTableBothMatchers, AddIdenticalMatchReplaces) {
+  ASSERT_TRUE(table_.add(entry(10, Match().l4_dst(80), 1), 0).is_ok());
+  ASSERT_TRUE(table_.add(entry(10, Match().l4_dst(80), 9), 0).is_ok());
+  EXPECT_EQ(table_.size(), 1u);
+  FlowEntry* hit = table_.lookup(view_of(make_udp(flow(), 64)), 64, 0, cost_);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(out_port_of(hit), 9u);
+}
+
+TEST_P(FlowTableBothMatchers, SamePriorityDifferentMatchCoexist) {
+  ASSERT_TRUE(table_.add(entry(10, Match().l4_dst(80), 1), 0).is_ok());
+  ASSERT_TRUE(table_.add(entry(10, Match().l4_dst(443), 2), 0).is_ok());
+  EXPECT_EQ(table_.size(), 2u);
+}
+
+TEST_P(FlowTableBothMatchers, OverlapCheckRejects) {
+  ASSERT_TRUE(table_.add(entry(10, Match().l4_dst(80), 1), 0).is_ok());
+  // Overlapping (not identical) match at same priority with check on.
+  auto status =
+      table_.add(entry(10, Match().ip_src(Ipv4Addr(10, 0, 0, 1)), 2), 0, /*check=*/true);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(table_.size(), 1u);
+  // Different priority: overlap is fine.
+  EXPECT_TRUE(
+      table_.add(entry(11, Match().ip_src(Ipv4Addr(10, 0, 0, 1)), 2), 0, true).is_ok());
+}
+
+TEST_P(FlowTableBothMatchers, NonStrictDeleteUsesSubsumption) {
+  ASSERT_TRUE(table_.add(entry(10, Match().l4_dst(80), 1), 0).is_ok());
+  ASSERT_TRUE(table_.add(entry(20, Match().l4_dst(80).ip_src(Ipv4Addr(10, 0, 0, 1)), 2), 0)
+                  .is_ok());
+  ASSERT_TRUE(table_.add(entry(30, Match().l4_dst(443), 3), 0).is_ok());
+
+  const auto removed = table_.remove(Match().l4_dst(80), /*strict=*/false);
+  EXPECT_EQ(removed.size(), 2u);  // both port-80 rules (one more specific)
+  EXPECT_EQ(table_.size(), 1u);
+}
+
+TEST_P(FlowTableBothMatchers, StrictDeleteNeedsExactMatchAndPriority) {
+  ASSERT_TRUE(table_.add(entry(10, Match().l4_dst(80), 1), 0).is_ok());
+  EXPECT_TRUE(table_.remove(Match().l4_dst(80), /*strict=*/true, /*priority=*/11).empty());
+  EXPECT_EQ(table_.remove(Match().l4_dst(80), /*strict=*/true, /*priority=*/10).size(), 1u);
+  EXPECT_TRUE(table_.empty());
+}
+
+TEST_P(FlowTableBothMatchers, ModifyRewritesInstructionsKeepsCounters) {
+  ASSERT_TRUE(table_.add(entry(10, Match().l4_dst(80), 1), 0).is_ok());
+  (void)table_.lookup(view_of(make_udp(flow(), 64)), 64, 0, cost_);
+
+  EXPECT_EQ(table_.modify(Match().l4_dst(80), apply({output(7)}), /*strict=*/false), 1u);
+  FlowEntry* hit = table_.lookup(view_of(make_udp(flow(), 64)), 64, 0, cost_);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(out_port_of(hit), 7u);
+  EXPECT_EQ(hit->packet_count, 2u);  // counters survived the modify
+}
+
+TEST_P(FlowTableBothMatchers, RemoveByCookie) {
+  ASSERT_TRUE(table_.add(entry(10, Match().l4_dst(80), 1, /*cookie=*/111), 0).is_ok());
+  ASSERT_TRUE(table_.add(entry(11, Match().l4_dst(443), 2, /*cookie=*/222), 0).is_ok());
+  EXPECT_EQ(table_.remove_by_cookie(111).size(), 1u);
+  EXPECT_EQ(table_.size(), 1u);
+}
+
+TEST_P(FlowTableBothMatchers, IdleTimeoutExpiresWithoutTraffic) {
+  FlowEntry timed = entry(10, Match().l4_dst(80), 1);
+  timed.idle_timeout = 1000;
+  ASSERT_TRUE(table_.add(std::move(timed), /*now=*/0).is_ok());
+
+  // Traffic at t=500 refreshes the idle clock.
+  EXPECT_NE(table_.lookup(view_of(make_udp(flow(), 64)), 64, 500, cost_), nullptr);
+  // Still alive at t=1400 (last hit 500).
+  EXPECT_NE(table_.lookup(view_of(make_udp(flow(), 64)), 64, 1400, cost_), nullptr);
+  // Dead at t=3000.
+  EXPECT_EQ(table_.lookup(view_of(make_udp(flow(), 64)), 64, 3000, cost_), nullptr);
+  EXPECT_TRUE(table_.empty());  // lazy expiry removed it
+}
+
+TEST_P(FlowTableBothMatchers, HardTimeoutIgnoresTraffic) {
+  FlowEntry timed = entry(10, Match().l4_dst(80), 1);
+  timed.hard_timeout = 1000;
+  ASSERT_TRUE(table_.add(std::move(timed), /*now=*/0).is_ok());
+  EXPECT_NE(table_.lookup(view_of(make_udp(flow(), 64)), 64, 999, cost_), nullptr);
+  EXPECT_EQ(table_.lookup(view_of(make_udp(flow(), 64)), 64, 1001, cost_), nullptr);
+}
+
+TEST_P(FlowTableBothMatchers, CollectExpiredSweeps) {
+  FlowEntry timed = entry(10, Match().l4_dst(80), 1, /*cookie=*/77);
+  timed.hard_timeout = 100;
+  ASSERT_TRUE(table_.add(std::move(timed), 0).is_ok());
+  ASSERT_TRUE(table_.add(entry(11, Match().l4_dst(443), 2), 0).is_ok());
+
+  EXPECT_TRUE(table_.collect_expired(50).empty());
+  const auto expired = table_.collect_expired(200);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].cookie, 77u);
+  EXPECT_EQ(table_.size(), 1u);
+}
+
+TEST_P(FlowTableBothMatchers, CountersAccumulateBytes) {
+  ASSERT_TRUE(table_.add(entry(10, Match(), 1), 0).is_ok());
+  (void)table_.lookup(view_of(make_udp(flow(), 100)), 100, 0, cost_);
+  (void)table_.lookup(view_of(make_udp(flow(), 200)), 200, 0, cost_);
+  const auto entries = table_.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0]->packet_count, 2u);
+  EXPECT_EQ(entries[0]->byte_count, 300u);
+}
+
+TEST_P(FlowTableBothMatchers, EntriesSnapshotSortedByPriority) {
+  ASSERT_TRUE(table_.add(entry(5, Match().l4_dst(81), 1), 0).is_ok());
+  ASSERT_TRUE(table_.add(entry(50, Match().l4_dst(82), 2), 0).is_ok());
+  ASSERT_TRUE(table_.add(entry(20, Match().l4_dst(83), 3), 0).is_ok());
+  const auto entries = table_.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0]->priority, 50);
+  EXPECT_EQ(entries[1]->priority, 20);
+  EXPECT_EQ(entries[2]->priority, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(LinearAndSpecialized, FlowTableBothMatchers, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "specialized" : "linear";
+                         });
+
+TEST(FlowEntry, ToStringMentionsMatchAndActions) {
+  const FlowEntry e = entry(42, Match().l4_dst(80), 3);
+  const std::string text = e.to_string();
+  EXPECT_NE(text.find("prio=42"), std::string::npos);
+  EXPECT_NE(text.find("l4_dst=80"), std::string::npos);
+  EXPECT_NE(text.find("output:3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmless::openflow

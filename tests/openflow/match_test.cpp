@@ -1,0 +1,154 @@
+// Match semantics: field constraints, masks, VLAN present/absent
+// encoding, subsumption, overlap, exactness.
+#include <gtest/gtest.h>
+
+#include "net/build.hpp"
+#include "openflow/match.hpp"
+
+namespace harmless::openflow {
+namespace {
+
+using namespace net;
+
+FieldView view_of(const Packet& packet, std::uint32_t in_port) {
+  return build_field_view(parse_packet(packet), in_port);
+}
+
+FlowKey flow() {
+  FlowKey key;
+  key.eth_src = MacAddr::from_u64(0x02aa);
+  key.eth_dst = MacAddr::from_u64(0x02bb);
+  key.ip_src = Ipv4Addr(10, 1, 0, 5);
+  key.ip_dst = Ipv4Addr(10, 2, 0, 9);
+  key.src_port = 4242;
+  key.dst_port = 80;
+  return key;
+}
+
+TEST(FieldView, ProjectsAllLayers) {
+  const FieldView view = view_of(make_udp(flow(), 100), 7);
+  EXPECT_EQ(view.get(Field::kInPort), 7u);
+  EXPECT_EQ(view.get(Field::kEthSrc), 0x02aau);
+  EXPECT_EQ(view.get(Field::kEthType), 0x0800u);
+  EXPECT_EQ(view.get(Field::kVlanVid), 0u);  // untagged -> OFPVID_NONE
+  EXPECT_EQ(view.get(Field::kIpProto), 17u);
+  EXPECT_EQ(view.get(Field::kIpDst), Ipv4Addr(10, 2, 0, 9).value());
+  EXPECT_EQ(view.get(Field::kL4Dst), 80u);
+  EXPECT_FALSE(view.has(Field::kArpOp));
+}
+
+TEST(FieldView, TaggedPacketSetsPresenceBit) {
+  Packet packet = make_udp(flow(), 100);
+  vlan_push(packet.frame(), VlanTag{101, 3, false});
+  const FieldView view = view_of(packet, 1);
+  EXPECT_EQ(view.get(Field::kVlanVid), kVlanPresent | 101);
+  EXPECT_EQ(view.get(Field::kVlanPcp), 3u);
+}
+
+TEST(Match, WildcardMatchesEverything) {
+  const Match match;
+  EXPECT_TRUE(match.is_wildcard_all());
+  EXPECT_TRUE(match.matches(view_of(make_udp(flow(), 64), 1)));
+  EXPECT_TRUE(match.matches(view_of(make_arp_request(flow().eth_src, flow().ip_src,
+                                                     flow().ip_dst),
+                                    9)));
+}
+
+TEST(Match, ExactFieldsMatchAndReject) {
+  const Match match = Match().in_port(3).ip_dst(flow().ip_dst);
+  EXPECT_TRUE(match.matches(view_of(make_udp(flow(), 64), 3)));
+  EXPECT_FALSE(match.matches(view_of(make_udp(flow(), 64), 4)));  // wrong port
+  FlowKey other = flow();
+  other.ip_dst = Ipv4Addr(9, 9, 9, 9);
+  EXPECT_FALSE(match.matches(view_of(make_udp(other, 64), 3)));
+}
+
+TEST(Match, MissingFieldMeansNoMatch) {
+  // ARP packets have no IP fields: an ip_dst constraint cannot match.
+  const Match match = Match().ip_dst(flow().ip_dst);
+  const Packet arp = make_arp_request(flow().eth_src, flow().ip_src, flow().ip_dst);
+  EXPECT_FALSE(match.matches(view_of(arp, 1)));
+}
+
+TEST(Match, VlanPresentAbsentSemantics) {
+  Packet untagged = make_udp(flow(), 64);
+  Packet tagged = make_udp(flow(), 64);
+  vlan_push(tagged.frame(), VlanTag{101, 0, false});
+
+  EXPECT_TRUE(Match().vlan_absent().matches(view_of(untagged, 1)));
+  EXPECT_FALSE(Match().vlan_absent().matches(view_of(tagged, 1)));
+  EXPECT_TRUE(Match().vlan_vid(101).matches(view_of(tagged, 1)));
+  EXPECT_FALSE(Match().vlan_vid(102).matches(view_of(tagged, 1)));
+  EXPECT_FALSE(Match().vlan_vid(101).matches(view_of(untagged, 1)));
+  EXPECT_TRUE(Match().vlan_any().matches(view_of(tagged, 1)));
+  EXPECT_FALSE(Match().vlan_any().matches(view_of(untagged, 1)));
+}
+
+TEST(Match, PrefixMasksMatchSubnets) {
+  const Match match = Match().ip_src_prefix(Ipv4Addr(10, 1, 0, 0), 16);
+  EXPECT_TRUE(match.matches(view_of(make_udp(flow(), 64), 1)));  // 10.1.0.5
+  FlowKey outside = flow();
+  outside.ip_src = Ipv4Addr(10, 2, 0, 5);
+  EXPECT_FALSE(match.matches(view_of(make_udp(outside, 64), 1)));
+  EXPECT_FALSE(match.all_exact());
+}
+
+TEST(Match, AllExactDetection) {
+  EXPECT_TRUE(Match().in_port(1).eth_dst(MacAddr::from_u64(5)).all_exact());
+  EXPECT_FALSE(Match().ip_dst_prefix(Ipv4Addr(10, 0, 0, 0), 8).all_exact());
+  EXPECT_FALSE(Match().all_exact());  // empty match is not hashable
+}
+
+TEST(Match, SubsumptionRules) {
+  const Match general = Match().eth_type(0x0800);
+  const Match specific = Match().eth_type(0x0800).ip_dst(flow().ip_dst);
+  EXPECT_TRUE(general.subsumes(specific));
+  EXPECT_FALSE(specific.subsumes(general));
+  EXPECT_TRUE(Match().subsumes(general));  // wildcard subsumes all
+  EXPECT_TRUE(general.subsumes(general));
+
+  const Match prefix16 = Match().ip_src_prefix(Ipv4Addr(10, 1, 0, 0), 16);
+  const Match prefix24 = Match().ip_src_prefix(Ipv4Addr(10, 1, 2, 0), 24);
+  EXPECT_TRUE(prefix16.subsumes(prefix24));
+  EXPECT_FALSE(prefix24.subsumes(prefix16));
+  // Disjoint prefixes: no subsumption either way.
+  const Match other16 = Match().ip_src_prefix(Ipv4Addr(10, 9, 0, 0), 16);
+  EXPECT_FALSE(other16.subsumes(prefix24));
+}
+
+TEST(Match, OverlapRules) {
+  const Match port80 = Match().l4_dst(80);
+  const Match srcA = Match().ip_src(Ipv4Addr(1, 1, 1, 1));
+  EXPECT_TRUE(port80.overlaps(srcA));  // disjoint fields can coexist
+  const Match port443 = Match().l4_dst(443);
+  EXPECT_FALSE(port80.overlaps(port443));
+  const Match port80srcA = Match().l4_dst(80).ip_src(Ipv4Addr(1, 1, 1, 1));
+  EXPECT_TRUE(port80.overlaps(port80srcA));
+  EXPECT_FALSE(port443.overlaps(port80srcA));
+}
+
+TEST(Match, EqualityIsStructural) {
+  EXPECT_EQ(Match().in_port(1).l4_dst(80), Match().l4_dst(80).in_port(1));
+  EXPECT_NE(Match().in_port(1), Match().in_port(2));
+  EXPECT_NE(Match().ip_src_prefix(Ipv4Addr(10, 0, 0, 0), 8),
+            Match().ip_src_prefix(Ipv4Addr(10, 0, 0, 0), 16));
+}
+
+TEST(Match, ToStringIsReadable) {
+  const std::string text =
+      Match().in_port(3).vlan_vid(101).ip_dst(Ipv4Addr(10, 0, 0, 2)).to_string();
+  EXPECT_NE(text.find("in_port=3"), std::string::npos);
+  EXPECT_NE(text.find("vlan_vid=101"), std::string::npos);
+  EXPECT_NE(text.find("ip_dst=10.0.0.2"), std::string::npos);
+  EXPECT_EQ(Match().to_string(), "*");
+  EXPECT_NE(Match().vlan_absent().to_string().find("untagged"), std::string::npos);
+}
+
+TEST(Match, ArpFieldsMatchable) {
+  const Packet arp = make_arp_request(flow().eth_src, flow().ip_src, flow().ip_dst);
+  EXPECT_TRUE(Match().arp_op(1).matches(view_of(arp, 1)));
+  EXPECT_FALSE(Match().arp_op(2).matches(view_of(arp, 1)));
+}
+
+}  // namespace
+}  // namespace harmless::openflow

@@ -1,0 +1,147 @@
+// Host behaviour tests over a direct host<->host cable: ARP and ICMP
+// responders, UDP streams, the embedded HTTP client/server, latency
+// recording.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+
+namespace harmless::sim {
+namespace {
+
+using namespace net;
+
+struct TwoHosts {
+  Network network;
+  Host* a;
+  Host* b;
+  TwoHosts() {
+    a = &network.add_host("a", MacAddr::from_u64(0xa), Ipv4Addr(10, 0, 0, 1));
+    b = &network.add_host("b", MacAddr::from_u64(0xb), Ipv4Addr(10, 0, 0, 2));
+    network.connect(*a, 0, *b, 0, LinkSpec::gbps(1));
+  }
+};
+
+TEST(Host, ArpRequestGetsReply) {
+  TwoHosts rig;
+  rig.a->arp_request(rig.b->ip());
+  rig.network.run();
+  EXPECT_EQ(rig.a->counters().rx_arp_reply, 1u);
+  // The reply names b's MAC and IP.
+  bool found = false;
+  for (const auto& parsed : rig.a->rx_log()) {
+    if (parsed.arp && parsed.arp->op == ArpOp::kReply) {
+      EXPECT_EQ(parsed.arp->sender_mac, rig.b->mac());
+      EXPECT_EQ(parsed.arp->sender_ip, rig.b->ip());
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Host, ArpResponderCanBeDisabled) {
+  TwoHosts rig;
+  rig.b->set_arp_responder(false);
+  rig.a->arp_request(rig.b->ip());
+  rig.network.run();
+  EXPECT_EQ(rig.a->counters().rx_arp_reply, 0u);
+  EXPECT_EQ(rig.b->counters().rx_total, 1u);  // still delivered
+}
+
+TEST(Host, ArpForOtherIpIgnored) {
+  TwoHosts rig;
+  rig.a->arp_request(Ipv4Addr(10, 0, 0, 99));
+  rig.network.run();
+  EXPECT_EQ(rig.a->counters().rx_arp_reply, 0u);
+}
+
+TEST(Host, IcmpPingRoundTrip) {
+  TwoHosts rig;
+  FlowKey key;
+  key.eth_src = rig.a->mac();
+  key.eth_dst = rig.b->mac();
+  key.ip_src = rig.a->ip();
+  key.ip_dst = rig.b->ip();
+  rig.a->send(make_icmp_echo(key, /*request=*/true, 1, 1));
+  rig.network.run();
+  EXPECT_EQ(rig.a->counters().rx_icmp_echo_reply, 1u);
+}
+
+TEST(Host, UdpStreamArrivesCompletely) {
+  TwoHosts rig;
+  rig.a->send_udp_stream(rig.b->mac(), rig.b->ip(), /*count=*/100, /*frame_size=*/200,
+                         /*interval=*/10'000);
+  rig.network.run();
+  EXPECT_EQ(rig.b->counters().rx_udp, 100u);
+  EXPECT_EQ(rig.a->counters().tx_total, 100u);
+}
+
+TEST(Host, HttpRequestServedWith200) {
+  TwoHosts rig;
+  rig.b->serve_http(80);
+  rig.a->http_get(rig.b->mac(), rig.b->ip(), "intra.example");
+  rig.network.run();
+  EXPECT_EQ(rig.b->counters().http_requests_served, 1u);
+  EXPECT_EQ(rig.a->counters().http_ok_received, 1u);
+}
+
+TEST(Host, HttpServerIgnoresWrongPort) {
+  TwoHosts rig;
+  rig.b->serve_http(8080);
+  rig.a->http_get(rig.b->mac(), rig.b->ip(), "x", "/", /*server_port=*/80);
+  rig.network.run();
+  EXPECT_EQ(rig.b->counters().http_requests_served, 0u);
+}
+
+TEST(Host, RecorderMeasuresOneWayLatency) {
+  TwoHosts rig;
+  LatencyRecorder recorder;
+  rig.a->set_recorder(&recorder);
+  rig.b->set_recorder(&recorder);
+  rig.a->send_udp_stream(rig.b->mac(), rig.b->ip(), 10, 125, 100'000);
+  rig.network.run();
+  EXPECT_EQ(recorder.completed(), 10u);
+  // 125 B at 1G = 1000 ns serialization + 500 ns propagation.
+  EXPECT_DOUBLE_EQ(recorder.latency().min(), 1500.0);
+  EXPECT_DOUBLE_EQ(recorder.latency().max(), 1500.0);
+  EXPECT_EQ(recorder.outstanding(), 0u);
+}
+
+TEST(Host, RecorderIgnoresUnknownIds) {
+  LatencyRecorder recorder;
+  net::Packet packet;
+  packet.set_id(999);
+  EXPECT_FALSE(recorder.complete(packet, 100));
+}
+
+TEST(Host, RxLogCapacityBounds) {
+  TwoHosts rig;
+  rig.b->set_rx_log_capacity(5);
+  rig.a->send_udp_stream(rig.b->mac(), rig.b->ip(), 20, 100, 1000);
+  rig.network.run();
+  EXPECT_EQ(rig.b->rx_log().size(), 5u);
+  EXPECT_EQ(rig.b->counters().rx_udp, 20u);
+}
+
+TEST(Host, OnReceiveHookSeesEveryPacket) {
+  TwoHosts rig;
+  int seen = 0;
+  rig.b->set_on_receive([&](const net::Packet&, const ParsedPacket& parsed) {
+    EXPECT_TRUE(parsed.udp || parsed.arp || parsed.icmp || parsed.tcp);
+    ++seen;
+  });
+  rig.a->send_udp_stream(rig.b->mac(), rig.b->ip(), 7, 100, 1000);
+  rig.network.run();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(Network, EngineSharedAcrossNodes) {
+  TwoHosts rig;
+  EXPECT_EQ(rig.network.now(), 0);
+  rig.a->send_udp_stream(rig.b->mac(), rig.b->ip(), 1, 1500, 0);
+  rig.network.run();
+  EXPECT_GT(rig.network.now(), 0);
+  EXPECT_GE(rig.network.channels().size(), 2u);
+}
+
+}  // namespace
+}  // namespace harmless::sim

@@ -1,0 +1,66 @@
+// Tests for the line-diff engine behind compare_config.
+#include <gtest/gtest.h>
+
+#include "util/diff.hpp"
+
+namespace harmless::util {
+namespace {
+
+TEST(LineDiff, IdenticalInputsAreEmpty) {
+  EXPECT_EQ(line_diff("a\nb\nc", "a\nb\nc"), "");
+  EXPECT_EQ(line_diff("", ""), "");
+}
+
+TEST(LineDiff, SingleReplacement) {
+  const std::string diff = line_diff("hostname sw\nvlan 1\nend", "hostname sw\nvlan 101\nend");
+  EXPECT_NE(diff.find("- vlan 1\n"), std::string::npos);
+  EXPECT_NE(diff.find("+ vlan 101\n"), std::string::npos);
+  EXPECT_NE(diff.find("  hostname sw\n"), std::string::npos);
+}
+
+TEST(LineDiff, PureAddition) {
+  const std::string diff = line_diff("a\nc", "a\nb\nc");
+  EXPECT_NE(diff.find("+ b\n"), std::string::npos);
+  EXPECT_EQ(diff.find("- "), std::string::npos);
+}
+
+TEST(LineDiff, PureRemoval) {
+  const std::string diff = line_diff("a\nb\nc", "a\nc");
+  EXPECT_NE(diff.find("- b\n"), std::string::npos);
+  EXPECT_EQ(diff.find("+ "), std::string::npos);
+}
+
+TEST(LineDiff, FromEmptyIsAllAdditions) {
+  const std::string diff = line_diff("", "x\ny");
+  EXPECT_NE(diff.find("+ x\n"), std::string::npos);
+  EXPECT_NE(diff.find("+ y\n"), std::string::npos);
+}
+
+TEST(LineDiff, ContextTrimsDistantLines) {
+  const std::string before = "1\n2\n3\n4\n5\n6\n7\n8\n9";
+  const std::string after = "1\n2\n3\n4\nX\n6\n7\n8\n9";
+  const std::string diff = line_diff(before, after, /*context=*/1);
+  EXPECT_NE(diff.find("- 5\n"), std::string::npos);
+  EXPECT_NE(diff.find("+ X\n"), std::string::npos);
+  EXPECT_NE(diff.find("  4\n"), std::string::npos);  // context line kept
+  EXPECT_EQ(diff.find("  1\n"), std::string::npos);  // distant line elided
+  EXPECT_NE(diff.find("...\n"), std::string::npos);  // elision marker
+}
+
+TEST(LineDiff, FullContextKeepsEverything) {
+  const std::string diff = line_diff("1\n2\n3", "1\n2\nX");
+  EXPECT_NE(diff.find("  1\n"), std::string::npos);
+  EXPECT_NE(diff.find("  2\n"), std::string::npos);
+}
+
+TEST(LineDiff, CommonPrefixSuffixPreserved) {
+  // Changes in the middle must not desync the tail.
+  const std::string diff = line_diff("keep\nold1\nold2\nkeep2", "keep\nnew1\nkeep2");
+  EXPECT_NE(diff.find("- old1\n"), std::string::npos);
+  EXPECT_NE(diff.find("- old2\n"), std::string::npos);
+  EXPECT_NE(diff.find("+ new1\n"), std::string::npos);
+  EXPECT_NE(diff.find("  keep2\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmless::util

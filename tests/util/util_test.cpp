@@ -1,0 +1,217 @@
+// Tests for util: RNG determinism/distribution, Histogram, Table,
+// string helpers, Status/Result.
+#include <gtest/gtest.h>
+
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace harmless::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroBoundReturnsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / kSamples, 100.0, 3.0);
+}
+
+// ----------------------------------------------------------- Histogram
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MomentsAndQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.p50(), 50.5, 0.6);
+  EXPECT_NEAR(h.p99(), 99.0, 1.1);
+  EXPECT_NEAR(h.stddev(), 29.0, 0.5);
+}
+
+TEST(Histogram, QuantileClamps) {
+  Histogram h;
+  h.add(5);
+  EXPECT_DOUBLE_EQ(h.quantile(-1), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(2), 5.0);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.add(1);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  h.add(7);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(RateCounter, Rates) {
+  RateCounter counter;
+  for (int i = 0; i < 1000; ++i) counter.add(125);  // 1000 pkts, 1 kb each
+  EXPECT_DOUBLE_EQ(counter.pps(1'000'000'000), 1000.0);
+  EXPECT_DOUBLE_EQ(counter.bps(1'000'000'000), 1'000'000.0);
+  EXPECT_DOUBLE_EQ(counter.pps(0), 0.0);
+}
+
+// -------------------------------------------------------------- strings
+
+TEST(Strings, SplitKeepsEmptyTokens) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, ParseU64) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // overflow
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("-1", v));
+  EXPECT_FALSE(parse_u64("12x", v));
+}
+
+TEST(Strings, SiFormat) {
+  EXPECT_EQ(si_format(1500000.0, "pps"), "1.50 Mpps");
+  EXPECT_EQ(si_format(999.0, "bps", 0), "999 bps");
+  EXPECT_EQ(si_format(2.5e9, "bps", 1), "2.5 Gbps");
+}
+
+TEST(Strings, JoinAndLower) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(to_lower("AbC-9"), "abc-9");
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(Table, RendersAlignedAscii) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| name   |"), std::string::npos);
+  EXPECT_NE(text.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ConfigError);
+}
+
+// -------------------------------------------------------- Status/Result
+
+TEST(Status, OkAndError) {
+  EXPECT_TRUE(Status::ok());
+  const Status err = Status::error("boom");
+  EXPECT_FALSE(err);
+  EXPECT_EQ(err.message(), "boom");
+  EXPECT_THROW(err.check(), ConfigError);
+  EXPECT_NO_THROW(Status::ok().check());
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  auto err = Result<int>::error("nope");
+  EXPECT_FALSE(err);
+  EXPECT_EQ(err.message(), "nope");
+  EXPECT_EQ(err.value_or(7), 7);
+  EXPECT_THROW(err.value(), ConfigError);
+  EXPECT_FALSE(err.status().is_ok());
+}
+
+}  // namespace
+}  // namespace harmless::util
