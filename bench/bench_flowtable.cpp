@@ -9,13 +9,18 @@
 //   * mixed  — 90% exact + 10% ACL (the realistic enterprise table)
 // The specialized matcher should be flat in table size for `exact`,
 // and degrade gracefully toward linear as the wildcard share grows.
+//
+// A second family, datapath/*, runs whole packets through a Pipeline
+// with the two-tier flow cache on vs off over a skewed workload and
+// reports the measured hit rates — the wall-clock counterpart of
+// bench_throughput's simulated Table 3.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <string_view>
 
 #include "net/build.hpp"
-#include "openflow/flow_table.hpp"
+#include "openflow/pipeline.hpp"
 #include "util/rng.hpp"
 
 using namespace harmless;
@@ -94,7 +99,62 @@ void lookup_benchmark(benchmark::State& state, RuleShape shape, bool specialized
       benchmark::Counter(static_cast<double>(probes) / static_cast<double>(lookups));
 }
 
+/// Whole-datapath benchmark: a mixed-rule pipeline fed a skewed
+/// workload (90% elephants), cache on vs off.
+void datapath_benchmark(benchmark::State& state, bool flow_cache) {
+  const auto rule_count = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(42);
+  Pipeline pipeline(/*table_count=*/1, /*specialized=*/true, flow_cache);
+  {
+    auto rules = make_rules(RuleShape::kMixed, rule_count, rng);
+    for (auto& rule : rules) pipeline.table(0).add(std::move(*rule), 0).check();
+  }
+
+  // Pre-built packet pool: 8 elephant flows + a mice tail with random
+  // destinations and ports (distinct microflows, shared megaflows).
+  std::vector<net::Packet> pool;
+  pool.reserve(1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    net::FlowKey key;
+    key.eth_src = net::MacAddr::from_u64(0x02ff);
+    const bool elephant = rng.chance(0.9);
+    const std::uint64_t dst =
+        elephant ? i % 8 : rng.below(rule_count > 16 ? rule_count : 16);
+    key.eth_dst = net::MacAddr::from_u64(0x020000000000ULL + dst);
+    key.ip_src = net::Ipv4Addr(0x0a000001u);
+    key.ip_dst = net::Ipv4Addr(0x0a000002u + static_cast<std::uint32_t>(dst));
+    key.src_port = elephant ? static_cast<std::uint16_t>(10'000 + dst)
+                            : static_cast<std::uint16_t>(1024 + rng.below(50'000));
+    key.dst_port = 443;
+    pool.push_back(net::make_udp(key, 64));
+  }
+
+  std::size_t index = 0;
+  std::uint64_t lookups = 0;
+  sim::SimNanos now = 0;
+  for (auto _ : state) {
+    net::Packet packet = pool[index];  // copy: run() consumes
+    now += 50;
+    auto result = pipeline.run(std::move(packet), 1, now);
+    benchmark::DoNotOptimize(result);
+    ++lookups;
+    index = (index + 1) & 1023;
+  }
+  const auto& stats = pipeline.cache().stats();
+  state.counters["hit_rate"] = benchmark::Counter(
+      lookups > 0 ? static_cast<double>(stats.hits) / static_cast<double>(lookups) : 0);
+  state.counters["megaflows"] = benchmark::Counter(static_cast<double>(pipeline.cache().megaflow_count()));
+}
+
 void register_all() {
+  for (const bool flow_cache : {false, true}) {
+    const std::string name =
+        std::string("datapath/skewed/") + (flow_cache ? "cached" : "uncached");
+    auto* bench = benchmark::RegisterBenchmark(
+        name.c_str(),
+        [flow_cache](benchmark::State& state) { datapath_benchmark(state, flow_cache); });
+    bench->RangeMultiplier(10)->Range(10, 10000);
+  }
   static const struct {
     const char* name;
     RuleShape shape;
@@ -134,6 +194,9 @@ int main(int argc, char** argv) {
       "\nShape check: specialized/exact stays flat (one hash probe) while\n"
       "linear/exact grows with the table; for pure ACL tables both scan, and\n"
       "the mixed table sits in between - the crossover that motivates\n"
-      "dataplane specialization in the software switch HARMLESS deploys.\n");
+      "dataplane specialization in the software switch HARMLESS deploys.\n"
+      "datapath/skewed/cached should beat uncached on wall-clock ns/packet\n"
+      "with a hit_rate near 1.0, and stay flat as the table grows (the cache\n"
+      "decouples per-packet cost from rule count).\n");
   return 0;
 }

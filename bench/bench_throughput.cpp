@@ -13,10 +13,19 @@
 //  line rate — the rates a migrated legacy switch actually serves.
 //  Here HARMLESS tracks the legacy baseline at every frame size: the
 //  paper's "no major performance penalty" in its operating regime.
+//
+//  Table 3 (flow-cache fast path): CPU-bound capacity of the software
+//  datapath on a skewed elephant-flow workload against an
+//  enterprise-shaped pipeline (prefix ACL + exact L2), with the
+//  two-tier microflow/megaflow cache on vs off. Reports hit rates and
+//  simulated Mpps; the cached datapath wins ~2.2-2.4x on a thin
+//  16-rule ACL and >=3x (~4x) at realistic ACL sizes, because the
+//  cache decouples per-packet cost from rule count entirely.
 #include <cmath>
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -73,6 +82,98 @@ Throughput delivered_at_line(const RigOptions& options, std::size_t frame_size) 
   return measure(recorder, frame_size);
 }
 
+// ---- Table 3: the flow-cache fast path on a skewed workload ----------
+
+struct CacheRun {
+  double mpps = 0;       // 1000 / average simulated ns per packet
+  double hit_rate = 0;   // fraction of packets served by the cache
+  double micro_rate = 0; // microflow (tier-1) share of all packets
+  std::size_t megaflows = 0;
+};
+
+/// Service-cost model of one soft-switch core (rx/tx + pipeline +
+/// cache accounting, exactly as SoftSwitch::service charges it),
+/// driven CPU-bound: capacity = 1e9 / avg_ns packets per second.
+CacheRun skewed_capacity(bool flow_cache, int hosts, int acl_rules, std::size_t packets) {
+  using namespace openflow;
+  Pipeline pipeline(/*table_count=*/2, /*specialized=*/true, flow_cache);
+  softswitch::DatapathCosts costs;
+
+  // Table 0: an enterprise-style prefix ACL nothing in the workload
+  // hits (the common case for ACLs), then fall through to L2.
+  util::Rng rng(7);
+  for (int i = 0; i < acl_rules; ++i) {
+    FlowEntry entry;
+    entry.priority = static_cast<std::uint16_t>(20 + i % 8);
+    entry.match.eth_type(0x0800).ip_dst_prefix(
+        net::Ipv4Addr(0xc0a80000u + (static_cast<std::uint32_t>(rng.below(1u << 16)))),
+        static_cast<int>(16 + rng.below(9)));
+    entry.instructions = Instructions{};
+    pipeline.table(0).add(std::move(entry), 0).check();
+  }
+  FlowEntry to_l2;
+  to_l2.priority = 1;
+  to_l2.instructions = apply_then_goto({}, 1);
+  pipeline.table(0).add(std::move(to_l2), 0).check();
+
+  // Table 1: exact L2 forwarding for every host.
+  for (int i = 0; i < hosts; ++i) {
+    FlowEntry entry;
+    entry.priority = 10;
+    entry.match.eth_dst(host_mac(i));
+    entry.instructions = apply({openflow::output(static_cast<std::uint32_t>(1 + i))});
+    pipeline.table(1).add(std::move(entry), 0).check();
+  }
+
+  // Skewed traffic: 8 elephant 5-tuples carry 90% of packets; the mice
+  // tail sprays random host pairs and L4 ports (distinct microflows
+  // that still collapse onto per-destination megaflows).
+  struct Tuple {
+    int src, dst;
+    std::uint16_t sport, dport;
+  };
+  std::vector<Tuple> elephants;
+  for (int e = 0; e < 8; ++e)
+    elephants.push_back({e % hosts, (e + 1) % hosts,
+                         static_cast<std::uint16_t>(10'000 + e), 443});
+
+  sim::SimNanos total_ns = 0;
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < packets; ++i) {
+    Tuple tuple;
+    if (rng.chance(0.9)) {
+      tuple = elephants[rng.below(elephants.size())];
+    } else {
+      tuple.src = static_cast<int>(rng.below(static_cast<std::uint64_t>(hosts)));
+      tuple.dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(hosts)));
+      tuple.sport = static_cast<std::uint16_t>(1024 + rng.below(40'000));
+      tuple.dport = static_cast<std::uint16_t>(rng.chance(0.5) ? 80 : 8000 + rng.below(100));
+    }
+    net::FlowKey key;
+    key.eth_src = host_mac(tuple.src);
+    key.eth_dst = host_mac(tuple.dst);
+    key.ip_src = host_ip(tuple.src);
+    key.ip_dst = host_ip(tuple.dst);
+    key.src_port = tuple.sport;
+    key.dst_port = tuple.dport;
+
+    const auto now = static_cast<sim::SimNanos>(i) * 100;
+    auto result = pipeline.run(net::make_udp(key, 64), 1 + static_cast<std::uint32_t>(tuple.src),
+                               now);
+    total_ns += costs.packet_cost_ns(result, flow_cache);
+    if (result.cache_hit) ++hits;
+  }
+
+  CacheRun run;
+  const double avg_ns = static_cast<double>(total_ns) / static_cast<double>(packets);
+  run.mpps = 1000.0 / avg_ns;
+  run.hit_rate = static_cast<double>(hits) / static_cast<double>(packets);
+  run.micro_rate = static_cast<double>(pipeline.cache().stats().microflow_hits) /
+                   static_cast<double>(packets);
+  run.megaflows = pipeline.cache().megaflow_count();
+  return run;
+}
+
 }  // namespace
 
 int main() {
@@ -121,10 +222,38 @@ int main() {
     std::cout << table.to_string() << '\n';
   }
 
+  {
+    std::cout << "Table 3 - flow-cache fast path: CPU-bound soft-switch capacity on a\n"
+                 "skewed elephant-flow workload (90% of packets from 8 five-tuples,\n"
+                 "64B frames, prefix-ACL + exact-L2 pipeline, 200k packets):\n";
+    util::Table table({"hosts", "ACL rules", "cache", "sim Mpps", "hit rate",
+                       "microflow share", "megaflows", "speedup"});
+    for (const int hosts : {16, 64}) {
+      for (const int acl_rules : {16, 48}) {
+        const CacheRun off = skewed_capacity(false, hosts, acl_rules, 200'000);
+        const CacheRun on = skewed_capacity(true, hosts, acl_rules, 200'000);
+        table.add_row({std::to_string(hosts), std::to_string(acl_rules), "off",
+                       util::format("%.2f", off.mpps), "-", "-", "-", "1.00x"});
+        table.add_row({std::to_string(hosts), std::to_string(acl_rules), "on",
+                       util::format("%.2f", on.mpps),
+                       util::format("%.1f%%", on.hit_rate * 100),
+                       util::format("%.1f%%", on.micro_rate * 100),
+                       std::to_string(on.megaflows),
+                       util::format("%.2fx", on.mpps / off.mpps)});
+      }
+    }
+    std::cout << table.to_string() << '\n';
+  }
+
   std::cout << "Shape check: Table 2 should read 1.00x across the board (the paper's\n"
                "'no major performance penalty' at access-network rates). Table 1 shows\n"
                "the honest capacity bill: HARMLESS's NDR is about half the native soft\n"
                "switch at small frames (every packet crosses SS_1 twice) and converges\n"
-               "to line rate once serialization dominates (>=512B).\n";
+               "to line rate once serialization dominates (>=512B).\n"
+               "Table 3 should show a >99% hit rate with a handful of megaflows\n"
+               "covering the whole mice tail (fields no rule examines stay wild), and\n"
+               "cached-vs-uncached speedup growing with ACL size: ~2.2-2.4x on the\n"
+               "thin 16-rule ACL, >=3x (~4x) at the realistic 48-rule table — cached\n"
+               "cost is flat in rule count, uncached cost is not.\n";
   return 0;
 }

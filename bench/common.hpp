@@ -27,6 +27,8 @@ struct RigOptions {
   sim::LinkSpec access_link = sim::LinkSpec::gbps(10);
   sim::LinkSpec trunk_link = sim::LinkSpec::gbps(10);
   bool specialized_matchers = true;
+  /// Two-tier flow cache on the soft switches (ablation knob).
+  bool flow_cache = true;
   /// Bonded trunk legs between the legacy switch and the S4 box.
   int trunk_count = 1;
 };
@@ -110,7 +112,7 @@ struct NativeRig : BaseRig {
   explicit NativeRig(const RigOptions& options = {}) {
     datapath = &network.add_node<softswitch::SoftSwitch>(
         "native-ss", 0xbe, static_cast<std::size_t>(options.host_count), 1,
-        options.specialized_matchers);
+        options.specialized_matchers, options.flow_cache);
     add_hosts(*datapath, options);
     for (int i = 0; i < options.host_count; ++i) {
       openflow::FlowModMsg mod;
@@ -140,6 +142,7 @@ struct HarmlessRig : BaseRig {
     core::FabricSpec spec;
     spec.trunk_link = options.trunk_link;
     spec.specialized_matchers = options.specialized_matchers;
+    spec.flow_cache = options.flow_cache;
     fabric.emplace(core::Fabric::build(network, *device, *map, spec));
     // Static L2 program on SS_2 (what the learning app would converge to).
     for (int i = 0; i < options.host_count; ++i) {

@@ -37,6 +37,8 @@ struct FabricSpec {
   /// SS_2 pipeline shape.
   std::size_t ss2_tables = 2;
   bool specialized_matchers = true;
+  /// Two-tier flow cache on both soft switches (ablation knob).
+  bool flow_cache = true;
   /// Control channel one-way latency (controller is usually on-box or
   /// one rack away).
   sim::SimNanos control_latency = 50'000;

@@ -46,12 +46,53 @@ constexpr std::uint64_t kVlanPresent = 0x1000;
 [[nodiscard]] std::uint64_t field_all_ones(Field field);
 [[nodiscard]] const char* field_name(Field field);
 
+/// FNV-1a-style mix over a stream of u64s — the one hash shared by the
+/// specialized matcher's shape keys and the flow cache's microflow
+/// keys (they must never diverge: both key packed field values).
+constexpr std::uint64_t kFieldHashSeed = 0xcbf29ce484222325ULL;
+[[nodiscard]] constexpr std::uint64_t hash_u64s(std::uint64_t seed, std::uint64_t value) {
+  std::uint64_t h = seed ^ value;
+  h *= 0x100000001b3ULL;
+  h ^= h >> 29;
+  return h;
+}
+
+/// Accumulates which (field, mask bits) a slow-path traversal actually
+/// consulted — the unwildcarding record a learned megaflow cache entry
+/// is built from (see openflow/flow_cache.hpp). Once an action rewrites
+/// a field, its value no longer depends on the original packet, so
+/// later examinations of it are not recorded.
+struct FieldUse {
+  std::array<std::uint64_t, kFieldCount> masks{};
+  std::uint32_t examined = 0;     // fields consulted (value or presence)
+  std::uint32_t overwritten = 0;  // fields rewritten by an action so far
+
+  void note(Field field, std::uint64_t mask) {
+    const std::uint32_t bit = field_bit(field);
+    if ((overwritten & bit) != 0) return;
+    examined |= bit;
+    masks[static_cast<std::size_t>(field)] |= mask;
+  }
+  void mark_overwritten(Field field) { overwritten |= field_bit(field); }
+};
+
 struct FieldView {
   std::array<std::uint64_t, kFieldCount> values{};
   std::uint32_t present = 0;
+  /// When non-null (only during a learning slow-path traversal), every
+  /// consultation of the view is recorded here. Matchers that bypass
+  /// has()/get() for speed call note() with their precise masks.
+  FieldUse* use = nullptr;
 
-  [[nodiscard]] bool has(Field field) const { return (present & field_bit(field)) != 0; }
+  void note(Field field, std::uint64_t mask) const {
+    if (use != nullptr) use->note(field, mask);
+  }
+  [[nodiscard]] bool has(Field field) const {
+    note(field, 0);  // presence alone can decide a lookup
+    return (present & field_bit(field)) != 0;
+  }
   [[nodiscard]] std::uint64_t get(Field field) const {
+    note(field, field_all_ones(field));
     return values[static_cast<std::size_t>(field)];
   }
   void set(Field field, std::uint64_t value) {

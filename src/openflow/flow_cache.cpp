@@ -1,0 +1,124 @@
+#include "openflow/flow_cache.hpp"
+
+#include <algorithm>
+
+namespace harmless::openflow {
+
+bool MegaflowEntry::covers(const FieldView& view) const {
+  if ((view.present & required_present) != required_present) return false;
+  if ((view.present & required_absent) != 0) return false;
+  std::uint32_t remaining = required_present;
+  while (remaining != 0) {
+    const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
+    remaining &= remaining - 1;
+    if ((view.values[index] & masks[index]) != values[index]) return false;
+  }
+  return true;
+}
+
+bool MegaflowEntry::timed_out(sim::SimNanos now) const {
+  for (const Step& step : steps)
+    if (step.entry != nullptr && step.entry->expired(now)) return true;
+  return false;
+}
+
+std::uint64_t FlowCache::microflow_key(const FieldView& view) {
+  std::uint64_t h = kFieldHashSeed ^ view.present;
+  std::uint32_t remaining = view.present;
+  while (remaining != 0) {
+    const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
+    remaining &= remaining - 1;
+    h = hash_u64s(h, view.values[index]);
+  }
+  return h;
+}
+
+MegaflowEntry* FlowCache::lookup(const FieldView& view, sim::SimNanos now,
+                                 std::uint32_t* scanned) {
+  if (scanned != nullptr) *scanned = 0;
+  // First lookup after an epoch bump: reap the self-invalidated
+  // entries once, so the tier-2 scan never walks (or charges for)
+  // stale candidates.
+  if (purged_epoch_ != epoch_) purge_stale();
+  if (megaflows_.empty()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  const std::uint64_t key = microflow_key(view);
+  const auto it = microflow_.find(key);
+  if (it != microflow_.end()) {
+    MegaflowEntry* entry = it->second;
+    if (entry->epoch == epoch_ && entry->covers(view) && !entry->timed_out(now)) {
+      ++stats_.hits;
+      ++stats_.microflow_hits;
+      ++entry->hits;
+      return entry;
+    }
+    // Self-invalidated (epoch/expiry) or a hash collision: unmap and
+    // fall through to the megaflow tier. Stale entries are counted
+    // once, in purge_stale, when the megaflow itself is discarded.
+    microflow_.erase(it);
+  }
+  for (const auto& candidate : megaflows_) {
+    if (scanned != nullptr) ++*scanned;
+    if (candidate->epoch != epoch_) continue;  // stale; reaped on next insert
+    if (!candidate->covers(view)) continue;
+    // A covering entry with timed-out flow references must not hit:
+    // the slow path has to run so the table performs its lazy expiry
+    // (which bumps the epoch and retires this entry for good).
+    if (candidate->timed_out(now)) break;
+    if (microflow_.size() < limits_.max_microflows) microflow_[key] = candidate.get();
+    ++stats_.hits;
+    ++stats_.megaflow_hits;
+    ++candidate->hits;
+    return candidate.get();
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void FlowCache::purge_stale() {
+  purged_epoch_ = epoch_;
+  bool any_stale = false;
+  for (const auto& entry : megaflows_)
+    if (entry->epoch != epoch_) {
+      any_stale = true;
+      break;
+    }
+  if (!any_stale) return;
+  std::erase_if(megaflows_, [this](const std::unique_ptr<MegaflowEntry>& entry) {
+    if (entry->epoch == epoch_) return false;
+    ++stats_.invalidations;
+    return true;
+  });
+  // Microflow pointers may reference reaped entries; the tier re-learns
+  // on the next packet of each microflow anyway.
+  microflow_.clear();
+}
+
+MegaflowEntry* FlowCache::insert(MegaflowEntry entry, const FieldView& view) {
+  if (purged_epoch_ != epoch_) purge_stale();
+  if (megaflows_.size() >= limits_.max_megaflows) {
+    clear();
+    ++stats_.flushes;
+  } else if (microflow_.size() >= limits_.max_microflows) {
+    // Only the exact-match tier is full (a long mice tail): resetting
+    // it is cheap — its entries point into megaflows_, which survives,
+    // so the hot aggregates keep hitting tier 2 and re-seed tier 1.
+    microflow_.clear();
+    ++stats_.flushes;
+  }
+  entry.epoch = epoch_;
+  megaflows_.push_back(std::make_unique<MegaflowEntry>(std::move(entry)));
+  MegaflowEntry* inserted = megaflows_.back().get();
+  microflow_[microflow_key(view)] = inserted;
+  ++stats_.insertions;
+  return inserted;
+}
+
+void FlowCache::clear() {
+  megaflows_.clear();
+  microflow_.clear();
+}
+
+}  // namespace harmless::openflow

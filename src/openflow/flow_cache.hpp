@@ -1,0 +1,136 @@
+// openflow/flow_cache.hpp — the two-tier datapath flow cache.
+//
+// Production software switches (OVS-style) do not run the full
+// multi-table pipeline per packet; they consult a flow cache:
+//
+//  * Tier 1, the **microflow cache**, maps an exact hash of every field
+//    a packet presents (full 5-tuple + in_port and friends) straight to
+//    the megaflow entry that served the previous packet of that
+//    microflow — one probe, no classification.
+//
+//  * Tier 2, the **megaflow cache**, holds one wildcarded entry per
+//    distinct slow-path traversal: the union of (field, mask) bits the
+//    traversal actually examined (recorded by FieldUse) plus the fields
+//    it proved absent. One megaflow therefore covers every packet that
+//    would take the identical path through the tables, so elephant-flow
+//    aggregates — even ones varying in fields no rule looks at — stay
+//    on the fast path.
+//
+// A cached entry stores the traversal outcome: per-table apply-action
+// segments, the flattened final action set, and references to the flow
+// entries it matched so cache hits keep per-rule packet/byte counters
+// and idle timestamps byte-identical to an uncached pipeline.
+//
+// Invalidation is epoch-based: FlowTable/GroupTable bump the shared
+// epoch counter on any mutation (flow-mod, group-mod, expiry, matcher
+// swap) and entries self-invalidate lazily on epoch mismatch — there
+// are no eager flush scans. Entries whose referenced flow entries have
+// timed out also refuse to hit, forcing the slow path to perform the
+// same lazy expiry an uncached lookup would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "openflow/flow_entry.hpp"
+
+namespace harmless::openflow {
+
+class FlowTable;
+
+/// One learned megaflow: a wildcarded key plus the cached traversal.
+struct MegaflowEntry {
+  // ---- key ----
+  std::array<std::uint64_t, kFieldCount> values{};
+  std::array<std::uint64_t, kFieldCount> masks{};
+  std::uint32_t required_present = 0;  // examined fields the packet had
+  std::uint32_t required_absent = 0;   // examined fields the packet lacked
+  std::uint64_t epoch = 0;             // pipeline epoch at install time
+
+  // ---- cached traversal ----
+  struct Step {
+    FlowTable* table = nullptr;  // whose lookup this replays (counters)
+    FlowEntry* entry = nullptr;  // matched entry; null when the table missed
+    ActionList apply_actions;    // that entry's apply-actions (copy)
+  };
+  std::vector<Step> steps;   // tables visited, in traversal order
+  ActionList final_actions;  // flattened OF1.3 action set at pipeline exit
+  std::uint8_t last_table = 0;
+  bool matched = false;
+
+  std::uint64_t hits = 0;
+
+  /// Key check: the packet agrees on every examined bit and presence.
+  [[nodiscard]] bool covers(const FieldView& view) const;
+
+  /// True if any referenced flow entry has timed out — the entry must
+  /// stop hitting so the slow path performs the lazy expiry.
+  [[nodiscard]] bool timed_out(sim::SimNanos now) const;
+};
+
+class FlowCache {
+ public:
+  struct Limits {
+    std::size_t max_megaflows = 4096;
+    std::size_t max_microflows = 16384;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t microflow_hits = 0;  // tier-1 exact-hash hits
+    std::uint64_t megaflow_hits = 0;   // tier-2 wildcard hits (tier-1 missed)
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t invalidations = 0;  // entries discarded on epoch mismatch
+    std::uint64_t flushes = 0;        // capacity resets (microflow tier or whole cache)
+  };
+
+  /// The shared epoch counter. FlowTable/GroupTable hold this pointer
+  /// and increment it on any mutation (the dirty_ plumbing).
+  [[nodiscard]] std::uint64_t* epoch_slot() { return &epoch_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Invalidate everything (one epoch bump — entries die lazily).
+  void invalidate_all() { ++epoch_; }
+
+  /// Fast-path lookup: microflow probe, then megaflow scan. Returns
+  /// null on miss, on epoch mismatch, or when a covering entry's flow
+  /// references have timed out. `scanned` (optional) reports how many
+  /// megaflow candidates the tier-2 scan examined — 0 for a microflow
+  /// hit — so the datapath can charge work actually performed.
+  MegaflowEntry* lookup(const FieldView& view, sim::SimNanos now,
+                        std::uint32_t* scanned = nullptr);
+
+  /// Install a freshly learned megaflow for the packet that built it.
+  /// The entry is stamped with the current epoch; `view` seeds the
+  /// microflow tier.
+  MegaflowEntry* insert(MegaflowEntry entry, const FieldView& view);
+
+  void clear();
+
+  [[nodiscard]] std::size_t megaflow_count() const { return megaflows_.size(); }
+  [[nodiscard]] std::size_t microflow_count() const { return microflow_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void set_limits(const Limits& limits) { limits_ = limits; }
+  [[nodiscard]] const Limits& limits() const { return limits_; }
+
+ private:
+  /// FNV-style hash of the full presence bitmap + every present value.
+  static std::uint64_t microflow_key(const FieldView& view);
+
+  /// Drop epoch-stale megaflows (and the microflow tier, whose pointers
+  /// may reference them). Runs on the first lookup or insert after an
+  /// epoch bump, so stale entries are never scanned repeatedly.
+  void purge_stale();
+
+  std::uint64_t epoch_ = 1;
+  std::uint64_t purged_epoch_ = 1;  // epoch purge_stale last ran against
+  std::vector<std::unique_ptr<MegaflowEntry>> megaflows_;  // insertion order
+  std::unordered_map<std::uint64_t, MegaflowEntry*> microflow_;
+  Limits limits_;
+  Stats stats_;
+};
+
+}  // namespace harmless::openflow

@@ -58,7 +58,10 @@ std::size_t FlowTable::modify(const Match& match, const Instructions& instructio
       ++updated;
     }
   }
-  // Instructions don't affect match structures; no rebuild needed.
+  // Instructions don't affect match structures; no rebuild needed. The
+  // flow cache replays instruction-derived action programs though, so
+  // cached entries must still be invalidated.
+  if (updated > 0) bump_epoch();
   return updated;
 }
 
@@ -98,10 +101,8 @@ std::vector<FlowEntry> FlowTable::remove_by_cookie(std::uint64_t cookie) {
 FlowEntry* FlowTable::lookup(const FieldView& view, std::size_t packet_bytes, sim::SimNanos now,
                              LookupCost& cost) {
   rebuild_if_needed();
-  ++counters_.lookups;
   FlowEntry* entry = matcher_->lookup(view, cost);
-  if (entry == nullptr) return nullptr;
-  if (entry->expired(now)) {
+  if (entry != nullptr && entry->expired(now)) {
     // Lazy expiry: drop it now and retry (the sweep also runs
     // periodically; this just keeps single lookups correct).
     const Match match = entry->match;
@@ -109,13 +110,19 @@ FlowEntry* FlowTable::lookup(const FieldView& view, std::size_t packet_bytes, si
     remove(match, /*strict=*/true, priority);
     rebuild_if_needed();
     entry = matcher_->lookup(view, cost);
-    if (entry == nullptr || entry->expired(now)) return nullptr;
+    if (entry != nullptr && entry->expired(now)) entry = nullptr;
   }
+  record_lookup(entry, packet_bytes, now);
+  return entry;
+}
+
+void FlowTable::record_lookup(FlowEntry* entry, std::size_t packet_bytes, sim::SimNanos now) {
+  ++counters_.lookups;
+  if (entry == nullptr) return;
   ++counters_.matches;
   ++entry->packet_count;
   entry->byte_count += packet_bytes;
   entry->last_hit = now;
-  return entry;
 }
 
 std::vector<FlowEntry> FlowTable::collect_expired(sim::SimNanos now) {

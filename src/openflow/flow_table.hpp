@@ -63,14 +63,33 @@ class FlowTable {
   [[nodiscard]] const char* matcher_name() const { return matcher_->name(); }
   void set_matcher(std::unique_ptr<Matcher> matcher);
 
+  /// Wire this table to the pipeline-wide flow-cache epoch: any
+  /// mutation (add/remove/expiry/matcher swap, and instruction
+  /// rewrites via modify) increments it so cached fast-path entries
+  /// self-invalidate. See openflow/flow_cache.hpp.
+  void bind_epoch(std::uint64_t* epoch) { epoch_ = epoch; }
+
+  /// The counter and idle-timestamp bookkeeping of one lookup outcome
+  /// (`entry` null on a table miss). lookup() ends with this, and the
+  /// flow-cache replay calls it directly so cached hits stay
+  /// byte-identical to real lookups.
+  void record_lookup(FlowEntry* entry, std::size_t packet_bytes, sim::SimNanos now);
+
  private:
-  void mark_dirty() { dirty_ = true; }
+  void mark_dirty() {
+    dirty_ = true;
+    bump_epoch();
+  }
+  void bump_epoch() {
+    if (epoch_ != nullptr) ++*epoch_;
+  }
   void rebuild_if_needed();
 
   std::uint8_t id_;
   std::vector<std::unique_ptr<FlowEntry>> entries_;
   std::unique_ptr<Matcher> matcher_;
   bool dirty_ = true;
+  std::uint64_t* epoch_ = nullptr;  // shared flow-cache epoch (optional)
   Counters counters_;
 };
 

@@ -17,6 +17,7 @@ util::Status GroupTable::add(GroupEntry entry) {
   if (entry.type == GroupType::kIndirect && entry.buckets.size() != 1)
     return util::Status::error("INDIRECT group must have exactly one bucket");
   groups_.emplace(entry.group_id, std::move(entry));
+  bump_epoch();
   return util::Status::ok();
 }
 
@@ -28,7 +29,9 @@ util::Status GroupTable::modify(GroupEntry entry) {
   return add(std::move(entry));
 }
 
-void GroupTable::remove(std::uint32_t group_id) { groups_.erase(group_id); }
+void GroupTable::remove(std::uint32_t group_id) {
+  if (groups_.erase(group_id) > 0) bump_epoch();
+}
 
 const GroupEntry* GroupTable::find(std::uint32_t group_id) const {
   const auto it = groups_.find(group_id);

@@ -69,8 +69,18 @@ class GroupTable {
 
   [[nodiscard]] std::size_t size() const { return groups_.size(); }
 
+  /// Wire to the pipeline-wide flow-cache epoch: any group mutation
+  /// increments it so cached action programs referencing groups
+  /// self-invalidate (see openflow/flow_cache.hpp).
+  void bind_epoch(std::uint64_t* epoch) { epoch_ = epoch; }
+
  private:
+  void bump_epoch() {
+    if (epoch_ != nullptr) ++*epoch_;
+  }
+
   std::map<std::uint32_t, GroupEntry> groups_;
+  std::uint64_t* epoch_ = nullptr;  // shared flow-cache epoch (optional)
 };
 
 /// Hash of the fields that define a flow for SELECT balancing.

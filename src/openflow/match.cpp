@@ -36,7 +36,8 @@ bool Match::matches(const FieldView& view) const {
     const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
     remaining &= remaining - 1;
     const auto field = static_cast<Field>(index);
-    if (!view.has(field)) return false;
+    if (!view.has(field)) return false;  // has() records the presence probe
+    view.note(field, masks_[index]);     // exact mask bits examined, for megaflow learning
     if ((view.values[index] & masks_[index]) != values_[index]) return false;
   }
   return true;

@@ -10,14 +10,6 @@ bool priority_desc(const FlowEntry* a, const FlowEntry* b) {
   return a->priority > b->priority;
 }
 
-/// FNV-1a over a stream of u64s.
-std::uint64_t hash_u64s(std::uint64_t seed, std::uint64_t value) {
-  std::uint64_t h = seed ^ value;
-  h *= 0x100000001b3ULL;
-  h ^= h >> 29;
-  return h;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------- linear
@@ -39,12 +31,23 @@ FlowEntry* LinearMatcher::lookup(const FieldView& view, LookupCost& cost) const 
 
 bool SpecializedMatcher::shape_key(const Shape& shape, const FieldView& view,
                                    std::uint64_t& key) {
-  if ((view.present & shape.fields) != shape.fields) return false;
-  std::uint64_t h = 0xcbf29ce484222325ULL;
+  if ((view.present & shape.fields) != shape.fields) {
+    // The shape is skipped because the packet lacks some of its fields;
+    // pin exactly those absences for megaflow learning.
+    std::uint32_t missing = shape.fields & ~view.present;
+    while (missing != 0) {
+      const unsigned index = static_cast<unsigned>(__builtin_ctz(missing));
+      missing &= missing - 1;
+      view.note(static_cast<Field>(index), 0);
+    }
+    return false;
+  }
+  std::uint64_t h = kFieldHashSeed;
   std::uint32_t remaining = shape.fields;
   while (remaining != 0) {
     const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
     remaining &= remaining - 1;
+    view.note(static_cast<Field>(index), shape.masks[index]);
     h = hash_u64s(h, view.values[index] & shape.masks[index]);
   }
   key = h;
@@ -90,7 +93,7 @@ void SpecializedMatcher::rebuild(std::span<FlowEntry* const> entries) {
     if (shape->exact) {
       // Key the entry by its own constrained values (same packing as
       // shape_key uses for packets).
-      std::uint64_t h = 0xcbf29ce484222325ULL;
+      std::uint64_t h = kFieldHashSeed;
       std::uint32_t remaining = shape->fields;
       while (remaining != 0) {
         const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));

@@ -7,13 +7,46 @@ namespace harmless::openflow {
 
 namespace {
 constexpr int kMaxGroupDepth = 4;  // guards against group->group cycles
-}
 
-Pipeline::Pipeline(std::size_t table_count, bool specialized) {
+/// Fields a header-mutating action writes (presence bits). Output and
+/// group actions rewrite nothing; a SetFieldAction only rewrites the
+/// fields set_field in action.cpp actually supports — on any other
+/// field it silently no-ops, so the packet still carries the original
+/// value and learning must keep unwildcarding it.
+std::uint32_t written_field_bits(const Action& action) {
+  if (const auto* set = std::get_if<SetFieldAction>(&action)) {
+    switch (set->field) {
+      case Field::kEthDst:
+      case Field::kEthSrc:
+      case Field::kVlanVid:
+      case Field::kVlanPcp:
+      case Field::kIpSrc:
+      case Field::kIpDst:
+      case Field::kL4Src:
+      case Field::kL4Dst:
+        return field_bit(set->field);
+      default:
+        return 0;
+    }
+  }
+  if (std::holds_alternative<PushVlanAction>(action) ||
+      std::holds_alternative<PopVlanAction>(action))
+    return field_bit(Field::kVlanVid) | field_bit(Field::kVlanPcp);
+  return 0;
+}
+}  // namespace
+
+Pipeline::Pipeline(std::size_t table_count, bool specialized, bool flow_cache)
+    : cache_enabled_(flow_cache) {
   if (table_count == 0) throw util::ConfigError("pipeline needs at least one table");
   tables_.reserve(table_count);
   for (std::size_t index = 0; index < table_count; ++index)
     tables_.emplace_back(static_cast<std::uint8_t>(index), specialized);
+  // Every table mutation (and group mutation) bumps the shared epoch so
+  // cached fast-path entries self-invalidate. Wired even when the cache
+  // is disabled, so the ablation knob can be flipped at runtime.
+  for (FlowTable& table : tables_) table.bind_epoch(cache_.epoch_slot());
+  groups_.bind_epoch(cache_.epoch_slot());
 }
 
 FlowTable& Pipeline::table(std::size_t index) {
@@ -36,7 +69,8 @@ std::size_t Pipeline::total_entries() const {
 
 sim::SimNanos Pipeline::execute_actions(const ActionList& actions, net::Packet& packet,
                                         std::uint32_t in_port, std::uint8_t table_id,
-                                        PipelineResult& result, bool& view_dirty, int depth) {
+                                        PipelineResult& result, bool& view_dirty,
+                                        FieldUse* learn, int depth) {
   sim::SimNanos cost = 0;
   for (const Action& action : actions) {
     cost += costs_.action_ns;
@@ -60,48 +94,132 @@ sim::SimNanos Pipeline::execute_actions(const ActionList& actions, net::Packet& 
       if (depth >= kMaxGroupDepth) continue;  // malformed config: stop recursion
       const GroupEntry* entry = groups_.find(grp->group_id);
       if (entry == nullptr) continue;  // dangling group id: packets blackhole (per spec)
+      // Bucket actions run on packet *copies*: any fields they rewrite
+      // stay original-dependent for the rest of the pipeline, so the
+      // overwritten set is restored after each recursion.
+      const std::uint32_t saved_overwritten = learn != nullptr ? learn->overwritten : 0;
       switch (entry->type) {
         case GroupType::kAll:
           for (const Bucket& bucket : entry->buckets) {
             net::Packet copy = packet;
             cost += execute_actions(bucket.actions, copy, in_port, table_id, result,
-                                    view_dirty, depth + 1);
+                                    view_dirty, learn, depth + 1);
+            if (learn != nullptr) learn->overwritten = saved_overwritten;
           }
           break;
         case GroupType::kSelect: {
           const net::ParsedPacket parsed = net::parse_packet(packet);
-          const FieldView view = build_field_view(parsed, in_port);
+          FieldView view = build_field_view(parsed, in_port);
+          view.use = learn;  // bucket choice depends on the hashed fields
           const std::size_t index =
               groups_.select_bucket(*entry, flow_hash_of(view, entry->select_hash));
           GroupEntry* mutable_entry = groups_.find_mutable(grp->group_id);
           mutable_entry->buckets[index].packet_count++;
           net::Packet copy = packet;
           cost += execute_actions(entry->buckets[index].actions, copy, in_port, table_id,
-                                  result, view_dirty, depth + 1);
+                                  result, view_dirty, learn, depth + 1);
+          if (learn != nullptr) learn->overwritten = saved_overwritten;
           break;
         }
         case GroupType::kIndirect: {
           net::Packet copy = packet;
           cost += execute_actions(entry->buckets[0].actions, copy, in_port, table_id, result,
-                                  view_dirty, depth + 1);
+                                  view_dirty, learn, depth + 1);
+          if (learn != nullptr) learn->overwritten = saved_overwritten;
           break;
         }
       }
       continue;
     }
 
-    // Header-mutating action.
+    // Header-mutating action. Whether it applies depends only on the
+    // packet's *structure* (taggedness, IP version, L4 proto — see
+    // action.cpp), never on the rewritten field's current value, so
+    // learning pins just the structural bits: field presence, plus the
+    // tag-present bit for vlan_vid (set vlan_vid fails on untagged
+    // frames). Pinning full values here would fragment the megaflow
+    // tier into one entry per rewritten aggregate.
+    if (learn != nullptr) {
+      std::uint32_t written = written_field_bits(action);
+      while (written != 0) {
+        const unsigned index = static_cast<unsigned>(__builtin_ctz(written));
+        written &= written - 1;
+        const auto field = static_cast<Field>(index);
+        learn->note(field, field == Field::kVlanVid ? kVlanPresent : 0);
+        learn->mark_overwritten(field);
+      }
+    }
     if (apply_header_action(action, packet)) view_dirty = true;
   }
   return cost;
 }
 
+void Pipeline::replay(const MegaflowEntry& entry, net::Packet& packet, std::uint32_t in_port,
+                      sim::SimNanos now, PipelineResult& result) {
+  result.cache_hit = true;
+  result.matched = entry.matched;
+  result.last_table = entry.last_table;
+  bool view_dirty = false;
+  for (const MegaflowEntry::Step& step : entry.steps) {
+    // Exactly the bookkeeping the slow-path lookup would have done,
+    // with the packet size *at this table* (earlier replayed actions
+    // may have pushed or popped a tag).
+    step.table->record_lookup(step.entry, packet.size(), now);
+    if (!step.apply_actions.empty())
+      result.cost_ns += execute_actions(step.apply_actions, packet, in_port,
+                                        step.table->id(), result, view_dirty,
+                                        /*learn=*/nullptr, 0);
+  }
+  if (!entry.final_actions.empty())
+    result.cost_ns += execute_actions(entry.final_actions, packet, in_port, entry.last_table,
+                                      result, view_dirty, /*learn=*/nullptr, 0);
+}
+
+void Pipeline::install_learned(MegaflowEntry entry, const FieldView& original_view,
+                               const FieldUse& use) {
+  std::uint32_t remaining = use.examined;
+  while (remaining != 0) {
+    const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
+    remaining &= remaining - 1;
+    const std::uint32_t bit = 1u << index;
+    if ((original_view.present & bit) != 0) {
+      entry.required_present |= bit;
+      entry.masks[index] = use.masks[index];
+      entry.values[index] = original_view.values[index] & use.masks[index];
+    } else {
+      // The traversal probed this field and found it absent (e.g. an
+      // ACL's l4_dst against an ARP frame): only packets equally
+      // lacking it may reuse the cached outcome.
+      entry.required_absent |= bit;
+    }
+  }
+  cache_.insert(std::move(entry), original_view);
+}
+
 PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now) {
   PipelineResult result;
-  result.cost_ns += costs_.parse_ns;
 
   net::ParsedPacket parsed = net::parse_packet(packet);
   FieldView view = build_field_view(parsed, in_port);
+
+  if (cache_enabled_) {
+    std::uint32_t scanned = 0;
+    MegaflowEntry* hit = cache_.lookup(view, now, &scanned);
+    result.cache_scanned = scanned;
+    if (hit != nullptr) {
+      replay(*hit, packet, in_port, now, result);
+      return result;
+    }
+  }
+
+  // ---- slow path: the full traversal, learning a megaflow as it goes.
+  result.cost_ns += costs_.parse_ns;
+
+  FieldUse use;
+  FieldUse* learn = cache_enabled_ ? &use : nullptr;
+  const FieldView original_view = view;  // pre-rewrite projection: the megaflow key basis
+  MegaflowEntry learned;
+  view.use = learn;
   bool view_dirty = false;
 
   // The OF1.3 action set: at most one action per slot, executed in
@@ -153,6 +271,7 @@ PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::S
     if (view_dirty) {
       parsed = net::parse_packet(packet);
       view = build_field_view(parsed, in_port);
+      view.use = learn;
       view_dirty = false;
       result.cost_ns += costs_.parse_ns;
     }
@@ -162,10 +281,21 @@ PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::S
         tables_[table_index].lookup(view, packet.size(), now, lookup_cost);
     result.cost_ns += lookup_cost.hash_probes * costs_.hash_probe_ns +
                       lookup_cost.entries_scanned * costs_.entry_scan_ns;
+    if (learn != nullptr)
+      learned.steps.push_back(MegaflowEntry::Step{
+          &tables_[table_index], entry,
+          entry != nullptr ? entry->instructions.apply_actions : ActionList{}});
 
     if (entry == nullptr) {
-      // Table miss without a miss entry: drop (OF1.3 default).
+      // Table miss without a miss entry: drop (OF1.3 default). The drop
+      // itself is cached — elephant flows of unroutable traffic are
+      // exactly as hot as routable ones.
       result.cost_ns += costs_.miss_ns;
+      if (learn != nullptr) {
+        learned.last_table = result.last_table;
+        learned.matched = result.matched;
+        install_learned(std::move(learned), original_view, use);
+      }
       return result;
     }
     result.matched = true;
@@ -174,7 +304,7 @@ PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::S
     if (!inst.apply_actions.empty())
       result.cost_ns += execute_actions(inst.apply_actions, packet, in_port,
                                         static_cast<std::uint8_t>(table_index), result,
-                                        view_dirty, 0);
+                                        view_dirty, learn, 0);
     if (inst.clear_actions) action_set.clear();
     if (!inst.write_actions.empty()) action_set.write(inst.write_actions);
 
@@ -192,7 +322,14 @@ PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::S
   const ActionList final_actions = action_set.to_list();
   if (!final_actions.empty())
     result.cost_ns += execute_actions(final_actions, packet, in_port, result.last_table,
-                                      result, view_dirty, 0);
+                                      result, view_dirty, learn, 0);
+
+  if (learn != nullptr) {
+    learned.final_actions = final_actions;
+    learned.last_table = result.last_table;
+    learned.matched = result.matched;
+    install_learned(std::move(learned), original_view, use);
+  }
   return result;
 }
 

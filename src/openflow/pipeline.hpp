@@ -10,6 +10,14 @@
 //   * on miss: the packet is dropped (install a priority-0 wildcard
 //     entry — the table-miss entry — to get controller punts)
 //
+// The multi-table traversal above is the *slow path*. By default every
+// pipeline fronts it with a two-tier flow cache (flow_cache.hpp): the
+// slow path records which field bits it examined, installs a megaflow
+// covering the whole wildcarded aggregate, and subsequent packets of
+// the aggregate replay the cached action program — identical outputs,
+// packet-ins and counters, a fraction of the cost. Flow-mods, group
+// mods and expiry invalidate cached entries via a shared epoch.
+//
 // The pipeline charges a simulated cost per packet assembled from the
 // work actually performed (parse, hash probes, linear scans, actions,
 // group executions). The constants model a 2017 x86 software switch in
@@ -20,6 +28,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "openflow/flow_cache.hpp"
 #include "openflow/flow_table.hpp"
 #include "openflow/group_table.hpp"
 
@@ -54,14 +63,32 @@ struct PipelineResult {
   sim::SimNanos cost_ns = 0;
   std::uint8_t last_table = 0;
   bool matched = false;
+  /// True when the flow cache served this packet: cost_ns then covers
+  /// only the replayed actions — the datapath adds its cache-hit cost
+  /// (DatapathCosts::cache_hit_ns) instead of parse + lookup.
+  bool cache_hit = false;
+  /// Megaflow candidates examined by the tier-2 scan (0 for microflow
+  /// hits); the datapath charges DatapathCosts::cache_scan_ns each.
+  std::uint32_t cache_scanned = 0;
 
   [[nodiscard]] bool dropped() const { return outputs.empty() && packet_ins.empty(); }
 };
 
 class Pipeline {
  public:
-  /// `table_count` tables (0..n-1); `specialized` picks the matcher.
-  explicit Pipeline(std::size_t table_count = 2, bool specialized = true);
+  /// `table_count` tables (0..n-1); `specialized` picks the matcher;
+  /// `flow_cache` enables the two-tier fast path (ablation knob).
+  explicit Pipeline(std::size_t table_count = 2, bool specialized = true,
+                    bool flow_cache = true);
+
+  /// Non-movable: tables_ and groups_ hold raw pointers into cache_'s
+  /// epoch counter, so a move would leave them aimed at the moved-from
+  /// object. Hold pipelines by value in their owner (as SoftSwitch
+  /// does) or behind a unique_ptr.
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+  Pipeline(Pipeline&&) = delete;
+  Pipeline& operator=(Pipeline&&) = delete;
 
   [[nodiscard]] std::size_t table_count() const { return tables_.size(); }
   [[nodiscard]] FlowTable& table(std::size_t index);
@@ -69,7 +96,13 @@ class Pipeline {
   [[nodiscard]] GroupTable& groups() { return groups_; }
   [[nodiscard]] const GroupTable& groups() const { return groups_; }
 
-  /// Run one packet; consumes it.
+  [[nodiscard]] FlowCache& cache() { return cache_; }
+  [[nodiscard]] const FlowCache& cache() const { return cache_; }
+  [[nodiscard]] bool cache_enabled() const { return cache_enabled_; }
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+
+  /// Run one packet; consumes it. Fast path on a cache hit, otherwise
+  /// the full traversal (which learns a megaflow when caching is on).
   PipelineResult run(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now);
 
   /// Sweep all tables for expired entries.
@@ -84,13 +117,27 @@ class Pipeline {
  private:
   /// Execute an action list against `packet`; outputs/groups/punts are
   /// routed into `result`. Returns the cost of the executed actions.
+  /// `learn` (slow path only) records fields that actions overwrite so
+  /// megaflow learning stops attributing them to the original packet.
   sim::SimNanos execute_actions(const ActionList& actions, net::Packet& packet,
                                 std::uint32_t in_port, std::uint8_t table_id,
-                                PipelineResult& result, bool& view_dirty, int depth);
+                                PipelineResult& result, bool& view_dirty, FieldUse* learn,
+                                int depth);
+
+  /// Fast path: replay a cached traversal against `packet`.
+  void replay(const MegaflowEntry& entry, net::Packet& packet, std::uint32_t in_port,
+              sim::SimNanos now, PipelineResult& result);
+
+  /// Turn a finished slow-path traversal into a megaflow keyed on the
+  /// original (pre-rewrite) packet projection and install it.
+  void install_learned(MegaflowEntry entry, const FieldView& original_view,
+                       const FieldUse& use);
 
   std::vector<FlowTable> tables_;
   GroupTable groups_;
   PipelineCosts costs_;
+  FlowCache cache_;
+  bool cache_enabled_ = true;
 };
 
 }  // namespace harmless::openflow

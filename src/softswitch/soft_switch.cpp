@@ -7,13 +7,21 @@ namespace harmless::softswitch {
 using namespace openflow;
 
 SoftSwitch::SoftSwitch(sim::Engine& engine, std::string name, std::uint64_t datapath_id,
-                       std::size_t of_port_count, std::size_t table_count, bool specialized)
+                       std::size_t of_port_count, std::size_t table_count, bool specialized,
+                       bool flow_cache)
     : ServicedNode(engine, std::move(name)),
       datapath_id_(datapath_id),
       of_port_count_(of_port_count),
-      pipeline_(table_count, specialized),
-      port_up_(of_port_count + 1, true) {
+      pipeline_(table_count, specialized, flow_cache),
+      port_up_(of_port_count + 1, true),
+      seen_cache_epoch_(pipeline_.cache().epoch()) {
   ensure_ports(of_port_count);
+}
+
+void SoftSwitch::observe_cache_epoch() {
+  const std::uint64_t epoch = pipeline_.cache().epoch();
+  counters_.cache_invalidations += epoch - seen_cache_epoch_;
+  seen_cache_epoch_ = epoch;
 }
 
 void SoftSwitch::bind_patch(std::uint32_t of_port, SoftSwitch& peer,
@@ -43,6 +51,13 @@ void SoftSwitch::set_port_state(std::uint32_t of_port, bool up) {
   if (of_port == 0 || of_port > of_port_count_) return;
   if (port_up_[of_port] == up) return;
   port_up_[of_port] = up;
+  // Cached action programs may reference this port (directly or via a
+  // FLOOD fan-out); conservatively invalidate them all so the next
+  // packet of every aggregate re-learns against the new port set.
+  if (pipeline_.cache_enabled()) {
+    pipeline_.cache().invalidate_all();
+    observe_cache_epoch();
+  }
   send_port_status(of_port, up);
 }
 
@@ -277,7 +292,14 @@ sim::SimNanos SoftSwitch::service(int in_port, net::Packet&& packet) {
   }
 
   PipelineResult result = pipeline_.run(std::move(packet), in_of_port, engine_.now());
-  const sim::SimNanos cost = costs_.rx_tx_ns + result.cost_ns;
+  const sim::SimNanos cost = costs_.packet_cost_ns(result, pipeline_.cache_enabled());
+  if (pipeline_.cache_enabled()) {
+    if (result.cache_hit)
+      ++counters_.cache_hits;
+    else
+      ++counters_.cache_misses;
+    observe_cache_epoch();
+  }
 
   if (result.dropped()) ++counters_.drops_no_match;
 

@@ -8,11 +8,20 @@
 //     (the SS_1<->SS_2 interconnect of Fig. 1): delivery is a queue
 //     hand-off that costs kPatchNs of compute instead of wire time.
 //
+// The datapath is two-tier cached (openflow/flow_cache.hpp): service()
+// consults the microflow/megaflow cache first and only falls back to
+// the full multi-table traversal on a miss, which then installs the
+// learned megaflow. Flow-mods, group mods, entry expiry and port
+// state changes invalidate cached entries through a shared epoch.
+//
 // The datapath charges simulated nanoseconds per packet: a fixed RX/TX
-// overhead plus whatever the pipeline reports for lookups and actions.
-// Defaults model an ESwitch/DPDK-class switch (~10 Mpps/core simple
-// pipelines); the legacy ASIC in legacy_switch.hpp is faster per packet
-// but dumb — that contrast is exactly the trade HARMLESS exploits.
+// overhead plus, on a cache hit, the flat cache-hit cost and replayed
+// actions, or on a miss the full parse/lookup/action bill the pipeline
+// reports plus the megaflow-insert cost. Defaults model an
+// ESwitch/DPDK-class switch (~10 Mpps/core simple pipelines); the
+// legacy ASIC in legacy_switch.hpp is faster per packet but dumb —
+// that contrast is exactly the trade HARMLESS exploits. All knobs are
+// documented in EXPERIMENTS.md.
 //
 // The control side implements the OF session: hello/features, flow and
 // group mods with error replies, packet-in/out, barriers, flow stats,
@@ -35,12 +44,35 @@ struct DatapathCosts {
   sim::SimNanos rx_tx_ns = 55;   // NIC RX + TX per packet (poll-mode driver)
   sim::SimNanos patch_ns = 20;   // patch-port hand-off (one enqueue)
   sim::SimNanos clone_ns = 15;   // per extra copy on flood/group ALL
+  /// Flow-cache fast path: one microflow hash probe + key validation,
+  /// charged *instead of* the pipeline's parse + lookup bill.
+  sim::SimNanos cache_hit_ns = 10;
+  /// Each megaflow candidate the tier-2 wildcard scan examines (a
+  /// masked compare, cheaper than a full rule comparison); microflow
+  /// hits scan nothing.
+  sim::SimNanos cache_scan_ns = 2;
+  /// Megaflow learning on a slow-path miss (build + install the entry).
+  sim::SimNanos cache_insert_ns = 30;
+
+  /// The full per-packet bill for one pipeline result — the single
+  /// source of truth shared by SoftSwitch::service and the capacity
+  /// benches (bench_throughput Table 3).
+  [[nodiscard]] sim::SimNanos packet_cost_ns(const openflow::PipelineResult& result,
+                                             bool cache_enabled) const {
+    sim::SimNanos cost = rx_tx_ns + result.cost_ns;
+    if (cache_enabled) {
+      cost += static_cast<sim::SimNanos>(result.cache_scanned) * cache_scan_ns;
+      cost += result.cache_hit ? cache_hit_ns : cache_insert_ns;
+    }
+    return cost;
+  }
 };
 
 class SoftSwitch : public sim::ServicedNode {
  public:
   SoftSwitch(sim::Engine& engine, std::string name, std::uint64_t datapath_id,
-             std::size_t of_port_count, std::size_t table_count = 2, bool specialized = true);
+             std::size_t of_port_count, std::size_t table_count = 2, bool specialized = true,
+             bool flow_cache = true);
 
   [[nodiscard]] std::uint64_t datapath_id() const { return datapath_id_; }
   [[nodiscard]] std::size_t of_port_count() const { return of_port_count_; }
@@ -73,6 +105,11 @@ class SoftSwitch : public sim::ServicedNode {
     std::uint64_t drops_port_down = 0;
     std::uint64_t flow_mods = 0;
     std::uint64_t errors = 0;
+    // Flow-cache fast path (zero when the cache is disabled):
+    std::uint64_t cache_hits = 0;          // packets served by replay
+    std::uint64_t cache_misses = 0;        // packets that took the slow path
+    std::uint64_t cache_invalidations = 0; // epoch bumps observed (flow/group mods,
+                                           // expiry, port state changes)
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -101,9 +138,15 @@ class SoftSwitch : public sim::ServicedNode {
   DatapathCosts costs_;
   Counters counters_;
   openflow::ControlChannel* channel_ = nullptr;
+  /// Fold any epoch advance since the last observation into the
+  /// cache_invalidations counter (each table/group mutation bumps the
+  /// epoch exactly once).
+  void observe_cache_epoch();
+
   std::unordered_map<std::uint32_t, PatchBinding> patches_;
   std::vector<bool> port_up_;
   bool sweep_scheduled_ = false;
+  std::uint64_t seen_cache_epoch_ = 0;
 };
 
 }  // namespace harmless::softswitch
