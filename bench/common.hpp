@@ -12,6 +12,10 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "harmless/fabric.hpp"
@@ -19,8 +23,115 @@
 #include "net/build.hpp"
 #include "sim/network.hpp"
 #include "softswitch/soft_switch.hpp"
+#include "util/strings.hpp"
 
 namespace harmless::bench {
+
+// ---- machine-readable bench artifacts --------------------------------
+//
+// Every bench that prints a table can also emit the same rows as a
+// BENCH_<name>.json next to wherever it was run, so the perf
+// trajectory is trackable across PRs (the repo commits the current
+// numbers as evidence). Minimal ordered JSON value — objects keep
+// insertion order, no external dependencies.
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  Json(T value) : kind_(Kind::kNumber) {
+    if constexpr (std::is_integral_v<T>)
+      text_ = std::to_string(value);
+    else
+      text_ = util::format("%.10g", static_cast<double>(value));
+  }
+  Json(bool value) : kind_(Kind::kBool), text_(value ? "true" : "false") {}
+  Json(const char* value) : kind_(Kind::kString), text_(value) {}
+  Json(std::string value) : kind_(Kind::kString), text_(std::move(value)) {}
+
+  static Json object() {
+    Json json;
+    json.kind_ = Kind::kObject;
+    return json;
+  }
+  static Json array() {
+    Json json;
+    json.kind_ = Kind::kArray;
+    return json;
+  }
+
+  Json& set(std::string key, Json value) {
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  Json& push(Json value) {
+    items_.push_back(std::move(value));
+    return *this;
+  }
+
+  [[nodiscard]] std::string dump(int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string inner_pad(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::kNull: return "null";
+      case Kind::kNumber:
+      case Kind::kBool: return text_;
+      case Kind::kString: return quote(text_);
+      case Kind::kArray: {
+        if (items_.empty()) return "[]";
+        std::string out = "[\n";
+        for (std::size_t i = 0; i < items_.size(); ++i)
+          out += inner_pad + items_[i].dump(indent + 1) +
+                 (i + 1 < items_.size() ? ",\n" : "\n");
+        return out + pad + "]";
+      }
+      case Kind::kObject: {
+        if (members_.empty()) return "{}";
+        std::string out = "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i)
+          out += inner_pad + quote(members_[i].first) + ": " +
+                 members_[i].second.dump(indent + 1) +
+                 (i + 1 < members_.size() ? ",\n" : "\n");
+        return out + pad + "}";
+      }
+    }
+    return "null";
+  }
+
+ private:
+  enum class Kind { kNull, kNumber, kBool, kString, kArray, kObject };
+
+  static std::string quote(const std::string& text) {
+    std::string out = "\"";
+    for (const char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20)
+            out += util::format("\\u%04x", c);
+          else
+            out += c;
+      }
+    }
+    return out + "\"";
+  }
+
+  Kind kind_;
+  std::string text_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> items_;
+};
+
+/// Write `json` to `path` (and say so on stdout, next to the tables).
+inline void write_bench_json(const std::string& path, const Json& json) {
+  std::ofstream out(path);
+  out << json.dump() << '\n';
+  std::printf("wrote %s\n", path.c_str());
+}
 
 struct RigOptions {
   int host_count = 4;
@@ -29,6 +140,9 @@ struct RigOptions {
   bool specialized_matchers = true;
   /// Two-tier flow cache on the soft switches (ablation knob).
   bool flow_cache = true;
+  /// Service burst size on the soft switches; 1 = per-packet datapath
+  /// (batching ablation knob).
+  std::size_t burst_size = 32;
   /// Bonded trunk legs between the legacy switch and the S4 box.
   int trunk_count = 1;
 };
@@ -112,7 +226,7 @@ struct NativeRig : BaseRig {
   explicit NativeRig(const RigOptions& options = {}) {
     datapath = &network.add_node<softswitch::SoftSwitch>(
         "native-ss", 0xbe, static_cast<std::size_t>(options.host_count), 1,
-        options.specialized_matchers, options.flow_cache);
+        options.specialized_matchers, options.flow_cache, options.burst_size);
     add_hosts(*datapath, options);
     for (int i = 0; i < options.host_count; ++i) {
       openflow::FlowModMsg mod;
@@ -143,6 +257,7 @@ struct HarmlessRig : BaseRig {
     spec.trunk_link = options.trunk_link;
     spec.specialized_matchers = options.specialized_matchers;
     spec.flow_cache = options.flow_cache;
+    spec.burst_size = options.burst_size;
     fabric.emplace(core::Fabric::build(network, *device, *map, spec));
     // Static L2 program on SS_2 (what the learning app would converge to).
     for (int i = 0; i < options.host_count; ++i) {

@@ -39,6 +39,9 @@ struct FabricSpec {
   bool specialized_matchers = true;
   /// Two-tier flow cache on both soft switches (ablation knob).
   bool flow_cache = true;
+  /// Service burst size on both soft switches; 1 = the per-packet
+  /// datapath (batching ablation knob).
+  std::size_t burst_size = 32;
   /// Control channel one-way latency (controller is usually on-box or
   /// one rack away).
   sim::SimNanos control_latency = 50'000;

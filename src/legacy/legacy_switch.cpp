@@ -5,7 +5,10 @@
 namespace harmless::legacy {
 
 LegacySwitch::LegacySwitch(sim::Engine& engine, std::string name, SwitchConfig config)
-    : ServicedNode(engine, std::move(name)), mac_table_(config.mac_aging) {
+    // burst_size 1: the ASIC forwards per packet at line rate; burst
+    // amortization is a software-datapath technique (SoftSwitch).
+    : ServicedNode(engine, std::move(name), /*queue_capacity=*/1024, /*burst_size=*/1),
+      mac_table_(config.mac_aging) {
   apply_config(std::move(config));
 }
 

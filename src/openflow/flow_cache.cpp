@@ -35,13 +35,23 @@ std::uint64_t FlowCache::microflow_key(const FieldView& view) {
 
 MegaflowEntry* FlowCache::lookup(const FieldView& view, sim::SimNanos now,
                                  std::uint32_t* scanned) {
+  return find(view, now, scanned, /*count_miss=*/true);
+}
+
+MegaflowEntry* FlowCache::probe(const FieldView& view, sim::SimNanos now,
+                                std::uint32_t* scanned) {
+  return find(view, now, scanned, /*count_miss=*/false);
+}
+
+MegaflowEntry* FlowCache::find(const FieldView& view, sim::SimNanos now,
+                               std::uint32_t* scanned, bool count_miss) {
   if (scanned != nullptr) *scanned = 0;
   // First lookup after an epoch bump: reap the self-invalidated
   // entries once, so the tier-2 scan never walks (or charges for)
   // stale candidates.
   if (purged_epoch_ != epoch_) purge_stale();
   if (megaflows_.empty()) {
-    ++stats_.misses;
+    if (count_miss) ++stats_.misses;
     return nullptr;
   }
   const std::uint64_t key = microflow_key(view);
@@ -52,6 +62,7 @@ MegaflowEntry* FlowCache::lookup(const FieldView& view, sim::SimNanos now,
       ++stats_.hits;
       ++stats_.microflow_hits;
       ++entry->hits;
+      entry->referenced = true;
       return entry;
     }
     // Self-invalidated (epoch/expiry) or a hash collision: unmap and
@@ -67,13 +78,17 @@ MegaflowEntry* FlowCache::lookup(const FieldView& view, sim::SimNanos now,
     // the slow path has to run so the table performs its lazy expiry
     // (which bumps the epoch and retires this entry for good).
     if (candidate->timed_out(now)) break;
-    if (microflow_.size() < limits_.max_microflows) microflow_[key] = candidate.get();
+    if (microflow_.size() < limits_.max_microflows) {
+      microflow_[key] = candidate.get();
+      candidate->microflow_keys.push_back(key);
+    }
     ++stats_.hits;
     ++stats_.megaflow_hits;
     ++candidate->hits;
+    candidate->referenced = true;
     return candidate.get();
   }
-  ++stats_.misses;
+  if (count_miss) ++stats_.misses;
   return nullptr;
 }
 
@@ -94,14 +109,41 @@ void FlowCache::purge_stale() {
   // Microflow pointers may reference reaped entries; the tier re-learns
   // on the next packet of each microflow anyway.
   microflow_.clear();
+  clock_hand_ = 0;
+}
+
+void FlowCache::evict_one() {
+  // Second chance: at most two sweeps — the first clears every set
+  // reference bit, so the second is guaranteed to find a victim.
+  for (std::size_t step = 0; step < 2 * megaflows_.size(); ++step) {
+    if (clock_hand_ >= megaflows_.size()) clock_hand_ = 0;
+    MegaflowEntry* candidate = megaflows_[clock_hand_].get();
+    if (candidate->referenced) {
+      candidate->referenced = false;
+      ++clock_hand_;
+      continue;
+    }
+    // Unmap the victim's own microflow pointers before it is freed
+    // (keys may have been remapped or reset since — re-check).
+    for (const std::uint64_t key : candidate->microflow_keys) {
+      const auto it = microflow_.find(key);
+      if (it != microflow_.end() && it->second == candidate) microflow_.erase(it);
+    }
+    megaflows_.erase(megaflows_.begin() +
+                     static_cast<std::ptrdiff_t>(clock_hand_));
+    ++stats_.evictions;
+    return;
+  }
 }
 
 MegaflowEntry* FlowCache::insert(MegaflowEntry entry, const FieldView& view) {
   if (purged_epoch_ != epoch_) purge_stale();
   if (megaflows_.size() >= limits_.max_megaflows) {
-    clear();
-    ++stats_.flushes;
-  } else if (microflow_.size() >= limits_.max_microflows) {
+    // CLOCK eviction keeps hot aggregates (elephants) resident where
+    // the old wholesale flush would have cold-started everything.
+    evict_one();
+  }
+  if (microflow_.size() >= limits_.max_microflows) {
     // Only the exact-match tier is full (a long mice tail): resetting
     // it is cheap — its entries point into megaflows_, which survives,
     // so the hot aggregates keep hitting tier 2 and re-seed tier 1.
@@ -111,7 +153,9 @@ MegaflowEntry* FlowCache::insert(MegaflowEntry entry, const FieldView& view) {
   entry.epoch = epoch_;
   megaflows_.push_back(std::make_unique<MegaflowEntry>(std::move(entry)));
   MegaflowEntry* inserted = megaflows_.back().get();
-  microflow_[microflow_key(view)] = inserted;
+  const std::uint64_t key = microflow_key(view);
+  microflow_[key] = inserted;
+  inserted->microflow_keys.push_back(key);
   ++stats_.insertions;
   return inserted;
 }
@@ -119,6 +163,7 @@ MegaflowEntry* FlowCache::insert(MegaflowEntry entry, const FieldView& view) {
 void FlowCache::clear() {
   megaflows_.clear();
   microflow_.clear();
+  clock_hand_ = 0;
 }
 
 }  // namespace harmless::openflow

@@ -27,6 +27,15 @@
 // are no eager flush scans. Entries whose referenced flow entries have
 // timed out also refuse to hit, forcing the slow path to perform the
 // same lazy expiry an uncached lookup would.
+//
+// Capacity pressure on the megaflow tier is handled by CLOCK
+// (second-chance) eviction, not a wholesale flush: every hit sets an
+// entry's reference bit, and an insert into a full tier sweeps the
+// clock hand, sparing referenced entries (clearing their bit) and
+// evicting the first unreferenced one — so elephant aggregates stay
+// resident while one-shot mice recycle. Only the exact-match microflow
+// tier still resets wholesale when full; its entries are pointers into
+// the megaflow tier and re-seed on the next packet.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +70,17 @@ struct MegaflowEntry {
   bool matched = false;
 
   std::uint64_t hits = 0;
+  /// CLOCK reference bit: set on every hit, cleared when the eviction
+  /// hand passes over the entry (second chance). New entries start
+  /// unreferenced and earn residency with their first hit — one-shot
+  /// mice are the preferred victims, elephants are never at the hand
+  /// while their bit is down.
+  bool referenced = false;
+  /// Microflow keys mapped to this entry, so eviction unmaps exactly
+  /// its own tier-1 pointers instead of sweeping the whole map. May
+  /// hold stale keys after a tier-1 reset (eviction re-checks the
+  /// mapping before erasing).
+  std::vector<std::uint64_t> microflow_keys;
 
   /// Key check: the packet agrees on every examined bit and presence.
   [[nodiscard]] bool covers(const FieldView& view) const;
@@ -84,7 +104,8 @@ class FlowCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t invalidations = 0;  // entries discarded on epoch mismatch
-    std::uint64_t flushes = 0;        // capacity resets (microflow tier or whole cache)
+    std::uint64_t evictions = 0;      // megaflows displaced by CLOCK at capacity
+    std::uint64_t flushes = 0;        // microflow-tier capacity resets
   };
 
   /// The shared epoch counter. FlowTable/GroupTable hold this pointer
@@ -103,6 +124,14 @@ class FlowCache {
   MegaflowEntry* lookup(const FieldView& view, sim::SimNanos now,
                         std::uint32_t* scanned = nullptr);
 
+  /// Burst-probe variant of lookup(): identical fast-path semantics,
+  /// but a miss is NOT counted in stats — the residue re-enters the
+  /// slow path via Pipeline::run(), whose own lookup accounts the
+  /// packet exactly once (and may even hit, when an earlier packet of
+  /// the same burst installed the covering megaflow).
+  MegaflowEntry* probe(const FieldView& view, sim::SimNanos now,
+                       std::uint32_t* scanned = nullptr);
+
   /// Install a freshly learned megaflow for the packet that built it.
   /// The entry is stamped with the current epoch; `view` seeds the
   /// microflow tier.
@@ -120,13 +149,23 @@ class FlowCache {
   /// FNV-style hash of the full presence bitmap + every present value.
   static std::uint64_t microflow_key(const FieldView& view);
 
+  /// Shared body of lookup()/probe(); `count_miss` gates the miss stat.
+  MegaflowEntry* find(const FieldView& view, sim::SimNanos now, std::uint32_t* scanned,
+                      bool count_miss);
+
   /// Drop epoch-stale megaflows (and the microflow tier, whose pointers
   /// may reference them). Runs on the first lookup or insert after an
   /// epoch bump, so stale entries are never scanned repeatedly.
   void purge_stale();
 
+  /// CLOCK second-chance sweep: spare referenced entries (clearing the
+  /// bit), evict the first unreferenced one, and unmap any microflow
+  /// pointers into it.
+  void evict_one();
+
   std::uint64_t epoch_ = 1;
   std::uint64_t purged_epoch_ = 1;  // epoch purge_stale last ran against
+  std::size_t clock_hand_ = 0;      // next megaflow the eviction sweep examines
   std::vector<std::unique_ptr<MegaflowEntry>> megaflows_;  // insertion order
   std::unordered_map<std::uint64_t, MegaflowEntry*> microflow_;
   Limits limits_;

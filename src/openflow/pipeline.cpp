@@ -1,5 +1,7 @@
 #include "openflow/pipeline.hpp"
 
+#include <algorithm>
+
 #include "net/parse.hpp"
 #include "util/status.hpp"
 
@@ -197,10 +199,13 @@ void Pipeline::install_learned(MegaflowEntry entry, const FieldView& original_vi
 }
 
 PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now) {
-  PipelineResult result;
+  FieldView view = build_field_view(net::parse_packet(packet), in_port);
+  return run_with_view(std::move(packet), in_port, now, std::move(view));
+}
 
-  net::ParsedPacket parsed = net::parse_packet(packet);
-  FieldView view = build_field_view(parsed, in_port);
+PipelineResult Pipeline::run_with_view(net::Packet&& packet, std::uint32_t in_port,
+                                       sim::SimNanos now, FieldView view) {
+  PipelineResult result;
 
   if (cache_enabled_) {
     std::uint32_t scanned = 0;
@@ -269,8 +274,7 @@ PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::S
   while (table_index < tables_.size()) {
     result.last_table = static_cast<std::uint8_t>(table_index);
     if (view_dirty) {
-      parsed = net::parse_packet(packet);
-      view = build_field_view(parsed, in_port);
+      view = build_field_view(net::parse_packet(packet), in_port);
       view.use = learn;
       view_dirty = false;
       result.cost_ns += costs_.parse_ns;
@@ -291,10 +295,11 @@ PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::S
       // itself is cached — elephant flows of unroutable traffic are
       // exactly as hot as routable ones.
       result.cost_ns += costs_.miss_ns;
-      if (learn != nullptr) {
+      if (learn != nullptr && result.packet_ins.empty()) {
         learned.last_table = result.last_table;
         learned.matched = result.matched;
         install_learned(std::move(learned), original_view, use);
+        result.cache_installed = true;
       }
       return result;
     }
@@ -324,13 +329,82 @@ PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::S
     result.cost_ns += execute_actions(final_actions, packet, in_port, result.last_table,
                                       result, view_dirty, learn, 0);
 
-  if (learn != nullptr) {
+  // Punting traversals are not cached: the controller's reply is about
+  // to mutate the tables, and caching the upcall would turn every
+  // subsequent packet of the aggregate into a replayed packet-in
+  // storm served from the fast path. They stay slow-path events, so
+  // the datapath must not charge cache_insert_ns for them —
+  // cache_installed carries that fact out.
+  if (learn != nullptr && result.packet_ins.empty()) {
     learned.final_actions = final_actions;
     learned.last_table = result.last_table;
     learned.matched = result.matched;
     install_learned(std::move(learned), original_view, use);
+    result.cache_installed = true;
   }
   return result;
+}
+
+BurstResult Pipeline::run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos now) {
+  BurstResult out;
+  out.results.resize(burst.size());
+  if (!cache_enabled_) {
+    // No cache, nothing to group: the burst amortizes only the
+    // datapath's rx/tx overhead (charged by the caller).
+    for (std::size_t i = 0; i < burst.size(); ++i)
+      out.results[i] = run(std::move(burst[i].packet), burst[i].in_port, now);
+    return out;
+  }
+
+  // Phase 1: probe the cache for the whole burst. Misses are not
+  // counted here (probe()); the residue's run() accounts each exactly
+  // once. The returned pointers stay valid through phase 2: nothing
+  // inserts or purges until the residue runs, and every probe shares
+  // one `now`, so mid-burst lazy expiry cannot retire an entry the
+  // probe accepted (timed_out is checked against the same clock).
+  std::vector<MegaflowEntry*> hit(burst.size(), nullptr);
+  std::vector<FieldView> views(burst.size());
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    views[i] = build_field_view(net::parse_packet(burst[i].packet), burst[i].in_port);
+    std::uint32_t scanned = 0;
+    hit[i] = cache_.probe(views[i], now, &scanned);
+    out.results[i].cache_scanned = scanned;
+  }
+
+  // Phase 2: replay hit packets grouped by megaflow entry — one replay
+  // setup per distinct learned program, per-packet emission. Replay
+  // order across groups differs from arrival order; every mutation a
+  // replay performs (flow/bucket counters, idle timestamps) is
+  // commutative at a fixed `now`, so per-packet results are unchanged.
+  std::vector<std::pair<const MegaflowEntry*, std::vector<std::size_t>>> groups;
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    if (hit[i] == nullptr) continue;
+    auto group = std::find_if(groups.begin(), groups.end(),
+                              [&](const auto& g) { return g.first == hit[i]; });
+    if (group == groups.end()) {
+      groups.push_back({hit[i], {}});
+      group = groups.end() - 1;
+    }
+    group->second.push_back(i);
+  }
+  out.replay_groups = static_cast<std::uint32_t>(groups.size());
+  for (const auto& [entry, members] : groups)
+    for (const std::size_t i : members)
+      replay(*entry, burst[i].packet, burst[i].in_port, now, out.results[i]);
+
+  // Phase 3: the residue takes the slow path, in arrival order,
+  // entering with its phase-1 view (nothing rewrote these packets, so
+  // each is parsed once per burst). run_with_view re-probes the cache,
+  // which is how a flow's second packet in the burst hits the megaflow
+  // its first packet just installed.
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    if (hit[i] != nullptr) continue;
+    const std::uint32_t probed = out.results[i].cache_scanned;
+    out.results[i] =
+        run_with_view(std::move(burst[i].packet), burst[i].in_port, now, std::move(views[i]));
+    out.results[i].cache_scanned += probed;  // phase-1 scan work really happened
+  }
+  return out;
 }
 
 std::vector<FlowEntry> Pipeline::collect_expired(sim::SimNanos now) {

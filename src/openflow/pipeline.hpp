@@ -67,11 +67,32 @@ struct PipelineResult {
   /// only the replayed actions — the datapath adds its cache-hit cost
   /// (DatapathCosts::cache_hit_ns) instead of parse + lookup.
   bool cache_hit = false;
+  /// True when this slow-path miss actually installed a megaflow; the
+  /// datapath charges DatapathCosts::cache_insert_ns only then. The
+  /// slow path declines to install when the traversal punted to the
+  /// controller (a packet-in upcall is a slow-path event by nature —
+  /// the controller's answer is about to change the tables anyway).
+  bool cache_installed = false;
   /// Megaflow candidates examined by the tier-2 scan (0 for microflow
   /// hits); the datapath charges DatapathCosts::cache_scan_ns each.
   std::uint32_t cache_scanned = 0;
 
   [[nodiscard]] bool dropped() const { return outputs.empty() && packet_ins.empty(); }
+};
+
+/// One packet of a service burst, in arrival order.
+struct BurstPacket {
+  net::Packet packet;
+  std::uint32_t in_port = 0;
+};
+
+/// Per-packet results of one burst plus the burst-level amortization
+/// facts the datapath bills from.
+struct BurstResult {
+  std::vector<PipelineResult> results;  // one per packet, arrival order
+  /// Distinct megaflow entries replayed: the burst pays one
+  /// DatapathCosts::replay_setup_ns per group, not per packet.
+  std::uint32_t replay_groups = 0;
 };
 
 class Pipeline {
@@ -105,6 +126,17 @@ class Pipeline {
   /// the full traversal (which learns a megaflow when caching is on).
   PipelineResult run(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now);
 
+  /// Run one burst, OVS/DPDK style; consumes it. Phase 1 probes the
+  /// flow cache for every packet; phase 2 groups the hits by megaflow
+  /// entry and replays each learned action program group by group
+  /// (per-packet emission, one replay setup per group); phase 3 sends
+  /// only the residue through run()'s slow path — in arrival order, and
+  /// re-probing, so the second packet of a new flow within one burst
+  /// hits the megaflow the first one installed. Observationally
+  /// identical to running the packets one at a time (the burst
+  /// equivalence property test pins this).
+  BurstResult run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos now);
+
   /// Sweep all tables for expired entries.
   std::vector<FlowEntry> collect_expired(sim::SimNanos now);
 
@@ -123,6 +155,12 @@ class Pipeline {
                                 std::uint32_t in_port, std::uint8_t table_id,
                                 PipelineResult& result, bool& view_dirty, FieldUse* learn,
                                 int depth);
+
+  /// run() body once the packet's FieldView is built — run_burst
+  /// residue packets enter here with their phase-1 view, so a burst
+  /// parses each packet exactly once.
+  PipelineResult run_with_view(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now,
+                               FieldView view);
 
   /// Fast path: replay a cached traversal against `packet`.
   void replay(const MegaflowEntry& entry, net::Packet& packet, std::uint32_t in_port,

@@ -1,5 +1,7 @@
 #include "sim/node.hpp"
 
+#include <algorithm>
+
 #include "util/status.hpp"
 
 namespace harmless::sim {
@@ -58,19 +60,34 @@ void ServicedNode::drain() {
     draining_ = false;
     return;
   }
-  auto [in_port, packet] = std::move(queue_.front());
-  queue_.pop_front();
 
   in_service_ = true;
   pending_out_.clear();
-  const SimNanos cost = service(in_port, std::move(packet));
+  SimNanos cost = 0;
+  if (burst_size_ <= 1) {
+    // Per-packet mode: bit-for-bit the classic single-server queue.
+    auto [in_port, packet] = std::move(queue_.front());
+    queue_.pop_front();
+    cost = service(in_port, std::move(packet));
+  } else {
+    const std::size_t count = std::min(queue_.size(), burst_size_);
+    Burst burst;
+    burst.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      burst.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    cost = service_burst(std::move(burst));
+  }
   in_service_ = false;
+  ++bursts_served_;
 
   busy_ns_ += cost;
   busy_until_ = engine_.now() + cost;
 
-  // Outputs leave when the packet finishes processing; each carries the
-  // compute cost it accrued in its metadata (service() charges it).
+  // Outputs leave when the burst finishes processing (a tx burst);
+  // each carries the compute cost it accrued in its metadata (the
+  // service implementation charges it).
   if (!pending_out_.empty()) {
     auto outputs = std::move(pending_out_);
     pending_out_.clear();

@@ -4,9 +4,14 @@
 // software switches. Ports receive from / transmit into Channels.
 //
 // `ServicedNode` adds the processing model every switching element
-// uses: packets are served one at a time from a bounded FIFO, each
-// taking `service(...)` nanoseconds of simulated compute. That single
-// queue is what turns per-packet costs into throughput limits, so the
+// uses: packets are served from a bounded FIFO in bursts of up to
+// `burst_size` (default 32, OVS/DPDK style), each burst taking
+// `service_burst(...)` nanoseconds of simulated compute; outputs leave
+// when the burst completes (a tx burst). With `burst_size == 1` the
+// node degrades to the classic single-server queue, serving one packet
+// per `service(...)` call — the per-packet datapath of PR 1, kept as
+// the batching ablation baseline. That bounded queue is what turns
+// per-packet (and per-burst) costs into throughput limits, so the
 // relative numbers in E1/E2 come from code, not from constants pasted
 // into benches.
 #pragma once
@@ -81,24 +86,49 @@ class Node {
   std::vector<std::unique_ptr<Port>> ports_;
 };
 
-/// Single-server queueing node (see file comment).
+/// Burst-serviced queueing node (see file comment).
 class ServicedNode : public Node {
  public:
-  ServicedNode(Engine& engine, std::string name, std::size_t queue_capacity = 1024)
-      : Node(engine, std::move(name)), queue_capacity_(queue_capacity) {}
+  /// One (in_port, packet) unit of a service burst, in arrival order.
+  using Burst = std::vector<std::pair<int, net::Packet>>;
+
+  ServicedNode(Engine& engine, std::string name, std::size_t queue_capacity = 1024,
+               std::size_t burst_size = 32)
+      : Node(engine, std::move(name)),
+        queue_capacity_(queue_capacity),
+        burst_size_(burst_size == 0 ? 1 : burst_size) {}
 
   void handle(int in_port, net::Packet&& packet) final;
 
+  /// Maximum packets drained per service burst. 1 = per-packet service
+  /// (the classic single-server queue; `service()` is called directly
+  /// and `service_burst()` never runs).
+  void set_burst_size(std::size_t burst_size) { burst_size_ = burst_size == 0 ? 1 : burst_size; }
+  [[nodiscard]] std::size_t burst_size() const { return burst_size_; }
+
   [[nodiscard]] std::uint64_t queue_drops() const { return queue_drops_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
-  /// Total simulated compute spent in service().
+  /// Total simulated compute spent in service()/service_burst().
   [[nodiscard]] SimNanos busy_ns() const { return busy_ns_; }
+  /// Service bursts drained (equals packets served when burst_size==1).
+  [[nodiscard]] std::uint64_t bursts_served() const { return bursts_served_; }
 
  protected:
   /// Process one packet: mutate/forward it via port(i).send(...) and
   /// return the compute cost in ns. Outputs scheduled inside service()
   /// are delayed by that same cost (they leave when processing ends).
   virtual SimNanos service(int in_port, net::Packet&& packet) = 0;
+
+  /// Process one burst and return its total compute cost. The default
+  /// serves packets one by one through service(), so nodes that never
+  /// override it keep per-packet semantics (costs sum; outputs still
+  /// leave together when the burst completes). SoftSwitch overrides
+  /// this with the batched cache-replay datapath.
+  virtual SimNanos service_burst(Burst&& burst) {
+    SimNanos cost = 0;
+    for (auto& [in_port, packet] : burst) cost += service(in_port, std::move(packet));
+    return cost;
+  }
 
   /// Emit a packet from `out_port` once the current service completes.
   /// Only valid while inside service().
@@ -118,6 +148,7 @@ class ServicedNode : public Node {
   void drain();
 
   std::size_t queue_capacity_;
+  std::size_t burst_size_;
   std::deque<std::pair<int, net::Packet>> queue_;
   std::vector<std::pair<std::size_t, net::Packet>> pending_out_;
   bool draining_ = false;
@@ -125,6 +156,7 @@ class ServicedNode : public Node {
   SimNanos busy_until_ = 0;
   SimNanos busy_ns_ = 0;
   std::uint64_t queue_drops_ = 0;
+  std::uint64_t bursts_served_ = 0;
 };
 
 }  // namespace harmless::sim

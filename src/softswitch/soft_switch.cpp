@@ -8,8 +8,8 @@ using namespace openflow;
 
 SoftSwitch::SoftSwitch(sim::Engine& engine, std::string name, std::uint64_t datapath_id,
                        std::size_t of_port_count, std::size_t table_count, bool specialized,
-                       bool flow_cache)
-    : ServicedNode(engine, std::move(name)),
+                       bool flow_cache, std::size_t burst_size)
+    : ServicedNode(engine, std::move(name), /*queue_capacity=*/1024, burst_size),
       datapath_id_(datapath_id),
       of_port_count_(of_port_count),
       pipeline_(table_count, specialized, flow_cache),
@@ -22,6 +22,7 @@ void SoftSwitch::observe_cache_epoch() {
   const std::uint64_t epoch = pipeline_.cache().epoch();
   counters_.cache_invalidations += epoch - seen_cache_epoch_;
   seen_cache_epoch_ = epoch;
+  counters_.cache_evictions = pipeline_.cache().stats().evictions;
 }
 
 void SoftSwitch::bind_patch(std::uint32_t of_port, SoftSwitch& peer,
@@ -281,6 +282,25 @@ void SoftSwitch::resolve_output(std::uint32_t of_port, std::uint32_t in_of_port,
   }
 }
 
+void SoftSwitch::dispatch_result(PipelineResult& result, std::uint32_t in_of_port,
+                                 sim::SimNanos packet_cost) {
+  if (result.dropped()) ++counters_.drops_no_match;
+  for (auto& [of_port, out_packet] : result.outputs) {
+    out_packet.charge(packet_cost / static_cast<sim::SimNanos>(result.outputs.size()));
+    resolve_output(of_port, in_of_port, std::move(out_packet));
+  }
+  for (PacketInEvent& event : result.packet_ins) {
+    if (channel_ == nullptr) continue;
+    ++counters_.packet_ins;
+    PacketInMsg punt;
+    punt.in_port = event.in_port;
+    punt.table_id = event.table_id;
+    punt.reason = event.reason;
+    punt.packet = std::move(event.packet);
+    channel_->send_to_controller(std::move(punt));
+  }
+}
+
 sim::SimNanos SoftSwitch::service(int in_port, net::Packet&& packet) {
   const std::uint32_t in_of_port = static_cast<std::uint32_t>(in_port) + 1;
   ++counters_.pipeline_runs;
@@ -301,22 +321,59 @@ sim::SimNanos SoftSwitch::service(int in_port, net::Packet&& packet) {
     observe_cache_epoch();
   }
 
-  if (result.dropped()) ++counters_.drops_no_match;
+  dispatch_result(result, in_of_port, cost);
+  return cost;
+}
 
-  for (auto& [of_port, out_packet] : result.outputs) {
-    out_packet.charge(cost / static_cast<sim::SimNanos>(result.outputs.size()));
-    resolve_output(of_port, in_of_port, std::move(out_packet));
+sim::SimNanos SoftSwitch::service_burst(sim::ServicedNode::Burst&& burst) {
+  ++counters_.service_bursts;
+  const std::size_t rx_packets = burst.size();
+
+  // Ingress admission per packet; down ports drop before the pipeline
+  // (they still occupied a slot in the rx burst).
+  std::vector<BurstPacket> items;
+  std::vector<std::uint32_t> in_of_ports;  // parallel to items/results
+  items.reserve(rx_packets);
+  in_of_ports.reserve(rx_packets);
+  for (auto& [in_port, packet] : burst) {
+    const std::uint32_t in_of_port = static_cast<std::uint32_t>(in_port) + 1;
+    ++counters_.pipeline_runs;
+    packet.add_hop();
+    if (!port_up(in_of_port)) {
+      ++counters_.drops_port_down;
+      continue;
+    }
+    items.push_back(BurstPacket{std::move(packet), in_of_port});
+    in_of_ports.push_back(in_of_port);
   }
-  for (PacketInEvent& event : result.packet_ins) {
-    if (channel_ == nullptr) continue;
-    ++counters_.packet_ins;
-    PacketInMsg punt;
-    punt.in_port = event.in_port;
-    punt.table_id = event.table_id;
-    punt.reason = event.reason;
-    punt.packet = std::move(event.packet);
-    channel_->send_to_controller(std::move(punt));
+
+  const bool cache = pipeline_.cache_enabled();
+  BurstResult result = pipeline_.run_burst(std::move(items), engine_.now());
+  const sim::SimNanos cost = costs_.burst_cost_ns(result, cache, rx_packets);
+  counters_.replay_groups += result.replay_groups;
+
+  // Latency metadata: each packet carries its own marginal bill plus an
+  // even share of the burst-level overhead (rx/tx setup, group setups).
+  sim::SimNanos shared_ns = costs_.rx_tx_pkt_ns;
+  if (!result.results.empty()) {
+    sim::SimNanos overhead = costs_.rx_tx_burst_ns;
+    if (cache)
+      overhead += static_cast<sim::SimNanos>(result.replay_groups) * costs_.replay_setup_ns;
+    shared_ns += overhead / static_cast<sim::SimNanos>(result.results.size());
   }
+
+  for (std::size_t i = 0; i < result.results.size(); ++i) {
+    PipelineResult& packet_result = result.results[i];
+    if (cache) {
+      if (packet_result.cache_hit)
+        ++counters_.cache_hits;
+      else
+        ++counters_.cache_misses;
+    }
+    dispatch_result(packet_result, in_of_ports[i],
+                    costs_.marginal_cost_ns(packet_result, cache) + shared_ns);
+  }
+  if (cache) observe_cache_epoch();
   return cost;
 }
 

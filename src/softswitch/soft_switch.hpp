@@ -14,14 +14,25 @@
 // learned megaflow. Flow-mods, group mods, entry expiry and port
 // state changes invalidate cached entries through a shared epoch.
 //
-// The datapath charges simulated nanoseconds per packet: a fixed RX/TX
-// overhead plus, on a cache hit, the flat cache-hit cost and replayed
-// actions, or on a miss the full parse/lookup/action bill the pipeline
-// reports plus the megaflow-insert cost. Defaults model an
-// ESwitch/DPDK-class switch (~10 Mpps/core simple pipelines); the
-// legacy ASIC in legacy_switch.hpp is faster per packet but dumb —
-// that contrast is exactly the trade HARMLESS exploits. All knobs are
-// documented in EXPERIMENTS.md.
+// The datapath is burst-oriented (OVS/DPDK style): the service loop
+// drains up to `burst_size` packets per gulp (default 32) and runs
+// them through Pipeline::run_burst — probe the cache for the whole
+// burst, replay hits grouped by megaflow (one replay setup per group),
+// slow-path only the residue. With burst_size 1 it degrades to the
+// per-packet datapath (the batching ablation baseline).
+//
+// The datapath charges simulated nanoseconds accordingly: per burst, a
+// fixed rx/tx overhead plus a smaller per-packet marginal (their sum
+// at burst size 1 equals the per-packet rx_tx_ns — batching buys the
+// super-linear gain real switches see), a replay setup per distinct
+// megaflow group, and per packet either the flat cache-hit cost plus
+// replayed actions or the full parse/lookup/action bill the pipeline
+// reports plus the megaflow-insert cost (only when a megaflow was
+// actually installed). Defaults model an ESwitch/DPDK-class switch
+// (~10 Mpps/core simple pipelines, per-packet); the legacy ASIC in
+// legacy_switch.hpp is faster per packet but dumb — that contrast is
+// exactly the trade HARMLESS exploits. All knobs are documented in
+// EXPERIMENTS.md.
 //
 // The control side implements the OF session: hello/features, flow and
 // group mods with error replies, packet-in/out, barriers, flow stats,
@@ -41,7 +52,15 @@
 namespace harmless::softswitch {
 
 struct DatapathCosts {
-  sim::SimNanos rx_tx_ns = 55;   // NIC RX + TX per packet (poll-mode driver)
+  sim::SimNanos rx_tx_ns = 55;   // NIC RX + TX per packet (per-packet datapath, burst_size 1)
+  /// Batched rx/tx: one poll-mode rx burst + tx burst costs a fixed
+  /// setup plus a small marginal per packet. Defaults keep the
+  /// identity rx_tx_burst_ns + rx_tx_pkt_ns == rx_tx_ns, so a
+  /// one-packet burst pays what the per-packet datapath pays for rx/tx
+  /// (the batched path still adds its replay_setup_ns — polling for a
+  /// single packet is how batching loses at burst size 1).
+  sim::SimNanos rx_tx_burst_ns = 40;  // fixed per rx/tx burst call
+  sim::SimNanos rx_tx_pkt_ns = 15;    // marginal per packet within a burst
   sim::SimNanos patch_ns = 20;   // patch-port hand-off (one enqueue)
   sim::SimNanos clone_ns = 15;   // per extra copy on flood/group ALL
   /// Flow-cache fast path: one microflow hash probe + key validation,
@@ -51,19 +70,51 @@ struct DatapathCosts {
   /// masked compare, cheaper than a full rule comparison); microflow
   /// hits scan nothing.
   sim::SimNanos cache_scan_ns = 2;
-  /// Megaflow learning on a slow-path miss (build + install the entry).
+  /// Megaflow learning on a slow-path miss that actually installed an
+  /// entry (build + install); punting misses decline to install and
+  /// are not charged (PipelineResult::cache_installed).
   sim::SimNanos cache_insert_ns = 30;
+  /// Fetching one cached action program + setting up its replay
+  /// context. The batched datapath pays this once per distinct
+  /// megaflow group in a burst — the amortization elephants buy.
+  sim::SimNanos replay_setup_ns = 12;
 
-  /// The full per-packet bill for one pipeline result — the single
-  /// source of truth shared by SoftSwitch::service and the capacity
-  /// benches (bench_throughput Table 3).
-  [[nodiscard]] sim::SimNanos packet_cost_ns(const openflow::PipelineResult& result,
-                                             bool cache_enabled) const {
-    sim::SimNanos cost = rx_tx_ns + result.cost_ns;
+  /// Everything but rx/tx for one pipeline result: the pipeline's own
+  /// bill plus the cache accounting.
+  [[nodiscard]] sim::SimNanos marginal_cost_ns(const openflow::PipelineResult& result,
+                                               bool cache_enabled) const {
+    sim::SimNanos cost = result.cost_ns;
     if (cache_enabled) {
       cost += static_cast<sim::SimNanos>(result.cache_scanned) * cache_scan_ns;
-      cost += result.cache_hit ? cache_hit_ns : cache_insert_ns;
+      if (result.cache_hit)
+        cost += cache_hit_ns;
+      else if (result.cache_installed)
+        cost += cache_insert_ns;
     }
+    return cost;
+  }
+
+  /// The full per-packet bill for one pipeline result on the
+  /// per-packet datapath — the single source of truth shared by
+  /// SoftSwitch::service and the capacity benches (bench_throughput
+  /// Table 3).
+  [[nodiscard]] sim::SimNanos packet_cost_ns(const openflow::PipelineResult& result,
+                                             bool cache_enabled) const {
+    return rx_tx_ns + marginal_cost_ns(result, cache_enabled);
+  }
+
+  /// The full bill for one service burst — shared by
+  /// SoftSwitch::service_burst and the burst-sweep bench.
+  /// `rx_packets` is what the rx burst actually pulled (may exceed
+  /// burst.results when ingress-down packets were dropped pre-pipeline).
+  [[nodiscard]] sim::SimNanos burst_cost_ns(const openflow::BurstResult& burst,
+                                            bool cache_enabled, std::size_t rx_packets) const {
+    sim::SimNanos cost =
+        rx_tx_burst_ns + static_cast<sim::SimNanos>(rx_packets) * rx_tx_pkt_ns;
+    if (cache_enabled)
+      cost += static_cast<sim::SimNanos>(burst.replay_groups) * replay_setup_ns;
+    for (const openflow::PipelineResult& result : burst.results)
+      cost += marginal_cost_ns(result, cache_enabled);
     return cost;
   }
 };
@@ -72,7 +123,7 @@ class SoftSwitch : public sim::ServicedNode {
  public:
   SoftSwitch(sim::Engine& engine, std::string name, std::uint64_t datapath_id,
              std::size_t of_port_count, std::size_t table_count = 2, bool specialized = true,
-             bool flow_cache = true);
+             bool flow_cache = true, std::size_t burst_size = 32);
 
   [[nodiscard]] std::uint64_t datapath_id() const { return datapath_id_; }
   [[nodiscard]] std::size_t of_port_count() const { return of_port_count_; }
@@ -110,6 +161,10 @@ class SoftSwitch : public sim::ServicedNode {
     std::uint64_t cache_misses = 0;        // packets that took the slow path
     std::uint64_t cache_invalidations = 0; // epoch bumps observed (flow/group mods,
                                            // expiry, port state changes)
+    std::uint64_t cache_evictions = 0;     // megaflows displaced by CLOCK at capacity
+    // Burst service loop (zero when burst_size is 1):
+    std::uint64_t service_bursts = 0;      // bursts drained by service_burst
+    std::uint64_t replay_groups = 0;       // megaflow groups replayed across bursts
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -118,6 +173,7 @@ class SoftSwitch : public sim::ServicedNode {
 
  protected:
   sim::SimNanos service(int in_port, net::Packet&& packet) override;
+  sim::SimNanos service_burst(sim::ServicedNode::Burst&& burst) override;
   void transmit(std::size_t out_port, net::Packet&& packet) override;
 
  private:
@@ -140,8 +196,13 @@ class SoftSwitch : public sim::ServicedNode {
   openflow::ControlChannel* channel_ = nullptr;
   /// Fold any epoch advance since the last observation into the
   /// cache_invalidations counter (each table/group mutation bumps the
-  /// epoch exactly once).
+  /// epoch exactly once), and mirror the cache's eviction count.
   void observe_cache_epoch();
+  /// Route one pipeline result's outputs and packet-ins out of the
+  /// datapath, charging `packet_cost` across the outputs (shared by the
+  /// per-packet and burst service paths).
+  void dispatch_result(openflow::PipelineResult& result, std::uint32_t in_of_port,
+                       sim::SimNanos packet_cost);
 
   std::unordered_map<std::uint32_t, PatchBinding> patches_;
   std::vector<bool> port_up_;

@@ -141,11 +141,11 @@ TEST(Channel, DownChannelDropsEverything) {
 }
 
 /// A ServicedNode that echoes everything back out the ingress port
-/// with a fixed service time.
+/// with a fixed service time per packet.
 class EchoNode : public ServicedNode {
  public:
-  EchoNode(Engine& engine, SimNanos service_ns)
-      : ServicedNode(engine, "echo", 4), service_ns_(service_ns) {
+  EchoNode(Engine& engine, SimNanos service_ns, std::size_t burst_size = 1)
+      : ServicedNode(engine, "echo", 4, burst_size), service_ns_(service_ns) {
     ensure_ports(1);
   }
   std::vector<SimNanos> service_times;
@@ -163,7 +163,7 @@ class EchoNode : public ServicedNode {
 
 TEST(ServicedNode, SerializesServiceAtFixedRate) {
   Engine engine;
-  EchoNode node(engine, 100);
+  EchoNode node(engine, 100);  // burst_size 1: the classic single server
   // Inject 3 packets at t=0: service starts at 0, 100, 200.
   for (int i = 0; i < 3; ++i) {
     engine.schedule_at(0, [&] { node.handle(0, sized_packet(64)); });
@@ -174,6 +174,45 @@ TEST(ServicedNode, SerializesServiceAtFixedRate) {
   EXPECT_EQ(node.service_times[1], 100);
   EXPECT_EQ(node.service_times[2], 200);
   EXPECT_EQ(node.busy_ns(), 300);
+  EXPECT_EQ(node.bursts_served(), 3u);
+}
+
+TEST(ServicedNode, BurstModeDrainsTheQueueInOneGulp) {
+  Engine engine;
+  EchoNode node(engine, 100, /*burst_size=*/4);
+  std::vector<SimNanos> deliveries;
+  Channel wire(engine, LinkSpec{Rate::gbps(100), 0, 16}, "echo-out");
+  wire.set_sink([&](net::Packet&&) { deliveries.push_back(engine.now()); });
+  node.port(0).attach(&wire);
+
+  for (int i = 0; i < 3; ++i) {
+    engine.schedule_at(0, [&] { node.handle(0, sized_packet(64)); });
+  }
+  engine.run();
+  // One burst serves all 3 back to back at t=0; costs still sum.
+  ASSERT_EQ(node.service_times.size(), 3u);
+  for (const SimNanos at : node.service_times) EXPECT_EQ(at, 0);
+  EXPECT_EQ(node.busy_ns(), 300);
+  EXPECT_EQ(node.bursts_served(), 1u);
+  // Outputs leave together when the burst completes (a tx burst).
+  ASSERT_EQ(deliveries.size(), 3u);
+  for (const SimNanos at : deliveries) EXPECT_GE(at, 300);
+}
+
+TEST(ServicedNode, BurstSizeCapsTheGulp) {
+  Engine engine;
+  EchoNode node(engine, 100, /*burst_size=*/2);
+  engine.schedule_at(0, [&] {
+    for (int i = 0; i < 4; ++i) node.handle(0, sized_packet(64));
+  });
+  engine.run();
+  // 4 packets, bursts of 2: gulps start at 0 and 200.
+  ASSERT_EQ(node.service_times.size(), 4u);
+  EXPECT_EQ(node.service_times[0], 0);
+  EXPECT_EQ(node.service_times[1], 0);
+  EXPECT_EQ(node.service_times[2], 200);
+  EXPECT_EQ(node.service_times[3], 200);
+  EXPECT_EQ(node.bursts_served(), 2u);
 }
 
 TEST(ServicedNode, BoundedQueueDrops) {

@@ -319,21 +319,46 @@ TEST(FlowCache, CacheHitsKeepFlowCountersExact) {
   EXPECT_EQ(pipeline.table(0).counters().matches, 4u);
 }
 
-TEST(FlowCache, CapacityPressureFlushesInsteadOfGrowingUnbounded) {
+TEST(FlowCache, CapacityPressureEvictsInsteadOfGrowingUnbounded) {
   Pipeline pipeline(1);
   FlowCache::Limits limits;
   limits.max_megaflows = 8;
   limits.max_microflows = 64;
   pipeline.cache().set_limits(limits);
   // Each destination MAC is its own megaflow (the rule set is per-dst);
-  // 100 dsts against an 8-entry cache must flush, not grow.
+  // 100 dsts against an 8-entry cache must evict one at a time (CLOCK),
+  // never grow past the limit.
   for (std::uint64_t dst = 1; dst <= 100; ++dst) {
     ASSERT_TRUE(pipeline.table(0).add(l2_entry(dst, 2), 0).is_ok());
   }
   for (std::uint64_t dst = 1; dst <= 100; ++dst)
     (void)pipeline.run(udp_packet(0x777, dst, 5555), 1, 1000 + static_cast<sim::SimNanos>(dst));
   EXPECT_LE(pipeline.cache().megaflow_count(), 8u);
-  EXPECT_GT(pipeline.cache().stats().flushes, 0u);
+  EXPECT_GE(pipeline.cache().stats().evictions, 92u);
+}
+
+TEST(FlowCache, ClockEvictionKeepsElephantsResident) {
+  // An elephant aggregate interleaved with a parade of one-shot mice
+  // through an under-provisioned cache: second-chance eviction must
+  // recycle the mice and keep the elephant's megaflow hitting (the old
+  // wholesale flush cold-started it every ~8 mice).
+  Pipeline pipeline(1);
+  FlowCache::Limits limits;
+  limits.max_megaflows = 8;
+  pipeline.cache().set_limits(limits);
+  for (std::uint64_t dst = 1; dst <= 200; ++dst)
+    ASSERT_TRUE(pipeline.table(0).add(l2_entry(dst, 2), 0).is_ok());
+
+  sim::SimNanos now = 1000;
+  (void)pipeline.run(udp_packet(0x777, 200, 5555), 1, now);  // elephant learns (dst 200)
+  std::uint64_t elephant_misses = 0;
+  for (std::uint64_t mouse = 1; mouse <= 100; ++mouse) {
+    (void)pipeline.run(udp_packet(0x777, mouse, 6000), 1, ++now);  // one-shot mouse
+    auto result = pipeline.run(udp_packet(0x777, 200, 5555), 1, ++now);
+    if (!result.cache_hit) ++elephant_misses;
+  }
+  EXPECT_EQ(elephant_misses, 0u);
+  EXPECT_GT(pipeline.cache().stats().evictions, 0u);
 }
 
 }  // namespace
