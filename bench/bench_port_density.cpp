@@ -27,7 +27,17 @@ struct DensityPoint {
   double delivered_gbps = 0;
   double trunk_utilization = 0;
   double p99_us = 0;
+  std::uint64_t ss1_rxq_drops = 0;  // per-port rx-queue tail drops, summed
+  std::uint64_t ss2_rxq_drops = 0;
+  std::uint64_t unwired_tx_drops = 0;  // frames sent out cable-less ports
 };
+
+/// Sum of unwired-tx drops across a node's ports.
+std::uint64_t sum_unwired(const sim::Node& node) {
+  std::uint64_t drops = 0;
+  for (std::size_t p = 0; p < node.port_count(); ++p) drops += node.port(p).tx_unwired_drops;
+  return drops;
+}
 
 DensityPoint run_density(int host_count, double trunk_gbps, int trunk_count = 1) {
   RigOptions options;
@@ -67,6 +77,12 @@ DensityPoint run_density(int host_count, double trunk_gbps, int trunk_count = 1)
     }
   }
   if (duration_ns > 0) point.trunk_utilization = busiest / duration_ns;
+  // Per-port drops are also summed into the node-wide total (an
+  // invariant scheduler_equivalence_test asserts), so report that.
+  point.ss1_rxq_drops = rig.fabric->ss1().queue_drops();
+  point.ss2_rxq_drops = rig.fabric->ss2().queue_drops();
+  point.unwired_tx_drops = sum_unwired(rig.fabric->ss1()) + sum_unwired(rig.fabric->ss2()) +
+                           sum_unwired(*rig.device);
   return point;
 }
 
@@ -84,14 +100,17 @@ int main() {
     std::cout << "Trunk = " << setup.legs << " x " << setup.gbps << " Gb/s"
               << (setup.legs > 1 ? " (bonded)" : "") << ":\n";
     util::Table table({"busy ports", "offered (Gb/s)", "delivered (Gb/s)", "efficiency",
-                       "trunk util", "p99 (us)"});
+                       "trunk util", "p99 (us)", "ss1 rxq drops", "ss2 rxq drops",
+                       "unwired tx"});
     for (const int hosts : {2, 4, 8, 12, 16, 24, 32, 48}) {
       const DensityPoint point = run_density(hosts, setup.gbps, setup.legs);
       table.add_row({std::to_string(hosts), util::format("%.0f", point.offered_gbps),
                      util::format("%.2f", point.delivered_gbps),
                      util::format("%.0f%%", 100.0 * point.delivered_gbps / point.offered_gbps),
                      util::format("%.0f%%", 100.0 * point.trunk_utilization),
-                     util::format("%.1f", point.p99_us)});
+                     util::format("%.1f", point.p99_us),
+                     std::to_string(point.ss1_rxq_drops), std::to_string(point.ss2_rxq_drops),
+                     std::to_string(point.unwired_tx_drops)});
     }
     std::cout << table.to_string() << '\n';
   }

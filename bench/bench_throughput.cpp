@@ -29,7 +29,15 @@
 //  burst sizes. Batching amortizes the fixed rx/tx overhead and one
 //  replay setup per megaflow group across the burst, so the speedup
 //  grows super-linearly toward an asymptote set by the per-packet
-//  marginal costs: >=1.5x at burst 32 with the defaults.
+//  marginal costs: >=1.5x at burst 32 with the defaults. The burst
+//  bill includes the per-queue rx poll sweep, so burst 1 pays for
+//  polling every port to pull one packet — batching's honest floor.
+//
+//  Table 5 (head-of-line blocking): the per-port RX queue + burst
+//  scheduler redesign, measured. An elephant port overloads the
+//  datapath ~12x while a mouse port asks for 75% of its fair share:
+//  FCFS over the shared buffer collapses the mouse; RR and DRR over
+//  per-port queues hold it at ~100% of demand.
 //
 //  Everything is also written to BENCH_throughput.json so the numbers
 //  are diffable across PRs.
@@ -225,7 +233,8 @@ BatchedRun skewed_capacity_batched(std::size_t burst_size, int hosts, int acl_ru
     BurstResult result = pipeline.run_burst(std::move(burst), now);
     burst.clear();
     burst.reserve(burst_size);
-    total_ns += costs.burst_cost_ns(result, /*cache_enabled=*/true, count);
+    total_ns += costs.burst_cost_ns(result, /*cache_enabled=*/true, count,
+                                    /*queues_polled=*/static_cast<std::size_t>(hosts));
     ++bursts;
     groups += result.replay_groups;
     for (const PipelineResult& packet_result : result.results)
@@ -237,6 +246,60 @@ BatchedRun skewed_capacity_batched(std::size_t burst_size, int hosts, int acl_ru
   run.mpps = 1000.0 / avg_ns;
   run.hit_rate = static_cast<double>(hits) / static_cast<double>(packets);
   run.groups_per_burst = static_cast<double>(groups) / static_cast<double>(bursts);
+  return run;
+}
+
+// ---- Table 5: head-of-line blocking across ports vs the scheduler ----
+
+struct HolRun {
+  double mouse_offered_pps = 0;
+  double mouse_delivered_pps = 0;
+  double mouse_share = 0;  // delivered / offered (offered < fair share)
+  double mouse_p99_us = 0;
+  double elephant_delivered_pps = 0;
+  std::uint64_t mouse_port_drops = 0;
+  std::uint64_t elephant_port_drops = 0;
+};
+
+/// One elephant port saturating the switch ~12x, one mouse port asking
+/// for ~75% of its fair share (capacity / 2 active ports). The
+/// datapath is deliberately slowed (rx_tx_pkt_ns) so the batched
+/// burst-32 loop is the bottleneck, not the 10G wires — this isolates
+/// what the *scheduler* does under compute overload. FCFS runs the
+/// pre-refactor shared buffer; RR/DRR partition it per port.
+HolRun hol_run(sim::SchedulerSpec scheduler, std::size_t port_queue_capacity) {
+  RigOptions options;
+  options.host_count = 4;
+  options.access_link = sim::LinkSpec::gbps(10);
+  options.burst_size = 32;
+  options.scheduler = scheduler;
+  options.port_queue_capacity = port_queue_capacity;
+  NativeRig rig(options);
+  softswitch::DatapathCosts costs;
+  costs.rx_tx_pkt_ns = 600;  // ~1.6 Mpps core: the elephant overloads it
+  rig.datapath->set_costs(costs);
+
+  sim::LatencyRecorder mouse, elephant;
+  rig.hosts[1]->set_recorder(&mouse);
+  rig.hosts[3]->set_recorder(&mouse);
+  rig.hosts[0]->set_recorder(&elephant);
+  rig.hosts[2]->set_recorder(&elephant);
+
+  const sim::SimNanos line = options.access_link.rate.serialization_ns(64);
+  constexpr std::size_t kElephant = 120'000;
+  constexpr std::size_t kMice = 4'000;
+  rig.stream(0, 2, kElephant, 64, line);        // 19.2 Mpps offered
+  rig.stream(1, 3, kMice, 64, line * 32);       // ~0.6 Mpps: 75% of fair share
+  rig.network.run();
+
+  HolRun run;
+  run.mouse_offered_pps = 1e9 / static_cast<double>(line * 32);
+  run.mouse_delivered_pps = measure(mouse, 64).pps;
+  run.mouse_share = static_cast<double>(mouse.completed()) / kMice;
+  run.mouse_p99_us = mouse.latency().p99() / 1000.0;
+  run.elephant_delivered_pps = measure(elephant, 64).pps;
+  run.mouse_port_drops = rig.datapath->rx_queue_drops(2);
+  run.elephant_port_drops = rig.datapath->rx_queue_drops(1);
   return run;
 }
 
@@ -366,6 +429,47 @@ int main() {
                Json::object().set("per_packet_mpps", per_packet.mpps).set("rows", std::move(rows)));
   }
 
+  {
+    std::cout << "Table 5 - head-of-line blocking across ports: an elephant port\n"
+                 "saturating the burst-32 datapath ~12x vs a mouse port asking for 75%\n"
+                 "of its fair share (64B, per-port rx queues, scheduler dimension):\n";
+    util::Table table({"scheduler", "queues", "mouse pps", "of its demand", "p99 (us)",
+                       "elephant pps", "mouse drops", "elephant drops"});
+    Json rows = Json::array();
+    struct Config {
+      sim::SchedulerSpec spec;
+      std::size_t port_queue_capacity;
+      const char* queues;
+    };
+    const Config configs[] = {
+        {{sim::SchedulerKind::kFcfs}, 0, "shared"},  // the pre-refactor datapath
+        {{sim::SchedulerKind::kRoundRobin}, 256, "per-port"},
+        {{sim::SchedulerKind::kDrr}, 256, "per-port"},
+    };
+    for (const Config& config : configs) {
+      const HolRun run = hol_run(config.spec, config.port_queue_capacity);
+      table.add_row({sim::to_string(config.spec.kind), config.queues,
+                     util::si_format(run.mouse_delivered_pps, "pps"),
+                     util::format("%.0f%%", run.mouse_share * 100),
+                     util::format("%.1f", run.mouse_p99_us),
+                     util::si_format(run.elephant_delivered_pps, "pps"),
+                     std::to_string(run.mouse_port_drops),
+                     std::to_string(run.elephant_port_drops)});
+      rows.push(Json::object()
+                    .set("scheduler", sim::to_string(config.spec.kind))
+                    .set("port_queue_capacity", config.port_queue_capacity)
+                    .set("mouse_offered_pps", run.mouse_offered_pps)
+                    .set("mouse_delivered_pps", run.mouse_delivered_pps)
+                    .set("mouse_share_of_demand", run.mouse_share)
+                    .set("mouse_p99_us", run.mouse_p99_us)
+                    .set("elephant_delivered_pps", run.elephant_delivered_pps)
+                    .set("mouse_port_drops", run.mouse_port_drops)
+                    .set("elephant_port_drops", run.elephant_port_drops));
+    }
+    std::cout << table.to_string() << '\n';
+    report.set("hol_blocking", std::move(rows));
+  }
+
   std::cout << "Shape check: Table 2 should read 1.00x across the board (the paper's\n"
                "'no major performance penalty' at access-network rates). Table 1 shows\n"
                "the honest capacity bill: the batched native switch holds the 10G wire\n"
@@ -376,10 +480,16 @@ int main() {
                "cached-vs-uncached speedup growing with ACL size: ~2.2-2.4x on the\n"
                "thin 16-rule ACL, >=3x (~4x) at the realistic 48-rule table — cached\n"
                "cost is flat in rule count, uncached cost is not.\n"
-               "Table 4 should show batching losing slightly at burst 1 (polling\n"
-               "overhead with nothing to amortize), breaking even by burst 2, and\n"
-               ">=1.5x from burst 8 on (~1.8x at 32) as the fixed rx/tx cost and the\n"
-               "per-group replay setup spread across the burst.\n";
+               "Table 4 should show batching losing badly at burst 1 (polling 64\n"
+               "port queues to pull one packet), breaking even around burst 8, and\n"
+               ">=1.5x from burst 32 on as the fixed rx/tx cost, the per-queue poll\n"
+               "sweep and the per-group replay setup spread across the burst.\n"
+               "Table 5 is the scheduler payoff: FCFS over the shared buffer\n"
+               "collapses the mouse port to a sliver of its demand (the elephant's\n"
+               "backlog owns both the buffer and the service order), while RR and\n"
+               "DRR over per-port queues hold it within 5% of what it asked for —\n"
+               "per-port isolation through an overload, the property operators\n"
+               "expect the SDN-fronted box to preserve.\n";
   write_bench_json("BENCH_throughput.json", report);
   return 0;
 }

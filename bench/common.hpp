@@ -143,8 +143,20 @@ struct RigOptions {
   /// Service burst size on the soft switches; 1 = per-packet datapath
   /// (batching ablation knob).
   std::size_t burst_size = 32;
+  /// Burst scheduler across the per-port RX queues (FCFS / RR / DRR).
+  sim::SchedulerSpec scheduler;
+  /// Per-port RX queue bound; 0 = only the shared 1024-packet buffer
+  /// (the historical shared-FIFO admission rule).
+  std::size_t port_queue_capacity = 0;
   /// Bonded trunk legs between the legacy switch and the S4 box.
   int trunk_count = 1;
+
+  [[nodiscard]] sim::IngressSpec ingress() const {
+    sim::IngressSpec spec;
+    spec.port_queue_capacity = port_queue_capacity;
+    spec.scheduler = scheduler;
+    return spec;
+  }
 };
 
 inline net::MacAddr host_mac(int index) {
@@ -226,7 +238,8 @@ struct NativeRig : BaseRig {
   explicit NativeRig(const RigOptions& options = {}) {
     datapath = &network.add_node<softswitch::SoftSwitch>(
         "native-ss", 0xbe, static_cast<std::size_t>(options.host_count), 1,
-        options.specialized_matchers, options.flow_cache, options.burst_size);
+        options.specialized_matchers, options.flow_cache, options.burst_size,
+        options.ingress());
     add_hosts(*datapath, options);
     for (int i = 0; i < options.host_count; ++i) {
       openflow::FlowModMsg mod;
@@ -258,6 +271,7 @@ struct HarmlessRig : BaseRig {
     spec.specialized_matchers = options.specialized_matchers;
     spec.flow_cache = options.flow_cache;
     spec.burst_size = options.burst_size;
+    spec.ingress = options.ingress();
     fabric.emplace(core::Fabric::build(network, *device, *map, spec));
     // Static L2 program on SS_2 (what the learning app would converge to).
     for (int i = 0; i < options.host_count; ++i) {

@@ -52,6 +52,11 @@ int main() {
   core::MigrationRequest request;
   request.access_ports = {1, 2, 3, 4};
   request.trunk_port = 5;
+  // The S4 box's ingress: per-port RX queues arbitrated by byte-fair
+  // deficit round-robin, so no single legacy port can head-of-line
+  // block its neighbours through the soft switches.
+  request.fabric.ingress.scheduler.kind = sim::SchedulerKind::kDrr;
+  request.fabric.ingress.port_queue_capacity = 256;
 
   auto [report, deployment] = manager.migrate(request, ctrl);
   std::cout << report.to_string() << '\n';
@@ -92,9 +97,14 @@ int main() {
               static_cast<unsigned long long>(fabric.ss1().counters().pipeline_runs),
               static_cast<unsigned long long>(fabric.ss2().counters().pipeline_runs),
               static_cast<unsigned long long>(fabric.ss2().counters().packet_ins));
+  std::printf("Ingress: %s over %llu per-port rx queues (SS_2), %llu drops\n",
+              fabric.ss2().scheduler().name(),
+              static_cast<unsigned long long>(fabric.ss2().rx_queue_count()),
+              static_cast<unsigned long long>(fabric.ss2().queue_drops()));
 
   const bool ok = hosts[0]->counters().rx_icmp_echo_reply == 1 &&
-                  hosts[1]->counters().rx_udp == 1;
+                  hosts[1]->counters().rx_udp == 1 &&
+                  fabric.ss1().queue_drops() == 0 && fabric.ss2().queue_drops() == 0;
   std::puts(ok ? "\nquickstart: OK — the legacy switch is now an OpenFlow switch."
                : "\nquickstart: FAILED");
   return ok ? 0 : 1;

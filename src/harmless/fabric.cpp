@@ -9,11 +9,11 @@ Fabric Fabric::build(sim::Network& network, legacy::LegacySwitch& device, const 
   // SS_1: trunk leg (OF 1) + one patch leg per mapping.
   fabric.ss1_ = &network.add_node<softswitch::SoftSwitch>(
       "SS_1", spec.ss1_datapath_id, fabric.map_.ss1_port_count(), /*table_count=*/1,
-      spec.specialized_matchers, spec.flow_cache, spec.burst_size);
+      spec.specialized_matchers, spec.flow_cache, spec.burst_size, spec.ingress);
   // SS_2: one OF port per managed access port.
   fabric.ss2_ = &network.add_node<softswitch::SoftSwitch>(
       "SS_2", spec.ss2_datapath_id, fabric.map_.size(), spec.ss2_tables,
-      spec.specialized_matchers, spec.flow_cache, spec.burst_size);
+      spec.specialized_matchers, spec.flow_cache, spec.burst_size, spec.ingress);
 
   // Trunk cables: one per bonded leg, legacy trunk port i <-> SS_1 OF
   // port (1+i).

@@ -42,6 +42,11 @@ struct FabricSpec {
   /// Service burst size on both soft switches; 1 = the per-packet
   /// datapath (batching ablation knob).
   std::size_t burst_size = 32;
+  /// Ingress queueing on both soft switches: per-port RX queue bounds
+  /// plus the burst scheduler (FCFS / RR / DRR) that picks which ports
+  /// each service burst drains. FCFS over the shared bound == the
+  /// historical shared-FIFO datapath.
+  sim::IngressSpec ingress;
   /// Control channel one-way latency (controller is usually on-box or
   /// one rack away).
   sim::SimNanos control_latency = 50'000;

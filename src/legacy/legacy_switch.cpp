@@ -6,8 +6,10 @@ namespace harmless::legacy {
 
 LegacySwitch::LegacySwitch(sim::Engine& engine, std::string name, SwitchConfig config)
     // burst_size 1: the ASIC forwards per packet at line rate; burst
-    // amortization is a software-datapath technique (SoftSwitch).
-    : ServicedNode(engine, std::move(name), /*queue_capacity=*/1024, /*burst_size=*/1),
+    // amortization is a software-datapath technique (SoftSwitch). The
+    // ingress stays FCFS over per-port queues — store-and-forward
+    // access silicon arbitrates in arrival order.
+    : ServicedNode(engine, std::move(name), sim::IngressSpec{}, /*burst_size=*/1),
       mac_table_(config.mac_aging) {
   apply_config(std::move(config));
 }
@@ -23,6 +25,7 @@ void LegacySwitch::apply_config(SwitchConfig config) {
   int max_port = 0;
   for (const auto& [number, port] : config_.ports) max_port = std::max(max_port, number);
   ensure_ports(static_cast<std::size_t>(max_port));
+  ensure_rx_queues(static_cast<std::size_t>(max_port));
 }
 
 std::optional<LegacySwitch::Classified> LegacySwitch::classify(

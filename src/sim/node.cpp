@@ -37,12 +37,31 @@ const Port& Node::port(std::size_t index) const {
   return *ports_[index];
 }
 
+void ServicedNode::ensure_rx_queues(std::size_t count) {
+  while (rx_queues_.size() < count)
+    rx_queues_.emplace_back(static_cast<int>(rx_queues_.size()));
+}
+
+RxQueue& ServicedNode::rx_queue_for(int in_port) {
+  const auto index = static_cast<std::size_t>(in_port < 0 ? 0 : in_port);
+  ensure_rx_queues(index + 1);
+  return rx_queues_[index];
+}
+
 void ServicedNode::handle(int in_port, net::Packet&& packet) {
-  if (queue_.size() >= queue_capacity_) {
+  RxQueue& queue = rx_queue_for(in_port);
+  // Admission: the shared buffer bound applies always (exactly the
+  // historical shared-FIFO drop rule); the per-port bound, when set,
+  // partitions that buffer so one port's backlog cannot crowd out
+  // another port's admissions.
+  if (total_depth_ >= ingress_.queue_capacity ||
+      (ingress_.port_queue_capacity > 0 && queue.depth() >= ingress_.port_queue_capacity)) {
+    queue.count_drop();
     ++queue_drops_;
     return;
   }
-  queue_.emplace_back(in_port, std::move(packet));
+  queue.push(arrival_seq_++, std::move(packet));
+  ++total_depth_;
   if (!draining_) {
     draining_ = true;
     engine_.schedule_at(std::max(engine_.now(), busy_until_), [this] { drain(); });
@@ -56,27 +75,33 @@ void ServicedNode::emit(std::size_t out_port, net::Packet&& packet) {
 }
 
 void ServicedNode::drain() {
-  if (queue_.empty()) {
+  if (total_depth_ == 0) {
     draining_ = false;
     return;
   }
 
   in_service_ = true;
   pending_out_.clear();
+  // One poll sweep over every RX queue per burst, empty or not — a
+  // batched-datapath cost only; the per-packet mode keeps the flat
+  // rx_tx_ns model and counts no sweeps.
+  queues_polled_ = burst_size_ <= 1 ? 0 : rx_queues_.size();
+  rx_polls_ += queues_polled_;
+
+  // The scheduler picks what this burst serves (budget 1 in per-packet
+  // mode: the classic single-server queue, scheduler-ordered).
+  Burst burst;
+  burst.reserve(std::min(total_depth_, burst_size_));
+  scheduler_->next_burst(rx_queues_, burst_size_, burst);
+  if (burst.empty())
+    throw util::ConfigError(name() + ": scheduler " + scheduler_->name() +
+                            " idled with backlog (work-conserving contract)");
+  total_depth_ -= burst.size();
   SimNanos cost = 0;
   if (burst_size_ <= 1) {
-    // Per-packet mode: bit-for-bit the classic single-server queue.
-    auto [in_port, packet] = std::move(queue_.front());
-    queue_.pop_front();
+    auto& [in_port, packet] = burst.front();
     cost = service(in_port, std::move(packet));
   } else {
-    const std::size_t count = std::min(queue_.size(), burst_size_);
-    Burst burst;
-    burst.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      burst.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
     cost = service_burst(std::move(burst));
   }
   in_service_ = false;

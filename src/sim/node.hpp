@@ -4,20 +4,21 @@
 // software switches. Ports receive from / transmit into Channels.
 //
 // `ServicedNode` adds the processing model every switching element
-// uses: packets are served from a bounded FIFO in bursts of up to
-// `burst_size` (default 32, OVS/DPDK style), each burst taking
-// `service_burst(...)` nanoseconds of simulated compute; outputs leave
-// when the burst completes (a tx burst). With `burst_size == 1` the
-// node degrades to the classic single-server queue, serving one packet
-// per `service(...)` call — the per-packet datapath of PR 1, kept as
-// the batching ablation baseline. That bounded queue is what turns
-// per-packet (and per-burst) costs into throughput limits, so the
-// relative numbers in E1/E2 come from code, not from constants pasted
-// into benches.
+// uses: arriving packets land in one bounded RxQueue per ingress port
+// (sim/scheduler.hpp), and a pluggable BurstScheduler picks which
+// queues each service burst of up to `burst_size` packets drains
+// (FCFS by default — bit-exact with the historical shared FIFO).
+// Each burst takes `service_burst(...)` nanoseconds of simulated
+// compute; outputs leave when the burst completes (a tx burst). With
+// `burst_size == 1` the node degrades to the classic single-server
+// queue, serving one packet per `service(...)` call — the per-packet
+// datapath of PR 1, kept as the batching ablation baseline. The
+// bounded queues are what turn per-packet (and per-burst) costs into
+// throughput limits, so the relative numbers in E1/E2 come from code,
+// not from constants pasted into benches.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <utility>
@@ -26,6 +27,7 @@
 #include "net/packet.hpp"
 #include "sim/event.hpp"
 #include "sim/link.hpp"
+#include "sim/scheduler.hpp"
 #include "util/stats.hpp"
 
 namespace harmless::sim {
@@ -86,17 +88,19 @@ class Node {
   std::vector<std::unique_ptr<Port>> ports_;
 };
 
-/// Burst-serviced queueing node (see file comment).
+/// Burst-serviced queueing node over per-port RX queues (see file
+/// comment).
 class ServicedNode : public Node {
  public:
-  /// One (in_port, packet) unit of a service burst, in arrival order.
-  using Burst = std::vector<std::pair<int, net::Packet>>;
+  /// One (in_port, packet) unit of a service burst, in service order.
+  using Burst = sim::Burst;
 
-  ServicedNode(Engine& engine, std::string name, std::size_t queue_capacity = 1024,
+  ServicedNode(Engine& engine, std::string name, IngressSpec ingress = {},
                std::size_t burst_size = 32)
       : Node(engine, std::move(name)),
-        queue_capacity_(queue_capacity),
-        burst_size_(burst_size == 0 ? 1 : burst_size) {}
+        ingress_(ingress),
+        burst_size_(burst_size == 0 ? 1 : burst_size),
+        scheduler_(make_scheduler(ingress.scheduler)) {}
 
   void handle(int in_port, net::Packet&& packet) final;
 
@@ -106,8 +110,34 @@ class ServicedNode : public Node {
   void set_burst_size(std::size_t burst_size) { burst_size_ = burst_size == 0 ? 1 : burst_size; }
   [[nodiscard]] std::size_t burst_size() const { return burst_size_; }
 
+  /// Swap the burst scheduler (spec form resets cursor/deficit state).
+  void set_scheduler(const SchedulerSpec& spec) {
+    ingress_.scheduler = spec;
+    scheduler_ = make_scheduler(spec);
+  }
+  void set_scheduler(std::unique_ptr<BurstScheduler> scheduler) {
+    if (scheduler != nullptr) scheduler_ = std::move(scheduler);
+  }
+  [[nodiscard]] const BurstScheduler& scheduler() const { return *scheduler_; }
+  [[nodiscard]] const IngressSpec& ingress() const { return ingress_; }
+
+  /// Total tail drops across all port queues (shared-bound and
+  /// per-port-bound drops both count; each is also attributed to the
+  /// arriving port's RxQueue).
   [[nodiscard]] std::uint64_t queue_drops() const { return queue_drops_; }
-  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  /// Total backlog across all port queues.
+  [[nodiscard]] std::size_t queue_depth() const { return total_depth_; }
+
+  /// Per-port RX queue stats (depth, drops, peak depth). Queues are
+  /// created on demand; `rx_queue_count()` is what the poll loop
+  /// sweeps every burst.
+  [[nodiscard]] std::size_t rx_queue_count() const { return rx_queues_.size(); }
+  [[nodiscard]] const RxQueue& rx_queue(std::size_t index) const { return rx_queues_[index]; }
+  /// Cumulative per-queue polls across all service bursts (every burst
+  /// polls every RX queue once, empty or not — poll-mode drivers pay
+  /// for silence too; the datapath charges rx_poll_ns each).
+  [[nodiscard]] std::uint64_t rx_polls() const { return rx_polls_; }
+
   /// Total simulated compute spent in service()/service_burst().
   [[nodiscard]] SimNanos busy_ns() const { return busy_ns_; }
   /// Service bursts drained (equals packets served when burst_size==1).
@@ -137,6 +167,16 @@ class ServicedNode : public Node {
   /// True while service() is executing (emit() is legal).
   [[nodiscard]] bool in_service() const { return in_service_; }
 
+  /// RX queues polled by the burst currently in service (the node's
+  /// whole queue array) — service_burst() implementations bill their
+  /// per-queue poll cost from this.
+  [[nodiscard]] std::size_t queues_polled() const { return queues_polled_; }
+
+  /// Pre-size the RX queue array (one queue per port); queues still
+  /// grow on demand if a packet arrives on a later port. Sizing up
+  /// front makes the per-burst poll bill honest from the first packet.
+  void ensure_rx_queues(std::size_t count);
+
   /// How a completed output leaves the node. Default: the sim port's
   /// channel. SoftSwitch overrides this to divert patch-bound ports
   /// into the peer switch without a wire.
@@ -146,10 +186,16 @@ class ServicedNode : public Node {
 
  private:
   void drain();
+  [[nodiscard]] RxQueue& rx_queue_for(int in_port);
 
-  std::size_t queue_capacity_;
+  IngressSpec ingress_;
   std::size_t burst_size_;
-  std::deque<std::pair<int, net::Packet>> queue_;
+  std::unique_ptr<BurstScheduler> scheduler_;
+  std::vector<RxQueue> rx_queues_;
+  std::size_t total_depth_ = 0;
+  std::uint64_t arrival_seq_ = 0;
+  std::size_t queues_polled_ = 0;
+  std::uint64_t rx_polls_ = 0;
   std::vector<std::pair<std::size_t, net::Packet>> pending_out_;
   bool draining_ = false;
   bool in_service_ = false;

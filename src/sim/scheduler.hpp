@@ -1,0 +1,178 @@
+// sim/scheduler.hpp — per-port RX queues and the pluggable burst
+// scheduler they feed.
+//
+// A ServicedNode owns one bounded RxQueue per ingress port (the
+// software model of a NIC RX ring). Every service burst, a
+// BurstScheduler decides which queues the burst drains and in what
+// order — the seam where head-of-line blocking across ports is won or
+// lost. Three policies ship:
+//
+//   * Fcfs       — global arrival order across all queues. Bit-exact
+//                  with the pre-refactor shared FIFO; the ablation
+//                  baseline (and what an unscheduled datapath does).
+//   * RoundRobin — packet-quantum sweep: up to `rr_quantum_packets`
+//                  per non-empty queue per visit, cursor persists
+//                  across bursts.
+//   * Drr        — deficit round-robin (Shreedhar & Varghese): each
+//                  visited queue banks `drr_quantum_bytes` of credit
+//                  and sends while its head frame fits; byte-fair
+//                  regardless of frame-size mix, so an elephant port
+//                  cannot starve a mouse port.
+//
+// Scheduling state (cursors, deficits) lives in the scheduler object,
+// one per node; the queues themselves belong to the node. The
+// (queue -> burst) hand-off defined here is deliberately the unit a
+// future multi-core datapath gives each worker core.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace harmless::sim {
+
+/// One ingress port's bounded RX queue. Packets are stamped with a
+/// node-global arrival sequence number so FCFS can reconstruct the
+/// exact shared-FIFO order across queues.
+class RxQueue {
+ public:
+  struct Item {
+    std::uint64_t seq;
+    net::Packet packet;
+  };
+
+  explicit RxQueue(int in_port = 0) : in_port_(in_port) {}
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t depth() const { return items_.size(); }
+  [[nodiscard]] const Item& front() const { return items_.front(); }
+  [[nodiscard]] int in_port() const { return in_port_; }
+
+  void push(std::uint64_t seq, net::Packet&& packet) {
+    items_.push_back(Item{seq, std::move(packet)});
+    ++enqueued_;
+    if (items_.size() > peak_depth_) peak_depth_ = items_.size();
+  }
+  net::Packet pop() {
+    net::Packet packet = std::move(items_.front().packet);
+    items_.pop_front();
+    return packet;
+  }
+  void count_drop() { ++drops_; }
+
+  /// Tail drops charged to this port (per-port bound or the shared
+  /// bound — either way the arriving port pays).
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t enqueued() const { return enqueued_; }
+  /// High-water mark of the queue depth over the run.
+  [[nodiscard]] std::size_t peak_depth() const { return peak_depth_; }
+
+ private:
+  int in_port_;
+  std::deque<Item> items_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::size_t peak_depth_ = 0;
+};
+
+/// One (in_port, packet) unit of a service burst, in the order the
+/// scheduler drained them.
+using Burst = std::vector<std::pair<int, net::Packet>>;
+
+enum class SchedulerKind : std::uint8_t { kFcfs, kRoundRobin, kDrr };
+[[nodiscard]] const char* to_string(SchedulerKind kind);
+
+/// Value-type selection of a scheduler, carried by FabricSpec /
+/// RigOptions and turned into a live object with make_scheduler().
+struct SchedulerSpec {
+  SchedulerKind kind = SchedulerKind::kFcfs;
+  /// RoundRobin: packets granted per queue visit.
+  std::size_t rr_quantum_packets = 1;
+  /// Drr: bytes of credit banked per queue visit (one MTU by default,
+  /// the classic choice — one full-size frame per round).
+  std::size_t drr_quantum_bytes = 1500;
+};
+
+/// The pluggable ingress-scheduling API: given the node's per-port
+/// queues and a packet budget, drain the next burst.
+class BurstScheduler {
+ public:
+  virtual ~BurstScheduler() = default;
+  BurstScheduler() = default;
+  BurstScheduler(const BurstScheduler&) = delete;
+  BurstScheduler& operator=(const BurstScheduler&) = delete;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Move up to `budget` packets from `queues` into `out` (appended in
+  /// service order). Must take exactly min(budget, total backlog)
+  /// packets: a scheduler may reorder ports, never idle the datapath
+  /// while work is queued (all shipped policies are work-conserving).
+  virtual void next_burst(std::vector<RxQueue>& queues, std::size_t budget, Burst& out) = 0;
+};
+
+/// Global arrival order (lowest sequence stamp first) — the shared
+/// FIFO of the pre-refactor datapath, reconstructed across queues.
+class FcfsScheduler final : public BurstScheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "fcfs"; }
+  void next_burst(std::vector<RxQueue>& queues, std::size_t budget, Burst& out) override;
+
+ private:
+  std::vector<RxQueue*> backlogged_;  // reused scratch, cleared per burst
+};
+
+/// Packet-quantum sweep with a cursor that persists across bursts.
+class RoundRobinScheduler final : public BurstScheduler {
+ public:
+  explicit RoundRobinScheduler(std::size_t quantum_packets = 1)
+      : quantum_(quantum_packets == 0 ? 1 : quantum_packets) {}
+  [[nodiscard]] const char* name() const override { return "rr"; }
+  void next_burst(std::vector<RxQueue>& queues, std::size_t budget, Burst& out) override;
+
+ private:
+  std::size_t quantum_;
+  std::size_t cursor_ = 0;
+};
+
+/// Byte-quantum deficit round-robin (Shreedhar & Varghese, SIGCOMM
+/// '95): per-queue deficit counters persist across bursts; a queue
+/// that goes empty forfeits its credit, so idle ports cannot bank
+/// bandwidth.
+class DrrScheduler final : public BurstScheduler {
+ public:
+  explicit DrrScheduler(std::size_t quantum_bytes = 1500)
+      : quantum_(quantum_bytes == 0 ? 1 : quantum_bytes) {}
+  [[nodiscard]] const char* name() const override { return "drr"; }
+  void next_burst(std::vector<RxQueue>& queues, std::size_t budget, Burst& out) override;
+
+ private:
+  std::size_t quantum_;
+  std::vector<std::size_t> deficit_;
+  std::size_t cursor_ = 0;
+  /// True when the previous burst's budget ran out mid-visit: the
+  /// cursor queue resumes on its remaining credit without banking a
+  /// fresh quantum.
+  bool mid_visit_ = false;
+};
+
+[[nodiscard]] std::unique_ptr<BurstScheduler> make_scheduler(const SchedulerSpec& spec);
+
+/// Ingress configuration of a ServicedNode: queue bounds plus the
+/// scheduling policy. `queue_capacity` bounds the sum across all port
+/// queues (the shared packet buffer); `port_queue_capacity`, when
+/// non-zero, additionally bounds each port's queue — the partitioned
+/// buffer that lets a scheduler actually isolate ports (with only the
+/// shared bound, an elephant port's backlog crowds out everyone's
+/// admissions no matter how fairly service is scheduled).
+struct IngressSpec {
+  std::size_t queue_capacity = 1024;
+  std::size_t port_queue_capacity = 0;
+  SchedulerSpec scheduler;
+};
+
+}  // namespace harmless::sim

@@ -8,14 +8,17 @@ using namespace openflow;
 
 SoftSwitch::SoftSwitch(sim::Engine& engine, std::string name, std::uint64_t datapath_id,
                        std::size_t of_port_count, std::size_t table_count, bool specialized,
-                       bool flow_cache, std::size_t burst_size)
-    : ServicedNode(engine, std::move(name), /*queue_capacity=*/1024, burst_size),
+                       bool flow_cache, std::size_t burst_size, const sim::IngressSpec& ingress)
+    : ServicedNode(engine, std::move(name), ingress, burst_size),
       datapath_id_(datapath_id),
       of_port_count_(of_port_count),
       pipeline_(table_count, specialized, flow_cache),
       port_up_(of_port_count + 1, true),
       seen_cache_epoch_(pipeline_.cache().epoch()) {
   ensure_ports(of_port_count);
+  // One RX queue per OF port from the start: the poll sweep pays for
+  // every port the switch fronts, busy or idle.
+  ensure_rx_queues(of_port_count);
 }
 
 void SoftSwitch::observe_cache_epoch() {
@@ -349,14 +352,17 @@ sim::SimNanos SoftSwitch::service_burst(sim::ServicedNode::Burst&& burst) {
 
   const bool cache = pipeline_.cache_enabled();
   BurstResult result = pipeline_.run_burst(std::move(items), engine_.now());
-  const sim::SimNanos cost = costs_.burst_cost_ns(result, cache, rx_packets);
+  const sim::SimNanos cost = costs_.burst_cost_ns(result, cache, rx_packets, queues_polled());
   counters_.replay_groups += result.replay_groups;
+  counters_.rx_queue_polls += queues_polled();
 
   // Latency metadata: each packet carries its own marginal bill plus an
-  // even share of the burst-level overhead (rx/tx setup, group setups).
+  // even share of the burst-level overhead (rx/tx setup, the per-queue
+  // poll sweep, group setups).
   sim::SimNanos shared_ns = costs_.rx_tx_pkt_ns;
   if (!result.results.empty()) {
-    sim::SimNanos overhead = costs_.rx_tx_burst_ns;
+    sim::SimNanos overhead =
+        costs_.rx_tx_burst_ns + static_cast<sim::SimNanos>(queues_polled()) * costs_.rx_poll_ns;
     if (cache)
       overhead += static_cast<sim::SimNanos>(result.replay_groups) * costs_.replay_setup_ns;
     shared_ns += overhead / static_cast<sim::SimNanos>(result.results.size());

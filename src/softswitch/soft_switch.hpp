@@ -61,6 +61,11 @@ struct DatapathCosts {
   /// single packet is how batching loses at burst size 1).
   sim::SimNanos rx_tx_burst_ns = 40;  // fixed per rx/tx burst call
   sim::SimNanos rx_tx_pkt_ns = 15;    // marginal per packet within a burst
+  /// Poll-mode rx sweep: every service burst polls every per-port RX
+  /// queue once, empty or not — port density costs cycles even when
+  /// the ports are silent (charged per queue per burst; the per-packet
+  /// burst_size-1 datapath keeps the flat rx_tx_ns instead).
+  sim::SimNanos rx_poll_ns = 2;
   sim::SimNanos patch_ns = 20;   // patch-port hand-off (one enqueue)
   sim::SimNanos clone_ns = 15;   // per extra copy on flood/group ALL
   /// Flow-cache fast path: one microflow hash probe + key validation,
@@ -106,11 +111,15 @@ struct DatapathCosts {
   /// The full bill for one service burst — shared by
   /// SoftSwitch::service_burst and the burst-sweep bench.
   /// `rx_packets` is what the rx burst actually pulled (may exceed
-  /// burst.results when ingress-down packets were dropped pre-pipeline).
+  /// burst.results when ingress-down packets were dropped pre-pipeline);
+  /// `queues_polled` is the per-port RX queues the poll sweep visited
+  /// (all of them, every burst — empty-port polling isn't free).
   [[nodiscard]] sim::SimNanos burst_cost_ns(const openflow::BurstResult& burst,
-                                            bool cache_enabled, std::size_t rx_packets) const {
-    sim::SimNanos cost =
-        rx_tx_burst_ns + static_cast<sim::SimNanos>(rx_packets) * rx_tx_pkt_ns;
+                                            bool cache_enabled, std::size_t rx_packets,
+                                            std::size_t queues_polled) const {
+    sim::SimNanos cost = rx_tx_burst_ns +
+                         static_cast<sim::SimNanos>(queues_polled) * rx_poll_ns +
+                         static_cast<sim::SimNanos>(rx_packets) * rx_tx_pkt_ns;
     if (cache_enabled)
       cost += static_cast<sim::SimNanos>(burst.replay_groups) * replay_setup_ns;
     for (const openflow::PipelineResult& result : burst.results)
@@ -123,7 +132,8 @@ class SoftSwitch : public sim::ServicedNode {
  public:
   SoftSwitch(sim::Engine& engine, std::string name, std::uint64_t datapath_id,
              std::size_t of_port_count, std::size_t table_count = 2, bool specialized = true,
-             bool flow_cache = true, std::size_t burst_size = 32);
+             bool flow_cache = true, std::size_t burst_size = 32,
+             const sim::IngressSpec& ingress = {});
 
   [[nodiscard]] std::uint64_t datapath_id() const { return datapath_id_; }
   [[nodiscard]] std::size_t of_port_count() const { return of_port_count_; }
@@ -165,8 +175,23 @@ class SoftSwitch : public sim::ServicedNode {
     // Burst service loop (zero when burst_size is 1):
     std::uint64_t service_bursts = 0;      // bursts drained by service_burst
     std::uint64_t replay_groups = 0;       // megaflow groups replayed across bursts
+    std::uint64_t rx_queue_polls = 0;      // per-port RX queues polled across bursts
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Per-OF-port ingress queue stats (of_port is 1-based, like every
+  /// OF-facing API here). Depth is the live backlog; drops and peak
+  /// depth are cumulative — the per-port numbers the bench tables and
+  /// the DRR isolation tests assert on.
+  [[nodiscard]] std::size_t rx_queue_depth(std::uint32_t of_port) const {
+    return of_port >= 1 && of_port <= rx_queue_count() ? rx_queue(of_port - 1).depth() : 0;
+  }
+  [[nodiscard]] std::uint64_t rx_queue_drops(std::uint32_t of_port) const {
+    return of_port >= 1 && of_port <= rx_queue_count() ? rx_queue(of_port - 1).drops() : 0;
+  }
+  [[nodiscard]] std::size_t rx_queue_peak_depth(std::uint32_t of_port) const {
+    return of_port >= 1 && of_port <= rx_queue_count() ? rx_queue(of_port - 1).peak_depth() : 0;
+  }
 
   void set_costs(const DatapathCosts& costs) { costs_ = costs; }
   [[nodiscard]] const DatapathCosts& costs() const { return costs_; }

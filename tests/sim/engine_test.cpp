@@ -2,6 +2,8 @@
 // single-server queue of ServicedNode.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "net/build.hpp"
 #include "sim/event.hpp"
 #include "sim/link.hpp"
@@ -144,15 +146,18 @@ TEST(Channel, DownChannelDropsEverything) {
 /// with a fixed service time per packet.
 class EchoNode : public ServicedNode {
  public:
-  EchoNode(Engine& engine, SimNanos service_ns, std::size_t burst_size = 1)
-      : ServicedNode(engine, "echo", 4, burst_size), service_ns_(service_ns) {
+  EchoNode(Engine& engine, SimNanos service_ns, std::size_t burst_size = 1,
+           IngressSpec ingress = IngressSpec{.queue_capacity = 4})
+      : ServicedNode(engine, "echo", ingress, burst_size), service_ns_(service_ns) {
     ensure_ports(1);
   }
   std::vector<SimNanos> service_times;
+  std::function<void(int)> on_service;
 
  protected:
   SimNanos service(int in_port, net::Packet&& packet) override {
     service_times.push_back(engine_.now());
+    if (on_service) on_service(in_port);
     emit(static_cast<std::size_t>(in_port), std::move(packet));
     return service_ns_;
   }
@@ -237,6 +242,75 @@ TEST(ServicedNode, EmitOutsideServiceThrows) {
   } node(engine);
   net::Packet packet = sized_packet(64);
   EXPECT_THROW(node.emit(0, std::move(packet)), util::ConfigError);
+}
+
+TEST(ServicedNode, RoundRobinSweepsPortsInsteadOfArrivalOrder) {
+  Engine engine;
+  IngressSpec ingress;
+  ingress.queue_capacity = 64;
+  ingress.scheduler.kind = SchedulerKind::kRoundRobin;
+  EchoNode node(engine, 10, /*burst_size=*/8, ingress);
+  node.ensure_ports(2);
+  std::vector<int> served;
+
+  // 4 packets on port 0, then 2 on port 1, all before the drain runs:
+  // FCFS would serve 0,0,0,0,1,1 — RR must alternate while both
+  // queues are backlogged.
+  engine.schedule_at(0, [&] {
+    for (int i = 0; i < 4; ++i) node.handle(0, sized_packet(64));
+    for (int i = 0; i < 2; ++i) node.handle(1, sized_packet(64));
+  });
+  node.on_service = [&](int in_port) { served.push_back(in_port); };
+  engine.run();
+  EXPECT_EQ(served, (std::vector<int>{0, 1, 0, 1, 0, 0}));
+  EXPECT_EQ(node.bursts_served(), 1u);
+}
+
+TEST(ServicedNode, DrrSharesBytesNotPackets) {
+  Engine engine;
+  IngressSpec ingress;
+  ingress.queue_capacity = 64;
+  ingress.scheduler.kind = SchedulerKind::kDrr;
+  ingress.scheduler.drr_quantum_bytes = 1500;
+  EchoNode node(engine, 10, /*burst_size=*/32, ingress);
+  node.ensure_ports(2);
+  std::vector<int> served;
+
+  // Port 0 queues 1500B hogs, port 1 queues 100B mice. A packet-fair
+  // sweep would alternate 1:1; byte-fair DRR grants port 1 one MTU of
+  // credit per visit — enough for many mice per hog.
+  engine.schedule_at(0, [&] {
+    for (int i = 0; i < 4; ++i) node.handle(0, sized_packet(1500));
+    for (int i = 0; i < 20; ++i) node.handle(1, sized_packet(100));
+  });
+  node.on_service = [&](int in_port) { served.push_back(in_port); };
+  engine.run();
+  ASSERT_EQ(served.size(), 24u);
+  // First round: one 1500B from port 0, then 15 x 100B from port 1.
+  std::size_t port1_in_first_16 = 0;
+  for (std::size_t i = 0; i < 16; ++i) port1_in_first_16 += served[i] == 1 ? 1 : 0;
+  EXPECT_EQ(served[0], 0);
+  EXPECT_EQ(port1_in_first_16, 15u);
+}
+
+TEST(ServicedNode, PerPortBoundAttributesDropsToTheArrivingPort) {
+  Engine engine;
+  IngressSpec ingress;
+  ingress.queue_capacity = 64;
+  ingress.port_queue_capacity = 2;
+  EchoNode node(engine, 100, /*burst_size=*/1, ingress);
+  node.ensure_ports(2);
+  engine.schedule_at(0, [&] {
+    for (int i = 0; i < 10; ++i) node.handle(0, sized_packet(64));
+    node.handle(1, sized_packet(64));
+  });
+  engine.run();
+  // Port 0 admits 2, drops 8; port 1's single packet is untouched.
+  EXPECT_EQ(node.queue_drops(), 8u);
+  EXPECT_EQ(node.rx_queue(0).drops(), 8u);
+  EXPECT_EQ(node.rx_queue(1).drops(), 0u);
+  EXPECT_EQ(node.service_times.size(), 3u);
+  EXPECT_EQ(node.rx_queue(0).peak_depth(), 2u);
 }
 
 TEST(Node, PortOutOfRangeThrows) {

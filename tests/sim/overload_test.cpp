@@ -70,6 +70,62 @@ TEST(Overload, BatchedDatapathAbsorbsTheSameFeed) {
   EXPECT_GT(bench::measure(recorder, 64).pps, 17e6);
 }
 
+struct IsolationRun {
+  std::uint64_t mouse_completed = 0;
+  std::uint64_t mouse_port_drops = 0;     // rx-queue tail drops on the mouse's port
+  std::uint64_t elephant_port_drops = 0;  // ditto on the elephant's port
+};
+
+/// Elephant on OF port 1 saturating the per-packet datapath ~1.6x,
+/// mouse flow on OF port 2 at ~5% of line rate.
+IsolationRun isolation_run(sim::SchedulerSpec scheduler, std::size_t port_queue_capacity) {
+  RigOptions options;
+  options.host_count = 4;
+  options.access_link = sim::LinkSpec::gbps(10);
+  options.burst_size = 1;  // the CPU-bound per-packet datapath: overload is real
+  options.scheduler = scheduler;
+  options.port_queue_capacity = port_queue_capacity;
+  NativeRig rig(options);
+  sim::LatencyRecorder mouse;
+  rig.hosts[1]->set_recorder(&mouse);
+  rig.hosts[3]->set_recorder(&mouse);
+
+  constexpr std::size_t kElephant = 40'000;
+  constexpr std::size_t kMice = 2'000;
+  const sim::SimNanos line = options.access_link.rate.serialization_ns(64);
+  rig.stream(0, 2, kElephant, 64, line);       // 19 Mpps offered, ~12 Mpps served
+  rig.stream(1, 3, kMice, 64, line * 20);      // 5% of line: well under fair share
+  rig.network.run();
+
+  IsolationRun run;
+  run.mouse_completed = mouse.completed();
+  run.mouse_port_drops = rig.datapath->rx_queue_drops(2);
+  run.elephant_port_drops = rig.datapath->rx_queue_drops(1);
+  return run;
+}
+
+TEST(Overload, DrrIsolatesTheMousePortFromAnElephantOverload) {
+  // The pre-refactor datapath (FCFS over the shared 1024-packet
+  // buffer): the elephant's backlog owns the whole buffer, so the
+  // mouse's packets tail-drop at admission even though the mouse asks
+  // for 5% of capacity — head-of-line blocking as buffer monopoly.
+  const IsolationRun fcfs = isolation_run({sim::SchedulerKind::kFcfs},
+                                          /*port_queue_capacity=*/0);
+  EXPECT_GT(fcfs.mouse_port_drops, 200u);
+  EXPECT_LT(fcfs.mouse_completed, 2'000u);
+  EXPECT_EQ(fcfs.mouse_completed + fcfs.mouse_port_drops, 2'000u);  // every loss accounted
+
+  // DRR over per-port bounded queues: the elephant can only occupy its
+  // own 256-slot queue, the mouse's queue stays near-empty, and its
+  // flow rides through lossless while the elephant keeps tail-dropping
+  // on its own port.
+  const IsolationRun drr = isolation_run({sim::SchedulerKind::kDrr},
+                                         /*port_queue_capacity=*/256);
+  EXPECT_EQ(drr.mouse_port_drops, 0u);
+  EXPECT_EQ(drr.mouse_completed, 2'000u);
+  EXPECT_GT(drr.elephant_port_drops, 10'000u);
+}
+
 TEST(Overload, TrunkQueueIsTheBottleneckWhenOversubscribed) {
   // 4 hosts at 1G into a 2G trunk: the trunk serializer must be the
   // drop point; the switches themselves keep up.
