@@ -39,8 +39,18 @@
 //  FCFS over the shared buffer collapses the mouse; RR and DRR over
 //  per-port queues hold it at ~100% of demand.
 //
+//  Table 6 (cache scaling): the dpcls-style per-mask subtable
+//  classifier vs the linear-scan ablation as the megaflow population
+//  grows 64 -> 4096 on a skewed multi-mask workload. Linear tier-2
+//  cost is O(#megaflows) and degrades super-linearly with population;
+//  subtable cost is O(#subtables) with hit-ranked probing, so it stays
+//  flat and resolves skewed traffic in <2 hashed probes per tier-2
+//  lookup.
+//
 //  Everything is also written to BENCH_throughput.json so the numbers
-//  are diffable across PRs.
+//  are diffable across PRs. `--quick` shrinks every sweep to a smoke
+//  run (the CI bench job uses it to keep perf evidence executable
+//  without paying the full sweep).
 #include <cmath>
 #include <iostream>
 
@@ -54,7 +64,7 @@ using namespace harmless::bench;
 
 namespace {
 
-constexpr std::size_t kTrialPackets = 4'000;
+std::size_t kTrialPackets = 4'000;  // --quick shrinks it (and every sweep)
 constexpr double kLossBudget = 0.005;  // 0.5%
 
 /// Offered fraction of line rate -> measured loss ratio.
@@ -286,8 +296,8 @@ HolRun hol_run(sim::SchedulerSpec scheduler, std::size_t port_queue_capacity) {
   rig.hosts[2]->set_recorder(&elephant);
 
   const sim::SimNanos line = options.access_link.rate.serialization_ns(64);
-  constexpr std::size_t kElephant = 120'000;
-  constexpr std::size_t kMice = 4'000;
+  const std::size_t kElephant = kTrialPackets * 30;
+  const std::size_t kMice = kTrialPackets;
   rig.stream(0, 2, kElephant, 64, line);        // 19.2 Mpps offered
   rig.stream(1, 3, kMice, 64, line * 32);       // ~0.6 Mpps: 75% of fair share
   rig.network.run();
@@ -303,12 +313,135 @@ HolRun hol_run(sim::SchedulerSpec scheduler, std::size_t port_queue_capacity) {
   return run;
 }
 
+// ---- Table 6: megaflow classifier scaling (dpcls subtables vs linear) ----
+
+struct ScalingRun {
+  double mpps = 0;          // CPU-bound capacity, steady state
+  double probes_per_t2 = 0; // tier-2 work units per tier-2 lookup
+  double hit_rate = 0;
+  std::size_t megaflows = 0;
+  std::size_t subtables = 0;
+};
+
+/// Skewed multi-mask workload against a warmed cache of `flows`
+/// megaflows spread over `mask_classes` distinct mask signatures
+/// (disjoint ip_dst prefixes of different lengths in table 0, exact L2
+/// in table 1). Hot five-tuples stay on tier 1; the mice tail churns
+/// sports so every mouse is a tier-2 lookup, 80% of them inside mask
+/// class 0 — the skew the hit-ranked probe order exploits. The linear
+/// ablation pays one masked compare per resident megaflow instead
+/// (cache_scan_ns vs cache_subtable_ns, as the datapath bills them).
+ScalingRun cache_scaling(bool linear, int flows, int mask_classes, std::size_t packets) {
+  using namespace openflow;
+  Pipeline pipeline(/*table_count=*/2, /*specialized=*/true, /*flow_cache=*/true);
+  pipeline.cache().set_linear_scan(linear);
+  FlowCache::Limits limits;
+  limits.max_megaflows = 8192;  // population, not capacity, is the variable
+  limits.max_microflows = 1u << 16;
+  pipeline.cache().set_limits(limits);
+  softswitch::DatapathCosts costs;
+  util::Rng rng(11);
+
+  // Table 0: one disjoint ip_dst prefix per mask class, each with a
+  // distinct prefix length -> distinct megaflow mask signature.
+  for (int k = 0; k < mask_classes; ++k) {
+    FlowEntry entry;
+    entry.priority = 20;
+    entry.match.eth_type(0x0800).ip_dst_prefix(
+        net::Ipv4Addr(static_cast<std::uint32_t>(10 + k) << 24), 9 + k);
+    entry.instructions = apply_then_goto({}, 1);
+    pipeline.table(0).add(std::move(entry), 0).check();
+  }
+  FlowEntry to_l2;
+  to_l2.priority = 1;
+  to_l2.instructions = apply_then_goto({}, 1);
+  pipeline.table(0).add(std::move(to_l2), 0).check();
+  for (int f = 0; f < flows; ++f) {
+    FlowEntry entry;
+    entry.priority = 10;
+    entry.match.eth_dst(host_mac(f));
+    entry.instructions = apply({openflow::output(static_cast<std::uint32_t>(1 + f % 16))});
+    pipeline.table(1).add(std::move(entry), 0).check();
+  }
+
+  auto flow_packet = [&](int f, std::uint16_t sport) {
+    const int k = f % mask_classes;
+    net::FlowKey key;
+    key.eth_src = host_mac(f % 16);
+    key.eth_dst = host_mac(f);
+    key.ip_src = host_ip(f % 16);
+    key.ip_dst = net::Ipv4Addr((static_cast<std::uint32_t>(10 + k) << 24) |
+                               (static_cast<std::uint32_t>(f) & 0xffff));
+    key.src_port = sport;
+    key.dst_port = 443;
+    return net::make_udp(key, 64);
+  };
+
+  // Warm the cache to full population (one slow path per flow); the
+  // warmup is not billed — Table 6 measures steady-state lookup cost.
+  sim::SimNanos now = 0;
+  for (int f = 0; f < flows; ++f)
+    (void)pipeline.run(flow_packet(f, 9), 1, now += 100);
+  const FlowCache::Stats warm = pipeline.cache().stats();
+
+  sim::SimNanos total_ns = 0;
+  std::uint64_t hits = 0, scanned = 0;
+  for (std::size_t i = 0; i < packets; ++i) {
+    int f;
+    std::uint16_t sport;
+    if (rng.chance(0.9)) {  // hot tier-1 five-tuples, all in class 0
+      f = static_cast<int>(rng.below(8)) * mask_classes % flows;
+      sport = static_cast<std::uint16_t>(10'000 + f);
+    } else if (rng.chance(0.8)) {  // mice skewed into mask class 0
+      f = static_cast<int>(rng.below(static_cast<std::uint64_t>(flows / mask_classes))) *
+          mask_classes;
+      sport = static_cast<std::uint16_t>(1024 + rng.below(40'000));
+    } else {  // uniform mice across every mask class
+      f = static_cast<int>(rng.below(static_cast<std::uint64_t>(flows)));
+      sport = static_cast<std::uint16_t>(1024 + rng.below(40'000));
+    }
+    auto result = pipeline.run(flow_packet(f, sport), 1, now += 100);
+    total_ns += costs.packet_cost_ns(result, /*cache_enabled=*/true);
+    scanned += result.cache_scanned;
+    if (result.cache_hit) ++hits;
+  }
+
+  const FlowCache::Stats& stats = pipeline.cache().stats();
+  const std::uint64_t t2 = (stats.megaflow_hits - warm.megaflow_hits) +
+                           (stats.misses - warm.misses);
+  ScalingRun run;
+  run.mpps = 1000.0 * static_cast<double>(packets) / static_cast<double>(total_ns);
+  run.probes_per_t2 = t2 == 0 ? 0 : static_cast<double>(scanned) / static_cast<double>(t2);
+  run.hit_rate = static_cast<double>(hits) / static_cast<double>(packets);
+  run.megaflows = pipeline.cache().megaflow_count();
+  run.subtables = pipeline.cache().subtable_count();
+  return run;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --quick: the CI smoke configuration — every sweep shrunk so the
+  // whole bench (and its JSON artifact) runs in seconds. The committed
+  // BENCH_throughput.json always comes from a full run.
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  if (quick) kTrialPackets = 1'000;
+  const std::vector<std::size_t> frame_sizes =
+      quick ? std::vector<std::size_t>{64, 512}
+            : std::vector<std::size_t>{64, 128, 256, 512, 1024, 1500};
+  const std::vector<int> cache_hosts = quick ? std::vector<int>{16} : std::vector<int>{16, 64};
+  const std::vector<int> cache_acls = quick ? std::vector<int>{16} : std::vector<int>{16, 48};
+  const std::vector<std::size_t> burst_sizes =
+      quick ? std::vector<std::size_t>{1, 32}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64, 128};
+  const std::vector<int> scaling_populations =
+      quick ? std::vector<int>{64, 512} : std::vector<int>{64, 256, 1024, 4096};
+  const std::size_t skew_packets = quick ? 30'000 : 200'000;
+  const std::size_t scaling_packets = quick ? 30'000 : 120'000;
+
   std::cout << "E1 - throughput: legacy vs native software switch vs HARMLESS\n"
             << "(unidirectional h1->h2, preinstalled L2 state, " << kTrialPackets
-            << " packets per trial)\n\n";
+            << " packets per trial" << (quick ? ", QUICK mode" : "") << ")\n\n";
   Json report = Json::object();
 
   {
@@ -319,7 +452,7 @@ int main() {
     util::Table table({"frame", "legacy (pps)", "native SS (pps)", "HARMLESS (pps)",
                        "HARMLESS (Gb/s)", "vs legacy", "vs native"});
     Json rows = Json::array();
-    for (const std::size_t frame_size : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
+    for (const std::size_t frame_size : frame_sizes) {
       const double legacy_pps = ndr_pps<LegacyRig>(options, frame_size);
       const double native_pps = ndr_pps<NativeRig>(options, frame_size);
       const double harmless_pps = ndr_pps<HarmlessRig>(options, frame_size);
@@ -346,7 +479,7 @@ int main() {
     util::Table table({"frame", "legacy (pps)", "native SS (pps)", "HARMLESS (pps)",
                        "HARMLESS (Gb/s)", "vs legacy", "vs native"});
     Json rows = Json::array();
-    for (const std::size_t frame_size : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
+    for (const std::size_t frame_size : frame_sizes) {
       const Throughput legacy_tp = delivered_at_line<LegacyRig>(options, frame_size);
       const Throughput native_tp = delivered_at_line<NativeRig>(options, frame_size);
       const Throughput harmless_tp = delivered_at_line<HarmlessRig>(options, frame_size);
@@ -369,14 +502,14 @@ int main() {
   {
     std::cout << "Table 3 - flow-cache fast path: CPU-bound soft-switch capacity on a\n"
                  "skewed elephant-flow workload (90% of packets from 8 five-tuples,\n"
-                 "64B frames, prefix-ACL + exact-L2 pipeline, 200k packets):\n";
+                 "64B frames, prefix-ACL + exact-L2 pipeline):\n";
     util::Table table({"hosts", "ACL rules", "cache", "sim Mpps", "hit rate",
                        "microflow share", "megaflows", "speedup"});
     Json rows = Json::array();
-    for (const int hosts : {16, 64}) {
-      for (const int acl_rules : {16, 48}) {
-        const CacheRun off = skewed_capacity(false, hosts, acl_rules, 200'000);
-        const CacheRun on = skewed_capacity(true, hosts, acl_rules, 200'000);
+    for (const int hosts : cache_hosts) {
+      for (const int acl_rules : cache_acls) {
+        const CacheRun off = skewed_capacity(false, hosts, acl_rules, skew_packets);
+        const CacheRun on = skewed_capacity(true, hosts, acl_rules, skew_packets);
         table.add_row({std::to_string(hosts), std::to_string(acl_rules), "off",
                        util::format("%.2f", off.mpps), "-", "-", "-", "1.00x"});
         table.add_row({std::to_string(hosts), std::to_string(acl_rules), "on",
@@ -403,7 +536,7 @@ int main() {
   {
     constexpr int kHosts = 64;
     constexpr int kAclRules = 48;
-    constexpr std::size_t kPackets = 200'000;
+    const std::size_t kPackets = skew_packets;
     const CacheRun per_packet = skewed_capacity(true, kHosts, kAclRules, kPackets);
     std::cout << "Table 4 - burst amortization: batched vs per-packet datapath on the\n"
                  "skewed elephant-flow workload (" << kHosts << " hosts, " << kAclRules
@@ -411,7 +544,7 @@ int main() {
               << util::format("%.2f", per_packet.mpps) << " Mpps):\n";
     util::Table table({"burst", "sim Mpps", "hit rate", "groups/burst", "vs per-packet"});
     Json rows = Json::array();
-    for (const std::size_t burst : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    for (const std::size_t burst : burst_sizes) {
       const BatchedRun run = skewed_capacity_batched(burst, kHosts, kAclRules, kPackets);
       table.add_row({std::to_string(burst), util::format("%.2f", run.mpps),
                      util::format("%.1f%%", run.hit_rate * 100),
@@ -470,6 +603,43 @@ int main() {
     report.set("hol_blocking", std::move(rows));
   }
 
+  {
+    std::cout << "Table 6 - cache scaling: dpcls-style per-mask subtables vs the\n"
+                 "linear-scan ablation as the megaflow population grows (skewed\n"
+                 "multi-mask workload: 90% hot tier-1 five-tuples, mice tail 80%\n"
+                 "inside mask class 0, steady state after warmup):\n";
+    util::Table table({"megaflows", "masks", "subtables", "linear Mpps", "dpcls Mpps",
+                       "speedup", "scans/t2 (linear)", "probes/t2 (dpcls)"});
+    Json rows = Json::array();
+    for (const int flows : scaling_populations) {
+      for (const int mask_classes : {1, 8}) {
+        const ScalingRun linear =
+            cache_scaling(/*linear=*/true, flows, mask_classes, scaling_packets);
+        const ScalingRun dpcls =
+            cache_scaling(/*linear=*/false, flows, mask_classes, scaling_packets);
+        table.add_row({std::to_string(dpcls.megaflows), std::to_string(mask_classes),
+                       std::to_string(dpcls.subtables), util::format("%.2f", linear.mpps),
+                       util::format("%.2f", dpcls.mpps),
+                       util::format("%.2fx", dpcls.mpps / linear.mpps),
+                       util::format("%.1f", linear.probes_per_t2),
+                       util::format("%.2f", dpcls.probes_per_t2)});
+        rows.push(Json::object()
+                      .set("population", flows)
+                      .set("mask_classes", mask_classes)
+                      .set("megaflows", dpcls.megaflows)
+                      .set("subtables", dpcls.subtables)
+                      .set("linear_mpps", linear.mpps)
+                      .set("dpcls_mpps", dpcls.mpps)
+                      .set("speedup", dpcls.mpps / linear.mpps)
+                      .set("linear_scans_per_t2", linear.probes_per_t2)
+                      .set("dpcls_probes_per_t2", dpcls.probes_per_t2)
+                      .set("hit_rate", dpcls.hit_rate));
+      }
+    }
+    std::cout << table.to_string() << '\n';
+    report.set("cache_scaling", std::move(rows));
+  }
+
   std::cout << "Shape check: Table 2 should read 1.00x across the board (the paper's\n"
                "'no major performance penalty' at access-network rates). Table 1 shows\n"
                "the honest capacity bill: the batched native switch holds the 10G wire\n"
@@ -489,7 +659,13 @@ int main() {
                "backlog owns both the buffer and the service order), while RR and\n"
                "DRR over per-port queues hold it within 5% of what it asked for —\n"
                "per-port isolation through an overload, the property operators\n"
-               "expect the SDN-fronted box to preserve.\n";
+               "expect the SDN-fronted box to preserve.\n"
+               "Table 6 is the classifier payoff: linear tier-2 cost grows with the\n"
+               "resident megaflow population (super-linear Mpps decay, thousands of\n"
+               "masked compares per tier-2 lookup at 4096 entries), while the\n"
+               "subtable classifier stays flat (+-2x across 64 -> 4096) and the\n"
+               "hit-ranked probe order resolves the skewed tail in <2 hashed probes\n"
+               "per tier-2 lookup regardless of mask diversity.\n";
   write_bench_json("BENCH_throughput.json", report);
   return 0;
 }

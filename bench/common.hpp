@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <type_traits>
@@ -127,9 +128,16 @@ class Json {
 };
 
 /// Write `json` to `path` (and say so on stdout, next to the tables).
+/// A failed write exits non-zero: the artifact is the bench's whole
+/// point, and the CI smoke job keys off this exit code.
 inline void write_bench_json(const std::string& path, const Json& json) {
   std::ofstream out(path);
   out << json.dump() << '\n';
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "FAILED to write %s\n", path.c_str());
+    std::exit(1);
+  }
   std::printf("wrote %s\n", path.c_str());
 }
 
@@ -140,6 +148,9 @@ struct RigOptions {
   bool specialized_matchers = true;
   /// Two-tier flow cache on the soft switches (ablation knob).
   bool flow_cache = true;
+  /// Megaflow tier probed by the pre-classifier linear scan instead of
+  /// the dpcls-style per-mask subtables (ablation knob).
+  bool cache_linear_scan = false;
   /// Service burst size on the soft switches; 1 = per-packet datapath
   /// (batching ablation knob).
   std::size_t burst_size = 32;
@@ -240,6 +251,7 @@ struct NativeRig : BaseRig {
         "native-ss", 0xbe, static_cast<std::size_t>(options.host_count), 1,
         options.specialized_matchers, options.flow_cache, options.burst_size,
         options.ingress());
+    datapath->pipeline().cache().set_linear_scan(options.cache_linear_scan);
     add_hosts(*datapath, options);
     for (int i = 0; i < options.host_count; ++i) {
       openflow::FlowModMsg mod;
@@ -270,6 +282,7 @@ struct HarmlessRig : BaseRig {
     spec.trunk_link = options.trunk_link;
     spec.specialized_matchers = options.specialized_matchers;
     spec.flow_cache = options.flow_cache;
+    spec.cache_linear_scan = options.cache_linear_scan;
     spec.burst_size = options.burst_size;
     spec.ingress = options.ingress();
     fabric.emplace(core::Fabric::build(network, *device, *map, spec));

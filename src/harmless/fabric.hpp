@@ -39,6 +39,10 @@ struct FabricSpec {
   bool specialized_matchers = true;
   /// Two-tier flow cache on both soft switches (ablation knob).
   bool flow_cache = true;
+  /// Probe the megaflow tier with the pre-classifier linear scan
+  /// instead of the per-mask subtables (ablation knob; only meaningful
+  /// with flow_cache on).
+  bool cache_linear_scan = false;
   /// Service burst size on both soft switches; 1 = the per-packet
   /// datapath (batching ablation knob).
   std::size_t burst_size = 32;

@@ -211,6 +211,7 @@ PipelineResult Pipeline::run_with_view(net::Packet&& packet, std::uint32_t in_po
     std::uint32_t scanned = 0;
     MegaflowEntry* hit = cache_.lookup(view, now, &scanned);
     result.cache_scanned = scanned;
+    result.cache_linear = cache_.linear_scan();
     if (hit != nullptr) {
       replay(*hit, packet, in_port, now, result);
       return result;
@@ -369,6 +370,7 @@ BurstResult Pipeline::run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos 
     std::uint32_t scanned = 0;
     hit[i] = cache_.probe(views[i], now, &scanned);
     out.results[i].cache_scanned = scanned;
+    out.results[i].cache_linear = cache_.linear_scan();
   }
 
   // Phase 2: replay hit packets grouped by megaflow entry — one replay

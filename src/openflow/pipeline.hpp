@@ -73,9 +73,15 @@ struct PipelineResult {
   /// controller (a packet-in upcall is a slow-path event by nature —
   /// the controller's answer is about to change the tables anyway).
   bool cache_installed = false;
-  /// Megaflow candidates examined by the tier-2 scan (0 for microflow
-  /// hits); the datapath charges DatapathCosts::cache_scan_ns each.
+  /// Tier-2 classifier work performed for this packet (0 for microflow
+  /// hits): hashed subtable probes in dpcls mode — charged at
+  /// DatapathCosts::cache_subtable_ns each — or, when the linear-scan
+  /// ablation is on (`cache_linear`), megaflow candidates compared,
+  /// charged at DatapathCosts::cache_scan_ns each.
   std::uint32_t cache_scanned = 0;
+  /// True when the cache ran in linear-scan ablation mode, so the
+  /// datapath knows which unit (and rate) cache_scanned bills at.
+  bool cache_linear = false;
 
   [[nodiscard]] bool dropped() const { return outputs.empty() && packet_ins.empty(); }
 };

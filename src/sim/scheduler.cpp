@@ -16,7 +16,9 @@ std::unique_ptr<BurstScheduler> make_scheduler(const SchedulerSpec& spec) {
     case SchedulerKind::kFcfs: return std::make_unique<FcfsScheduler>();
     case SchedulerKind::kRoundRobin:
       return std::make_unique<RoundRobinScheduler>(spec.rr_quantum_packets);
-    case SchedulerKind::kDrr: return std::make_unique<DrrScheduler>(spec.drr_quantum_bytes);
+    case SchedulerKind::kDrr:
+      return std::make_unique<DrrScheduler>(spec.drr_quantum_bytes,
+                                            spec.drr_port_quantum_bytes);
   }
   return std::make_unique<FcfsScheduler>();
 }
@@ -82,7 +84,7 @@ void DrrScheduler::next_burst(std::vector<RxQueue>& queues, std::size_t budget, 
       continue;
     }
     empty_streak = 0;
-    if (!mid_visit_) deficit_[cursor_] += quantum_;
+    if (!mid_visit_) deficit_[cursor_] += quantum_for(cursor_);
     mid_visit_ = false;
     while (!queue.empty() && out.size() < budget &&
            queue.front().packet.size() <= deficit_[cursor_]) {

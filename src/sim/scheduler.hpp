@@ -95,6 +95,11 @@ struct SchedulerSpec {
   /// Drr: bytes of credit banked per queue visit (one MTU by default,
   /// the classic choice — one full-size frame per round).
   std::size_t drr_quantum_bytes = 1500;
+  /// Weighted DRR: per-port byte quanta (index = port), the operator's
+  /// policy weights — a port with twice the quantum banks twice the
+  /// credit per round and gets ~twice the goodput under overload.
+  /// Ports beyond the vector (or with a 0 entry) use drr_quantum_bytes.
+  std::vector<std::size_t> drr_port_quantum_bytes;
 };
 
 /// The pluggable ingress-scheduling API: given the node's per-port
@@ -142,16 +147,29 @@ class RoundRobinScheduler final : public BurstScheduler {
 /// Byte-quantum deficit round-robin (Shreedhar & Varghese, SIGCOMM
 /// '95): per-queue deficit counters persist across bursts; a queue
 /// that goes empty forfeits its credit, so idle ports cannot bank
-/// bandwidth.
+/// bandwidth. Optionally weighted: per-port quanta (operator policy)
+/// make the banked credit — and thus the overload goodput split —
+/// proportional to the weights.
 class DrrScheduler final : public BurstScheduler {
  public:
-  explicit DrrScheduler(std::size_t quantum_bytes = 1500)
-      : quantum_(quantum_bytes == 0 ? 1 : quantum_bytes) {}
+  explicit DrrScheduler(std::size_t quantum_bytes = 1500,
+                        std::vector<std::size_t> port_quantum_bytes = {})
+      : quantum_(quantum_bytes == 0 ? 1 : quantum_bytes),
+        port_quantum_(std::move(port_quantum_bytes)) {}
   [[nodiscard]] const char* name() const override { return "drr"; }
   void next_burst(std::vector<RxQueue>& queues, std::size_t budget, Burst& out) override;
 
  private:
+  /// The quantum banked per visit of queue `index`: the per-port
+  /// policy weight when configured, the uniform default otherwise.
+  [[nodiscard]] std::size_t quantum_for(std::size_t index) const {
+    if (index < port_quantum_.size() && port_quantum_[index] != 0)
+      return port_quantum_[index];
+    return quantum_;
+  }
+
   std::size_t quantum_;
+  std::vector<std::size_t> port_quantum_;
   std::vector<std::size_t> deficit_;
   std::size_t cursor_ = 0;
   /// True when the previous burst's budget ran out mid-visit: the

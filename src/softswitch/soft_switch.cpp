@@ -26,6 +26,8 @@ void SoftSwitch::observe_cache_epoch() {
   counters_.cache_invalidations += epoch - seen_cache_epoch_;
   seen_cache_epoch_ = epoch;
   counters_.cache_evictions = pipeline_.cache().stats().evictions;
+  counters_.cache_subtables = pipeline_.cache().subtable_count();
+  counters_.cache_subtable_probes = pipeline_.cache().stats().subtable_probes;
 }
 
 void SoftSwitch::bind_patch(std::uint32_t of_port, SoftSwitch& peer,

@@ -72,9 +72,14 @@ struct DatapathCosts {
   /// charged *instead of* the pipeline's parse + lookup bill.
   sim::SimNanos cache_hit_ns = 10;
   /// Each megaflow candidate the tier-2 wildcard scan examines (a
-  /// masked compare, cheaper than a full rule comparison); microflow
-  /// hits scan nothing.
+  /// masked compare, cheaper than a full rule comparison) — only
+  /// charged when the linear-scan ablation is on; microflow hits scan
+  /// nothing.
   sim::SimNanos cache_scan_ns = 2;
+  /// Each hashed subtable probe of the dpcls-style tier-2 classifier
+  /// (one masked-key hash + one bucket lookup — costlier than a single
+  /// masked compare, but paid per *distinct mask*, not per entry).
+  sim::SimNanos cache_subtable_ns = 4;
   /// Megaflow learning on a slow-path miss that actually installed an
   /// entry (build + install); punting misses decline to install and
   /// are not charged (PipelineResult::cache_installed).
@@ -90,7 +95,8 @@ struct DatapathCosts {
                                                bool cache_enabled) const {
     sim::SimNanos cost = result.cost_ns;
     if (cache_enabled) {
-      cost += static_cast<sim::SimNanos>(result.cache_scanned) * cache_scan_ns;
+      cost += static_cast<sim::SimNanos>(result.cache_scanned) *
+              (result.cache_linear ? cache_scan_ns : cache_subtable_ns);
       if (result.cache_hit)
         cost += cache_hit_ns;
       else if (result.cache_installed)
@@ -172,6 +178,9 @@ class SoftSwitch : public sim::ServicedNode {
     std::uint64_t cache_invalidations = 0; // epoch bumps observed (flow/group mods,
                                            // expiry, port state changes)
     std::uint64_t cache_evictions = 0;     // megaflows displaced by CLOCK at capacity
+    std::uint64_t cache_subtables = 0;     // live per-mask subtables (distinct signatures)
+    std::uint64_t cache_subtable_probes = 0;  // cumulative hashed tier-2 probes; divide by
+                                              // tier-2 lookups for probes-per-lookup
     // Burst service loop (zero when burst_size is 1):
     std::uint64_t service_bursts = 0;      // bursts drained by service_burst
     std::uint64_t replay_groups = 0;       // megaflow groups replayed across bursts

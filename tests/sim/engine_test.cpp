@@ -293,6 +293,38 @@ TEST(ServicedNode, DrrSharesBytesNotPackets) {
   EXPECT_EQ(port1_in_first_16, 15u);
 }
 
+TEST(ServicedNode, WeightedDrrSplitsGoodputByPortQuanta) {
+  Engine engine;
+  IngressSpec ingress;
+  ingress.queue_capacity = 1024;
+  ingress.scheduler.kind = SchedulerKind::kDrr;
+  ingress.scheduler.drr_quantum_bytes = 1500;
+  // Operator policy: port 0 carries twice port 1's weight.
+  ingress.scheduler.drr_port_quantum_bytes = {3000, 1500};
+  EchoNode node(engine, 10, /*burst_size=*/32, ingress);
+  node.ensure_ports(2);
+  std::vector<int> served;
+
+  // Symmetric overload: both ports arrive with identical 300-packet
+  // backlogs of identical 100B frames, far more than one burst serves.
+  engine.schedule_at(0, [&] {
+    for (int i = 0; i < 300; ++i) node.handle(0, sized_packet(100));
+    for (int i = 0; i < 300; ++i) node.handle(1, sized_packet(100));
+  });
+  node.on_service = [&](int in_port) { served.push_back(in_port); };
+  engine.run();
+
+  // While both queues stay backlogged (neither 300-packet backlog
+  // empties within the first 270 services at a 2:1 drain split), the
+  // 2:1 byte quanta must yield a ~2:1 goodput split.
+  ASSERT_GE(served.size(), 270u);
+  std::size_t port0 = 0, port1 = 0;
+  for (std::size_t i = 0; i < 270; ++i) (served[i] == 0 ? port0 : port1)++;
+  ASSERT_GT(port1, 0u);
+  EXPECT_NEAR(static_cast<double>(port0) / static_cast<double>(port1), 2.0, 0.2)
+      << "port0=" << port0 << " port1=" << port1;
+}
+
 TEST(ServicedNode, PerPortBoundAttributesDropsToTheArrivingPort) {
   Engine engine;
   IngressSpec ingress;

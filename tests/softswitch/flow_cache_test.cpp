@@ -337,6 +337,100 @@ TEST(FlowCache, CapacityPressureEvictsInsteadOfGrowingUnbounded) {
   EXPECT_GE(pipeline.cache().stats().evictions, 92u);
 }
 
+TEST(FlowCache, SubtablesProbePerMaskNotPerEntry) {
+  // The dpcls classifier's whole point: tier-2 lookup cost is counted
+  // (and billed) per distinct mask signature, not per resident entry —
+  // and the linear-scan ablation still reports per-entry comparisons.
+  FlowCache cache;
+  auto view_for = [](std::uint64_t dst, std::uint64_t sport) {
+    FieldView view;
+    view.set(Field::kEthDst, dst);
+    view.set(Field::kL4Src, sport);
+    return view;
+  };
+  auto exact_dst_megaflow = [](std::uint64_t dst) {
+    MegaflowEntry entry;
+    entry.required_present = field_bit(Field::kEthDst);
+    entry.masks[static_cast<std::size_t>(Field::kEthDst)] = field_all_ones(Field::kEthDst);
+    entry.values[static_cast<std::size_t>(Field::kEthDst)] = dst;
+    return entry;
+  };
+  for (std::uint64_t dst = 1; dst <= 8; ++dst)
+    (void)cache.insert(exact_dst_megaflow(dst), view_for(dst, dst));
+  MegaflowEntry in_port_megaflow;
+  in_port_megaflow.required_present = field_bit(Field::kInPort);
+  in_port_megaflow.masks[static_cast<std::size_t>(Field::kInPort)] =
+      field_all_ones(Field::kInPort);
+  in_port_megaflow.values[static_cast<std::size_t>(Field::kInPort)] = 7;
+  {
+    FieldView view;
+    view.set(Field::kInPort, 7);
+    (void)cache.insert(std::move(in_port_megaflow), view);
+  }
+
+  // 9 megaflows, but only 2 distinct mask signatures.
+  EXPECT_EQ(cache.megaflow_count(), 9u);
+  EXPECT_EQ(cache.subtable_count(), 2u);
+
+  // A fresh sport misses tier 1; the eth_dst subtable answers in one
+  // hashed probe no matter how many exact-dst entries it holds (the
+  // in_port subtable is rejected by the presence pre-check, unbilled).
+  std::uint32_t scanned = 0;
+  ASSERT_NE(cache.lookup(view_for(5, 999), 0, &scanned), nullptr);
+  EXPECT_EQ(scanned, 1u);
+  EXPECT_EQ(cache.stats().subtable_probes, 1u);
+
+  // The ablation pays per entry again: dst 8 is the 8th insertion, so
+  // the linear reference compares 8 candidates to find it.
+  cache.set_linear_scan(true);
+  scanned = 0;
+  ASSERT_NE(cache.lookup(view_for(8, 999), 0, &scanned), nullptr);
+  EXPECT_EQ(scanned, 8u);
+  EXPECT_EQ(cache.stats().subtable_probes, 1u);  // no hashed probes in linear mode
+}
+
+TEST(FlowCache, MicroflowKeyVectorStaysBoundedAcrossTierOneResets) {
+  // Regression: a long-lived elephant megaflow re-seeds the microflow
+  // tier after every tier-1 capacity reset, and each re-seed used to
+  // append another (now stale or duplicate) key to microflow_keys —
+  // unbounded growth for exactly the entries that live longest. The
+  // cache now compacts the vector at power-of-two watermarks.
+  FlowCache cache;
+  FlowCache::Limits limits;
+  limits.max_megaflows = 8;
+  limits.max_microflows = 4;  // tiny tier 1: constant flush pressure
+  cache.set_limits(limits);
+
+  auto view_for = [](std::uint64_t dst, std::uint64_t sport) {
+    FieldView view;
+    view.set(Field::kEthDst, dst);
+    if (sport != 0) view.set(Field::kL4Src, sport);
+    return view;
+  };
+  auto exact_dst_megaflow = [](std::uint64_t dst) {
+    MegaflowEntry entry;
+    entry.required_present = field_bit(Field::kEthDst);
+    entry.masks[static_cast<std::size_t>(Field::kEthDst)] = field_all_ones(Field::kEthDst);
+    entry.values[static_cast<std::size_t>(Field::kEthDst)] = dst;
+    return entry;
+  };
+
+  MegaflowEntry* elephant = cache.insert(exact_dst_megaflow(0x22), view_for(0x22, 1));
+  for (std::uint64_t round = 1; round <= 2000; ++round) {
+    // A one-shot mouse installs (flushing tier 1 whenever it is full)...
+    (void)cache.insert(exact_dst_megaflow(0x1000 + round), view_for(0x1000 + round, 0));
+    // ...and the elephant's next microflow re-seeds tier 1 with a fresh
+    // key via a tier-2 hit.
+    MegaflowEntry* hit = cache.lookup(view_for(0x22, 1 + round), /*now=*/0);
+    ASSERT_EQ(hit, elephant) << "round " << round;
+  }
+  EXPECT_GT(cache.stats().flushes, 100u);     // tier-1 resets really happened
+  EXPECT_GT(cache.stats().evictions, 1000u);  // and CLOCK churned the mice
+  // ~2000 keys accumulated before the fix; the compaction watermark
+  // (64) now bounds it regardless of the entry's lifetime.
+  EXPECT_LE(elephant->microflow_keys.size(), 64u);
+}
+
 TEST(FlowCache, ClockEvictionKeepsElephantsResident) {
   // An elephant aggregate interleaved with a parade of one-shot mice
   // through an under-provisioned cache: second-chance eviction must
