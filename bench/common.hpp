@@ -156,16 +156,23 @@ struct RigOptions {
   std::size_t burst_size = 32;
   /// Burst scheduler across the per-port RX queues (FCFS / RR / DRR).
   sim::SchedulerSpec scheduler;
-  /// Per-port RX queue bound; 0 = only the shared 1024-packet buffer
+  /// Shared ingress buffer bound (sum across all port queues).
+  std::size_t queue_capacity = 1024;
+  /// Per-port RX queue bound; 0 = only the shared buffer
   /// (the historical shared-FIFO admission rule).
   std::size_t port_queue_capacity = 0;
+  /// Worker-core layout of the soft switches: core count, RSS steering
+  /// policy, pin map. cores.cores = 1 is the single-core datapath.
+  sim::CoreSpec cores;
   /// Bonded trunk legs between the legacy switch and the S4 box.
   int trunk_count = 1;
 
   [[nodiscard]] sim::IngressSpec ingress() const {
     sim::IngressSpec spec;
+    spec.queue_capacity = queue_capacity;
     spec.port_queue_capacity = port_queue_capacity;
     spec.scheduler = scheduler;
+    spec.cores = cores;
     return spec;
   }
 };
@@ -251,7 +258,7 @@ struct NativeRig : BaseRig {
         "native-ss", 0xbe, static_cast<std::size_t>(options.host_count), 1,
         options.specialized_matchers, options.flow_cache, options.burst_size,
         options.ingress());
-    datapath->pipeline().cache().set_linear_scan(options.cache_linear_scan);
+    datapath->pipeline().set_linear_scan(options.cache_linear_scan);
     add_hosts(*datapath, options);
     for (int i = 0; i < options.host_count; ++i) {
       openflow::FlowModMsg mod;

@@ -14,8 +14,9 @@ Fabric Fabric::build(sim::Network& network, legacy::LegacySwitch& device, const 
   fabric.ss2_ = &network.add_node<softswitch::SoftSwitch>(
       "SS_2", spec.ss2_datapath_id, fabric.map_.size(), spec.ss2_tables,
       spec.specialized_matchers, spec.flow_cache, spec.burst_size, spec.ingress);
-  fabric.ss1_->pipeline().cache().set_linear_scan(spec.cache_linear_scan);
-  fabric.ss2_->pipeline().cache().set_linear_scan(spec.cache_linear_scan);
+  // Every cache shard (one per worker core) follows the ablation knob.
+  fabric.ss1_->pipeline().set_linear_scan(spec.cache_linear_scan);
+  fabric.ss2_->pipeline().set_linear_scan(spec.cache_linear_scan);
 
   // Trunk cables: one per bonded leg, legacy trunk port i <-> SS_1 OF
   // port (1+i).

@@ -46,10 +46,12 @@ struct FabricSpec {
   /// Service burst size on both soft switches; 1 = the per-packet
   /// datapath (batching ablation knob).
   std::size_t burst_size = 32;
-  /// Ingress queueing on both soft switches: per-port RX queue bounds
-  /// plus the burst scheduler (FCFS / RR / DRR) that picks which ports
-  /// each service burst drains. FCFS over the shared bound == the
-  /// historical shared-FIFO datapath.
+  /// Ingress queueing on both soft switches: per-port RX queue bounds,
+  /// the burst scheduler (FCFS / RR / DRR) that picks which ports each
+  /// service burst drains, and the worker-core layout
+  /// (`ingress.cores`: core count, RSS steering policy, pin map — one
+  /// burst scheduler and one flow-cache shard per core). FCFS over the
+  /// shared bound with one core == the historical shared-FIFO datapath.
   sim::IngressSpec ingress;
   /// Control channel one-way latency (controller is usually on-box or
   /// one rack away).

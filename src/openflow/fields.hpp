@@ -13,6 +13,7 @@
 #include <string>
 
 #include "net/parse.hpp"
+#include "util/hash.hpp"
 
 namespace harmless::openflow {
 
@@ -46,15 +47,13 @@ constexpr std::uint64_t kVlanPresent = 0x1000;
 [[nodiscard]] std::uint64_t field_all_ones(Field field);
 [[nodiscard]] const char* field_name(Field field);
 
-/// FNV-1a-style mix over a stream of u64s — the one hash shared by the
-/// specialized matcher's shape keys and the flow cache's microflow
-/// keys (they must never diverge: both key packed field values).
-constexpr std::uint64_t kFieldHashSeed = 0xcbf29ce484222325ULL;
+/// The shared project mix (util/hash.hpp), under its historical local
+/// names: the specialized matcher's shape keys, the flow cache's
+/// microflow keys / subtable probes, and RSS ingress steering all key
+/// packed values through the same function, so the paths cannot drift.
+constexpr std::uint64_t kFieldHashSeed = util::kHashSeed;
 [[nodiscard]] constexpr std::uint64_t hash_u64s(std::uint64_t seed, std::uint64_t value) {
-  std::uint64_t h = seed ^ value;
-  h *= 0x100000001b3ULL;
-  h ^= h >> 29;
-  return h;
+  return util::hash_u64(seed, value);
 }
 
 /// Accumulates which (field, mask bits) a slow-path traversal actually

@@ -49,7 +49,7 @@ MegaflowEntry* FlowCache::find(const FieldView& view, sim::SimNanos now,
   // First lookup after an epoch bump: reap the self-invalidated
   // entries once, so the tier-2 probe never walks (or charges for)
   // stale candidates.
-  if (purged_epoch_ != epoch_) purge_stale();
+  if (purged_epoch_ != *epoch_) purge_stale();
   if (megaflows_.empty()) {
     if (count_miss) ++stats_.misses;
     return nullptr;
@@ -58,7 +58,7 @@ MegaflowEntry* FlowCache::find(const FieldView& view, sim::SimNanos now,
   const auto it = microflow_.find(key);
   if (it != microflow_.end()) {
     MegaflowEntry* entry = it->second;
-    if (entry->epoch == epoch_ && entry->covers(view) && !entry->timed_out(now)) {
+    if (entry->epoch == *epoch_ && entry->covers(view) && !entry->timed_out(now)) {
       ++stats_.hits;
       ++stats_.microflow_hits;
       ++entry->hits;
@@ -134,7 +134,7 @@ MegaflowEntry* FlowCache::find_linear(const FieldView& view, sim::SimNanos now,
   // megaflow, insertion order — the ablation baseline Table 6 degrades.
   for (const auto& candidate : megaflows_) {
     if (scanned != nullptr) ++*scanned;
-    if (candidate->epoch != epoch_) continue;  // stale; reaped on next purge
+    if (candidate->epoch != *epoch_) continue;  // stale; reaped on next purge
     if (!candidate->covers(view)) continue;
     if (candidate->timed_out(now)) return nullptr;
     return tier2_hit(candidate.get(), key);
@@ -205,16 +205,16 @@ void FlowCache::note_microflow_key(MegaflowEntry& entry, std::uint64_t key) {
 }
 
 void FlowCache::purge_stale() {
-  purged_epoch_ = epoch_;
+  purged_epoch_ = *epoch_;
   bool any_stale = false;
   for (const auto& entry : megaflows_)
-    if (entry->epoch != epoch_) {
+    if (entry->epoch != *epoch_) {
       any_stale = true;
       break;
     }
   if (!any_stale) return;
   std::erase_if(megaflows_, [this](const std::unique_ptr<MegaflowEntry>& entry) {
-    if (entry->epoch == epoch_) return false;
+    if (entry->epoch == *epoch_) return false;
     ++stats_.invalidations;
     return true;
   });
@@ -258,7 +258,7 @@ void FlowCache::evict_one() {
 }
 
 MegaflowEntry* FlowCache::insert(MegaflowEntry entry, const FieldView& view) {
-  if (purged_epoch_ != epoch_) purge_stale();
+  if (purged_epoch_ != *epoch_) purge_stale();
   if (megaflows_.size() >= limits_.max_megaflows) {
     // CLOCK eviction keeps hot aggregates (elephants) resident where
     // the old wholesale flush would have cold-started everything.
@@ -271,7 +271,7 @@ MegaflowEntry* FlowCache::insert(MegaflowEntry entry, const FieldView& view) {
     microflow_.clear();
     ++stats_.flushes;
   }
-  entry.epoch = epoch_;
+  entry.epoch = *epoch_;
   megaflows_.push_back(std::make_unique<MegaflowEntry>(std::move(entry)));
   MegaflowEntry* inserted = megaflows_.back().get();
   index_entry(inserted);

@@ -179,13 +179,35 @@ class FlowCache {
     std::uint64_t subtable_probes = 0;
   };
 
-  /// The shared epoch counter. FlowTable/GroupTable hold this pointer
-  /// and increment it on any mutation (the dirty_ plumbing).
-  [[nodiscard]] std::uint64_t* epoch_slot() { return &epoch_; }
-  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  /// Self-referential epoch pointer (and per-shard tier state): moving
+  /// a cache would leave epoch_ aimed at the moved-from object. Own
+  /// caches in place (Pipeline holds its shards behind unique_ptr).
+  FlowCache() = default;
+  FlowCache(const FlowCache&) = delete;
+  FlowCache& operator=(const FlowCache&) = delete;
+  FlowCache(FlowCache&&) = delete;
+  FlowCache& operator=(FlowCache&&) = delete;
 
-  /// Invalidate everything (one epoch bump — entries die lazily).
-  void invalidate_all() { ++epoch_; }
+  /// The live invalidation epoch: this cache's own counter, or the
+  /// shared one after share_epoch(). FlowTable/GroupTable bump the
+  /// same counter on any mutation (Pipeline wires their bind_epoch to
+  /// its shard-shared slot — the dirty_ plumbing).
+  [[nodiscard]] std::uint64_t epoch() const { return *epoch_; }
+
+  /// Rebind this cache onto an external epoch counter — how the
+  /// per-core shards of a multi-core datapath share one invalidation
+  /// epoch (read-mostly: every shard checks it per lookup, only table
+  /// and group mutations bump it). Call before any traffic: resident
+  /// entries are stamped against the old counter.
+  void share_epoch(std::uint64_t* slot) {
+    epoch_ = slot;
+    purged_epoch_ = *slot;
+  }
+
+  /// Invalidate everything (one epoch bump — entries die lazily; with
+  /// a shared epoch this invalidates every sibling shard too, which is
+  /// exactly what a table/group/port mutation means).
+  void invalidate_all() { ++*epoch_; }
 
   /// Fast-path lookup: microflow probe, then the tier-2 classifier.
   /// Returns null on miss, on epoch mismatch, or when a covering
@@ -269,8 +291,9 @@ class FlowCache {
   /// long-lived elephants across tier-1 resets.
   void note_microflow_key(MegaflowEntry& entry, std::uint64_t key);
 
-  std::uint64_t epoch_ = 1;
-  std::uint64_t purged_epoch_ = 1;  // epoch purge_stale last ran against
+  std::uint64_t own_epoch_ = 1;         // storage for a standalone cache
+  std::uint64_t* epoch_ = &own_epoch_;  // the (possibly shared) live counter
+  std::uint64_t purged_epoch_ = 1;      // epoch purge_stale last ran against
   std::size_t clock_hand_ = 0;      // next megaflow the eviction sweep examines
   std::uint64_t tier2_lookups_ = 0; // drives the rank-decay cadence
   bool linear_scan_ = false;

@@ -19,11 +19,14 @@ Instructions apply_then_goto(ActionList actions, std::uint8_t table) {
 
 std::string Instructions::to_string() const {
   std::string out;
-  if (!apply_actions.empty()) out += "apply(" + openflow::to_string(apply_actions) + ")";
-  if (clear_actions) out += (out.empty() ? "" : " ") + std::string("clear");
-  if (!write_actions.empty())
-    out += (out.empty() ? "" : " ") + ("write(" + openflow::to_string(write_actions) + ")");
-  if (goto_table) out += (out.empty() ? "" : " ") + ("goto:" + std::to_string(*goto_table));
+  const auto append = [&out](const std::string& piece) {
+    if (!out.empty()) out += ' ';
+    out += piece;
+  };
+  if (!apply_actions.empty()) append("apply(" + openflow::to_string(apply_actions) + ")");
+  if (clear_actions) append("clear");
+  if (!write_actions.empty()) append("write(" + openflow::to_string(write_actions) + ")");
+  if (goto_table) append("goto:" + std::to_string(*goto_table));
   if (out.empty()) out = "drop";
   return out;
 }

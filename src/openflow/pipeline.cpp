@@ -44,11 +44,24 @@ Pipeline::Pipeline(std::size_t table_count, bool specialized, bool flow_cache)
   tables_.reserve(table_count);
   for (std::size_t index = 0; index < table_count; ++index)
     tables_.emplace_back(static_cast<std::uint8_t>(index), specialized);
+  caches_.push_back(std::make_unique<FlowCache>());
+  caches_.front()->share_epoch(&cache_epoch_);
   // Every table mutation (and group mutation) bumps the shared epoch so
-  // cached fast-path entries self-invalidate. Wired even when the cache
-  // is disabled, so the ablation knob can be flipped at runtime.
-  for (FlowTable& table : tables_) table.bind_epoch(cache_.epoch_slot());
-  groups_.bind_epoch(cache_.epoch_slot());
+  // cached fast-path entries self-invalidate — in every shard at once.
+  // Wired even when the cache is disabled, so the ablation knob can be
+  // flipped at runtime.
+  for (FlowTable& table : tables_) table.bind_epoch(&cache_epoch_);
+  groups_.bind_epoch(&cache_epoch_);
+}
+
+void Pipeline::set_shard_count(std::size_t shards) {
+  while (caches_.size() < std::max<std::size_t>(1, shards)) {
+    auto shard = std::make_unique<FlowCache>();
+    shard->share_epoch(&cache_epoch_);
+    shard->set_limits(caches_.front()->limits());
+    shard->set_linear_scan(caches_.front()->linear_scan());
+    caches_.push_back(std::move(shard));
+  }
 }
 
 FlowTable& Pipeline::table(std::size_t index) {
@@ -178,7 +191,7 @@ void Pipeline::replay(const MegaflowEntry& entry, net::Packet& packet, std::uint
 }
 
 void Pipeline::install_learned(MegaflowEntry entry, const FieldView& original_view,
-                               const FieldUse& use) {
+                               const FieldUse& use, std::size_t shard) {
   std::uint32_t remaining = use.examined;
   while (remaining != 0) {
     const unsigned index = static_cast<unsigned>(__builtin_ctz(remaining));
@@ -195,23 +208,28 @@ void Pipeline::install_learned(MegaflowEntry entry, const FieldView& original_vi
       entry.required_absent |= bit;
     }
   }
-  cache_.insert(std::move(entry), original_view);
+  caches_[shard]->insert(std::move(entry), original_view);
 }
 
-PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now) {
+PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now,
+                             std::size_t shard) {
   FieldView view = build_field_view(net::parse_packet(packet), in_port);
-  return run_with_view(std::move(packet), in_port, now, std::move(view));
+  return run_with_view(std::move(packet), in_port, now, std::move(view), shard);
 }
 
 PipelineResult Pipeline::run_with_view(net::Packet&& packet, std::uint32_t in_port,
-                                       sim::SimNanos now, FieldView view) {
+                                       sim::SimNanos now, FieldView view, std::size_t shard) {
   PipelineResult result;
+  // The one shard-bounds check on the per-packet entry path (run() and
+  // the run_burst residue both come through here); install_learned
+  // only ever receives this same validated shard.
+  FlowCache& cache = *caches_.at(shard);
 
   if (cache_enabled_) {
     std::uint32_t scanned = 0;
-    MegaflowEntry* hit = cache_.lookup(view, now, &scanned);
+    MegaflowEntry* hit = cache.lookup(view, now, &scanned);
     result.cache_scanned = scanned;
-    result.cache_linear = cache_.linear_scan();
+    result.cache_linear = cache.linear_scan();
     if (hit != nullptr) {
       replay(*hit, packet, in_port, now, result);
       return result;
@@ -299,7 +317,7 @@ PipelineResult Pipeline::run_with_view(net::Packet&& packet, std::uint32_t in_po
       if (learn != nullptr && result.packet_ins.empty()) {
         learned.last_table = result.last_table;
         learned.matched = result.matched;
-        install_learned(std::move(learned), original_view, use);
+        install_learned(std::move(learned), original_view, use, shard);
         result.cache_installed = true;
       }
       return result;
@@ -340,20 +358,22 @@ PipelineResult Pipeline::run_with_view(net::Packet&& packet, std::uint32_t in_po
     learned.final_actions = final_actions;
     learned.last_table = result.last_table;
     learned.matched = result.matched;
-    install_learned(std::move(learned), original_view, use);
+    install_learned(std::move(learned), original_view, use, shard);
     result.cache_installed = true;
   }
   return result;
 }
 
-BurstResult Pipeline::run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos now) {
+BurstResult Pipeline::run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos now,
+                                std::size_t shard) {
   BurstResult out;
   out.results.resize(burst.size());
+  FlowCache& cache = *caches_.at(shard);
   if (!cache_enabled_) {
     // No cache, nothing to group: the burst amortizes only the
     // datapath's rx/tx overhead (charged by the caller).
     for (std::size_t i = 0; i < burst.size(); ++i)
-      out.results[i] = run(std::move(burst[i].packet), burst[i].in_port, now);
+      out.results[i] = run(std::move(burst[i].packet), burst[i].in_port, now, shard);
     return out;
   }
 
@@ -368,9 +388,9 @@ BurstResult Pipeline::run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos 
   for (std::size_t i = 0; i < burst.size(); ++i) {
     views[i] = build_field_view(net::parse_packet(burst[i].packet), burst[i].in_port);
     std::uint32_t scanned = 0;
-    hit[i] = cache_.probe(views[i], now, &scanned);
+    hit[i] = cache.probe(views[i], now, &scanned);
     out.results[i].cache_scanned = scanned;
-    out.results[i].cache_linear = cache_.linear_scan();
+    out.results[i].cache_linear = cache.linear_scan();
   }
 
   // Phase 2: replay hit packets grouped by megaflow entry — one replay
@@ -402,8 +422,8 @@ BurstResult Pipeline::run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos 
   for (std::size_t i = 0; i < burst.size(); ++i) {
     if (hit[i] != nullptr) continue;
     const std::uint32_t probed = out.results[i].cache_scanned;
-    out.results[i] =
-        run_with_view(std::move(burst[i].packet), burst[i].in_port, now, std::move(views[i]));
+    out.results[i] = run_with_view(std::move(burst[i].packet), burst[i].in_port, now,
+                                   std::move(views[i]), shard);
     out.results[i].cache_scanned += probed;  // phase-1 scan work really happened
   }
   return out;

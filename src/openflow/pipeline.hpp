@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -108,10 +109,10 @@ class Pipeline {
   explicit Pipeline(std::size_t table_count = 2, bool specialized = true,
                     bool flow_cache = true);
 
-  /// Non-movable: tables_ and groups_ hold raw pointers into cache_'s
-  /// epoch counter, so a move would leave them aimed at the moved-from
-  /// object. Hold pipelines by value in their owner (as SoftSwitch
-  /// does) or behind a unique_ptr.
+  /// Non-movable: tables_ and groups_ hold raw pointers into the
+  /// pipeline-owned cache epoch counter, so a move would leave them
+  /// aimed at the moved-from object. Hold pipelines by value in their
+  /// owner (as SoftSwitch does) or behind a unique_ptr.
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;
   Pipeline(Pipeline&&) = delete;
@@ -123,14 +124,44 @@ class Pipeline {
   [[nodiscard]] GroupTable& groups() { return groups_; }
   [[nodiscard]] const GroupTable& groups() const { return groups_; }
 
-  [[nodiscard]] FlowCache& cache() { return cache_; }
-  [[nodiscard]] const FlowCache& cache() const { return cache_; }
+  /// Grow the flow cache to `shards` per-core shards (one per worker
+  /// core of a multi-core datapath; shard 0 always exists and is what
+  /// the single-core datapath uses). Each shard owns its own microflow
+  /// map, classifier subtables, rank order and CLOCK hand; all shards
+  /// share the pipeline's one invalidation epoch, so any table/group
+  /// mutation invalidates every core's cached programs at once — the
+  /// only cross-core cache state, and it is read-mostly. New shards
+  /// copy shard 0's limits and linear-scan mode. Call before traffic.
+  void set_shard_count(std::size_t shards);
+  [[nodiscard]] std::size_t shard_count() const { return caches_.size(); }
+
+  /// Shard 0 — the single-core cache (and the historical accessor).
+  [[nodiscard]] FlowCache& cache() { return *caches_.front(); }
+  [[nodiscard]] const FlowCache& cache() const { return *caches_.front(); }
+  /// Core `shard`'s cache shard.
+  [[nodiscard]] FlowCache& cache(std::size_t shard) { return *caches_.at(shard); }
+  [[nodiscard]] const FlowCache& cache(std::size_t shard) const { return *caches_.at(shard); }
   [[nodiscard]] bool cache_enabled() const { return cache_enabled_; }
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  /// Flip every shard between dpcls subtables and the linear-scan
+  /// ablation (the per-shard knob, applied uniformly).
+  void set_linear_scan(bool linear) {
+    for (auto& shard : caches_) shard->set_linear_scan(linear);
+  }
+  /// Set every shard's capacity limits uniformly. On a multi-core
+  /// switch, `cache().set_limits(...)` configures shard 0 only — for
+  /// capacity experiments use this (typically with per-shard limits of
+  /// total/cores, since each shard fields only its cores' traffic).
+  void set_cache_limits(const FlowCache::Limits& limits) {
+    for (auto& shard : caches_) shard->set_limits(limits);
+  }
 
-  /// Run one packet; consumes it. Fast path on a cache hit, otherwise
-  /// the full traversal (which learns a megaflow when caching is on).
-  PipelineResult run(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now);
+  /// Run one packet; consumes it. Fast path on a cache-shard hit,
+  /// otherwise the full traversal (which learns a megaflow into the
+  /// same shard when caching is on). `shard` is the calling worker
+  /// core's cache shard; the single-core datapath uses shard 0.
+  PipelineResult run(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now,
+                     std::size_t shard = 0);
 
   /// Run one burst, OVS/DPDK style; consumes it. Phase 1 probes the
   /// flow cache for every packet; phase 2 groups the hits by megaflow
@@ -140,8 +171,9 @@ class Pipeline {
   /// re-probing, so the second packet of a new flow within one burst
   /// hits the megaflow the first one installed. Observationally
   /// identical to running the packets one at a time (the burst
-  /// equivalence property test pins this).
-  BurstResult run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos now);
+  /// equivalence property test pins this). `shard` as in run().
+  BurstResult run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos now,
+                        std::size_t shard = 0);
 
   /// Sweep all tables for expired entries.
   std::vector<FlowEntry> collect_expired(sim::SimNanos now);
@@ -164,23 +196,31 @@ class Pipeline {
 
   /// run() body once the packet's FieldView is built — run_burst
   /// residue packets enter here with their phase-1 view, so a burst
-  /// parses each packet exactly once.
+  /// parses each packet exactly once. `shard` is the serving core's
+  /// cache shard (lookup and learning both land there).
   PipelineResult run_with_view(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now,
-                               FieldView view);
+                               FieldView view, std::size_t shard);
 
   /// Fast path: replay a cached traversal against `packet`.
   void replay(const MegaflowEntry& entry, net::Packet& packet, std::uint32_t in_port,
               sim::SimNanos now, PipelineResult& result);
 
   /// Turn a finished slow-path traversal into a megaflow keyed on the
-  /// original (pre-rewrite) packet projection and install it.
+  /// original (pre-rewrite) packet projection and install it into
+  /// `shard`.
   void install_learned(MegaflowEntry entry, const FieldView& original_view,
-                       const FieldUse& use);
+                       const FieldUse& use, std::size_t shard);
 
   std::vector<FlowTable> tables_;
   GroupTable groups_;
   PipelineCosts costs_;
-  FlowCache cache_;
+  /// The one invalidation epoch all cache shards (and the tables'
+  /// dirty plumbing) share — read-mostly across cores.
+  std::uint64_t cache_epoch_ = 1;
+  /// Per-core cache shards, >= 1 (shard 0 is the single-core cache).
+  /// unique_ptr: FlowCache is address-pinned (self-referential epoch
+  /// pointer until share_epoch rebinds it).
+  std::vector<std::unique_ptr<FlowCache>> caches_;
   bool cache_enabled_ = true;
 };
 

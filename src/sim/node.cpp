@@ -1,6 +1,7 @@
 #include "sim/node.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/status.hpp"
 
@@ -38,8 +39,28 @@ const Port& Node::port(std::size_t index) const {
 }
 
 void ServicedNode::ensure_rx_queues(std::size_t count) {
-  while (rx_queues_.size() < count)
-    rx_queues_.emplace_back(static_cast<int>(rx_queues_.size()));
+  while (rx_queues_.size() < count) {
+    const std::size_t index = rx_queues_.size();
+    rx_queues_.emplace_back(static_cast<int>(index));
+    // Steering decision: the queue belongs to one worker core for its
+    // lifetime (pin map override, RSS hash otherwise). Queue views
+    // hold pointers into rx_queues_, which may have just reallocated —
+    // rebuild them lazily before the next step.
+    const std::size_t core = ingress_.cores.core_of(index);
+    queue_core_.push_back(core % cores_.size());
+    cores_[core % cores_.size()].queue_indices.push_back(index);
+    views_dirty_ = true;
+  }
+}
+
+void ServicedNode::refresh_views() {
+  if (!views_dirty_) return;
+  views_dirty_ = false;
+  for (Core& core : cores_) {
+    core.view.clear();
+    core.view.reserve(core.queue_indices.size());
+    for (const std::size_t index : core.queue_indices) core.view.push_back(&rx_queues_[index]);
+  }
 }
 
 RxQueue& ServicedNode::rx_queue_for(int in_port) {
@@ -62,6 +83,7 @@ void ServicedNode::handle(int in_port, net::Packet&& packet) {
   }
   queue.push(arrival_seq_++, std::move(packet));
   ++total_depth_;
+  ++cores_[queue_core_[static_cast<std::size_t>(queue.in_port())]].backlog;
   if (!draining_) {
     draining_ = true;
     engine_.schedule_at(std::max(engine_.now(), busy_until_), [this] { drain(); });
@@ -74,31 +96,43 @@ void ServicedNode::emit(std::size_t out_port, net::Packet&& packet) {
   pending_out_.emplace_back(out_port, std::move(packet));
 }
 
-void ServicedNode::drain() {
-  if (total_depth_ == 0) {
-    draining_ = false;
-    return;
+SimNanos ServicedNode::serve_core(std::size_t core_index, SimNanos step_start) {
+  Core& core = cores_[core_index];
+  current_core_ = core_index;
+
+  // Adaptive burst sizing: the budget tracks this core's backlog
+  // between the configured floor and the node's burst_size — light
+  // load takes the per-packet path below (no poll sweep), overload
+  // runs the full batch. A fixed budget otherwise.
+  std::size_t budget = burst_size_;
+  if (ingress_.scheduler.adaptive_burst) {
+    const std::size_t floor =
+        std::min(std::max<std::size_t>(1, ingress_.scheduler.adaptive_min_burst), burst_size_);
+    budget = std::clamp(core.backlog, floor, burst_size_);
   }
 
   in_service_ = true;
   pending_out_.clear();
-  // One poll sweep over every RX queue per burst, empty or not — a
-  // batched-datapath cost only; the per-packet mode keeps the flat
+  // One poll sweep over every RX queue this core owns, empty or not —
+  // a batched-datapath cost only; the per-packet mode keeps the flat
   // rx_tx_ns model and counts no sweeps.
-  queues_polled_ = burst_size_ <= 1 ? 0 : rx_queues_.size();
+  queues_polled_ = budget <= 1 ? 0 : core.view.size();
   rx_polls_ += queues_polled_;
+  core.rx_polls += queues_polled_;
 
-  // The scheduler picks what this burst serves (budget 1 in per-packet
-  // mode: the classic single-server queue, scheduler-ordered).
+  // The core's scheduler picks what this burst serves (budget 1 in
+  // per-packet mode: the classic single-server queue, scheduler-ordered).
   Burst burst;
-  burst.reserve(std::min(total_depth_, burst_size_));
-  scheduler_->next_burst(rx_queues_, burst_size_, burst);
+  burst.reserve(std::min(core.backlog, budget));
+  core.scheduler->next_burst(core.view, budget, burst);
   if (burst.empty())
-    throw util::ConfigError(name() + ": scheduler " + scheduler_->name() +
+    throw util::ConfigError(name() + ": scheduler " + core.scheduler->name() +
                             " idled with backlog (work-conserving contract)");
   total_depth_ -= burst.size();
+  core.backlog -= burst.size();
+  core.packets += burst.size();
   SimNanos cost = 0;
-  if (burst_size_ <= 1) {
+  if (budget <= 1) {
     auto& [in_port, packet] = burst.front();
     cost = service(in_port, std::move(packet));
   } else {
@@ -106,23 +140,46 @@ void ServicedNode::drain() {
   }
   in_service_ = false;
   ++bursts_served_;
-
+  ++core.bursts;
   busy_ns_ += cost;
-  busy_until_ = engine_.now() + cost;
+  core.busy_ns += cost;
 
-  // Outputs leave when the burst finishes processing (a tx burst);
+  // This core's outputs leave when *its* burst finishes processing (a
+  // tx burst at step_start + its own cost, not the step makespan);
   // each carries the compute cost it accrued in its metadata (the
   // service implementation charges it).
   if (!pending_out_.empty()) {
     auto outputs = std::move(pending_out_);
     pending_out_.clear();
-    engine_.schedule_at(busy_until_, [this, outputs = std::move(outputs)]() mutable {
+    engine_.schedule_at(step_start + cost, [this, outputs = std::move(outputs)]() mutable {
       for (auto& [out_port, out_packet] : outputs)
         transmit(out_port, std::move(out_packet));
     });
   }
+  return cost;
+}
 
-  // Serve the next packet when this one's service time elapses.
+void ServicedNode::drain() {
+  if (total_depth_ == 0) {
+    draining_ = false;
+    return;
+  }
+  refresh_views();
+
+  // One bulk-synchronous service step: every backlogged core drains
+  // one burst. Each core is billed its own busy nanoseconds; the node
+  // (and the next step) advances by the step makespan — cores that
+  // finish early idle until the slowest core's burst completes, which
+  // is exactly what lockstep run-to-completion workers cost.
+  const SimNanos step_start = engine_.now();
+  SimNanos makespan = 0;
+  for (std::size_t core = 0; core < cores_.size(); ++core) {
+    if (cores_[core].backlog == 0) continue;
+    makespan = std::max(makespan, serve_core(core, step_start));
+  }
+  busy_until_ = step_start + makespan;
+
+  // Serve the next step when this one's makespan elapses.
   engine_.schedule_at(busy_until_, [this] { drain(); });
 }
 

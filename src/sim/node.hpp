@@ -5,17 +5,33 @@
 //
 // `ServicedNode` adds the processing model every switching element
 // uses: arriving packets land in one bounded RxQueue per ingress port
-// (sim/scheduler.hpp), and a pluggable BurstScheduler picks which
-// queues each service burst of up to `burst_size` packets drains
-// (FCFS by default — bit-exact with the historical shared FIFO).
-// Each burst takes `service_burst(...)` nanoseconds of simulated
-// compute; outputs leave when the burst completes (a tx burst). With
-// `burst_size == 1` the node degrades to the classic single-server
+// (sim/scheduler.hpp), each queue is steered to one worker core
+// (CoreSpec: RSS-style hash with a pin-map override), and every core
+// runs its own burst service loop — a pluggable BurstScheduler
+// instance picks which of *its* queues each service burst of up to
+// `burst_size` packets drains (FCFS by default — bit-exact with the
+// historical shared FIFO when cores == 1). Each burst takes
+// `service_burst(...)` nanoseconds of simulated compute; outputs
+// leave when their core's burst completes (a tx burst).
+//
+// The multi-core step model is bulk-synchronous run-to-completion:
+// every service step, each backlogged core drains one burst; each
+// core's busy nanoseconds accrue separately (busy_ns() sums them —
+// total compute), each core's outputs leave at step-start + its own
+// burst cost, and simulated time advances by the step *makespan* (max
+// over cores) — parallel speedup is the ratio of work done to the
+// slowest core's bill, never a free lunch. With cores == 1 the loop
+// degrades bit-exactly to the single-core datapath of PR 2-4.
+//
+// With `burst_size == 1` a core degrades to the classic single-server
 // queue, serving one packet per `service(...)` call — the per-packet
-// datapath of PR 1, kept as the batching ablation baseline. The
-// bounded queues are what turn per-packet (and per-burst) costs into
-// throughput limits, so the relative numbers in E1/E2 come from code,
-// not from constants pasted into benches.
+// datapath of PR 1, kept as the batching ablation baseline.
+// `SchedulerSpec::adaptive_burst` makes the budget track each core's
+// backlog between adaptive_min_burst and burst_size, so light load
+// takes the per-packet path (no idle poll sweep) and overload keeps
+// the full batch. The bounded queues are what turn per-packet (and
+// per-burst) costs into throughput limits, so the relative numbers in
+// E1/E2 come from code, not from constants pasted into benches.
 #pragma once
 
 #include <cstdint>
@@ -99,27 +115,56 @@ class ServicedNode : public Node {
                std::size_t burst_size = 32)
       : Node(engine, std::move(name)),
         ingress_(ingress),
-        burst_size_(burst_size == 0 ? 1 : burst_size),
-        scheduler_(make_scheduler(ingress.scheduler)) {}
+        burst_size_(burst_size == 0 ? 1 : burst_size) {
+    cores_.resize(ingress_.cores.cores == 0 ? 1 : ingress_.cores.cores);
+    for (Core& core : cores_) core.scheduler = make_scheduler(ingress_.scheduler);
+  }
 
   void handle(int in_port, net::Packet&& packet) final;
 
-  /// Maximum packets drained per service burst. 1 = per-packet service
-  /// (the classic single-server queue; `service()` is called directly
-  /// and `service_burst()` never runs).
+  /// Maximum packets drained per core per service burst. 1 = per-packet
+  /// service (the classic single-server queue; `service()` is called
+  /// directly and `service_burst()` never runs).
   void set_burst_size(std::size_t burst_size) { burst_size_ = burst_size == 0 ? 1 : burst_size; }
   [[nodiscard]] std::size_t burst_size() const { return burst_size_; }
 
-  /// Swap the burst scheduler (spec form resets cursor/deficit state).
+  /// Swap every core's burst scheduler (resets cursor/deficit state).
   void set_scheduler(const SchedulerSpec& spec) {
     ingress_.scheduler = spec;
-    scheduler_ = make_scheduler(spec);
+    for (Core& core : cores_) core.scheduler = make_scheduler(spec);
   }
+  /// Swap core 0's scheduler object directly (single-core test hook).
   void set_scheduler(std::unique_ptr<BurstScheduler> scheduler) {
-    if (scheduler != nullptr) scheduler_ = std::move(scheduler);
+    if (scheduler != nullptr) cores_.front().scheduler = std::move(scheduler);
   }
-  [[nodiscard]] const BurstScheduler& scheduler() const { return *scheduler_; }
+  [[nodiscard]] const BurstScheduler& scheduler() const { return *cores_.front().scheduler; }
   [[nodiscard]] const IngressSpec& ingress() const { return ingress_; }
+
+  /// Worker-core layout (fixed at construction via IngressSpec::cores).
+  [[nodiscard]] std::size_t core_count() const { return cores_.size(); }
+  /// Which core queue `queue_index` is steered to (pin map / RSS hash).
+  [[nodiscard]] std::size_t core_of_queue(std::size_t queue_index) const {
+    return queue_index < queue_core_.size() ? queue_core_[queue_index]
+                                            : ingress_.cores.core_of(queue_index);
+  }
+  /// Per-core observables: simulated compute, bursts drained, queue
+  /// polls swept, packets served, queues owned, live backlog.
+  [[nodiscard]] SimNanos core_busy_ns(std::size_t core) const { return cores_.at(core).busy_ns; }
+  [[nodiscard]] std::uint64_t core_bursts(std::size_t core) const {
+    return cores_.at(core).bursts;
+  }
+  [[nodiscard]] std::uint64_t core_rx_polls(std::size_t core) const {
+    return cores_.at(core).rx_polls;
+  }
+  [[nodiscard]] std::uint64_t core_packets(std::size_t core) const {
+    return cores_.at(core).packets;
+  }
+  [[nodiscard]] std::size_t core_queue_count(std::size_t core) const {
+    return cores_.at(core).queue_indices.size();
+  }
+  [[nodiscard]] std::size_t core_backlog(std::size_t core) const {
+    return cores_.at(core).backlog;
+  }
 
   /// Total tail drops across all port queues (shared-bound and
   /// per-port-bound drops both count; each is also attributed to the
@@ -167,10 +212,15 @@ class ServicedNode : public Node {
   /// True while service() is executing (emit() is legal).
   [[nodiscard]] bool in_service() const { return in_service_; }
 
-  /// RX queues polled by the burst currently in service (the node's
-  /// whole queue array) — service_burst() implementations bill their
-  /// per-queue poll cost from this.
+  /// RX queues polled by the burst currently in service (the serving
+  /// core's whole queue subset) — service_burst() implementations bill
+  /// their per-queue poll cost from this.
   [[nodiscard]] std::size_t queues_polled() const { return queues_polled_; }
+
+  /// The worker core whose burst is currently in service — SoftSwitch
+  /// keys its flow-cache shard (and per-core billing) off this. Only
+  /// meaningful inside service()/service_burst().
+  [[nodiscard]] std::size_t current_core() const { return current_core_; }
 
   /// Pre-size the RX queue array (one queue per port); queues still
   /// grow on demand if a packet arrives on a later port. Sizing up
@@ -185,13 +235,34 @@ class ServicedNode : public Node {
   }
 
  private:
+  /// One run-to-completion worker core: its scheduler instance, the
+  /// queues steered to it (append order — stable, so per-view
+  /// cursor/deficit state stays coherent), and its own service bill.
+  struct Core {
+    std::unique_ptr<BurstScheduler> scheduler;
+    std::vector<std::size_t> queue_indices;
+    std::vector<RxQueue*> view;  // rebuilt lazily after queue growth
+    std::size_t backlog = 0;     // packets across this core's queues
+    SimNanos busy_ns = 0;
+    std::uint64_t bursts = 0;
+    std::uint64_t rx_polls = 0;
+    std::uint64_t packets = 0;
+  };
+
   void drain();
+  /// Serve one burst on `core`; returns its compute cost (the step
+  /// loop folds it into the makespan).
+  SimNanos serve_core(std::size_t core_index, SimNanos step_start);
   [[nodiscard]] RxQueue& rx_queue_for(int in_port);
+  void refresh_views();
 
   IngressSpec ingress_;
   std::size_t burst_size_;
-  std::unique_ptr<BurstScheduler> scheduler_;
+  std::vector<Core> cores_;
   std::vector<RxQueue> rx_queues_;
+  std::vector<std::size_t> queue_core_;  // queue index -> owning core
+  bool views_dirty_ = false;
+  std::size_t current_core_ = 0;
   std::size_t total_depth_ = 0;
   std::uint64_t arrival_seq_ = 0;
   std::size_t queues_polled_ = 0;

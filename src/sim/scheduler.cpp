@@ -11,6 +11,14 @@ const char* to_string(SchedulerKind kind) {
   return "?";
 }
 
+const char* to_string(RssPolicy policy) {
+  switch (policy) {
+    case RssPolicy::kHash: return "hash";
+    case RssPolicy::kStride: return "stride";
+  }
+  return "?";
+}
+
 std::unique_ptr<BurstScheduler> make_scheduler(const SchedulerSpec& spec) {
   switch (spec.kind) {
     case SchedulerKind::kFcfs: return std::make_unique<FcfsScheduler>();
@@ -23,13 +31,14 @@ std::unique_ptr<BurstScheduler> make_scheduler(const SchedulerSpec& spec) {
   return std::make_unique<FcfsScheduler>();
 }
 
-void FcfsScheduler::next_burst(std::vector<RxQueue>& queues, std::size_t budget, Burst& out) {
+void FcfsScheduler::next_burst(const std::vector<RxQueue*>& queues, std::size_t budget,
+                               Burst& out) {
   // One sweep collects the backlogged queues; the pop loop then only
   // touches those. The common case — a single busy port — drains at
   // deque speed instead of rescanning the whole port array per packet.
   backlogged_.clear();
-  for (RxQueue& queue : queues)
-    if (!queue.empty()) backlogged_.push_back(&queue);
+  for (RxQueue* queue : queues)
+    if (!queue->empty()) backlogged_.push_back(queue);
   if (backlogged_.size() == 1) {
     RxQueue& queue = *backlogged_.front();
     while (out.size() < budget && !queue.empty())
@@ -46,13 +55,13 @@ void FcfsScheduler::next_burst(std::vector<RxQueue>& queues, std::size_t budget,
   }
 }
 
-void RoundRobinScheduler::next_burst(std::vector<RxQueue>& queues, std::size_t budget,
+void RoundRobinScheduler::next_burst(const std::vector<RxQueue*>& queues, std::size_t budget,
                                      Burst& out) {
   if (queues.empty()) return;
   if (cursor_ >= queues.size()) cursor_ = 0;
   std::size_t empty_streak = 0;
   while (out.size() < budget && empty_streak < queues.size()) {
-    RxQueue& queue = queues[cursor_];
+    RxQueue& queue = *queues[cursor_];
     if (queue.empty()) {
       ++empty_streak;
       cursor_ = (cursor_ + 1) % queues.size();
@@ -66,7 +75,8 @@ void RoundRobinScheduler::next_burst(std::vector<RxQueue>& queues, std::size_t b
   }
 }
 
-void DrrScheduler::next_burst(std::vector<RxQueue>& queues, std::size_t budget, Burst& out) {
+void DrrScheduler::next_burst(const std::vector<RxQueue*>& queues, std::size_t budget,
+                              Burst& out) {
   if (queues.empty()) return;
   if (deficit_.size() < queues.size()) deficit_.resize(queues.size(), 0);
   if (cursor_ >= queues.size()) {
@@ -75,7 +85,7 @@ void DrrScheduler::next_burst(std::vector<RxQueue>& queues, std::size_t budget, 
   }
   std::size_t empty_streak = 0;
   while (out.size() < budget && empty_streak < queues.size()) {
-    RxQueue& queue = queues[cursor_];
+    RxQueue& queue = *queues[cursor_];
     if (queue.empty()) {
       deficit_[cursor_] = 0;  // an idle port forfeits banked credit
       mid_visit_ = false;
@@ -84,7 +94,8 @@ void DrrScheduler::next_burst(std::vector<RxQueue>& queues, std::size_t budget, 
       continue;
     }
     empty_streak = 0;
-    if (!mid_visit_) deficit_[cursor_] += quantum_for(cursor_);
+    if (!mid_visit_)
+      deficit_[cursor_] += quantum_for(static_cast<std::size_t>(queue.in_port()));
     mid_visit_ = false;
     while (!queue.empty() && out.size() < budget &&
            queue.front().packet.size() <= deficit_[cursor_]) {

@@ -20,9 +20,16 @@
 //                  cannot starve a mouse port.
 //
 // Scheduling state (cursors, deficits) lives in the scheduler object,
-// one per node; the queues themselves belong to the node. The
-// (queue -> burst) hand-off defined here is deliberately the unit a
-// future multi-core datapath gives each worker core.
+// one per worker core; the queues themselves belong to the node. The
+// (queue -> burst) hand-off defined here is the unit a worker core
+// pulls: a multi-core node (CoreSpec) steers each RX queue to one core
+// RSS-style and gives every core its own scheduler instance over its
+// own queue subset, so next_burst takes the core's queue *view* (a
+// stable-ordered vector of queue pointers), not the node's whole
+// array. Per-view state (cursors, deficits) indexes positions in that
+// view; a single-core node's view is the full array in port order,
+// which keeps the one-core datapath bit-exact with the pre-multi-core
+// code.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +39,7 @@
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
+#include "util/hash.hpp"
 
 namespace harmless::sim {
 
@@ -100,10 +108,70 @@ struct SchedulerSpec {
   /// credit per round and gets ~twice the goodput under overload.
   /// Ports beyond the vector (or with a 0 entry) use drr_quantum_bytes.
   std::vector<std::size_t> drr_port_quantum_bytes;
+  /// Adaptive burst sizing: each service step, a core's burst budget
+  /// tracks its own backlog, clamped to [adaptive_min_burst, the
+  /// node's burst_size]. Light load degrades to the per-packet
+  /// datapath (budget 1: flat rx_tx_ns, no per-queue poll sweep — the
+  /// idle-poll bill disappears); overload runs the full batch and
+  /// keeps the whole amortization win. Off by default: a fixed budget
+  /// is what the burst-sweep ablations compare against.
+  bool adaptive_burst = false;
+  /// Floor of the adaptive budget (1 = allow the per-packet path).
+  std::size_t adaptive_min_burst = 1;
 };
 
-/// The pluggable ingress-scheduling API: given the node's per-port
-/// queues and a packet budget, drain the next burst.
+/// In a CoreSpec pin map: this port has no pin; RSS steering decides.
+constexpr std::uint32_t kCoreUnpinned = 0xffffffffu;
+
+/// How a multi-core node spreads per-port RX queues over worker cores
+/// when the pin map does not dictate a core.
+enum class RssPolicy : std::uint8_t {
+  /// RSS-style: hash the port id through the shared project mix
+  /// (util/hash.hpp — the same mix the flow cache keys with) and take
+  /// it modulo the core count. What a NIC's indirection table does.
+  kHash,
+  /// Stride the ports across cores (port % cores): deterministic exact
+  /// balance, the hand-tuned comparison point for the hash policy.
+  kStride,
+};
+[[nodiscard]] const char* to_string(RssPolicy policy);
+
+/// Worker-core layout of a ServicedNode: how many run-to-completion
+/// cores service the RX queues, and how queues are steered to them.
+/// cores == 1 is the single-core datapath (bit-exact with the
+/// pre-multi-core code); each core owns its own BurstScheduler
+/// instance (and, in SoftSwitch, its own flow-cache shard).
+struct CoreSpec {
+  std::size_t cores = 1;
+  RssPolicy rss = RssPolicy::kHash;
+  /// Per-port core override (index = sim port / queue index): entries
+  /// other than kCoreUnpinned pin that port's queue to the given core
+  /// (mod cores, so a map built for 8 cores still works on 2). Ports
+  /// beyond the vector fall back to the RSS policy.
+  std::vector<std::uint32_t> pin_map;
+
+  /// The steering decision: which core services queue `queue_index`.
+  [[nodiscard]] std::size_t core_of(std::size_t queue_index) const {
+    const std::size_t count = cores == 0 ? 1 : cores;
+    if (queue_index < pin_map.size() && pin_map[queue_index] != kCoreUnpinned)
+      return pin_map[queue_index] % count;
+    if (rss == RssPolicy::kStride) return queue_index % count;
+    // Two extra finalizer rounds fold the high bits down: one round of
+    // the FNV-style mix barely diffuses a small port id, leaving the
+    // low bits (what `% cores` reads) a pure rotation of the id — i.e.
+    // stride in disguise. Finalized, the map behaves like a real NIC's
+    // indirection table: hash-random spread, visible imbalance
+    // included (that honesty is what the stride policy is the
+    // counterfactual for).
+    std::uint64_t h = util::hash_u64(util::kHashSeed, queue_index);
+    h = util::hash_u64(h, h >> 32);
+    h = util::hash_u64(h, h >> 32);
+    return static_cast<std::size_t>(h) % count;
+  }
+};
+
+/// The pluggable ingress-scheduling API: given one worker core's view
+/// of the per-port queues and a packet budget, drain the next burst.
 class BurstScheduler {
  public:
   virtual ~BurstScheduler() = default;
@@ -114,10 +182,13 @@ class BurstScheduler {
   [[nodiscard]] virtual const char* name() const = 0;
 
   /// Move up to `budget` packets from `queues` into `out` (appended in
-  /// service order). Must take exactly min(budget, total backlog)
+  /// service order). `queues` is the calling core's queue view; its
+  /// order must be stable across calls (cursor/deficit state indexes
+  /// positions in it). Must take exactly min(budget, total backlog)
   /// packets: a scheduler may reorder ports, never idle the datapath
   /// while work is queued (all shipped policies are work-conserving).
-  virtual void next_burst(std::vector<RxQueue>& queues, std::size_t budget, Burst& out) = 0;
+  virtual void next_burst(const std::vector<RxQueue*>& queues, std::size_t budget,
+                          Burst& out) = 0;
 };
 
 /// Global arrival order (lowest sequence stamp first) — the shared
@@ -125,7 +196,7 @@ class BurstScheduler {
 class FcfsScheduler final : public BurstScheduler {
  public:
   [[nodiscard]] const char* name() const override { return "fcfs"; }
-  void next_burst(std::vector<RxQueue>& queues, std::size_t budget, Burst& out) override;
+  void next_burst(const std::vector<RxQueue*>& queues, std::size_t budget, Burst& out) override;
 
  private:
   std::vector<RxQueue*> backlogged_;  // reused scratch, cleared per burst
@@ -137,7 +208,7 @@ class RoundRobinScheduler final : public BurstScheduler {
   explicit RoundRobinScheduler(std::size_t quantum_packets = 1)
       : quantum_(quantum_packets == 0 ? 1 : quantum_packets) {}
   [[nodiscard]] const char* name() const override { return "rr"; }
-  void next_burst(std::vector<RxQueue>& queues, std::size_t budget, Burst& out) override;
+  void next_burst(const std::vector<RxQueue*>& queues, std::size_t budget, Burst& out) override;
 
  private:
   std::size_t quantum_;
@@ -157,14 +228,17 @@ class DrrScheduler final : public BurstScheduler {
       : quantum_(quantum_bytes == 0 ? 1 : quantum_bytes),
         port_quantum_(std::move(port_quantum_bytes)) {}
   [[nodiscard]] const char* name() const override { return "drr"; }
-  void next_burst(std::vector<RxQueue>& queues, std::size_t budget, Burst& out) override;
+  void next_burst(const std::vector<RxQueue*>& queues, std::size_t budget, Burst& out) override;
 
  private:
-  /// The quantum banked per visit of queue `index`: the per-port
-  /// policy weight when configured, the uniform default otherwise.
-  [[nodiscard]] std::size_t quantum_for(std::size_t index) const {
-    if (index < port_quantum_.size() && port_quantum_[index] != 0)
-      return port_quantum_[index];
+  /// The quantum banked per visit of the queue on port `port`: the
+  /// per-port policy weight when configured, the uniform default
+  /// otherwise. Keyed by the queue's port id, not its position in the
+  /// core's view — policy weights follow the port wherever its queue
+  /// is steered.
+  [[nodiscard]] std::size_t quantum_for(std::size_t port) const {
+    if (port < port_quantum_.size() && port_quantum_[port] != 0)
+      return port_quantum_[port];
     return quantum_;
   }
 
@@ -191,6 +265,9 @@ struct IngressSpec {
   std::size_t queue_capacity = 1024;
   std::size_t port_queue_capacity = 0;
   SchedulerSpec scheduler;
+  /// Worker-core layout: queue -> core steering plus the core count.
+  /// Every core gets its own scheduler instance built from `scheduler`.
+  CoreSpec cores;
 };
 
 }  // namespace harmless::sim

@@ -16,18 +16,53 @@ SoftSwitch::SoftSwitch(sim::Engine& engine, std::string name, std::uint64_t data
       port_up_(of_port_count + 1, true),
       seen_cache_epoch_(pipeline_.cache().epoch()) {
   ensure_ports(of_port_count);
+  // One flow-cache shard per worker core: each core learns into (and
+  // probes) only its own shard; all shards share the pipeline's one
+  // invalidation epoch.
+  pipeline_.set_shard_count(core_count());
   // One RX queue per OF port from the start: the poll sweep pays for
-  // every port the switch fronts, busy or idle.
+  // every port the switch fronts, busy or idle (and the queue -> core
+  // steering is decided up front, not on first arrival).
   ensure_rx_queues(of_port_count);
 }
 
 void SoftSwitch::observe_cache_epoch() {
+  // Hot path (called per packet / per burst): O(1) epoch bookkeeping
+  // only. The per-shard tier/classifier totals are summed lazily when
+  // counters() is read.
   const std::uint64_t epoch = pipeline_.cache().epoch();
   counters_.cache_invalidations += epoch - seen_cache_epoch_;
   seen_cache_epoch_ = epoch;
-  counters_.cache_evictions = pipeline_.cache().stats().evictions;
-  counters_.cache_subtables = pipeline_.cache().subtable_count();
-  counters_.cache_subtable_probes = pipeline_.cache().stats().subtable_probes;
+}
+
+const SoftSwitch::Counters& SoftSwitch::counters() const {
+  // Reporting time: aggregate the monotone per-shard stats across the
+  // cache shards (one per worker core; one shard total single-core).
+  counters_.cache_evictions = 0;
+  counters_.cache_subtables = 0;
+  counters_.cache_subtable_probes = 0;
+  for (std::size_t shard = 0; shard < pipeline_.shard_count(); ++shard) {
+    counters_.cache_evictions += pipeline_.cache(shard).stats().evictions;
+    counters_.cache_subtables += pipeline_.cache(shard).subtable_count();
+    counters_.cache_subtable_probes += pipeline_.cache(shard).stats().subtable_probes;
+  }
+  return counters_;
+}
+
+SoftSwitch::CoreStats SoftSwitch::core_stats(std::size_t core) const {
+  CoreStats stats;
+  stats.busy_ns = core_busy_ns(core);
+  stats.bursts = core_bursts(core);
+  stats.packets = core_packets(core);
+  stats.rx_queue_polls = core_rx_polls(core);
+  stats.rx_queues = core_queue_count(core);
+  const openflow::FlowCache& shard = pipeline_.cache(core);
+  stats.cache_hits = shard.stats().hits;
+  stats.cache_misses = shard.stats().misses;
+  stats.cache_evictions = shard.stats().evictions;
+  stats.cache_megaflows = shard.megaflow_count();
+  stats.cache_subtables = shard.subtable_count();
+  return stats;
 }
 
 void SoftSwitch::bind_patch(std::uint32_t of_port, SoftSwitch& peer,
@@ -311,13 +346,23 @@ sim::SimNanos SoftSwitch::service(int in_port, net::Packet&& packet) {
   ++counters_.pipeline_runs;
   packet.add_hop();
 
-  if (!port_up(in_of_port)) {
-    ++counters_.drops_port_down;
-    return costs_.rx_tx_ns;
+  // Multi-core: one RSS steering hash per packet (cores=1 makes no
+  // steering decision and bills nothing — bit-exact with PR 4).
+  sim::SimNanos rss_ns = 0;
+  if (core_count() > 1) {
+    ++counters_.rss_steered;
+    rss_ns = costs_.rss_hash_ns;
   }
 
-  PipelineResult result = pipeline_.run(std::move(packet), in_of_port, engine_.now());
-  const sim::SimNanos cost = costs_.packet_cost_ns(result, pipeline_.cache_enabled());
+  if (!port_up(in_of_port)) {
+    ++counters_.drops_port_down;
+    return costs_.rx_tx_ns + rss_ns;
+  }
+
+  PipelineResult result =
+      pipeline_.run(std::move(packet), in_of_port, engine_.now(), current_core());
+  const sim::SimNanos cost =
+      costs_.packet_cost_ns(result, pipeline_.cache_enabled()) + rss_ns;
   if (pipeline_.cache_enabled()) {
     if (result.cache_hit)
       ++counters_.cache_hits;
@@ -352,16 +397,23 @@ sim::SimNanos SoftSwitch::service_burst(sim::ServicedNode::Burst&& burst) {
     in_of_ports.push_back(in_of_port);
   }
 
+  // Multi-core: one RSS steering hash per packet pulled by this core's
+  // rx burst (cores=1 bills nothing).
+  const std::size_t rss_hashes = core_count() > 1 ? rx_packets : 0;
+  counters_.rss_steered += rss_hashes;
+
   const bool cache = pipeline_.cache_enabled();
-  BurstResult result = pipeline_.run_burst(std::move(items), engine_.now());
-  const sim::SimNanos cost = costs_.burst_cost_ns(result, cache, rx_packets, queues_polled());
+  BurstResult result = pipeline_.run_burst(std::move(items), engine_.now(), current_core());
+  const sim::SimNanos cost =
+      costs_.burst_cost_ns(result, cache, rx_packets, queues_polled(), rss_hashes);
   counters_.replay_groups += result.replay_groups;
   counters_.rx_queue_polls += queues_polled();
 
   // Latency metadata: each packet carries its own marginal bill plus an
   // even share of the burst-level overhead (rx/tx setup, the per-queue
-  // poll sweep, group setups).
+  // poll sweep, its steering hash, group setups).
   sim::SimNanos shared_ns = costs_.rx_tx_pkt_ns;
+  if (rss_hashes != 0) shared_ns += costs_.rss_hash_ns;
   if (!result.results.empty()) {
     sim::SimNanos overhead =
         costs_.rx_tx_burst_ns + static_cast<sim::SimNanos>(queues_polled()) * costs_.rx_poll_ns;

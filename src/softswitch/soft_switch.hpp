@@ -21,6 +21,19 @@
 // slow-path only the residue. With burst_size 1 it degrades to the
 // per-packet datapath (the batching ablation baseline).
 //
+// The datapath is multi-core capable (IngressSpec::cores): each worker
+// core owns a subset of the per-port RX queues (RSS-hash steered, pin
+// map override), its own BurstScheduler instance, and its own
+// flow-cache *shard* (Pipeline cache shard = core index) — microflow
+// map, classifier subtables, rank order and CLOCK hand are all
+// per-core, so a shard's probe order tracks exactly the skew its own
+// queues carry and no cross-core cache state exists beyond the one
+// read-mostly invalidation epoch. Every service step each backlogged
+// core drains one burst; per-core busy nanoseconds accrue separately
+// and simulated time advances by the step makespan (see sim/node.hpp).
+// Steering bills DatapathCosts::rss_hash_ns per packet (multi-core
+// only); cores=1 is bit-exact with the single-core datapath.
+//
 // The datapath charges simulated nanoseconds accordingly: per burst, a
 // fixed rx/tx overhead plus a smaller per-packet marginal (their sum
 // at burst size 1 equals the per-packet rx_tx_ns — batching buys the
@@ -62,10 +75,17 @@ struct DatapathCosts {
   sim::SimNanos rx_tx_burst_ns = 40;  // fixed per rx/tx burst call
   sim::SimNanos rx_tx_pkt_ns = 15;    // marginal per packet within a burst
   /// Poll-mode rx sweep: every service burst polls every per-port RX
-  /// queue once, empty or not — port density costs cycles even when
-  /// the ports are silent (charged per queue per burst; the per-packet
-  /// burst_size-1 datapath keeps the flat rx_tx_ns instead).
+  /// queue the serving core owns once, empty or not — port density
+  /// costs cycles even when the ports are silent (charged per queue
+  /// per burst; the per-packet burst_size-1 datapath keeps the flat
+  /// rx_tx_ns instead).
   sim::SimNanos rx_poll_ns = 2;
+  /// RSS steering: one hash per packet deciding which worker core's
+  /// queue it lands in (what a NIC's RSS indirection table computes
+  /// per received frame). Charged per packet only on a multi-core
+  /// datapath — with one core there is no steering decision to make,
+  /// which keeps cores=1 bit-exact with the single-core bill.
+  sim::SimNanos rss_hash_ns = 3;
   sim::SimNanos patch_ns = 20;   // patch-port hand-off (one enqueue)
   sim::SimNanos clone_ns = 15;   // per extra copy on flood/group ALL
   /// Flow-cache fast path: one microflow hash probe + key validation,
@@ -118,14 +138,18 @@ struct DatapathCosts {
   /// SoftSwitch::service_burst and the burst-sweep bench.
   /// `rx_packets` is what the rx burst actually pulled (may exceed
   /// burst.results when ingress-down packets were dropped pre-pipeline);
-  /// `queues_polled` is the per-port RX queues the poll sweep visited
-  /// (all of them, every burst — empty-port polling isn't free).
+  /// `queues_polled` is the per-port RX queues the serving core's poll
+  /// sweep visited (all of its own, every burst — empty-port polling
+  /// isn't free); `rss_hashes` is the steering decisions billed to the
+  /// burst (one per packet on a multi-core datapath, 0 single-core).
   [[nodiscard]] sim::SimNanos burst_cost_ns(const openflow::BurstResult& burst,
                                             bool cache_enabled, std::size_t rx_packets,
-                                            std::size_t queues_polled) const {
+                                            std::size_t queues_polled,
+                                            std::size_t rss_hashes = 0) const {
     sim::SimNanos cost = rx_tx_burst_ns +
                          static_cast<sim::SimNanos>(queues_polled) * rx_poll_ns +
-                         static_cast<sim::SimNanos>(rx_packets) * rx_tx_pkt_ns;
+                         static_cast<sim::SimNanos>(rx_packets) * rx_tx_pkt_ns +
+                         static_cast<sim::SimNanos>(rss_hashes) * rss_hash_ns;
     if (cache_enabled)
       cost += static_cast<sim::SimNanos>(burst.replay_groups) * replay_setup_ns;
     for (const openflow::PipelineResult& result : burst.results)
@@ -185,8 +209,32 @@ class SoftSwitch : public sim::ServicedNode {
     std::uint64_t service_bursts = 0;      // bursts drained by service_burst
     std::uint64_t replay_groups = 0;       // megaflow groups replayed across bursts
     std::uint64_t rx_queue_polls = 0;      // per-port RX queues polled across bursts
+    // Multi-core datapath (zero with one core):
+    std::uint64_t rss_steered = 0;         // per-packet steering hashes billed
   };
-  [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// Datapath counters. The cache eviction/classifier fields are
+  /// aggregated across the per-core shards at read time (they are
+  /// monotone per-shard totals; summing them per packet would put
+  /// O(cores) work on the hot path for numbers only reports consume).
+  [[nodiscard]] const Counters& counters() const;
+
+  /// One worker core's slice of the datapath: its service-loop bill
+  /// (from ServicedNode's per-core accounting) joined with its own
+  /// flow-cache shard's stats — the per-core numbers the core-scaling
+  /// bench table and the sharding tests read.
+  struct CoreStats {
+    sim::SimNanos busy_ns = 0;
+    std::uint64_t bursts = 0;
+    std::uint64_t packets = 0;          // packets this core served
+    std::uint64_t rx_queue_polls = 0;
+    std::size_t rx_queues = 0;          // queues steered to this core
+    std::uint64_t cache_hits = 0;       // this shard's lookup hits
+    std::uint64_t cache_misses = 0;     // this shard's lookup misses
+    std::uint64_t cache_evictions = 0;  // CLOCK evictions in this shard
+    std::size_t cache_megaflows = 0;    // resident megaflows in this shard
+    std::size_t cache_subtables = 0;    // live subtables in this shard
+  };
+  [[nodiscard]] CoreStats core_stats(std::size_t core) const;
 
   /// Per-OF-port ingress queue stats (of_port is 1-based, like every
   /// OF-facing API here). Depth is the live backlog; drops and peak
@@ -226,7 +274,9 @@ class SoftSwitch : public sim::ServicedNode {
   std::size_t of_port_count_;
   openflow::Pipeline pipeline_;
   DatapathCosts costs_;
-  Counters counters_;
+  /// mutable: counters() aggregates the per-shard cache totals into
+  /// the cache_* fields at read time (see its comment).
+  mutable Counters counters_;
   openflow::ControlChannel* channel_ = nullptr;
   /// Fold any epoch advance since the last observation into the
   /// cache_invalidations counter (each table/group mutation bumps the

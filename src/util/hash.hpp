@@ -1,0 +1,31 @@
+// util/hash.hpp — the one 64-bit mixing hash the project shares.
+//
+// An FNV-1a-style multiply-xor mix over a stream of u64s. Three layers
+// key packed values with it and must never diverge:
+//   * the specialized matcher's shape keys (openflow/matcher.cpp),
+//   * the flow cache's microflow keys and per-mask subtable probes
+//     (openflow/flow_cache.*),
+//   * RSS ingress steering — the queue -> worker-core assignment of the
+//     multi-core datapath (sim/scheduler.hpp).
+// The last two sharing one mix is deliberate: RSS flow affinity only
+// pays off because the same bits that pick a core also pick that
+// core's cache shard, so a shard's subtable rank order tracks exactly
+// the skew its own queues carry.
+#pragma once
+
+#include <cstdint>
+
+namespace harmless::util {
+
+/// FNV-1a 64-bit offset basis — the shared seed.
+constexpr std::uint64_t kHashSeed = 0xcbf29ce484222325ULL;
+
+/// Fold one u64 into a running hash (FNV-style multiply + xor-shift).
+[[nodiscard]] constexpr std::uint64_t hash_u64(std::uint64_t seed, std::uint64_t value) {
+  std::uint64_t h = seed ^ value;
+  h *= 0x100000001b3ULL;
+  h ^= h >> 29;
+  return h;
+}
+
+}  // namespace harmless::util

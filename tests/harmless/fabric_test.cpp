@@ -48,7 +48,7 @@ struct Rig {
   Controller controller;
   LearningSwitchApp* app;
 
-  Rig() {
+  explicit Rig(const FabricSpec& spec = {}) {
     legacy_switch =
         &network.add_node<LegacySwitch>("legacy", harmless_legacy_config(kAccessPorts));
     for (int i = 0; i < kAccessPorts; ++i) {
@@ -60,7 +60,7 @@ struct Rig {
       hosts.push_back(&host);
     }
     auto map = PortMap::make({1, 2, 3, 4}, kAccessPorts + 1);
-    fabric.emplace(Fabric::build(network, *legacy_switch, *map));
+    fabric.emplace(Fabric::build(network, *legacy_switch, *map, spec));
     app = &controller.add_app<LearningSwitchApp>();
     controller.connect(fabric->control_channel(), "SS_2");
     network.run();  // handshake + miss entry
@@ -116,6 +116,40 @@ TEST(Fabric, HostToHostThroughFullHairpin) {
   rig.network.run();
   EXPECT_EQ(rig.controller.stats().packet_ins, punts);
   EXPECT_EQ(rig.hosts[1]->counters().rx_udp, 3u);
+}
+
+TEST(Fabric, MultiCoreFabricForwardsAndBillsSteering) {
+  // The full hairpin with 4 worker cores on both soft switches: the
+  // sharded datapath must stay transparent end to end, and the
+  // steering bill (rss_hash_ns per packet, multi-core only) must show
+  // up on both switches. Core counters must tile the node totals.
+  FabricSpec spec;
+  spec.ingress.cores.cores = 4;
+  Rig rig(spec);
+  for (int round = 0; round < 3; ++round) {
+    rig.hosts[0]->send(rig.udp(0, 1));
+    rig.hosts[1]->send(rig.udp(1, 0));
+    rig.network.run();
+  }
+  EXPECT_EQ(rig.hosts[1]->counters().rx_udp, 3u);
+  EXPECT_EQ(rig.hosts[0]->counters().rx_udp, 3u);
+
+  for (softswitch::SoftSwitch* ss : {&rig.fabric->ss1(), &rig.fabric->ss2()}) {
+    EXPECT_EQ(ss->core_count(), 4u) << ss->name();
+    EXPECT_GT(ss->counters().rss_steered, 0u) << ss->name();
+    sim::SimNanos busy = 0;
+    std::uint64_t packets = 0;
+    std::size_t queues = 0;
+    for (std::size_t core = 0; core < ss->core_count(); ++core) {
+      const auto stats = ss->core_stats(core);
+      busy += stats.busy_ns;
+      packets += stats.packets;
+      queues += stats.rx_queues;
+    }
+    EXPECT_EQ(busy, ss->busy_ns()) << ss->name();
+    EXPECT_EQ(queues, ss->rx_queue_count()) << ss->name();
+    EXPECT_GT(packets, 0u) << ss->name();
+  }
 }
 
 TEST(Fabric, FramesArriveUntaggedAtHosts) {

@@ -111,9 +111,10 @@ class SchedulerProbe final : public sim::ServicedNode {
  public:
   SchedulerProbe(Engine& engine, std::size_t capacity, std::size_t burst,
                  sim::SchedulerSpec scheduler = {})
-      : ServicedNode(engine, "probe",
-                     sim::IngressSpec{.queue_capacity = capacity, .scheduler = scheduler},
-                     burst) {
+      : ServicedNode(
+            engine, "probe",
+            sim::IngressSpec{.queue_capacity = capacity, .scheduler = scheduler, .cores = {}},
+            burst) {
     ensure_ports(1);
   }
 

@@ -153,6 +153,7 @@ class EchoNode : public ServicedNode {
   }
   std::vector<SimNanos> service_times;
   std::function<void(int)> on_service;
+  using ServicedNode::ensure_rx_queues;  // expose for the poll tests
 
  protected:
   SimNanos service(int in_port, net::Packet&& packet) override {
@@ -343,6 +344,174 @@ TEST(ServicedNode, PerPortBoundAttributesDropsToTheArrivingPort) {
   EXPECT_EQ(node.rx_queue(1).drops(), 0u);
   EXPECT_EQ(node.service_times.size(), 3u);
   EXPECT_EQ(node.rx_queue(0).peak_depth(), 2u);
+}
+
+// ---- Multi-core service steps (CoreSpec) -----------------------------
+
+TEST(MultiCore, SteeringFollowsPinMapThenRssPolicy) {
+  CoreSpec spec;
+  spec.cores = 4;
+  spec.rss = RssPolicy::kStride;
+  spec.pin_map = {2, kCoreUnpinned, 7};  // 7 wraps to 7 % 4 == 3
+  EXPECT_EQ(spec.core_of(0), 2u);        // pinned
+  EXPECT_EQ(spec.core_of(1), 1u);        // unpinned -> stride: 1 % 4
+  EXPECT_EQ(spec.core_of(2), 3u);        // pinned mod cores
+  EXPECT_EQ(spec.core_of(5), 1u);        // beyond the map -> stride
+  // The hash policy must agree with the shared project mix (plus its
+  // two finalizer rounds) — RSS and the flow cache key through the
+  // same primitive by construction.
+  spec.rss = RssPolicy::kHash;
+  spec.pin_map.clear();
+  std::uint64_t h = util::hash_u64(util::kHashSeed, 5);
+  h = util::hash_u64(h, h >> 32);
+  h = util::hash_u64(h, h >> 32);
+  EXPECT_EQ(spec.core_of(5), static_cast<std::size_t>(h) % 4);
+  // And it must NOT be a disguised stride: over the first 8 ports on 4
+  // cores the map is visibly non-rotational (a rotation is what a
+  // single unfinalized mix round degenerates to).
+  bool is_rotation = false;
+  for (std::size_t r = 0; r < 4 && !is_rotation; ++r) {
+    bool matches = true;
+    for (std::size_t q = 0; q < 8 && matches; ++q) matches = spec.core_of(q) == (q + r) % 4;
+    is_rotation = matches;
+  }
+  EXPECT_FALSE(is_rotation);
+}
+
+TEST(MultiCore, CoresServeTheirOwnQueuesInOneLockstepStep) {
+  Engine engine;
+  IngressSpec ingress;
+  ingress.queue_capacity = 64;
+  ingress.cores.cores = 2;
+  ingress.cores.rss = RssPolicy::kStride;  // port 0 -> core 0, port 1 -> core 1
+  EchoNode node(engine, 100, /*burst_size=*/4, ingress);
+  node.ensure_ports(2);
+
+  // 4 packets per port at t=0: one step, both cores burst in parallel.
+  engine.schedule_at(0, [&] {
+    for (int i = 0; i < 4; ++i) node.handle(0, sized_packet(64));
+    for (int i = 0; i < 4; ++i) node.handle(1, sized_packet(64));
+  });
+  engine.run();
+
+  ASSERT_EQ(node.core_count(), 2u);
+  EXPECT_EQ(node.core_of_queue(0), 0u);
+  EXPECT_EQ(node.core_of_queue(1), 1u);
+  EXPECT_EQ(node.core_queue_count(0), 1u);
+  EXPECT_EQ(node.core_queue_count(1), 1u);
+  // All 8 served at t=0 (two parallel bursts of 4), where one core
+  // would have needed two sequential steps.
+  ASSERT_EQ(node.service_times.size(), 8u);
+  for (const SimNanos at : node.service_times) EXPECT_EQ(at, 0);
+  EXPECT_EQ(node.bursts_served(), 2u);
+  EXPECT_EQ(node.core_bursts(0), 1u);
+  EXPECT_EQ(node.core_bursts(1), 1u);
+  EXPECT_EQ(node.core_packets(0), 4u);
+  EXPECT_EQ(node.core_packets(1), 4u);
+  // Busy time is total compute (sum over cores); each core billed its
+  // own 400ns.
+  EXPECT_EQ(node.core_busy_ns(0), 400);
+  EXPECT_EQ(node.core_busy_ns(1), 400);
+  EXPECT_EQ(node.busy_ns(), 800);
+}
+
+TEST(MultiCore, StepAdvancesByTheMakespanOfTheSlowestCore) {
+  Engine engine;
+  IngressSpec ingress;
+  ingress.queue_capacity = 64;
+  ingress.cores.cores = 2;
+  ingress.cores.rss = RssPolicy::kStride;
+  EchoNode node(engine, 100, /*burst_size=*/4, ingress);
+  node.ensure_ports(2);
+
+  // Core 0 gets 8 packets (two bursts), core 1 gets 1. The second step
+  // starts only when step 1's slowest core (core 0: 400ns) finishes —
+  // lockstep workers, not independent servers.
+  engine.schedule_at(0, [&] {
+    for (int i = 0; i < 8; ++i) node.handle(0, sized_packet(64));
+    node.handle(1, sized_packet(64));
+  });
+  engine.run();
+
+  ASSERT_EQ(node.service_times.size(), 9u);
+  // Step 1 at t=0: core 0 serves 4, core 1 serves 1 (100ns, idles the
+  // rest of the 400ns makespan). Step 2 at t=400: core 0's remainder.
+  std::size_t at_0 = 0, at_400 = 0;
+  for (const SimNanos at : node.service_times) {
+    if (at == 0) ++at_0;
+    if (at == 400) ++at_400;
+  }
+  EXPECT_EQ(at_0, 5u);
+  EXPECT_EQ(at_400, 4u);
+  EXPECT_EQ(node.core_busy_ns(0), 800);
+  EXPECT_EQ(node.core_busy_ns(1), 100);
+  EXPECT_EQ(node.busy_ns(), 900);
+}
+
+// ---- Adaptive burst sizing (SchedulerSpec::adaptive_burst) -----------
+
+TEST(AdaptiveBurst, LightLoadTakesThePerPacketPathAndSkipsIdlePolls) {
+  // Paced singles: backlog is 1 at every drain. Fixed burst-32 pays a
+  // full poll sweep per (one-packet) burst; adaptive shrinks the
+  // budget to 1 and takes the per-packet path — zero poll sweeps, the
+  // idle-poll bill gone.
+  auto run = [](bool adaptive) {
+    Engine engine;
+    IngressSpec ingress;
+    ingress.queue_capacity = 64;
+    ingress.scheduler.adaptive_burst = adaptive;
+    EchoNode node(engine, 100, /*burst_size=*/32, ingress);
+    node.ensure_ports(4);
+    node.ensure_rx_queues(4);  // idle port density: 4 queues to sweep
+    for (int i = 0; i < 10; ++i)
+      engine.schedule_at(i * 10'000, [&node] { node.handle(0, sized_packet(64)); });
+    engine.run();
+    EXPECT_EQ(node.service_times.size(), 10u);
+    return node.rx_polls();
+  };
+  EXPECT_EQ(run(/*adaptive=*/false), 10u * 4u);
+  EXPECT_EQ(run(/*adaptive=*/true), 0u);
+}
+
+TEST(AdaptiveBurst, OverloadGrowsTheBudgetBackToFullBatching) {
+  // 64 packets at once: adaptive must not stay timid — the first step
+  // sees backlog 64 and runs the full burst_size budget, matching the
+  // fixed-burst drain burst for burst.
+  auto run = [](bool adaptive) {
+    Engine engine;
+    IngressSpec ingress;
+    ingress.queue_capacity = 64;
+    ingress.scheduler.adaptive_burst = adaptive;
+    EchoNode node(engine, 100, /*burst_size=*/32, ingress);
+    engine.schedule_at(0, [&node] {
+      for (int i = 0; i < 64; ++i) node.handle(0, sized_packet(64));
+    });
+    engine.run();
+    EXPECT_EQ(node.service_times.size(), 64u);
+    return std::pair{node.bursts_served(), node.rx_polls()};
+  };
+  const auto fixed = run(/*adaptive=*/false);
+  const auto adaptive = run(/*adaptive=*/true);
+  EXPECT_EQ(adaptive.first, 2u);  // two full bursts of 32
+  EXPECT_EQ(adaptive, fixed);     // identical batching (and poll bill)
+}
+
+TEST(AdaptiveBurst, BudgetTracksBacklogBetweenFloorAndBurstSize) {
+  Engine engine;
+  IngressSpec ingress;
+  ingress.queue_capacity = 64;
+  ingress.scheduler.adaptive_burst = true;
+  ingress.scheduler.adaptive_min_burst = 4;  // floor above 1: always batched
+  EchoNode node(engine, 100, /*burst_size=*/32, ingress);
+  engine.schedule_at(0, [&node] {
+    for (int i = 0; i < 2; ++i) node.handle(0, sized_packet(64));
+  });
+  engine.run();
+  // Backlog 2 < floor 4: budget clamps to the floor — still a batched
+  // burst (polls counted), served in one gulp.
+  EXPECT_EQ(node.bursts_served(), 1u);
+  EXPECT_EQ(node.rx_polls(), 1u);
+  EXPECT_EQ(node.service_times.size(), 2u);
 }
 
 TEST(Node, PortOutOfRangeThrows) {
