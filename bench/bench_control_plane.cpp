@@ -37,7 +37,7 @@ class ReflectorApp : public controller::App {
   void on_packet_in(controller::Session& session, const PacketInMsg& event) override {
     const net::ParsedPacket parsed = net::parse_packet(event.packet);
     const std::uint32_t out = parsed.eth_dst == host_mac(1) ? 2 : 1;
-    session.packet_out(event.packet, {output(out)}, event.in_port);
+    session.packet_out(event.packet.clone(), {output(out)}, event.in_port);
   }
 };
 

@@ -133,7 +133,7 @@ void datapath_benchmark(benchmark::State& state, bool flow_cache) {
   std::uint64_t lookups = 0;
   sim::SimNanos now = 0;
   for (auto _ : state) {
-    net::Packet packet = pool[index];  // copy: run() consumes
+    net::Packet packet = pool[index].clone();  // copy: run() consumes
     now += 50;
     auto result = pipeline.run(std::move(packet), 1, now);
     benchmark::DoNotOptimize(result);

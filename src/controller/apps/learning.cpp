@@ -43,10 +43,10 @@ void LearningSwitchApp::on_packet_in(Session& session, const PacketInMsg& event)
     session.flow_add(table_, /*priority=*/10, Match().eth_dst(parsed.eth_dst),
                      apply({output(*destination)}), /*cookie=*/kLearningCookie, idle_timeout_);
     ++stats_.flows_installed;
-    session.packet_out(event.packet, {output(*destination)}, event.in_port);
+    session.packet_out(event.packet.clone(), {output(*destination)}, event.in_port);
   } else {
     ++stats_.floods;
-    session.packet_out(event.packet, {flood()}, event.in_port);
+    session.packet_out(event.packet.clone(), {flood()}, event.in_port);
   }
 }
 

@@ -95,7 +95,7 @@ void LoadBalancerApp::on_packet_in(Session& session, const PacketInMsg& event) {
     return;
   }
   // Not for the VIP: behave like the flood rule would have.
-  session.packet_out(event.packet, {flood()}, event.in_port);
+  session.packet_out(event.packet.clone(), {flood()}, event.in_port);
 }
 
 }  // namespace harmless::controller

@@ -52,7 +52,7 @@ void ParentalControlApp::on_packet_in(Session& session, const PacketInMsg& event
   if (host.empty()) {
     // Not a request segment (e.g. bare SYN): let it through the normal
     // path so connections can establish.
-    session.packet_out(event.packet, {flood()}, event.in_port);
+    session.packet_out(event.packet.clone(), {flood()}, event.in_port);
     return;
   }
   ++stats_.requests_seen;
@@ -63,7 +63,7 @@ void ParentalControlApp::on_packet_in(Session& session, const PacketInMsg& event
 
   if (!blocked) {
     ++stats_.allowed;
-    session.packet_out(event.packet, {flood()}, event.in_port);
+    session.packet_out(event.packet.clone(), {flood()}, event.in_port);
     return;
   }
 

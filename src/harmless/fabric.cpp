@@ -5,6 +5,8 @@ namespace harmless::core {
 Fabric Fabric::build(sim::Network& network, legacy::LegacySwitch& device, const PortMap& map,
                      const FabricSpec& spec) {
   Fabric fabric(map, make_translator_rules(map));
+  if (spec.expected_pending_events > 0)
+    network.engine().reserve(spec.expected_pending_events);
 
   // SS_1: trunk leg (OF 1) + one patch leg per mapping.
   fabric.ss1_ = &network.add_node<softswitch::SoftSwitch>(

@@ -56,6 +56,11 @@ struct FabricSpec {
   /// Control channel one-way latency (controller is usually on-box or
   /// one rack away).
   sim::SimNanos control_latency = 50'000;
+  /// Expected concurrent pending events (in-flight frames + timers) —
+  /// a sizing hint forwarded to sim::Engine::reserve so the calendar
+  /// queue's buckets are pre-sized before traffic starts. 0 = default
+  /// sizing.
+  std::size_t expected_pending_events = 4096;
   std::uint64_t ss1_datapath_id = 0x51;
   std::uint64_t ss2_datapath_id = 0x52;
 };

@@ -1,6 +1,7 @@
 #include "legacy/legacy_switch.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace harmless::legacy {
 
@@ -50,9 +51,11 @@ std::optional<LegacySwitch::Classified> LegacySwitch::classify(
   return std::nullopt;
 }
 
-void LegacySwitch::egress(int port_number, net::VlanId vlan, net::Packet packet) {
+void LegacySwitch::egress(int port_number, net::VlanId vlan, net::Packet&& packet) {
   const PortConfig& port = config_.ports.at(port_number);
-  const bool tagged = net::vlan_peek(packet.frame()).has_value();
+  // as_const: a mutable frame() would invalidate the interned parse
+  // even on the no-rewrite path (access egress of an untagged frame).
+  const bool tagged = net::vlan_peek(std::as_const(packet).frame()).has_value();
 
   if (port.mode == PortMode::kAccess) {
     // Access egress is always untagged.
@@ -73,7 +76,10 @@ void LegacySwitch::egress(int port_number, net::VlanId vlan, net::Packet packet)
 
 sim::SimNanos LegacySwitch::service(int in_port, net::Packet&& packet) {
   const int port_number = in_port + 1;
-  const net::ParsedPacket parsed = net::parse_packet(packet);
+  // By-value copy of the interned parse: egress rewrites the frame
+  // (dropping the intern), and the flood loop reads `parsed` between
+  // egress calls — a reference would dangle.
+  const net::ParsedPacket parsed = net::parse_cached(packet).parsed;
   sim::SimNanos cost = costs_.classify_ns;
 
   packet.add_hop();
@@ -114,7 +120,7 @@ sim::SimNanos LegacySwitch::service(int in_port, net::Packet&& packet) {
   for (const int member : config_.ports_in_vlan(vlan)) {
     if (member == port_number) continue;
     ++copies;
-    egress(member, vlan, packet);  // copy per member
+    egress(member, vlan, packet.clone());  // copy per member
   }
   counters_.flood_copies += copies;
   if (copies == 0) ++counters_.no_member_egress;

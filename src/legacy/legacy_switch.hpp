@@ -80,7 +80,7 @@ class LegacySwitch : public sim::ServicedNode {
                                                    const net::ParsedPacket& parsed) const;
 
   /// Emit `packet` out of `port_number` with correct egress tagging.
-  void egress(int port_number, net::VlanId vlan, net::Packet packet);
+  void egress(int port_number, net::VlanId vlan, net::Packet&& packet);
 
   SwitchConfig config_;
   MacTable mac_table_;

@@ -19,7 +19,7 @@ Packet assemble(MacAddr src, MacAddr dst, Ipv4Addr ip_src, Ipv4Addr ip_dst, IpPr
   ip.dst = ip_dst;
   ip.total_length = static_cast<std::uint16_t>(kIpv4HeaderSize + l4_segment.size());
 
-  Bytes frame;
+  Bytes frame = FramePool::acquire();
   frame.reserve(kEthHeaderSize + ip.total_length);
   frame.resize(kEthHeaderSize);
   EthernetHeader eth{dst, src, static_cast<std::uint16_t>(EtherType::kIpv4)};
@@ -42,6 +42,37 @@ Packet make_udp(const FlowKey& flow, std::size_t frame_size, std::uint8_t fill) 
       UdpHeader::serialize(flow.src_port, flow.dst_port, payload, flow.ip_src, flow.ip_dst);
   return assemble(flow.eth_src, flow.eth_dst, flow.ip_src, flow.ip_dst, IpProto::kUdp,
                   std::move(segment));
+}
+
+UdpTemplate::UdpTemplate(const FlowKey& flow, std::size_t frame_size, std::uint8_t fill) {
+  FlowKey zero_ports = flow;
+  zero_ports.src_port = 0;
+  zero_ports.dst_port = 0;
+  Packet prototype = make_udp(zero_ports, frame_size, fill);
+  const BytesView bytes = prototype.frame();
+  frame_.assign(bytes.begin(), bytes.end());
+  // Recover the folded pseudo-header+segment sum from the stored
+  // zero-port checksum (both ports are zero, so they contribute
+  // nothing). The 0x0000/0xffff ambiguity is harmless: they are the
+  // same value in ones'-complement arithmetic.
+  base_sum_ = static_cast<std::uint16_t>(
+      ~rd16(bytes, kEthHeaderSize + kIpv4HeaderSize + 6));
+}
+
+Packet UdpTemplate::stamp(std::uint16_t src_port, std::uint16_t dst_port) const {
+  Bytes frame = FramePool::acquire();
+  frame.assign(frame_.begin(), frame_.end());
+  const std::span<std::uint8_t> bytes(frame.data(), frame.size());
+  constexpr std::size_t l4 = kEthHeaderSize + kIpv4HeaderSize;
+  wr16(bytes, l4 + 0, src_port);
+  wr16(bytes, l4 + 2, dst_port);
+  std::uint32_t sum = base_sum_ + src_port + dst_port;
+  sum = (sum & 0xffff) + (sum >> 16);
+  sum = (sum & 0xffff) + (sum >> 16);
+  auto checksum = static_cast<std::uint16_t>(~sum);
+  if (checksum == 0) checksum = 0xffff;  // RFC 768: 0 means "no checksum"
+  wr16(bytes, l4 + 6, checksum);
+  return Packet(std::move(frame));
 }
 
 Packet make_tcp(const FlowKey& flow, std::uint8_t tcp_flags, std::string_view payload) {
@@ -91,7 +122,7 @@ Packet make_icmp_echo(const FlowKey& flow, bool request, std::uint16_t identifie
 }
 
 Packet make_raw(MacAddr src, MacAddr dst, std::uint16_t ether_type, BytesView payload) {
-  Bytes frame;
+  Bytes frame = FramePool::acquire();
   frame.resize(kEthHeaderSize);
   EthernetHeader eth{dst, src, ether_type};
   eth.write(frame);

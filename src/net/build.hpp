@@ -32,6 +32,29 @@ struct FlowKey {
 /// [60, 1518] and the payload is sized to fit.
 Packet make_udp(const FlowKey& flow, std::size_t frame_size = 64, std::uint8_t fill = 0xab);
 
+/// A prebuilt UDP frame for high-rate generators (the DPDK-pktgen
+/// trick): serialize the headers and payload once per (mac, ip) pair,
+/// then stamp() per-packet L4 ports with an RFC 1624 incremental
+/// checksum update. stamp(s, d) produces a frame byte-identical to
+/// make_udp with those ports (tests/net/build_property_test.cpp holds
+/// it to that), without any per-packet header serialization or allocation
+/// beyond the pooled frame itself.
+class UdpTemplate {
+ public:
+  /// `flow` ports are ignored; frame_size/fill as in make_udp.
+  explicit UdpTemplate(const FlowKey& flow, std::size_t frame_size = 64,
+                       std::uint8_t fill = 0xab);
+
+  /// A fresh pooled Packet with the ports (and checksum) stamped in.
+  [[nodiscard]] Packet stamp(std::uint16_t src_port, std::uint16_t dst_port) const;
+
+ private:
+  Bytes frame_;
+  /// Folded ones'-complement sum of the pseudo-header and the
+  /// zero-port UDP segment; per-packet ports just add in.
+  std::uint32_t base_sum_ = 0;
+};
+
 /// TCP segment with the given flags and payload text (e.g. an HTTP
 /// request line for the parental-control use case).
 Packet make_tcp(const FlowKey& flow, std::uint8_t tcp_flags, std::string_view payload = {});

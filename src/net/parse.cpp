@@ -1,6 +1,8 @@
 #include "net/parse.hpp"
 
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "util/strings.hpp"
 
@@ -86,6 +88,47 @@ std::string_view l4_payload(const ParsedPacket& parsed, BytesView frame) {
     return {};
   return {reinterpret_cast<const char*>(frame.data()) + parsed.l4_payload_offset,
           parsed.l4_payload_size};
+}
+
+namespace {
+
+constexpr std::size_t kParsePoolCap = 4096;
+
+/// Leaked on purpose, like net::FramePool's freelist: static-storage
+/// Packets may release interns during shutdown, after a function-local
+/// thread_local would already be gone.
+std::vector<PacketParse*>& parse_pool() {
+  thread_local auto* pool = new std::vector<PacketParse*>();
+  return *pool;
+}
+
+}  // namespace
+
+PacketParse* PacketParse::acquire() {
+  auto& pool = parse_pool();
+  if (pool.empty()) return new PacketParse();
+  PacketParse* parse = pool.back();
+  pool.pop_back();
+  return parse;
+}
+
+void PacketParse::release(PacketParse* parse) {
+  if (parse == nullptr) return;
+  auto& pool = parse_pool();
+  if (pool.size() >= kParsePoolCap) {
+    delete parse;
+    return;
+  }
+  pool.push_back(parse);
+}
+
+PacketParse& parse_cached(Packet& packet) {
+  if (PacketParse* intern = packet.intern()) return *intern;
+  PacketParse* parse = PacketParse::acquire();
+  parse->parsed = parse_packet(std::as_const(packet).frame());
+  parse->projection_valid = false;
+  packet.set_intern(parse);
+  return *parse;
 }
 
 std::string ParsedPacket::to_string() const {

@@ -69,6 +69,35 @@ ParsedPacket parse_packet(BytesView frame);
 /// Convenience overload.
 inline ParsedPacket parse_packet(const Packet& packet) { return parse_packet(packet.frame()); }
 
+/// An interned parse riding on a Packet (Packet::intern()): the
+/// ParsedPacket plus one opaque projection slot a higher layer may
+/// cache its own flattened view in (openflow keeps its FieldView here
+/// without net/ depending on openflow/). Instances recycle through a
+/// thread-local pool; Packet invalidates its intern on any mutable
+/// frame() access, so a cached parse can never describe stale bytes.
+class PacketParse {
+ public:
+  ParsedPacket parsed;
+
+  /// Opaque, trivially-copyable projection slot (openflow::FieldView is
+  /// the one user). `projection_valid` is reset whenever the parse is
+  /// (re)built.
+  static constexpr std::size_t kProjectionBytes = 160;
+  alignas(16) unsigned char projection[kProjectionBytes];
+  bool projection_valid = false;
+
+  /// Pool a released instance (called by Packet when the intern drops).
+  static void release(PacketParse* parse);
+  /// A pooled (or fresh) instance; parsed/projection state undefined.
+  [[nodiscard]] static PacketParse* acquire();
+};
+
+/// The interned parse of `packet`, parsing (once) on a cache miss. The
+/// reference stays valid until the packet is mutated, moved-from, or
+/// destroyed. Repeated calls between mutations are O(1) — this is the
+/// once-per-hop parse the pipeline, hosts and the legacy switch share.
+PacketParse& parse_cached(Packet& packet);
+
 /// Extract the L4 payload of a parsed packet as a string_view into the
 /// original frame (empty if none). The frame must outlive the view.
 std::string_view l4_payload(const ParsedPacket& parsed, BytesView frame);

@@ -1,5 +1,7 @@
 #include "openflow/fields.hpp"
 
+#include <type_traits>
+
 namespace harmless::openflow {
 
 std::uint64_t field_all_ones(Field field) {
@@ -75,6 +77,31 @@ FieldView build_field_view(const net::ParsedPacket& parsed, std::uint32_t in_por
     view.set(Field::kL4Dst, parsed.dst_port());
   }
   if (parsed.icmp) view.set(Field::kIcmpType, static_cast<std::uint64_t>(parsed.icmp->type));
+  return view;
+}
+
+void cached_field_view_into(net::Packet& packet, std::uint32_t in_port, FieldView* out) {
+  static_assert(sizeof(FieldView) <= net::PacketParse::kProjectionBytes);
+  static_assert(alignof(FieldView) <= 16);
+  static_assert(std::is_trivially_copyable_v<FieldView>);
+
+  net::PacketParse& parse = net::parse_cached(packet);
+  auto* slot = reinterpret_cast<FieldView*>(parse.projection);
+  if (!parse.projection_valid) {
+    *slot = build_field_view(parse.parsed, in_port);
+    slot->use = nullptr;  // learning recorders never outlive one lookup
+    parse.projection_valid = true;
+  }
+  *out = *slot;
+  // kInPort is the only per-hop field: the same frame re-enters the
+  // next switch on a different port, so patch it on the copy.
+  out->set(Field::kInPort, in_port);
+  out->use = nullptr;
+}
+
+FieldView cached_field_view(net::Packet& packet, std::uint32_t in_port) {
+  FieldView view;
+  cached_field_view_into(packet, in_port, &view);
   return view;
 }
 

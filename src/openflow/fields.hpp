@@ -103,4 +103,17 @@ struct FieldView {
 /// Project a parsed packet (plus its ingress port) into a FieldView.
 [[nodiscard]] FieldView build_field_view(const net::ParsedPacket& parsed, std::uint32_t in_port);
 
+/// The interned once-per-hop projection: parse `packet` (or reuse its
+/// cached parse), build the FieldView once (or copy it out of the
+/// intern's projection slot), then patch kInPort for this lookup. The
+/// returned view is an independent by-value copy with `use` unset, so
+/// callers record learning exactly as with build_field_view. Header
+/// mutation invalidates the whole intern via Packet::frame().
+[[nodiscard]] FieldView cached_field_view(net::Packet& packet, std::uint32_t in_port);
+
+/// As cached_field_view, but writes into caller-owned storage — the
+/// burst path projects straight into its per-burst view array instead
+/// of copying a 160-byte return value twice.
+void cached_field_view_into(net::Packet& packet, std::uint32_t in_port, FieldView* out);
+
 }  // namespace harmless::openflow

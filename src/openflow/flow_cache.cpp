@@ -55,9 +55,8 @@ MegaflowEntry* FlowCache::find(const FieldView& view, sim::SimNanos now,
     return nullptr;
   }
   const std::uint64_t key = microflow_key(view);
-  const auto it = microflow_.find(key);
-  if (it != microflow_.end()) {
-    MegaflowEntry* entry = it->second;
+  if (MegaflowEntry** slot = microflow_.find(key)) {
+    MegaflowEntry* entry = *slot;
     if (entry->epoch == *epoch_ && entry->covers(view) && !entry->timed_out(now)) {
       ++stats_.hits;
       ++stats_.microflow_hits;
@@ -68,7 +67,7 @@ MegaflowEntry* FlowCache::find(const FieldView& view, sim::SimNanos now,
     // Self-invalidated (epoch/expiry) or a hash collision: unmap and
     // fall through to the megaflow tier. Stale entries are counted
     // once, in purge_stale, when the megaflow itself is discarded.
-    microflow_.erase(it);
+    microflow_.erase(key);
   }
 
   // ---- tier 2 ----
@@ -85,7 +84,7 @@ MegaflowEntry* FlowCache::find(const FieldView& view, sim::SimNanos now,
 
 MegaflowEntry* FlowCache::tier2_hit(MegaflowEntry* entry, std::uint64_t key) {
   if (microflow_.size() < limits_.max_microflows) {
-    microflow_[key] = entry;
+    microflow_.insert_or_assign(key, entry);
     note_microflow_key(*entry, key);
   }
   ++stats_.hits;
@@ -198,8 +197,8 @@ void FlowCache::note_microflow_key(MegaflowEntry& entry, std::uint64_t key) {
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   std::erase_if(keys, [&](std::uint64_t stale_key) {
-    const auto it = microflow_.find(stale_key);
-    return it == microflow_.end() || it->second != &entry;
+    MegaflowEntry** slot = microflow_.find(stale_key);
+    return slot == nullptr || *slot != &entry;
   });
   entry.microflow_compact_at = std::max<std::size_t>(64, 2 * keys.size());
 }
@@ -246,8 +245,8 @@ void FlowCache::evict_one() {
     // Unmap the victim's own microflow pointers before it is freed
     // (keys may have been remapped or reset since — re-check).
     for (const std::uint64_t key : candidate->microflow_keys) {
-      const auto it = microflow_.find(key);
-      if (it != microflow_.end() && it->second == candidate) microflow_.erase(it);
+      MegaflowEntry** slot = microflow_.find(key);
+      if (slot != nullptr && *slot == candidate) microflow_.erase(key);
     }
     unindex_entry(candidate);
     megaflows_.erase(megaflows_.begin() +
@@ -276,7 +275,7 @@ MegaflowEntry* FlowCache::insert(MegaflowEntry entry, const FieldView& view) {
   MegaflowEntry* inserted = megaflows_.back().get();
   index_entry(inserted);
   const std::uint64_t key = microflow_key(view);
-  microflow_[key] = inserted;
+  microflow_.insert_or_assign(key, inserted);
   note_microflow_key(*inserted, key);
   ++stats_.insertions;
   return inserted;

@@ -54,10 +54,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "openflow/flow_entry.hpp"
+#include "util/id_map.hpp"
 
 namespace harmless::openflow {
 
@@ -301,7 +301,7 @@ class FlowCache {
   /// The classifier, in probe order (kept sorted by decaying rank: a
   /// hit bubbles its subtable toward the front past colder neighbors).
   std::vector<std::unique_ptr<MegaflowSubtable>> subtables_;
-  std::unordered_map<std::uint64_t, MegaflowEntry*> microflow_;
+  util::IdMap<MegaflowEntry*> microflow_;
   Limits limits_;
   Stats stats_;
 };

@@ -85,7 +85,17 @@ std::size_t Pipeline::total_entries() const {
 sim::SimNanos Pipeline::execute_actions(const ActionList& actions, net::Packet& packet,
                                         std::uint32_t in_port, std::uint8_t table_id,
                                         PipelineResult& result, bool& view_dirty,
-                                        FieldUse* learn, int depth) {
+                                        FieldUse* learn, int depth, bool consume) {
+  // When the caller is done with the packet and the list ends in an
+  // output to a data port, that final output moves the packet instead
+  // of cloning it — the zero-copy unicast fast path. Any earlier
+  // action still sees the live packet.
+  const Action* move_output = nullptr;
+  if (consume && !actions.empty()) {
+    const auto* last = std::get_if<OutputAction>(&actions.back());
+    if (last != nullptr && last->port != kPortController) move_output = &actions.back();
+  }
+
   sim::SimNanos cost = 0;
   for (const Action& action : actions) {
     cost += costs_.action_ns;
@@ -93,13 +103,15 @@ sim::SimNanos Pipeline::execute_actions(const ActionList& actions, net::Packet& 
     if (const auto* out = std::get_if<OutputAction>(&action)) {
       if (out->port == kPortController) {
         PacketInEvent event;
-        event.packet = packet;  // copy: pipeline may continue
+        event.packet = packet.clone();  // copy: pipeline may continue
         event.in_port = in_port;
         event.table_id = table_id;
         event.reason = PacketInReason::kAction;
         result.packet_ins.push_back(std::move(event));
+      } else if (&action == move_output) {
+        result.outputs.emplace_back(out->port, std::move(packet));
       } else {
-        result.outputs.emplace_back(out->port, packet);  // copy per output
+        result.outputs.emplace_back(out->port, packet.clone());  // copy per output
       }
       continue;
     }
@@ -116,28 +128,27 @@ sim::SimNanos Pipeline::execute_actions(const ActionList& actions, net::Packet& 
       switch (entry->type) {
         case GroupType::kAll:
           for (const Bucket& bucket : entry->buckets) {
-            net::Packet copy = packet;
+            net::Packet copy = packet.clone();
             cost += execute_actions(bucket.actions, copy, in_port, table_id, result,
                                     view_dirty, learn, depth + 1);
             if (learn != nullptr) learn->overwritten = saved_overwritten;
           }
           break;
         case GroupType::kSelect: {
-          const net::ParsedPacket parsed = net::parse_packet(packet);
-          FieldView view = build_field_view(parsed, in_port);
+          FieldView view = cached_field_view(packet, in_port);
           view.use = learn;  // bucket choice depends on the hashed fields
           const std::size_t index =
               groups_.select_bucket(*entry, flow_hash_of(view, entry->select_hash));
           GroupEntry* mutable_entry = groups_.find_mutable(grp->group_id);
           mutable_entry->buckets[index].packet_count++;
-          net::Packet copy = packet;
+          net::Packet copy = packet.clone();
           cost += execute_actions(entry->buckets[index].actions, copy, in_port, table_id,
                                   result, view_dirty, learn, depth + 1);
           if (learn != nullptr) learn->overwritten = saved_overwritten;
           break;
         }
         case GroupType::kIndirect: {
-          net::Packet copy = packet;
+          net::Packet copy = packet.clone();
           cost += execute_actions(entry->buckets[0].actions, copy, in_port, table_id, result,
                                   view_dirty, learn, depth + 1);
           if (learn != nullptr) learn->overwritten = saved_overwritten;
@@ -175,7 +186,21 @@ void Pipeline::replay(const MegaflowEntry& entry, net::Packet& packet, std::uint
   result.matched = entry.matched;
   result.last_table = entry.last_table;
   bool view_dirty = false;
-  for (const MegaflowEntry::Step& step : entry.steps) {
+  // replay() consumes the packet, so the last action list executed may
+  // move it into its final output instead of cloning (the zero-copy
+  // fast path). With no final_actions, that list is the last step with
+  // apply actions.
+  std::size_t consuming_step = entry.steps.size();
+  if (entry.final_actions.empty()) {
+    for (std::size_t i = entry.steps.size(); i-- > 0;) {
+      if (!entry.steps[i].apply_actions.empty()) {
+        consuming_step = i;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < entry.steps.size(); ++i) {
+    const MegaflowEntry::Step& step = entry.steps[i];
     // Exactly the bookkeeping the slow-path lookup would have done,
     // with the packet size *at this table* (earlier replayed actions
     // may have pushed or popped a tag).
@@ -183,11 +208,13 @@ void Pipeline::replay(const MegaflowEntry& entry, net::Packet& packet, std::uint
     if (!step.apply_actions.empty())
       result.cost_ns += execute_actions(step.apply_actions, packet, in_port,
                                         step.table->id(), result, view_dirty,
-                                        /*learn=*/nullptr, 0);
+                                        /*learn=*/nullptr, 0,
+                                        /*consume=*/i == consuming_step);
   }
   if (!entry.final_actions.empty())
     result.cost_ns += execute_actions(entry.final_actions, packet, in_port, entry.last_table,
-                                      result, view_dirty, /*learn=*/nullptr, 0);
+                                      result, view_dirty, /*learn=*/nullptr, 0,
+                                      /*consume=*/true);
 }
 
 void Pipeline::install_learned(MegaflowEntry entry, const FieldView& original_view,
@@ -213,7 +240,7 @@ void Pipeline::install_learned(MegaflowEntry entry, const FieldView& original_vi
 
 PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now,
                              std::size_t shard) {
-  FieldView view = build_field_view(net::parse_packet(packet), in_port);
+  FieldView view = cached_field_view(packet, in_port);
   return run_with_view(std::move(packet), in_port, now, std::move(view), shard);
 }
 
@@ -293,7 +320,7 @@ PipelineResult Pipeline::run_with_view(net::Packet&& packet, std::uint32_t in_po
   while (table_index < tables_.size()) {
     result.last_table = static_cast<std::uint8_t>(table_index);
     if (view_dirty) {
-      view = build_field_view(net::parse_packet(packet), in_port);
+      view = cached_field_view(packet, in_port);
       view.use = learn;
       view_dirty = false;
       result.cost_ns += costs_.parse_ns;
@@ -346,7 +373,7 @@ PipelineResult Pipeline::run_with_view(net::Packet&& packet, std::uint32_t in_po
   const ActionList final_actions = action_set.to_list();
   if (!final_actions.empty())
     result.cost_ns += execute_actions(final_actions, packet, in_port, result.last_table,
-                                      result, view_dirty, learn, 0);
+                                      result, view_dirty, learn, 0, /*consume=*/true);
 
   // Punting traversals are not cached: the controller's reply is about
   // to mutate the tables, and caching the upcall would turn every
@@ -364,17 +391,16 @@ PipelineResult Pipeline::run_with_view(net::Packet&& packet, std::uint32_t in_po
   return result;
 }
 
-BurstResult Pipeline::run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos now,
-                                std::size_t shard) {
-  BurstResult out;
-  out.results.resize(burst.size());
+void Pipeline::run_burst(std::vector<BurstPacket>& burst, sim::SimNanos now,
+                         std::size_t shard, BurstResult& out) {
+  out.reset(burst.size());
   FlowCache& cache = *caches_.at(shard);
   if (!cache_enabled_) {
     // No cache, nothing to group: the burst amortizes only the
     // datapath's rx/tx overhead (charged by the caller).
     for (std::size_t i = 0; i < burst.size(); ++i)
       out.results[i] = run(std::move(burst[i].packet), burst[i].in_port, now, shard);
-    return out;
+    return;
   }
 
   // Phase 1: probe the cache for the whole burst. Misses are not
@@ -383,12 +409,12 @@ BurstResult Pipeline::run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos 
   // inserts or purges until the residue runs, and every probe shares
   // one `now`, so mid-burst lazy expiry cannot retire an entry the
   // probe accepted (timed_out is checked against the same clock).
-  std::vector<MegaflowEntry*> hit(burst.size(), nullptr);
-  std::vector<FieldView> views(burst.size());
+  burst_hits_.assign(burst.size(), nullptr);
+  burst_views_.resize(burst.size());
   for (std::size_t i = 0; i < burst.size(); ++i) {
-    views[i] = build_field_view(net::parse_packet(burst[i].packet), burst[i].in_port);
+    cached_field_view_into(burst[i].packet, burst[i].in_port, &burst_views_[i]);
     std::uint32_t scanned = 0;
-    hit[i] = cache.probe(views[i], now, &scanned);
+    burst_hits_[i] = cache.probe(burst_views_[i], now, &scanned);
     out.results[i].cache_scanned = scanned;
     out.results[i].cache_linear = cache.linear_scan();
   }
@@ -398,21 +424,26 @@ BurstResult Pipeline::run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos 
   // order across groups differs from arrival order; every mutation a
   // replay performs (flow/bucket counters, idle timestamps) is
   // commutative at a fixed `now`, so per-packet results are unchanged.
-  std::vector<std::pair<const MegaflowEntry*, std::vector<std::size_t>>> groups;
+  // The group slots (and their member-index vectors' capacity) are
+  // recycled across bursts: only the first `group_count` are live.
+  std::size_t group_count = 0;
   for (std::size_t i = 0; i < burst.size(); ++i) {
-    if (hit[i] == nullptr) continue;
-    auto group = std::find_if(groups.begin(), groups.end(),
-                              [&](const auto& g) { return g.first == hit[i]; });
-    if (group == groups.end()) {
-      groups.push_back({hit[i], {}});
-      group = groups.end() - 1;
+    if (burst_hits_[i] == nullptr) continue;
+    std::size_t g = 0;
+    while (g < group_count && burst_groups_[g].first != burst_hits_[i]) ++g;
+    if (g == group_count) {
+      if (group_count == burst_groups_.size()) burst_groups_.emplace_back();
+      burst_groups_[g].first = burst_hits_[i];
+      burst_groups_[g].second.clear();
+      ++group_count;
     }
-    group->second.push_back(i);
+    burst_groups_[g].second.push_back(i);
   }
-  out.replay_groups = static_cast<std::uint32_t>(groups.size());
-  for (const auto& [entry, members] : groups)
-    for (const std::size_t i : members)
-      replay(*entry, burst[i].packet, burst[i].in_port, now, out.results[i]);
+  out.replay_groups = static_cast<std::uint32_t>(group_count);
+  for (std::size_t g = 0; g < group_count; ++g)
+    for (const std::size_t i : burst_groups_[g].second)
+      replay(*burst_groups_[g].first, burst[i].packet, burst[i].in_port, now,
+             out.results[i]);
 
   // Phase 3: the residue takes the slow path, in arrival order,
   // entering with its phase-1 view (nothing rewrote these packets, so
@@ -420,13 +451,12 @@ BurstResult Pipeline::run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos 
   // which is how a flow's second packet in the burst hits the megaflow
   // its first packet just installed.
   for (std::size_t i = 0; i < burst.size(); ++i) {
-    if (hit[i] != nullptr) continue;
+    if (burst_hits_[i] != nullptr) continue;
     const std::uint32_t probed = out.results[i].cache_scanned;
     out.results[i] = run_with_view(std::move(burst[i].packet), burst[i].in_port, now,
-                                   std::move(views[i]), shard);
+                                   std::move(burst_views_[i]), shard);
     out.results[i].cache_scanned += probed;  // phase-1 scan work really happened
   }
-  return out;
 }
 
 std::vector<FlowEntry> Pipeline::collect_expired(sim::SimNanos now) {

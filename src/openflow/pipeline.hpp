@@ -85,6 +85,20 @@ struct PipelineResult {
   bool cache_linear = false;
 
   [[nodiscard]] bool dropped() const { return outputs.empty() && packet_ins.empty(); }
+
+  /// Back to a fresh state, keeping the outputs/packet_ins capacity —
+  /// BurstResult recycles these across bursts.
+  void reset() {
+    outputs.clear();
+    packet_ins.clear();
+    cost_ns = 0;
+    last_table = 0;
+    matched = false;
+    cache_hit = false;
+    cache_installed = false;
+    cache_scanned = 0;
+    cache_linear = false;
+  }
 };
 
 /// One packet of a service burst, in arrival order.
@@ -100,6 +114,17 @@ struct BurstResult {
   /// Distinct megaflow entries replayed: the burst pays one
   /// DatapathCosts::replay_setup_ns per group, not per packet.
   std::uint32_t replay_groups = 0;
+
+  /// Size for a new burst of `n` packets, recycling the per-packet
+  /// result vectors' capacity (SoftSwitch keeps one BurstResult alive
+  /// across its whole run).
+  void reset(std::size_t n) {
+    replay_groups = 0;
+    if (results.size() > n) results.resize(n);
+    for (PipelineResult& result : results) result.reset();
+    results.reserve(n);
+    while (results.size() < n) results.emplace_back();
+  }
 };
 
 class Pipeline {
@@ -172,8 +197,19 @@ class Pipeline {
   /// hits the megaflow the first one installed. Observationally
   /// identical to running the packets one at a time (the burst
   /// equivalence property test pins this). `shard` as in run().
+  /// Consumes the packets but not the vector (the caller's burst
+  /// buffer keeps its capacity); `out` is reset and refilled, so a
+  /// caller-owned BurstResult recycles all result storage.
+  void run_burst(std::vector<BurstPacket>& burst, sim::SimNanos now, std::size_t shard,
+                 BurstResult& out);
+
+  /// Convenience overload returning a fresh BurstResult.
   BurstResult run_burst(std::vector<BurstPacket>&& burst, sim::SimNanos now,
-                        std::size_t shard = 0);
+                        std::size_t shard = 0) {
+    BurstResult out;
+    run_burst(burst, now, shard, out);
+    return out;
+  }
 
   /// Sweep all tables for expired entries.
   std::vector<FlowEntry> collect_expired(sim::SimNanos now);
@@ -189,10 +225,14 @@ class Pipeline {
   /// routed into `result`. Returns the cost of the executed actions.
   /// `learn` (slow path only) records fields that actions overwrite so
   /// megaflow learning stops attributing them to the original packet.
+  /// `consume` marks `packet` dead after this call: when the list's
+  /// final action is an output to a data port, the packet moves into
+  /// the result instead of being cloned — the common unicast fast path
+  /// forwards zero frame copies.
   sim::SimNanos execute_actions(const ActionList& actions, net::Packet& packet,
                                 std::uint32_t in_port, std::uint8_t table_id,
                                 PipelineResult& result, bool& view_dirty, FieldUse* learn,
-                                int depth);
+                                int depth, bool consume = false);
 
   /// run() body once the packet's FieldView is built — run_burst
   /// residue packets enter here with their phase-1 view, so a burst
@@ -222,6 +262,13 @@ class Pipeline {
   /// pointer until share_epoch rebinds it).
   std::vector<std::unique_ptr<FlowCache>> caches_;
   bool cache_enabled_ = true;
+
+  // run_burst scratch, recycled across bursts (phase-1 probe results
+  // and the phase-2 replay grouping). Safe as members: run_burst is
+  // not reentrant (the datapath serves one burst at a time).
+  std::vector<MegaflowEntry*> burst_hits_;
+  std::vector<FieldView> burst_views_;
+  std::vector<std::pair<const MegaflowEntry*, std::vector<std::size_t>>> burst_groups_;
 };
 
 }  // namespace harmless::openflow

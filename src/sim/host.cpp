@@ -1,5 +1,7 @@
 #include "sim/host.hpp"
 
+#include <utility>
+
 #include "util/strings.hpp"
 
 namespace harmless::sim {
@@ -18,7 +20,10 @@ void Host::send(net::Packet&& packet) {
 }
 
 void Host::handle(int /*in_port*/, net::Packet&& packet) {
-  const net::ParsedPacket parsed = net::parse_packet(packet);
+  // Reuse the interned parse when the delivering switch already paid
+  // for it (the zero-copy output path hands the frame over intact).
+  // Nothing below mutates the frame, so the reference stays valid.
+  const net::ParsedPacket& parsed = net::parse_cached(packet).parsed;
 
   // NIC destination filter: unicast frames for someone else are dropped
   // before the stack sees them (flooded copies on shared segments).
@@ -38,7 +43,8 @@ void Host::handle(int /*in_port*/, net::Packet&& packet) {
   if (parsed.arp && parsed.arp->op == net::ArpOp::kReply) ++counters_.rx_arp_reply;
 
   if (parsed.tcp) {
-    const std::string_view payload = net::l4_payload(parsed, packet.frame());
+    // as_const: the mutable frame() overload would drop the intern.
+    const std::string_view payload = net::l4_payload(parsed, std::as_const(packet).frame());
     if (util::starts_with(payload, "HTTP/1.1 200")) ++counters_.http_ok_received;
     if (util::starts_with(payload, "HTTP/1.1 403")) ++counters_.http_forbidden_received;
   }

@@ -19,7 +19,11 @@ void Channel::transmit(net::Packet&& packet) {
   ++queued_;
 
   const SimNanos start = std::max(engine_.now(), transmitter_free_);
-  const SimNanos serialization = spec_.rate.serialization_ns(packet.size());
+  if (packet.size() != memo_size_) {
+    memo_size_ = packet.size();
+    memo_serialization_ = spec_.rate.serialization_ns(memo_size_);
+  }
+  const SimNanos serialization = memo_serialization_;
   const SimNanos departs = start + serialization;
   const SimNanos arrives = departs + spec_.propagation_delay;
   transmitter_free_ = departs;

@@ -73,6 +73,10 @@ class Channel {
   std::function<void(SimNanos, const net::Packet&)> tap_;
   bool up_ = true;
   SimNanos transmitter_free_ = 0;
+  /// One-entry memo for rate.serialization_ns(size): streams repeat one
+  /// frame size, and the divide + ceil shows up at per-packet rates.
+  std::size_t memo_size_ = static_cast<std::size_t>(-1);
+  SimNanos memo_serialization_ = 0;
   std::size_t queued_ = 0;  // packets accepted but not yet departed
   std::uint64_t drops_ = 0;
   SimNanos busy_ns_ = 0;

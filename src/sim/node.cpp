@@ -112,6 +112,12 @@ SimNanos ServicedNode::serve_core(std::size_t core_index, SimNanos step_start) {
   }
 
   in_service_ = true;
+  // Reuse a delivered tx-burst vector's capacity when one has come
+  // back through the pool (pending_out_ was moved into the tx event).
+  if (pending_out_.capacity() == 0 && !out_pool_.empty()) {
+    pending_out_ = std::move(out_pool_.back());
+    out_pool_.pop_back();
+  }
   pending_out_.clear();
   // One poll sweep over every RX queue this core owns, empty or not —
   // a batched-datapath cost only; the per-packet mode keeps the flat
@@ -122,7 +128,11 @@ SimNanos ServicedNode::serve_core(std::size_t core_index, SimNanos step_start) {
 
   // The core's scheduler picks what this burst serves (budget 1 in
   // per-packet mode: the classic single-server queue, scheduler-ordered).
-  Burst burst;
+  // The burst vector is per-core scratch: service_burst(Burst&&) binds
+  // it by reference and moves only the packets out, so its capacity
+  // survives from burst to burst.
+  Burst& burst = core.burst;
+  burst.clear();
   burst.reserve(std::min(core.backlog, budget));
   core.scheduler->next_burst(core.view, budget, burst);
   if (burst.empty())
@@ -138,6 +148,7 @@ SimNanos ServicedNode::serve_core(std::size_t core_index, SimNanos step_start) {
   } else {
     cost = service_burst(std::move(burst));
   }
+  burst.clear();  // drop the moved-from shells, keep the capacity
   in_service_ = false;
   ++bursts_served_;
   ++core.bursts;
@@ -154,6 +165,9 @@ SimNanos ServicedNode::serve_core(std::size_t core_index, SimNanos step_start) {
     engine_.schedule_at(step_start + cost, [this, outputs = std::move(outputs)]() mutable {
       for (auto& [out_port, out_packet] : outputs)
         transmit(out_port, std::move(out_packet));
+      // Return the emptied vector to the pool for the next burst.
+      outputs.clear();
+      if (out_pool_.size() < 8) out_pool_.push_back(std::move(outputs));
     });
   }
   return cost;

@@ -242,6 +242,7 @@ class ServicedNode : public Node {
     std::unique_ptr<BurstScheduler> scheduler;
     std::vector<std::size_t> queue_indices;
     std::vector<RxQueue*> view;  // rebuilt lazily after queue growth
+    Burst burst;                 // per-step scratch, recycled across bursts
     std::size_t backlog = 0;     // packets across this core's queues
     SimNanos busy_ns = 0;
     std::uint64_t bursts = 0;
@@ -268,6 +269,9 @@ class ServicedNode : public Node {
   std::size_t queues_polled_ = 0;
   std::uint64_t rx_polls_ = 0;
   std::vector<std::pair<std::size_t, net::Packet>> pending_out_;
+  /// Delivered tx-burst vectors come back here so serve_core can reuse
+  /// their capacity instead of reallocating one per burst.
+  std::vector<std::vector<std::pair<std::size_t, net::Packet>>> out_pool_;
   bool draining_ = false;
   bool in_service_ = false;
   SimNanos busy_until_ = 0;

@@ -3,17 +3,16 @@
 namespace harmless::sim {
 
 void LatencyRecorder::arm(std::uint64_t packet_id, SimNanos sent_at) {
-  in_flight_.emplace(packet_id, sent_at);
+  in_flight_.insert_or_assign(packet_id, sent_at);
   if (first_sent_ < 0 || sent_at < first_sent_) first_sent_ = sent_at;
 }
 
 bool LatencyRecorder::complete(const net::Packet& packet, SimNanos received_at) {
-  const auto it = in_flight_.find(packet.id());
-  if (it == in_flight_.end()) return false;
-  latency_ns_.add(static_cast<double>(received_at - it->second));
+  std::int64_t sent_at = 0;
+  if (!in_flight_.take(packet.id(), &sent_at)) return false;
+  latency_ns_.add(static_cast<double>(received_at - sent_at));
   processing_ns_.add(static_cast<double>(packet.processing_ns()));
   hops_.add(static_cast<double>(packet.hops()));
-  in_flight_.erase(it);
   ++completed_;
   last_received_ = std::max(last_received_, received_at);
   return true;

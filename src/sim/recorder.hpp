@@ -6,10 +6,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
+#include "util/id_map.hpp"
 #include "util/stats.hpp"
 
 namespace harmless::sim {
@@ -34,7 +34,7 @@ class LatencyRecorder {
   void clear();
 
  private:
-  std::unordered_map<std::uint64_t, SimNanos> in_flight_;
+  util::IdMap<std::int64_t> in_flight_;
   util::Histogram latency_ns_;
   util::Histogram processing_ns_;
   util::Histogram hops_;

@@ -55,6 +55,25 @@ class RxQueue {
 
   explicit RxQueue(int in_port = 0) : in_port_(in_port) {}
 
+  // Explicitly noexcept moves: deque's move constructor is not noexcept
+  // in libstdc++ (the moved-from map is reallocated), and Packet is
+  // move-only, so vector growth must be allowed to relocate queues by
+  // move rather than falling back to the deleted copy.
+  RxQueue(RxQueue&& other) noexcept
+      : in_port_(other.in_port_),
+        items_(std::move(other.items_)),
+        drops_(other.drops_),
+        enqueued_(other.enqueued_),
+        peak_depth_(other.peak_depth_) {}
+  RxQueue& operator=(RxQueue&& other) noexcept {
+    in_port_ = other.in_port_;
+    items_ = std::move(other.items_);
+    drops_ = other.drops_;
+    enqueued_ = other.enqueued_;
+    peak_depth_ = other.peak_depth_;
+    return *this;
+  }
+
   [[nodiscard]] bool empty() const { return items_.empty(); }
   [[nodiscard]] std::size_t depth() const { return items_.size(); }
   [[nodiscard]] const Item& front() const { return items_.front(); }

@@ -231,7 +231,7 @@ void SoftSwitch::handle_controller_message(Message&& message) {
     // and their cost is dominated by the channel RTT).
     for (const Action& action : packet_out->actions) {
       if (const auto* out = std::get_if<OutputAction>(&action)) {
-        net::Packet copy = packet_out->packet;
+        net::Packet copy = packet_out->packet.clone();
         resolve_output(out->port, packet_out->in_port, std::move(copy));
       } else {
         apply_header_action(action, packet_out->packet);
@@ -294,7 +294,7 @@ void SoftSwitch::resolve_output(std::uint32_t of_port, std::uint32_t in_of_port,
       for (std::uint32_t port = 1; port <= of_port_count_; ++port) {
         if (port == in_of_port) continue;
         if (!port_up(port)) continue;
-        net::Packet copy = packet;
+        net::Packet copy = packet.clone();
         copy.charge(costs_.clone_ns);
         deliver_one(port, std::move(copy));
       }
@@ -380,9 +380,13 @@ sim::SimNanos SoftSwitch::service_burst(sim::ServicedNode::Burst&& burst) {
   const std::size_t rx_packets = burst.size();
 
   // Ingress admission per packet; down ports drop before the pipeline
-  // (they still occupied a slot in the rx burst).
-  std::vector<BurstPacket> items;
-  std::vector<std::uint32_t> in_of_ports;  // parallel to items/results
+  // (they still occupied a slot in the rx burst). The staging vectors
+  // are members recycled across bursts — the service loop of one
+  // switch never re-enters itself.
+  std::vector<BurstPacket>& items = burst_items_;
+  std::vector<std::uint32_t>& in_of_ports = burst_in_ports_;  // parallel to items/results
+  items.clear();
+  in_of_ports.clear();
   items.reserve(rx_packets);
   in_of_ports.reserve(rx_packets);
   for (auto& [in_port, packet] : burst) {
@@ -403,7 +407,8 @@ sim::SimNanos SoftSwitch::service_burst(sim::ServicedNode::Burst&& burst) {
   counters_.rss_steered += rss_hashes;
 
   const bool cache = pipeline_.cache_enabled();
-  BurstResult result = pipeline_.run_burst(std::move(items), engine_.now(), current_core());
+  BurstResult& result = burst_result_;
+  pipeline_.run_burst(items, engine_.now(), current_core(), result);
   const sim::SimNanos cost =
       costs_.burst_cost_ns(result, cache, rx_packets, queues_polled(), rss_hashes);
   counters_.replay_groups += result.replay_groups;

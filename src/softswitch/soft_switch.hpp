@@ -292,6 +292,11 @@ class SoftSwitch : public sim::ServicedNode {
   std::vector<bool> port_up_;
   bool sweep_scheduled_ = false;
   std::uint64_t seen_cache_epoch_ = 0;
+  /// service_burst staging + result scratch, recycled across bursts
+  /// (one switch's service loop never re-enters itself).
+  std::vector<openflow::BurstPacket> burst_items_;
+  std::vector<std::uint32_t> burst_in_ports_;
+  openflow::BurstResult burst_result_;
 };
 
 }  // namespace harmless::softswitch

@@ -1,0 +1,140 @@
+// util/id_map.hpp — a flat open-addressing map from 64-bit ids to a
+// small trivially-copyable value, for per-packet bookkeeping on the
+// hot path.
+//
+// std::unordered_map pays a node allocation per insert and a free per
+// erase — two mallocs per recorded packet in LatencyRecorder, and a
+// pointer chase per FlowCache microflow probe. This map stores keys
+// and values in two flat arrays with linear probing and backward-shift
+// deletion, so steady-state find/insert/erase touch a couple of cache
+// lines and never allocate. Key 0 (the empty marker) is carried in a
+// side slot so arbitrary hash keys are legal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace harmless::util {
+
+template <typename Value>
+class IdMap {
+ public:
+  IdMap() { rehash(kMinCapacity); }
+
+  [[nodiscard]] std::size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), 0);
+    size_ = 0;
+    has_zero_ = false;
+  }
+
+  /// Insert `key` -> `value`, overwriting any existing entry.
+  void insert_or_assign(std::uint64_t key, Value value) {
+    if (key == 0) {
+      has_zero_ = true;
+      zero_value_ = value;
+      return;
+    }
+    if ((size_ + 1) * 8 > keys_.size() * 7) rehash(keys_.size() * 2);
+    std::size_t slot = probe_start(key);
+    while (keys_[slot] != 0 && keys_[slot] != key) slot = (slot + 1) & mask_;
+    if (keys_[slot] == 0) {
+      keys_[slot] = key;
+      ++size_;
+    }
+    values_[slot] = value;
+  }
+
+  /// Pointer to `key`'s value, or nullptr when absent. Invalidated by
+  /// any mutation.
+  [[nodiscard]] Value* find(std::uint64_t key) {
+    if (key == 0) return has_zero_ ? &zero_value_ : nullptr;
+    std::size_t slot = probe_start(key);
+    while (keys_[slot] != key) {
+      if (keys_[slot] == 0) return nullptr;
+      slot = (slot + 1) & mask_;
+    }
+    return &values_[slot];
+  }
+
+  /// Remove `key` if present.
+  void erase(std::uint64_t key) {
+    Value value;
+    take(key, &value);
+  }
+
+  /// Find `key`; on a hit, store its value in `*value`, erase the
+  /// entry, and return true.
+  bool take(std::uint64_t key, Value* value) {
+    if (key == 0) {
+      if (!has_zero_) return false;
+      *value = zero_value_;
+      has_zero_ = false;
+      return true;
+    }
+    std::size_t slot = probe_start(key);
+    while (keys_[slot] != key) {
+      if (keys_[slot] == 0) return false;
+      slot = (slot + 1) & mask_;
+    }
+    *value = values_[slot];
+    erase_slot(slot);
+    --size_;
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 64;
+
+  [[nodiscard]] std::size_t probe_start(std::uint64_t key) const {
+    // Fibonacci hashing: spreads sequential packet ids across the
+    // table while keeping the probe computation two instructions.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_) & mask_;
+  }
+
+  void erase_slot(std::size_t hole) {
+    // Backward-shift deletion keeps probe chains dense (no
+    // tombstones): pull every displaced follower back over the hole.
+    std::size_t slot = hole;
+    for (;;) {
+      slot = (slot + 1) & mask_;
+      const std::uint64_t key = keys_[slot];
+      if (key == 0) break;
+      const std::size_t home = probe_start(key);
+      if (((slot - home) & mask_) >= ((slot - hole) & mask_)) {
+        keys_[hole] = key;
+        values_[hole] = values_[slot];
+        hole = slot;
+      }
+    }
+    keys_[hole] = 0;
+  }
+
+  void rehash(std::size_t capacity) {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    keys_.assign(capacity, 0);
+    values_.assign(capacity, Value{});
+    mask_ = capacity - 1;
+    shift_ = 64;
+    while ((std::size_t{1} << (64 - shift_)) < capacity) --shift_;
+    size_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != 0) insert_or_assign(old_keys[i], old_values[i]);
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<Value> values_;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 64;
+  std::size_t size_ = 0;
+  bool has_zero_ = false;
+  Value zero_value_{};
+};
+
+}  // namespace harmless::util

@@ -1,0 +1,150 @@
+// util/inline_function.hpp — a move-only callable with small-buffer
+// storage, built for the event engine's hot path.
+//
+// std::function costs the scheduler twice: every capture beyond two
+// words heap-allocates, and it requires CopyConstructible targets —
+// which rules out closures that capture a move-only net::Packet.
+// InlineFunction stores any nothrow-movable callable up to
+// kInlineBytes in place (one cache line together with the Event
+// metadata around it) and boxes larger ones behind a single pointer,
+// so scheduling a typical link-delivery or drain closure performs zero
+// allocations.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace harmless::util {
+
+class InlineFunction {
+ public:
+  /// Sized so Event{at, seq, fn} is two cache lines and the largest hot
+  /// closure (Channel delivery: this + size + a moved Packet) fits.
+  static constexpr std::size_t kInlineBytes = 104;
+
+  InlineFunction() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor): callable sink
+    emplace(std::forward<F>(fn));
+  }
+
+  /// Destroy any current callable and construct `fn` directly in the
+  /// small buffer — the zero-relocation path the event engine uses to
+  /// build a closure straight into its slab slot.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& fn) {
+    reset();
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= kAlign &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kBoxedOps<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    relocate_from(other);
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      relocate_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroy the stored callable (if any) and become empty. Trivially
+  /// relocatable callables (most capture lists: pointers, indices, a
+  /// frame size) have no destroy op at all — reset is two predictable
+  /// branches.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct into `dst` from `src`, destroying `src`; null
+    /// when a fixed-size memcpy of the storage does the same thing
+    /// (trivially copyable + trivially destructible callables), which
+    /// lets moves inline instead of an indirect call per relocation.
+    void (*relocate)(void* src, void* dst) noexcept;
+    /// Null for trivially destructible callables.
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops make_inline_ops() {
+    Ops ops{};
+    ops.invoke = [](void* storage) { (*std::launder(static_cast<D*>(storage)))(); };
+    if constexpr (std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>) {
+      ops.relocate = nullptr;
+      ops.destroy = nullptr;
+    } else {
+      ops.relocate = [](void* src, void* dst) noexcept {
+        D* from = std::launder(static_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      };
+      ops.destroy = [](void* storage) noexcept {
+        std::launder(static_cast<D*>(storage))->~D();
+      };
+    }
+    return ops;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = make_inline_ops<D>();
+
+  template <typename D>
+  static constexpr Ops kBoxedOps = {
+      [](void* storage) { (**std::launder(static_cast<D**>(storage)))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+      },
+      [](void* storage) noexcept { delete *std::launder(static_cast<D**>(storage)); },
+  };
+
+  void relocate_from(InlineFunction& other) noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, kInlineBytes);
+      }
+    }
+    other.ops_ = nullptr;
+  }
+
+  alignas(kAlign) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace harmless::util

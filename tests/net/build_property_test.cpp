@@ -66,6 +66,58 @@ TEST_P(VlanIdentityProperty, PushPopIsIdentityForRandomPackets) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VlanIdentityProperty, ::testing::Range(1, 6));
 
+TEST(BuildProperty, UdpTemplateStampMatchesMakeUdpByteForByte) {
+  // The template path (serialize once, stamp ports + incremental
+  // checksum per packet) must be indistinguishable from a full
+  // make_udp build — every byte, at every frame size the benches use,
+  // across a port sweep that exercises checksum carry/fold edges.
+  util::Rng rng(2024);
+  for (const std::size_t size : {60UL, 64UL, 128UL, 512UL, 1500UL}) {
+    FlowKey key;
+    key.eth_src = MacAddr::from_u64(0x020000000000 | rng.below(1 << 20));
+    key.eth_dst = MacAddr::from_u64(0x020000000000 | rng.below(1 << 20));
+    key.ip_src = Ipv4Addr(static_cast<std::uint32_t>(rng.below(UINT32_MAX)));
+    key.ip_dst = Ipv4Addr(static_cast<std::uint32_t>(rng.below(UINT32_MAX)));
+    const UdpTemplate tmpl(key, size);
+    for (int i = 0; i < 64; ++i) {
+      key.src_port = static_cast<std::uint16_t>(rng.below(65536));
+      key.dst_port = static_cast<std::uint16_t>(rng.below(65536));
+      const Packet stamped = tmpl.stamp(key.src_port, key.dst_port);
+      const Packet built = make_udp(key, size);
+      ASSERT_EQ(Bytes(stamped.frame().begin(), stamped.frame().end()),
+                Bytes(built.frame().begin(), built.frame().end()))
+          << "size=" << size << " sport=" << key.src_port << " dport=" << key.dst_port;
+    }
+  }
+}
+
+TEST(BuildProperty, UdpTemplateStampHitsChecksumEdgeCases) {
+  // Port pairs chosen to drive the incremental sum through 0xffff
+  // folds and the RFC 768 zero-avoidance rule.
+  FlowKey key;
+  key.eth_src = MacAddr::from_u64(0x020000000011);
+  key.eth_dst = MacAddr::from_u64(0x020000000022);
+  key.ip_src = Ipv4Addr(192, 168, 1, 1);
+  key.ip_dst = Ipv4Addr(192, 168, 1, 2);
+  const UdpTemplate tmpl(key, 64);
+  const std::uint16_t ports[] = {0, 1, 0x7fff, 0x8000, 0xfffe, 0xffff};
+  for (const std::uint16_t sport : ports) {
+    for (const std::uint16_t dport : ports) {
+      key.src_port = sport;
+      key.dst_port = dport;
+      const Packet stamped = tmpl.stamp(sport, dport);
+      const Packet built = make_udp(key, 64);
+      ASSERT_EQ(Bytes(stamped.frame().begin(), stamped.frame().end()),
+                Bytes(built.frame().begin(), built.frame().end()))
+          << "sport=" << sport << " dport=" << dport;
+      const ParsedPacket parsed = parse_packet(stamped);
+      ASSERT_TRUE(parsed.udp);
+      EXPECT_EQ(parsed.src_port(), sport);
+      EXPECT_EQ(parsed.dst_port(), dport);
+    }
+  }
+}
+
 TEST(BuildProperty, TcpPayloadSurvivesChecksummedPath) {
   FlowKey key;
   key.eth_src = MacAddr::from_u64(1);

@@ -126,5 +126,17 @@ TEST(Parse, HexdumpContainsOffsets) {
   EXPECT_NE(dump.find("0030:"), std::string::npos);
 }
 
+TEST(Parse, HexdumpBoundedTruncates) {
+  const Packet packet = make_udp(flow(), 256);
+  const std::string dump = packet.hexdump(32);
+  EXPECT_NE(dump.find("0000:"), std::string::npos);
+  EXPECT_EQ(dump.find("0020:"), std::string::npos);  // bytes past the bound are elided
+  EXPECT_NE(dump.find("32 of 256 bytes"), std::string::npos);
+  // The unbounded form dumps everything and adds no truncation note.
+  const std::string full = packet.hexdump();
+  EXPECT_NE(full.find("00f0:"), std::string::npos);
+  EXPECT_EQ(full.find("bytes)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace harmless::net

@@ -269,7 +269,7 @@ TEST_P(CacheEquivalence, CachedPipelineIsObservationallyIdentical) {
       continue;
     }
     net::Packet packet = random_packet(traffic);
-    net::Packet twin = packet;
+    net::Packet twin = packet.clone();
     const std::uint32_t in_port = static_cast<std::uint32_t>(1 + schedule.below(kHosts));
     const PipelineResult result_a = cached.run(std::move(packet), in_port, now);
     const PipelineResult result_b = uncached.run(std::move(twin), in_port, now);
@@ -343,7 +343,7 @@ TEST_P(BurstEquivalence, BatchedPipelineIsObservationallyIdentical) {
     std::vector<std::uint32_t> in_ports;
     for (std::size_t i = 0; i < burst_size; ++i) {
       net::Packet packet = random_packet(traffic);
-      twins.push_back(packet);
+      twins.push_back(packet.clone());
       const std::uint32_t in_port = static_cast<std::uint32_t>(1 + schedule.below(kHosts));
       in_ports.push_back(in_port);
       burst.push_back(BurstPacket{std::move(packet), in_port});

@@ -308,7 +308,7 @@ void capacity_storm(Pipeline& with_subtables, Pipeline& with_linear, sim::SimNan
       key.src_port = static_cast<std::uint16_t>(2048 + round);
       key.dst_port = 80;
       net::Packet packet = net::make_udp(key, 64);
-      net::Packet twin = packet;
+      net::Packet twin = packet.clone();
       const PipelineResult result_a = with_subtables.run(std::move(packet), 1, now);
       const PipelineResult result_b = with_linear.run(std::move(twin), 1, now);
       ASSERT_EQ(Observed(result_a), Observed(result_b))
@@ -371,7 +371,7 @@ TEST_P(ClassifierEquivalence, SubtablesMatchLinearScanOnAllObservables) {
       continue;
     }
     net::Packet packet = random_packet(traffic);
-    net::Packet twin = packet;
+    net::Packet twin = packet.clone();
     const std::uint32_t in_port = static_cast<std::uint32_t>(1 + schedule.below(kHosts));
     const PipelineResult result_a = with_subtables.run(std::move(packet), in_port, now);
     const PipelineResult result_b = with_linear.run(std::move(twin), in_port, now);
@@ -442,7 +442,7 @@ TEST_P(BurstClassifierEquivalence, BatchedProbeAgreesAcrossClassifiers) {
     for (std::size_t i = 0; i < burst_size; ++i) {
       net::Packet packet = random_packet(traffic);
       const std::uint32_t in_port = static_cast<std::uint32_t>(1 + schedule.below(kHosts));
-      burst_b.push_back(BurstPacket{packet, in_port});
+      burst_b.push_back(BurstPacket{packet.clone(), in_port});
       burst_a.push_back(BurstPacket{std::move(packet), in_port});
     }
     BurstResult result_a = with_subtables.run_burst(std::move(burst_a), now);
@@ -499,7 +499,7 @@ TEST(ClassifierEquivalence, EvictionChurnAgreesWithLinearReference) {
     key.src_port = sport;
     key.dst_port = 80;
     net::Packet packet = net::make_udp(key, 64);
-    net::Packet twin = packet;
+    net::Packet twin = packet.clone();
     ++now;
     const PipelineResult result_a = with_subtables.run(std::move(packet), 1, now);
     const PipelineResult result_b = with_linear.run(std::move(twin), 1, now);
