@@ -1,0 +1,330 @@
+// bench_faults — Table 8: OpenFlow failure semantics under controller
+// outages.
+//
+// A reactive L2 deployment (LearningSwitchApp + a StaticFlowApp
+// program of `flows` controller-owned rules) runs on one soft switch
+// while the FaultInjector crashes the controller for a configurable
+// outage. Two traffic classes observe the outage:
+//
+//   warm — a stream whose forwarding rule was installed before the
+//          crash. OpenFlow fail-secure keeps it flowing (installed
+//          flows survive controller loss); only a switch reboot would
+//          kill it.
+//   cold — a stream that STARTS mid-outage, so its first packet needs
+//          the controller. Under fail-secure it is dropped at the
+//          packet-in governor until reconnect + resync; under
+//          fail-standalone the switch bridges it immediately with
+//          legacy MAC learning — holding legacy-baseline goodput
+//          through the entire outage.
+//
+// Recovery time = last_resync_at - heal time: detection lag (echo
+// misses) is already paid mid-outage, so this is backoff remainder +
+// handshake + the full-state re-install, which the control channel's
+// per-message serialization gap makes scale with `flows` (the point of
+// the flow-count axis).
+//
+// A LegacyRig baseline row per outage shows what the hardware switch
+// would have done (no controller: both classes ~100%). The fault-free
+// determinism guard runs the outage-free scenario twice and insists on
+// a bit-identical digest — the CI chaos-smoke job keys off it and off
+// every faulted row having recovered.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "controller/apps/learning.hpp"
+#include "controller/apps/static_flows.hpp"
+#include "controller/controller.hpp"
+#include "sim/faults.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace harmless;
+using namespace harmless::bench;
+
+namespace {
+
+constexpr sim::SimNanos kMs = 1'000'000;
+
+// One paced stream every kPacketInterval; windows below count offered
+// packets as window / interval.
+constexpr sim::SimNanos kPacketInterval = 20'000;  // 50 kpps per stream
+constexpr sim::SimNanos kOutageStart = 30 * kMs;
+constexpr sim::SimNanos kColdLag = 3 * kMs;  // cold stream starts this far into the outage
+constexpr sim::SimNanos kEnd = 150 * kMs;
+
+struct Row {
+  std::string mode;
+  sim::SimNanos outage_ns = 0;
+  std::size_t flows = 0;
+  double warm_goodput_pct = 0;  // delivered/offered inside the outage window
+  double cold_goodput_pct = 0;
+  double recovery_ms = -1;  // last_resync_at - heal; -1 = never resynced
+  std::uint64_t flows_reinstalled = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t standalone_packets = 0;
+  std::uint64_t packet_ins_dropped = 0;
+  std::uint64_t digest = 0;
+  bool recovered = true;
+};
+
+// Count deliveries that land inside [kOutageStart, heal).
+struct WindowCounter {
+  sim::Engine* engine = nullptr;
+  sim::SimNanos heal = 0;
+  std::uint64_t in_window = 0;
+  std::uint64_t total = 0;
+
+  void attach(sim::Host& host) {
+    host.set_on_receive([this](const net::Packet&, const net::ParsedPacket&) {
+      ++total;
+      const sim::SimNanos now = engine->now();
+      if (now >= kOutageStart && now < heal) ++in_window;
+    });
+  }
+};
+
+double goodput_pct(std::uint64_t delivered, sim::SimNanos window, sim::SimNanos first_offer) {
+  if (window <= first_offer) return 0;
+  const double offered = static_cast<double>((window - first_offer) / kPacketInterval);
+  if (offered <= 0) return 0;
+  return 100.0 * static_cast<double>(delivered) / offered;
+}
+
+Row run_scenario(softswitch::FailoverSpec::Mode mode, sim::SimNanos outage_ns,
+                 std::size_t flows) {
+  const int host_count = 4;
+  const sim::SimNanos heal = kOutageStart + outage_ns;
+
+  sim::Network network;
+  auto& sw = network.add_node<softswitch::SoftSwitch>(
+      "dp", 0xD0, static_cast<std::size_t>(host_count), /*table_count=*/1);
+  std::vector<sim::Host*> local_hosts;
+  for (int i = 0; i < host_count; ++i) {
+    sim::Host& host = network.add_host("h" + std::to_string(i), host_mac(i), host_ip(i));
+    network.connect(host, 0, sw, static_cast<std::size_t>(i), sim::LinkSpec::gbps(1));
+    local_hosts.push_back(&host);
+  }
+
+  openflow::ControlChannel channel(network.engine());
+  // The resync pacing knob: each control message serializes 5 us after
+  // the previous one, so re-installing N rules takes ~5N us.
+  channel.set_min_gap(5'000);
+  sw.attach_channel(channel);
+
+  softswitch::FailoverSpec spec;
+  spec.mode = mode;
+  spec.echo_interval_ns = 500'000;
+  spec.warmup_ns = kMs;  // post-resync packet-in governor
+  spec.warmup_packet_in_budget = 8;
+  sw.set_failover(spec);
+
+  controller::Controller ctrl;
+  auto& program = ctrl.add_app<controller::StaticFlowApp>();
+  for (std::size_t i = 0; i < flows; ++i) {
+    openflow::FlowModMsg mod;
+    mod.table_id = 0;
+    mod.priority = 10;
+    // The first two rules cover the WARM pair (h0 <-> h1) only — the
+    // cold pair (h2 -> h3) must go through the learning app, so its
+    // packets need a live controller. The rest are filler state
+    // (synthetic MACs) whose only job is to be re-installed on resync.
+    if (i < 2) {
+      mod.match.eth_dst(host_mac(static_cast<int>(i)));
+      mod.instructions =
+          openflow::apply({openflow::output(static_cast<std::uint32_t>(i + 1))});
+    } else {
+      mod.match.eth_dst(net::MacAddr::from_u64(0x0400'0000'0000ULL + i));
+      mod.instructions = openflow::apply({openflow::output(1)});
+    }
+    program.flow(mod);
+  }
+  ctrl.add_app<controller::LearningSwitchApp>(/*table=*/0);
+  ctrl.connect(channel, "dp");
+
+  sim::FaultInjector injector(network.engine());
+  injector.register_point("ctrl", ctrl);
+  if (outage_ns > 0) {
+    sim::FaultPlan plan;
+    plan.crash("ctrl", kOutageStart, outage_ns);
+    injector.arm(plan);
+  }
+
+  network.run_until(2 * kMs);  // handshake + program install
+
+  WindowCounter warm{&network.engine(), heal};
+  WindowCounter cold{&network.engine(), heal};
+  warm.attach(*local_hosts[1]);
+  cold.attach(*local_hosts[3]);
+  const sim::SimNanos cold_start = kOutageStart + kColdLag;
+  const std::size_t warm_count = static_cast<std::size_t>((kEnd - 2 * kMs) / kPacketInterval);
+  const std::size_t cold_count =
+      static_cast<std::size_t>((kEnd - cold_start) / kPacketInterval);
+  local_hosts[0]->send_udp_stream(local_hosts[1]->mac(), local_hosts[1]->ip(), warm_count, 64,
+                                  kPacketInterval, /*start=*/2 * kMs);
+  local_hosts[2]->send_udp_stream(local_hosts[3]->mac(), local_hosts[3]->ip(), cold_count, 64,
+                                  kPacketInterval, /*start=*/cold_start);
+
+  network.run_until(kEnd);
+
+  const auto& stats = sw.failover_stats();
+  Row row;
+  row.mode = (mode == softswitch::FailoverSpec::Mode::kFailSecure) ? "fail_secure"
+                                                                   : "fail_standalone";
+  row.outage_ns = outage_ns;
+  row.flows = flows;
+  row.warm_goodput_pct = goodput_pct(warm.in_window, outage_ns, 0);
+  row.cold_goodput_pct = goodput_pct(cold.in_window, outage_ns, kColdLag);
+  row.flows_reinstalled = stats.flows_reinstalled;
+  row.disconnects = stats.disconnects;
+  row.reconnects = stats.reconnects;
+  row.resyncs = stats.resyncs;
+  row.standalone_packets = stats.standalone_packets;
+  row.packet_ins_dropped = stats.packet_ins_dropped;
+  if (outage_ns > 0) {
+    row.recovered = stats.disconnects > 0 && stats.reconnects == stats.disconnects &&
+                    stats.resyncs == stats.reconnects && stats.last_resync_at >= heal;
+    row.recovery_ms =
+        stats.last_resync_at >= heal
+            ? static_cast<double>(stats.last_resync_at - heal) / static_cast<double>(kMs)
+            : -1.0;
+  }
+  // Digest for the fault-free determinism guard.
+  std::uint64_t digest = 14695981039346656037ULL;
+  const auto fold = [&digest](std::uint64_t x) {
+    for (int b = 0; b < 8; ++b) {
+      digest ^= (x >> (b * 8)) & 0xff;
+      digest *= 1099511628211ULL;
+    }
+  };
+  fold(network.engine().events_dispatched());
+  fold(warm.total);
+  fold(cold.total);
+  fold(channel.to_controller().sent);
+  fold(channel.to_switch().sent);
+  row.digest = digest;
+  return row;
+}
+
+// What the pre-migration hardware would do: no controller to lose.
+Row legacy_baseline(sim::SimNanos outage_ns) {
+  RigOptions options;
+  options.host_count = 4;
+  options.access_link = sim::LinkSpec::gbps(1);
+  LegacyRig rig(options);
+  const sim::SimNanos heal = kOutageStart + outage_ns;
+  WindowCounter warm{&rig.network.engine(), heal};
+  WindowCounter cold{&rig.network.engine(), heal};
+  warm.attach(*rig.hosts[1]);
+  cold.attach(*rig.hosts[3]);
+  const sim::SimNanos cold_start = kOutageStart + kColdLag;
+  const std::size_t warm_count = static_cast<std::size_t>((kEnd - 2 * kMs) / kPacketInterval);
+  const std::size_t cold_count =
+      static_cast<std::size_t>((kEnd - cold_start) / kPacketInterval);
+  rig.hosts[0]->send_udp_stream(rig.hosts[1]->mac(), rig.hosts[1]->ip(), warm_count, 64,
+                                kPacketInterval, /*start=*/2 * kMs);
+  rig.hosts[2]->send_udp_stream(rig.hosts[3]->mac(), rig.hosts[3]->ip(), cold_count, 64,
+                                kPacketInterval, /*start=*/cold_start);
+  rig.network.run_until(kEnd);
+
+  Row row;
+  row.mode = "legacy_baseline";
+  row.outage_ns = outage_ns;
+  row.warm_goodput_pct = goodput_pct(warm.in_window, outage_ns, 0);
+  row.cold_goodput_pct = goodput_pct(cold.in_window, outage_ns, kColdLag);
+  return row;
+}
+
+Json to_json(const Row& row) {
+  Json json = Json::object();
+  json.set("mode", row.mode);
+  json.set("outage_ms", static_cast<double>(row.outage_ns) / static_cast<double>(kMs));
+  json.set("flows", row.flows);
+  json.set("warm_goodput_pct", row.warm_goodput_pct);
+  json.set("cold_goodput_pct", row.cold_goodput_pct);
+  json.set("recovery_ms", row.recovery_ms);
+  json.set("flows_reinstalled", row.flows_reinstalled);
+  json.set("disconnects", row.disconnects);
+  json.set("reconnects", row.reconnects);
+  json.set("resyncs", row.resyncs);
+  json.set("standalone_packets", row.standalone_packets);
+  json.set("packet_ins_dropped", row.packet_ins_dropped);
+  json.set("recovered", row.recovered);
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const std::vector<sim::SimNanos> outages =
+      quick ? std::vector<sim::SimNanos>{10 * kMs} : std::vector<sim::SimNanos>{10 * kMs, 40 * kMs};
+  const std::vector<std::size_t> flow_counts =
+      quick ? std::vector<std::size_t>{16, 128} : std::vector<std::size_t>{16, 128, 1024};
+
+  std::cout << "bench_faults - Table 8: goodput dip and time-to-recover across controller\n"
+               "outages (mode x outage x controller-owned flow count)"
+            << (quick ? " [QUICK]" : "") << "\n\n";
+
+  util::Table table({"mode", "outage_ms", "flows", "warm_good%", "cold_good%", "recovery_ms",
+                     "reinstalled", "standalone_pkts", "pktin_dropped"});
+  Json rows = Json::array();
+  bool all_recovered = true;
+
+  for (const sim::SimNanos outage : outages) {
+    const Row base = legacy_baseline(outage);
+    table.add_row({base.mode, util::format("%.0f", static_cast<double>(outage) / 1e6), "-",
+                   util::format("%.1f", base.warm_goodput_pct),
+                   util::format("%.1f", base.cold_goodput_pct), "-", "-", "-", "-"});
+    rows.push(to_json(base));
+    for (const auto mode : {softswitch::FailoverSpec::Mode::kFailSecure,
+                            softswitch::FailoverSpec::Mode::kFailStandalone}) {
+      for (const std::size_t flows : flow_counts) {
+        const Row row = run_scenario(mode, outage, flows);
+        all_recovered = all_recovered && row.recovered;
+        table.add_row(
+            {row.mode, util::format("%.0f", static_cast<double>(outage) / 1e6),
+             util::format("%zu", row.flows), util::format("%.1f", row.warm_goodput_pct),
+             util::format("%.1f", row.cold_goodput_pct),
+             row.recovery_ms < 0 ? std::string("never") : util::format("%.2f", row.recovery_ms),
+             util::format("%llu", static_cast<unsigned long long>(row.flows_reinstalled)),
+             util::format("%llu", static_cast<unsigned long long>(row.standalone_packets)),
+             util::format("%llu", static_cast<unsigned long long>(row.packet_ins_dropped))});
+        rows.push(to_json(row));
+      }
+    }
+  }
+  std::cout << table.to_string() << '\n';
+
+  // Fault-free determinism guard: the outage-free scenario twice, bit
+  // identical or the bench fails (the chaos-smoke CI gate).
+  const Row free1 = run_scenario(softswitch::FailoverSpec::Mode::kFailSecure, 0, 16);
+  const Row free2 = run_scenario(softswitch::FailoverSpec::Mode::kFailSecure, 0, 16);
+  const bool deterministic = free1.digest == free2.digest;
+  std::cout << "fault-free determinism: " << (deterministic ? "OK" : "DRIFT") << '\n';
+
+  Json report = Json::object();
+  report.set("table8", std::move(rows));
+  Json guard = Json::object();
+  guard.set("fault_free_digest_match", deterministic);
+  guard.set("all_faulted_rows_recovered", all_recovered);
+  report.set("guards", std::move(guard));
+  write_bench_json("BENCH_faults.json", report);
+
+  if (!deterministic) {
+    std::cerr << "FAIL: fault-free runs diverged\n";
+    return 1;
+  }
+  if (!all_recovered) {
+    std::cerr << "FAIL: a faulted scenario never reconnected + resynced\n";
+    return 1;
+  }
+  return 0;
+}

@@ -166,6 +166,14 @@ struct RigOptions {
   sim::CoreSpec cores;
   /// Bonded trunk legs between the legacy switch and the S4 box.
   int trunk_count = 1;
+  /// Controller-loss behaviour on the OF datapath (NativeRig's switch,
+  /// HarmlessRig's SS_2). Default disabled: no probes, no degraded
+  /// modes — identical to the pre-fault rigs.
+  softswitch::FailoverSpec failover;
+  /// Control-channel serialization gap per message (resync pacing) and
+  /// one-way latency.
+  sim::SimNanos control_min_gap = 0;
+  sim::SimNanos control_latency = 50'000;
 
   [[nodiscard]] sim::IngressSpec ingress() const {
     sim::IngressSpec spec;
@@ -259,6 +267,7 @@ struct NativeRig : BaseRig {
         options.specialized_matchers, options.flow_cache, options.burst_size,
         options.ingress());
     datapath->pipeline().set_linear_scan(options.cache_linear_scan);
+    if (options.failover.enabled()) datapath->set_failover(options.failover);
     add_hosts(*datapath, options);
     for (int i = 0; i < options.host_count; ++i) {
       openflow::FlowModMsg mod;
@@ -292,6 +301,9 @@ struct HarmlessRig : BaseRig {
     spec.cache_linear_scan = options.cache_linear_scan;
     spec.burst_size = options.burst_size;
     spec.ingress = options.ingress();
+    spec.control_latency = options.control_latency;
+    spec.control_min_gap = options.control_min_gap;
+    spec.ss2_failover = options.failover;
     fabric.emplace(core::Fabric::build(network, *device, *map, spec));
     // Static L2 program on SS_2 (what the learning app would converge to).
     for (int i = 0; i < options.host_count; ++i) {

@@ -13,6 +13,30 @@ void Session::start_handshake() {
   channel_.send_to_switch(FeaturesRequestMsg{});
 }
 
+void Session::detach() { channel_.set_controller_handler(nullptr); }
+
+void Session::restart_handshake() {
+  // A session that was ready before the crash must resync, not just
+  // connect: the datapath kept (some of) its state while we lost ours.
+  if (ready_) resync_pending_ = true;
+  start_handshake();
+}
+
+void Session::run_resync() {
+  ++resyncs_;
+  ++owner_.stats_.resyncs;
+  // Audit what survived on the datapath (observability: apps reinstall
+  // idempotently regardless; the audit tells Table 8 how much state
+  // outlived the outage)...
+  request_flow_stats(
+      [this](const FlowStatsReplyMsg& reply) { last_audit_flows_ = reply.flows.size(); });
+  // ...re-run the apps' programming...
+  owner_.dispatch_reconnect(*this);
+  // ...and fence it: FIFO delivery means the barrier reaches the
+  // switch after every re-installed mod, closing its resync window.
+  barrier();
+}
+
 void Session::send(Message message) { channel_.send_to_switch(std::move(message)); }
 
 void Session::flow_add(std::uint8_t table, std::uint16_t priority, Match match,
@@ -64,16 +88,39 @@ void Session::request_flow_stats(std::function<void(const FlowStatsReplyMsg&)> c
 }
 
 void Session::handle(Message&& message) {
-  if (std::holds_alternative<HelloMsg>(message)) return;
+  if (std::holds_alternative<HelloMsg>(message)) {
+    // A Hello on an already-ready session is a switch asking to come
+    // back (its reconnect-backoff probe). Accept by re-running the
+    // features handshake; the resync fires when the reply lands.
+    // (During the initial handshake ready_ is still false and the
+    // switch's Hello reply is ignored, as it always was.)
+    if (ready_ && !resync_pending_) {
+      resync_pending_ = true;
+      channel_.send_to_switch(FeaturesRequestMsg{});
+    }
+    return;
+  }
   if (std::holds_alternative<EchoReplyMsg>(message)) {
     ++echo_replies_;
+    return;
+  }
+  if (const auto* echo = std::get_if<EchoRequestMsg>(&message)) {
+    // Datapath-side liveness probe: answer it (a dead controller
+    // can't — its handler is detached, so the probe counts as
+    // dropped_no_handler and the switch's miss counter grows).
+    channel_.send_to_switch(EchoReplyMsg{echo->payload});
     return;
   }
   if (const auto* features = std::get_if<FeaturesReplyMsg>(&message)) {
     features_ = *features;
     const bool first = !ready_;
     ready_ = true;
-    if (first) owner_.dispatch_connect(*this);
+    if (first) {
+      owner_.dispatch_connect(*this);
+    } else if (resync_pending_) {
+      resync_pending_ = false;
+      run_resync();
+    }
     return;
   }
   if (const auto* stats = std::get_if<FlowStatsReplyMsg>(&message)) {
@@ -96,6 +143,31 @@ Session& Controller::connect(ControlChannel& channel, std::string label) {
 
 void Controller::dispatch_connect(Session& session) {
   for (const auto& app : apps_) app->on_connect(session);
+}
+
+void Controller::dispatch_reconnect(Session& session) {
+  for (const auto& app : apps_) app->on_reconnect(session);
+}
+
+void Controller::fault_crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++stats_.crashes;
+  // The process is gone: nothing receives. In-flight and future
+  // messages to the controller count as dropped_no_handler on their
+  // channels — the observable difference between a dead controller and
+  // a partitioned one (dropped_down).
+  for (const auto& session : sessions_) session->detach();
+}
+
+void Controller::fault_restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++stats_.restarts;
+  // Supervised restart: apps are still registered (their state is code
+  // plus what on_reconnect re-derives); every known datapath gets a
+  // fresh handshake with the resync path armed.
+  for (const auto& session : sessions_) session->restart_handshake();
 }
 
 void Controller::dispatch(Session& session, Message&& message) {

@@ -6,6 +6,17 @@
 // the Session helpers (flow_add, group_add, packet_out, ...), which is
 // what makes them reusable between a native SS_2 and any other
 // datapath, the property HARMLESS's translator exists to protect.
+//
+// Failure semantics (PR 7): a switch that lost its session sends Hello
+// over the (healed) channel; a ready Session answers with a features
+// handshake and, when the FeaturesReply lands, runs a full-state
+// resync — a flow-stats audit of what survived on the datapath,
+// App::on_reconnect on every app (default: re-run on_connect, since
+// well-written apps install idempotently), and a barrier fencing the
+// re-installed state. The Controller is itself a sim::FaultPoint:
+// fault_crash detaches every session's receive handler (messages then
+// count as dropped_no_handler on the channel) and fault_restart
+// re-handshakes every session with the resync path armed.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +27,7 @@
 
 #include "openflow/channel.hpp"
 #include "openflow/messages.hpp"
+#include "sim/faults.hpp"
 
 namespace harmless::controller {
 
@@ -54,15 +66,34 @@ class Session {
   // Used by Controller.
   void handle(openflow::Message&& message);
   void start_handshake();
+  /// Stop receiving (controller crash): the channel delivers into
+  /// nothing and counts dropped_no_handler.
+  void detach();
+  /// Re-handshake after a controller restart; a previously-ready
+  /// session arms the resync path.
+  void restart_handshake();
+
+  /// Resyncs completed (reconnect handshakes that re-ran the apps).
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
+  /// Flow entries the pre-resync audit found still installed on the
+  /// datapath (what survived the outage).
+  [[nodiscard]] std::uint64_t last_audit_flows() const { return last_audit_flows_; }
 
  private:
+  /// Full-state resync: audit the surviving flow table, re-run the
+  /// apps, fence with a barrier.
+  void run_resync();
+
   Controller& owner_;
   openflow::ControlChannel& channel_;
   std::string label_;
   openflow::FeaturesReplyMsg features_;
   bool ready_ = false;
+  bool resync_pending_ = false;
   std::uint32_t next_xid_ = 1;
   std::uint64_t echo_replies_ = 0;
+  std::uint64_t resyncs_ = 0;
+  std::uint64_t last_audit_flows_ = 0;
   std::vector<std::function<void(const openflow::FlowStatsReplyMsg&)>> stats_callbacks_;
 };
 
@@ -74,6 +105,11 @@ class App {
 
   /// Datapath completed the handshake: install your rules here.
   virtual void on_connect(Session& session) { (void)session; }
+  /// Datapath re-established a lost session. Default: re-run
+  /// on_connect — correct for apps whose installs are idempotent
+  /// (flow_add of an existing rule overwrites). Override to
+  /// reconcile incrementally instead.
+  virtual void on_reconnect(Session& session) { on_connect(session); }
   virtual void on_packet_in(Session& session, const openflow::PacketInMsg& event) {
     (void)session;
     (void)event;
@@ -92,7 +128,7 @@ class App {
   }
 };
 
-class Controller {
+class Controller : public sim::FaultPoint {
  public:
   explicit Controller(std::string name = "ctrl") : name_(std::move(name)) {}
 
@@ -119,18 +155,34 @@ class Controller {
     std::uint64_t packet_ins = 0;
     std::uint64_t flow_removed = 0;
     std::uint64_t errors = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t resyncs = 0;  // across all sessions
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // sim::FaultPoint: process death and supervised restart. Crash stops
+  // every session from receiving; restart re-handshakes them all with
+  // full-state resync.
+  void fault_crash() override;
+  void fault_restart() override;
+  void fault_set_up(bool up) override {
+    if (up) fault_restart();
+    else fault_crash();
+  }
+  [[nodiscard]] bool crashed() const { return crashed_; }
 
  private:
   friend class Session;
   void dispatch_connect(Session& session);
+  void dispatch_reconnect(Session& session);
   void dispatch(Session& session, openflow::Message&& message);
 
   std::string name_;
   std::vector<std::unique_ptr<App>> apps_;
   std::vector<std::unique_ptr<Session>> sessions_;
   Stats stats_;
+  bool crashed_ = false;
 };
 
 }  // namespace harmless::controller

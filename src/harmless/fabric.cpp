@@ -42,10 +42,21 @@ Fabric Fabric::build(sim::Network& network, legacy::LegacySwitch& device, const 
 
   // SS_2's controller channel (connected to a Controller by the caller
   // or the Manager).
-  fabric.channel_ = std::make_unique<openflow::ControlChannel>(network.engine(),
-                                                               spec.control_latency);
+  fabric.channel_ = std::make_unique<openflow::ControlChannel>(
+      network.engine(), spec.control_latency, spec.control_seed);
+  fabric.channel_->set_min_gap(spec.control_min_gap);
+  if (spec.control_impairment.active())
+    fabric.channel_->set_impairment(spec.control_impairment, spec.control_impairment);
   fabric.ss2_->attach_channel(*fabric.channel_);
+  if (spec.ss2_failover.enabled()) fabric.ss2_->set_failover(spec.ss2_failover);
   return fabric;
+}
+
+void Fabric::register_faults(sim::FaultInjector& injector) {
+  for (sim::Channel* channel : trunk_channels_) injector.register_link("trunk", *channel);
+  if (channel_) injector.register_point("control", *channel_);
+  if (ss1_ != nullptr) injector.register_point("ss1", *ss1_);
+  if (ss2_ != nullptr) injector.register_point("ss2", *ss2_);
 }
 
 void Fabric::set_trunk_up(bool up) {

@@ -25,6 +25,7 @@
 #include "harmless/translator.hpp"
 #include "legacy/legacy_switch.hpp"
 #include "openflow/channel.hpp"
+#include "sim/faults.hpp"
 #include "sim/network.hpp"
 #include "softswitch/soft_switch.hpp"
 
@@ -56,6 +57,18 @@ struct FabricSpec {
   /// Control channel one-way latency (controller is usually on-box or
   /// one rack away).
   sim::SimNanos control_latency = 50'000;
+  /// Control-channel seed (loss/jitter draws when impaired) and
+  /// per-message serialization gap (0 = instantaneous pipe; set to
+  /// model resync time scaling with flow count).
+  std::uint64_t control_seed = 0xc0a7'0150'0fULL;
+  sim::SimNanos control_min_gap = 0;
+  /// Control-channel impairment applied at build (both directions);
+  /// default pristine. Fault plans can impair it later via the
+  /// injector regardless.
+  openflow::ChannelImpairment control_impairment;
+  /// SS_2 controller-loss behaviour (disabled by default: no probes,
+  /// PR-6-identical). SS_1 never gets one — it has no controller.
+  softswitch::FailoverSpec ss2_failover;
   /// Expected concurrent pending events (in-flight frames + timers) —
   /// a sizing hint forwarded to sim::Engine::reserve so the calendar
   /// queue's buckets are pre-sized before traffic starts. 0 = default
@@ -86,6 +99,14 @@ class Fabric {
   /// port-status SS_2 emits for any patch leg the caller also downs.
   void set_trunk_up(bool up);
   [[nodiscard]] bool trunk_up() const { return trunk_up_; }
+
+  /// Register the fabric's failure surface with a FaultInjector:
+  ///   "trunk"   — every trunk cable (both directions)
+  ///   "control" — the SS_2 control channel
+  ///   "ss1"/"ss2" — the soft switches (crash/restart faults)
+  /// The caller registers its Controller separately (the fabric does
+  /// not own one).
+  void register_faults(sim::FaultInjector& injector);
 
  private:
   Fabric(PortMap map, TranslatorRules rules) : map_(std::move(map)), rules_(std::move(rules)) {}

@@ -29,6 +29,11 @@ void LegacySwitch::apply_config(SwitchConfig config) {
   ensure_rx_queues(static_cast<std::size_t>(max_port));
 }
 
+void LegacySwitch::on_port_link(int port_index, bool up) {
+  if (up) return;
+  counters_.link_down_flushes += mac_table_.flush_port(port_index + 1);
+}
+
 std::optional<LegacySwitch::Classified> LegacySwitch::classify(
     int port_number, const net::ParsedPacket& parsed) const {
   const auto it = config_.ports.find(port_number);

@@ -61,10 +61,17 @@ class LegacySwitch : public sim::ServicedNode {
     std::uint64_t flood_copies = 0;       // total copies emitted by floods
     std::uint64_t ingress_filtered = 0;   // dropped by VLAN ingress rules
     std::uint64_t no_member_egress = 0;   // frame had nowhere to go
+    std::uint64_t link_down_flushes = 0;  // MAC entries flushed by port link-down
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
   void set_costs(AsicCosts costs) { costs_ = costs; }
+
+  /// Link state change on a port: a down transition flushes the FDB
+  /// entries learned on that port (802.1D topology-change behaviour —
+  /// stations behind a dead link must not black-hole unicast; they
+  /// flood and re-learn wherever the station reappears).
+  void on_port_link(int port_index, bool up) override;
 
  protected:
   sim::SimNanos service(int in_port, net::Packet&& packet) override;

@@ -22,13 +22,17 @@ std::optional<int> MacTable::lookup(net::VlanId vlan, net::MacAddr mac,
   return it->second.port;
 }
 
-void MacTable::flush_port(int port) {
+std::size_t MacTable::flush_port(int port) {
+  std::size_t flushed = 0;
   for (auto it = table_.begin(); it != table_.end();) {
-    if (it->second.port == port)
+    if (it->second.port == port) {
       it = table_.erase(it);
-    else
+      ++flushed;
+    } else {
       ++it;
+    }
   }
+  return flushed;
 }
 
 }  // namespace harmless::legacy

@@ -31,8 +31,9 @@ class MacTable {
   [[nodiscard]] std::optional<int> lookup(net::VlanId vlan, net::MacAddr mac,
                                           sim::SimNanos now) const;
 
-  /// Drop all entries pointing at `port` (link-down handling).
-  void flush_port(int port);
+  /// Drop all entries pointing at `port` (link-down handling); returns
+  /// how many were flushed.
+  std::size_t flush_port(int port);
 
   void clear() { table_.clear(); }
   [[nodiscard]] std::size_t size() const { return table_.size(); }

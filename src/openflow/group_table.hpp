@@ -58,6 +58,14 @@ class GroupTable {
   /// OFPGC_DELETE (deleting a missing group is a no-op, per spec).
   void remove(std::uint32_t group_id);
 
+  /// Wipe every group (a switch reboot); bumps the epoch once if any
+  /// groups existed.
+  void clear() {
+    if (groups_.empty()) return;
+    groups_.clear();
+    bump_epoch();
+  }
+
   [[nodiscard]] const GroupEntry* find(std::uint32_t group_id) const;
   GroupEntry* find_mutable(std::uint32_t group_id);
 

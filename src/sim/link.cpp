@@ -9,11 +9,11 @@ Channel::Channel(Engine& engine, LinkSpec spec, std::string label)
 
 void Channel::transmit(net::Packet&& packet) {
   if (!up_) {
-    ++drops_;
+    ++drops_down_;
     return;
   }
   if (queued_ >= spec_.queue_capacity_packets) {
-    ++drops_;
+    ++drops_overflow_;
     return;
   }
   ++queued_;
@@ -35,6 +35,12 @@ void Channel::transmit(net::Packet&& packet) {
 
   const std::size_t size = packet.size();
   engine_.schedule_at(arrives, [this, size, packet = std::move(packet)]() mutable {
+    // A cable cut loses whatever was in flight: frames arriving while
+    // the channel is down are downed-link drops, not deliveries.
+    if (!up_) {
+      ++drops_down_;
+      return;
+    }
     delivered_.add(size);
     if (tap_) tap_(engine_.now(), packet);
     if (sink_) sink_(std::move(packet));

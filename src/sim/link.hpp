@@ -51,12 +51,29 @@ class Channel {
   void transmit(net::Packet&& packet);
 
   /// Failure injection: a downed channel drops everything handed to it
-  /// (counted in drops()).
-  void set_up(bool up) { up_ = up; }
+  /// — and everything already in flight at delivery time — counted in
+  /// drops_down(). State transitions notify the observer (how endpoint
+  /// nodes see their link die: MAC flushes, port-status).
+  void set_up(bool up) {
+    if (up_ == up) return;
+    up_ = up;
+    if (state_observer_) state_observer_(up);
+  }
   [[nodiscard]] bool is_up() const { return up_; }
 
+  /// Observe up/down transitions (at most one observer; Network wires
+  /// it to both endpoint nodes' on_port_link).
+  void set_state_observer(std::function<void(bool)> observer) {
+    state_observer_ = std::move(observer);
+  }
+
   [[nodiscard]] const util::RateCounter& delivered() const { return delivered_; }
-  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  /// All drops (downed-link + queue-overflow) — the historical counter.
+  [[nodiscard]] std::uint64_t drops() const { return drops_down_ + drops_overflow_; }
+  /// Frames lost because the link was down (at admission or in flight).
+  [[nodiscard]] std::uint64_t drops_down() const { return drops_down_; }
+  /// Frames tail-dropped by the bounded transmit queue.
+  [[nodiscard]] std::uint64_t drops_overflow() const { return drops_overflow_; }
   [[nodiscard]] std::size_t queue_depth() const { return queued_; }
   [[nodiscard]] const std::string& label() const { return label_; }
   [[nodiscard]] const LinkSpec& spec() const { return spec_; }
@@ -71,6 +88,7 @@ class Channel {
   std::string label_;
   std::function<void(net::Packet&&)> sink_;
   std::function<void(SimNanos, const net::Packet&)> tap_;
+  std::function<void(bool)> state_observer_;
   bool up_ = true;
   SimNanos transmitter_free_ = 0;
   /// One-entry memo for rate.serialization_ns(size): streams repeat one
@@ -78,7 +96,8 @@ class Channel {
   std::size_t memo_size_ = static_cast<std::size_t>(-1);
   SimNanos memo_serialization_ = 0;
   std::size_t queued_ = 0;  // packets accepted but not yet departed
-  std::uint64_t drops_ = 0;
+  std::uint64_t drops_down_ = 0;
+  std::uint64_t drops_overflow_ = 0;
   SimNanos busy_ns_ = 0;
   util::RateCounter delivered_;
 };

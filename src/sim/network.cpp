@@ -18,6 +18,15 @@ void Network::connect(Node& a, std::size_t a_port, Node& b, std::size_t b_port, 
   pa.attach(a_to_b.get());
   pb.attach(b_to_a.get());
 
+  // Link-state propagation: either direction going down is a cable
+  // event both endpoints observe (loss-of-signal on the shared cable).
+  auto notify = [&a, a_port, &b, b_port](bool up) {
+    a.on_port_link(static_cast<int>(a_port), up);
+    b.on_port_link(static_cast<int>(b_port), up);
+  };
+  a_to_b->set_state_observer(notify);
+  b_to_a->set_state_observer(notify);
+
   channels_.push_back(std::move(a_to_b));
   channels_.push_back(std::move(b_to_a));
 }

@@ -87,6 +87,16 @@ class Node {
   /// Packet arrived on port `in_port` (rx counters already updated).
   virtual void handle(int in_port, net::Packet&& packet) = 0;
 
+  /// The cable on port `port_index` changed state (either direction of
+  /// the duplex pair; Network wires channel state observers here).
+  /// Real switches react — flush MACs learned on the port, raise
+  /// port-status — so failable nodes override this; the default is the
+  /// dumb-NIC behaviour of noticing nothing.
+  virtual void on_port_link(int port_index, bool up) {
+    (void)port_index;
+    (void)up;
+  }
+
   /// Grow the port array to at least `count` ports.
   void ensure_ports(std::size_t count);
   [[nodiscard]] Port& port(std::size_t index);

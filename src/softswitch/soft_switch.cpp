@@ -1,5 +1,8 @@
 #include "softswitch/soft_switch.hpp"
 
+#include <algorithm>
+
+#include "net/parse.hpp"
 #include "util/strings.hpp"
 
 namespace harmless::softswitch {
@@ -81,6 +84,163 @@ void SoftSwitch::attach_channel(openflow::ControlChannel& channel) {
   channel_ = &channel;
   channel.set_switch_handler(
       [this](Message&& message) { handle_controller_message(std::move(message)); });
+  arm_liveness();
+}
+
+void SoftSwitch::set_failover(const FailoverSpec& spec) {
+  failover_ = spec;
+  failover_rng_.reseed(spec.seed);
+  backoff_ns_ = spec.backoff_initial_ns;
+  arm_liveness();
+}
+
+void SoftSwitch::arm_liveness() {
+  if (liveness_armed_ || !failover_.enabled() || channel_ == nullptr) return;
+  liveness_armed_ = true;
+  schedule_echo();
+}
+
+void SoftSwitch::schedule_echo() {
+  // Perpetual by design (liveness has no natural end); callers drive
+  // the engine with run_until. The timer keeps ticking through
+  // disconnects and reboots so detection re-arms itself after healing.
+  engine_.schedule_after(failover_.echo_interval_ns, [this] {
+    if (connected_ && !restarting_) {
+      if (echo_outstanding_ > 0) {
+        ++failover_stats_.echo_misses;
+        if (echo_outstanding_ >= failover_.echo_miss_threshold) {
+          on_control_lost();
+          schedule_echo();
+          return;
+        }
+      }
+      ++failover_stats_.echo_sent;
+      ++echo_outstanding_;
+      channel_->send_to_controller(EchoRequestMsg{echo_seq_++});
+    }
+    schedule_echo();
+  });
+}
+
+void SoftSwitch::on_control_lost() {
+  if (!connected_) return;
+  connected_ = false;
+  ++failover_stats_.disconnects;
+  failover_stats_.last_disconnect_at = engine_.now();
+  degraded_since_ = engine_.now();
+  echo_outstanding_ = 0;
+  backoff_ns_ = failover_.backoff_initial_ns;
+  schedule_reconnect_attempt();
+}
+
+void SoftSwitch::schedule_reconnect_attempt() {
+  sim::SimNanos delay = backoff_ns_;
+  if (failover_.backoff_jitter > 0) {
+    const auto spread = static_cast<std::uint64_t>(
+        static_cast<double>(backoff_ns_) * failover_.backoff_jitter);
+    if (spread > 0) delay += static_cast<sim::SimNanos>(failover_rng_.below(spread + 1));
+  }
+  backoff_ns_ = std::min(backoff_ns_ * 2, failover_.backoff_cap_ns);
+  engine_.schedule_after(delay, [this] {
+    if (connected_ || channel_ == nullptr) return;  // healed meanwhile: stop the loop
+    if (!restarting_) {
+      ++failover_stats_.reconnect_attempts;
+      channel_->send_to_controller(HelloMsg{});
+    }
+    schedule_reconnect_attempt();
+  });
+}
+
+void SoftSwitch::on_control_reconnected() {
+  connected_ = true;
+  ++failover_stats_.reconnects;
+  failover_stats_.last_reconnect_at = engine_.now();
+  failover_stats_.degraded_ns += engine_.now() - degraded_since_;
+  resync_window_ = true;
+  echo_outstanding_ = 0;
+  backoff_ns_ = failover_.backoff_initial_ns;
+  // The controller's world may have moved while we were deaf: every
+  // cached action program is suspect, and standalone-learned stations
+  // must not shadow the re-installed flow rules.
+  if (pipeline_.cache_enabled()) {
+    pipeline_.cache().invalidate_all();
+    observe_cache_epoch();
+  }
+  standalone_macs_.clear();
+}
+
+void SoftSwitch::complete_resync() {
+  if (!resync_window_) return;
+  resync_window_ = false;
+  ++failover_stats_.resyncs;
+  failover_stats_.last_resync_at = engine_.now();
+  if (failover_.warmup_ns > 0) {
+    warmup_until_ = engine_.now() + failover_.warmup_ns;
+    warmup_budget_ = failover_.warmup_packet_in_budget;
+  }
+}
+
+bool SoftSwitch::admit_packet_in() {
+  if (failover_.enabled() && !connected_) {
+    ++failover_stats_.packet_ins_dropped;  // fail-secure suppression
+    return false;
+  }
+  if (engine_.now() < warmup_until_) {
+    if (warmup_budget_ == 0) {
+      ++failover_stats_.warmup_packet_ins_dropped;
+      return false;
+    }
+    --warmup_budget_;
+  }
+  return true;
+}
+
+void SoftSwitch::fault_crash() {
+  restarting_ = true;
+  ++failover_stats_.crashes;
+  // A rebooting switch forgets everything: flow tables, groups, cached
+  // megaflows, standalone-learned stations.
+  for (std::size_t t = 0; t < pipeline_.table_count(); ++t)
+    pipeline_.table(t).remove(Match{}, /*strict=*/false);
+  pipeline_.groups().clear();
+  if (pipeline_.cache_enabled()) {
+    pipeline_.cache().invalidate_all();
+    observe_cache_epoch();
+  }
+  standalone_macs_.clear();
+}
+
+void SoftSwitch::fault_restart() {
+  if (!restarting_) return;
+  restarting_ = false;
+  ++failover_stats_.restarts;
+  // The control session died with the box. Come back up disconnected
+  // and re-handshake, so the controller reprograms the empty tables;
+  // without failover the switch just waits to be reprogrammed.
+  if (failover_.enabled() && channel_ != nullptr && connected_) on_control_lost();
+}
+
+sim::SimNanos SoftSwitch::standalone_forward(std::uint32_t in_of_port, net::Packet&& packet,
+                                             sim::SimNanos charge_ns) {
+  ++failover_stats_.standalone_packets;
+  packet.charge(charge_ns);
+  const net::ParsedPacket parsed = net::parse_cached(packet).parsed;
+  if (!parsed.l2_valid) return costs_.standalone_ns;  // not bridgeable: drop
+  const net::VlanId vlan = parsed.has_vlan() ? parsed.vlan_vid() : 0;
+  if (!parsed.eth_src.is_multicast() && !parsed.eth_src.is_zero())
+    standalone_macs_.learn(vlan, parsed.eth_src, static_cast<int>(in_of_port), engine_.now());
+  std::optional<int> out;
+  if (!parsed.eth_dst.is_multicast())
+    out = standalone_macs_.lookup(vlan, parsed.eth_dst, engine_.now());
+  if (out && static_cast<std::uint32_t>(*out) == in_of_port)
+    return costs_.standalone_ns;  // destination on the ingress segment: filter
+  if (out) {
+    resolve_output(static_cast<std::uint32_t>(*out), in_of_port, std::move(packet));
+    return costs_.standalone_ns;
+  }
+  ++failover_stats_.standalone_floods;
+  resolve_output(kPortFlood, in_of_port, std::move(packet));
+  return costs_.standalone_ns;
 }
 
 bool SoftSwitch::port_up(std::uint32_t of_port) const {
@@ -129,6 +289,7 @@ util::Status SoftSwitch::install(const FlowModMsg& mod) {
       entry.hard_timeout = mod.hard_timeout;
       entry.send_flow_removed = mod.send_flow_removed;
       auto status = table.add(std::move(entry), engine_.now(), mod.check_overlap);
+      if (status.is_ok() && resync_window_) ++failover_stats_.flows_reinstalled;
       if (status.is_ok() && (mod.idle_timeout > 0 || mod.hard_timeout > 0))
         schedule_expiry_sweep();
       return status;
@@ -168,6 +329,10 @@ void SoftSwitch::schedule_expiry_sweep() {
   engine_.schedule_after(100'000'000, [this] {
     sweep_scheduled_ = false;
     auto expired = pipeline_.collect_expired(engine_.now());
+    // Installed flows keep expiring while degraded (fail-secure keeps
+    // forwarding on them until they do — the slow bleed Table 8 shows).
+    if (failover_.enabled() && !connected_)
+      failover_stats_.flows_expired_degraded += expired.size();
     for (const FlowEntry& entry : expired) {
       if (entry.send_flow_removed && channel_ != nullptr) {
         FlowRemovedMsg removed;
@@ -191,11 +356,21 @@ void SoftSwitch::schedule_expiry_sweep() {
 }
 
 void SoftSwitch::handle_controller_message(Message&& message) {
+  if (restarting_) return;  // a rebooting switch is deaf to control traffic
+  // ANY message from the controller proves the channel is alive — not
+  // just echo replies. Without this, a long serialized resync (N flow
+  // mods behind the channel's min_gap pacing) delays the echo reply
+  // past the miss threshold and the switch declares its controller
+  // dead in the middle of being resynced by it.
+  echo_outstanding_ = 0;
   if (std::holds_alternative<HelloMsg>(message)) {
     channel_->send_to_controller(HelloMsg{});
     return;
   }
   if (std::holds_alternative<FeaturesRequestMsg>(message)) {
+    // A features request while we considered the session dead is the
+    // controller accepting our reconnect Hello: the session is back.
+    if (failover_.enabled() && !connected_) on_control_reconnected();
     FeaturesReplyMsg reply;
     reply.datapath_id = datapath_id_;
     reply.table_count = static_cast<std::uint8_t>(pipeline_.table_count());
@@ -240,11 +415,19 @@ void SoftSwitch::handle_controller_message(Message&& message) {
     return;
   }
   if (const auto* barrier = std::get_if<BarrierRequestMsg>(&message)) {
+    // The first barrier after a reconnect is the controller's resync
+    // fence: everything it re-installed is now in the tables.
+    complete_resync();
     channel_->send_to_controller(BarrierReplyMsg{barrier->xid});
     return;
   }
   if (const auto* echo = std::get_if<EchoRequestMsg>(&message)) {
     channel_->send_to_controller(EchoReplyMsg{echo->payload});
+    return;
+  }
+  if (std::holds_alternative<EchoReplyMsg>(message)) {
+    ++failover_stats_.echo_replies;
+    echo_outstanding_ = 0;
     return;
   }
   if (const auto* stats = std::get_if<FlowStatsRequestMsg>(&message)) {
@@ -303,7 +486,7 @@ void SoftSwitch::resolve_output(std::uint32_t of_port, std::uint32_t in_of_port,
       deliver_one(in_of_port, std::move(packet));
       break;
     case kPortController: {
-      if (channel_ != nullptr) {
+      if (channel_ != nullptr && admit_packet_in()) {
         ++counters_.packet_ins;
         PacketInMsg punt;
         punt.in_port = in_of_port;
@@ -330,7 +513,7 @@ void SoftSwitch::dispatch_result(PipelineResult& result, std::uint32_t in_of_por
     resolve_output(of_port, in_of_port, std::move(out_packet));
   }
   for (PacketInEvent& event : result.packet_ins) {
-    if (channel_ == nullptr) continue;
+    if (channel_ == nullptr || !admit_packet_in()) continue;
     ++counters_.packet_ins;
     PacketInMsg punt;
     punt.in_port = event.in_port;
@@ -354,9 +537,20 @@ sim::SimNanos SoftSwitch::service(int in_port, net::Packet&& packet) {
     rss_ns = costs_.rss_hash_ns;
   }
 
+  if (restarting_) {
+    ++failover_stats_.dropped_restarting;
+    return costs_.rx_tx_ns + rss_ns;
+  }
   if (!port_up(in_of_port)) {
     ++counters_.drops_port_down;
     return costs_.rx_tx_ns + rss_ns;
+  }
+  if (standalone_active()) {
+    // Fail-standalone degraded mode: MAC-learning datapath, no
+    // pipeline, no cache.
+    const sim::SimNanos bill = costs_.rx_tx_ns + rss_ns + costs_.standalone_ns;
+    return costs_.rx_tx_ns + rss_ns +
+           standalone_forward(in_of_port, std::move(packet), bill);
   }
 
   PipelineResult result =
@@ -378,6 +572,41 @@ sim::SimNanos SoftSwitch::service(int in_port, net::Packet&& packet) {
 sim::SimNanos SoftSwitch::service_burst(sim::ServicedNode::Burst&& burst) {
   ++counters_.service_bursts;
   const std::size_t rx_packets = burst.size();
+
+  if (restarting_ || standalone_active()) {
+    // Degraded-mode burst: the rx/poll overhead is still paid, but no
+    // pipeline or cache runs — packets are dropped (rebooting box) or
+    // MAC-bridged (fail-standalone) one by one.
+    const std::size_t rss_hashes = core_count() > 1 ? rx_packets : 0;
+    counters_.rss_steered += rss_hashes;
+    counters_.rx_queue_polls += queues_polled();
+    sim::SimNanos cost = costs_.rx_tx_burst_ns +
+                         static_cast<sim::SimNanos>(queues_polled()) * costs_.rx_poll_ns +
+                         static_cast<sim::SimNanos>(rx_packets) * costs_.rx_tx_pkt_ns +
+                         static_cast<sim::SimNanos>(rss_hashes) * costs_.rss_hash_ns;
+    sim::SimNanos shared_ns = costs_.rx_tx_pkt_ns;
+    if (rss_hashes != 0) shared_ns += costs_.rss_hash_ns;
+    if (rx_packets != 0)
+      shared_ns += (costs_.rx_tx_burst_ns +
+                    static_cast<sim::SimNanos>(queues_polled()) * costs_.rx_poll_ns) /
+                   static_cast<sim::SimNanos>(rx_packets);
+    for (auto& [in_port, packet] : burst) {
+      const std::uint32_t in_of_port = static_cast<std::uint32_t>(in_port) + 1;
+      ++counters_.pipeline_runs;
+      packet.add_hop();
+      if (restarting_) {
+        ++failover_stats_.dropped_restarting;
+        continue;
+      }
+      if (!port_up(in_of_port)) {
+        ++counters_.drops_port_down;
+        continue;
+      }
+      cost +=
+          standalone_forward(in_of_port, std::move(packet), shared_ns + costs_.standalone_ns);
+    }
+    return cost;
+  }
 
   // Ingress admission per packet; down ports drop before the pipeline
   // (they still occupied a slot in the rx burst). The staging vectors

@@ -50,6 +50,25 @@
 // The control side implements the OF session: hello/features, flow and
 // group mods with error replies, packet-in/out, barriers, flow stats,
 // flow-removed on expiry, port-status on failure injection.
+//
+// The control side is failable (PR 7). With a FailoverSpec enabled the
+// switch probes controller liveness with echo requests; after
+// `echo_miss_threshold` consecutive unanswered probes it declares the
+// controller lost and enters one of the two OF1.3 §6.4 degraded modes:
+//   * fail-secure     — packet-ins are dropped; installed flows keep
+//                       forwarding and keep expiring.
+//   * fail-standalone — the datapath falls back to legacy MAC
+//                       learning/flooding (the OFPP_NORMAL function,
+//                       reusing legacy::MacTable), bypassing the
+//                       OpenFlow pipeline entirely.
+// While lost it retries the session with capped exponential backoff
+// (deterministic seeded jitter). The controller answers a reconnect
+// Hello with a features handshake; the switch then bumps the flow-
+// cache epoch, flushes standalone MACs, and counts re-installed flows
+// until the controller's resync barrier arrives — after which an
+// optional warm-up window rate-limits packet-ins while the control
+// plane refills its own state. All of it is opt-in: the default
+// FailoverSpec is disabled and the datapath is bit-exact with PR 6.
 #pragma once
 
 #include <cstdint>
@@ -57,10 +76,13 @@
 #include <string>
 #include <unordered_map>
 
+#include "legacy/mac_table.hpp"
 #include "openflow/channel.hpp"
 #include "openflow/messages.hpp"
 #include "openflow/pipeline.hpp"
+#include "sim/faults.hpp"
 #include "sim/node.hpp"
+#include "util/rng.hpp"
 
 namespace harmless::softswitch {
 
@@ -108,6 +130,11 @@ struct DatapathCosts {
   /// context. The batched datapath pays this once per distinct
   /// megaflow group in a burst — the amortization elephants buy.
   sim::SimNanos replay_setup_ns = 12;
+  /// Fail-standalone MAC-learning datapath, per packet (learn + FDB
+  /// lookup in software): cheaper than a pipeline slow-path miss but
+  /// costlier than a cache hit — the legacy function without legacy
+  /// silicon. Only charged while degraded in standalone mode.
+  sim::SimNanos standalone_ns = 45;
 
   /// Everything but rx/tx for one pipeline result: the pipeline's own
   /// bill plus the cache accounting.
@@ -158,7 +185,64 @@ struct DatapathCosts {
   }
 };
 
-class SoftSwitch : public sim::ServicedNode {
+/// Controller-loss behaviour (OF1.3 §6.4). Disabled by default
+/// (echo_interval_ns == 0): no probes, no degraded modes, no backoff —
+/// the PR-6 datapath exactly. NOTE: enabling liveness probing makes the
+/// echo timer self-perpetuating, so drive the engine with run_until(),
+/// not run().
+struct FailoverSpec {
+  enum class Mode {
+    kFailSecure,      // drop packet-ins; installed flows keep working
+    kFailStandalone,  // fall back to MAC learning (OFPP_NORMAL)
+  };
+  Mode mode = Mode::kFailSecure;
+  /// Liveness probe cadence; 0 disables the whole failover machinery.
+  sim::SimNanos echo_interval_ns = 0;
+  /// Consecutive unanswered probes before the controller is declared
+  /// lost (so detection takes ~threshold * interval).
+  int echo_miss_threshold = 3;
+  /// Reconnect backoff: initial delay, doubling per attempt up to the
+  /// cap, plus a uniform jitter of up to `backoff_jitter` * delay drawn
+  /// from a seeded Rng (deterministic; decorrelates fleets).
+  sim::SimNanos backoff_initial_ns = 1'000'000;  // 1 ms
+  sim::SimNanos backoff_cap_ns = 8'000'000;      // 8 ms
+  double backoff_jitter = 0.25;
+  std::uint64_t seed = 0xfa11'0f3aULL;
+  /// Post-resync warm-up: for `warmup_ns` after the resync barrier, at
+  /// most `warmup_packet_in_budget` packet-ins are admitted (a governor
+  /// protecting the just-restarted controller from the thundering herd
+  /// of cold flows). 0 disables the window.
+  sim::SimNanos warmup_ns = 0;
+  std::uint64_t warmup_packet_in_budget = 32;
+
+  [[nodiscard]] bool enabled() const { return echo_interval_ns > 0; }
+};
+
+/// Everything the failover machinery observed, for tests and Table 8.
+struct FailoverStats {
+  std::uint64_t disconnects = 0;        // controller declared lost
+  std::uint64_t reconnects = 0;         // sessions re-established
+  std::uint64_t resyncs = 0;            // resync barriers observed
+  std::uint64_t echo_sent = 0;
+  std::uint64_t echo_replies = 0;
+  std::uint64_t echo_misses = 0;        // probe intervals that elapsed unanswered
+  std::uint64_t reconnect_attempts = 0; // backoff Hellos sent
+  std::uint64_t packet_ins_dropped = 0; // suppressed while degraded (fail-secure)
+  std::uint64_t warmup_packet_ins_dropped = 0;  // over-budget during warm-up
+  std::uint64_t standalone_packets = 0; // served by the MAC-learning fallback
+  std::uint64_t standalone_floods = 0;
+  std::uint64_t flows_expired_degraded = 0;  // expiries while disconnected
+  std::uint64_t flows_reinstalled = 0;  // adds between reconnect and resync barrier
+  std::uint64_t crashes = 0;            // switch-level crash faults
+  std::uint64_t restarts = 0;
+  std::uint64_t dropped_restarting = 0; // ingress dropped while rebooting
+  sim::SimNanos degraded_ns = 0;        // cumulative disconnected time
+  sim::SimNanos last_disconnect_at = -1;
+  sim::SimNanos last_reconnect_at = -1;
+  sim::SimNanos last_resync_at = -1;    // Table 8 recovery = this - heal time
+};
+
+class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
  public:
   SoftSwitch(sim::Engine& engine, std::string name, std::uint64_t datapath_id,
              std::size_t of_port_count, std::size_t table_count = 2, bool specialized = true,
@@ -253,6 +337,29 @@ class SoftSwitch : public sim::ServicedNode {
   void set_costs(const DatapathCosts& costs) { costs_ = costs; }
   [[nodiscard]] const DatapathCosts& costs() const { return costs_; }
 
+  /// Enable (or reconfigure) controller-loss handling. With the probe
+  /// timer armed the engine's queue never drains — use run_until().
+  void set_failover(const FailoverSpec& spec);
+  [[nodiscard]] const FailoverSpec& failover() const { return failover_; }
+  [[nodiscard]] const FailoverStats& failover_stats() const { return failover_stats_; }
+  /// Control-session view: true when the switch believes its controller
+  /// is reachable (always true with failover disabled).
+  [[nodiscard]] bool control_connected() const { return connected_; }
+  [[nodiscard]] bool restarting() const { return restarting_; }
+  /// The standalone fallback's learned stations (fail-standalone only).
+  [[nodiscard]] const legacy::MacTable& standalone_macs() const { return standalone_macs_; }
+
+  // sim::FaultPoint: a switch-level fault is a reboot. fault_crash
+  // wipes all datapath state (tables, groups, caches, learned MACs) and
+  // drops ingress until fault_restart, which re-enters the reconnect
+  // path so the controller reprograms the empty tables.
+  void fault_crash() override;
+  void fault_restart() override;
+  void fault_set_up(bool up) override {
+    if (up) fault_restart();
+    else fault_crash();
+  }
+
  protected:
   sim::SimNanos service(int in_port, net::Packet&& packet) override;
   sim::SimNanos service_burst(sim::ServicedNode::Burst&& burst) override;
@@ -269,6 +376,27 @@ class SoftSwitch : public sim::ServicedNode {
   /// Resolve a (possibly reserved) OF output port into concrete ports.
   void resolve_output(std::uint32_t of_port, std::uint32_t in_of_port, net::Packet&& packet);
   void schedule_expiry_sweep();
+
+  // ---- failover machinery (all inert while failover_.enabled() is
+  // false — the default) ----
+  [[nodiscard]] bool standalone_active() const {
+    return failover_.enabled() && !connected_ &&
+           failover_.mode == FailoverSpec::Mode::kFailStandalone;
+  }
+  /// Gate one packet-in: false while degraded (fail-secure drop) or
+  /// over the warm-up budget; counts what it suppresses.
+  bool admit_packet_in();
+  void arm_liveness();
+  void schedule_echo();
+  void on_control_lost();
+  void schedule_reconnect_attempt();
+  void on_control_reconnected();
+  void complete_resync();
+  /// MAC-learn + forward one packet on the standalone fallback path;
+  /// charges `charge_ns` onto the packet and returns the marginal
+  /// datapath cost (the caller owns rx/tx billing).
+  sim::SimNanos standalone_forward(std::uint32_t in_of_port, net::Packet&& packet,
+                                   sim::SimNanos charge_ns);
 
   std::uint64_t datapath_id_;
   std::size_t of_port_count_;
@@ -291,6 +419,23 @@ class SoftSwitch : public sim::ServicedNode {
   std::unordered_map<std::uint32_t, PatchBinding> patches_;
   std::vector<bool> port_up_;
   bool sweep_scheduled_ = false;
+  // Failover state. connected_ means "the switch believes its control
+  // session is alive"; it starts true (attaching a channel is the
+  // session) and only ever changes when failover is enabled.
+  FailoverSpec failover_;
+  FailoverStats failover_stats_;
+  util::Rng failover_rng_;
+  bool connected_ = true;
+  bool restarting_ = false;
+  bool liveness_armed_ = false;
+  bool resync_window_ = false;  // between reconnect and the resync barrier
+  int echo_outstanding_ = 0;
+  std::uint64_t echo_seq_ = 0;
+  sim::SimNanos backoff_ns_ = 0;
+  sim::SimNanos degraded_since_ = 0;
+  sim::SimNanos warmup_until_ = 0;
+  std::uint64_t warmup_budget_ = 0;
+  legacy::MacTable standalone_macs_;
   std::uint64_t seen_cache_epoch_ = 0;
   /// service_burst staging + result scratch, recycled across bursts
   /// (one switch's service loop never re-enters itself).

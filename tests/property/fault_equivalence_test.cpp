@@ -1,0 +1,246 @@
+// Chaos properties of the fault-injection layer.
+//
+// (a) Equivalence: a fabric with a registered FaultInjector and an
+//     EMPTY FaultPlan is bit-identical to the same fabric without the
+//     injector — registration alone must perturb nothing (the fault-
+//     free Tables 1-7 guarantee).
+// (b) Conservation under chaos: for seeded random fault schedules
+//     (control partitions, controller crash+restart, access-link
+//     flaps, switch reboots) no host ever sees the same packet id
+//     twice, every channel message is attributed (delivered or counted
+//     in exactly one drop bucket), every disconnect reconnects and
+//     resyncs once the plan heals, and the same seed replays to the
+//     same digest.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "controller/apps/static_flows.hpp"
+#include "controller/controller.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+#include "softswitch/soft_switch.hpp"
+
+namespace {
+
+using namespace harmless;
+using softswitch::FailoverSpec;
+using softswitch::SoftSwitch;
+
+constexpr sim::SimNanos kMs = 1'000'000;
+
+// FNV-1a over a stream of u64 observations.
+struct Digest {
+  std::uint64_t value = 14695981039346656037ULL;
+  void fold(std::uint64_t x) {
+    for (int byte = 0; byte < 8; ++byte) {
+      value ^= (x >> (byte * 8)) & 0xff;
+      value *= 1099511628211ULL;
+    }
+  }
+};
+
+// ---- (a) empty-plan equivalence --------------------------------------
+
+std::uint64_t run_harmless_workload(bool with_injector) {
+  bench::RigOptions options;
+  options.host_count = 4;
+  bench::HarmlessRig rig(options);
+
+  std::unique_ptr<sim::FaultInjector> injector;
+  if (with_injector) {
+    injector = std::make_unique<sim::FaultInjector>(rig.network.engine());
+    rig.fabric->register_faults(*injector);
+    injector->arm(sim::FaultPlan{});  // empty: arms nothing
+  }
+
+  for (int i = 0; i < options.host_count; ++i)
+    rig.stream(i, (i + 1) % options.host_count, 400, 128, 2'000);
+  rig.network.run();
+
+  Digest digest;
+  digest.fold(static_cast<std::uint64_t>(rig.network.now()));
+  digest.fold(rig.network.engine().events_dispatched());
+  for (const sim::Host* host : rig.hosts) {
+    digest.fold(host->counters().rx_total);
+    digest.fold(host->counters().rx_udp);
+  }
+  for (const SoftSwitch* sw : {&rig.fabric->ss1(), &rig.fabric->ss2()}) {
+    const auto& counters = sw->counters();
+    digest.fold(counters.pipeline_runs);
+    digest.fold(counters.packets_out);
+    digest.fold(counters.cache_hits);
+    digest.fold(counters.cache_misses);
+    digest.fold(counters.drops_no_match);
+  }
+  digest.fold(rig.device->counters().forwarded);
+  digest.fold(rig.device->counters().flooded);
+  const auto& to_ctrl = rig.fabric->control_channel().to_controller();
+  digest.fold(to_ctrl.sent);
+  digest.fold(to_ctrl.delivered + to_ctrl.dropped_down + to_ctrl.dropped_loss +
+              to_ctrl.dropped_no_handler);
+  if (with_injector) {
+    EXPECT_EQ(injector->stats().armed, 0u);
+    EXPECT_EQ(injector->stats().fired, 0u);
+  }
+  return digest.value;
+}
+
+TEST(FaultEquivalence, EmptyPlanIsByteIdenticalToNoInjector) {
+  EXPECT_EQ(run_harmless_workload(false), run_harmless_workload(true));
+}
+
+// ---- (b) conservation under seeded chaos -----------------------------
+
+net::MacAddr host_mac(int index) {
+  return net::MacAddr::from_u64(0x020000000001ULL + static_cast<std::uint64_t>(index));
+}
+net::Ipv4Addr host_ip(int index) {
+  return net::Ipv4Addr(0x0a000001u + static_cast<std::uint32_t>(index));
+}
+
+struct ChaosOutcome {
+  std::uint64_t digest = 0;
+  bool duplicate_delivery = false;
+};
+
+ChaosOutcome run_chaos(std::uint64_t seed) {
+  const int host_count = 4;
+  sim::Network network;
+  auto& sw = network.add_node<SoftSwitch>("sw", 0xC0, static_cast<std::size_t>(host_count),
+                                          /*table_count=*/1);
+  std::vector<sim::Host*> hosts;
+  std::vector<std::unordered_set<std::uint64_t>> seen(static_cast<std::size_t>(host_count));
+  ChaosOutcome outcome;
+  for (int i = 0; i < host_count; ++i) {
+    sim::Host& host = network.add_host("h" + std::to_string(i), host_mac(i), host_ip(i));
+    network.connect(host, 0, sw, static_cast<std::size_t>(i), sim::LinkSpec::gbps(10));
+    host.set_on_receive([&outcome, &seen, i](const net::Packet& packet,
+                                             const net::ParsedPacket&) {
+      if (!seen[static_cast<std::size_t>(i)].insert(packet.id()).second)
+        outcome.duplicate_delivery = true;
+    });
+    hosts.push_back(&host);
+  }
+
+  openflow::ControlChannel channel(network.engine());
+  sw.attach_channel(channel);
+  FailoverSpec spec;
+  spec.mode = (seed % 2 == 0) ? FailoverSpec::Mode::kFailSecure
+                              : FailoverSpec::Mode::kFailStandalone;
+  spec.echo_interval_ns = 500'000;
+  spec.seed = seed;
+  sw.set_failover(spec);
+
+  controller::Controller ctrl;
+  auto& app = ctrl.add_app<controller::StaticFlowApp>();
+  std::size_t rule_count = 0;
+  for (int i = 0; i < host_count; ++i) {
+    openflow::FlowModMsg mod;
+    mod.table_id = 0;
+    mod.priority = 10;
+    mod.match.eth_dst(host_mac(i));
+    mod.instructions = openflow::apply({openflow::output(static_cast<std::uint32_t>(i + 1))});
+    app.flow(mod);
+    ++rule_count;
+  }
+  {
+    openflow::FlowModMsg miss;
+    miss.table_id = 0;
+    miss.priority = 0;
+    miss.instructions = openflow::apply({openflow::to_controller()});
+    app.flow(miss);
+    ++rule_count;
+  }
+  ctrl.connect(channel, "sw");
+
+  sim::FaultInjector injector(network.engine());
+  injector.register_point("control", channel);
+  injector.register_point("ctrl", ctrl);
+  injector.register_point("sw", sw);
+  for (sim::Channel* link : network.find_channels("h0"))
+    injector.register_link("link0", *link);
+
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  plan.random_outages("control", 2, 5 * kMs, 40 * kMs, 2 * kMs)
+      .random_outages("link0", 1, 10 * kMs, 30 * kMs, 1 * kMs)
+      .random_crashes("ctrl", 1, 45 * kMs, 60 * kMs, 3 * kMs);
+  if (seed % 3 == 0) plan.random_crashes("sw", 1, 65 * kMs, 78 * kMs, 2 * kMs);
+  injector.arm(plan);
+
+  // Traffic spanning the whole chaos window.
+  for (int i = 0; i < host_count; ++i)
+    hosts[static_cast<std::size_t>(i)]->send_udp_stream(
+        hosts[static_cast<std::size_t>((i + 1) % host_count)]->mac(),
+        hosts[static_cast<std::size_t>((i + 1) % host_count)]->ip(), 1200, 64, 50'000);
+
+  // All fault windows close by ~80 ms; the last 20 ms are quiet time
+  // for detection + capped backoff + resync to finish.
+  network.run_until(100 * kMs);
+
+  // Injector fired everything it armed.
+  EXPECT_EQ(injector.stats().fired, injector.stats().armed);
+
+  // Faults all healed; the control session recovered.
+  EXPECT_TRUE(channel.is_up()) << "seed " << seed;
+  EXPECT_FALSE(ctrl.crashed()) << "seed " << seed;
+  EXPECT_FALSE(sw.restarting()) << "seed " << seed;
+  EXPECT_TRUE(sw.control_connected()) << "seed " << seed;
+  const auto& stats = sw.failover_stats();
+  EXPECT_EQ(stats.disconnects, stats.reconnects) << "seed " << seed;
+  // Every reconnect is resynced unless a new fault interrupts it —
+  // in which case the NEXT reconnect resyncs; so resyncs never exceeds
+  // reconnects, at least one lands if any reconnect did, and the final
+  // reconnection always completed its resync.
+  EXPECT_LE(stats.resyncs, stats.reconnects) << "seed " << seed;
+  if (stats.reconnects > 0) {
+    EXPECT_GE(stats.resyncs, 1u) << "seed " << seed;
+    EXPECT_GE(stats.last_resync_at, stats.last_reconnect_at) << "seed " << seed;
+  }
+  // The programmed state survived or was re-installed.
+  EXPECT_EQ(sw.pipeline().table(0).entries().size(), rule_count) << "seed " << seed;
+
+  // Channel conservation: every message delivered or attributed to
+  // exactly one drop bucket, modulo the handful still in flight at the
+  // deadline (probes sent within one RTT of it).
+  for (const auto* direction : {&channel.to_controller(), &channel.to_switch()}) {
+    const std::uint64_t accounted = direction->delivered + direction->dropped_down +
+                                    direction->dropped_loss + direction->dropped_no_handler;
+    EXPECT_GE(direction->sent, accounted) << "seed " << seed;
+    EXPECT_LE(direction->sent - accounted, 4u) << "seed " << seed;
+  }
+
+  Digest digest;
+  digest.fold(network.engine().events_dispatched());
+  for (const sim::Host* host : hosts) digest.fold(host->counters().rx_total);
+  digest.fold(stats.disconnects);
+  digest.fold(stats.reconnects);
+  digest.fold(stats.resyncs);
+  digest.fold(stats.standalone_packets);
+  digest.fold(stats.packet_ins_dropped);
+  digest.fold(channel.to_controller().sent);
+  digest.fold(channel.to_switch().sent);
+  outcome.digest = digest.value;
+  return outcome;
+}
+
+TEST(FaultChaos, ConservationInvariantsHoldAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const ChaosOutcome outcome = run_chaos(seed);
+    EXPECT_FALSE(outcome.duplicate_delivery) << "seed " << seed;
+  }
+}
+
+TEST(FaultChaos, SameSeedReplaysBitIdentically) {
+  const ChaosOutcome first = run_chaos(7);
+  const ChaosOutcome again = run_chaos(7);
+  EXPECT_FALSE(first.duplicate_delivery);
+  EXPECT_EQ(first.digest, again.digest);
+}
+
+}  // namespace

@@ -1,0 +1,330 @@
+// Controller-loss handling on the software switch: liveness probing,
+// fail-secure vs fail-standalone degraded modes, backoff reconnect,
+// full-state resync — plus the failable ControlChannel's drop
+// attribution and the legacy switch's link-down MAC flush.
+//
+// Every test drives the engine with run_until: an armed liveness probe
+// rescheudles itself forever, so run() would never return.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "controller/apps/static_flows.hpp"
+#include "controller/controller.hpp"
+#include "legacy/legacy_switch.hpp"
+#include "openflow/channel.hpp"
+#include "sim/network.hpp"
+#include "softswitch/soft_switch.hpp"
+
+namespace {
+
+using namespace harmless;
+using openflow::ControlChannel;
+using softswitch::FailoverSpec;
+using softswitch::SoftSwitch;
+
+constexpr sim::SimNanos kMs = 1'000'000;
+
+net::MacAddr host_mac(int index) {
+  return net::MacAddr::from_u64(0x020000000001ULL + static_cast<std::uint64_t>(index));
+}
+net::Ipv4Addr host_ip(int index) {
+  return net::Ipv4Addr(0x0a000001u + static_cast<std::uint32_t>(index));
+}
+
+openflow::FlowModMsg l2_rule(int host_index) {
+  openflow::FlowModMsg mod;
+  mod.table_id = 0;
+  mod.priority = 10;
+  mod.match.eth_dst(host_mac(host_index));
+  mod.instructions =
+      openflow::apply({openflow::output(static_cast<std::uint32_t>(host_index + 1))});
+  return mod;
+}
+
+openflow::FlowModMsg miss_to_controller() {
+  openflow::FlowModMsg mod;
+  mod.table_id = 0;
+  mod.priority = 0;
+  mod.instructions = openflow::apply({openflow::to_controller()});
+  return mod;
+}
+
+/// N hosts on one controller-managed soft switch; the controller's
+/// StaticFlowApp programs one exact-match L2 rule per host plus a
+/// table-miss punt, so on_reconnect re-installs the same state.
+struct Rig {
+  sim::Network network;
+  SoftSwitch* sw = nullptr;
+  std::vector<sim::Host*> hosts;
+  std::unique_ptr<ControlChannel> channel;
+  controller::Controller ctrl;
+  controller::Session* session = nullptr;
+  std::size_t rule_count = 0;
+
+  explicit Rig(int host_count, const FailoverSpec& spec, bool install_l2 = true) {
+    sw = &network.add_node<SoftSwitch>("sw", 0xA5, static_cast<std::size_t>(host_count),
+                                       /*table_count=*/1);
+    for (int i = 0; i < host_count; ++i) {
+      sim::Host& host = network.add_host("h" + std::to_string(i), host_mac(i), host_ip(i));
+      network.connect(host, 0, *sw, static_cast<std::size_t>(i), sim::LinkSpec::gbps(10));
+      hosts.push_back(&host);
+    }
+    channel = std::make_unique<ControlChannel>(network.engine());
+    sw->attach_channel(*channel);
+    sw->set_failover(spec);
+    auto& app = ctrl.add_app<controller::StaticFlowApp>();
+    if (install_l2) {
+      for (int i = 0; i < host_count; ++i) app.flow(l2_rule(i));
+      rule_count += static_cast<std::size_t>(host_count);
+    }
+    app.flow(miss_to_controller());
+    ++rule_count;
+    session = &ctrl.connect(*channel, "sw");
+    network.run_until(2 * kMs);  // handshake + installs
+  }
+
+  void stream(int from, int to, std::size_t count, sim::SimNanos interval = 10'000) {
+    hosts[static_cast<std::size_t>(from)]->send_udp_stream(
+        hosts[static_cast<std::size_t>(to)]->mac(), hosts[static_cast<std::size_t>(to)]->ip(),
+        count, 64, interval);
+  }
+};
+
+FailoverSpec probing(FailoverSpec::Mode mode) {
+  FailoverSpec spec;
+  spec.mode = mode;
+  spec.echo_interval_ns = 500'000;  // 500 us probes -> ~1.5 ms detection
+  spec.echo_miss_threshold = 3;
+  return spec;
+}
+
+TEST(Failover, HandshakeInstallsAndProbesStayHealthy) {
+  Rig rig(2, probing(FailoverSpec::Mode::kFailSecure));
+  EXPECT_TRUE(rig.sw->control_connected());
+  EXPECT_EQ(rig.sw->pipeline().table(0).entries().size(), rig.rule_count);
+  rig.network.run_until(20 * kMs);
+  const auto& stats = rig.sw->failover_stats();
+  EXPECT_GT(stats.echo_sent, 10u);
+  // The probe sent right at the deadline may still be in flight.
+  EXPECT_GE(stats.echo_replies + 1, stats.echo_sent);
+  EXPECT_EQ(stats.echo_misses, 0u);
+  EXPECT_EQ(stats.disconnects, 0u);
+}
+
+TEST(Failover, FailSecureKeepsFlowsAndDropsPacketIns) {
+  Rig rig(3, probing(FailoverSpec::Mode::kFailSecure));
+  rig.ctrl.fault_crash();
+  rig.network.run_until(10 * kMs);
+  EXPECT_FALSE(rig.sw->control_connected());
+  EXPECT_EQ(rig.sw->failover_stats().disconnects, 1u);
+  EXPECT_GE(rig.sw->failover_stats().echo_misses, 3u);
+
+  // Installed flows keep forwarding.
+  const std::uint64_t before = rig.hosts[1]->counters().rx_udp;
+  rig.stream(0, 1, 10);
+  rig.network.run_until(rig.network.now() + 5 * kMs);
+  EXPECT_EQ(rig.hosts[1]->counters().rx_udp, before + 10);
+
+  // Table-miss punts are suppressed, not queued.
+  const std::uint64_t ctrl_packet_ins = rig.ctrl.stats().packet_ins;
+  rig.hosts[0]->send_udp_stream(host_mac(77), host_ip(77), 5, 64, 10'000);
+  rig.network.run_until(rig.network.now() + 5 * kMs);
+  EXPECT_GE(rig.sw->failover_stats().packet_ins_dropped, 5u);
+  EXPECT_EQ(rig.ctrl.stats().packet_ins, ctrl_packet_ins);
+
+  // Heal: supervised restart -> reconnect handshake -> full resync.
+  rig.ctrl.fault_restart();
+  rig.network.run_until(rig.network.now() + 30 * kMs);
+  const auto& stats = rig.sw->failover_stats();
+  EXPECT_TRUE(rig.sw->control_connected());
+  EXPECT_EQ(stats.reconnects, 1u);
+  EXPECT_EQ(stats.resyncs, 1u);
+  EXPECT_EQ(stats.flows_reinstalled, rig.rule_count);
+  EXPECT_EQ(rig.session->resyncs(), 1u);
+  EXPECT_GT(stats.degraded_ns, 0);
+
+  // Punts reach the controller again.
+  rig.hosts[0]->send_udp_stream(host_mac(77), host_ip(77), 3, 64, 10'000);
+  rig.network.run_until(rig.network.now() + 5 * kMs);
+  EXPECT_GT(rig.ctrl.stats().packet_ins, ctrl_packet_ins);
+}
+
+TEST(Failover, FailStandaloneBridgesWithMacLearning) {
+  // No L2 rules: while connected, host traffic is punt-and-drop, so
+  // any delivery below is the standalone datapath's doing.
+  Rig rig(3, probing(FailoverSpec::Mode::kFailStandalone), /*install_l2=*/false);
+  const std::uint64_t before = rig.hosts[1]->counters().rx_udp;
+  rig.stream(0, 1, 5);
+  rig.network.run_until(rig.network.now() + 5 * kMs);
+  EXPECT_EQ(rig.hosts[1]->counters().rx_udp, before);  // punted, not delivered
+
+  rig.ctrl.fault_crash();
+  rig.network.run_until(rig.network.now() + 10 * kMs);
+  ASSERT_FALSE(rig.sw->control_connected());
+
+  // Unknown destination floods...
+  rig.stream(0, 1, 5);
+  rig.network.run_until(rig.network.now() + 5 * kMs);
+  EXPECT_EQ(rig.hosts[1]->counters().rx_udp, before + 5);
+  const auto& stats = rig.sw->failover_stats();
+  EXPECT_GE(stats.standalone_packets, 5u);
+  EXPECT_GE(stats.standalone_floods, 5u);
+  EXPECT_GT(rig.sw->standalone_macs().size(), 0u);
+
+  // ...and the reverse direction is forwarded, not flooded (h0 was
+  // learned from its own frames).
+  const std::uint64_t floods = stats.standalone_floods;
+  const std::uint64_t h2_rx = rig.hosts[2]->counters().rx_total;
+  rig.stream(1, 0, 5);
+  rig.network.run_until(rig.network.now() + 5 * kMs);
+  EXPECT_EQ(rig.sw->failover_stats().standalone_floods, floods);
+  EXPECT_EQ(rig.hosts[2]->counters().rx_total, h2_rx);
+
+  // Healing flushes the interim stations.
+  rig.ctrl.fault_restart();
+  rig.network.run_until(rig.network.now() + 30 * kMs);
+  EXPECT_TRUE(rig.sw->control_connected());
+  EXPECT_EQ(rig.sw->standalone_macs().size(), 0u);
+}
+
+TEST(Failover, ReconnectBackoffIsCappedExponential) {
+  Rig rig(2, probing(FailoverSpec::Mode::kFailSecure));
+  rig.ctrl.fault_crash();
+  rig.network.run_until(rig.network.now() + 200 * kMs);
+  const auto& stats = rig.sw->failover_stats();
+  EXPECT_EQ(stats.disconnects, 1u);
+  EXPECT_EQ(stats.reconnects, 0u);
+  // ~197 ms of retrying: pure 1 ms pacing would mean ~200 attempts,
+  // the 8 ms cap (plus up to 25% jitter) bounds it near 25.
+  EXPECT_GE(stats.reconnect_attempts, 10u);
+  EXPECT_LE(stats.reconnect_attempts, 60u);
+  // Everything sent at a dead controller is attributed, not lost.
+  EXPECT_GT(rig.channel->to_controller().dropped_no_handler, 0u);
+
+  rig.ctrl.fault_restart();
+  rig.network.run_until(rig.network.now() + 30 * kMs);
+  EXPECT_EQ(rig.sw->failover_stats().reconnects, 1u);
+  EXPECT_TRUE(rig.sw->control_connected());
+}
+
+TEST(Failover, SwitchCrashWipesStateAndResyncRestores) {
+  Rig rig(2, probing(FailoverSpec::Mode::kFailSecure));
+  ASSERT_EQ(rig.sw->pipeline().table(0).entries().size(), rig.rule_count);
+  rig.sw->fault_crash();
+  EXPECT_TRUE(rig.sw->restarting());
+  EXPECT_TRUE(rig.sw->pipeline().table(0).entries().empty());
+
+  // A rebooting box drops ingress on the floor.
+  rig.stream(0, 1, 5);
+  rig.network.run_until(rig.network.now() + 5 * kMs);
+  EXPECT_GE(rig.sw->failover_stats().dropped_restarting, 5u);
+
+  rig.sw->fault_restart();
+  rig.network.run_until(rig.network.now() + 30 * kMs);
+  const auto& stats = rig.sw->failover_stats();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.restarts, 1u);
+  EXPECT_TRUE(rig.sw->control_connected());
+  EXPECT_GE(stats.resyncs, 1u);
+  EXPECT_EQ(rig.sw->pipeline().table(0).entries().size(), rig.rule_count);
+}
+
+TEST(ControlChannelFailable, AttributesEveryLoss) {
+  sim::Engine engine;
+  ControlChannel channel(engine);
+
+  // No handler registered: delivery is counted, not silently dropped.
+  channel.send_to_switch(openflow::HelloMsg{});
+  engine.run();
+  EXPECT_EQ(channel.to_switch().sent, 1u);
+  EXPECT_EQ(channel.to_switch().delivered, 0u);
+  EXPECT_EQ(channel.to_switch().dropped_no_handler, 1u);
+
+  std::uint64_t received = 0;
+  channel.set_switch_handler([&](openflow::Message&&) { ++received; });
+
+  // Down at send time.
+  channel.set_up(false);
+  channel.send_to_switch(openflow::HelloMsg{});
+  engine.run();
+  EXPECT_EQ(channel.to_switch().dropped_down, 1u);
+
+  // Down at delivery time (in flight when the partition hit).
+  channel.set_up(true);
+  channel.send_to_switch(openflow::HelloMsg{});
+  channel.set_up(false);
+  engine.run();
+  EXPECT_EQ(channel.to_switch().dropped_down, 2u);
+  channel.set_up(true);
+
+  // Random loss draws only when impaired.
+  channel.set_impairment({}, openflow::ChannelImpairment{1.0, 0});
+  for (int i = 0; i < 5; ++i) channel.send_to_switch(openflow::HelloMsg{});
+  engine.run();
+  EXPECT_EQ(channel.to_switch().dropped_loss, 5u);
+  channel.set_impairment({}, {});
+
+  channel.send_to_switch(openflow::HelloMsg{});
+  engine.run();
+  EXPECT_EQ(received, 1u);
+  const auto& stats = channel.to_switch();
+  EXPECT_EQ(stats.sent,
+            stats.delivered + stats.dropped_down + stats.dropped_loss + stats.dropped_no_handler);
+}
+
+TEST(ControlChannelFailable, MinGapSerializesDeliveries) {
+  sim::Engine engine;
+  ControlChannel channel(engine);
+  channel.set_min_gap(1'000);
+  std::vector<sim::SimNanos> deliveries;
+  channel.set_switch_handler([&](openflow::Message&&) { deliveries.push_back(engine.now()); });
+  for (int i = 0; i < 3; ++i) channel.send_to_switch(openflow::HelloMsg{});
+  engine.run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0], channel.latency());
+  EXPECT_EQ(deliveries[1], channel.latency() + 1'000);
+  EXPECT_EQ(deliveries[2], channel.latency() + 2'000);
+}
+
+TEST(LegacyLinkDown, FlushesMacsLearnedOnPort) {
+  sim::Network network;
+  legacy::SwitchConfig config;
+  config.hostname = "flush-test";
+  for (int port = 1; port <= 3; ++port) config.ports[port] = legacy::PortConfig{};
+  auto& device = network.add_node<legacy::LegacySwitch>("legacy", config);
+  std::vector<sim::Host*> hosts;
+  for (int i = 0; i < 3; ++i) {
+    sim::Host& host = network.add_host("h" + std::to_string(i), host_mac(i), host_ip(i));
+    network.connect(host, 0, device, static_cast<std::size_t>(i), sim::LinkSpec::gbps(1));
+    hosts.push_back(&host);
+  }
+  for (int i = 0; i < 3; ++i)
+    hosts[static_cast<std::size_t>(i)]->send_udp_stream(host_mac((i + 1) % 3),
+                                                        host_ip((i + 1) % 3), 1, 64, 0);
+  network.run();
+  ASSERT_EQ(device.mac_table().size(), 3u);
+
+  // Cut h0's cable: both directions of the duplex pair go down; the
+  // switch flushes the FDB entry learned on that port exactly once.
+  for (sim::Channel* channel : network.find_channels("h0")) channel->set_up(false);
+  EXPECT_EQ(device.counters().link_down_flushes, 1u);
+  EXPECT_EQ(device.mac_table().size(), 2u);
+
+  // Frames toward the dead link are attributed to the downed link, not
+  // to queue overflow.
+  hosts[1]->send_udp_stream(host_mac(0), host_ip(0), 4, 64, 10'000);
+  network.run();
+  std::uint64_t down_drops = 0;
+  std::uint64_t overflow_drops = 0;
+  for (sim::Channel* channel : network.find_channels("h0")) {
+    down_drops += channel->drops_down();
+    overflow_drops += channel->drops_overflow();
+  }
+  EXPECT_GE(down_drops, 4u);
+  EXPECT_EQ(overflow_drops, 0u);
+}
+
+}  // namespace
