@@ -1,0 +1,197 @@
+#include "controller/apps/maglev.hpp"
+
+#include "net/build.hpp"
+#include "net/ethernet.hpp"
+#include "net/ip.hpp"
+#include "net/parse.hpp"
+#include "util/hash.hpp"
+#include "util/status.hpp"
+
+namespace harmless::controller {
+
+using namespace openflow;
+
+namespace {
+constexpr std::uint64_t kMaglevCookie = 0x3A61;  // "MaGLev"
+}
+
+MaglevLbApp::MaglevLbApp(MaglevConfig config) : config_(std::move(config)) {
+  if (config_.backends.empty()) throw util::ConfigError("maglev needs at least one backend");
+  if (config_.client_ports.empty())
+    throw util::ConfigError("maglev needs at least one client port");
+  if (config_.lookup_table_size == 0 || config_.lookup_table_size > 0xffff)
+    throw util::ConfigError("maglev lookup table size out of range");
+}
+
+std::vector<std::uint16_t> MaglevLbApp::build_lookup_table(
+    const std::vector<MaglevBackend>& backends, std::size_t table_size) {
+  const std::size_t n = backends.size();
+  std::vector<std::uint16_t> table(table_size, 0);
+  if (n == 0) return table;
+
+  // Per-backend permutation parameters from two independent hashes of
+  // its key (the backend IP — stable across reorderings of the vector).
+  std::vector<std::size_t> offset(n);
+  std::vector<std::size_t> skip(n);
+  std::vector<std::size_t> next(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = backends[i].ip.value();
+    std::uint64_t h1 = util::hash_u64(util::kHashSeed, key);
+    h1 = util::hash_u64(h1, h1 >> 32);
+    std::uint64_t h2 = util::hash_u64(h1, key);
+    h2 = util::hash_u64(h2, h2 >> 32);
+    offset[i] = static_cast<std::size_t>(h1 % table_size);
+    skip[i] = static_cast<std::size_t>(h2 % (table_size - 1)) + 1;
+  }
+
+  // Round-robin fill: each backend claims the next unclaimed slot of
+  // its permutation. With a prime table size every permutation visits
+  // every slot, so the loop always terminates with the table full and
+  // per-backend ownership within one slot of M/N.
+  std::vector<bool> taken(table_size, false);
+  std::size_t filled = 0;
+  while (filled < table_size) {
+    for (std::size_t i = 0; i < n && filled < table_size; ++i) {
+      std::size_t slot = (offset[i] + next[i] * skip[i]) % table_size;
+      while (taken[slot]) {
+        ++next[i];
+        slot = (offset[i] + next[i] * skip[i]) % table_size;
+      }
+      taken[slot] = true;
+      table[slot] = static_cast<std::uint16_t>(i);
+      ++next[i];
+      ++filled;
+    }
+  }
+  return table;
+}
+
+void MaglevLbApp::install_group(Session& session, bool modify) {
+  GroupEntry entry;
+  entry.group_id = config_.group_id;
+  entry.type = GroupType::kSelect;
+  entry.select_hash = SelectHash::kFiveTuple;
+  entry.select_table = build_lookup_table(config_.backends, config_.lookup_table_size);
+  for (const MaglevBackend& backend : config_.backends) {
+    Bucket bucket;
+    // ct_dnat commits the client->backend mapping and rewrites the
+    // destination in-place (port 0: keep the service port); the
+    // affinity rule then owns every later packet of the connection.
+    bucket.actions = {ct_dnat(backend.ip), set_eth_dst(backend.mac),
+                      output(backend.of_port)};
+    entry.buckets.push_back(std::move(bucket));
+  }
+  if (modify) {
+    GroupModMsg mod;
+    mod.command = GroupModMsg::Command::kModify;
+    mod.entry = std::move(entry);
+    session.send(std::move(mod));
+  } else {
+    session.group_add(std::move(entry));
+  }
+}
+
+void MaglevLbApp::on_connect(Session& session) {
+  install_group(session, /*modify=*/false);
+
+  // Affinity first: packets of a tracked connection skip the group —
+  // the ct traversal re-applies the *stored* DNAT mapping, so backend
+  // set changes never move a live connection.
+  session.flow_add(config_.table, /*priority=*/120,
+                   Match()
+                       .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                       .ip_dst(config_.vip)
+                       .ip_proto(static_cast<std::uint8_t>(net::IpProto::kTcp))
+                       .l4_dst(config_.service_port)
+                       .ct_tracked(),
+                   apply_then_goto({ct_commit()}, config_.route_table), kMaglevCookie);
+
+  // New connections: consistent-hash bucket choice; the bucket DNATs,
+  // rewrites the MAC and outputs directly.
+  session.flow_add(config_.table, /*priority=*/110,
+                   Match()
+                       .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                       .ip_dst(config_.vip)
+                       .ip_proto(static_cast<std::uint8_t>(net::IpProto::kTcp))
+                       .l4_dst(config_.service_port),
+                   apply({group(config_.group_id)}), kMaglevCookie);
+
+  // Replies: un-DNAT (src: backend -> VIP, the stored reverse
+  // translation) and masquerade the MAC back toward the clients.
+  for (const MaglevBackend& backend : config_.backends) {
+    ActionList reverse{ct_commit(), set_eth_src(config_.vip_mac)};
+    if (config_.client_ports.size() == 1)
+      reverse.push_back(output(config_.client_ports.front()));
+    else
+      reverse.push_back(flood());
+    session.flow_add(config_.table, /*priority=*/115,
+                     Match()
+                         .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                         .ip_src(backend.ip)
+                         .ip_proto(static_cast<std::uint8_t>(net::IpProto::kTcp))
+                         .l4_src(config_.service_port)
+                         .ct_tracked(),
+                     apply(std::move(reverse)), kMaglevCookie);
+  }
+
+  // Backend routing for the affinity path (the ct rewrite restored the
+  // backend's address as the destination by then).
+  for (const MaglevBackend& backend : config_.backends) {
+    session.flow_add(config_.route_table, /*priority=*/100,
+                     Match()
+                         .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                         .ip_dst(backend.ip),
+                     apply({set_eth_dst(backend.mac), output(backend.of_port)}),
+                     kMaglevCookie);
+  }
+  session.flow_add(config_.route_table, /*priority=*/0, Match{}, Instructions{},
+                   kMaglevCookie);
+
+  // ARP glue (proxy for the VIP, flood for everyone else).
+  if (config_.arp_proxy) {
+    session.flow_add(config_.table, /*priority=*/160,
+                     Match()
+                         .eth_type(static_cast<std::uint16_t>(net::EtherType::kArp))
+                         .arp_op(static_cast<std::uint16_t>(net::ArpOp::kRequest)),
+                     apply({to_controller()}), kMaglevCookie);
+  }
+  session.flow_add(config_.table, /*priority=*/150,
+                   Match().eth_type(static_cast<std::uint16_t>(net::EtherType::kArp)),
+                   apply({flood()}), kMaglevCookie);
+  session.flow_add(config_.table, /*priority=*/0, Match{}, Instructions{}, kMaglevCookie);
+  session.barrier();
+}
+
+void MaglevLbApp::set_backends(Session& session, std::vector<MaglevBackend> backends) {
+  if (backends.empty()) throw util::ConfigError("maglev needs at least one backend");
+  // Route entries for removed backends are left installed: live
+  // connections pinned to them (the affinity rule) still need their
+  // packets routed until they drain or expire.
+  config_.backends = std::move(backends);
+  install_group(session, /*modify=*/true);
+  for (const MaglevBackend& backend : config_.backends) {
+    session.flow_add(config_.route_table, /*priority=*/100,
+                     Match()
+                         .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                         .ip_dst(backend.ip),
+                     apply({set_eth_dst(backend.mac), output(backend.of_port)}),
+                     kMaglevCookie);
+  }
+  session.barrier();
+}
+
+void MaglevLbApp::on_packet_in(Session& session, const PacketInMsg& event) {
+  if (!config_.arp_proxy) return;
+  const net::ParsedPacket parsed = net::parse_packet(event.packet);
+  if (!parsed.arp || parsed.arp->op != net::ArpOp::kRequest) return;
+  if (parsed.arp->target_ip == config_.vip) {
+    ++stats_.arp_replies_sent;
+    session.packet_out(net::make_arp_reply(config_.vip_mac, config_.vip,
+                                           parsed.arp->sender_mac, parsed.arp->sender_ip),
+                       {output(event.in_port)});
+    return;
+  }
+  session.packet_out(event.packet.clone(), {flood()}, event.in_port);
+}
+
+}  // namespace harmless::controller

@@ -1,0 +1,90 @@
+// controller/apps/maglev.hpp — consistent-hash L4 load balancer with
+// connection affinity.
+//
+// Two mechanisms compose:
+//   * A SELECT group whose bucket choice goes through a Maglev-style
+//     lookup table (GroupEntry::select_table): each backend fills the
+//     table via its own permutation of the slots (Eisenbud et al.,
+//     NSDI'16 §3.4), giving near-perfect balance and minimal disruption
+//     — removing one backend remaps only the slots that named it.
+//   * Conntrack affinity: the chosen bucket's ct_dnat commits the
+//     client->backend mapping, and a higher-priority ct_tracked rule
+//     bypasses the group entirely for every later packet of the
+//     connection. Changing the backend set therefore never breaks
+//     connections in flight: new connections see the new table, live
+//     ones ride their stored mapping — the property the conntrack
+//     bench's affinity scenario measures.
+//
+// Replies from backends are un-DNATed back to the VIP (the stored
+// reverse translation) and returned toward the clients.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "net/ipv4.hpp"
+#include "net/mac.hpp"
+
+namespace harmless::controller {
+
+struct MaglevBackend {
+  std::string name;
+  net::MacAddr mac;
+  net::Ipv4Addr ip;
+  std::uint32_t of_port = 0;
+};
+
+struct MaglevConfig {
+  net::Ipv4Addr vip;
+  net::MacAddr vip_mac;
+  std::uint16_t service_port = 80;
+  std::vector<MaglevBackend> backends;
+  /// Port(s) clients live behind (reverse traffic exits here).
+  std::vector<std::uint32_t> client_ports;
+  std::uint32_t group_id = 1;
+  /// Maglev lookup-table size; prime, and >> backend count for balance
+  /// (the paper uses 65537; 251 keeps demo groups readable).
+  std::size_t lookup_table_size = 251;
+  std::uint8_t table = 0;
+  std::uint8_t route_table = 1;
+  /// Answer ARP requests for the VIP from the controller.
+  bool arp_proxy = true;
+};
+
+class MaglevLbApp : public App {
+ public:
+  explicit MaglevLbApp(MaglevConfig config);
+
+  [[nodiscard]] const char* name() const override { return "maglev_lb"; }
+  void on_connect(Session& session) override;
+  void on_packet_in(Session& session, const openflow::PacketInMsg& event) override;
+
+  /// Replace the backend set at runtime and push the regenerated group
+  /// to the session. Live connections keep their stored mappings (the
+  /// affinity rule); only new connections see the new table.
+  void set_backends(Session& session, std::vector<MaglevBackend> backends);
+
+  [[nodiscard]] const MaglevConfig& config() const { return config_; }
+
+  /// The Maglev permutation-fill: each backend i gets (offset_i,
+  /// skip_i) from hashes of its key and claims slots offset, offset +
+  /// skip, ... until the table is full; backends take turns, so every
+  /// backend owns either floor(M/N) or ceil(M/N) slots. Exposed for
+  /// the unit tests (balance + minimal-disruption properties).
+  [[nodiscard]] static std::vector<std::uint16_t> build_lookup_table(
+      const std::vector<MaglevBackend>& backends, std::size_t table_size);
+
+  struct Stats {
+    std::uint64_t arp_replies_sent = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void install_group(Session& session, bool modify);
+
+  MaglevConfig config_;
+  Stats stats_;
+};
+
+}  // namespace harmless::controller

@@ -1,0 +1,77 @@
+#include "controller/apps/nat.hpp"
+
+#include "net/ethernet.hpp"
+#include "net/ip.hpp"
+#include "util/status.hpp"
+
+namespace harmless::controller {
+
+using namespace openflow;
+
+namespace {
+constexpr std::uint64_t kNatCookie = 0x5A47;  // "NAT gw"
+constexpr std::uint8_t kProtos[] = {static_cast<std::uint8_t>(net::IpProto::kTcp),
+                                    static_cast<std::uint8_t>(net::IpProto::kUdp)};
+}  // namespace
+
+SourceNatApp::SourceNatApp(SourceNatConfig config) : config_(std::move(config)) {
+  if (config_.inside.empty()) throw util::ConfigError("source NAT needs inside hosts");
+  if (config_.outside_port == 0) throw util::ConfigError("source NAT needs an outside port");
+  if (config_.port_min == 0 || config_.port_min > config_.port_max)
+    throw util::ConfigError("source NAT port range is empty");
+}
+
+void SourceNatApp::on_connect(Session& session) {
+  // ARP floods so the segments resolve each other (loop-free by
+  // construction in the demo topologies).
+  session.flow_add(config_.table, /*priority=*/150,
+                   Match().eth_type(static_cast<std::uint16_t>(net::EtherType::kArp)),
+                   apply({flood()}), kNatCookie);
+
+  for (const std::uint8_t proto : kProtos) {
+    // Outbound: commit + source-translate, then straight out the
+    // uplink. ct_snat rewrites src ip:port in-place (the allocation is
+    // recorded on the connection, so every later packet — slow path or
+    // megaflow replay — re-derives the same translation).
+    for (const NatHost& host : config_.inside) {
+      session.flow_add(config_.table, /*priority=*/110,
+                       Match()
+                           .in_port(host.of_port)
+                           .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                           .ip_proto(proto),
+                       apply({ct_snat(config_.external_ip, config_.port_min, config_.port_max),
+                              set_eth_dst(config_.outside_mac), output(config_.outside_port)}),
+                       kNatCookie);
+    }
+    // Reverse: only tracked connections get in. The ct traversal
+    // applies the stored reverse translation (dst: external ip:port ->
+    // the inside host's private ip:port); the route table then
+    // forwards by the restored private address.
+    session.flow_add(config_.table, /*priority=*/110,
+                     Match()
+                         .in_port(config_.outside_port)
+                         .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                         .ip_dst(config_.external_ip)
+                         .ip_proto(proto)
+                         .ct_tracked(),
+                     apply_then_goto({ct_commit()}, config_.route_table), kNatCookie);
+  }
+
+  // Default deny: unsolicited inbound (and anything unclassifiable)
+  // drops — the NAT boundary is a stateful firewall by construction.
+  session.flow_add(config_.table, /*priority=*/0, Match{}, Instructions{}, kNatCookie);
+
+  // Inside routing by private destination address (valid only after
+  // the reverse translation restored it).
+  for (const NatHost& host : config_.inside) {
+    session.flow_add(config_.route_table, /*priority=*/100,
+                     Match()
+                         .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                         .ip_dst(host.ip),
+                     apply({set_eth_dst(host.mac), output(host.of_port)}), kNatCookie);
+  }
+  session.flow_add(config_.route_table, /*priority=*/0, Match{}, Instructions{}, kNatCookie);
+  session.barrier();
+}
+
+}  // namespace harmless::controller

@@ -1,0 +1,62 @@
+// controller/apps/nat.hpp — source-NAT gateway on the stateful tier.
+//
+// The classic home/branch-office masquerade, built on the conntrack
+// `ct` action (openflow/conntrack.hpp) instead of per-flow controller
+// rules: inside hosts share one external IP; the first packet of every
+// outbound connection traverses ct_snat, which allocates an external
+// port (shard-affine — the translated reply hashes back to the same
+// conntrack shard) and commits the mapping; reverse traffic to the
+// external IP is admitted only when conntrack recognizes it
+// (ct_tracked), gets the stored reverse translation applied, and is
+// routed back to the inside host by its (restored) private address.
+// Unsolicited inbound traffic never matches a tracked connection and
+// falls to the default drop — NAT's implicit firewall, for free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "net/ipv4.hpp"
+#include "net/mac.hpp"
+
+namespace harmless::controller {
+
+struct NatHost {
+  std::string name;
+  net::MacAddr mac;
+  net::Ipv4Addr ip;        // private address
+  std::uint32_t of_port = 0;
+};
+
+struct SourceNatConfig {
+  /// The shared external address outbound sources are rewritten to.
+  net::Ipv4Addr external_ip;
+  /// External port pool ct_snat allocates from.
+  std::uint16_t port_min = 49152;
+  std::uint16_t port_max = 65535;
+  /// The uplink: where translated traffic leaves, and the only port
+  /// reverse traffic is admitted on.
+  std::uint32_t outside_port = 0;
+  /// Next hop on the outside segment (frames must carry a real NIC's
+  /// destination MAC or the remote host filters them).
+  net::MacAddr outside_mac;
+  std::vector<NatHost> inside;
+  std::uint8_t table = 0;        // classify + ct
+  std::uint8_t route_table = 1;  // inside routing by restored private IP
+};
+
+class SourceNatApp : public App {
+ public:
+  explicit SourceNatApp(SourceNatConfig config);
+
+  [[nodiscard]] const char* name() const override { return "source_nat"; }
+  void on_connect(Session& session) override;
+
+  [[nodiscard]] const SourceNatConfig& config() const { return config_; }
+
+ private:
+  SourceNatConfig config_;
+};
+
+}  // namespace harmless::controller

@@ -1,0 +1,74 @@
+#include "controller/apps/stateful_fw.hpp"
+
+#include "net/ethernet.hpp"
+#include "net/ip.hpp"
+#include "util/status.hpp"
+
+namespace harmless::controller {
+
+using namespace openflow;
+
+namespace {
+constexpr std::uint64_t kFwCookie = 0xF13E;  // "FW"
+}
+
+StatefulFirewallApp::StatefulFirewallApp(StatefulFirewallConfig config)
+    : config_(std::move(config)) {
+  if (config_.inside.empty()) throw util::ConfigError("stateful firewall needs inside hosts");
+  if (config_.outside_port == 0)
+    throw util::ConfigError("stateful firewall needs an outside port");
+}
+
+void StatefulFirewallApp::on_connect(Session& session) {
+  session.flow_add(config_.table, /*priority=*/150,
+                   Match().eth_type(static_cast<std::uint16_t>(net::EtherType::kArp)),
+                   apply({flood()}), kFwCookie);
+
+  std::vector<std::uint8_t> protos{static_cast<std::uint8_t>(net::IpProto::kTcp)};
+  if (config_.allow_udp) protos.push_back(static_cast<std::uint8_t>(net::IpProto::kUdp));
+
+  for (const std::uint8_t proto : protos) {
+    // Outbound from any inside port: commit (creating the connection
+    // on first packet) and continue to routing.
+    for (const FirewallHost& host : config_.inside) {
+      session.flow_add(config_.table, /*priority=*/110,
+                       Match()
+                           .in_port(host.of_port)
+                           .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                           .ip_proto(proto),
+                       apply_then_goto({ct_commit()}, config_.route_table), kFwCookie);
+    }
+    // Inbound on the uplink: ESTABLISHED connections only. A tracked-
+    // but-not-established state never occurs inbound here (the reply
+    // direction is established by definition), and NEW/INVALID fall
+    // through to the drop — the whole point of the stateful tier.
+    session.flow_add(config_.table, /*priority=*/110,
+                     Match()
+                         .in_port(config_.outside_port)
+                         .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                         .ip_proto(proto)
+                         .ct_established(),
+                     apply_then_goto({ct_commit()}, config_.route_table), kFwCookie);
+  }
+
+  // Default deny, both tables.
+  session.flow_add(config_.table, /*priority=*/0, Match{}, Instructions{}, kFwCookie);
+
+  // Routing: inside hosts by destination IP; everything else out the
+  // uplink (outbound traffic reaches here only after its commit).
+  for (const FirewallHost& host : config_.inside) {
+    session.flow_add(config_.route_table, /*priority=*/100,
+                     Match()
+                         .eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4))
+                         .ip_dst(host.ip),
+                     apply({set_eth_dst(host.mac), output(host.of_port)}), kFwCookie);
+  }
+  session.flow_add(config_.route_table, /*priority=*/10,
+                   Match().eth_type(static_cast<std::uint16_t>(net::EtherType::kIpv4)),
+                   apply({set_eth_dst(config_.outside_mac), output(config_.outside_port)}),
+                   kFwCookie);
+  session.flow_add(config_.route_table, /*priority=*/0, Match{}, Instructions{}, kFwCookie);
+  session.barrier();
+}
+
+}  // namespace harmless::controller

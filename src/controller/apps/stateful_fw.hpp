@@ -1,0 +1,58 @@
+// controller/apps/stateful_fw.hpp — stateful perimeter firewall.
+//
+// Replaces the DMZ app's stateless "replies allowed back by source
+// port" approximation (controller/apps/dmz.hpp) with real connection
+// tracking: inside hosts may open TCP/UDP connections outward (the
+// first packet commits the connection); inbound traffic on the uplink
+// is admitted only when conntrack classifies it as part of an
+// ESTABLISHED connection — a bare SYN, a mid-stream segment, or a
+// probe to a port an inside host happens to listen on all fall to the
+// default drop. The fast path matters here: established-connection
+// packets ride per-connection megaflows (keyed on ct_state, so a
+// cached allow can never leak to an untracked packet), while the
+// policy decision itself lives in one table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "net/ipv4.hpp"
+#include "net/mac.hpp"
+
+namespace harmless::controller {
+
+struct FirewallHost {
+  std::string name;
+  net::MacAddr mac;
+  net::Ipv4Addr ip;
+  std::uint32_t of_port = 0;
+};
+
+struct StatefulFirewallConfig {
+  std::vector<FirewallHost> inside;
+  /// The uplink: the only port untrusted traffic arrives on.
+  std::uint32_t outside_port = 0;
+  /// Next hop on the outside segment (egress frames need its MAC).
+  net::MacAddr outside_mac;
+  /// Track UDP "connections" too (request/response idiom); TCP is
+  /// always tracked.
+  bool allow_udp = true;
+  std::uint8_t table = 0;        // policy + ct
+  std::uint8_t route_table = 1;  // destination routing
+};
+
+class StatefulFirewallApp : public App {
+ public:
+  explicit StatefulFirewallApp(StatefulFirewallConfig config);
+
+  [[nodiscard]] const char* name() const override { return "stateful_firewall"; }
+  void on_connect(Session& session) override;
+
+  [[nodiscard]] const StatefulFirewallConfig& config() const { return config_; }
+
+ private:
+  StatefulFirewallConfig config_;
+};
+
+}  // namespace harmless::controller

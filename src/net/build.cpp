@@ -87,6 +87,36 @@ Packet make_tcp(const FlowKey& flow, std::uint8_t tcp_flags, std::string_view pa
                   std::move(segment));
 }
 
+TcpTemplate::TcpTemplate(const FlowKey& flow, std::uint8_t tcp_flags,
+                         std::string_view payload) {
+  FlowKey zero_ports = flow;
+  zero_ports.src_port = 0;
+  zero_ports.dst_port = 0;
+  Packet prototype = make_tcp(zero_ports, tcp_flags, payload);
+  const BytesView bytes = prototype.frame();
+  frame_.assign(bytes.begin(), bytes.end());
+  // Recover the folded pseudo-header+segment sum from the stored
+  // zero-port checksum (both ports are zero, so they contribute
+  // nothing). Unlike UDP there is no 0-means-unchecksummed rule, so no
+  // ambiguity to paper over either.
+  base_sum_ = static_cast<std::uint16_t>(
+      ~rd16(bytes, kEthHeaderSize + kIpv4HeaderSize + 16));
+}
+
+Packet TcpTemplate::stamp(std::uint16_t src_port, std::uint16_t dst_port) const {
+  Bytes frame = FramePool::acquire();
+  frame.assign(frame_.begin(), frame_.end());
+  const std::span<std::uint8_t> bytes(frame.data(), frame.size());
+  constexpr std::size_t l4 = kEthHeaderSize + kIpv4HeaderSize;
+  wr16(bytes, l4 + 0, src_port);
+  wr16(bytes, l4 + 2, dst_port);
+  std::uint32_t sum = base_sum_ + src_port + dst_port;
+  sum = (sum & 0xffff) + (sum >> 16);
+  sum = (sum & 0xffff) + (sum >> 16);
+  wr16(bytes, l4 + 16, static_cast<std::uint16_t>(~sum));
+  return Packet(std::move(frame));
+}
+
 Packet make_arp_request(MacAddr sender_mac, Ipv4Addr sender_ip, Ipv4Addr target_ip) {
   ArpPacket arp;
   arp.op = ArpOp::kRequest;

@@ -59,6 +59,29 @@ class UdpTemplate {
 /// request line for the parental-control use case).
 Packet make_tcp(const FlowKey& flow, std::uint8_t tcp_flags, std::string_view payload = {});
 
+/// A prebuilt TCP frame for high-rate generators — the UdpTemplate
+/// trick for the stateful-tier workloads: serialize the headers (and
+/// flags) once, then stamp() per-packet L4 ports with an RFC 1624
+/// incremental checksum update. stamp(s, d) is byte-identical to
+/// make_tcp with those ports (tests/net/build_property_test.cpp).
+/// Flags are fixed per template (connection generators keep one
+/// template per phase: SYN, ACK, FIN|ACK...).
+class TcpTemplate {
+ public:
+  /// `flow` ports are ignored; flags/payload as in make_tcp.
+  explicit TcpTemplate(const FlowKey& flow, std::uint8_t tcp_flags,
+                       std::string_view payload = {});
+
+  /// A fresh pooled Packet with the ports (and checksum) stamped in.
+  [[nodiscard]] Packet stamp(std::uint16_t src_port, std::uint16_t dst_port) const;
+
+ private:
+  Bytes frame_;
+  /// Folded ones'-complement sum of the pseudo-header and the
+  /// zero-port TCP segment; per-packet ports just add in.
+  std::uint32_t base_sum_ = 0;
+};
+
 /// ARP request: who-has target_ip tell sender.
 Packet make_arp_request(MacAddr sender_mac, Ipv4Addr sender_ip, Ipv4Addr target_ip);
 

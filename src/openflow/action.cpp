@@ -120,7 +120,7 @@ bool apply_header_action(const Action& action, net::Packet& packet) {
   if (const auto* set = std::get_if<SetFieldAction>(&action)) {
     return set_field(*set, packet);
   }
-  return true;  // Output/Group handled by the pipeline
+  return true;  // Output/Group/Ct handled by the pipeline
 }
 
 std::string to_string(const Action& action) {
@@ -137,6 +137,21 @@ std::string to_string(const Action& action) {
     return "group:" + std::to_string(grp->group_id);
   if (std::holds_alternative<PushVlanAction>(action)) return "push_vlan";
   if (std::holds_alternative<PopVlanAction>(action)) return "pop_vlan";
+  if (const auto* ct = std::get_if<CtAction>(&action)) {
+    switch (ct->nat) {
+      case CtAction::Nat::kSource:
+        return util::format("ct(commit,snat=%s:%u-%u)",
+                            net::Ipv4Addr(ct->nat_ip).to_string().c_str(), ct->port_min,
+                            ct->port_max);
+      case CtAction::Nat::kDest:
+        if (ct->port_min != 0)
+          return util::format("ct(commit,dnat=%s:%u)",
+                              net::Ipv4Addr(ct->nat_ip).to_string().c_str(), ct->port_min);
+        return util::format("ct(commit,dnat=%s)", net::Ipv4Addr(ct->nat_ip).to_string().c_str());
+      case CtAction::Nat::kNone: break;
+    }
+    return "ct(commit)";
+  }
   const auto& set = std::get<SetFieldAction>(action);
   switch (set.field) {
     case Field::kEthDst:

@@ -50,8 +50,28 @@ struct SetFieldAction {
   friend bool operator==(const SetFieldAction&, const SetFieldAction&) = default;
 };
 
+/// Send the packet through the conntrack tier: commit (or refresh) the
+/// connection for the packet's 5-tuple, optionally translating
+/// addresses. The tracker stores the translation at first commit;
+/// every later packet of the connection — either direction — gets the
+/// stored mapping applied, so NAT survives group re-selection and
+/// backend changes (connection affinity). No-op for non-IPv4-TCP/UDP
+/// packets and on ct-less datapaths.
+struct CtAction {
+  enum class Nat : std::uint8_t {
+    kNone,    // commit/refresh only
+    kSource,  // SNAT: rewrite src to nat_ip + an allocated port in [port_min, port_max]
+    kDest,    // DNAT: rewrite dst to nat_ip (port_min != 0 rewrites the dst port too)
+  };
+  Nat nat = Nat::kNone;
+  std::uint32_t nat_ip = 0;
+  std::uint16_t port_min = 0;
+  std::uint16_t port_max = 0;
+  friend bool operator==(const CtAction&, const CtAction&) = default;
+};
+
 using Action = std::variant<OutputAction, GroupAction, PushVlanAction, PopVlanAction,
-                            SetFieldAction>;
+                            SetFieldAction, CtAction>;
 using ActionList = std::vector<Action>;
 
 // ---- convenience constructors ------------------------------------------
@@ -73,6 +93,14 @@ inline Action set_eth_src(net::MacAddr mac) {
 inline Action set_ip_dst(net::Ipv4Addr ip) { return SetFieldAction{Field::kIpDst, ip.value()}; }
 inline Action set_ip_src(net::Ipv4Addr ip) { return SetFieldAction{Field::kIpSrc, ip.value()}; }
 inline Action set_l4_dst(std::uint16_t port) { return SetFieldAction{Field::kL4Dst, port}; }
+inline Action set_l4_src(std::uint16_t port) { return SetFieldAction{Field::kL4Src, port}; }
+inline Action ct_commit() { return CtAction{}; }
+inline Action ct_snat(net::Ipv4Addr external_ip, std::uint16_t port_min, std::uint16_t port_max) {
+  return CtAction{CtAction::Nat::kSource, external_ip.value(), port_min, port_max};
+}
+inline Action ct_dnat(net::Ipv4Addr target_ip, std::uint16_t target_port = 0) {
+  return CtAction{CtAction::Nat::kDest, target_ip.value(), target_port, target_port};
+}
 
 /// Apply one header-mutating action to the frame (Output/Group are
 /// no-ops here; the pipeline routes those). Returns false if the action

@@ -1,0 +1,323 @@
+#include "openflow/conntrack.hpp"
+
+#include "net/ip.hpp"
+#include "net/l4.hpp"
+
+namespace harmless::openflow {
+
+namespace {
+constexpr std::uint8_t kProtoTcp = static_cast<std::uint8_t>(net::IpProto::kTcp);
+}  // namespace
+
+std::uint64_t ConnTracker::classify_entry(const Slot& slot, bool reply_dir) const {
+  std::uint64_t bits = kCtTracked;
+  if (reply_dir) {
+    // A valid reply-direction packet proves bidirectionality, so it is
+    // already ESTABLISHED from the classifier's point of view (the
+    // entry's seen_reply flips when it traverses a ct action).
+    bits |= kCtReply | kCtEstablished;
+  } else if (slot.entry.seen_reply) {
+    bits |= kCtEstablished;
+  }
+  return bits;
+}
+
+std::uint64_t ConnTracker::classify(const CtTuple& tuple, std::uint8_t tcp_flags,
+                                    sim::SimNanos now) {
+  ++stats_.lookups;
+  if (auto it = orig_map_.find(tuple); it != orig_map_.end()) {
+    const Slot& slot = slots_[it->second];
+    if (slot.entry.expires_at > now) {
+      ++stats_.hits;
+      return classify_entry(slot, false);
+    }
+  }
+  if (auto it = reply_map_.find(tuple); it != reply_map_.end()) {
+    const Slot& slot = slots_[it->second];
+    if (slot.entry.expires_at > now) {
+      ++stats_.hits;
+      return classify_entry(slot, true);
+    }
+  }
+  if (tuple.proto == kProtoTcp && (tcp_flags & net::kTcpSyn) == 0) {
+    // Mid-stream TCP with no entry: unclassifiable, never NEW.
+    ++stats_.invalid;
+    return kCtInvalid;
+  }
+  return kCtNew;
+}
+
+sim::SimNanos ConnTracker::timeout_for(const ConnEntry& entry) const {
+  if (entry.orig.proto != kProtoTcp) return config_.udp_timeout;
+  if (entry.closing || !entry.seen_reply) return config_.tcp_transient_timeout;
+  return config_.tcp_established_timeout;
+}
+
+std::uint32_t ConnTracker::allocate_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t id = free_slots_.back();
+    free_slots_.pop_back();
+    return id;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void ConnTracker::lru_unlink(std::uint32_t id) {
+  Slot& slot = slots_[id];
+  if (slot.lru_prev != kNil) slots_[slot.lru_prev].lru_next = slot.lru_next;
+  if (slot.lru_next != kNil) slots_[slot.lru_next].lru_prev = slot.lru_prev;
+  if (lru_head_ == id) lru_head_ = slot.lru_next;
+  if (lru_tail_ == id) lru_tail_ = slot.lru_prev;
+  slot.lru_prev = slot.lru_next = kNil;
+}
+
+void ConnTracker::lru_push_front(std::uint32_t id) {
+  Slot& slot = slots_[id];
+  slot.lru_prev = kNil;
+  slot.lru_next = lru_head_;
+  if (lru_head_ != kNil) slots_[lru_head_].lru_prev = id;
+  lru_head_ = id;
+  if (lru_tail_ == kNil) lru_tail_ = id;
+}
+
+void ConnTracker::lru_touch(std::uint32_t id) {
+  if (lru_head_ == id) return;
+  lru_unlink(id);
+  lru_push_front(id);
+}
+
+void ConnTracker::file_deadline(std::uint32_t id, const Slot& slot) {
+  const sim::SimNanos q = config_.sweep_interval > 0 ? config_.sweep_interval : 1;
+  const sim::SimNanos bucket = ((slot.entry.expires_at + q - 1) / q) * q;
+  wheel_[bucket].emplace_back(id, slot.generation);
+}
+
+void ConnTracker::kill(std::uint32_t id, bool /*expired*/) {
+  Slot& slot = slots_[id];
+  orig_map_.erase(slot.entry.orig);
+  reply_map_.erase(slot.entry.reply);
+  lru_unlink(id);
+  slot.live = false;
+  ++slot.generation;  // invalidates any wheel references
+  free_slots_.push_back(id);
+}
+
+void ConnTracker::refresh(Slot& slot, std::uint32_t id, bool reply_dir, std::uint8_t tcp_flags,
+                          sim::SimNanos now) {
+  ConnEntry& entry = slot.entry;
+  if (reply_dir) {
+    entry.seen_reply = true;
+    ++entry.packets_reply;
+  } else {
+    ++entry.packets_orig;
+  }
+  if (entry.orig.proto == kProtoTcp && (tcp_flags & (net::kTcpFin | net::kTcpRst)) != 0) {
+    entry.closing = true;
+  }
+  entry.last_seen = now;
+  entry.expires_at = now + timeout_for(entry);
+  lru_touch(id);
+  ++stats_.refreshed;
+  // The wheel reference filed at creation (or at the last sweep) stays
+  // put; the sweep re-files the entry when its stale bucket comes due.
+}
+
+std::optional<std::uint16_t> ConnTracker::allocate_snat_port(const CtTuple& orig,
+                                                             const CtAction& spec) const {
+  if (spec.port_min == 0 || spec.port_max < spec.port_min) return std::nullopt;
+  const std::uint32_t range =
+      static_cast<std::uint32_t>(spec.port_max - spec.port_min) + 1;
+  // Both directions of the translated connection must steer to the
+  // shard the *original* direction already landed on (symmetric RSS of
+  // the pre-NAT tuple) — otherwise reverse traffic would need
+  // cross-core state. The virtual-shard formulation (hash % shards,
+  // not "this shard's index") makes the allocation independent of
+  // which physical shard runs it, so a single-core run with the same
+  // nat_steer_shards reproduces an N-core run's ports exactly.
+  const std::uint64_t h = orig.symmetric_hash();
+  const std::uint64_t want = h % steer_shards_;
+  const std::uint32_t start = static_cast<std::uint32_t>((h >> 17) % range);
+  for (std::uint32_t i = 0; i < range; ++i) {
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(spec.port_min + (start + i) % range);
+    const CtTuple reply{orig.dst_ip, spec.nat_ip, orig.dst_port, port, orig.proto};
+    if (reply.symmetric_hash() % steer_shards_ != want) continue;
+    if (reply_map_.contains(reply)) continue;  // endpoint-dependent uniqueness
+    return port;
+  }
+  return std::nullopt;
+}
+
+CtOutcome ConnTracker::process(const CtTuple& tuple, std::uint8_t tcp_flags, sim::SimNanos now,
+                               const CtAction& spec) {
+  CtOutcome out;
+
+  // Lazy expiry: an entry past its deadline is dead even if the sweep
+  // has not reaped it yet — identical behavior to the classifier
+  // prelude, which already treats it as missing.
+  if (auto it = orig_map_.find(tuple); it != orig_map_.end()) {
+    const std::uint32_t id = it->second;
+    if (slots_[id].entry.expires_at <= now) {
+      kill(id, true);
+      ++stats_.expired;
+    } else {
+      Slot& slot = slots_[id];
+      out.state = classify_entry(slot, false);
+      refresh(slot, id, false, tcp_flags, now);
+      const CtNat& nat = slot.entry.nat;
+      if (nat.kind == CtAction::Nat::kSource) {
+        out.rewrite = true;
+        out.translation.src = true;
+        out.translation.src_ip = nat.ip;
+        out.translation.src_port = nat.port;
+      } else if (nat.kind == CtAction::Nat::kDest) {
+        out.rewrite = true;
+        out.translation.dst = true;
+        out.translation.dst_ip = nat.ip;
+        out.translation.dst_port = nat.port;
+      }
+      return out;
+    }
+  }
+  if (auto it = reply_map_.find(tuple); it != reply_map_.end()) {
+    const std::uint32_t id = it->second;
+    if (slots_[id].entry.expires_at <= now) {
+      kill(id, true);
+      ++stats_.expired;
+    } else {
+      Slot& slot = slots_[id];
+      out.state = classify_entry(slot, true);
+      refresh(slot, id, true, tcp_flags, now);
+      const ConnEntry& entry = slot.entry;
+      if (entry.nat.kind == CtAction::Nat::kSource) {
+        // Un-SNAT: send the reply back to the original inside host.
+        out.rewrite = true;
+        out.translation.dst = true;
+        out.translation.dst_ip = entry.orig.src_ip;
+        out.translation.dst_port = entry.orig.src_port;
+      } else if (entry.nat.kind == CtAction::Nat::kDest) {
+        // Un-DNAT: restore the original (virtual) destination as source.
+        out.rewrite = true;
+        out.translation.src = true;
+        out.translation.src_ip = entry.orig.dst_ip;
+        out.translation.src_port = entry.orig.dst_port;
+      }
+      return out;
+    }
+  }
+
+  // Miss: commit a new connection.
+  if (tuple.proto == kProtoTcp && (tcp_flags & net::kTcpSyn) == 0) {
+    ++stats_.invalid;
+    out.state = kCtInvalid;
+    return out;
+  }
+  out.state = kCtNew;
+
+  CtNat nat{};
+  CtTuple reply = tuple.reversed();
+  if (spec.nat == CtAction::Nat::kSource) {
+    const std::optional<std::uint16_t> port = allocate_snat_port(tuple, spec);
+    if (!port) {
+      ++stats_.nat_failures;
+      out.state |= kCtInvalid;
+      return out;
+    }
+    nat = CtNat{CtAction::Nat::kSource, spec.nat_ip, *port};
+    reply = CtTuple{tuple.dst_ip, spec.nat_ip, tuple.dst_port, *port, tuple.proto};
+    ++stats_.nat_allocated;
+    out.rewrite = true;
+    out.translation.src = true;
+    out.translation.src_ip = nat.ip;
+    out.translation.src_port = nat.port;
+  } else if (spec.nat == CtAction::Nat::kDest) {
+    const std::uint16_t port = spec.port_min != 0 ? spec.port_min : tuple.dst_port;
+    nat = CtNat{CtAction::Nat::kDest, spec.nat_ip, port};
+    reply = CtTuple{spec.nat_ip, tuple.src_ip, port, tuple.src_port, tuple.proto};
+    if (reply_map_.contains(reply)) {
+      ++stats_.nat_failures;
+      out.state |= kCtInvalid;
+      return out;
+    }
+    ++stats_.nat_allocated;
+    out.rewrite = true;
+    out.translation.dst = true;
+    out.translation.dst_ip = nat.ip;
+    out.translation.dst_port = nat.port;
+  } else if (reply_map_.contains(reply)) {
+    // Degenerate self-conflict (e.g. a palindromic tuple already
+    // tracked the other way): refuse rather than corrupt the maps.
+    ++stats_.nat_failures;
+    out.state |= kCtInvalid;
+    return out;
+  }
+
+  if (orig_map_.size() >= config_.max_connections && lru_tail_ != kNil) {
+    kill(lru_tail_, false);
+    ++stats_.evicted;
+  }
+
+  const std::uint32_t id = allocate_slot();
+  Slot& slot = slots_[id];
+  slot.entry = ConnEntry{};
+  slot.entry.orig = tuple;
+  slot.entry.reply = reply;
+  slot.entry.nat = nat;
+  slot.entry.last_seen = now;
+  slot.entry.packets_orig = 1;
+  slot.entry.expires_at = now + timeout_for(slot.entry);
+  slot.live = true;
+  orig_map_.emplace(tuple, id);
+  reply_map_.emplace(reply, id);
+  lru_push_front(id);
+  file_deadline(id, slot);
+  ++stats_.created;
+  out.committed = true;
+  return out;
+}
+
+std::size_t ConnTracker::expire(sim::SimNanos now) {
+  std::size_t expired = 0;
+  while (!wheel_.empty() && wheel_.begin()->first <= now) {
+    const auto node = wheel_.extract(wheel_.begin());
+    for (const auto& [id, generation] : node.mapped()) {
+      Slot& slot = slots_[id];
+      if (!slot.live || slot.generation != generation) continue;
+      if (slot.entry.expires_at <= now) {
+        kill(id, true);
+        ++stats_.expired;
+        ++expired;
+      } else {
+        file_deadline(id, slot);  // refreshed since filing: re-file
+      }
+    }
+  }
+  return expired;
+}
+
+std::optional<sim::SimNanos> ConnTracker::next_deadline() const {
+  if (wheel_.empty()) return std::nullopt;
+  return wheel_.begin()->first;
+}
+
+std::vector<ConnEntry> ConnTracker::snapshot() const {
+  std::vector<ConnEntry> out;
+  out.reserve(orig_map_.size());
+  for (const Slot& slot : slots_) {
+    if (slot.live) out.push_back(slot.entry);
+  }
+  return out;
+}
+
+void ConnTracker::clear() {
+  slots_.clear();
+  free_slots_.clear();
+  orig_map_.clear();
+  reply_map_.clear();
+  wheel_.clear();
+  lru_head_ = lru_tail_ = kNil;
+  // Stats survive a clear — a datapath crash wipes state, not counters.
+}
+
+}  // namespace harmless::openflow

@@ -1,0 +1,224 @@
+// openflow/conntrack.hpp — the stateful connection-tracking tier.
+//
+// One ConnTracker is one shard of the per-5-tuple connection table,
+// sharded per worker core exactly like the flow-cache shards
+// (Pipeline::cache(core) — see Pipeline::conntrack(core)). A shard is
+// only ever touched by its own core, so there is no locking anywhere:
+// RssPolicy::kSymmetric steers both directions of a connection to the
+// same core by hashing the *sorted* endpoint pair
+// (util::symmetric_flow_hash), and SNAT port allocation picks external
+// ports whose translated reply tuple hashes back to the committing
+// shard, so even address-translated reverse traffic stays shard-local.
+//
+// Semantics are netfilter-ish, simplified for a simulator:
+//   * The pipeline classifies every IPv4 TCP/UDP packet read-only
+//     *before* any cache probe (the "prelude") and stamps the result
+//     into Field::kCtState — see fields.hpp for the bit definitions.
+//     Because both flow-cache tiers key on every present field, cached
+//     decisions can never mask a state transition.
+//   * State only advances when a packet traverses a `ct` action
+//     (CtAction): commit creates the entry, later traversals refresh
+//     it, a reply-direction packet flips it to ESTABLISHED, TCP
+//     FIN/RST demote it to a short transient timeout, and idle entries
+//     expire off a coarse timer wheel swept by calendar-engine events.
+//   * Capacity is bounded per shard; commits into a full table evict
+//     the least-recently-seen connection (LRU).
+//
+// NAT lives here too: the first commit through a translating CtAction
+// records the mapping (SNAT allocates an external port, DNAT stores
+// the target), and every subsequent packet of the connection — either
+// direction — gets the *stored* mapping applied. That is what gives
+// the Maglev LB connection affinity across backend changes, and what
+// makes megaflow replay deterministic per connection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "openflow/action.hpp"
+#include "sim/time.hpp"
+#include "util/hash.hpp"
+
+namespace harmless::openflow {
+
+/// A directional 5-tuple (seq-less view of a TCP/UDP flow).
+struct CtTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  [[nodiscard]] CtTuple reversed() const {
+    return CtTuple{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+  [[nodiscard]] std::uint64_t symmetric_hash() const {
+    return util::symmetric_flow_hash(src_ip, src_port, dst_ip, dst_port, proto);
+  }
+  /// Directional hash key (order-sensitive, unlike symmetric_hash).
+  [[nodiscard]] std::uint64_t key_hash() const {
+    std::uint64_t h = util::hash_u64(util::kHashSeed, util::flow_endpoint(src_ip, src_port));
+    h = util::hash_u64(h, util::flow_endpoint(dst_ip, dst_port));
+    return util::hash_u64(h, proto);
+  }
+  friend bool operator==(const CtTuple&, const CtTuple&) = default;
+};
+
+struct CtTupleHash {
+  std::size_t operator()(const CtTuple& t) const { return static_cast<std::size_t>(t.key_hash()); }
+};
+
+/// Per-shard tunables (EXPERIMENTS.md "Conntrack knobs").
+struct CtConfig {
+  std::size_t max_connections = 65536;  // per shard; LRU reclaim beyond this
+  sim::SimNanos tcp_established_timeout = 30'000'000'000;  // idle, after a reply was seen
+  sim::SimNanos tcp_transient_timeout = 2'000'000'000;     // pre-reply / post-FIN/RST
+  sim::SimNanos udp_timeout = 5'000'000'000;               // UDP idle expiry
+  sim::SimNanos sweep_interval = 100'000'000;              // expiry-sweep cadence
+  /// Shard count the SNAT allocator steers reply tuples against.
+  /// 0 = the datapath's actual shard count. Overriding it lets a
+  /// single-core run emulate an N-shard allocation exactly — the
+  /// equivalence property tests pin it across differential runs.
+  std::size_t nat_steer_shards = 0;
+};
+
+/// The stored NAT mapping of one connection.
+struct CtNat {
+  CtAction::Nat kind = CtAction::Nat::kNone;
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+};
+
+/// Field rewrites `ct` asks the pipeline to apply to the current packet.
+struct CtRewrite {
+  bool src = false;  // rewrite source ip:port to (src_ip, src_port)
+  bool dst = false;  // rewrite destination ip:port to (dst_ip, dst_port)
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+/// One tracked connection.
+struct ConnEntry {
+  CtTuple orig;   // as first committed (pre-NAT, original direction)
+  CtTuple reply;  // expected reply tuple (post-NAT, reversed)
+  CtNat nat;
+  bool seen_reply = false;
+  bool closing = false;  // TCP FIN/RST observed: transient timeout
+  sim::SimNanos last_seen = 0;
+  sim::SimNanos expires_at = 0;
+  std::uint64_t packets_orig = 0;
+  std::uint64_t packets_reply = 0;
+};
+
+/// Shard-summable counters (Counters/CoreStats surface them).
+struct CtStats {
+  std::uint64_t lookups = 0;    // prelude classifications
+  std::uint64_t hits = 0;       // classifications that found an entry
+  std::uint64_t created = 0;    // connections committed
+  std::uint64_t refreshed = 0;  // ct traversals on existing entries
+  std::uint64_t expired = 0;    // idle-timeout kills (sweep or lazy)
+  std::uint64_t evicted = 0;    // LRU reclaims at capacity
+  std::uint64_t invalid = 0;    // unclassifiable packets seen
+  std::uint64_t nat_allocated = 0;
+  std::uint64_t nat_failures = 0;  // allocation/collision failures
+};
+
+/// What one `ct` action traversal did (see ConnTracker::process).
+struct CtOutcome {
+  std::uint64_t state = 0;   // kCt* bits, as the prelude would classify
+  bool committed = false;    // a new entry was created
+  bool rewrite = false;      // `translation` must be applied to the packet
+  CtRewrite translation{};
+};
+
+/// One conntrack shard. Not thread-safe by design — ownership is
+/// per-core, like FlowCache.
+class ConnTracker {
+ public:
+  ConnTracker(const CtConfig& config, std::size_t shard_count)
+      : config_(config),
+        steer_shards_(config.nat_steer_shards != 0 ? config.nat_steer_shards
+                                                   : (shard_count != 0 ? shard_count : 1)) {}
+
+  /// Read-only classification for the pipeline prelude: the kCt* bits
+  /// Field::kCtState gets for a packet with this tuple right now.
+  /// Counts lookups/hits/invalid; never mutates connection state.
+  std::uint64_t classify(const CtTuple& tuple, std::uint8_t tcp_flags, sim::SimNanos now);
+
+  /// Execute one `ct` action traversal: create or refresh the entry,
+  /// advance TCP state off `tcp_flags`, resolve the NAT translation to
+  /// apply to this packet's direction. `spec` carries the action's NAT
+  /// request; it only matters at first commit (the stored mapping wins
+  /// afterwards).
+  CtOutcome process(const CtTuple& tuple, std::uint8_t tcp_flags, sim::SimNanos now,
+                    const CtAction& spec);
+
+  /// Kill every connection idle past its deadline. Returns the number
+  /// expired. Lazily revalidates wheel buckets (refreshes do not
+  /// re-file entries eagerly).
+  std::size_t expire(sim::SimNanos now);
+
+  /// Earliest wheel deadline, if any connection is live (may be stale
+  /// early — a sweep at that time is then simply a no-op).
+  [[nodiscard]] std::optional<sim::SimNanos> next_deadline() const;
+
+  [[nodiscard]] std::size_t size() const { return orig_map_.size(); }
+  [[nodiscard]] const CtStats& stats() const { return stats_; }
+  [[nodiscard]] const CtConfig& config() const { return config_; }
+
+  /// Stable per-connection snapshot for tests: every live entry,
+  /// unordered (callers sort by tuple).
+  [[nodiscard]] std::vector<ConnEntry> snapshot() const;
+
+  void clear();
+
+ private:
+  struct Slot {
+    ConnEntry entry;
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
+  static constexpr std::uint32_t kNil = 0xffffffff;
+
+  [[nodiscard]] sim::SimNanos timeout_for(const ConnEntry& entry) const;
+  [[nodiscard]] std::uint64_t classify_entry(const Slot& slot, bool reply_dir) const;
+
+  std::uint32_t allocate_slot();
+  void kill(std::uint32_t id, bool expired);
+  void lru_touch(std::uint32_t id);
+  void lru_unlink(std::uint32_t id);
+  void lru_push_front(std::uint32_t id);
+  void refresh(Slot& slot, std::uint32_t id, bool reply_dir, std::uint8_t tcp_flags,
+               sim::SimNanos now);
+  void file_deadline(std::uint32_t id, const Slot& slot);
+
+  /// SNAT external-port allocation with shard affinity: the first port
+  /// in [port_min, port_max] (probed from a tuple-derived offset) whose
+  /// translated reply tuple (a) hashes to this connection's symmetric
+  /// steering shard and (b) is not already claimed in reply_map_.
+  [[nodiscard]] std::optional<std::uint16_t> allocate_snat_port(const CtTuple& orig,
+                                                                const CtAction& spec) const;
+
+  CtConfig config_;
+  std::size_t steer_shards_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<CtTuple, std::uint32_t, CtTupleHash> orig_map_;
+  std::unordered_map<CtTuple, std::uint32_t, CtTupleHash> reply_map_;
+  /// Coarse timer wheel: deadline bucket -> (slot id, generation).
+  /// Buckets are swept lazily; a refreshed entry is re-filed when its
+  /// stale bucket comes due.
+  std::map<sim::SimNanos, std::vector<std::pair<std::uint32_t, std::uint32_t>>> wheel_;
+  std::uint32_t lru_head_ = kNil;  // most recently seen
+  std::uint32_t lru_tail_ = kNil;  // least recently seen (eviction victim)
+  CtStats stats_;
+};
+
+}  // namespace harmless::openflow

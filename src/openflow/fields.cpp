@@ -20,6 +20,8 @@ std::uint64_t field_all_ones(Field field) {
     case Field::kL4Dst: return 0xffffULL;
     case Field::kArpOp: return 0xffffULL;
     case Field::kIcmpType: return 0xffULL;
+    case Field::kTcpFlags: return 0xffULL;
+    case Field::kCtState: return kCtStateMask;
   }
   return ~0ULL;
 }
@@ -40,6 +42,8 @@ const char* field_name(Field field) {
     case Field::kL4Dst: return "l4_dst";
     case Field::kArpOp: return "arp_op";
     case Field::kIcmpType: return "icmp_type";
+    case Field::kTcpFlags: return "tcp_flags";
+    case Field::kCtState: return "ct_state";
   }
   return "?";
 }
@@ -76,6 +80,7 @@ FieldView build_field_view(const net::ParsedPacket& parsed, std::uint32_t in_por
     view.set(Field::kL4Src, parsed.src_port());
     view.set(Field::kL4Dst, parsed.dst_port());
   }
+  if (parsed.tcp) view.set(Field::kTcpFlags, parsed.tcp->flags);
   if (parsed.icmp) view.set(Field::kIcmpType, static_cast<std::uint64_t>(parsed.icmp->type));
   return view;
 }

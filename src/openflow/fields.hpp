@@ -32,12 +32,33 @@ enum class Field : std::uint8_t {
   kL4Dst,
   kArpOp,
   kIcmpType,
+  kTcpFlags,
+  kCtState,  // conntrack classification bits; present only when ct is enabled
 };
 
-constexpr std::size_t kFieldCount = 14;
+constexpr std::size_t kFieldCount = 16;
 
 /// OFPVID_PRESENT: set in kVlanVid for any tagged frame.
 constexpr std::uint64_t kVlanPresent = 0x1000;
+
+/// kCtState bit values (OVS ct_state naming). The conntrack prelude
+/// classifies every IPv4 TCP/UDP packet *before* any cache probe and
+/// stamps these into the FieldView, so both flow-cache tiers key on
+/// the connection state by construction — a NEW→ESTABLISHED transition
+/// can never be masked by a stale cached decision.
+///   kCtNew:         no entry exists; a `ct` commit would create one.
+///   kCtTracked:     an entry exists for the tuple (either direction).
+///   kCtEstablished: entry exists and a reply-direction packet was seen.
+///   kCtReply:       this packet travels in the entry's reply direction.
+///   kCtRelated:     reserved for ALG/related-flow support (never set yet).
+///   kCtInvalid:     unclassifiable (e.g. mid-stream TCP with no entry).
+constexpr std::uint64_t kCtNew = 0x01;
+constexpr std::uint64_t kCtTracked = 0x02;
+constexpr std::uint64_t kCtEstablished = 0x04;
+constexpr std::uint64_t kCtReply = 0x08;
+constexpr std::uint64_t kCtRelated = 0x10;
+constexpr std::uint64_t kCtInvalid = 0x20;
+constexpr std::uint64_t kCtStateMask = 0x3f;
 
 [[nodiscard]] constexpr std::uint32_t field_bit(Field field) {
   return 1u << static_cast<unsigned>(field);

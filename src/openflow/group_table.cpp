@@ -16,6 +16,10 @@ util::Status GroupTable::add(GroupEntry entry) {
   }
   if (entry.type == GroupType::kIndirect && entry.buckets.size() != 1)
     return util::Status::error("INDIRECT group must have exactly one bucket");
+  for (const std::uint16_t index : entry.select_table)
+    if (index >= entry.buckets.size())
+      return util::Status::error("SELECT group " + std::to_string(entry.group_id) +
+                                 " select_table entry out of range");
   groups_.emplace(entry.group_id, std::move(entry));
   bump_epoch();
   return util::Status::ok();
@@ -44,6 +48,15 @@ GroupEntry* GroupTable::find_mutable(std::uint32_t group_id) {
 }
 
 std::size_t GroupTable::select_bucket(const GroupEntry& entry, std::uint64_t flow_hash) const {
+  if (!entry.select_table.empty()) {
+    // Consistent-hash indirection (Maglev): one scrambled modulo into
+    // the lookup table; the table's construction carries the balancing
+    // and minimal-disruption properties.
+    const std::uint64_t slot =
+        (flow_hash * 0x9e3779b97f4a7c15ULL) % entry.select_table.size();
+    const std::size_t index = entry.select_table[static_cast<std::size_t>(slot)];
+    return index < entry.buckets.size() ? index : entry.buckets.size() - 1;
+  }
   std::uint64_t total = 0;
   for (const Bucket& bucket : entry.buckets) total += bucket.weight;
   if (total == 0) return 0;

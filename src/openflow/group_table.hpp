@@ -44,6 +44,13 @@ struct GroupEntry {
   GroupType type = GroupType::kAll;
   SelectHash select_hash = SelectHash::kFiveTuple;
   std::vector<Bucket> buckets;
+  /// SELECT only, optional: a consistent-hash indirection table of
+  /// bucket indices (Maglev-style — see controller/apps/maglev.hpp for
+  /// the permutation-fill builder). When non-empty, bucket choice is
+  /// select_table[hash % size()] instead of the weighted scan, so a
+  /// backend change remaps only the table slots that named it; weights
+  /// are ignored. Entries must index into `buckets`.
+  std::vector<std::uint16_t> select_table;
 };
 
 class GroupTable {

@@ -44,6 +44,25 @@ class Match {
   Match& l4_src(std::uint16_t port) { return set(Field::kL4Src, port); }
   Match& l4_dst(std::uint16_t port) { return set(Field::kL4Dst, port); }
   Match& arp_op(std::uint16_t op) { return set(Field::kArpOp, op); }
+  /// Match TCP flag bits exactly under `mask` (e.g. SYN-only handshakes).
+  Match& tcp_flags(std::uint8_t flags, std::uint8_t mask = 0xff) {
+    return set_masked(Field::kTcpFlags, flags, mask);
+  }
+  /// Match ct_state bits: every bit in `bits` must be set, every bit in
+  /// `mask & ~bits` clear. kCtState is only present when conntrack is
+  /// enabled, so these rules fail-safe (never match) on a ct-less
+  /// datapath.
+  Match& ct_state(std::uint64_t bits, std::uint64_t mask) {
+    return set_masked(Field::kCtState, bits, mask);
+  }
+  /// An entry exists for this tuple (either direction).
+  Match& ct_tracked() { return ct_state(kCtTracked, kCtTracked); }
+  /// No entry exists yet; a `ct` commit would create one.
+  Match& ct_new() { return ct_state(kCtNew, kCtNew); }
+  /// Entry exists and a reply-direction packet has been seen.
+  Match& ct_established() { return ct_state(kCtEstablished, kCtEstablished); }
+  /// Unclassifiable (e.g. mid-stream TCP with no entry).
+  Match& ct_invalid() { return ct_state(kCtInvalid, kCtInvalid); }
 
   // ---- evaluation ----
   [[nodiscard]] bool matches(const FieldView& view) const;

@@ -62,6 +62,47 @@ void Pipeline::set_shard_count(std::size_t shards) {
     shard->set_linear_scan(caches_.front()->linear_scan());
     caches_.push_back(std::move(shard));
   }
+  if (ct_enabled_ && trackers_.size() != caches_.size()) {
+    // Rebuild so every shard agrees on the steering-shard count the
+    // SNAT allocator uses (both calls are pre-traffic by contract).
+    enable_conntrack(ct_config_);
+  }
+}
+
+void Pipeline::enable_conntrack(const CtConfig& config) {
+  ct_config_ = config;
+  ct_enabled_ = true;
+  trackers_.clear();
+  for (std::size_t shard = 0; shard < caches_.size(); ++shard)
+    trackers_.push_back(std::make_unique<ConnTracker>(ct_config_, caches_.size()));
+}
+
+std::size_t Pipeline::ct_connection_count() const {
+  std::size_t total = 0;
+  for (const auto& tracker : trackers_) total += tracker->size();
+  return total;
+}
+
+std::size_t Pipeline::ct_expire(sim::SimNanos now) {
+  std::size_t expired = 0;
+  for (auto& tracker : trackers_) expired += tracker->expire(now);
+  // Expiry needs no cache invalidation: ct_state is recomputed per
+  // packet before any cache probe, so a megaflow keyed on the dead
+  // connection's state simply stops matching.
+  return expired;
+}
+
+std::optional<sim::SimNanos> Pipeline::ct_next_deadline() const {
+  std::optional<sim::SimNanos> next;
+  for (const auto& tracker : trackers_) {
+    const std::optional<sim::SimNanos> deadline = tracker->next_deadline();
+    if (deadline && (!next || *deadline < *next)) next = deadline;
+  }
+  return next;
+}
+
+void Pipeline::ct_clear() {
+  for (auto& tracker : trackers_) tracker->clear();
 }
 
 FlowTable& Pipeline::table(std::size_t index) {
@@ -113,6 +154,11 @@ sim::SimNanos Pipeline::execute_actions(const ActionList& actions, net::Packet& 
       } else {
         result.outputs.emplace_back(out->port, packet.clone());  // copy per output
       }
+      continue;
+    }
+
+    if (const auto* ct = std::get_if<CtAction>(&action)) {
+      ct_execute(*ct, packet, result, learn, view_dirty);
       continue;
     }
 
@@ -180,8 +226,82 @@ sim::SimNanos Pipeline::execute_actions(const ActionList& actions, net::Packet& 
   return cost;
 }
 
+bool Pipeline::ct_annotate(FieldView& view, std::size_t shard, sim::SimNanos now) {
+  if (!ct_enabled_) return false;
+  constexpr std::uint32_t kNeed =
+      field_bit(Field::kIpProto) | field_bit(Field::kL4Src) | field_bit(Field::kL4Dst);
+  if ((view.present & kNeed) != kNeed) return false;
+  const auto proto = static_cast<std::uint8_t>(view.values[static_cast<std::size_t>(Field::kIpProto)]);
+  if (proto != static_cast<std::uint8_t>(net::IpProto::kTcp) &&
+      proto != static_cast<std::uint8_t>(net::IpProto::kUdp))
+    return false;
+  const CtTuple tuple{
+      static_cast<std::uint32_t>(view.values[static_cast<std::size_t>(Field::kIpSrc)]),
+      static_cast<std::uint32_t>(view.values[static_cast<std::size_t>(Field::kIpDst)]),
+      static_cast<std::uint16_t>(view.values[static_cast<std::size_t>(Field::kL4Src)]),
+      static_cast<std::uint16_t>(view.values[static_cast<std::size_t>(Field::kL4Dst)]),
+      proto};
+  const std::uint8_t tcp_flags =
+      (view.present & field_bit(Field::kTcpFlags)) != 0
+          ? static_cast<std::uint8_t>(view.values[static_cast<std::size_t>(Field::kTcpFlags)])
+          : 0;
+  view.set(Field::kCtState, trackers_[shard]->classify(tuple, tcp_flags, now));
+  return true;
+}
+
+void Pipeline::ct_execute(const CtAction& spec, net::Packet& packet, PipelineResult& result,
+                          FieldUse* learn, bool& view_dirty) {
+  if (!ct_enabled_) return;
+  const net::ParsedPacket& parsed = net::parse_cached(packet).parsed;
+  if (!parsed.ipv4 || (!parsed.tcp && !parsed.udp)) return;
+  const CtTuple tuple{parsed.ipv4->src.value(), parsed.ipv4->dst.value(), parsed.src_port(),
+                      parsed.dst_port(), parsed.ipv4->protocol};
+  const std::uint8_t tcp_flags = parsed.tcp ? parsed.tcp->flags : 0;
+
+  if (learn != nullptr) {
+    // A ct traversal's outcome is per-connection, per-direction and
+    // per-state: pin the full 5-tuple and ct_state, so the learned
+    // megaflow serves exactly that slice and a state transition always
+    // escapes to a fresh traversal.
+    learn->note(Field::kIpProto, field_all_ones(Field::kIpProto));
+    learn->note(Field::kIpSrc, field_all_ones(Field::kIpSrc));
+    learn->note(Field::kIpDst, field_all_ones(Field::kIpDst));
+    learn->note(Field::kL4Src, field_all_ones(Field::kL4Src));
+    learn->note(Field::kL4Dst, field_all_ones(Field::kL4Dst));
+    learn->note(Field::kCtState, kCtStateMask);
+  }
+
+  const CtOutcome outcome =
+      trackers_[current_shard_]->process(tuple, tcp_flags, ct_now_, spec);
+  ++result.ct_commits;
+
+  if (outcome.rewrite) {
+    // Apply the tracker's stored translation — resolved per packet, so
+    // replaying a megaflow through here re-derives the rewrite from
+    // live connection state instead of baking stale constants in.
+    if (outcome.translation.src) {
+      apply_header_action(SetFieldAction{Field::kIpSrc, outcome.translation.src_ip}, packet);
+      apply_header_action(SetFieldAction{Field::kL4Src, outcome.translation.src_port}, packet);
+      if (learn != nullptr) {
+        learn->mark_overwritten(Field::kIpSrc);
+        learn->mark_overwritten(Field::kL4Src);
+      }
+    }
+    if (outcome.translation.dst) {
+      apply_header_action(SetFieldAction{Field::kIpDst, outcome.translation.dst_ip}, packet);
+      apply_header_action(SetFieldAction{Field::kL4Dst, outcome.translation.dst_port}, packet);
+      if (learn != nullptr) {
+        learn->mark_overwritten(Field::kIpDst);
+        learn->mark_overwritten(Field::kL4Dst);
+      }
+    }
+    view_dirty = true;
+  }
+}
+
 void Pipeline::replay(const MegaflowEntry& entry, net::Packet& packet, std::uint32_t in_port,
                       sim::SimNanos now, PipelineResult& result) {
+  ct_now_ = now;
   result.cache_hit = true;
   result.matched = entry.matched;
   result.last_table = entry.last_table;
@@ -245,12 +365,20 @@ PipelineResult Pipeline::run(net::Packet&& packet, std::uint32_t in_port, sim::S
 }
 
 PipelineResult Pipeline::run_with_view(net::Packet&& packet, std::uint32_t in_port,
-                                       sim::SimNanos now, FieldView view, std::size_t shard) {
+                                       sim::SimNanos now, FieldView view, std::size_t shard,
+                                       bool ct_annotated, const MegaflowEntry** replayed) {
   PipelineResult result;
   // The one shard-bounds check on the per-packet entry path (run() and
   // the run_burst residue both come through here); install_learned
   // only ever receives this same validated shard.
   FlowCache& cache = *caches_.at(shard);
+  current_shard_ = shard;
+  ct_now_ = now;
+
+  // Conntrack prelude, *before* any cache probe: the classification is
+  // part of the packet's identity from here on, so both cache tiers
+  // key on it and stale state decisions are structurally impossible.
+  if (!ct_annotated && ct_annotate(view, shard, now)) ++result.ct_lookups;
 
   if (cache_enabled_) {
     std::uint32_t scanned = 0;
@@ -258,6 +386,7 @@ PipelineResult Pipeline::run_with_view(net::Packet&& packet, std::uint32_t in_po
     result.cache_scanned = scanned;
     result.cache_linear = cache.linear_scan();
     if (hit != nullptr) {
+      if (replayed != nullptr) *replayed = hit;
       replay(*hit, packet, in_port, now, result);
       return result;
     }
@@ -272,6 +401,13 @@ PipelineResult Pipeline::run_with_view(net::Packet&& packet, std::uint32_t in_po
   MegaflowEntry learned;
   view.use = learn;
   bool view_dirty = false;
+  // The prelude's classification survives header rewrites: a rebuilt
+  // view (build_field_view knows nothing of conntrack) gets the bits
+  // re-stamped below, matching OVS's ct_state persistence across
+  // recirculation within one traversal.
+  const bool ct_present = (view.present & field_bit(Field::kCtState)) != 0;
+  const std::uint64_t ct_bits =
+      ct_present ? view.values[static_cast<std::size_t>(Field::kCtState)] : 0;
 
   // The OF1.3 action set: at most one action per slot, executed in
   // spec order at pipeline exit.
@@ -321,6 +457,7 @@ PipelineResult Pipeline::run_with_view(net::Packet&& packet, std::uint32_t in_po
     result.last_table = static_cast<std::uint8_t>(table_index);
     if (view_dirty) {
       view = cached_field_view(packet, in_port);
+      if (ct_present) view.set(Field::kCtState, ct_bits);
       view.use = learn;
       view_dirty = false;
       result.cost_ns += costs_.parse_ns;
@@ -402,6 +539,13 @@ void Pipeline::run_burst(std::vector<BurstPacket>& burst, sim::SimNanos now,
       out.results[i] = run(std::move(burst[i].packet), burst[i].in_port, now, shard);
     return;
   }
+  if (ct_enabled_) {
+    // Connection state is order-sensitive within a burst (packet i's
+    // commit changes packet i+1's classification), so the phased
+    // probe/replay below would diverge from per-packet execution.
+    run_burst_sequential(burst, now, shard, out);
+    return;
+  }
 
   // Phase 1: probe the cache for the whole burst. Misses are not
   // counted here (probe()); the residue's run() accounts each exactly
@@ -457,6 +601,28 @@ void Pipeline::run_burst(std::vector<BurstPacket>& burst, sim::SimNanos now,
                                    std::move(burst_views_[i]), shard);
     out.results[i].cache_scanned += probed;  // phase-1 scan work really happened
   }
+}
+
+void Pipeline::run_burst_sequential(std::vector<BurstPacket>& burst, sim::SimNanos now,
+                                    std::size_t shard, BurstResult& out) {
+  // Strictly arrival-order per-packet processing — observationally
+  // identical to calling run() per packet. Replay-group amortization
+  // survives as the count of distinct megaflow entries replayed.
+  burst_replayed_.clear();
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    FieldView view;
+    cached_field_view_into(burst[i].packet, burst[i].in_port, &view);
+    const bool classified = ct_annotate(view, shard, now);
+    const MegaflowEntry* replayed = nullptr;
+    out.results[i] = run_with_view(std::move(burst[i].packet), burst[i].in_port, now,
+                                   std::move(view), shard, /*ct_annotated=*/true, &replayed);
+    if (classified) ++out.results[i].ct_lookups;
+    if (replayed != nullptr &&
+        std::find(burst_replayed_.begin(), burst_replayed_.end(), replayed) ==
+            burst_replayed_.end())
+      burst_replayed_.push_back(replayed);
+  }
+  out.replay_groups = static_cast<std::uint32_t>(burst_replayed_.size());
 }
 
 std::vector<FlowEntry> Pipeline::collect_expired(sim::SimNanos now) {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "openflow/conntrack.hpp"
 #include "openflow/flow_cache.hpp"
 #include "openflow/flow_table.hpp"
 #include "openflow/group_table.hpp"
@@ -83,6 +84,12 @@ struct PipelineResult {
   /// True when the cache ran in linear-scan ablation mode, so the
   /// datapath knows which unit (and rate) cache_scanned bills at.
   bool cache_linear = false;
+  /// Conntrack work this packet performed, billed by the datapath at
+  /// DatapathCosts::ct_lookup_ns / ct_commit_ns: one lookup when the
+  /// prelude classified the packet (ct enabled + IPv4 TCP/UDP), one
+  /// commit per `ct` action traversed (slow path or replay alike).
+  std::uint32_t ct_lookups = 0;
+  std::uint32_t ct_commits = 0;
 
   [[nodiscard]] bool dropped() const { return outputs.empty() && packet_ins.empty(); }
 
@@ -98,6 +105,8 @@ struct PipelineResult {
     cache_installed = false;
     cache_scanned = 0;
     cache_linear = false;
+    ct_lookups = 0;
+    ct_commits = 0;
   }
 };
 
@@ -181,6 +190,28 @@ class Pipeline {
     for (auto& shard : caches_) shard->set_limits(limits);
   }
 
+  /// Turn on the conntrack tier: one ConnTracker shard per cache shard
+  /// (created now for existing shards; set_shard_count grows both in
+  /// step). From here on, every IPv4 TCP/UDP packet is classified
+  /// read-only before any cache probe and carries Field::kCtState, so
+  /// ct_state rules can match and both cache tiers key on the state.
+  /// Call before traffic, like set_shard_count.
+  void enable_conntrack(const CtConfig& config);
+  [[nodiscard]] bool conntrack_enabled() const { return ct_enabled_; }
+  /// Core `shard`'s conntrack shard (enable_conntrack first).
+  [[nodiscard]] ConnTracker& conntrack(std::size_t shard = 0) { return *trackers_.at(shard); }
+  [[nodiscard]] const ConnTracker& conntrack(std::size_t shard = 0) const {
+    return *trackers_.at(shard);
+  }
+  /// Live connections across all shards (0 when ct is disabled).
+  [[nodiscard]] std::size_t ct_connection_count() const;
+  /// Sweep every shard's expiry wheel; returns connections expired.
+  std::size_t ct_expire(sim::SimNanos now);
+  /// Earliest expiry deadline across shards, if any connection lives.
+  [[nodiscard]] std::optional<sim::SimNanos> ct_next_deadline() const;
+  /// Wipe all connection state (datapath crash), keeping shard stats.
+  void ct_clear();
+
   /// Run one packet; consumes it. Fast path on a cache-shard hit,
   /// otherwise the full traversal (which learns a megaflow into the
   /// same shard when caching is on). `shard` is the calling worker
@@ -238,8 +269,36 @@ class Pipeline {
   /// residue packets enter here with their phase-1 view, so a burst
   /// parses each packet exactly once. `shard` is the serving core's
   /// cache shard (lookup and learning both land there).
+  /// `ct_annotated` marks a view the caller already ran the conntrack
+  /// prelude on (the sequential ct burst path), so classification — a
+  /// stats-bearing tracker lookup — happens exactly once per packet.
+  /// `replayed` (optional) reports the megaflow entry a cache hit
+  /// replayed, for the caller's replay-group accounting.
   PipelineResult run_with_view(net::Packet&& packet, std::uint32_t in_port, sim::SimNanos now,
-                               FieldView view, std::size_t shard);
+                               FieldView view, std::size_t shard, bool ct_annotated = false,
+                               const MegaflowEntry** replayed = nullptr);
+
+  /// Conntrack prelude: classify the packet's 5-tuple against `shard`'s
+  /// tracker (read-only) and stamp Field::kCtState into `view`. Returns
+  /// true when the packet was classifiable (ct enabled + IPv4 TCP/UDP);
+  /// the caller then counts one PipelineResult::ct_lookups.
+  bool ct_annotate(FieldView& view, std::size_t shard, sim::SimNanos now);
+
+  /// Execute one `ct` action: commit/refresh the connection in the
+  /// current shard's tracker and apply its stored NAT translation to
+  /// the packet. Pins the full 5-tuple + ct_state into `learn`, so a
+  /// megaflow that traversed ct serves exactly one connection-direction
+  /// in one state — a cached decision can never go stale.
+  void ct_execute(const CtAction& spec, net::Packet& packet, PipelineResult& result,
+                  FieldUse* learn, bool& view_dirty);
+
+  /// run_burst body when conntrack is on: strictly sequential per-packet
+  /// processing (classification is order-sensitive — an earlier packet's
+  /// commit changes a later packet's ct_state, so phase-grouping would
+  /// diverge from per-packet execution). Replay-group amortization is
+  /// preserved by counting distinct replayed entries.
+  void run_burst_sequential(std::vector<BurstPacket>& burst, sim::SimNanos now,
+                            std::size_t shard, BurstResult& out);
 
   /// Fast path: replay a cached traversal against `packet`.
   void replay(const MegaflowEntry& entry, net::Packet& packet, std::uint32_t in_port,
@@ -263,12 +322,28 @@ class Pipeline {
   std::vector<std::unique_ptr<FlowCache>> caches_;
   bool cache_enabled_ = true;
 
+  /// Conntrack shards, parallel to caches_ when enabled (empty when
+  /// not). unique_ptr for address stability, like the cache shards.
+  std::vector<std::unique_ptr<ConnTracker>> trackers_;
+  CtConfig ct_config_;
+  bool ct_enabled_ = false;
+  /// The shard whose tracker `ct` actions hit, set on every entry path
+  /// (run_with_view / replay) — execute_actions recursion plumbs no
+  /// shard argument. Safe as a member: the pipeline serves one packet
+  /// at a time per datapath, like the burst scratch below.
+  std::size_t current_shard_ = 0;
+  /// Simulation time of the packet in flight, for ct timeouts (same
+  /// single-packet-at-a-time argument).
+  sim::SimNanos ct_now_ = 0;
+
   // run_burst scratch, recycled across bursts (phase-1 probe results
   // and the phase-2 replay grouping). Safe as members: run_burst is
   // not reentrant (the datapath serves one burst at a time).
   std::vector<MegaflowEntry*> burst_hits_;
   std::vector<FieldView> burst_views_;
   std::vector<std::pair<const MegaflowEntry*, std::vector<std::size_t>>> burst_groups_;
+  /// Distinct entries replayed by a sequential ct burst (group billing).
+  std::vector<const MegaflowEntry*> burst_replayed_;
 };
 
 }  // namespace harmless::openflow

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/parse.hpp"
 #include "util/status.hpp"
 
 namespace harmless::sim {
@@ -38,17 +39,21 @@ const Port& Node::port(std::size_t index) const {
   return *ports_[index];
 }
 
-void ServicedNode::ensure_rx_queues(std::size_t count) {
-  while (rx_queues_.size() < count) {
+void ServicedNode::ensure_rx_queues(std::size_t port_count) {
+  // One queue per port; under the symmetric grid, one per (port, core)
+  // — queue index = port * stride + core, in_port = index / stride.
+  const std::size_t stride = queue_stride();
+  while (rx_queues_.size() < port_count * stride) {
     const std::size_t index = rx_queues_.size();
-    rx_queues_.emplace_back(static_cast<int>(index));
+    rx_queues_.emplace_back(static_cast<int>(index / stride));
     // Steering decision: the queue belongs to one worker core for its
-    // lifetime (pin map override, RSS hash otherwise). Queue views
-    // hold pointers into rx_queues_, which may have just reallocated —
-    // rebuild them lazily before the next step.
-    const std::size_t core = ingress_.cores.core_of(index);
-    queue_core_.push_back(core % cores_.size());
-    cores_[core % cores_.size()].queue_indices.push_back(index);
+    // lifetime (pin map override, RSS hash otherwise; the grid encodes
+    // its core in the index). Queue views hold pointers into
+    // rx_queues_, which may have just reallocated — rebuild them
+    // lazily before the next step.
+    const std::size_t core = ingress_.cores.core_of(index) % cores_.size();
+    queue_core_.push_back(core);
+    cores_[core].queue_indices.push_back(index);
     views_dirty_ = true;
   }
 }
@@ -63,31 +68,77 @@ void ServicedNode::refresh_views() {
   }
 }
 
-RxQueue& ServicedNode::rx_queue_for(int in_port) {
-  const auto index = static_cast<std::size_t>(in_port < 0 ? 0 : in_port);
-  ensure_rx_queues(index + 1);
-  return rx_queues_[index];
+std::size_t ServicedNode::steer_core(std::size_t port, net::Packet& packet) {
+  if (queue_stride() == 1) return 0;  // collapsed grid: core_of steers the queue
+  const auto& pins = ingress_.cores.pin_map;
+  if (port < pins.size() && pins[port] != kCoreUnpinned) return pins[port] % cores_.size();
+  // Symmetric per-flow steering: hash the sorted endpoint pair, so
+  // a→b and b→a land on the same core (the conntrack shard-affinity
+  // invariant). The interned parse rides the packet into the datapath,
+  // so the pipeline's later parse_cached call is a cache hit.
+  const net::ParsedPacket& parsed = net::parse_cached(packet).parsed;
+  std::uint64_t h = 0;
+  if (parsed.ipv4 && (parsed.tcp || parsed.udp)) {
+    h = util::symmetric_flow_hash(parsed.ipv4->src.value(), parsed.src_port(),
+                                  parsed.ipv4->dst.value(), parsed.dst_port(),
+                                  parsed.ipv4->protocol);
+  } else if (parsed.ipv4) {
+    h = util::symmetric_pair_hash(parsed.ipv4->src.value(), parsed.ipv4->dst.value());
+  } else if (parsed.l2_valid) {
+    h = util::symmetric_pair_hash(parsed.eth_src.to_u64(), parsed.eth_dst.to_u64());
+  }
+  return static_cast<std::size_t>(h) % cores_.size();
 }
 
 void ServicedNode::handle(int in_port, net::Packet&& packet) {
-  RxQueue& queue = rx_queue_for(in_port);
+  const auto port = static_cast<std::size_t>(in_port < 0 ? 0 : in_port);
+  ensure_rx_queues(port + 1);
+  const std::size_t queue_index = port * queue_stride() + steer_core(port, packet);
+  RxQueue& queue = rx_queues_[queue_index];
   // Admission: the shared buffer bound applies always (exactly the
   // historical shared-FIFO drop rule); the per-port bound, when set,
   // partitions that buffer so one port's backlog cannot crowd out
-  // another port's admissions.
+  // another port's admissions. The per-port bound covers the whole
+  // queue group of the port under the symmetric grid.
   if (total_depth_ >= ingress_.queue_capacity ||
-      (ingress_.port_queue_capacity > 0 && queue.depth() >= ingress_.port_queue_capacity)) {
+      (ingress_.port_queue_capacity > 0 && port_queue_depth(port) >= ingress_.port_queue_capacity)) {
     queue.count_drop();
     ++queue_drops_;
     return;
   }
   queue.push(arrival_seq_++, std::move(packet));
   ++total_depth_;
-  ++cores_[queue_core_[static_cast<std::size_t>(queue.in_port())]].backlog;
+  ++cores_[queue_core_[queue_index]].backlog;
   if (!draining_) {
     draining_ = true;
     engine_.schedule_at(std::max(engine_.now(), busy_until_), [this] { drain(); });
   }
+}
+
+std::size_t ServicedNode::port_queue_depth(std::size_t port) const {
+  const std::size_t stride = queue_stride();
+  std::size_t depth = 0;
+  for (std::size_t q = port * stride; q < (port + 1) * stride && q < rx_queues_.size(); ++q)
+    depth += rx_queues_[q].depth();
+  return depth;
+}
+
+std::uint64_t ServicedNode::port_queue_drops(std::size_t port) const {
+  const std::size_t stride = queue_stride();
+  std::uint64_t drops = 0;
+  for (std::size_t q = port * stride; q < (port + 1) * stride && q < rx_queues_.size(); ++q)
+    drops += rx_queues_[q].drops();
+  return drops;
+}
+
+std::size_t ServicedNode::port_queue_peak_depth(std::size_t port) const {
+  // Sum of per-queue peaks — an upper bound on the port's instantaneous
+  // peak, exact when the grid is collapsed (the common case).
+  const std::size_t stride = queue_stride();
+  std::size_t peak = 0;
+  for (std::size_t q = port * stride; q < (port + 1) * stride && q < rx_queues_.size(); ++q)
+    peak += rx_queues_[q].peak_depth();
+  return peak;
 }
 
 void ServicedNode::emit(std::size_t out_port, net::Packet&& packet) {

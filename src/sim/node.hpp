@@ -188,6 +188,17 @@ class ServicedNode : public Node {
   /// sweeps every burst.
   [[nodiscard]] std::size_t rx_queue_count() const { return rx_queues_.size(); }
   [[nodiscard]] const RxQueue& rx_queue(std::size_t index) const { return rx_queues_[index]; }
+  /// RX queues per port: 1 normally; `cores` under RssPolicy::kSymmetric
+  /// with multiple cores (the (port, core) queue grid — queue index =
+  /// port * stride + core).
+  [[nodiscard]] std::size_t queue_stride() const {
+    return ingress_.cores.rss == RssPolicy::kSymmetric ? cores_.size() : 1;
+  }
+  /// Per-*port* aggregates over the port's queue group (== the single
+  /// queue's numbers outside the symmetric grid).
+  [[nodiscard]] std::size_t port_queue_depth(std::size_t port) const;
+  [[nodiscard]] std::uint64_t port_queue_drops(std::size_t port) const;
+  [[nodiscard]] std::size_t port_queue_peak_depth(std::size_t port) const;
   /// Cumulative per-queue polls across all service bursts (every burst
   /// polls every RX queue once, empty or not — poll-mode drivers pay
   /// for silence too; the datapath charges rx_poll_ns each).
@@ -232,10 +243,12 @@ class ServicedNode : public Node {
   /// meaningful inside service()/service_burst().
   [[nodiscard]] std::size_t current_core() const { return current_core_; }
 
-  /// Pre-size the RX queue array (one queue per port); queues still
-  /// grow on demand if a packet arrives on a later port. Sizing up
-  /// front makes the per-burst poll bill honest from the first packet.
-  void ensure_rx_queues(std::size_t count);
+  /// Pre-size the RX queue array for `port_count` ports (one queue per
+  /// port; a full (port, core) group per port under the symmetric
+  /// grid); queues still grow on demand if a packet arrives on a later
+  /// port. Sizing up front makes the per-burst poll bill honest from
+  /// the first packet.
+  void ensure_rx_queues(std::size_t port_count);
 
   /// How a completed output leaves the node. Default: the sim port's
   /// channel. SoftSwitch overrides this to divert patch-bound ports
@@ -264,7 +277,10 @@ class ServicedNode : public Node {
   /// Serve one burst on `core`; returns its compute cost (the step
   /// loop folds it into the makespan).
   SimNanos serve_core(std::size_t core_index, SimNanos step_start);
-  [[nodiscard]] RxQueue& rx_queue_for(int in_port);
+  /// Which core of the symmetric grid this packet steers to (pin map
+  /// override by port, symmetric flow hash otherwise). Always 0 when
+  /// the grid is collapsed (stride 1 — core_of steers the queue).
+  [[nodiscard]] std::size_t steer_core(std::size_t port, net::Packet& packet);
   void refresh_views();
 
   IngressSpec ingress_;

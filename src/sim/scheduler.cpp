@@ -15,6 +15,7 @@ const char* to_string(RssPolicy policy) {
   switch (policy) {
     case RssPolicy::kHash: return "hash";
     case RssPolicy::kStride: return "stride";
+    case RssPolicy::kSymmetric: return "symmetric";
   }
   return "?";
 }

@@ -152,6 +152,15 @@ enum class RssPolicy : std::uint8_t {
   /// Stride the ports across cores (port % cores): deterministic exact
   /// balance, the hand-tuned comparison point for the hash policy.
   kStride,
+  /// Symmetric per-flow steering for the stateful tier: the node keeps
+  /// one RX queue per (port, core) — queue index = port * cores + core
+  /// — and steers each *packet* by util::symmetric_flow_hash over its
+  /// sorted 5-tuple endpoints, so both directions of a connection land
+  /// on the same core (and thus the same conntrack shard). Non-TCP/UDP
+  /// traffic falls back to a symmetric hash of the IP (or MAC) pair.
+  /// With cores == 1 the queue grid collapses to one queue per port,
+  /// bit-exact with the other policies.
+  kSymmetric,
 };
 [[nodiscard]] const char* to_string(RssPolicy policy);
 
@@ -172,6 +181,10 @@ struct CoreSpec {
   /// The steering decision: which core services queue `queue_index`.
   [[nodiscard]] std::size_t core_of(std::size_t queue_index) const {
     const std::size_t count = cores == 0 ? 1 : cores;
+    // kSymmetric queues form a (port, core) grid — the queue index
+    // already encodes its core; per-packet steering picked it (the pin
+    // map, when set, is consulted there, keyed by port).
+    if (rss == RssPolicy::kSymmetric) return queue_index % count;
     if (queue_index < pin_map.size() && pin_map[queue_index] != kCoreUnpinned)
       return pin_map[queue_index] % count;
     if (rss == RssPolicy::kStride) return queue_index % count;

@@ -49,6 +49,29 @@ const SoftSwitch::Counters& SoftSwitch::counters() const {
     counters_.cache_subtables += pipeline_.cache(shard).subtable_count();
     counters_.cache_subtable_probes += pipeline_.cache(shard).stats().subtable_probes;
   }
+  counters_.ct_lookups = 0;
+  counters_.ct_hits = 0;
+  counters_.ct_created = 0;
+  counters_.ct_expired = 0;
+  counters_.ct_evicted = 0;
+  counters_.ct_invalid = 0;
+  counters_.ct_nat_allocated = 0;
+  counters_.ct_nat_failures = 0;
+  counters_.ct_connections = 0;
+  if (pipeline_.conntrack_enabled()) {
+    for (std::size_t shard = 0; shard < pipeline_.shard_count(); ++shard) {
+      const openflow::CtStats& ct = pipeline_.conntrack(shard).stats();
+      counters_.ct_lookups += ct.lookups;
+      counters_.ct_hits += ct.hits;
+      counters_.ct_created += ct.created;
+      counters_.ct_expired += ct.expired;
+      counters_.ct_evicted += ct.evicted;
+      counters_.ct_invalid += ct.invalid;
+      counters_.ct_nat_allocated += ct.nat_allocated;
+      counters_.ct_nat_failures += ct.nat_failures;
+      counters_.ct_connections += pipeline_.conntrack(shard).size();
+    }
+  }
   return counters_;
 }
 
@@ -65,6 +88,12 @@ SoftSwitch::CoreStats SoftSwitch::core_stats(std::size_t core) const {
   stats.cache_evictions = shard.stats().evictions;
   stats.cache_megaflows = shard.megaflow_count();
   stats.cache_subtables = shard.subtable_count();
+  if (pipeline_.conntrack_enabled()) {
+    const openflow::ConnTracker& tracker = pipeline_.conntrack(core);
+    stats.ct_connections = tracker.size();
+    stats.ct_created = tracker.stats().created;
+    stats.ct_lookups = tracker.stats().lookups;
+  }
   return stats;
 }
 
@@ -199,10 +228,11 @@ void SoftSwitch::fault_crash() {
   restarting_ = true;
   ++failover_stats_.crashes;
   // A rebooting switch forgets everything: flow tables, groups, cached
-  // megaflows, standalone-learned stations.
+  // megaflows, tracked connections, standalone-learned stations.
   for (std::size_t t = 0; t < pipeline_.table_count(); ++t)
     pipeline_.table(t).remove(Match{}, /*strict=*/false);
   pipeline_.groups().clear();
+  if (pipeline_.conntrack_enabled()) pipeline_.ct_clear();
   if (pipeline_.cache_enabled()) {
     pipeline_.cache().invalidate_all();
     observe_cache_epoch();
@@ -352,6 +382,20 @@ void SoftSwitch::schedule_expiry_sweep() {
           break;
         }
     if (timed_entries_remain) schedule_expiry_sweep();
+  });
+}
+
+void SoftSwitch::schedule_ct_sweep() {
+  if (ct_sweep_scheduled_ || !pipeline_.conntrack_enabled()) return;
+  if (pipeline_.ct_connection_count() == 0) return;
+  ct_sweep_scheduled_ = true;
+  // Sweep at the configured cadence (the timer wheel quantizes entry
+  // deadlines to the same interval, so one sweep per bucket suffices);
+  // re-arm only while connections remain — idle engines still drain.
+  engine_.schedule_after(pipeline_.conntrack(0).config().sweep_interval, [this] {
+    ct_sweep_scheduled_ = false;
+    pipeline_.ct_expire(engine_.now());
+    schedule_ct_sweep();
   });
 }
 
@@ -565,6 +609,7 @@ sim::SimNanos SoftSwitch::service(int in_port, net::Packet&& packet) {
     observe_cache_epoch();
   }
 
+  if (result.ct_commits != 0) schedule_ct_sweep();
   dispatch_result(result, in_of_port, cost);
   return cost;
 }
@@ -668,6 +713,7 @@ sim::SimNanos SoftSwitch::service_burst(sim::ServicedNode::Burst&& burst) {
                     costs_.marginal_cost_ns(packet_result, cache) + shared_ns);
   }
   if (cache) observe_cache_epoch();
+  schedule_ct_sweep();  // arms only when live connections exist
   return cost;
 }
 

@@ -135,12 +135,23 @@ struct DatapathCosts {
   /// costlier than a cache hit — the legacy function without legacy
   /// silicon. Only charged while degraded in standalone mode.
   sim::SimNanos standalone_ns = 45;
+  /// Conntrack prelude classification: one hash probe of the per-core
+  /// connection table per IPv4 TCP/UDP packet while conntrack is
+  /// enabled (cache hit or miss alike — the ct_state stamp happens
+  /// before any cache probe). Zero-billed when conntrack is off.
+  sim::SimNanos ct_lookup_ns = 8;
+  /// One `ct` action traversal: create/refresh the connection entry,
+  /// advance TCP state, resolve the NAT rewrite. Paid on slow path and
+  /// megaflow replay alike — connection state always advances.
+  sim::SimNanos ct_commit_ns = 25;
 
   /// Everything but rx/tx for one pipeline result: the pipeline's own
   /// bill plus the cache accounting.
   [[nodiscard]] sim::SimNanos marginal_cost_ns(const openflow::PipelineResult& result,
                                                bool cache_enabled) const {
-    sim::SimNanos cost = result.cost_ns;
+    sim::SimNanos cost = result.cost_ns +
+                         static_cast<sim::SimNanos>(result.ct_lookups) * ct_lookup_ns +
+                         static_cast<sim::SimNanos>(result.ct_commits) * ct_commit_ns;
     if (cache_enabled) {
       cost += static_cast<sim::SimNanos>(result.cache_scanned) *
               (result.cache_linear ? cache_scan_ns : cache_subtable_ns);
@@ -295,6 +306,17 @@ class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
     std::uint64_t rx_queue_polls = 0;      // per-port RX queues polled across bursts
     // Multi-core datapath (zero with one core):
     std::uint64_t rss_steered = 0;         // per-packet steering hashes billed
+    // Conntrack tier (zero while conntrack is disabled); aggregated
+    // across the per-core shards at read time, like the cache fields:
+    std::uint64_t ct_lookups = 0;       // prelude classifications
+    std::uint64_t ct_hits = 0;          // classifications that found an entry
+    std::uint64_t ct_created = 0;       // connections committed
+    std::uint64_t ct_expired = 0;       // idle-timeout kills
+    std::uint64_t ct_evicted = 0;       // LRU reclaims at capacity
+    std::uint64_t ct_invalid = 0;       // unclassifiable (mid-stream TCP, NAT failures)
+    std::uint64_t ct_nat_allocated = 0;
+    std::uint64_t ct_nat_failures = 0;
+    std::size_t ct_connections = 0;     // live entries across shards
   };
   /// Datapath counters. The cache eviction/classifier fields are
   /// aggregated across the per-core shards at read time (they are
@@ -317,25 +339,37 @@ class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
     std::uint64_t cache_evictions = 0;  // CLOCK evictions in this shard
     std::size_t cache_megaflows = 0;    // resident megaflows in this shard
     std::size_t cache_subtables = 0;    // live subtables in this shard
+    std::size_t ct_connections = 0;     // live conntrack entries in this shard
+    std::uint64_t ct_created = 0;       // connections committed on this shard
+    std::uint64_t ct_lookups = 0;       // prelude classifications on this shard
   };
   [[nodiscard]] CoreStats core_stats(std::size_t core) const;
 
   /// Per-OF-port ingress queue stats (of_port is 1-based, like every
   /// OF-facing API here). Depth is the live backlog; drops and peak
   /// depth are cumulative — the per-port numbers the bench tables and
-  /// the DRR isolation tests assert on.
+  /// the DRR isolation tests assert on. Under the symmetric RSS grid a
+  /// port fronts one queue per core; these aggregate the whole group.
   [[nodiscard]] std::size_t rx_queue_depth(std::uint32_t of_port) const {
-    return of_port >= 1 && of_port <= rx_queue_count() ? rx_queue(of_port - 1).depth() : 0;
+    return of_port >= 1 ? port_queue_depth(of_port - 1) : 0;
   }
   [[nodiscard]] std::uint64_t rx_queue_drops(std::uint32_t of_port) const {
-    return of_port >= 1 && of_port <= rx_queue_count() ? rx_queue(of_port - 1).drops() : 0;
+    return of_port >= 1 ? port_queue_drops(of_port - 1) : 0;
   }
   [[nodiscard]] std::size_t rx_queue_peak_depth(std::uint32_t of_port) const {
-    return of_port >= 1 && of_port <= rx_queue_count() ? rx_queue(of_port - 1).peak_depth() : 0;
+    return of_port >= 1 ? port_queue_peak_depth(of_port - 1) : 0;
   }
 
   void set_costs(const DatapathCosts& costs) { costs_ = costs; }
   [[nodiscard]] const DatapathCosts& costs() const { return costs_; }
+
+  /// Enable the stateful conntrack tier (one connection-table shard per
+  /// worker core; see openflow/conntrack.hpp). Call before traffic,
+  /// like the other datapath shape knobs. Idle connections expire off a
+  /// self-disarming sweep timer (CtConfig::sweep_interval cadence).
+  void enable_conntrack(const openflow::CtConfig& config) {
+    pipeline_.enable_conntrack(config);
+  }
 
   /// Enable (or reconfigure) controller-loss handling. With the probe
   /// timer armed the engine's queue never drains — use run_until().
@@ -376,6 +410,10 @@ class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
   /// Resolve a (possibly reserved) OF output port into concrete ports.
   void resolve_output(std::uint32_t of_port, std::uint32_t in_of_port, net::Packet&& packet);
   void schedule_expiry_sweep();
+  /// Arm the conntrack expiry sweep (no-op when already armed or no
+  /// connections are live). Mirrors schedule_expiry_sweep: re-arms
+  /// itself only while entries remain, so idle engines still drain.
+  void schedule_ct_sweep();
 
   // ---- failover machinery (all inert while failover_.enabled() is
   // false — the default) ----
@@ -419,6 +457,7 @@ class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
   std::unordered_map<std::uint32_t, PatchBinding> patches_;
   std::vector<bool> port_up_;
   bool sweep_scheduled_ = false;
+  bool ct_sweep_scheduled_ = false;
   // Failover state. connected_ means "the switch believes its control
   // session is alive"; it starts true (attaching a channel is the
   // session) and only ever changes when failover is enabled.

@@ -28,4 +28,44 @@ constexpr std::uint64_t kHashSeed = 0xcbf29ce484222325ULL;
   return h;
 }
 
+/// Pack one flow endpoint (IPv4 address + L4 port) into a single u64 —
+/// the unit the symmetric flow hash sorts. 48 significant bits.
+[[nodiscard]] constexpr std::uint64_t flow_endpoint(std::uint64_t ip, std::uint64_t port) {
+  return (ip << 16) | (port & 0xffff);
+}
+
+/// Direction-insensitive flow hash: fold the two endpoints in sorted
+/// order (then the protocol), so hash(a→b) == hash(b→a) for every
+/// tuple. This is what RssPolicy::kSymmetric steers with and what the
+/// conntrack tier uses for NAT port selection — both directions of one
+/// connection must resolve to the same worker-core shard without
+/// cross-core locking. Two extra self-folds finalize the value so that
+/// `% cores` over small core counts sees well-mixed low bits.
+[[nodiscard]] constexpr std::uint64_t symmetric_flow_hash(std::uint64_t ip_a, std::uint64_t port_a,
+                                                          std::uint64_t ip_b, std::uint64_t port_b,
+                                                          std::uint64_t proto) {
+  const std::uint64_t a = flow_endpoint(ip_a, port_a);
+  const std::uint64_t b = flow_endpoint(ip_b, port_b);
+  const std::uint64_t lo = a < b ? a : b;
+  const std::uint64_t hi = a < b ? b : a;
+  std::uint64_t h = hash_u64(kHashSeed, lo);
+  h = hash_u64(h, hi);
+  h = hash_u64(h, proto);
+  h = hash_u64(h, h >> 32);
+  h = hash_u64(h, h >> 32);
+  return h;
+}
+
+/// Symmetric fold over a single unordered pair (no protocol/ports) —
+/// the non-IP fallback for symmetric steering (e.g. sorted MAC pairs,
+/// so an ARP request and its reply land on one core).
+[[nodiscard]] constexpr std::uint64_t symmetric_pair_hash(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t lo = a < b ? a : b;
+  const std::uint64_t hi = a < b ? b : a;
+  std::uint64_t h = hash_u64(kHashSeed, lo);
+  h = hash_u64(h, hi);
+  h = hash_u64(h, h >> 32);
+  return h;
+}
+
 }  // namespace harmless::util

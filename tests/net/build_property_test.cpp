@@ -118,6 +118,62 @@ TEST(BuildProperty, UdpTemplateStampHitsChecksumEdgeCases) {
   }
 }
 
+TEST(BuildProperty, TcpTemplateStampMatchesMakeTcpByteForByte) {
+  // Same contract as the UDP template: the stamped fast path must be
+  // indistinguishable from a full make_tcp build, across flag sets,
+  // payloads and a port sweep that exercises checksum carries.
+  util::Rng rng(2025);
+  const std::uint8_t flag_sets[] = {kTcpSyn, kTcpSyn | kTcpAck, kTcpAck, kTcpPsh | kTcpAck,
+                                    kTcpFin | kTcpAck};
+  for (const std::uint8_t flags : flag_sets) {
+    FlowKey key;
+    key.eth_src = MacAddr::from_u64(0x020000000000 | rng.below(1 << 20));
+    key.eth_dst = MacAddr::from_u64(0x020000000000 | rng.below(1 << 20));
+    key.ip_src = Ipv4Addr(static_cast<std::uint32_t>(rng.below(UINT32_MAX)));
+    key.ip_dst = Ipv4Addr(static_cast<std::uint32_t>(rng.below(UINT32_MAX)));
+    const std::string payload = (flags & kTcpPsh) != 0 ? "GET / HTTP/1.1\r\n\r\n" : "";
+    const TcpTemplate tmpl(key, flags, payload);
+    for (int i = 0; i < 64; ++i) {
+      key.src_port = static_cast<std::uint16_t>(rng.below(65536));
+      key.dst_port = static_cast<std::uint16_t>(rng.below(65536));
+      const Packet stamped = tmpl.stamp(key.src_port, key.dst_port);
+      const Packet built = make_tcp(key, flags, payload);
+      ASSERT_EQ(Bytes(stamped.frame().begin(), stamped.frame().end()),
+                Bytes(built.frame().begin(), built.frame().end()))
+          << "flags=" << int(flags) << " sport=" << key.src_port << " dport=" << key.dst_port;
+    }
+  }
+}
+
+TEST(BuildProperty, TcpTemplateStampHitsChecksumEdgeCases) {
+  // Unlike UDP, TCP has no zero-avoidance rule at the checksum field:
+  // a sum that folds to 0xffff really is stored as ~0xffff == 0. The
+  // port corners drive the incremental sum through both folds.
+  FlowKey key;
+  key.eth_src = MacAddr::from_u64(0x020000000011);
+  key.eth_dst = MacAddr::from_u64(0x020000000022);
+  key.ip_src = Ipv4Addr(192, 168, 1, 1);
+  key.ip_dst = Ipv4Addr(192, 168, 1, 2);
+  const TcpTemplate tmpl(key, kTcpSyn);
+  const std::uint16_t ports[] = {0, 1, 0x7fff, 0x8000, 0xfffe, 0xffff};
+  for (const std::uint16_t sport : ports) {
+    for (const std::uint16_t dport : ports) {
+      key.src_port = sport;
+      key.dst_port = dport;
+      const Packet stamped = tmpl.stamp(sport, dport);
+      const Packet built = make_tcp(key, kTcpSyn);
+      ASSERT_EQ(Bytes(stamped.frame().begin(), stamped.frame().end()),
+                Bytes(built.frame().begin(), built.frame().end()))
+          << "sport=" << sport << " dport=" << dport;
+      const ParsedPacket parsed = parse_packet(stamped);
+      ASSERT_TRUE(parsed.tcp);
+      EXPECT_EQ(parsed.src_port(), sport);
+      EXPECT_EQ(parsed.dst_port(), dport);
+      EXPECT_EQ(parsed.tcp->flags, kTcpSyn);
+    }
+  }
+}
+
 TEST(BuildProperty, TcpPayloadSurvivesChecksummedPath) {
   FlowKey key;
   key.eth_src = MacAddr::from_u64(1);

@@ -1,0 +1,203 @@
+// ConnTracker unit tests: the state machine, timeouts and expiry, LRU
+// capacity bounds, and NAT allocation (including the shard-affinity
+// property the symmetric-RSS datapath depends on).
+#include <gtest/gtest.h>
+
+#include "net/l4.hpp"
+#include "openflow/conntrack.hpp"
+#include "util/rng.hpp"
+
+namespace harmless::openflow {
+namespace {
+
+constexpr std::uint8_t kTcp = 6;
+constexpr std::uint8_t kUdp = 17;
+
+CtTuple tuple(std::uint32_t src_ip, std::uint16_t src_port, std::uint32_t dst_ip,
+              std::uint16_t dst_port, std::uint8_t proto = kTcp) {
+  return CtTuple{src_ip, dst_ip, src_port, dst_port, proto};
+}
+
+const CtAction kCommit{};
+
+TEST(ConnTracker, TcpLifecycleNewToEstablishedToClosing) {
+  ConnTracker ct(CtConfig{}, 1);
+  const CtTuple orig = tuple(0x0a000001, 40000, 0x0a000002, 80);
+
+  // Before any commit: a SYN is NEW, a mid-stream segment is INVALID.
+  EXPECT_EQ(ct.classify(orig, net::kTcpSyn, 0), kCtNew);
+  EXPECT_EQ(ct.classify(orig, net::kTcpAck, 0), kCtInvalid);
+
+  // SYN through ct: commits.
+  const CtOutcome opened = ct.process(orig, net::kTcpSyn, 1000, kCommit);
+  EXPECT_TRUE(opened.committed);
+  EXPECT_EQ(opened.state & kCtNew, kCtNew);
+  EXPECT_EQ(ct.size(), 1u);
+
+  // Original direction, pre-reply: tracked but not yet established.
+  EXPECT_EQ(ct.classify(orig, net::kTcpAck, 2000), kCtTracked);
+
+  // Reply direction classifies ESTABLISHED immediately (it proves
+  // bidirectionality), and its ct traversal flips seen_reply.
+  const CtTuple reply = orig.reversed();
+  EXPECT_EQ(ct.classify(reply, net::kTcpSyn | net::kTcpAck, 2000),
+            kCtTracked | kCtReply | kCtEstablished);
+  ct.process(reply, net::kTcpSyn | net::kTcpAck, 2000, kCommit);
+
+  // Now the original direction is established too.
+  EXPECT_EQ(ct.classify(orig, net::kTcpAck, 3000), kCtTracked | kCtEstablished);
+
+  // FIN demotes the entry to the transient timeout.
+  ct.process(orig, net::kTcpFin | net::kTcpAck, 4000, kCommit);
+  const auto entries = ct.snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries[0].closing);
+  EXPECT_TRUE(entries[0].seen_reply);
+  EXPECT_EQ(entries[0].expires_at, 4000 + CtConfig{}.tcp_transient_timeout);
+}
+
+TEST(ConnTracker, UdpTracksWithoutFlagsAndIdlesOut) {
+  CtConfig config;
+  config.udp_timeout = 1'000;
+  config.sweep_interval = 100;  // wheel buckets quantize up to this
+  ConnTracker ct(config, 1);
+  const CtTuple orig = tuple(0x0a000001, 5353, 0x0a000002, 53, kUdp);
+
+  EXPECT_EQ(ct.classify(orig, 0, 0), kCtNew);  // no SYN requirement for UDP
+  ct.process(orig, 0, 100, kCommit);
+  EXPECT_EQ(ct.classify(orig, 0, 500), kCtTracked);
+
+  // Idle past udp_timeout: the sweep reaps it.
+  EXPECT_EQ(ct.expire(2'000), 1u);
+  EXPECT_EQ(ct.size(), 0u);
+  EXPECT_EQ(ct.stats().expired, 1u);
+  EXPECT_EQ(ct.classify(orig, 0, 2'001), kCtNew);
+}
+
+TEST(ConnTracker, RefreshExtendsDeadlineAcrossStaleWheelBuckets) {
+  CtConfig config;
+  config.udp_timeout = 1'000;
+  config.sweep_interval = 100;
+  ConnTracker ct(config, 1);
+  const CtTuple orig = tuple(1, 1, 2, 2, kUdp);
+  ct.process(orig, 0, 0, kCommit);
+  // Refresh just before the original deadline; the stale wheel bucket
+  // must re-file, not kill.
+  ct.process(orig, 0, 900, kCommit);
+  EXPECT_EQ(ct.expire(1'000), 0u);
+  EXPECT_EQ(ct.size(), 1u);
+  EXPECT_EQ(ct.expire(2'000), 1u);
+}
+
+TEST(ConnTracker, LruEvictsOldestAtCapacity) {
+  CtConfig config;
+  config.max_connections = 4;
+  ConnTracker ct(config, 1);
+  for (std::uint16_t i = 0; i < 4; ++i)
+    ct.process(tuple(100 + i, i, 200, 80, kUdp), 0, i, kCommit);
+  // Touch connection 0 so connection 1 is the LRU victim.
+  ct.process(tuple(100, 0, 200, 80, kUdp), 0, 10, kCommit);
+
+  ct.process(tuple(500, 9, 200, 80, kUdp), 0, 20, kCommit);
+  EXPECT_EQ(ct.size(), 4u);
+  EXPECT_EQ(ct.stats().evicted, 1u);
+  EXPECT_EQ(ct.classify(tuple(101, 1, 200, 80, kUdp), 0, 21), kCtNew);    // evicted
+  EXPECT_EQ(ct.classify(tuple(100, 0, 200, 80, kUdp), 0, 21), kCtTracked);  // survived
+}
+
+TEST(ConnTracker, SnatAllocatesDistinctPortsAndTranslatesBothWays) {
+  ConnTracker ct(CtConfig{}, 1);
+  const CtAction snat{CtAction::Nat::kSource, 0xc0a80001, 49152, 65535};
+
+  // Two inside hosts using the same source port must get distinct
+  // external ports.
+  const CtOutcome a = ct.process(tuple(0x0a000001, 40000, 0x08080808, 80), net::kTcpSyn, 0, snat);
+  const CtOutcome b = ct.process(tuple(0x0a000002, 40000, 0x08080808, 80), net::kTcpSyn, 0, snat);
+  ASSERT_TRUE(a.rewrite);
+  ASSERT_TRUE(b.rewrite);
+  EXPECT_TRUE(a.translation.src);
+  EXPECT_EQ(a.translation.src_ip, 0xc0a80001u);
+  EXPECT_NE(a.translation.src_port, b.translation.src_port);
+  EXPECT_EQ(ct.stats().nat_allocated, 2u);
+
+  // The reply to the translated tuple maps back to the inside host.
+  const CtTuple reply = tuple(0x08080808, 80, 0xc0a80001, a.translation.src_port);
+  const CtOutcome back = ct.process(reply, net::kTcpAck, 100, kCommit);
+  ASSERT_TRUE(back.rewrite);
+  EXPECT_TRUE(back.translation.dst);
+  EXPECT_EQ(back.translation.dst_ip, 0x0a000001u);
+  EXPECT_EQ(back.translation.dst_port, 40000u);
+  EXPECT_EQ(back.state & kCtEstablished, kCtEstablished);
+}
+
+TEST(ConnTracker, SnatRepliesHashToTheCommittingShard) {
+  // The allocator property the sharded datapath depends on: the
+  // translated reply tuple must steer (symmetric hash % shards) to the
+  // same virtual shard as the original direction, for every shard
+  // count the benches use.
+  util::Rng rng(7);
+  for (const std::size_t shards : {1UL, 2UL, 4UL, 8UL}) {
+    CtConfig config;
+    config.nat_steer_shards = shards;
+    ConnTracker ct(config, 1);
+    const CtAction snat{CtAction::Nat::kSource, 0xc0a80001, 49152, 65535};
+    for (int i = 0; i < 200; ++i) {
+      const CtTuple orig = tuple(0x0a000000 + static_cast<std::uint32_t>(rng.below(1 << 16)),
+                                 static_cast<std::uint16_t>(1024 + rng.below(60000)),
+                                 0x08080808, 443);
+      const CtOutcome out = ct.process(orig, net::kTcpSyn, i, snat);
+      ASSERT_TRUE(out.rewrite);
+      const CtTuple reply =
+          tuple(orig.dst_ip, orig.dst_port, out.translation.src_ip, out.translation.src_port);
+      EXPECT_EQ(reply.symmetric_hash() % shards, orig.symmetric_hash() % shards)
+          << "shards=" << shards << " i=" << i;
+    }
+    EXPECT_EQ(ct.stats().nat_failures, 0u);
+  }
+}
+
+TEST(ConnTracker, DnatStoresMappingAndUntranslatesReplies) {
+  ConnTracker ct(CtConfig{}, 1);
+  const CtAction dnat{CtAction::Nat::kDest, 0x0a000063, 0, 0};  // keep dst port
+
+  const CtTuple orig = tuple(0xac100001, 30000, 0x0a000064, 80);  // client -> VIP
+  const CtOutcome fwd = ct.process(orig, net::kTcpSyn, 0, dnat);
+  ASSERT_TRUE(fwd.rewrite);
+  EXPECT_TRUE(fwd.translation.dst);
+  EXPECT_EQ(fwd.translation.dst_ip, 0x0a000063u);
+  EXPECT_EQ(fwd.translation.dst_port, 80u);  // port preserved
+
+  // Backend's reply: restore the VIP as source.
+  const CtTuple reply = tuple(0x0a000063, 80, 0xac100001, 30000);
+  const CtOutcome back = ct.process(reply, net::kTcpAck, 100, kCommit);
+  ASSERT_TRUE(back.rewrite);
+  EXPECT_TRUE(back.translation.src);
+  EXPECT_EQ(back.translation.src_ip, 0x0a000064u);
+  EXPECT_EQ(back.translation.src_port, 80u);
+
+  // Later original-direction packets re-derive the same mapping even
+  // through a plain (non-NAT) ct action — the stored mapping wins.
+  const CtOutcome again = ct.process(orig, net::kTcpAck, 200, kCommit);
+  ASSERT_TRUE(again.rewrite);
+  EXPECT_EQ(again.translation.dst_ip, 0x0a000063u);
+  EXPECT_EQ(ct.stats().nat_allocated, 1u);
+}
+
+TEST(ConnTracker, NextDeadlineDrivesSweepScheduling) {
+  CtConfig config;
+  config.udp_timeout = 1'000;
+  config.sweep_interval = 500;
+  ConnTracker ct(config, 1);
+  EXPECT_FALSE(ct.next_deadline().has_value());
+  ct.process(tuple(1, 1, 2, 2, kUdp), 0, 500, kCommit);
+  // expires_at = 1'500, quantized up to the 500ns wheel bucket.
+  const auto deadline = ct.next_deadline();
+  ASSERT_TRUE(deadline.has_value());
+  EXPECT_EQ(*deadline, 1'500);
+  ct.clear();
+  EXPECT_FALSE(ct.next_deadline().has_value());
+  EXPECT_EQ(ct.size(), 0u);
+}
+
+}  // namespace
+}  // namespace harmless::openflow
