@@ -37,7 +37,9 @@
 #include "controller/apps/learning.hpp"
 #include "controller/apps/static_flows.hpp"
 #include "controller/controller.hpp"
+#include "net/build.hpp"
 #include "sim/faults.hpp"
+#include "softswitch/replication.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -239,6 +241,274 @@ Row legacy_baseline(sim::SimNanos outage_ns) {
   return row;
 }
 
+// ---- Table 10: stateful HA — established-TCP survival ----------------
+//
+// A stateful firewall (only ct-tracked connections pass; everything
+// else drops) makes the conntrack table load-bearing: a mid-stream
+// segment with no entry classifies INVALID and dies at the priority-0
+// drop. Two HA scenarios measure established-TCP goodput through a
+// failure of the box that holds that table:
+//
+//   crash_restart — one switch crashes for 10 ms and restarts. Swept
+//       over the checkpoint interval: 0 (amnesiac — the PR-8 behaviour)
+//       must deliver ZERO established goodput after the restart; any
+//       checkpointing cadence must deliver > 0. Two flows expose
+//       snapshot staleness: one established long before the crash
+//       (every cadence images it) and one 1.8 ms before it (only a
+//       sub-1.8 ms cadence catches it).
+//
+//   takeover — active + standby behind a bench-local mux switch whose
+//       steering rules flip to the standby on the takeover callback.
+//       The active replicates conntrack deltas (and heartbeats) to the
+//       standby; crashing the active silences the stream and the
+//       standby promotes itself. Swept over replication lag (liveness
+//       detection AND state arrival both ride the sync session, so lag
+//       delays the takeover too) and over per-batch loss. The loss
+//       rows use an out-of-band detector (explicit takeover 2 ms after
+//       the crash) because a lossy sync session also eats heartbeats —
+//       random premature takeovers would measure the detector, not the
+//       state stream.
+
+constexpr std::uint64_t kPr8FaultFreeDigest = 14835486554983554809ULL;
+constexpr sim::SimNanos kHaCrashAt = 30 * kMs;
+constexpr sim::SimNanos kHaHeal = 40 * kMs;
+constexpr sim::SimNanos kHaEnd = 100 * kMs;
+
+std::vector<openflow::FlowModMsg> ct_firewall_rules() {
+  std::vector<openflow::FlowModMsg> rules;
+  for (int dir = 0; dir < 2; ++dir) {
+    openflow::FlowModMsg est;
+    est.table_id = 0;
+    est.priority = 30;
+    est.match.in_port(static_cast<std::uint32_t>(dir + 1)).ct_established();
+    est.instructions =
+        openflow::apply({openflow::ct_commit(), openflow::output(dir == 0 ? 2u : 1u)});
+    rules.push_back(est);
+  }
+  openflow::FlowModMsg open;
+  open.table_id = 0;
+  open.priority = 20;
+  open.match.in_port(1).ct_new();
+  open.instructions = openflow::apply({openflow::ct_commit(), openflow::output(2)});
+  rules.push_back(open);
+  openflow::FlowModMsg drop;
+  drop.table_id = 0;
+  drop.priority = 0;
+  rules.push_back(drop);
+  return rules;
+}
+
+struct HaRow {
+  std::string scenario;
+  double checkpoint_ms = -1;  // crash_restart axis; 0 = amnesiac
+  double lag_us = -1;         // takeover axes
+  double loss = -1;
+  std::string detector = "-";  // takeover: "monitor" | "external"
+  std::uint64_t offered = 0;   // segments offered after the measurement epoch
+  std::uint64_t delivered = 0;
+  double est_goodput_pct = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t ct_restored = 0;
+  std::uint64_t takeovers = 0;
+  std::uint64_t deltas_delivered = 0;
+  bool survived = false;
+};
+
+struct HaFlow {
+  net::FlowKey fwd;
+  net::FlowKey rev;
+  sim::SimNanos established_at = 0;
+};
+
+/// SYN at established_at, SYN|ACK 200 us later, then an ACK stream
+/// every kPacketInterval until `end`. Offered counts ACKs sent at or
+/// after `epoch` (the measurement window).
+void schedule_flow(sim::Engine& engine, sim::Host& a, sim::Host& b, const HaFlow& flow,
+                   sim::SimNanos end, sim::SimNanos epoch, std::uint64_t& offered) {
+  engine.schedule_at(flow.established_at,
+                     [&a, &flow] { a.send(net::make_tcp(flow.fwd, net::kTcpSyn)); });
+  engine.schedule_at(flow.established_at + 200'000, [&b, &flow] {
+    b.send(net::make_tcp(flow.rev, net::kTcpSyn | net::kTcpAck));
+  });
+  for (sim::SimNanos at = flow.established_at + 500'000; at < end; at += kPacketInterval) {
+    engine.schedule_at(at, [&a, &flow, &offered, at, epoch] {
+      if (at >= epoch) ++offered;
+      a.send(net::make_tcp(flow.fwd, net::kTcpAck));
+    });
+  }
+}
+
+HaRow run_crash_restart(sim::SimNanos checkpoint_interval) {
+  sim::Network network;
+  auto& sw = network.add_node<softswitch::SoftSwitch>("fw", 0xE0, 2, /*table_count=*/1);
+  sw.enable_conntrack(openflow::CtConfig{});
+  auto& a = network.add_host("a", host_mac(0), host_ip(0));
+  auto& b = network.add_host("b", host_mac(1), host_ip(1));
+  network.connect(a, 0, sw, 0, sim::LinkSpec::gbps(10));
+  network.connect(b, 0, sw, 1, sim::LinkSpec::gbps(10));
+
+  openflow::ControlChannel channel(network.engine());
+  channel.set_min_gap(5'000);
+  sw.attach_channel(channel);
+  softswitch::FailoverSpec spec;
+  spec.mode = softswitch::FailoverSpec::Mode::kFailSecure;
+  spec.echo_interval_ns = 500'000;
+  spec.checkpoint_interval_ns = checkpoint_interval;
+  sw.set_failover(spec);
+
+  controller::Controller ctrl;
+  auto& program = ctrl.add_app<controller::StaticFlowApp>();
+  for (const openflow::FlowModMsg& rule : ct_firewall_rules()) program.flow(rule);
+  ctrl.connect(channel, "fw");
+
+  sim::FaultInjector injector(network.engine());
+  injector.register_point("sw", sw);
+  sim::FaultPlan plan;
+  plan.crash("sw", kHaCrashAt, kHaHeal - kHaCrashAt);
+  injector.arm(plan);
+
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  b.set_on_receive([&network, &delivered](const net::Packet&, const net::ParsedPacket&) {
+    if (network.now() >= kHaHeal) ++delivered;
+  });
+
+  // Flow 0: established at 2 ms (every checkpoint cadence images it).
+  // Flow 1: established 1.8 ms before the crash (staleness probe).
+  std::vector<HaFlow> flows;
+  for (int i = 0; i < 2; ++i) {
+    const auto sport = static_cast<std::uint16_t>(40000 + i);
+    flows.push_back(HaFlow{net::FlowKey{a.mac(), b.mac(), a.ip(), b.ip(), sport, 80},
+                           net::FlowKey{b.mac(), a.mac(), b.ip(), a.ip(), 80, sport},
+                           i == 0 ? 2 * kMs : kHaCrashAt - 1'800'000});
+  }
+  for (const HaFlow& flow : flows)
+    schedule_flow(network.engine(), a, b, flow, kHaEnd, kHaHeal, offered);
+
+  network.run_until(kHaEnd);
+
+  HaRow row;
+  row.scenario = "crash_restart";
+  row.checkpoint_ms = static_cast<double>(checkpoint_interval) / static_cast<double>(kMs);
+  row.offered = offered;
+  row.delivered = delivered;
+  row.est_goodput_pct =
+      offered == 0 ? 0 : 100.0 * static_cast<double>(delivered) / static_cast<double>(offered);
+  row.checkpoints = sw.failover_stats().checkpoints;
+  row.ct_restored = sw.failover_stats().ct_restored;
+  row.survived = delivered > 0;
+  return row;
+}
+
+HaRow run_takeover(sim::SimNanos lag_ns, double loss, bool auto_monitor) {
+  constexpr std::size_t kFlowCount = 8;
+  sim::Network network;
+  auto& mux = network.add_node<softswitch::SoftSwitch>("mux", 0xE1, 6, /*table_count=*/1);
+  auto& act = network.add_node<softswitch::SoftSwitch>("act", 0xE2, 2, /*table_count=*/1);
+  auto& stb = network.add_node<softswitch::SoftSwitch>("stb", 0xE3, 2, /*table_count=*/1);
+  act.enable_conntrack(openflow::CtConfig{});
+  stb.enable_conntrack(openflow::CtConfig{});
+  auto& a = network.add_host("a", host_mac(0), host_ip(0));
+  auto& b = network.add_host("b", host_mac(1), host_ip(1));
+  network.connect(a, 0, mux, 0, sim::LinkSpec::gbps(10));
+  network.connect(b, 0, mux, 1, sim::LinkSpec::gbps(10));
+  // Mux OF 3/4 patch to the active's two firewall ports, OF 5/6 to the
+  // standby's.
+  mux.bind_patch(3, act, 1);
+  mux.bind_patch(4, act, 2);
+  mux.bind_patch(5, stb, 1);
+  mux.bind_patch(6, stb, 2);
+  for (const openflow::FlowModMsg& rule : ct_firewall_rules()) {
+    act.install(rule).check();
+    stb.install(rule).check();
+  }
+  const auto steer = [&mux](std::uint32_t in, std::uint32_t out, std::uint16_t priority) {
+    openflow::FlowModMsg mod;
+    mod.table_id = 0;
+    mod.priority = priority;
+    mod.match.in_port(in);
+    mod.instructions = openflow::apply({openflow::output(out)});
+    mux.install(mod).check();
+  };
+  steer(1, 3, 10);
+  steer(3, 1, 10);
+  steer(2, 4, 10);
+  steer(4, 2, 10);
+
+  softswitch::ReplicationSpec rspec;
+  rspec.latency_ns = lag_ns;
+  rspec.loss = loss;
+  // External detector: the monitor is parked (a lossy sync session
+  // also loses heartbeats) and the bench promotes the standby itself.
+  if (!auto_monitor) rspec.takeover_miss_threshold = 1'000'000;
+  softswitch::ReplicationChannel repl(network.engine(), rspec);
+  act.enable_ha_active(repl);
+  stb.enable_ha_standby(repl);
+  stb.set_ha_takeover_handler([&steer] {
+    steer(1, 5, 20);
+    steer(5, 1, 20);
+    steer(2, 6, 20);
+    steer(6, 2, 20);
+  });
+
+  sim::Engine& engine = network.engine();
+  engine.schedule_at(kHaCrashAt, [&act] { act.fault_crash(); });
+  if (!auto_monitor)
+    engine.schedule_at(kHaCrashAt + 2 * kMs, [&stb] { stb.ha_takeover(); });
+
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  b.set_on_receive([&network, &delivered](const net::Packet&, const net::ParsedPacket&) {
+    if (network.now() >= kHaCrashAt) ++delivered;
+  });
+
+  // Flows establish staggered across [14 ms, 28 ms): with lag, the
+  // youngest flows' deltas are still in flight (or arrive after the
+  // promotion and are refused) when the active dies.
+  std::vector<HaFlow> flows;
+  for (std::size_t i = 0; i < kFlowCount; ++i) {
+    const auto sport = static_cast<std::uint16_t>(41000 + i);
+    flows.push_back(HaFlow{net::FlowKey{a.mac(), b.mac(), a.ip(), b.ip(), sport, 80},
+                           net::FlowKey{b.mac(), a.mac(), b.ip(), a.ip(), 80, sport},
+                           14 * kMs + static_cast<sim::SimNanos>(i) * 2 * kMs});
+  }
+  for (const HaFlow& flow : flows) schedule_flow(engine, a, b, flow, kHaEnd, kHaCrashAt, offered);
+
+  network.run_until(kHaEnd);
+
+  HaRow row;
+  row.scenario = "takeover";
+  row.lag_us = static_cast<double>(lag_ns) / 1e3;
+  row.loss = loss;
+  row.detector = auto_monitor ? "monitor" : "external";
+  row.offered = offered;
+  row.delivered = delivered;
+  row.est_goodput_pct =
+      offered == 0 ? 0 : 100.0 * static_cast<double>(delivered) / static_cast<double>(offered);
+  row.takeovers = stb.failover_stats().takeovers;
+  row.deltas_delivered = repl.stats().deltas_delivered;
+  row.survived = delivered > 0;
+  return row;
+}
+
+Json to_json(const HaRow& row) {
+  Json json = Json::object();
+  json.set("scenario", row.scenario);
+  json.set("checkpoint_ms", row.checkpoint_ms);
+  json.set("lag_us", row.lag_us);
+  json.set("loss", row.loss);
+  json.set("detector", row.detector);
+  json.set("offered", row.offered);
+  json.set("delivered", row.delivered);
+  json.set("est_goodput_pct", row.est_goodput_pct);
+  json.set("checkpoints", row.checkpoints);
+  json.set("ct_restored", row.ct_restored);
+  json.set("takeovers", row.takeovers);
+  json.set("deltas_delivered", row.deltas_delivered);
+  json.set("survived", row.survived);
+  return json;
+}
+
 Json to_json(const Row& row) {
   Json json = Json::object();
   json.set("mode", row.mode);
@@ -303,28 +573,120 @@ int main(int argc, char** argv) {
   }
   std::cout << table.to_string() << '\n';
 
+  // ---- Table 10: stateful HA — established-TCP survival ----
+  std::cout << "Table 10: established-TCP goodput through a crash of the box holding the\n"
+               "conntrack table (checkpoint/restore vs amnesiac; active->standby takeover\n"
+               "across replication lag and loss)\n\n";
+
+  const std::vector<sim::SimNanos> checkpoint_intervals =
+      quick ? std::vector<sim::SimNanos>{0, kMs}
+            : std::vector<sim::SimNanos>{0, kMs, 5 * kMs, 20 * kMs};
+  const std::vector<sim::SimNanos> lags =
+      quick ? std::vector<sim::SimNanos>{50'000}
+            : std::vector<sim::SimNanos>{50'000, 8 * kMs, 20 * kMs};
+  const std::vector<double> losses =
+      quick ? std::vector<double>{0.0, 1.0} : std::vector<double>{0.0, 0.3, 0.7, 1.0};
+
+  util::Table table10({"scenario", "ckpt_ms", "lag_us", "loss", "detector", "est_good%",
+                       "delivered", "restored", "takeovers"});
+  Json rows10 = Json::array();
+  const auto add10 = [&table10, &rows10](const HaRow& row) {
+    table10.add_row(
+        {row.scenario, row.checkpoint_ms < 0 ? std::string("-") : util::format("%.0f", row.checkpoint_ms),
+         row.lag_us < 0 ? std::string("-") : util::format("%.0f", row.lag_us),
+         row.loss < 0 ? std::string("-") : util::format("%.1f", row.loss), row.detector,
+         util::format("%.1f", row.est_goodput_pct),
+         util::format("%llu/%llu", static_cast<unsigned long long>(row.delivered),
+                      static_cast<unsigned long long>(row.offered)),
+         util::format("%llu", static_cast<unsigned long long>(row.ct_restored)),
+         util::format("%llu", static_cast<unsigned long long>(row.takeovers))});
+    rows10.push(to_json(row));
+  };
+
+  bool amnesiac_zero = true;
+  bool checkpoint_survives = true;
+  for (const sim::SimNanos interval : checkpoint_intervals) {
+    const HaRow row = run_crash_restart(interval);
+    if (interval == 0 && row.delivered != 0) amnesiac_zero = false;
+    if (interval > 0 && !row.survived) checkpoint_survives = false;
+    add10(row);
+  }
+
+  double zero_lag_goodput = 0;
+  bool lag_monotone = true;
+  double previous = 101.0;
+  for (const sim::SimNanos lag : lags) {
+    const HaRow row = run_takeover(lag, 0.0, /*auto_monitor=*/true);
+    if (lag == 50'000) zero_lag_goodput = row.est_goodput_pct;
+    if (row.est_goodput_pct > previous + 1e-9) lag_monotone = false;
+    previous = row.est_goodput_pct;
+    add10(row);
+  }
+  bool loss_monotone = true;
+  previous = 101.0;
+  for (const double loss : losses) {
+    const HaRow row = run_takeover(50'000, loss, /*auto_monitor=*/false);
+    if (row.est_goodput_pct > previous + 1e-9) loss_monotone = false;
+    previous = row.est_goodput_pct;
+    add10(row);
+  }
+  std::cout << table10.to_string() << '\n';
+
   // Fault-free determinism guard: the outage-free scenario twice, bit
-  // identical or the bench fails (the chaos-smoke CI gate).
+  // identical or the bench fails (the chaos-smoke CI gate) — and, new
+  // in the HA PR, pinned to the PR-8 digest: with checkpointing off
+  // and no standby the whole HA layer must be byte-invisible.
   const Row free1 = run_scenario(softswitch::FailoverSpec::Mode::kFailSecure, 0, 16);
   const Row free2 = run_scenario(softswitch::FailoverSpec::Mode::kFailSecure, 0, 16);
   const bool deterministic = free1.digest == free2.digest;
+  const bool ha_off_identical = free1.digest == kPr8FaultFreeDigest;
   std::cout << "fault-free determinism: " << (deterministic ? "OK" : "DRIFT") << '\n';
+  std::cout << "HA-off byte-identity vs PR 8: " << (ha_off_identical ? "OK" : "DRIFT") << '\n';
 
   Json report = Json::object();
   report.set("table8", std::move(rows));
+  report.set("table10", std::move(rows10));
   Json guard = Json::object();
   guard.set("fault_free_digest_match", deterministic);
   guard.set("all_faulted_rows_recovered", all_recovered);
+  guard.set("ha_off_matches_pr8_digest", ha_off_identical);
+  guard.set("amnesiac_restart_zero_goodput", amnesiac_zero);
+  guard.set("checkpointed_restart_survives", checkpoint_survives);
+  guard.set("takeover_zero_lag_goodput_pct", zero_lag_goodput);
+  guard.set("takeover_lag_monotone", lag_monotone);
+  guard.set("takeover_loss_monotone", loss_monotone);
   report.set("guards", std::move(guard));
   write_bench_json("BENCH_faults.json", report);
 
+  bool ok = true;
   if (!deterministic) {
     std::cerr << "FAIL: fault-free runs diverged\n";
-    return 1;
+    ok = false;
+  }
+  if (!ha_off_identical) {
+    std::cerr << "FAIL: HA-off run is not byte-identical to the PR 8 baseline\n";
+    ok = false;
   }
   if (!all_recovered) {
     std::cerr << "FAIL: a faulted scenario never reconnected + resynced\n";
-    return 1;
+    ok = false;
   }
-  return 0;
+  if (!amnesiac_zero) {
+    std::cerr << "FAIL: an amnesiac restart delivered established goodput\n";
+    ok = false;
+  }
+  if (!checkpoint_survives) {
+    std::cerr << "FAIL: a checkpointed restart delivered zero established goodput\n";
+    ok = false;
+  }
+  if (zero_lag_goodput < 90.0) {
+    std::cerr << "FAIL: zero-lag takeover kept only " << zero_lag_goodput
+              << "% established goodput (need >= 90%)\n";
+    ok = false;
+  }
+  if (!lag_monotone || !loss_monotone) {
+    std::cerr << "FAIL: takeover goodput did not degrade monotonically with lag/loss\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

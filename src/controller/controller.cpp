@@ -28,8 +28,21 @@ void Session::run_resync() {
   // Audit what survived on the datapath (observability: apps reinstall
   // idempotently regardless; the audit tells Table 8 how much state
   // outlived the outage)...
-  request_flow_stats(
-      [this](const FlowStatsReplyMsg& reply) { last_audit_flows_ = reply.flows.size(); });
+  request_flow_stats([this](const FlowStatsReplyMsg& reply) {
+    last_audit_flows_ = reply.flows.size();
+    // Warm/cold classification (PR 9): a datapath that still holds flow
+    // state across the outage (controller-side crash, or a stateful
+    // restart that restored it) resyncs warm — its surviving flows will
+    // not storm packet-ins, so recovery tooling can deprioritize it. An
+    // empty audit is a cold (wiped) switch.
+    if (last_audit_flows_ > 0) {
+      ++warm_resyncs_;
+      ++owner_.stats_.warm_resyncs;
+    } else {
+      ++cold_resyncs_;
+      ++owner_.stats_.cold_resyncs;
+    }
+  });
   // ...re-run the apps' programming...
   owner_.dispatch_reconnect(*this);
   // ...and fence it: FIFO delivery means the barrier reaches the

@@ -78,6 +78,11 @@ class Session {
   /// Flow entries the pre-resync audit found still installed on the
   /// datapath (what survived the outage).
   [[nodiscard]] std::uint64_t last_audit_flows() const { return last_audit_flows_; }
+  /// Resyncs whose audit found surviving flow state (the datapath kept
+  /// its tables — e.g. a controller-side outage, or a stateful restore).
+  [[nodiscard]] std::uint64_t warm_resyncs() const { return warm_resyncs_; }
+  /// Resyncs against an empty (wiped/rebooted) datapath.
+  [[nodiscard]] std::uint64_t cold_resyncs() const { return cold_resyncs_; }
 
  private:
   /// Full-state resync: audit the surviving flow table, re-run the
@@ -94,6 +99,8 @@ class Session {
   std::uint64_t echo_replies_ = 0;
   std::uint64_t resyncs_ = 0;
   std::uint64_t last_audit_flows_ = 0;
+  std::uint64_t warm_resyncs_ = 0;
+  std::uint64_t cold_resyncs_ = 0;
   std::vector<std::function<void(const openflow::FlowStatsReplyMsg&)>> stats_callbacks_;
 };
 
@@ -157,7 +164,9 @@ class Controller : public sim::FaultPoint {
     std::uint64_t errors = 0;
     std::uint64_t crashes = 0;
     std::uint64_t restarts = 0;
-    std::uint64_t resyncs = 0;  // across all sessions
+    std::uint64_t resyncs = 0;       // across all sessions
+    std::uint64_t warm_resyncs = 0;  // audits that found surviving flow state
+    std::uint64_t cold_resyncs = 0;  // audits against a wiped datapath
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

@@ -53,10 +53,27 @@ Fabric Fabric::build(sim::Network& network, legacy::LegacySwitch& device, const 
 }
 
 void Fabric::register_faults(sim::FaultInjector& injector) {
+  // Legacy aliases (the original hard-coded four): whole-trunk, the
+  // control channel, and the two switches.
   for (sim::Channel* channel : trunk_channels_) injector.register_link("trunk", *channel);
   if (channel_) injector.register_point("control", *channel_);
   if (ss1_ != nullptr) injector.register_point("ss1", *ss1_);
   if (ss2_ != nullptr) injector.register_point("ss2", *ss2_);
+  // Derived names — every component self-registers, so plans scale to
+  // any fabric shape without new hard-coding here.
+  if (ss1_ != nullptr) injector.register_point("switch:SS_1", *ss1_);
+  if (ss2_ != nullptr) injector.register_point("switch:SS_2", *ss2_);
+  if (channel_) injector.register_point("control:SS_2", *channel_);
+  // Per-leg trunk targets: trunk_channels_ holds both directions of
+  // each bonded leg, in leg order.
+  for (std::size_t i = 0; i < trunk_channels_.size(); ++i)
+    injector.register_link("trunk:leg" + std::to_string(i / 2), *trunk_channels_[i]);
+}
+
+void Fabric::register_faults(sim::FaultInjector& injector, sim::Network& network) {
+  register_faults(injector);
+  for (const auto& channel : network.channels())
+    injector.register_link("link:" + channel->label(), *channel);
 }
 
 void Fabric::set_trunk_up(bool up) {

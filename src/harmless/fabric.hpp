@@ -100,13 +100,22 @@ class Fabric {
   void set_trunk_up(bool up);
   [[nodiscard]] bool trunk_up() const { return trunk_up_; }
 
-  /// Register the fabric's failure surface with a FaultInjector:
-  ///   "trunk"   — every trunk cable (both directions)
-  ///   "control" — the SS_2 control channel
-  ///   "ss1"/"ss2" — the soft switches (crash/restart faults)
-  /// The caller registers its Controller separately (the fabric does
-  /// not own one).
+  /// Register the fabric's failure surface with a FaultInjector. Every
+  /// component is auto-registered under a derived name, so FaultPlans
+  /// scale to any topology without hard-coding:
+  ///   "switch:<name>"  — each soft switch (crash/restart faults)
+  ///   "control:<name>" — each control channel (named by its switch)
+  ///   "trunk:leg<k>"   — each bonded trunk leg (both directions)
+  /// The legacy four ("trunk" = all legs, "control", "ss1", "ss2")
+  /// stay registered as aliases — existing plans keep working. The
+  /// caller registers its Controller separately (the fabric does not
+  /// own one).
   void register_faults(sim::FaultInjector& injector);
+
+  /// Same, plus every channel of `network` under "link:<label>" (e.g.
+  /// "link:legacy:4->SS_1") — the whole-network failure surface for
+  /// chaos schedules that flap arbitrary cables.
+  void register_faults(sim::FaultInjector& injector, sim::Network& network);
 
  private:
   Fabric(PortMap map, TranslatorRules rules) : map_(std::move(map)), rules_(std::move(rules)) {}

@@ -49,7 +49,10 @@ std::uint64_t ConnTracker::classify(const CtTuple& tuple, std::uint8_t tcp_flags
 
 sim::SimNanos ConnTracker::timeout_for(const ConnEntry& entry) const {
   if (entry.orig.proto != kProtoTcp) return config_.udp_timeout;
-  if (entry.closing || !entry.seen_reply) return config_.tcp_transient_timeout;
+  // Unconfirmed (restored/demoted) entries get the transient timeout
+  // even when seen_reply: real traffic must re-confirm them before the
+  // full established idle budget applies.
+  if (entry.closing || !entry.seen_reply || !entry.confirmed) return config_.tcp_transient_timeout;
   return config_.tcp_established_timeout;
 }
 
@@ -93,8 +96,20 @@ void ConnTracker::file_deadline(std::uint32_t id, const Slot& slot) {
   wheel_[bucket].emplace_back(id, slot.generation);
 }
 
-void ConnTracker::kill(std::uint32_t id, bool /*expired*/) {
+void ConnTracker::emit_delta(CtDelta::Kind kind, const ConnEntry& entry, sim::SimNanos now) {
+  if (!delta_sink_) return;
+  CtDelta delta;
+  delta.kind = kind;
+  delta.entry = CtSnapshotEntry{entry.orig, entry.reply, entry.nat, entry.seen_reply,
+                                entry.closing,
+                                entry.expires_at > now ? entry.expires_at - now : 0};
+  ++stats_.deltas_emitted;
+  delta_sink_(delta);
+}
+
+void ConnTracker::kill(std::uint32_t id, bool /*expired*/, sim::SimNanos now) {
   Slot& slot = slots_[id];
+  emit_delta(CtDelta::Kind::kClose, slot.entry, now);
   orig_map_.erase(slot.entry.orig);
   reply_map_.erase(slot.entry.reply);
   lru_unlink(id);
@@ -106,6 +121,10 @@ void ConnTracker::kill(std::uint32_t id, bool /*expired*/) {
 void ConnTracker::refresh(Slot& slot, std::uint32_t id, bool reply_dir, std::uint8_t tcp_flags,
                           sim::SimNanos now) {
   ConnEntry& entry = slot.entry;
+  const bool was_reply = entry.seen_reply;
+  const bool was_closing = entry.closing;
+  const bool was_confirmed = entry.confirmed;
+  entry.confirmed = true;  // real traffic re-confirms a restored entry
   if (reply_dir) {
     entry.seen_reply = true;
     ++entry.packets_reply;
@@ -119,6 +138,11 @@ void ConnTracker::refresh(Slot& slot, std::uint32_t id, bool reply_dir, std::uin
   entry.expires_at = now + timeout_for(entry);
   lru_touch(id);
   ++stats_.refreshed;
+  // Replicate state *advances* only — per-packet refreshes stay local,
+  // so the sync stream scales with connection churn, not with traffic.
+  if ((entry.seen_reply && !was_reply) || (entry.closing && !was_closing) || !was_confirmed) {
+    emit_delta(CtDelta::Kind::kUpdate, entry, now);
+  }
   // The wheel reference filed at creation (or at the last sweep) stays
   // put; the sweep re-files the entry when its stale bucket comes due.
 }
@@ -159,7 +183,7 @@ CtOutcome ConnTracker::process(const CtTuple& tuple, std::uint8_t tcp_flags, sim
   if (auto it = orig_map_.find(tuple); it != orig_map_.end()) {
     const std::uint32_t id = it->second;
     if (slots_[id].entry.expires_at <= now) {
-      kill(id, true);
+      kill(id, true, now);
       ++stats_.expired;
     } else {
       Slot& slot = slots_[id];
@@ -183,7 +207,7 @@ CtOutcome ConnTracker::process(const CtTuple& tuple, std::uint8_t tcp_flags, sim
   if (auto it = reply_map_.find(tuple); it != reply_map_.end()) {
     const std::uint32_t id = it->second;
     if (slots_[id].entry.expires_at <= now) {
-      kill(id, true);
+      kill(id, true, now);
       ++stats_.expired;
     } else {
       Slot& slot = slots_[id];
@@ -254,7 +278,7 @@ CtOutcome ConnTracker::process(const CtTuple& tuple, std::uint8_t tcp_flags, sim
   }
 
   if (orig_map_.size() >= config_.max_connections && lru_tail_ != kNil) {
-    kill(lru_tail_, false);
+    kill(lru_tail_, false, now);
     ++stats_.evicted;
   }
 
@@ -274,6 +298,7 @@ CtOutcome ConnTracker::process(const CtTuple& tuple, std::uint8_t tcp_flags, sim
   file_deadline(id, slot);
   ++stats_.created;
   out.committed = true;
+  emit_delta(CtDelta::Kind::kCommit, slot.entry, now);
   return out;
 }
 
@@ -285,7 +310,7 @@ std::size_t ConnTracker::expire(sim::SimNanos now) {
       Slot& slot = slots_[id];
       if (!slot.live || slot.generation != generation) continue;
       if (slot.entry.expires_at <= now) {
-        kill(id, true);
+        kill(id, true, now);
         ++stats_.expired;
         ++expired;
       } else {
@@ -318,6 +343,242 @@ void ConnTracker::clear() {
   wheel_.clear();
   lru_head_ = lru_tail_ = kNil;
   // Stats survive a clear — a datapath crash wipes state, not counters.
+  // The delta sink survives too: it is wiring, not connection state.
+}
+
+// --- checkpoint/restore ---------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x4354534e;  // "CTSN"
+constexpr std::uint16_t kSnapshotVersion = 1;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) out.push_back(static_cast<std::uint8_t>(v >> (b * 8)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) out.push_back(static_cast<std::uint8_t>(v >> (b * 8)));
+}
+void put_tuple(std::vector<std::uint8_t>& out, const CtTuple& t) {
+  put_u32(out, t.src_ip);
+  put_u32(out, t.dst_ip);
+  put_u16(out, t.src_port);
+  put_u16(out, t.dst_port);
+  out.push_back(t.proto);
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& bytes;
+  std::size_t at = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (at + 1 > bytes.size()) return ok = false, 0;
+    return bytes[at++];
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = u8();
+    return static_cast<std::uint16_t>(v | (static_cast<std::uint16_t>(u8()) << 8));
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) v |= static_cast<std::uint32_t>(u8()) << (b * 8);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v |= static_cast<std::uint64_t>(u8()) << (b * 8);
+    return v;
+  }
+  CtTuple tuple() {
+    CtTuple t;
+    t.src_ip = u32();
+    t.dst_ip = u32();
+    t.src_port = u16();
+    t.dst_port = u16();
+    t.proto = u8();
+    return t;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> CtSnapshot::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(18 + entries.size() * 42);
+  put_u32(out, kSnapshotMagic);
+  put_u16(out, kSnapshotVersion);
+  put_u64(out, static_cast<std::uint64_t>(taken_at));
+  put_u32(out, static_cast<std::uint32_t>(entries.size()));
+  for (const CtSnapshotEntry& e : entries) {
+    put_tuple(out, e.orig);
+    put_tuple(out, e.reply);
+    out.push_back(static_cast<std::uint8_t>(e.nat.kind));
+    put_u32(out, e.nat.ip);
+    put_u16(out, e.nat.port);
+    out.push_back(static_cast<std::uint8_t>((e.seen_reply ? 1 : 0) | (e.closing ? 2 : 0)));
+    put_u64(out, static_cast<std::uint64_t>(e.remaining_ns));
+  }
+  return out;
+}
+
+std::optional<CtSnapshot> CtSnapshot::parse(const std::vector<std::uint8_t>& bytes) {
+  Reader in{bytes};
+  if (in.u32() != kSnapshotMagic) return std::nullopt;
+  if (in.u16() != kSnapshotVersion) return std::nullopt;
+  CtSnapshot snap;
+  snap.taken_at = static_cast<sim::SimNanos>(in.u64());
+  const std::uint32_t count = in.u32();
+  if (!in.ok) return std::nullopt;
+  snap.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CtSnapshotEntry e;
+    e.orig = in.tuple();
+    e.reply = in.tuple();
+    e.nat.kind = static_cast<CtAction::Nat>(in.u8());
+    e.nat.ip = in.u32();
+    e.nat.port = in.u16();
+    const std::uint8_t flags = in.u8();
+    e.seen_reply = (flags & 1) != 0;
+    e.closing = (flags & 2) != 0;
+    e.remaining_ns = static_cast<sim::SimNanos>(in.u64());
+    if (!in.ok) return std::nullopt;
+    snap.entries.push_back(e);
+  }
+  if (in.at != bytes.size()) return std::nullopt;  // trailing garbage
+  return snap;
+}
+
+CtSnapshot ConnTracker::checkpoint(sim::SimNanos now) {
+  CtSnapshot snap;
+  snap.taken_at = now;
+  snap.entries.reserve(orig_map_.size());
+  for (const Slot& slot : slots_) {
+    if (!slot.live) continue;
+    const ConnEntry& e = slot.entry;
+    if (e.expires_at <= now) continue;  // already dead, just unswept
+    snap.entries.push_back(CtSnapshotEntry{e.orig, e.reply, e.nat, e.seen_reply, e.closing,
+                                           e.expires_at - now});
+  }
+  ++stats_.checkpoints;
+  return snap;
+}
+
+CtRestoreResult ConnTracker::restore(const CtSnapshot& snapshot, sim::SimNanos now) {
+  CtRestoreResult result;
+  for (const CtSnapshotEntry& e : snapshot.entries) {
+    // Mid-handshake TCP (never saw a reply): the peer will retransmit
+    // its SYN and re-commit cleanly; restoring a half-open entry only
+    // risks resurrecting a connection that never completed.
+    const bool half_open = e.orig.proto == kProtoTcp && !e.seen_reply;
+    const bool collides = orig_map_.contains(e.orig) || reply_map_.contains(e.reply) ||
+                          reply_map_.contains(e.orig) || orig_map_.contains(e.reply);
+    if (half_open || e.remaining_ns <= 0 || collides ||
+        orig_map_.size() >= config_.max_connections) {
+      ++result.dropped;
+      ++stats_.restore_dropped;
+      continue;
+    }
+    const std::uint32_t id = allocate_slot();
+    Slot& slot = slots_[id];
+    slot.entry = ConnEntry{};
+    slot.entry.orig = e.orig;
+    slot.entry.reply = e.reply;
+    slot.entry.nat = e.nat;
+    slot.entry.seen_reply = e.seen_reply;
+    slot.entry.closing = e.closing;
+    slot.entry.confirmed = false;  // demoted until traffic re-confirms
+    slot.entry.last_seen = now;
+    const sim::SimNanos cap = timeout_for(slot.entry);  // transient for TCP
+    slot.entry.expires_at = now + (e.remaining_ns < cap ? e.remaining_ns : cap);
+    slot.live = true;
+    orig_map_.emplace(e.orig, id);
+    reply_map_.emplace(e.reply, id);
+    lru_push_front(id);
+    file_deadline(id, slot);
+    ++result.restored;
+    ++stats_.restored;
+  }
+  return result;
+}
+
+// --- active→standby replication -------------------------------------
+
+void ConnTracker::apply_delta(const CtDelta& delta, sim::SimNanos now) {
+  ++stats_.deltas_applied;
+  const CtSnapshotEntry& e = delta.entry;
+  const auto it = orig_map_.find(e.orig);
+
+  if (delta.kind == CtDelta::Kind::kClose) {
+    if (it != orig_map_.end() && slots_[it->second].entry.reply == e.reply) {
+      kill(it->second, false, now);
+    }
+    return;
+  }
+
+  if (it != orig_map_.end()) {
+    // In-place advance of a connection we already mirror. A reply-tuple
+    // mismatch means a different connection owns the key: drop rather
+    // than corrupt the reverse map.
+    Slot& slot = slots_[it->second];
+    if (!(slot.entry.reply == e.reply)) return;
+    slot.entry.seen_reply = e.seen_reply;
+    slot.entry.closing = e.closing;
+    slot.entry.nat = e.nat;
+    slot.entry.confirmed = true;
+    slot.entry.last_seen = now;
+    slot.entry.expires_at = now + e.remaining_ns;
+    lru_touch(it->second);
+    file_deadline(it->second, slot);
+    return;
+  }
+
+  // New to this replica (a commit, or an update whose commit was lost):
+  // insert, unless it collides with live local state.
+  if (e.remaining_ns <= 0 || reply_map_.contains(e.reply) || orig_map_.contains(e.reply) ||
+      reply_map_.contains(e.orig)) {
+    return;
+  }
+  if (orig_map_.size() >= config_.max_connections && lru_tail_ != kNil) {
+    kill(lru_tail_, false, now);
+    ++stats_.evicted;
+  }
+  const std::uint32_t id = allocate_slot();
+  Slot& slot = slots_[id];
+  slot.entry = ConnEntry{};
+  slot.entry.orig = e.orig;
+  slot.entry.reply = e.reply;
+  slot.entry.nat = e.nat;
+  slot.entry.seen_reply = e.seen_reply;
+  slot.entry.closing = e.closing;
+  slot.entry.confirmed = true;  // the live stream itself vouches for it
+  slot.entry.last_seen = now;
+  slot.entry.expires_at = now + e.remaining_ns;
+  slot.live = true;
+  orig_map_.emplace(e.orig, id);
+  reply_map_.emplace(e.reply, id);
+  lru_push_front(id);
+  file_deadline(id, slot);
+}
+
+std::size_t ConnTracker::demote_all(sim::SimNanos now) {
+  std::size_t demoted = 0;
+  for (std::uint32_t id = 0; id < slots_.size(); ++id) {
+    Slot& slot = slots_[id];
+    if (!slot.live) continue;
+    slot.entry.confirmed = false;
+    const sim::SimNanos cap = now + timeout_for(slot.entry);
+    if (slot.entry.expires_at > cap) {
+      slot.entry.expires_at = cap;
+      file_deadline(id, slot);
+    }
+    ++demoted;
+  }
+  return demoted;
 }
 
 }  // namespace harmless::openflow

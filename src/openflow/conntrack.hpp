@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -109,10 +110,58 @@ struct ConnEntry {
   CtNat nat;
   bool seen_reply = false;
   bool closing = false;  // TCP FIN/RST observed: transient timeout
+  /// False only for entries that came in via restore() or were demoted
+  /// at takeover: they classify exactly like confirmed entries (so
+  /// surviving flows keep their ESTABLISHED fast path) but idle out on
+  /// the *transient* timeout until real traffic re-traverses `ct` —
+  /// a stale snapshot can never keep a dead flow alive as ESTABLISHED.
+  bool confirmed = true;
   sim::SimNanos last_seen = 0;
   sim::SimNanos expires_at = 0;
   std::uint64_t packets_orig = 0;
   std::uint64_t packets_reply = 0;
+};
+
+/// One connection as carried by a checkpoint or a replication delta:
+/// everything needed to rebuild the entry except its packet counters
+/// and absolute deadlines (remaining_ns is deadline-relative so the
+/// restore side can re-arm against its own clock).
+struct CtSnapshotEntry {
+  CtTuple orig;
+  CtTuple reply;
+  CtNat nat;
+  bool seen_reply = false;
+  bool closing = false;
+  sim::SimNanos remaining_ns = 0;  // expires_at - snapshot time
+};
+
+/// A compact point-in-time image of one shard's connection table.
+struct CtSnapshot {
+  sim::SimNanos taken_at = 0;
+  std::vector<CtSnapshotEntry> entries;
+
+  /// Wire form: little-endian packed POD, 42 bytes per entry plus a
+  /// fixed header with magic/version/count (so a truncated or foreign
+  /// blob parses to nullopt instead of garbage connections).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<CtSnapshot> parse(const std::vector<std::uint8_t>& bytes);
+};
+
+/// One incremental replication event: a new connection (kCommit), a
+/// state advance — reply seen, FIN/RST observed (kUpdate), or a
+/// removal — expiry, eviction, explicit kill (kClose).
+struct CtDelta {
+  enum class Kind : std::uint8_t { kCommit = 0, kUpdate = 1, kClose = 2 };
+  Kind kind = Kind::kCommit;
+  CtSnapshotEntry entry;
+};
+
+using CtDeltaSink = std::function<void(const CtDelta&)>;
+
+/// What restore() did with a snapshot's entries.
+struct CtRestoreResult {
+  std::size_t restored = 0;
+  std::size_t dropped = 0;  // mid-handshake, expired, collisions, capacity
 };
 
 /// Shard-summable counters (Counters/CoreStats surface them).
@@ -126,6 +175,12 @@ struct CtStats {
   std::uint64_t invalid = 0;    // unclassifiable packets seen
   std::uint64_t nat_allocated = 0;
   std::uint64_t nat_failures = 0;  // allocation/collision failures
+  // --- stateful-HA counters (checkpoint/restore + replication) ---
+  std::uint64_t checkpoints = 0;      // snapshots taken
+  std::uint64_t restored = 0;         // entries accepted by restore()
+  std::uint64_t restore_dropped = 0;  // entries restore() refused
+  std::uint64_t deltas_emitted = 0;   // replication events published
+  std::uint64_t deltas_applied = 0;   // replication events consumed
 };
 
 /// What one `ct` action traversal did (see ConnTracker::process).
@@ -177,6 +232,47 @@ class ConnTracker {
 
   void clear();
 
+  // --- stateful HA: checkpoint/restore ---
+
+  /// Serialize every still-live connection into a restorable image
+  /// (entries already past their deadline are left out). Counts
+  /// stats().checkpoints.
+  CtSnapshot checkpoint(sim::SimNanos now);
+
+  /// Rebuild connections from a snapshot taken before a crash. Per
+  /// entry, in snapshot order:
+  ///   * TCP entries that never saw a reply are dropped — a snapshot
+  ///     mid-handshake must not resurrect a half-open connection.
+  ///   * Entries whose remaining timeout already ran out are dropped.
+  ///   * Entries colliding with live state (either tuple, either map)
+  ///     are dropped — live state wins over a stale image.
+  ///   * Survivors are inserted *unconfirmed*: they classify as before
+  ///     (ESTABLISHED for seen_reply entries) but their deadline is
+  ///     re-armed at min(remaining, transient timeout) until real
+  ///     traffic re-confirms them through `ct`.
+  /// The timer wheel is re-filed for every accepted entry.
+  CtRestoreResult restore(const CtSnapshot& snapshot, sim::SimNanos now);
+
+  // --- stateful HA: active→standby replication ---
+
+  /// Install the incremental replication stream: the sink fires on
+  /// every commit, state advance, and removal. Pass nullptr to stop
+  /// publishing. Restore/apply paths never echo into the sink.
+  void set_delta_sink(CtDeltaSink sink) { delta_sink_ = std::move(sink); }
+
+  /// Consume one replication event on the standby side: upsert for
+  /// kCommit/kUpdate (collisions with live local state are dropped),
+  /// removal for kClose. Entries land *confirmed* — freshness comes
+  /// from the live stream itself, not from traffic.
+  void apply_delta(const CtDelta& delta, sim::SimNanos now);
+
+  /// Takeover hygiene: mark every live entry unconfirmed and clamp its
+  /// deadline to the transient timeout, so connections that died while
+  /// the replication stream was lagging expire quickly while surviving
+  /// flows re-confirm through their own traffic. Returns entries
+  /// demoted.
+  std::size_t demote_all(sim::SimNanos now);
+
  private:
   struct Slot {
     ConnEntry entry;
@@ -191,7 +287,8 @@ class ConnTracker {
   [[nodiscard]] std::uint64_t classify_entry(const Slot& slot, bool reply_dir) const;
 
   std::uint32_t allocate_slot();
-  void kill(std::uint32_t id, bool expired);
+  void kill(std::uint32_t id, bool expired, sim::SimNanos now);
+  void emit_delta(CtDelta::Kind kind, const ConnEntry& entry, sim::SimNanos now);
   void lru_touch(std::uint32_t id);
   void lru_unlink(std::uint32_t id);
   void lru_push_front(std::uint32_t id);
@@ -219,6 +316,7 @@ class ConnTracker {
   std::uint32_t lru_head_ = kNil;  // most recently seen
   std::uint32_t lru_tail_ = kNil;  // least recently seen (eviction victim)
   CtStats stats_;
+  CtDeltaSink delta_sink_;  // replication stream; null when not an active
 };
 
 }  // namespace harmless::openflow

@@ -20,6 +20,7 @@
 // without the injector.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -124,6 +125,19 @@ class FaultInjector {
 
   [[nodiscard]] bool has_target(const std::string& name) const {
     return links_.count(name) != 0 || points_.count(name) != 0;
+  }
+
+  /// Every registered target name, sorted (links and points merged).
+  /// Chaos schedules over auto-registered topologies draw from this
+  /// instead of hard-coding names.
+  [[nodiscard]] std::vector<std::string> target_names() const {
+    std::vector<std::string> names;
+    names.reserve(links_.size() + points_.size());
+    for (const auto& [name, channels] : links_) names.push_back(name);
+    for (const auto& [name, points] : points_)
+      if (links_.count(name) == 0) names.push_back(name);
+    std::sort(names.begin(), names.end());
+    return names;
   }
 
   /// Compile `plan` into engine events (scheduled at their absolute

@@ -1,0 +1,74 @@
+#include "softswitch/replication.hpp"
+
+namespace harmless::softswitch {
+
+bool ReplicationChannel::depart(std::uint64_t& down, std::uint64_t& loss) {
+  if (!up_) {
+    ++down;
+    return false;
+  }
+  if (spec_.loss > 0.0 && rng_.chance(spec_.loss)) {
+    ++loss;
+    return false;
+  }
+  return true;
+}
+
+sim::SimNanos ReplicationChannel::arrival_delay() {
+  sim::SimNanos delay = spec_.latency_ns;
+  if (spec_.jitter_ns > 0) {
+    delay += static_cast<sim::SimNanos>(
+        rng_.below(static_cast<std::uint64_t>(spec_.jitter_ns) + 1));
+  }
+  return delay;
+}
+
+void ReplicationChannel::publish(std::size_t shard, const openflow::CtDelta& delta) {
+  ++stats_.deltas_published;
+  pending_.push_back(ReplicationRecord{shard, delta});
+  if (spec_.batch_interval_ns == 0) {
+    flush();
+    return;
+  }
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    engine_.schedule_after(spec_.batch_interval_ns, [this] {
+      flush_scheduled_ = false;
+      flush();
+    });
+  }
+}
+
+void ReplicationChannel::flush() {
+  if (pending_.empty()) return;
+  std::vector<ReplicationRecord> batch;
+  batch.swap(pending_);
+  ++stats_.batches_sent;
+  if (!depart(stats_.batches_dropped_down, stats_.batches_dropped_loss)) return;
+  engine_.schedule_after(arrival_delay(), [this, batch = std::move(batch)] {
+    if (!up_) {
+      ++stats_.batches_dropped_down;  // in flight when the partition hit
+      return;
+    }
+    ++stats_.batches_delivered;
+    if (!delta_handler_) return;
+    for (const ReplicationRecord& record : batch) {
+      ++stats_.deltas_delivered;
+      delta_handler_(record);
+    }
+  });
+}
+
+void ReplicationChannel::publish_heartbeat() {
+  ++stats_.heartbeats_sent;
+  // Heartbeat loss is attributed to the same counters a batch would be
+  // (one sync session; its segments fate-share).
+  if (!depart(stats_.batches_dropped_down, stats_.batches_dropped_loss)) return;
+  engine_.schedule_after(arrival_delay(), [this] {
+    if (!up_) return;
+    ++stats_.heartbeats_delivered;
+    if (heartbeat_handler_) heartbeat_handler_();
+  });
+}
+
+}  // namespace harmless::softswitch

@@ -1,0 +1,123 @@
+// softswitch/replication.hpp — the active→standby conntrack sync
+// stream (the stateful-HA transport).
+//
+// An active SoftSwitch publishes every conntrack state *advance*
+// (commit / established / closing / close — see CtDelta) into a
+// ReplicationChannel; the standby peer applies them to its own shards
+// so an established connection survives a takeover with its NAT
+// binding intact. The channel is deliberately shaped like the control
+// channel (PR 7): batched + paced departures model the sync TCP
+// session's serialization, per-batch loss and latency jitter come from
+// a seeded util::Rng, and the whole thing is a sim::FaultPoint so a
+// FaultPlan can partition or impair replication independently of the
+// data and control planes. With no impairment configured the Rng is
+// never consulted — a pristine channel replays byte-identically.
+//
+// Liveness rides the same pipe: the active publishes heartbeats on a
+// timer (paused while it is crashed), and the standby's monitor trips
+// a takeover after `takeover_miss_threshold` silent intervals. The
+// channel only transports; the takeover decision lives in SoftSwitch
+// (enable_ha_standby / ha_takeover).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "openflow/conntrack.hpp"
+#include "sim/event.hpp"
+#include "sim/faults.hpp"
+#include "util/rng.hpp"
+
+namespace harmless::softswitch {
+
+/// Replication tunables (EXPERIMENTS.md "Stateful HA knobs").
+struct ReplicationSpec {
+  sim::SimNanos latency_ns = 50'000;         // one-way sync latency (lag)
+  sim::SimNanos batch_interval_ns = 100'000; // delta coalescing window; 0 = send-now
+  double loss = 0.0;                         // per-batch loss probability
+  sim::SimNanos jitter_ns = 0;               // uniform extra latency per batch
+  std::uint64_t seed = 0x5ec0'17da'7aULL;
+  sim::SimNanos heartbeat_interval_ns = 500'000;  // active liveness beacon cadence
+  std::uint32_t takeover_miss_threshold = 3;      // silent intervals before takeover
+};
+
+/// One replicated event, tagged with the conntrack shard it belongs to
+/// (active and standby must agree on shard count — same RSS policy).
+struct ReplicationRecord {
+  std::size_t shard = 0;
+  openflow::CtDelta delta;
+};
+
+class ReplicationChannel : public sim::FaultPoint {
+ public:
+  ReplicationChannel(sim::Engine& engine, ReplicationSpec spec = {})
+      : engine_(engine), spec_(spec), rng_(spec.seed) {}
+
+  // ---- active side ----
+  /// Queue one delta; it departs with the current batch (after at most
+  /// batch_interval_ns) and arrives latency + jitter later.
+  void publish(std::size_t shard, const openflow::CtDelta& delta);
+  /// Liveness beacon: sent immediately (never batched behind deltas —
+  /// a sync backlog must not read as a dead active), same loss/lag.
+  void publish_heartbeat();
+
+  // ---- standby side ----
+  void set_delta_handler(std::function<void(const ReplicationRecord&)> handler) {
+    delta_handler_ = std::move(handler);
+  }
+  void set_heartbeat_handler(std::function<void()> handler) {
+    heartbeat_handler_ = std::move(handler);
+  }
+
+  // ---- failure semantics ----
+  /// Partition / heal the sync session. Downing loses queued and
+  /// in-flight batches at their delivery time, like the control channel.
+  void set_up(bool up) { up_ = up; }
+  [[nodiscard]] bool is_up() const { return up_; }
+  void set_loss(double loss) { spec_.loss = loss; }
+  void set_lag(sim::SimNanos latency_ns, sim::SimNanos jitter_ns) {
+    spec_.latency_ns = latency_ns;
+    spec_.jitter_ns = jitter_ns;
+  }
+
+  // sim::FaultPoint: partition and impairment via the injector.
+  void fault_set_up(bool up) override { set_up(up); }
+  void fault_impair(double loss_probability, sim::SimNanos extra_latency_ns) override {
+    spec_.loss = loss_probability;
+    spec_.jitter_ns = extra_latency_ns;
+  }
+
+  struct Stats {
+    std::uint64_t deltas_published = 0;
+    std::uint64_t deltas_delivered = 0;
+    std::uint64_t batches_sent = 0;
+    std::uint64_t batches_delivered = 0;
+    std::uint64_t batches_dropped_down = 0;  // partitioned at send or delivery
+    std::uint64_t batches_dropped_loss = 0;  // random impairment loss
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t heartbeats_delivered = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const ReplicationSpec& spec() const { return spec_; }
+
+ private:
+  void flush();
+  /// Departure-side gate shared by batches and heartbeats: false means
+  /// the message died (down / loss) and was accounted to `down`/`loss`.
+  bool depart(std::uint64_t& down, std::uint64_t& loss);
+  [[nodiscard]] sim::SimNanos arrival_delay();
+
+  sim::Engine& engine_;
+  ReplicationSpec spec_;
+  util::Rng rng_;
+  bool up_ = true;
+  bool flush_scheduled_ = false;
+  std::vector<ReplicationRecord> pending_;
+  std::function<void(const ReplicationRecord&)> delta_handler_;
+  std::function<void()> heartbeat_handler_;
+  Stats stats_;
+};
+
+}  // namespace harmless::softswitch

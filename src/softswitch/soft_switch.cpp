@@ -203,6 +203,15 @@ void SoftSwitch::complete_resync() {
   resync_window_ = false;
   ++failover_stats_.resyncs;
   failover_stats_.last_resync_at = engine_.now();
+  if (ct_state_restored_) {
+    // Warm resync: the restored connection table means surviving flows
+    // hit their ct_established rules instead of punting, so there is no
+    // cold-flow herd for the warm-up governor to throttle — arming it
+    // would only tax the (few) genuinely new flows.
+    ct_state_restored_ = false;
+    ++failover_stats_.warm_resyncs;
+    return;
+  }
   if (failover_.warmup_ns > 0) {
     warmup_until_ = engine_.now() + failover_.warmup_ns;
     warmup_budget_ = failover_.warmup_packet_in_budget;
@@ -244,6 +253,28 @@ void SoftSwitch::fault_restart() {
   if (!restarting_) return;
   restarting_ = false;
   ++failover_stats_.restarts;
+  // Stateful restart: rebuild the connection table from the last
+  // checkpoint before the control plane even notices. Restored entries
+  // come back demoted (ConnTracker::restore) — established flows keep
+  // their fast path but must re-confirm through real traffic.
+  if (failover_.checkpointing() && pipeline_.conntrack_enabled() && !ct_checkpoint_.empty()) {
+    const std::size_t shards =
+        ct_checkpoint_.size() < pipeline_.shard_count() ? ct_checkpoint_.size()
+                                                        : pipeline_.shard_count();
+    std::size_t restored = 0;
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      const openflow::CtRestoreResult result =
+          pipeline_.conntrack(shard).restore(ct_checkpoint_[shard], engine_.now());
+      restored += result.restored;
+      failover_stats_.ct_restored += result.restored;
+      failover_stats_.ct_restore_dropped += result.dropped;
+    }
+    if (restored > 0) {
+      ct_state_restored_ = true;   // the next resync is warm
+      schedule_ct_sweep();         // re-arm expiry for the re-filed wheel
+      schedule_ct_checkpoint();    // keep checkpointing the restored table
+    }
+  }
   // The control session died with the box. Come back up disconnected
   // and re-handshake, so the controller reprograms the empty tables;
   // without failover the switch just waits to be reprogrammed.
@@ -397,6 +428,113 @@ void SoftSwitch::schedule_ct_sweep() {
     pipeline_.ct_expire(engine_.now());
     schedule_ct_sweep();
   });
+}
+
+void SoftSwitch::take_ct_checkpoint() {
+  ct_checkpoint_.clear();
+  ct_checkpoint_.reserve(pipeline_.shard_count());
+  for (std::size_t shard = 0; shard < pipeline_.shard_count(); ++shard)
+    ct_checkpoint_.push_back(pipeline_.conntrack(shard).checkpoint(engine_.now()));
+  ++failover_stats_.checkpoints;
+}
+
+void SoftSwitch::schedule_ct_checkpoint() {
+  if (ct_checkpoint_scheduled_ || !failover_.checkpointing() || !pipeline_.conntrack_enabled())
+    return;
+  if (pipeline_.ct_connection_count() == 0 && ct_checkpoint_.empty()) return;
+  ct_checkpoint_scheduled_ = true;
+  engine_.schedule_after(failover_.checkpoint_interval_ns, [this] {
+    ct_checkpoint_scheduled_ = false;
+    // A crashed switch takes no checkpoints — overwriting the held
+    // image with the wiped table would defeat the restore it feeds.
+    if (restarting_) return;
+    take_ct_checkpoint();
+    // Re-arm while connections remain; the final firing after the
+    // table empties snapshots it as empty (never leaves a stale image)
+    // and then disarms, so engines driven by run() still drain.
+    if (pipeline_.ct_connection_count() > 0) schedule_ct_checkpoint();
+  });
+}
+
+// ---- stateful HA: active–standby pairing ----
+
+void SoftSwitch::enable_ha_active(ReplicationChannel& channel) {
+  repl_out_ = &channel;
+  for (std::size_t shard = 0; shard < pipeline_.shard_count(); ++shard) {
+    pipeline_.conntrack(shard).set_delta_sink(
+        [this, shard](const openflow::CtDelta& delta) { repl_out_->publish(shard, delta); });
+  }
+  schedule_ha_heartbeat();
+}
+
+void SoftSwitch::schedule_ha_heartbeat() {
+  if (ha_heartbeat_armed_ || repl_out_ == nullptr) return;
+  const sim::SimNanos interval = repl_out_->spec().heartbeat_interval_ns;
+  if (interval <= 0) return;
+  ha_heartbeat_armed_ = true;
+  engine_.schedule_after(interval, [this] {
+    ha_heartbeat_armed_ = false;
+    // A crashed active is silent — that silence *is* the takeover
+    // signal. The timer keeps running so heartbeats resume on restart.
+    if (!restarting_) repl_out_->publish_heartbeat();
+    schedule_ha_heartbeat();
+  });
+}
+
+void SoftSwitch::enable_ha_standby(ReplicationChannel& channel) {
+  repl_in_ = &channel;
+  last_ha_heartbeat_ = engine_.now();
+  channel.set_delta_handler([this](const ReplicationRecord& record) {
+    if (ha_promoted_ || restarting_) return;  // a promoted peer owns its own state
+    if (!pipeline_.conntrack_enabled() || record.shard >= pipeline_.shard_count()) return;
+    pipeline_.conntrack(record.shard).apply_delta(record.delta, engine_.now());
+    schedule_ct_sweep();  // replicated entries must expire here too
+  });
+  channel.set_heartbeat_handler([this] {
+    ha_heartbeat_seen_ = true;
+    last_ha_heartbeat_ = engine_.now();
+  });
+  schedule_ha_monitor();
+}
+
+void SoftSwitch::schedule_ha_monitor() {
+  if (ha_monitor_armed_ || repl_in_ == nullptr || ha_promoted_) return;
+  const ReplicationSpec& spec = repl_in_->spec();
+  if (spec.heartbeat_interval_ns <= 0) return;
+  ha_monitor_armed_ = true;
+  engine_.schedule_after(spec.heartbeat_interval_ns, [this] {
+    ha_monitor_armed_ = false;
+    if (ha_promoted_) return;  // promotion stops the monitor
+    const ReplicationSpec& spec = repl_in_->spec();
+    const sim::SimNanos silence = engine_.now() - last_ha_heartbeat_;
+    // Never self-promote before first contact: until a heartbeat has
+    // actually arrived the standby cannot distinguish a dead active
+    // from sync latency longer than the miss threshold (bootstrap
+    // promotion is the operator's call, not the monitor's).
+    if (ha_heartbeat_seen_ &&
+        silence > static_cast<sim::SimNanos>(spec.takeover_miss_threshold) *
+                      spec.heartbeat_interval_ns) {
+      ha_takeover();
+      return;
+    }
+    schedule_ha_monitor();
+  });
+}
+
+void SoftSwitch::ha_takeover() {
+  if (ha_promoted_) return;
+  ha_promoted_ = true;
+  ++failover_stats_.takeovers;
+  // Takeover hygiene: every replicated connection is only as fresh as
+  // the sync stream was — demote them all so the ones that died while
+  // replication lagged expire on the transient timeout, while live
+  // flows re-confirm through their own traffic.
+  if (pipeline_.conntrack_enabled()) {
+    for (std::size_t shard = 0; shard < pipeline_.shard_count(); ++shard)
+      pipeline_.conntrack(shard).demote_all(engine_.now());
+    schedule_ct_sweep();
+  }
+  if (ha_takeover_handler_) ha_takeover_handler_();
 }
 
 void SoftSwitch::handle_controller_message(Message&& message) {
@@ -609,7 +747,10 @@ sim::SimNanos SoftSwitch::service(int in_port, net::Packet&& packet) {
     observe_cache_epoch();
   }
 
-  if (result.ct_commits != 0) schedule_ct_sweep();
+  if (result.ct_commits != 0) {
+    schedule_ct_sweep();
+    schedule_ct_checkpoint();
+  }
   dispatch_result(result, in_of_port, cost);
   return cost;
 }
@@ -713,7 +854,8 @@ sim::SimNanos SoftSwitch::service_burst(sim::ServicedNode::Burst&& burst) {
                     costs_.marginal_cost_ns(packet_result, cache) + shared_ns);
   }
   if (cache) observe_cache_epoch();
-  schedule_ct_sweep();  // arms only when live connections exist
+  schedule_ct_sweep();       // arms only when live connections exist
+  schedule_ct_checkpoint();  // likewise (and only when checkpointing is on)
   return cost;
 }
 

@@ -82,6 +82,7 @@
 #include "openflow/pipeline.hpp"
 #include "sim/faults.hpp"
 #include "sim/node.hpp"
+#include "softswitch/replication.hpp"
 #include "util/rng.hpp"
 
 namespace harmless::softswitch {
@@ -225,8 +226,18 @@ struct FailoverSpec {
   /// of cold flows). 0 disables the window.
   sim::SimNanos warmup_ns = 0;
   std::uint64_t warmup_packet_in_budget = 32;
+  /// Conntrack checkpoint cadence: every interval the switch snapshots
+  /// all connection shards into an off-box image that fault_restart
+  /// restores (see ConnTracker::checkpoint/restore). 0 (default) = no
+  /// checkpointing — a crash loses every connection, the PR-8
+  /// behaviour exactly. Independent of echo_interval_ns: a switch with
+  /// no controller-liveness probing can still checkpoint. The timer is
+  /// self-disarming (it stops once the connection table empties), so
+  /// run() engines still drain.
+  sim::SimNanos checkpoint_interval_ns = 0;
 
   [[nodiscard]] bool enabled() const { return echo_interval_ns > 0; }
+  [[nodiscard]] bool checkpointing() const { return checkpoint_interval_ns > 0; }
 };
 
 /// Everything the failover machinery observed, for tests and Table 8.
@@ -247,6 +258,12 @@ struct FailoverStats {
   std::uint64_t crashes = 0;            // switch-level crash faults
   std::uint64_t restarts = 0;
   std::uint64_t dropped_restarting = 0; // ingress dropped while rebooting
+  // Stateful HA (PR 9):
+  std::uint64_t checkpoints = 0;        // whole-switch conntrack snapshots taken
+  std::uint64_t ct_restored = 0;        // connections rebuilt by fault_restart
+  std::uint64_t ct_restore_dropped = 0; // snapshot entries restore refused
+  std::uint64_t takeovers = 0;          // standby promotions (ha_takeover)
+  std::uint64_t warm_resyncs = 0;       // resyncs completed with restored ct state
   sim::SimNanos degraded_ns = 0;        // cumulative disconnected time
   sim::SimNanos last_disconnect_at = -1;
   sim::SimNanos last_reconnect_at = -1;
@@ -376,6 +393,41 @@ class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
   void set_failover(const FailoverSpec& spec);
   [[nodiscard]] const FailoverSpec& failover() const { return failover_; }
   [[nodiscard]] const FailoverStats& failover_stats() const { return failover_stats_; }
+
+  // ---- stateful HA: active–standby pairing (PR 9) ----
+  // Wire two switches (same shard count, same rules, conntrack enabled
+  // on both) through one ReplicationChannel: the active publishes its
+  // conntrack deltas and heartbeats into it, the standby applies the
+  // deltas and promotes itself when the heartbeats go silent. Both
+  // calls are opt-in and arm perpetual timers — drive the engine with
+  // run_until(). A takeover does not rewire traffic by itself; the
+  // harness observes it through set_ha_takeover_handler and re-steers.
+
+  /// Become the active of an HA pair: every conntrack shard's delta
+  /// stream is published into `channel`, and a heartbeat fires every
+  /// ReplicationSpec::heartbeat_interval_ns (silent while crashed).
+  /// Requires conntrack to be enabled first.
+  void enable_ha_active(ReplicationChannel& channel);
+
+  /// Become the standby of an HA pair: apply replicated deltas into the
+  /// local conntrack shards and monitor the active's heartbeats; after
+  /// ReplicationSpec::takeover_miss_threshold silent intervals the
+  /// standby promotes itself (ha_takeover). Requires conntrack enabled.
+  void enable_ha_standby(ReplicationChannel& channel);
+
+  /// Promote this (standby) switch: demote every replicated connection
+  /// to the transient timeout (ConnTracker::demote_all — flows that
+  /// died while replication lagged must not linger as ESTABLISHED),
+  /// stop applying deltas, count the takeover, and fire the takeover
+  /// handler. Idempotent.
+  void ha_takeover();
+
+  /// Observer the harness uses to re-steer traffic after a promotion.
+  void set_ha_takeover_handler(std::function<void()> handler) {
+    ha_takeover_handler_ = std::move(handler);
+  }
+
+  [[nodiscard]] bool ha_promoted() const { return ha_promoted_; }
   /// Control-session view: true when the switch believes its controller
   /// is reachable (always true with failover disabled).
   [[nodiscard]] bool control_connected() const { return connected_; }
@@ -414,6 +466,17 @@ class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
   /// connections are live). Mirrors schedule_expiry_sweep: re-arms
   /// itself only while entries remain, so idle engines still drain.
   void schedule_ct_sweep();
+  /// Arm the conntrack checkpoint timer (no-op when checkpointing is
+  /// off or already armed). Self-disarming like schedule_ct_sweep: a
+  /// firing re-arms only while connections remain — but it always
+  /// overwrites the held image first, so an emptied table checkpoints
+  /// as empty rather than leaving a stale snapshot behind.
+  void schedule_ct_checkpoint();
+  /// Snapshot every conntrack shard into ct_checkpoint_ (the off-box
+  /// image fault_restart restores from).
+  void take_ct_checkpoint();
+  void schedule_ha_heartbeat();
+  void schedule_ha_monitor();
 
   // ---- failover machinery (all inert while failover_.enabled() is
   // false — the default) ----
@@ -474,6 +537,20 @@ class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
   sim::SimNanos degraded_since_ = 0;
   sim::SimNanos warmup_until_ = 0;
   std::uint64_t warmup_budget_ = 0;
+  // Stateful HA. The checkpoint image lives *outside* the datapath
+  // state fault_crash wipes — it models a snapshot persisted off-box
+  // (disk / peer), which is the entire point of checkpointing.
+  std::vector<openflow::CtSnapshot> ct_checkpoint_;
+  bool ct_checkpoint_scheduled_ = false;
+  bool ct_state_restored_ = false;  // restore happened; next resync is warm
+  ReplicationChannel* repl_out_ = nullptr;  // active side
+  ReplicationChannel* repl_in_ = nullptr;   // standby side
+  bool ha_heartbeat_armed_ = false;
+  bool ha_monitor_armed_ = false;
+  bool ha_promoted_ = false;
+  bool ha_heartbeat_seen_ = false;  // monitor only trips after first contact
+  sim::SimNanos last_ha_heartbeat_ = 0;
+  std::function<void()> ha_takeover_handler_;
   legacy::MacTable standalone_macs_;
   std::uint64_t seen_cache_epoch_ = 0;
   /// service_burst staging + result scratch, recycled across bursts

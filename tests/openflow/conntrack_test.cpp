@@ -183,6 +183,214 @@ TEST(ConnTracker, DnatStoresMappingAndUntranslatesReplies) {
   EXPECT_EQ(ct.stats().nat_allocated, 1u);
 }
 
+// ---- stateful HA: checkpoint/restore and replication (PR 9) ----
+
+TEST(ConnTracker, CheckpointSerializeParseRoundTrips) {
+  ConnTracker ct(CtConfig{}, 1);
+  const CtAction snat{CtAction::Nat::kSource, 0xc0a80001, 49152, 65535};
+  ct.process(tuple(0x0a000001, 40000, 0x08080808, 80), net::kTcpSyn, 100, snat);
+  ct.process(tuple(0x0a000002, 5353, 0x0a000003, 53, kUdp), 0, 200, kCommit);
+
+  const CtSnapshot snap = ct.checkpoint(1'000);
+  EXPECT_EQ(snap.taken_at, 1'000);
+  ASSERT_EQ(snap.entries.size(), 2u);
+  EXPECT_EQ(ct.stats().checkpoints, 1u);
+
+  const std::vector<std::uint8_t> bytes = snap.serialize();
+  const auto parsed = CtSnapshot::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->taken_at, snap.taken_at);
+  ASSERT_EQ(parsed->entries.size(), snap.entries.size());
+  for (std::size_t i = 0; i < snap.entries.size(); ++i) {
+    EXPECT_EQ(parsed->entries[i].orig, snap.entries[i].orig);
+    EXPECT_EQ(parsed->entries[i].reply, snap.entries[i].reply);
+    EXPECT_EQ(parsed->entries[i].nat.kind, snap.entries[i].nat.kind);
+    EXPECT_EQ(parsed->entries[i].nat.ip, snap.entries[i].nat.ip);
+    EXPECT_EQ(parsed->entries[i].nat.port, snap.entries[i].nat.port);
+    EXPECT_EQ(parsed->entries[i].seen_reply, snap.entries[i].seen_reply);
+    EXPECT_EQ(parsed->entries[i].remaining_ns, snap.entries[i].remaining_ns);
+  }
+
+  // Truncation, bit rot in the magic, and trailing garbage all parse
+  // to nullopt, never to garbage connections.
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 5);
+  EXPECT_FALSE(CtSnapshot::parse(truncated).has_value());
+  std::vector<std::uint8_t> corrupted = bytes;
+  corrupted[0] ^= 0xff;
+  EXPECT_FALSE(CtSnapshot::parse(corrupted).has_value());
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(CtSnapshot::parse(padded).has_value());
+}
+
+TEST(ConnTracker, RestoreDropsMidHandshakeEntriesAndCollisions) {
+  ConnTracker ct(CtConfig{}, 1);
+  // One fully established connection and one SYN-only half-open.
+  const CtTuple established = tuple(0x0a000001, 40000, 0x0a000002, 80);
+  ct.process(established, net::kTcpSyn, 0, kCommit);
+  ct.process(established.reversed(), net::kTcpSyn | net::kTcpAck, 100, kCommit);
+  const CtTuple half_open = tuple(0x0a000003, 41000, 0x0a000002, 80);
+  ct.process(half_open, net::kTcpSyn, 200, kCommit);
+
+  const CtSnapshot snap = ct.checkpoint(1'000);
+  ASSERT_EQ(snap.entries.size(), 2u);
+
+  // A snapshot taken mid-handshake must not resurrect the half-open
+  // entry: its peer will retransmit the SYN and re-commit cleanly.
+  ConnTracker fresh(CtConfig{}, 1);
+  const CtRestoreResult result = fresh.restore(snap, 5'000);
+  EXPECT_EQ(result.restored, 1u);
+  EXPECT_EQ(result.dropped, 1u);
+  EXPECT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh.stats().restored, 1u);
+  EXPECT_EQ(fresh.stats().restore_dropped, 1u);
+  // The survivor still classifies ESTABLISHED — mid-stream ACKs keep
+  // flowing instead of going INVALID.
+  EXPECT_EQ(fresh.classify(established, net::kTcpAck, 5'100), kCtTracked | kCtEstablished);
+  EXPECT_EQ(fresh.classify(half_open, net::kTcpAck, 5'100), kCtInvalid);
+
+  // Restoring the same snapshot again collides with live state: live
+  // entries win, nothing is duplicated or corrupted.
+  const CtRestoreResult again = fresh.restore(snap, 6'000);
+  EXPECT_EQ(again.restored, 0u);
+  EXPECT_EQ(again.dropped, 2u);
+  EXPECT_EQ(fresh.size(), 1u);
+}
+
+TEST(ConnTracker, RestoreReArmsRemainingTimeoutAndDemotesEstablished) {
+  CtConfig config;
+  config.udp_timeout = 1'000;
+  config.sweep_interval = 100;
+  ConnTracker ct(config, 1);
+  const CtTuple udp = tuple(1, 1, 2, 2, kUdp);
+  ct.process(udp, 0, 600, kCommit);  // expires at 1'600
+  const CtTuple tcp = tuple(3, 3, 4, 4);
+  ct.process(tcp, net::kTcpSyn, 0, kCommit);
+  ct.process(tcp.reversed(), net::kTcpSyn | net::kTcpAck, 100, kCommit);
+
+  const CtSnapshot snap = ct.checkpoint(1'200);  // UDP remaining = 400
+
+  // The remaining timeout survives the restart: the UDP entry gets
+  // 400 ns from the restore clock, not a fresh full udp_timeout.
+  ConnTracker fresh(config, 1);
+  fresh.restore(snap, 10'000);
+  EXPECT_EQ(fresh.classify(udp, 0, 10'300), kCtTracked);
+  EXPECT_EQ(fresh.expire(10'400), 1u);  // 10'000 + 400, wheel re-armed
+  EXPECT_EQ(fresh.classify(udp, 0, 10'500), kCtNew);
+
+  // The established TCP entry came back *demoted*: ~30 s remained in
+  // the snapshot, but unconfirmed entries idle out on the transient
+  // timeout — a stale snapshot cannot keep a dead flow alive.
+  auto entries = fresh.snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_FALSE(entries[0].confirmed);
+  EXPECT_EQ(entries[0].expires_at, 10'000 + config.tcp_transient_timeout);
+
+  // Real traffic re-confirms it back up to the established budget.
+  fresh.process(tcp, net::kTcpAck, 11'000, kCommit);
+  entries = fresh.snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries[0].confirmed);
+  EXPECT_EQ(entries[0].expires_at, 11'000 + config.tcp_established_timeout);
+}
+
+TEST(ConnTracker, RestoredNatBindingBlocksPostRestoreSnatCollision) {
+  // Two-port SNAT pool: the restored binding must keep its external
+  // port claimed, so a post-restore allocation cannot collide with it.
+  ConnTracker ct(CtConfig{}, 1);
+  const CtAction snat{CtAction::Nat::kSource, 0xc0a80001, 49152, 49153};
+  const CtTuple first = tuple(0x0a000001, 40000, 0x08080808, 80);
+  const CtOutcome a = ct.process(first, net::kTcpSyn, 0, snat);
+  ASSERT_TRUE(a.rewrite);
+  ct.process(CtTuple{0x08080808, 0xc0a80001, 80, a.translation.src_port, kTcp},
+             net::kTcpSyn | net::kTcpAck, 100, kCommit);  // establish
+
+  ConnTracker fresh(CtConfig{}, 1);
+  fresh.restore(ct.checkpoint(1'000), 2'000);
+  ASSERT_EQ(fresh.size(), 1u);
+
+  // A new inside host asks for SNAT after the restore: it must get the
+  // *other* pool port — the restored reply binding owns the first.
+  const CtOutcome b =
+      fresh.process(tuple(0x0a000002, 40000, 0x08080808, 80), net::kTcpSyn, 2'100, snat);
+  ASSERT_TRUE(b.rewrite);
+  EXPECT_NE(b.translation.src_port, a.translation.src_port);
+  EXPECT_EQ(fresh.stats().nat_failures, 0u);
+
+  // Pool exhausted: a third allocation fails instead of stealing the
+  // restored binding's port.
+  const CtOutcome c =
+      fresh.process(tuple(0x0a000003, 40000, 0x08080808, 80), net::kTcpSyn, 2'200, snat);
+  EXPECT_FALSE(c.rewrite);
+  EXPECT_EQ(fresh.stats().nat_failures, 1u);
+
+  // And the restored mapping still translates replies to the inside.
+  const CtOutcome back = fresh.process(
+      CtTuple{0x08080808, 0xc0a80001, 80, a.translation.src_port, kTcp}, net::kTcpAck, 2'300,
+      kCommit);
+  ASSERT_TRUE(back.rewrite);
+  EXPECT_EQ(back.translation.dst_ip, 0x0a000001u);
+  EXPECT_EQ(back.translation.dst_port, 40000u);
+}
+
+TEST(ConnTracker, DeltaStreamReplicatesStateAdvancesOnly) {
+  ConnTracker active(CtConfig{}, 1);
+  ConnTracker standby(CtConfig{}, 1);
+  std::vector<CtDelta> log;
+  active.set_delta_sink([&](const CtDelta& delta) { log.push_back(delta); });
+
+  const CtTuple conn = tuple(0x0a000001, 40000, 0x0a000002, 80);
+  active.process(conn, net::kTcpSyn, 0, kCommit);           // kCommit
+  active.process(conn.reversed(), net::kTcpAck, 100, kCommit);  // kUpdate (seen_reply)
+  active.process(conn, net::kTcpAck, 200, kCommit);         // refresh only: no delta
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].kind, CtDelta::Kind::kCommit);
+  EXPECT_EQ(log[1].kind, CtDelta::Kind::kUpdate);
+  EXPECT_TRUE(log[1].entry.seen_reply);
+  EXPECT_EQ(active.stats().deltas_emitted, 2u);
+
+  for (const CtDelta& delta : log) standby.apply_delta(delta, 500);
+  EXPECT_EQ(standby.size(), 1u);
+  EXPECT_EQ(standby.classify(conn, net::kTcpAck, 600), kCtTracked | kCtEstablished);
+
+  // FIN advances state (kUpdate), expiry/kill closes it (kClose) —
+  // and applying the close removes the replica too.
+  active.process(conn, net::kTcpFin | net::kTcpAck, 300, kCommit);
+  active.expire(300 + CtConfig{}.tcp_transient_timeout + CtConfig{}.sweep_interval);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[2].kind, CtDelta::Kind::kUpdate);
+  EXPECT_TRUE(log[2].entry.closing);
+  EXPECT_EQ(log[3].kind, CtDelta::Kind::kClose);
+  standby.apply_delta(log[2], 700);
+  standby.apply_delta(log[3], 800);
+  EXPECT_EQ(standby.size(), 0u);
+  EXPECT_EQ(standby.stats().deltas_applied, 4u);
+}
+
+TEST(ConnTracker, DemoteAllClampsReplicatedEntriesToTransient) {
+  CtConfig config;
+  config.sweep_interval = 100;
+  ConnTracker standby(config, 1);
+  CtDelta delta;
+  delta.kind = CtDelta::Kind::kCommit;
+  delta.entry = CtSnapshotEntry{tuple(1, 1, 2, 2), tuple(2, 2, 1, 1), CtNat{}, true, false,
+                                config.tcp_established_timeout};
+  standby.apply_delta(delta, 0);
+  auto entries = standby.snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries[0].confirmed);  // the live stream vouches for it
+  EXPECT_EQ(entries[0].expires_at, config.tcp_established_timeout);
+
+  // Takeover: every replicated entry is only as fresh as the stream
+  // was — demote to the transient budget until traffic re-confirms.
+  EXPECT_EQ(standby.demote_all(1'000), 1u);
+  entries = standby.snapshot();
+  EXPECT_FALSE(entries[0].confirmed);
+  EXPECT_EQ(entries[0].expires_at, 1'000 + config.tcp_transient_timeout);
+  EXPECT_EQ(standby.classify(tuple(1, 1, 2, 2), net::kTcpAck, 2'000),
+            kCtTracked | kCtEstablished);
+}
+
 TEST(ConnTracker, NextDeadlineDrivesSweepScheduling) {
   CtConfig config;
   config.udp_timeout = 1'000;

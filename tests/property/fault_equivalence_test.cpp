@@ -21,6 +21,7 @@
 #include "bench/common.hpp"
 #include "controller/apps/static_flows.hpp"
 #include "controller/controller.hpp"
+#include "net/build.hpp"
 #include "sim/faults.hpp"
 #include "sim/network.hpp"
 #include "softswitch/soft_switch.hpp"
@@ -241,6 +242,239 @@ TEST(FaultChaos, SameSeedReplaysBitIdentically) {
   const ChaosOutcome again = run_chaos(7);
   EXPECT_FALSE(first.duplicate_delivery);
   EXPECT_EQ(first.digest, again.digest);
+}
+
+// ---- derived fault-target names (auto-registration) ------------------
+
+TEST(FaultEquivalence, DerivedTargetNamesCoverTheFabric) {
+  bench::RigOptions options;
+  options.host_count = 4;
+  bench::HarmlessRig rig(options);
+  sim::FaultInjector injector(rig.network.engine());
+  rig.fabric->register_faults(injector, rig.network);
+
+  // Legacy aliases stay registered — existing plans keep working.
+  for (const char* name : {"trunk", "control", "ss1", "ss2"})
+    EXPECT_TRUE(injector.has_target(name)) << name;
+  // Derived names: every component self-registers.
+  for (const char* name : {"switch:SS_1", "switch:SS_2", "control:SS_2", "trunk:leg0"})
+    EXPECT_TRUE(injector.has_target(name)) << name;
+  // The whole-network surface: one "link:<label>" per channel.
+  const std::vector<std::string> names = injector.target_names();
+  std::size_t links = 0;
+  for (const std::string& name : names)
+    if (name.rfind("link:", 0) == 0) ++links;
+  EXPECT_EQ(links, rig.network.channels().size());
+  // target_names is sorted and de-duplicated enough to drive schedules.
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+// ---- (c) chaos with conntrack in the pipeline ------------------------
+
+/// Stateful-firewall rules (same scheme as the failover tests): only
+/// tracked connections pass h0 <-> h1, everything else drops. Under
+/// chaos this makes the conntrack table load-bearing — lose it and the
+/// established flow's segments go INVALID.
+std::vector<openflow::FlowModMsg> ct_firewall_rules() {
+  std::vector<openflow::FlowModMsg> rules;
+  for (int dir = 0; dir < 2; ++dir) {
+    openflow::FlowModMsg est;
+    est.table_id = 0;
+    est.priority = 30;
+    est.match.in_port(static_cast<std::uint32_t>(dir + 1)).ct_established();
+    est.instructions =
+        openflow::apply({openflow::ct_commit(), openflow::output(dir == 0 ? 2u : 1u)});
+    rules.push_back(est);
+  }
+  openflow::FlowModMsg open;
+  open.table_id = 0;
+  open.priority = 20;
+  open.match.in_port(1).ct_new();
+  open.instructions = openflow::apply({openflow::ct_commit(), openflow::output(2)});
+  rules.push_back(open);
+  openflow::FlowModMsg drop;
+  drop.table_id = 0;
+  drop.priority = 0;
+  rules.push_back(drop);
+  return rules;
+}
+
+struct CtChaosRig {
+  sim::Network network;
+  SoftSwitch* sw = nullptr;
+  sim::Host* a = nullptr;
+  sim::Host* b = nullptr;
+  std::unique_ptr<openflow::ControlChannel> channel;
+  controller::Controller ctrl;
+  net::FlowKey flow;        // a -> b
+  net::FlowKey reply_flow;  // b -> a
+  std::size_t rule_count = 0;
+  bool duplicate_delivery = false;
+  std::unordered_set<std::uint64_t> seen_a;
+  std::unordered_set<std::uint64_t> seen_b;
+
+  explicit CtChaosRig(std::uint64_t seed, sim::SimNanos checkpoint_interval) {
+    sw = &network.add_node<SoftSwitch>("fw", 0xC7, 2, /*table_count=*/1);
+    sw->enable_conntrack(openflow::CtConfig{});
+    a = &network.add_host("a", host_mac(0), host_ip(0));
+    b = &network.add_host("b", host_mac(1), host_ip(1));
+    network.connect(*a, 0, *sw, 0, sim::LinkSpec::gbps(10));
+    network.connect(*b, 0, *sw, 1, sim::LinkSpec::gbps(10));
+    a->set_on_receive([this](const net::Packet& packet, const net::ParsedPacket&) {
+      if (!seen_a.insert(packet.id()).second) duplicate_delivery = true;
+    });
+    b->set_on_receive([this](const net::Packet& packet, const net::ParsedPacket&) {
+      if (!seen_b.insert(packet.id()).second) duplicate_delivery = true;
+    });
+    channel = std::make_unique<openflow::ControlChannel>(network.engine());
+    sw->attach_channel(*channel);
+    FailoverSpec spec;
+    spec.mode = FailoverSpec::Mode::kFailSecure;
+    spec.echo_interval_ns = 500'000;
+    spec.echo_miss_threshold = 3;
+    spec.seed = seed;
+    spec.checkpoint_interval_ns = checkpoint_interval;
+    sw->set_failover(spec);
+    auto& app = ctrl.add_app<controller::StaticFlowApp>();
+    for (const openflow::FlowModMsg& rule : ct_firewall_rules()) {
+      app.flow(rule);
+      ++rule_count;
+    }
+    ctrl.connect(*channel, "fw");
+    flow = net::FlowKey{a->mac(), b->mac(), a->ip(), b->ip(), 40000, 80};
+    reply_flow = net::FlowKey{b->mac(), a->mac(), b->ip(), a->ip(), 80, 40000};
+  }
+
+  /// Handshake at 2 ms, then a paced ACK stream (with periodic reverse
+  /// ACKs) spanning [3 ms, until) — traffic is in flight through every
+  /// fault window.
+  void schedule_traffic(sim::SimNanos until) {
+    sim::Engine& engine = network.engine();
+    engine.schedule_at(2 * kMs, [this] { a->send(net::make_tcp(flow, net::kTcpSyn)); });
+    engine.schedule_at(2 * kMs + 200'000,
+                       [this] { b->send(net::make_tcp(reply_flow, net::kTcpSyn | net::kTcpAck)); });
+    for (sim::SimNanos at = 3 * kMs; at < until; at += 100'000)
+      engine.schedule_at(at, [this] { a->send(net::make_tcp(flow, net::kTcpAck)); });
+    for (sim::SimNanos at = 3 * kMs + 50'000; at < until; at += kMs)
+      engine.schedule_at(at, [this] { b->send(net::make_tcp(reply_flow, net::kTcpAck)); });
+  }
+
+  [[nodiscard]] std::uint64_t digest() {
+    Digest digest;
+    digest.fold(network.engine().events_dispatched());
+    digest.fold(a->counters().rx_total);
+    digest.fold(a->counters().rx_tcp);
+    digest.fold(b->counters().rx_total);
+    digest.fold(b->counters().rx_tcp);
+    const auto& failover = sw->failover_stats();
+    digest.fold(failover.disconnects);
+    digest.fold(failover.reconnects);
+    digest.fold(failover.resyncs);
+    digest.fold(failover.crashes);
+    digest.fold(failover.checkpoints);
+    digest.fold(failover.ct_restored);
+    digest.fold(failover.ct_restore_dropped);
+    digest.fold(failover.warm_resyncs);
+    const auto& ct = sw->pipeline().conntrack(0).stats();
+    digest.fold(ct.created);
+    digest.fold(ct.refreshed);
+    digest.fold(ct.expired);
+    digest.fold(ct.invalid);
+    digest.fold(ct.restored);
+    digest.fold(channel->to_controller().sent);
+    digest.fold(channel->to_switch().sent);
+    return digest.value;
+  }
+};
+
+ChaosOutcome run_ct_chaos(std::uint64_t seed, sim::SimNanos checkpoint_interval) {
+  CtChaosRig rig(seed, checkpoint_interval);
+
+  sim::FaultInjector injector(rig.network.engine());
+  injector.register_point("control", *rig.channel);
+  injector.register_point("ctrl", rig.ctrl);
+  injector.register_point("sw", *rig.sw);
+
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  plan.random_outages("control", 2, 5 * kMs, 40 * kMs, 2 * kMs)
+      .random_crashes("sw", 2, 20 * kMs, 70 * kMs, 2 * kMs)
+      .random_crashes("ctrl", 1, 45 * kMs, 60 * kMs, 3 * kMs);
+  injector.arm(plan);
+
+  rig.schedule_traffic(80 * kMs);
+  rig.network.run_until(100 * kMs);
+
+  EXPECT_EQ(injector.stats().fired, injector.stats().armed);
+  EXPECT_FALSE(rig.sw->restarting()) << "seed " << seed;
+  EXPECT_TRUE(rig.sw->control_connected()) << "seed " << seed;
+  EXPECT_EQ(rig.sw->pipeline().table(0).entries().size(), rig.rule_count) << "seed " << seed;
+  if (checkpoint_interval > 0) {
+    // The handshake commits by ~2.2 ms and the first crash window
+    // opens at 20 ms: at least one checkpoint must have landed.
+    EXPECT_GE(rig.sw->failover_stats().checkpoints, 1u) << "seed " << seed;
+  }
+
+  ChaosOutcome outcome;
+  outcome.duplicate_delivery = rig.duplicate_delivery;
+  outcome.digest = rig.digest();
+  return outcome;
+}
+
+TEST(FaultChaos, ConntrackConservationInvariantsHoldAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const ChaosOutcome outcome = run_ct_chaos(seed, kMs);
+    EXPECT_FALSE(outcome.duplicate_delivery) << "seed " << seed;
+  }
+}
+
+TEST(FaultChaos, ConntrackSameSeedReplaysBitIdentically) {
+  // With ct (and its checkpoint timer) in the pipeline the replay
+  // guarantee must hold bit-for-bit, checkpointing on and off.
+  for (const sim::SimNanos interval : {sim::SimNanos{0}, kMs}) {
+    const ChaosOutcome first = run_ct_chaos(7, interval);
+    const ChaosOutcome again = run_ct_chaos(7, interval);
+    EXPECT_FALSE(first.duplicate_delivery);
+    EXPECT_EQ(first.digest, again.digest) << "interval " << interval;
+  }
+}
+
+TEST(FaultChaos, DoubleFailureInsideResyncWindowConverges) {
+  // A second crash landing while the first restart's reconnect/resync
+  // is still in flight (capped backoff ~1-8 ms + handshake + install)
+  // must still converge: connected, rules reinstalled, and the
+  // checkpointed connection survives BOTH restarts.
+  for (const sim::SimNanos offset :
+       {sim::SimNanos{100'000}, sim::SimNanos{300'000}, 1 * kMs, 2 * kMs, 5 * kMs}) {
+    CtChaosRig rig(11, kMs);
+    sim::FaultInjector injector(rig.network.engine());
+    injector.register_point("sw", *rig.sw);
+    sim::FaultPlan plan;
+    plan.crash("sw", 10 * kMs, 2 * kMs);           // restart at 12 ms
+    plan.crash("sw", 12 * kMs + offset, 2 * kMs);  // inside the resync window
+    injector.arm(plan);
+
+    rig.schedule_traffic(30 * kMs);
+    rig.network.run_until(45 * kMs);
+
+    EXPECT_FALSE(rig.duplicate_delivery) << "offset " << offset;
+    EXPECT_FALSE(rig.sw->restarting()) << "offset " << offset;
+    EXPECT_TRUE(rig.sw->control_connected()) << "offset " << offset;
+    EXPECT_EQ(rig.sw->pipeline().table(0).entries().size(), rig.rule_count)
+        << "offset " << offset;
+    EXPECT_EQ(rig.sw->failover_stats().crashes, 2u) << "offset " << offset;
+    EXPECT_GE(rig.sw->failover_stats().ct_restored, 1u) << "offset " << offset;
+
+    // The established flow still forwards: send 5 post-heal ACKs.
+    const std::uint64_t before = rig.b->counters().rx_tcp;
+    for (int i = 0; i < 5; ++i) {
+      rig.network.engine().schedule_after(100'000, [&rig] {
+        rig.a->send(net::make_tcp(rig.flow, net::kTcpAck));
+      });
+      rig.network.run_until(rig.network.now() + 200'000);
+    }
+    EXPECT_EQ(rig.b->counters().rx_tcp, before + 5) << "offset " << offset;
+  }
 }
 
 }  // namespace

@@ -14,8 +14,10 @@
 #include "controller/apps/static_flows.hpp"
 #include "controller/controller.hpp"
 #include "legacy/legacy_switch.hpp"
+#include "net/build.hpp"
 #include "openflow/channel.hpp"
 #include "sim/network.hpp"
+#include "softswitch/replication.hpp"
 #include "softswitch/soft_switch.hpp"
 
 namespace {
@@ -287,6 +289,294 @@ TEST(ControlChannelFailable, MinGapSerializesDeliveries) {
   EXPECT_EQ(deliveries[0], channel.latency());
   EXPECT_EQ(deliveries[1], channel.latency() + 1'000);
   EXPECT_EQ(deliveries[2], channel.latency() + 2'000);
+}
+
+// ---- stateful HA: checkpoint/restore and active-standby (PR 9) ----
+
+/// Stateful-firewall rule set: only tracked connections pass. A
+/// mid-stream segment with no conntrack entry classifies INVALID and
+/// falls through to the priority-0 drop — which is exactly what makes
+/// established-flow survival observable: an amnesiac restart drops the
+/// flow's ACKs, a restored one forwards them.
+std::vector<openflow::FlowModMsg> firewall_rules() {
+  std::vector<openflow::FlowModMsg> rules;
+  for (int dir = 0; dir < 2; ++dir) {
+    openflow::FlowModMsg est;
+    est.table_id = 0;
+    est.priority = 30;
+    est.match.in_port(static_cast<std::uint32_t>(dir + 1)).ct_established();
+    est.instructions =
+        openflow::apply({openflow::ct_commit(), openflow::output(dir == 0 ? 2u : 1u)});
+    rules.push_back(est);
+  }
+  openflow::FlowModMsg open;
+  open.table_id = 0;
+  open.priority = 20;
+  open.match.in_port(1).ct_new();
+  open.instructions = openflow::apply({openflow::ct_commit(), openflow::output(2)});
+  rules.push_back(open);
+  openflow::FlowModMsg drop;
+  drop.table_id = 0;
+  drop.priority = 0;
+  rules.push_back(drop);
+  return rules;
+}
+
+/// Two hosts through one ct-enabled, controller-managed firewall
+/// switch (rules re-installed by resync after any crash).
+struct CtRig {
+  sim::Network network;
+  SoftSwitch* sw = nullptr;
+  sim::Host* a = nullptr;
+  sim::Host* b = nullptr;
+  std::unique_ptr<ControlChannel> channel;
+  controller::Controller ctrl;
+  controller::Session* session = nullptr;
+  net::FlowKey flow;          // a -> b
+  net::FlowKey reply_flow;    // b -> a
+
+  explicit CtRig(const FailoverSpec& spec) {
+    sw = &network.add_node<SoftSwitch>("fw", 0xA5, 2, /*table_count=*/1);
+    sw->enable_conntrack(openflow::CtConfig{});
+    a = &network.add_host("a", host_mac(0), host_ip(0));
+    b = &network.add_host("b", host_mac(1), host_ip(1));
+    network.connect(*a, 0, *sw, 0, sim::LinkSpec::gbps(10));
+    network.connect(*b, 0, *sw, 1, sim::LinkSpec::gbps(10));
+    channel = std::make_unique<ControlChannel>(network.engine());
+    sw->attach_channel(*channel);
+    sw->set_failover(spec);
+    auto& app = ctrl.add_app<controller::StaticFlowApp>();
+    for (const openflow::FlowModMsg& rule : firewall_rules()) app.flow(rule);
+    session = &ctrl.connect(*channel, "fw");
+    flow = net::FlowKey{a->mac(), b->mac(), a->ip(), b->ip(), 40000, 80};
+    reply_flow = net::FlowKey{b->mac(), a->mac(), b->ip(), a->ip(), 80, 40000};
+    network.run_until(2 * kMs);
+  }
+
+  /// Three-way-handshake the flow through the datapath; both peers see
+  /// each other's segment and the tracker holds one ESTABLISHED entry.
+  void establish() {
+    a->send(net::make_tcp(flow, net::kTcpSyn));
+    network.run_until(network.now() + kMs);
+    b->send(net::make_tcp(reply_flow, net::kTcpSyn | net::kTcpAck));
+    network.run_until(network.now() + kMs);
+  }
+};
+
+FailoverSpec checkpointing_spec(sim::SimNanos interval) {
+  FailoverSpec spec = probing(FailoverSpec::Mode::kFailSecure);
+  spec.checkpoint_interval_ns = interval;
+  return spec;
+}
+
+TEST(StatefulHa, CheckpointRestoreSurvivesSwitchCrash) {
+  CtRig rig(checkpointing_spec(kMs));
+  rig.establish();
+  ASSERT_EQ(rig.b->counters().rx_tcp, 1u);  // SYN passed the ct_new rule
+  ASSERT_EQ(rig.a->counters().rx_tcp, 1u);  // SYN|ACK passed ct_established
+  ASSERT_EQ(rig.sw->pipeline().conntrack(0).size(), 1u);
+
+  // The checkpoint timer (armed by the commits) fires within one
+  // interval and images the established entry.
+  rig.network.run_until(rig.network.now() + 3 * kMs);
+  EXPECT_GE(rig.sw->failover_stats().checkpoints, 1u);
+
+  rig.sw->fault_crash();
+  EXPECT_EQ(rig.sw->pipeline().conntrack(0).size(), 0u);  // volatile state gone
+  rig.sw->fault_restart();
+  // The table is rebuilt from the checkpoint before resync completes.
+  EXPECT_EQ(rig.sw->failover_stats().ct_restored, 1u);
+  EXPECT_EQ(rig.sw->pipeline().conntrack(0).size(), 1u);
+  rig.network.run_until(rig.network.now() + 30 * kMs);
+  ASSERT_TRUE(rig.sw->control_connected());
+
+  // Switch side: the restored state made this a warm resync (no
+  // flow-cache warm-up governor). Controller side: its audit still saw
+  // an empty flow table (the crash wiped rules, not connections) so it
+  // counts the same resync as cold — the two views are independent.
+  EXPECT_EQ(rig.sw->failover_stats().warm_resyncs, 1u);
+  EXPECT_GE(rig.session->cold_resyncs(), 1u);
+
+  // Mid-stream ACKs classify ESTABLISHED off the restored entry and
+  // keep flowing: the connection survived the reboot.
+  const std::uint64_t before = rig.b->counters().rx_tcp;
+  for (int i = 0; i < 5; ++i) {
+    rig.a->send(net::make_tcp(rig.flow, net::kTcpAck));
+    rig.network.run_until(rig.network.now() + 100'000);
+  }
+  EXPECT_EQ(rig.b->counters().rx_tcp, before + 5);
+}
+
+TEST(StatefulHa, AmnesiacRestartDropsEstablishedFlow) {
+  // Checkpointing off: the same crash kills the connection for good.
+  CtRig rig(probing(FailoverSpec::Mode::kFailSecure));
+  rig.establish();
+  ASSERT_EQ(rig.b->counters().rx_tcp, 1u);
+
+  rig.sw->fault_crash();
+  rig.sw->fault_restart();
+  EXPECT_EQ(rig.sw->failover_stats().ct_restored, 0u);
+  EXPECT_EQ(rig.sw->failover_stats().warm_resyncs, 0u);
+  rig.network.run_until(rig.network.now() + 30 * kMs);
+  ASSERT_TRUE(rig.sw->control_connected());
+
+  // Mid-stream ACKs are INVALID (no entry): only the drop rule
+  // matches. Zero established goodput through the restart.
+  const std::uint64_t before = rig.b->counters().rx_tcp;
+  for (int i = 0; i < 5; ++i) {
+    rig.a->send(net::make_tcp(rig.flow, net::kTcpAck));
+    rig.network.run_until(rig.network.now() + 100'000);
+  }
+  EXPECT_EQ(rig.b->counters().rx_tcp, before);
+
+  // But the firewall itself still works: a fresh handshake passes.
+  rig.establish();
+  EXPECT_GT(rig.b->counters().rx_tcp, before);
+}
+
+TEST(StatefulHa, ControllerCrashResyncAuditsWarm) {
+  // A controller crash leaves the datapath's flow tables intact, so
+  // the resync audit finds them and counts the resync warm.
+  CtRig rig(probing(FailoverSpec::Mode::kFailSecure));
+  rig.ctrl.fault_crash();
+  rig.network.run_until(rig.network.now() + 10 * kMs);
+  ASSERT_FALSE(rig.sw->control_connected());
+  rig.ctrl.fault_restart();
+  rig.network.run_until(rig.network.now() + 30 * kMs);
+  ASSERT_TRUE(rig.sw->control_connected());
+  EXPECT_EQ(rig.session->warm_resyncs(), 1u);
+  EXPECT_EQ(rig.session->cold_resyncs(), 0u);
+  EXPECT_EQ(rig.ctrl.stats().warm_resyncs, 1u);
+}
+
+TEST(StatefulHa, StandbyTakeoverPreservesEstablishedState) {
+  sim::Network network;
+  auto& act = network.add_node<SoftSwitch>("act", 0xA1, 2, /*table_count=*/1);
+  auto& stb = network.add_node<SoftSwitch>("stb", 0xA2, 2, /*table_count=*/1);
+  act.enable_conntrack(openflow::CtConfig{});
+  stb.enable_conntrack(openflow::CtConfig{});
+  for (const openflow::FlowModMsg& rule : firewall_rules()) {
+    act.install(rule).check();
+    stb.install(rule).check();
+  }
+  sim::Host& a = network.add_host("a", host_mac(0), host_ip(0));
+  sim::Host& b = network.add_host("b", host_mac(1), host_ip(1));
+  network.connect(a, 0, act, 0, sim::LinkSpec::gbps(10));
+  network.connect(b, 0, act, 1, sim::LinkSpec::gbps(10));
+
+  softswitch::ReplicationChannel repl(network.engine());
+  act.enable_ha_active(repl);
+  stb.enable_ha_standby(repl);
+  bool resteered = false;
+  stb.set_ha_takeover_handler([&] { resteered = true; });
+
+  // Establish through the active; the deltas ride the sync stream onto
+  // the standby's shards.
+  const net::FlowKey flow{a.mac(), b.mac(), a.ip(), b.ip(), 40000, 80};
+  const net::FlowKey reply{b.mac(), a.mac(), b.ip(), a.ip(), 80, 40000};
+  a.send(net::make_tcp(flow, net::kTcpSyn));
+  network.run_until(kMs);
+  b.send(net::make_tcp(reply, net::kTcpSyn | net::kTcpAck));
+  network.run_until(2 * kMs);
+  EXPECT_GE(repl.stats().deltas_delivered, 2u);  // commit + established
+  ASSERT_EQ(stb.pipeline().conntrack(0).size(), 1u);
+  EXPECT_FALSE(stb.ha_promoted());
+
+  // Crash the active: heartbeats fall silent, the standby's monitor
+  // trips after the miss threshold and it promotes itself.
+  act.fault_crash();
+  const sim::SimNanos crashed_at = network.now();
+  network.run_until(crashed_at + 10 * kMs);
+  EXPECT_TRUE(stb.ha_promoted());
+  EXPECT_EQ(stb.failover_stats().takeovers, 1u);
+  EXPECT_TRUE(resteered);
+
+  // The replicated entry survived takeover demoted-but-ESTABLISHED:
+  // the flow keeps its fast path, but a stale replica idles out on the
+  // transient budget unless real traffic re-confirms it.
+  const auto entries = stb.pipeline().conntrack(0).snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_FALSE(entries[0].confirmed);
+  EXPECT_TRUE(entries[0].seen_reply);
+  const openflow::CtTuple orig{host_ip(0).value(), host_ip(1).value(), 40000, 80, 6};
+  EXPECT_EQ(stb.pipeline().conntrack(0).classify(orig, net::kTcpAck, network.now()),
+            openflow::kCtTracked | openflow::kCtEstablished);
+
+  // Takeover is idempotent and one-way.
+  stb.ha_takeover();
+  EXPECT_EQ(stb.failover_stats().takeovers, 1u);
+}
+
+TEST(ReplicationChannelFailable, AttributesEveryLoss) {
+  sim::Engine engine;
+  softswitch::ReplicationSpec spec;
+  spec.batch_interval_ns = 0;  // send-now: one batch per publish
+  softswitch::ReplicationChannel repl(engine, spec);
+  const openflow::CtDelta delta{};
+
+  // No handler: the batch is counted delivered, the deltas are not —
+  // nothing vanishes silently.
+  repl.publish(0, delta);
+  engine.run();
+  EXPECT_EQ(repl.stats().batches_sent, 1u);
+  EXPECT_EQ(repl.stats().batches_delivered, 1u);
+  EXPECT_EQ(repl.stats().deltas_delivered, 0u);
+
+  std::size_t applied = 0;
+  repl.set_delta_handler([&](const softswitch::ReplicationRecord&) { ++applied; });
+
+  // Down at send time.
+  repl.set_up(false);
+  repl.publish(0, delta);
+  engine.run();
+  EXPECT_EQ(repl.stats().batches_dropped_down, 1u);
+
+  // Down at delivery time (in flight when the partition hit).
+  repl.set_up(true);
+  repl.publish(0, delta);
+  repl.set_up(false);
+  engine.run();
+  EXPECT_EQ(repl.stats().batches_dropped_down, 2u);
+  repl.set_up(true);
+
+  // Impairment loss draws only when configured.
+  repl.set_loss(1.0);
+  for (int i = 0; i < 5; ++i) repl.publish(0, delta);
+  engine.run();
+  EXPECT_EQ(repl.stats().batches_dropped_loss, 5u);
+  repl.set_loss(0.0);
+
+  repl.publish(0, delta);
+  engine.run();
+  EXPECT_EQ(applied, 1u);
+  const auto& stats = repl.stats();
+  EXPECT_EQ(stats.batches_sent, stats.batches_delivered + stats.batches_dropped_down +
+                                    stats.batches_dropped_loss);
+
+  // Heartbeats share the pipe and its fate.
+  repl.publish_heartbeat();
+  engine.run();
+  EXPECT_EQ(stats.heartbeats_sent, 1u);
+  EXPECT_EQ(stats.heartbeats_delivered, 1u);
+}
+
+TEST(ReplicationChannelFailable, BatchesCoalesceWithinInterval) {
+  sim::Engine engine;
+  softswitch::ReplicationSpec spec;
+  spec.batch_interval_ns = 100'000;
+  spec.latency_ns = 10'000;
+  softswitch::ReplicationChannel repl(engine, spec);
+  std::vector<sim::SimNanos> arrivals;
+  repl.set_delta_handler(
+      [&](const softswitch::ReplicationRecord&) { arrivals.push_back(engine.now()); });
+  const openflow::CtDelta delta{};
+  for (int i = 0; i < 4; ++i) repl.publish(0, delta);
+  engine.run();
+  // One coalesced batch: all four deltas arrive together at
+  // batch_interval + latency.
+  EXPECT_EQ(repl.stats().batches_sent, 1u);
+  ASSERT_EQ(arrivals.size(), 4u);
+  for (const sim::SimNanos at : arrivals) EXPECT_EQ(at, 110'000);
 }
 
 TEST(LegacyLinkDown, FlushesMacsLearnedOnPort) {
