@@ -30,6 +30,8 @@
 // every faulted row having recovered.
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,8 @@
 #include "controller/controller.hpp"
 #include "net/build.hpp"
 #include "sim/faults.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/witness.hpp"
 #include "softswitch/replication.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -491,6 +495,295 @@ HaRow run_takeover(sim::SimNanos lag_ns, double loss, bool auto_monitor) {
   return row;
 }
 
+// ---- Table 11: split-brain containment and incremental checkpoints ---
+//
+// Partition matrix x fencing. Two SNAT gateways (each fronting its own
+// client pair, sharing one 8-port external pool) run active/standby
+// with duplex replication. Four pre-split connections consume half the
+// pool on the active — and, via the delta stream, park the same
+// reservations on the standby — leaving FOUR free ports. During a
+// 30 ms partition each side that believes it is active admits THREE
+// new connections: if both believe it, 3 + 3 allocations from 4 free
+// ports overlap by pigeonhole — the irrefutable split-brain artifact
+// (one external port owned by two different flows).
+//
+//   fencing off — the PR-9 seam: the standby promotes on heartbeat
+//       silence alone, so an active-standby partition manufactures a
+//       second active and the conflict count goes positive.
+//   fencing on — promotion additionally needs the witness's lease, and
+//       an active that cannot renew fences itself (new commits/NAT
+//       refused, established flows still served). Every cell of the
+//       matrix must show ZERO conflicts and zero double-active probe
+//       samples; the double partition additionally exercises warm
+//       failback (the healed ex-active demotes and is resynced by the
+//       new active over the reverse channel).
+//
+// The second half measures incremental checkpoints: an 8-core firewall
+// with 32 idle connections spread across its shards plus ONE hot flow.
+// Full mode re-serializes every shard every cadence; dirty-shard
+// tracking serializes only the hot one — steady-state checkpoint bytes
+// must drop >= 5x at equal cadence (the staleness-vs-overhead sweep's
+// honesty guard).
+
+constexpr sim::SimNanos kSplitAt = 30 * kMs;
+constexpr sim::SimNanos kHealAt = 60 * kMs;
+constexpr sim::SimNanos kT11End = 80 * kMs;
+constexpr std::uint16_t kSnatLo = 50000;
+constexpr std::uint16_t kSnatHi = 50007;  // 8 ports: 4 pre-split + 4 contested
+
+enum class PartitionKind { kActiveStandby, kWitness, kDouble };
+
+const char* partition_name(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kActiveStandby: return "active_standby";
+    case PartitionKind::kWitness: return "witness";
+    case PartitionKind::kDouble: return "double";
+  }
+  return "?";
+}
+
+std::vector<openflow::FlowModMsg> t11_snat_rules(net::MacAddr a_mac, net::MacAddr b_mac) {
+  std::vector<openflow::FlowModMsg> rules;
+  openflow::FlowModMsg out;
+  out.table_id = 0;
+  out.priority = 100;
+  out.match.in_port(1).eth_type(0x0800).ip_proto(6);
+  out.instructions = openflow::apply({openflow::ct_snat(net::Ipv4Addr(203, 0, 113, 1), kSnatLo,
+                                                        kSnatHi),
+                                      openflow::set_eth_dst(b_mac), openflow::output(2)});
+  rules.push_back(out);
+  openflow::FlowModMsg back;
+  back.table_id = 0;
+  back.priority = 100;
+  back.match.in_port(2).eth_type(0x0800).ip_proto(6).ct_tracked();
+  back.instructions =
+      openflow::apply({openflow::ct_commit(), openflow::set_eth_dst(a_mac), openflow::output(1)});
+  rules.push_back(back);
+  openflow::FlowModMsg drop;
+  drop.table_id = 0;
+  drop.priority = 0;
+  rules.push_back(drop);
+  return rules;
+}
+
+struct T11Row {
+  std::string partition;
+  bool fencing = false;
+  std::uint64_t nat_conflicts = 0;         // external ports owned by two flows
+  std::uint64_t double_active_samples = 0; // 100 us probe: both unfenced-active
+  std::uint64_t fenced_rejects = 0;
+  std::uint64_t promotions_denied = 0;
+  std::uint64_t takeovers = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t failbacks = 0;
+  std::uint64_t failback_entries = 0;
+};
+
+T11Row run_partition(PartitionKind kind, bool fencing) {
+  sim::Network network;
+  sim::Engine& engine = network.engine();
+  auto& act = network.add_node<softswitch::SoftSwitch>("act", 0xF1, 2, /*table_count=*/1);
+  auto& stb = network.add_node<softswitch::SoftSwitch>("stb", 0xF2, 2, /*table_count=*/1);
+  act.enable_conntrack(openflow::CtConfig{});
+  stb.enable_conntrack(openflow::CtConfig{});
+  auto& a1 = network.add_host("a1", host_mac(0), host_ip(0));
+  auto& b1 = network.add_host("b1", host_mac(1), host_ip(1));
+  auto& a2 = network.add_host("a2", host_mac(2), host_ip(2));
+  auto& b2 = network.add_host("b2", host_mac(3), host_ip(3));
+  network.connect(a1, 0, act, 0, sim::LinkSpec::gbps(10));
+  network.connect(b1, 0, act, 1, sim::LinkSpec::gbps(10));
+  network.connect(a2, 0, stb, 0, sim::LinkSpec::gbps(10));
+  network.connect(b2, 0, stb, 1, sim::LinkSpec::gbps(10));
+  for (const openflow::FlowModMsg& rule : t11_snat_rules(a1.mac(), b1.mac()))
+    act.install(rule).check();
+  for (const openflow::FlowModMsg& rule : t11_snat_rules(a2.mac(), b2.mac()))
+    stb.install(rule).check();
+
+  softswitch::ReplicationChannel ab(engine);  // act -> stb
+  softswitch::ReplicationChannel ba(engine);  // stb -> act
+  sim::Witness witness;
+  sim::WitnessLink wl_act(engine, witness, 0xF1);
+  sim::WitnessLink wl_stb(engine, witness, 0xF2);
+  if (fencing) {
+    act.set_ha_witness(wl_act);
+    stb.set_ha_witness(wl_stb);
+  }
+  act.enable_ha_active(ab, &ba);
+  stb.enable_ha_standby(ab, &ba);
+
+  // Pre-split connections: four SNAT allocations on the active, the
+  // same reservations parked on the standby via the delta stream.
+  for (int i = 0; i < 4; ++i) {
+    engine.schedule_at((5 + i) * kMs, [&a1, &b1, i] {
+      a1.send(net::make_tcp(net::FlowKey{a1.mac(), b1.mac(), a1.ip(), b1.ip(),
+                                         static_cast<std::uint16_t>(42000 + i), 80},
+                            net::kTcpSyn));
+    });
+  }
+
+  const bool split_repl = kind != PartitionKind::kWitness;
+  const bool split_witness = kind != PartitionKind::kActiveStandby;
+  engine.schedule_at(kSplitAt, [&ab, &ba, &wl_act, split_repl, split_witness] {
+    if (split_repl) {
+      ab.set_up(false);
+      ba.set_up(false);
+    }
+    if (split_witness) wl_act.set_up(false);
+  });
+  engine.schedule_at(kHealAt, [&ab, &ba, &wl_act] {
+    ab.set_up(true);
+    ba.set_up(true);
+    wl_act.set_up(true);
+  });
+
+  // Mid-split admissions, three per side. The active's clients keep
+  // arriving regardless (a fenced box refuses them at the tracker);
+  // the standby's clients only reach it once it claims the active
+  // role (the re-steer model of Table 10's mux, without the mux).
+  for (int i = 0; i < 3; ++i) {
+    engine.schedule_at(34 * kMs + static_cast<sim::SimNanos>(i) * kMs, [&a1, &b1, i] {
+      a1.send(net::make_tcp(net::FlowKey{a1.mac(), b1.mac(), a1.ip(), b1.ip(),
+                                         static_cast<std::uint16_t>(43000 + i), 80},
+                            net::kTcpSyn));
+    });
+    engine.schedule_at(34 * kMs + 500'000 + static_cast<sim::SimNanos>(i) * kMs,
+                       [&stb, &a2, &b2, i] {
+                         if (!stb.ha_promoted()) return;
+                         a2.send(net::make_tcp(
+                             net::FlowKey{a2.mac(), b2.mac(), a2.ip(), b2.ip(),
+                                          static_cast<std::uint16_t>(44000 + i), 80},
+                             net::kTcpSyn));
+                       });
+  }
+
+  // Dense probe across split and heal: any instant with two unfenced
+  // actives is a containment failure.
+  std::uint64_t double_active = 0;
+  for (sim::SimNanos at = kSplitAt; at <= 70 * kMs; at += 100'000) {
+    engine.schedule_at(at, [&act, &stb, &double_active] {
+      if (act.ha_unfenced_active() && stb.ha_unfenced_active()) ++double_active;
+    });
+  }
+
+  network.run_until(kT11End);
+
+  T11Row row;
+  row.partition = partition_name(kind);
+  row.fencing = fencing;
+  row.double_active_samples = double_active;
+  row.fenced_rejects = act.pipeline().conntrack(0).stats().fenced_rejects +
+                       stb.pipeline().conntrack(0).stats().fenced_rejects;
+  row.promotions_denied = stb.failover_stats().ha_promotions_denied;
+  row.takeovers = stb.failover_stats().takeovers;
+  row.demotions = act.failover_stats().ha_demotions;
+  row.failbacks = act.failover_stats().ha_failbacks;
+  row.failback_entries = act.failover_stats().ha_failback_entries;
+
+  // Conflict audit: collect every SNAT allocation on both boxes; an
+  // external port owned by two different original flows is split-brain
+  // damage (reply traffic for one of them lands on the other).
+  std::map<std::uint16_t, std::set<std::string>> owners;
+  for (const softswitch::SoftSwitch* sw : {&act, &stb}) {
+    for (const openflow::ConnEntry& entry : sw->pipeline().conntrack(0).snapshot()) {
+      if (entry.nat.kind != openflow::CtAction::Nat::kSource) continue;
+      owners[entry.nat.port].insert(util::format("%u:%u", entry.orig.src_ip,
+                                                 static_cast<unsigned>(entry.orig.src_port)));
+    }
+  }
+  for (const auto& [port, origins] : owners)
+    if (origins.size() > 1) ++row.nat_conflicts;
+  return row;
+}
+
+struct CheckpointRow {
+  bool incremental = false;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t shards_skipped = 0;
+  sim::SimNanos ns_billed = 0;
+};
+
+CheckpointRow run_checkpoint_bytes(bool incremental) {
+  constexpr sim::SimNanos kCkptEnd = 100 * kMs;
+  sim::Network network;
+  sim::Engine& engine = network.engine();
+  sim::IngressSpec ingress;
+  ingress.cores.cores = 8;
+  ingress.cores.rss = sim::RssPolicy::kSymmetric;
+  auto& sw = network.add_node<softswitch::SoftSwitch>("fw", 0xF5, 2, /*table_count=*/1,
+                                                      /*specialized=*/true, /*flow_cache=*/true,
+                                                      /*burst_size=*/32, ingress);
+  sw.enable_conntrack(openflow::CtConfig{});
+  for (const openflow::FlowModMsg& rule : ct_firewall_rules()) sw.install(rule).check();
+  auto& a = network.add_host("a", host_mac(0), host_ip(0));
+  auto& b = network.add_host("b", host_mac(1), host_ip(1));
+  network.connect(a, 0, sw, 0, sim::LinkSpec::gbps(10));
+  network.connect(b, 0, sw, 1, sim::LinkSpec::gbps(10));
+
+  softswitch::FailoverSpec spec;
+  spec.checkpoint_interval_ns = kMs;
+  spec.incremental_checkpoints = incremental;
+  sw.set_failover(spec);
+
+  // The skew: 32 connections committed once and then idle, spread by
+  // RSS across the 8 shards...
+  for (int i = 0; i < 32; ++i) {
+    engine.schedule_at(2 * kMs + static_cast<sim::SimNanos>(i) * 50'000, [&a, &b, i] {
+      a.send(net::make_tcp(net::FlowKey{a.mac(), b.mac(), a.ip(), b.ip(),
+                                        static_cast<std::uint16_t>(42000 + i), 80},
+                           net::kTcpSyn));
+    });
+  }
+  // ...and ONE hot flow ACKing every 100 us, dirtying only its shard.
+  const net::FlowKey hot{a.mac(), b.mac(), a.ip(), b.ip(), 41000, 80};
+  const net::FlowKey hot_rev{b.mac(), a.mac(), b.ip(), a.ip(), 80, 41000};
+  engine.schedule_at(4 * kMs, [&a, hot] { a.send(net::make_tcp(hot, net::kTcpSyn)); });
+  engine.schedule_at(4 * kMs + 200'000,
+                     [&b, hot_rev] { b.send(net::make_tcp(hot_rev, net::kTcpSyn | net::kTcpAck)); });
+  for (sim::SimNanos at = 5 * kMs; at < kCkptEnd; at += 100'000)
+    engine.schedule_at(at, [&a, hot] { a.send(net::make_tcp(hot, net::kTcpAck)); });
+
+  network.run_until(kCkptEnd);
+
+  const auto& stats = sw.failover_stats();
+  CheckpointRow row;
+  row.incremental = incremental;
+  row.checkpoints = stats.checkpoints;
+  row.entries = stats.checkpoint_entries;
+  row.bytes = stats.checkpoint_bytes;
+  row.shards_skipped = stats.checkpoint_shards_skipped;
+  row.ns_billed = stats.checkpoint_ns_billed;
+  return row;
+}
+
+Json to_json(const T11Row& row) {
+  Json json = Json::object();
+  json.set("partition", row.partition);
+  json.set("fencing", row.fencing);
+  json.set("nat_conflicts", row.nat_conflicts);
+  json.set("double_active_samples", row.double_active_samples);
+  json.set("fenced_rejects", row.fenced_rejects);
+  json.set("promotions_denied", row.promotions_denied);
+  json.set("takeovers", row.takeovers);
+  json.set("demotions", row.demotions);
+  json.set("failbacks", row.failbacks);
+  json.set("failback_entries", row.failback_entries);
+  return json;
+}
+
+Json to_json(const CheckpointRow& row) {
+  Json json = Json::object();
+  json.set("scenario", std::string("checkpoint_bytes"));
+  json.set("incremental", row.incremental);
+  json.set("checkpoints", row.checkpoints);
+  json.set("entries", row.entries);
+  json.set("bytes", row.bytes);
+  json.set("shards_skipped", row.shards_skipped);
+  json.set("ns_billed", static_cast<std::uint64_t>(row.ns_billed));
+  return json;
+}
+
 Json to_json(const HaRow& row) {
   Json json = Json::object();
   json.set("scenario", row.scenario);
@@ -632,6 +925,67 @@ int main(int argc, char** argv) {
   }
   std::cout << table10.to_string() << '\n';
 
+  // Table 11: the split-brain matrix, fencing off (the PR-9 seam,
+  // reproduced) vs on (the witness closes it), plus the incremental
+  // checkpoint byte comparison. Cheap enough to run in --quick too.
+  util::Table table11({"partition", "fencing", "nat_conflicts", "dbl_active", "fenced_rej",
+                       "prom_denied", "takeovers", "demotions", "failbacks", "fb_entries"});
+  Json rows11 = Json::array();
+  std::uint64_t off_conflicts = 0;
+  std::uint64_t off_double_active = 0;
+  std::uint64_t on_conflicts = 0;
+  std::uint64_t on_double_active = 0;
+  std::uint64_t fencing_failbacks = 0;
+  std::uint64_t fencing_failback_entries = 0;
+  for (const PartitionKind kind :
+       {PartitionKind::kActiveStandby, PartitionKind::kWitness, PartitionKind::kDouble}) {
+    for (const bool fencing : {false, true}) {
+      const T11Row row = run_partition(kind, fencing);
+      if (fencing) {
+        on_conflicts += row.nat_conflicts;
+        on_double_active += row.double_active_samples;
+        fencing_failbacks += row.failbacks;
+        fencing_failback_entries += row.failback_entries;
+      } else {
+        off_conflicts += row.nat_conflicts;
+        off_double_active += row.double_active_samples;
+      }
+      table11.add_row({row.partition, row.fencing ? "on" : "off",
+                       util::format("%llu", static_cast<unsigned long long>(row.nat_conflicts)),
+                       util::format("%llu", static_cast<unsigned long long>(row.double_active_samples)),
+                       util::format("%llu", static_cast<unsigned long long>(row.fenced_rejects)),
+                       util::format("%llu", static_cast<unsigned long long>(row.promotions_denied)),
+                       util::format("%llu", static_cast<unsigned long long>(row.takeovers)),
+                       util::format("%llu", static_cast<unsigned long long>(row.demotions)),
+                       util::format("%llu", static_cast<unsigned long long>(row.failbacks)),
+                       util::format("%llu", static_cast<unsigned long long>(row.failback_entries))});
+      rows11.push(to_json(row));
+    }
+  }
+  const CheckpointRow ckpt_full = run_checkpoint_bytes(false);
+  const CheckpointRow ckpt_incr = run_checkpoint_bytes(true);
+  for (const CheckpointRow* row : {&ckpt_full, &ckpt_incr}) {
+    table11.add_row({row->incremental ? "ckpt_incremental" : "ckpt_full", "-",
+                     util::format("%llu B", static_cast<unsigned long long>(row->bytes)),
+                     util::format("%llu ent", static_cast<unsigned long long>(row->entries)),
+                     util::format("%llu skip", static_cast<unsigned long long>(row->shards_skipped)),
+                     "-", "-", "-", "-",
+                     util::format("%llu ckpt", static_cast<unsigned long long>(row->checkpoints))});
+    rows11.push(to_json(*row));
+  }
+  std::cout << table11.to_string() << '\n';
+
+  const bool split_brain_reproduced = off_conflicts > 0 && off_double_active > 0;
+  const bool fencing_zero_conflicts = on_conflicts == 0;
+  const bool fencing_single_active = on_double_active == 0;
+  const bool failback_warm = fencing_failbacks >= 1 && fencing_failback_entries > 0;
+  const double ckpt_ratio = ckpt_incr.bytes > 0
+                                ? static_cast<double>(ckpt_full.bytes) / static_cast<double>(ckpt_incr.bytes)
+                                : 0.0;
+  const bool ckpt_5x = ckpt_ratio >= 5.0;
+  std::cout << "incremental checkpoint bytes: " << ckpt_incr.bytes << " vs full " << ckpt_full.bytes
+            << " (" << util::format("%.1fx", ckpt_ratio) << " reduction)\n";
+
   // Fault-free determinism guard: the outage-free scenario twice, bit
   // identical or the bench fails (the chaos-smoke CI gate) — and, new
   // in the HA PR, pinned to the PR-8 digest: with checkpointing off
@@ -646,6 +1000,7 @@ int main(int argc, char** argv) {
   Json report = Json::object();
   report.set("table8", std::move(rows));
   report.set("table10", std::move(rows10));
+  report.set("table11", std::move(rows11));
   Json guard = Json::object();
   guard.set("fault_free_digest_match", deterministic);
   guard.set("all_faulted_rows_recovered", all_recovered);
@@ -655,6 +1010,11 @@ int main(int argc, char** argv) {
   guard.set("takeover_zero_lag_goodput_pct", zero_lag_goodput);
   guard.set("takeover_lag_monotone", lag_monotone);
   guard.set("takeover_loss_monotone", loss_monotone);
+  guard.set("t11_split_brain_reproduced", split_brain_reproduced);
+  guard.set("t11_fencing_zero_conflicts", fencing_zero_conflicts);
+  guard.set("t11_fencing_at_most_one_active", fencing_single_active);
+  guard.set("t11_failback_warm", failback_warm);
+  guard.set("t11_incremental_checkpoint_5x", ckpt_5x);
   report.set("guards", std::move(guard));
   write_bench_json("BENCH_faults.json", report);
 
@@ -686,6 +1046,30 @@ int main(int argc, char** argv) {
   }
   if (!lag_monotone || !loss_monotone) {
     std::cerr << "FAIL: takeover goodput did not degrade monotonically with lag/loss\n";
+    ok = false;
+  }
+  if (!split_brain_reproduced) {
+    std::cerr << "FAIL: fencing-off partition did not reproduce split-brain damage "
+                 "(conflicts=" << off_conflicts << ", double-active=" << off_double_active << ")\n";
+    ok = false;
+  }
+  if (!fencing_zero_conflicts) {
+    std::cerr << "FAIL: witness fencing leaked " << on_conflicts << " NAT conflicts\n";
+    ok = false;
+  }
+  if (!fencing_single_active) {
+    std::cerr << "FAIL: witness fencing allowed " << on_double_active
+              << " double-active probe samples\n";
+    ok = false;
+  }
+  if (!failback_warm) {
+    std::cerr << "FAIL: no warm failback completed under fencing (failbacks="
+              << fencing_failbacks << ", entries=" << fencing_failback_entries << ")\n";
+    ok = false;
+  }
+  if (!ckpt_5x) {
+    std::cerr << "FAIL: incremental checkpoints only cut bytes "
+              << util::format("%.1fx", ckpt_ratio) << " (need >= 5x)\n";
     ok = false;
   }
   return ok ? 0 : 1;

@@ -109,6 +109,7 @@ void ConnTracker::emit_delta(CtDelta::Kind kind, const ConnEntry& entry, sim::Si
 
 void ConnTracker::kill(std::uint32_t id, bool /*expired*/, sim::SimNanos now) {
   Slot& slot = slots_[id];
+  dirty_ = true;
   emit_delta(CtDelta::Kind::kClose, slot.entry, now);
   orig_map_.erase(slot.entry.orig);
   reply_map_.erase(slot.entry.reply);
@@ -137,6 +138,7 @@ void ConnTracker::refresh(Slot& slot, std::uint32_t id, bool reply_dir, std::uin
   entry.last_seen = now;
   entry.expires_at = now + timeout_for(entry);
   lru_touch(id);
+  dirty_ = true;
   ++stats_.refreshed;
   // Replicate state *advances* only — per-packet refreshes stay local,
   // so the sync stream scales with connection churn, not with traffic.
@@ -231,7 +233,15 @@ CtOutcome ConnTracker::process(const CtTuple& tuple, std::uint8_t tcp_flags, sim
     }
   }
 
-  // Miss: commit a new connection.
+  // Miss: commit a new connection. A fenced shard (lease lost) must
+  // not mint state — no new entries, no NAT allocations — or a
+  // partitioned ex-active and a promoted standby could hand the same
+  // external port to two different connections.
+  if (fenced_) {
+    ++stats_.fenced_rejects;
+    out.state = kCtInvalid;
+    return out;
+  }
   if (tuple.proto == kProtoTcp && (tcp_flags & net::kTcpSyn) == 0) {
     ++stats_.invalid;
     out.state = kCtInvalid;
@@ -296,6 +306,7 @@ CtOutcome ConnTracker::process(const CtTuple& tuple, std::uint8_t tcp_flags, sim
   reply_map_.emplace(reply, id);
   lru_push_front(id);
   file_deadline(id, slot);
+  dirty_ = true;
   ++stats_.created;
   out.committed = true;
   emit_delta(CtDelta::Kind::kCommit, slot.entry, now);
@@ -342,8 +353,10 @@ void ConnTracker::clear() {
   reply_map_.clear();
   wheel_.clear();
   lru_head_ = lru_tail_ = kNil;
+  dirty_ = true;  // a wiped table differs from its last checkpoint
   // Stats survive a clear — a datapath crash wipes state, not counters.
-  // The delta sink survives too: it is wiring, not connection state.
+  // The delta sink and fencing latch survive too: wiring and role,
+  // not connection state.
 }
 
 // --- checkpoint/restore ---------------------------------------------
@@ -500,6 +513,7 @@ CtRestoreResult ConnTracker::restore(const CtSnapshot& snapshot, sim::SimNanos n
     reply_map_.emplace(e.reply, id);
     lru_push_front(id);
     file_deadline(id, slot);
+    dirty_ = true;
     ++result.restored;
     ++stats_.restored;
   }
@@ -534,6 +548,7 @@ void ConnTracker::apply_delta(const CtDelta& delta, sim::SimNanos now) {
     slot.entry.expires_at = now + e.remaining_ns;
     lru_touch(it->second);
     file_deadline(it->second, slot);
+    dirty_ = true;
     return;
   }
 
@@ -563,6 +578,7 @@ void ConnTracker::apply_delta(const CtDelta& delta, sim::SimNanos now) {
   reply_map_.emplace(e.reply, id);
   lru_push_front(id);
   file_deadline(id, slot);
+  dirty_ = true;
 }
 
 std::size_t ConnTracker::demote_all(sim::SimNanos now) {
@@ -578,7 +594,87 @@ std::size_t ConnTracker::demote_all(sim::SimNanos now) {
     }
     ++demoted;
   }
+  if (demoted != 0) dirty_ = true;
   return demoted;
+}
+
+std::size_t ConnTracker::resync(const CtSnapshot& snapshot, sim::SimNanos now) {
+  std::size_t upserts = 0;
+  std::unordered_map<std::uint32_t, bool> covered;  // slot id -> authoritative
+  covered.reserve(snapshot.entries.size());
+
+  for (const CtSnapshotEntry& e : snapshot.entries) {
+    if (e.remaining_ns <= 0) continue;
+    // The snapshot is authoritative: evict any local connection that
+    // claims either of this entry's tuples but is not this connection.
+    // (kill() may emit a kClose delta; the HA layer's sink is
+    // role/fence-gated, so a resyncing box never echoes these out.)
+    for (const CtTuple* t : {&e.orig, &e.reply}) {
+      if (auto it = orig_map_.find(*t); it != orig_map_.end()) {
+        const Slot& s = slots_[it->second];
+        if (!(s.entry.orig == e.orig && s.entry.reply == e.reply)) kill(it->second, false, now);
+      }
+      if (auto it = reply_map_.find(*t); it != reply_map_.end()) {
+        const Slot& s = slots_[it->second];
+        if (!(s.entry.orig == e.orig && s.entry.reply == e.reply)) kill(it->second, false, now);
+      }
+    }
+
+    if (auto it = orig_map_.find(e.orig); it != orig_map_.end()) {
+      // Same connection survives locally: take the active's view.
+      const std::uint32_t id = it->second;
+      Slot& slot = slots_[id];
+      slot.entry.nat = e.nat;
+      slot.entry.seen_reply = e.seen_reply;
+      slot.entry.closing = e.closing;
+      slot.entry.confirmed = true;
+      slot.entry.last_seen = now;
+      slot.entry.expires_at = now + e.remaining_ns;
+      lru_touch(id);
+      file_deadline(id, slot);
+      covered.emplace(id, true);
+      ++upserts;
+      continue;
+    }
+    if (orig_map_.size() >= config_.max_connections && lru_tail_ != kNil) {
+      kill(lru_tail_, false, now);
+      ++stats_.evicted;
+    }
+    const std::uint32_t id = allocate_slot();
+    Slot& slot = slots_[id];
+    slot.entry = ConnEntry{};
+    slot.entry.orig = e.orig;
+    slot.entry.reply = e.reply;
+    slot.entry.nat = e.nat;
+    slot.entry.seen_reply = e.seen_reply;
+    slot.entry.closing = e.closing;
+    slot.entry.confirmed = true;  // streamed by the live active
+    slot.entry.last_seen = now;
+    slot.entry.expires_at = now + e.remaining_ns;
+    slot.live = true;
+    orig_map_.emplace(e.orig, id);
+    reply_map_.emplace(e.reply, id);
+    lru_push_front(id);
+    file_deadline(id, slot);
+    covered.emplace(id, true);
+    ++upserts;
+  }
+
+  // Anything the snapshot did not vouch for is suspect ex-active state:
+  // demote it so it either re-confirms through traffic or ages out on
+  // the transient timeout.
+  for (std::uint32_t id = 0; id < slots_.size(); ++id) {
+    Slot& slot = slots_[id];
+    if (!slot.live || covered.contains(id)) continue;
+    slot.entry.confirmed = false;
+    const sim::SimNanos cap = now + timeout_for(slot.entry);
+    if (slot.entry.expires_at > cap) {
+      slot.entry.expires_at = cap;
+      file_deadline(id, slot);
+    }
+  }
+  dirty_ = true;
+  return upserts;
 }
 
 }  // namespace harmless::openflow

@@ -145,6 +145,10 @@ struct CtSnapshot {
   /// blob parses to nullopt instead of garbage connections).
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static std::optional<CtSnapshot> parse(const std::vector<std::uint8_t>& bytes);
+
+  /// Exact serialized size without materializing the bytes — the
+  /// checkpoint/replication byte accounting bills this.
+  [[nodiscard]] std::size_t wire_bytes() const { return 18 + entries.size() * 42; }
 };
 
 /// One incremental replication event: a new connection (kCommit), a
@@ -154,6 +158,11 @@ struct CtDelta {
   enum class Kind : std::uint8_t { kCommit = 0, kUpdate = 1, kClose = 2 };
   Kind kind = Kind::kCommit;
   CtSnapshotEntry entry;
+  /// Fencing epoch of the publisher at emission time. The tracker is
+  /// epoch-ignorant (always 0 here); the HA layer stamps it in the
+  /// delta sink and rejects stale-epoch records on receipt, so a
+  /// fenced ex-active's in-flight deltas die by epoch, not wall-clock.
+  std::uint64_t epoch = 0;
 };
 
 using CtDeltaSink = std::function<void(const CtDelta&)>;
@@ -181,6 +190,7 @@ struct CtStats {
   std::uint64_t restore_dropped = 0;  // entries restore() refused
   std::uint64_t deltas_emitted = 0;   // replication events published
   std::uint64_t deltas_applied = 0;   // replication events consumed
+  std::uint64_t fenced_rejects = 0;   // new commits refused while fenced
 };
 
 /// What one `ct` action traversal did (see ConnTracker::process).
@@ -273,6 +283,35 @@ class ConnTracker {
   /// demoted.
   std::size_t demote_all(sim::SimNanos now);
 
+  // --- stateful HA: fencing + warm failback + dirty tracking ---
+
+  /// Fencing gate: while fenced, process() refuses to commit *new*
+  /// connections (NAT allocations included) — the miss path returns
+  /// kCtInvalid and counts stats().fenced_rejects. Established entries
+  /// keep being served and refreshed, so live flows survive a fencing
+  /// window; only state *minting* stops. classify() is unaffected (it
+  /// never mutates).
+  void set_fenced(bool fenced) { fenced_ = fenced; }
+  [[nodiscard]] bool fenced() const { return fenced_; }
+
+  /// Dirty-shard tracking for incremental checkpoints: set by any
+  /// mutation (commit/refresh/kill/apply/restore/resync/demote/clear),
+  /// cleared only by the checkpointing layer once it has captured an
+  /// image. checkpoint() itself does NOT clear — it is also used for
+  /// failback streaming, which must not perturb the cadence.
+  [[nodiscard]] bool dirty() const { return dirty_; }
+  void clear_dirty() { dirty_ = false; }
+
+  /// Warm failback: reconcile this shard against an authoritative
+  /// snapshot from the current active. Unlike restore(), the snapshot
+  /// *wins* collisions: local entries claiming either tuple of a
+  /// snapshot entry are killed, matching connections are updated in
+  /// place (confirmed), new ones inserted confirmed, and live entries
+  /// the snapshot does not cover are demoted (unconfirmed + transient
+  /// deadline) so stale ex-active state ages out fast. Returns the
+  /// number of entries upserted.
+  std::size_t resync(const CtSnapshot& snapshot, sim::SimNanos now);
+
  private:
   struct Slot {
     ConnEntry entry;
@@ -317,6 +356,8 @@ class ConnTracker {
   std::uint32_t lru_tail_ = kNil;  // least recently seen (eviction victim)
   CtStats stats_;
   CtDeltaSink delta_sink_;  // replication stream; null when not an active
+  bool fenced_ = false;     // lease lost: no new commits (survives clear())
+  bool dirty_ = false;      // mutated since last clear_dirty()
 };
 
 }  // namespace harmless::openflow

@@ -80,11 +80,25 @@ FaultPlan& FaultPlan::random_crashes(const std::string& target, std::size_t coun
 }
 
 void FaultInjector::register_link(const std::string& name, Channel& channel) {
-  links_[name].push_back(&channel);
+  if (points_.count(name) != 0)
+    throw util::ConfigError("FaultInjector: link target '" + name +
+                            "' would shadow an existing fault point");
+  auto& channels = links_[name];
+  if (std::find(channels.begin(), channels.end(), &channel) != channels.end())
+    throw util::ConfigError("FaultInjector: channel already registered under link target '" +
+                            name + "'");
+  channels.push_back(&channel);
 }
 
 void FaultInjector::register_point(const std::string& name, FaultPoint& point) {
-  points_[name].push_back(&point);
+  if (links_.count(name) != 0)
+    throw util::ConfigError("FaultInjector: point target '" + name +
+                            "' would shadow an existing link");
+  auto& points = points_[name];
+  if (std::find(points.begin(), points.end(), &point) != points.end())
+    throw util::ConfigError("FaultInjector: point already registered under target '" + name +
+                            "'");
+  points.push_back(&point);
 }
 
 void FaultInjector::arm(const FaultPlan& plan) {

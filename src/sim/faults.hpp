@@ -115,27 +115,32 @@ class FaultInjector {
   explicit FaultInjector(Engine& engine) : engine_(engine) {}
 
   /// Register a wire under `name`. Call repeatedly to group several
-  /// channels (both directions of a duplex link, every leg of a bonded
-  /// trunk) under one target name — a kDown hits them all.
+  /// *distinct* channels (both directions of a duplex link, every leg
+  /// of a bonded trunk) under one target name — a kDown hits them all.
+  /// Re-registering the same channel under the same name, or reusing a
+  /// name already taken by a FaultPoint, throws util::ConfigError —
+  /// a silently shadowed target would make a chaos schedule lie.
   void register_link(const std::string& name, Channel& channel);
 
   /// Register any FaultPoint (control channel, switch, controller)
-  /// under `name`. Multiple points may share a name.
+  /// under `name`. Multiple distinct points may share a name; the same
+  /// duplicate/cross-type guards as register_link() apply.
   void register_point(const std::string& name, FaultPoint& point);
 
   [[nodiscard]] bool has_target(const std::string& name) const {
     return links_.count(name) != 0 || points_.count(name) != 0;
   }
 
-  /// Every registered target name, sorted (links and points merged).
-  /// Chaos schedules over auto-registered topologies draw from this
-  /// instead of hard-coding names.
+  /// Every registered target name, in deterministic sorted order
+  /// (links and points merged — the registration guard keeps the two
+  /// namespaces disjoint, so a plain merge cannot duplicate). Chaos
+  /// schedules over auto-registered topologies draw from this instead
+  /// of hard-coding names.
   [[nodiscard]] std::vector<std::string> target_names() const {
     std::vector<std::string> names;
     names.reserve(links_.size() + points_.size());
     for (const auto& [name, channels] : links_) names.push_back(name);
-    for (const auto& [name, points] : points_)
-      if (links_.count(name) == 0) names.push_back(name);
+    for (const auto& [name, points] : points_) names.push_back(name);
     std::sort(names.begin(), names.end());
     return names;
   }

@@ -59,15 +59,47 @@ void ReplicationChannel::flush() {
   });
 }
 
-void ReplicationChannel::publish_heartbeat() {
+void ReplicationChannel::publish_heartbeat(std::uint64_t epoch) {
   ++stats_.heartbeats_sent;
-  // Heartbeat loss is attributed to the same counters a batch would be
-  // (one sync session; its segments fate-share).
+  if (!depart(stats_.heartbeats_dropped_down, stats_.heartbeats_dropped_loss)) return;
+  engine_.schedule_after(arrival_delay(), [this, epoch] {
+    if (!up_) {
+      ++stats_.heartbeats_dropped_down;  // in flight when the partition hit
+      return;
+    }
+    ++stats_.heartbeats_delivered;
+    if (heartbeat_handler_) heartbeat_handler_(epoch);
+  });
+}
+
+void ReplicationChannel::publish_snapshot(std::size_t shard, openflow::CtSnapshot snapshot,
+                                          std::uint64_t epoch) {
+  ++stats_.snapshots_sent;
+  // State-stream traffic: drops share the batch buckets, unlike
+  // heartbeats — a lost snapshot *is* lost state.
+  if (!depart(stats_.batches_dropped_down, stats_.batches_dropped_loss)) return;
+  engine_.schedule_after(arrival_delay(),
+                         [this, shard, epoch, snapshot = std::move(snapshot)] {
+                           if (!up_) {
+                             ++stats_.batches_dropped_down;
+                             return;
+                           }
+                           ++stats_.snapshots_delivered;
+                           stats_.snapshot_bytes += snapshot.wire_bytes();
+                           if (snapshot_handler_) snapshot_handler_(shard, snapshot, epoch);
+                         });
+}
+
+void ReplicationChannel::publish_sync_request() {
+  ++stats_.sync_requests_sent;
   if (!depart(stats_.batches_dropped_down, stats_.batches_dropped_loss)) return;
   engine_.schedule_after(arrival_delay(), [this] {
-    if (!up_) return;
-    ++stats_.heartbeats_delivered;
-    if (heartbeat_handler_) heartbeat_handler_();
+    if (!up_) {
+      ++stats_.batches_dropped_down;
+      return;
+    }
+    ++stats_.sync_requests_delivered;
+    if (sync_request_handler_) sync_request_handler_();
   });
 }
 

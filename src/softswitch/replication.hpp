@@ -61,14 +61,33 @@ class ReplicationChannel : public sim::FaultPoint {
   void publish(std::size_t shard, const openflow::CtDelta& delta);
   /// Liveness beacon: sent immediately (never batched behind deltas —
   /// a sync backlog must not read as a dead active), same loss/lag.
-  void publish_heartbeat();
+  /// Carries the sender's fencing epoch so a peer holding a newer lease
+  /// is recognizable from the beacon alone (0 = witness-less PR 9 HA).
+  void publish_heartbeat(std::uint64_t epoch = 0);
+  /// Warm-failback state stream: one shard's full snapshot, stamped
+  /// with the sender's epoch. Unbatched (it is already a batch) but
+  /// rides the same loss/lag/partition gates as a delta batch; its
+  /// drops are attributed to the batch counters (it is state-stream
+  /// traffic, unlike heartbeats).
+  void publish_snapshot(std::size_t shard, openflow::CtSnapshot snapshot, std::uint64_t epoch);
+  /// Resync beg from a demoted ex-active: asks the peer to stream its
+  /// snapshots back. Same fate-sharing as a delta batch.
+  void publish_sync_request();
 
   // ---- standby side ----
   void set_delta_handler(std::function<void(const ReplicationRecord&)> handler) {
     delta_handler_ = std::move(handler);
   }
-  void set_heartbeat_handler(std::function<void()> handler) {
+  void set_heartbeat_handler(std::function<void(std::uint64_t epoch)> handler) {
     heartbeat_handler_ = std::move(handler);
+  }
+  void set_snapshot_handler(
+      std::function<void(std::size_t shard, const openflow::CtSnapshot&, std::uint64_t epoch)>
+          handler) {
+    snapshot_handler_ = std::move(handler);
+  }
+  void set_sync_request_handler(std::function<void()> handler) {
+    sync_request_handler_ = std::move(handler);
   }
 
   // ---- failure semantics ----
@@ -98,6 +117,17 @@ class ReplicationChannel : public sim::FaultPoint {
     std::uint64_t batches_dropped_loss = 0;  // random impairment loss
     std::uint64_t heartbeats_sent = 0;
     std::uint64_t heartbeats_delivered = 0;
+    // Heartbeat drops attributed separately from delta-batch drops: a
+    // lossy-heartbeat-only impairment must be distinguishable from
+    // state loss in Table 10/11 forensics.
+    std::uint64_t heartbeats_dropped_down = 0;
+    std::uint64_t heartbeats_dropped_loss = 0;
+    // Warm-failback stream accounting.
+    std::uint64_t sync_requests_sent = 0;
+    std::uint64_t sync_requests_delivered = 0;
+    std::uint64_t snapshots_sent = 0;
+    std::uint64_t snapshots_delivered = 0;
+    std::uint64_t snapshot_bytes = 0;  // wire bytes of delivered snapshots
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const ReplicationSpec& spec() const { return spec_; }
@@ -116,7 +146,9 @@ class ReplicationChannel : public sim::FaultPoint {
   bool flush_scheduled_ = false;
   std::vector<ReplicationRecord> pending_;
   std::function<void(const ReplicationRecord&)> delta_handler_;
-  std::function<void()> heartbeat_handler_;
+  std::function<void(std::uint64_t)> heartbeat_handler_;
+  std::function<void(std::size_t, const openflow::CtSnapshot&, std::uint64_t)> snapshot_handler_;
+  std::function<void()> sync_request_handler_;
   Stats stats_;
 };
 

@@ -431,10 +431,28 @@ void SoftSwitch::schedule_ct_sweep() {
 }
 
 void SoftSwitch::take_ct_checkpoint() {
-  ct_checkpoint_.clear();
-  ct_checkpoint_.reserve(pipeline_.shard_count());
-  for (std::size_t shard = 0; shard < pipeline_.shard_count(); ++shard)
-    ct_checkpoint_.push_back(pipeline_.conntrack(shard).checkpoint(engine_.now()));
+  const std::size_t shards = pipeline_.shard_count();
+  // Incremental mode only works against a held image of the same
+  // shape; the first cadence (or a shape change) is always full.
+  const bool incremental =
+      failover_.incremental_checkpoints && ct_checkpoint_.size() == shards;
+  if (!incremental) ct_checkpoint_.assign(shards, openflow::CtSnapshot{});
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    openflow::ConnTracker& ct = pipeline_.conntrack(shard);
+    if (incremental && !ct.dirty()) {
+      // Untouched since its last capture: the held image is still
+      // exact (every commit/refresh/kill dirties), so reuse it free.
+      ++failover_stats_.checkpoint_shards_skipped;
+      continue;
+    }
+    openflow::CtSnapshot snap = ct.checkpoint(engine_.now());
+    ct.clear_dirty();
+    failover_stats_.checkpoint_entries += snap.entries.size();
+    failover_stats_.checkpoint_bytes += snap.wire_bytes();
+    failover_stats_.checkpoint_ns_billed +=
+        static_cast<sim::SimNanos>(snap.entries.size()) * costs_.checkpoint_entry_ns;
+    ct_checkpoint_[shard] = std::move(snap);
+  }
   ++failover_stats_.checkpoints;
 }
 
@@ -458,11 +476,42 @@ void SoftSwitch::schedule_ct_checkpoint() {
 
 // ---- stateful HA: active–standby pairing ----
 
-void SoftSwitch::enable_ha_active(ReplicationChannel& channel) {
-  repl_out_ = &channel;
+void SoftSwitch::install_ha_delta_sinks() {
   for (std::size_t shard = 0; shard < pipeline_.shard_count(); ++shard) {
-    pipeline_.conntrack(shard).set_delta_sink(
-        [this, shard](const openflow::CtDelta& delta) { repl_out_->publish(shard, delta); });
+    pipeline_.conntrack(shard).set_delta_sink([this, shard](const openflow::CtDelta& delta) {
+      // Only an unfenced active publishes state: a fenced box must not
+      // leak even kUpdate/kClose advances of established flows, and a
+      // standby's resync-driven kills must never echo back out.
+      if (ha_fenced_ || ha_role_ != HaRole::kActive) return;
+      openflow::CtDelta stamped = delta;
+      stamped.epoch = ha_epoch_;
+      repl_out_->publish(shard, stamped);
+    });
+  }
+}
+
+void SoftSwitch::install_ha_receivers(ReplicationChannel& channel) {
+  channel.set_delta_handler([this](const ReplicationRecord& record) { on_ha_delta(record); });
+  channel.set_heartbeat_handler([this](std::uint64_t epoch) { on_ha_heartbeat(epoch); });
+  channel.set_snapshot_handler(
+      [this](std::size_t shard, const openflow::CtSnapshot& snapshot, std::uint64_t epoch) {
+        on_ha_snapshot(shard, snapshot, epoch);
+      });
+  channel.set_sync_request_handler([this] { on_ha_sync_request(); });
+}
+
+void SoftSwitch::enable_ha_active(ReplicationChannel& channel, ReplicationChannel* reverse) {
+  repl_out_ = &channel;
+  repl_in_ = reverse;
+  ha_role_ = HaRole::kActive;
+  install_ha_delta_sinks();
+  if (repl_in_ != nullptr) install_ha_receivers(*repl_in_);
+  if (ha_witness_ != nullptr) {
+    // Fail-closed: fenced until the witness grants. The very first
+    // renewal (one rtt away) lifts it in the healthy case.
+    ha_apply_fence(true);
+    ha_renew_lease();
+    schedule_ha_lease_renew();
   }
   schedule_ha_heartbeat();
 }
@@ -474,56 +523,94 @@ void SoftSwitch::schedule_ha_heartbeat() {
   ha_heartbeat_armed_ = true;
   engine_.schedule_after(interval, [this] {
     ha_heartbeat_armed_ = false;
-    // A crashed active is silent — that silence *is* the takeover
-    // signal. The timer keeps running so heartbeats resume on restart.
-    if (!restarting_) repl_out_->publish_heartbeat();
+    // A crashed or fenced active is silent — silence *is* the takeover
+    // signal, and a fenced box advertising liveness would stall a
+    // standby that could otherwise win the lease and serve. The timer
+    // keeps running so heartbeats resume on restart/unfence.
+    if (!restarting_ && ha_role_ == HaRole::kActive && !ha_fenced_)
+      repl_out_->publish_heartbeat(ha_epoch_);
     schedule_ha_heartbeat();
   });
 }
 
-void SoftSwitch::enable_ha_standby(ReplicationChannel& channel) {
+void SoftSwitch::enable_ha_standby(ReplicationChannel& channel, ReplicationChannel* reverse) {
   repl_in_ = &channel;
+  repl_out_ = reverse;
+  ha_role_ = HaRole::kStandby;
   last_ha_heartbeat_ = engine_.now();
-  channel.set_delta_handler([this](const ReplicationRecord& record) {
-    if (ha_promoted_ || restarting_) return;  // a promoted peer owns its own state
-    if (!pipeline_.conntrack_enabled() || record.shard >= pipeline_.shard_count()) return;
-    pipeline_.conntrack(record.shard).apply_delta(record.delta, engine_.now());
-    schedule_ct_sweep();  // replicated entries must expire here too
-  });
-  channel.set_heartbeat_handler([this] {
-    ha_heartbeat_seen_ = true;
-    last_ha_heartbeat_ = engine_.now();
-  });
+  install_ha_receivers(channel);
+  // A standby never mints state; with a witness attached the fence
+  // stays up until this box is actually promoted under a lease.
+  if (ha_witness_ != nullptr) ha_apply_fence(true);
   schedule_ha_monitor();
 }
 
+void SoftSwitch::set_ha_witness(sim::WitnessLink& link) {
+  ha_witness_ = &link;
+  // Fail-closed from the moment arbitration is configured: nobody
+  // mints state without a lease.
+  ha_apply_fence(true);
+  if (ha_role_ == HaRole::kActive) {
+    ha_renew_lease();
+    schedule_ha_lease_renew();
+  }
+}
+
 void SoftSwitch::schedule_ha_monitor() {
-  if (ha_monitor_armed_ || repl_in_ == nullptr || ha_promoted_) return;
+  if (ha_monitor_armed_ || repl_in_ == nullptr || ha_role_ != HaRole::kStandby) return;
   const ReplicationSpec& spec = repl_in_->spec();
   if (spec.heartbeat_interval_ns <= 0) return;
   ha_monitor_armed_ = true;
   engine_.schedule_after(spec.heartbeat_interval_ns, [this] {
     ha_monitor_armed_ = false;
-    if (ha_promoted_) return;  // promotion stops the monitor
+    if (ha_role_ != HaRole::kStandby) return;  // promotion stops the monitor
     const ReplicationSpec& spec = repl_in_->spec();
     const sim::SimNanos silence = engine_.now() - last_ha_heartbeat_;
+    // A demoted ex-active still begging for its warm resync retries
+    // here (the first sync request may have died on the wire).
+    if (ha_failback_pending_ && !restarting_ && repl_out_ != nullptr)
+      repl_out_->publish_sync_request();
     // Never self-promote before first contact: until a heartbeat has
     // actually arrived the standby cannot distinguish a dead active
     // from sync latency longer than the miss threshold (bootstrap
     // promotion is the operator's call, not the monitor's).
-    if (ha_heartbeat_seen_ &&
+    if (!restarting_ && ha_heartbeat_seen_ &&
         silence > static_cast<sim::SimNanos>(spec.takeover_miss_threshold) *
                       spec.heartbeat_interval_ns) {
-      ha_takeover();
-      return;
+      ha_request_promotion();
+      // Keep monitoring: with a witness the promotion is asynchronous
+      // (and may be denied); the role flip stops the re-arm naturally.
     }
     schedule_ha_monitor();
   });
 }
 
+void SoftSwitch::ha_request_promotion() {
+  if (ha_witness_ == nullptr) {
+    // Witness-less PR-9 pair: heartbeat silence alone decides.
+    ha_takeover();
+    return;
+  }
+  ha_witness_->request_lease([this](bool granted, std::uint64_t epoch,
+                                    sim::SimNanos expires_at) {
+    if (ha_role_ != HaRole::kStandby) return;  // raced with another path
+    if (!granted) {
+      ++failover_stats_.ha_lease_denials;
+      ++failover_stats_.ha_promotions_denied;
+      if (epoch > ha_epoch_) ha_epoch_ = epoch;
+      return;
+    }
+    ++failover_stats_.ha_lease_grants;
+    ha_epoch_ = epoch;
+    ha_lease_expires_ = expires_at;
+    ha_takeover();
+  });
+}
+
 void SoftSwitch::ha_takeover() {
-  if (ha_promoted_) return;
+  if (ha_role_ == HaRole::kActive || ha_promoted_) return;
   ha_promoted_ = true;
+  ha_role_ = HaRole::kActive;
   ++failover_stats_.takeovers;
   // Takeover hygiene: every replicated connection is only as fresh as
   // the sync stream was — demote them all so the ones that died while
@@ -534,7 +621,155 @@ void SoftSwitch::ha_takeover() {
       pipeline_.conntrack(shard).demote_all(engine_.now());
     schedule_ct_sweep();
   }
+  // The promotion lease (when arbitrated) was taken in
+  // ha_request_promotion; lift the fence and start acting the part:
+  // publish deltas/heartbeats on the reverse channel, keep renewing.
+  ha_set_fenced(false);
+  if (repl_out_ != nullptr) {
+    if (pipeline_.conntrack_enabled()) install_ha_delta_sinks();
+    schedule_ha_heartbeat();
+  }
+  if (ha_witness_ != nullptr) {
+    ha_arm_fence_check(ha_lease_expires_);
+    schedule_ha_lease_renew();
+  }
   if (ha_takeover_handler_) ha_takeover_handler_();
+}
+
+// ---- witness-arbitrated fencing + warm failback ----
+
+void SoftSwitch::ha_apply_fence(bool fenced) {
+  ha_fenced_ = fenced;
+  if (!pipeline_.conntrack_enabled()) return;
+  for (std::size_t shard = 0; shard < pipeline_.shard_count(); ++shard)
+    pipeline_.conntrack(shard).set_fenced(fenced);
+}
+
+void SoftSwitch::ha_set_fenced(bool fenced) {
+  if (ha_fenced_ == fenced) return;
+  if (fenced)
+    ++failover_stats_.ha_fences;
+  else
+    ++failover_stats_.ha_unfences;
+  ha_apply_fence(fenced);
+}
+
+void SoftSwitch::ha_renew_lease() {
+  if (ha_witness_ == nullptr || ha_role_ != HaRole::kActive || restarting_) return;
+  ha_witness_->request_lease([this](bool granted, std::uint64_t epoch,
+                                    sim::SimNanos expires_at) {
+    if (ha_role_ != HaRole::kActive) return;  // demoted while in flight
+    if (granted) {
+      ++failover_stats_.ha_lease_grants;
+      ha_epoch_ = epoch;
+      ha_lease_expires_ = expires_at;
+      ha_set_fenced(false);
+      ha_arm_fence_check(expires_at);
+      return;
+    }
+    ++failover_stats_.ha_lease_denials;
+    // Someone else holds the lease: fence immediately (do not wait for
+    // expiry) and, since the denial proves a newer holder epoch, step
+    // down and ask the new active for our state back.
+    ha_set_fenced(true);
+    if (epoch > ha_epoch_) ha_demote(epoch);
+  });
+}
+
+void SoftSwitch::schedule_ha_lease_renew() {
+  if (ha_renew_armed_ || ha_witness_ == nullptr) return;
+  const sim::SimNanos interval = ha_witness_->spec().renew_interval_ns;
+  if (interval <= 0) return;
+  ha_renew_armed_ = true;
+  engine_.schedule_after(interval, [this] {
+    ha_renew_armed_ = false;
+    if (ha_role_ != HaRole::kActive) return;  // a standby does not renew
+    ha_renew_lease();  // no-ops while restarting_, resumes after
+    schedule_ha_lease_renew();
+  });
+}
+
+void SoftSwitch::ha_arm_fence_check(sim::SimNanos expires_at) {
+  engine_.schedule_at(expires_at, [this, expires_at] {
+    // Stale checks no-op: a renewal moved ha_lease_expires_ forward.
+    (void)expires_at;
+    if (ha_role_ != HaRole::kActive || ha_fenced_) return;
+    if (engine_.now() >= ha_lease_expires_) ha_set_fenced(true);
+  });
+}
+
+void SoftSwitch::ha_demote(std::uint64_t epoch) {
+  if (ha_role_ != HaRole::kActive) return;
+  ha_role_ = HaRole::kStandby;
+  ha_promoted_ = false;
+  ++failover_stats_.ha_demotions;
+  if (epoch > ha_epoch_) ha_epoch_ = epoch;
+  // The fence stays up: a standby never mints state. (apply_delta and
+  // resync bypass the conntrack fence by design — it only gates
+  // process()'s miss path.)
+  ha_set_fenced(true);
+  last_ha_heartbeat_ = engine_.now();  // restart the silence clock
+  ha_heartbeat_seen_ = false;          // and require fresh contact
+  // Warm failback: beg the new active to stream its table back. The
+  // monitor retries this while pending, in case the request is lost.
+  ha_failback_pending_ = true;
+  if (repl_out_ != nullptr && !restarting_) repl_out_->publish_sync_request();
+  schedule_ha_monitor();
+}
+
+void SoftSwitch::on_ha_heartbeat(std::uint64_t epoch) {
+  ha_heartbeat_seen_ = true;
+  last_ha_heartbeat_ = engine_.now();
+  if (epoch > ha_epoch_) {
+    // The peer provably holds a newer lease than we ever did. An
+    // active hearing this steps down — this is how a healed partition
+    // resolves without the witness having to referee twice.
+    const bool was_active = ha_role_ == HaRole::kActive;
+    ha_epoch_ = epoch;
+    if (was_active) ha_demote(epoch);
+  }
+}
+
+void SoftSwitch::on_ha_delta(const ReplicationRecord& record) {
+  // Epoch gate first: stale-epoch deltas are refused no matter the
+  // role — a promoted active must still count (and drop) a fenced
+  // ex-active's in-flight state.
+  if (record.delta.epoch < ha_epoch_) {
+    ++failover_stats_.ha_deltas_rejected_epoch;
+    return;
+  }
+  if (ha_role_ != HaRole::kStandby || restarting_) return;
+  if (!pipeline_.conntrack_enabled() || record.shard >= pipeline_.shard_count()) return;
+  if (record.delta.epoch > ha_epoch_) ha_epoch_ = record.delta.epoch;
+  pipeline_.conntrack(record.shard).apply_delta(record.delta, engine_.now());
+  schedule_ct_sweep();  // replicated entries must expire here too
+}
+
+void SoftSwitch::on_ha_snapshot(std::size_t shard, const openflow::CtSnapshot& snapshot,
+                                std::uint64_t epoch) {
+  // Failback stream from the current active: only a standby consumes
+  // it, and only at the current (or a newer) epoch.
+  if (ha_role_ != HaRole::kStandby || restarting_) return;
+  if (epoch < ha_epoch_) return;
+  if (!pipeline_.conntrack_enabled() || shard >= pipeline_.shard_count()) return;
+  if (epoch > ha_epoch_) ha_epoch_ = epoch;
+  const std::size_t upserts = pipeline_.conntrack(shard).resync(snapshot, engine_.now());
+  failover_stats_.ha_failback_entries += upserts;
+  if (ha_failback_pending_ && shard + 1 == pipeline_.shard_count()) {
+    ha_failback_pending_ = false;
+    ++failover_stats_.ha_failbacks;  // rejoined warm
+  }
+  schedule_ct_sweep();
+}
+
+void SoftSwitch::on_ha_sync_request() {
+  // Only a live unfenced active is authoritative enough to stream its
+  // table to a rejoining peer.
+  if (ha_role_ != HaRole::kActive || ha_fenced_ || restarting_) return;
+  if (repl_out_ == nullptr || !pipeline_.conntrack_enabled()) return;
+  for (std::size_t shard = 0; shard < pipeline_.shard_count(); ++shard)
+    repl_out_->publish_snapshot(shard, pipeline_.conntrack(shard).checkpoint(engine_.now()),
+                                ha_epoch_);
 }
 
 void SoftSwitch::handle_controller_message(Message&& message) {

@@ -82,6 +82,7 @@
 #include "openflow/pipeline.hpp"
 #include "sim/faults.hpp"
 #include "sim/node.hpp"
+#include "sim/witness.hpp"
 #include "softswitch/replication.hpp"
 #include "util/rng.hpp"
 
@@ -145,6 +146,13 @@ struct DatapathCosts {
   /// advance TCP state, resolve the NAT rewrite. Paid on slow path and
   /// megaflow replay alike — connection state always advances.
   sim::SimNanos ct_commit_ns = 25;
+  /// Serializing one connection entry into a checkpoint image. Billed
+  /// into FailoverStats::checkpoint_ns_billed as reported overhead
+  /// (not injected into the datapath event timeline — checkpointing
+  /// perturbs the staleness-vs-overhead ledger, not packet order), so
+  /// the bench_faults cadence sweep prices full vs incremental
+  /// checkpoints honestly.
+  sim::SimNanos checkpoint_entry_ns = 40;
 
   /// Everything but rx/tx for one pipeline result: the pipeline's own
   /// bill plus the cache accounting.
@@ -235,6 +243,14 @@ struct FailoverSpec {
   /// self-disarming (it stops once the connection table empties), so
   /// run() engines still drain.
   sim::SimNanos checkpoint_interval_ns = 0;
+  /// Incremental checkpoints: each cadence serializes only the shards
+  /// mutated since their last capture (ConnTracker dirty tracking);
+  /// clean shards keep their previous image. Off (default) = every
+  /// cadence re-serializes every shard, the PR-9 behaviour. The held
+  /// image stays exact either way — any commit/refresh/kill dirties
+  /// its shard — modulo entries that lazily expired unswept (they are
+  /// filtered again at restore, so the slack is cosmetic).
+  bool incremental_checkpoints = false;
 
   [[nodiscard]] bool enabled() const { return echo_interval_ns > 0; }
   [[nodiscard]] bool checkpointing() const { return checkpoint_interval_ns > 0; }
@@ -264,6 +280,20 @@ struct FailoverStats {
   std::uint64_t ct_restore_dropped = 0; // snapshot entries restore refused
   std::uint64_t takeovers = 0;          // standby promotions (ha_takeover)
   std::uint64_t warm_resyncs = 0;       // resyncs completed with restored ct state
+  // Split-brain-safe HA (PR 10):
+  std::uint64_t ha_fences = 0;             // fencing engaged (lease lost/lapsed)
+  std::uint64_t ha_unfences = 0;           // fencing lifted (lease regained)
+  std::uint64_t ha_lease_grants = 0;       // witness grants/renewals received
+  std::uint64_t ha_lease_denials = 0;      // witness denials received
+  std::uint64_t ha_promotions_denied = 0;  // standby takeovers blocked by the witness
+  std::uint64_t ha_demotions = 0;          // active stepped down (newer epoch seen)
+  std::uint64_t ha_failbacks = 0;          // warm resync streams completed
+  std::uint64_t ha_failback_entries = 0;   // connections upserted by failback resync
+  std::uint64_t ha_deltas_rejected_epoch = 0;  // stale-epoch deltas refused
+  std::uint64_t checkpoint_entries = 0;    // entries serialized across cadences
+  std::uint64_t checkpoint_bytes = 0;      // wire bytes serialized across cadences
+  std::uint64_t checkpoint_shards_skipped = 0;  // clean shards reusing their image
+  sim::SimNanos checkpoint_ns_billed = 0;  // serialization cost (reported, not injected)
   sim::SimNanos degraded_ns = 0;        // cumulative disconnected time
   sim::SimNanos last_disconnect_at = -1;
   sim::SimNanos last_reconnect_at = -1;
@@ -394,7 +424,7 @@ class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
   [[nodiscard]] const FailoverSpec& failover() const { return failover_; }
   [[nodiscard]] const FailoverStats& failover_stats() const { return failover_stats_; }
 
-  // ---- stateful HA: active–standby pairing (PR 9) ----
+  // ---- stateful HA: active–standby pairing (PR 9/10) ----
   // Wire two switches (same shard count, same rules, conntrack enabled
   // on both) through one ReplicationChannel: the active publishes its
   // conntrack deltas and heartbeats into it, the standby applies the
@@ -402,24 +432,48 @@ class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
   // calls are opt-in and arm perpetual timers — drive the engine with
   // run_until(). A takeover does not rewire traffic by itself; the
   // harness observes it through set_ha_takeover_handler and re-steers.
+  //
+  // PR 10 adds witness arbitration: attach a WitnessLink to both boxes
+  // and promotion requires a lease quorum (heartbeat silence AND a
+  // witness grant), while an active that cannot renew fences itself —
+  // stops minting conntrack/NAT state — at lease expiry. Fencing is
+  // fail-closed: a box with a witness attached is fenced until its
+  // first grant. With no witness, behaviour is the PR-9 machinery
+  // exactly. Pass the reverse channel to enable warm failback: a
+  // demoted ex-active asks over it and the new active streams its
+  // shard snapshots back.
+
+  enum class HaRole : std::uint8_t { kNone, kActive, kStandby };
+
+  /// Attach this box's wire to the lease witness. Call before (or
+  /// after) enable_ha_active/standby; engages fail-closed fencing
+  /// immediately on an active. The link must outlive the switch.
+  void set_ha_witness(sim::WitnessLink& link);
 
   /// Become the active of an HA pair: every conntrack shard's delta
-  /// stream is published into `channel`, and a heartbeat fires every
-  /// ReplicationSpec::heartbeat_interval_ns (silent while crashed).
-  /// Requires conntrack to be enabled first.
-  void enable_ha_active(ReplicationChannel& channel);
+  /// stream is published into `channel` (stamped with the fencing
+  /// epoch), and a heartbeat fires every heartbeat_interval_ns (silent
+  /// while crashed or fenced). `reverse` (standby→active direction),
+  /// when given, is listened on for failback sync requests and the
+  /// peer's snapshots/heartbeats after a role swap. Requires conntrack
+  /// to be enabled first.
+  void enable_ha_active(ReplicationChannel& channel, ReplicationChannel* reverse = nullptr);
 
   /// Become the standby of an HA pair: apply replicated deltas into the
   /// local conntrack shards and monitor the active's heartbeats; after
   /// ReplicationSpec::takeover_miss_threshold silent intervals the
-  /// standby promotes itself (ha_takeover). Requires conntrack enabled.
-  void enable_ha_standby(ReplicationChannel& channel);
+  /// standby promotes itself (with a witness attached, only after a
+  /// lease grant). `reverse` is the standby→active channel this box
+  /// publishes on once promoted (and begs for failback on when
+  /// demoted). Requires conntrack enabled.
+  void enable_ha_standby(ReplicationChannel& channel, ReplicationChannel* reverse = nullptr);
 
-  /// Promote this (standby) switch: demote every replicated connection
-  /// to the transient timeout (ConnTracker::demote_all — flows that
-  /// died while replication lagged must not linger as ESTABLISHED),
-  /// stop applying deltas, count the takeover, and fire the takeover
-  /// handler. Idempotent.
+  /// Promote this switch: demote every replicated connection to the
+  /// transient timeout (ConnTracker::demote_all — flows that died
+  /// while replication lagged must not linger as ESTABLISHED), become
+  /// the publishing active, count the takeover, and fire the takeover
+  /// handler. Idempotent. NOTE: bypasses the witness — callers gating
+  /// promotion on a lease go through the monitor path instead.
   void ha_takeover();
 
   /// Observer the harness uses to re-steer traffic after a promotion.
@@ -428,6 +482,15 @@ class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
   }
 
   [[nodiscard]] bool ha_promoted() const { return ha_promoted_; }
+  [[nodiscard]] HaRole ha_role() const { return ha_role_; }
+  [[nodiscard]] bool ha_fenced() const { return ha_fenced_; }
+  [[nodiscard]] std::uint64_t ha_epoch() const { return ha_epoch_; }
+  /// The split-brain invariant's probe: true iff this box would mint
+  /// new conntrack/NAT state right now. The chaos suite asserts at
+  /// most one box of a pair satisfies this at any simulated time.
+  [[nodiscard]] bool ha_unfenced_active() const {
+    return ha_role_ == HaRole::kActive && !ha_fenced_ && !restarting_;
+  }
   /// Control-session view: true when the switch believes its controller
   /// is reachable (always true with failover disabled).
   [[nodiscard]] bool control_connected() const { return connected_; }
@@ -477,6 +540,36 @@ class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
   void take_ct_checkpoint();
   void schedule_ha_heartbeat();
   void schedule_ha_monitor();
+
+  // ---- witness-arbitrated fencing + warm failback (PR 10) ----
+  /// Install delta/heartbeat/snapshot/sync-request receivers on the
+  /// channel this box listens on (standby: the forward channel;
+  /// active: the reverse channel, when wired).
+  void install_ha_receivers(ReplicationChannel& channel);
+  /// Install the epoch-stamping conntrack delta sinks onto repl_out_.
+  void install_ha_delta_sinks();
+  /// Propagate the fencing latch to every conntrack shard (no
+  /// accounting); ha_set_fenced is the counted idempotent wrapper.
+  void ha_apply_fence(bool fenced);
+  void ha_set_fenced(bool fenced);
+  /// Active: ask the witness to (re)grant the lease; a denial fences
+  /// and, when it reveals a newer epoch, demotes.
+  void ha_renew_lease();
+  void schedule_ha_lease_renew();
+  /// Arm the self-fencing deadline: at `expires_at`, fence unless the
+  /// lease was renewed past it in the meantime.
+  void ha_arm_fence_check(sim::SimNanos expires_at);
+  /// Standby monitor tripped: promote directly (no witness) or request
+  /// the lease and promote only on a grant.
+  void ha_request_promotion();
+  /// Active that learned of a newer epoch: step down to standby,
+  /// keep the fence up, and beg the new active for a warm resync.
+  void ha_demote(std::uint64_t epoch);
+  void on_ha_heartbeat(std::uint64_t epoch);
+  void on_ha_delta(const ReplicationRecord& record);
+  void on_ha_snapshot(std::size_t shard, const openflow::CtSnapshot& snapshot,
+                      std::uint64_t epoch);
+  void on_ha_sync_request();
 
   // ---- failover machinery (all inert while failover_.enabled() is
   // false — the default) ----
@@ -543,14 +636,23 @@ class SoftSwitch : public sim::ServicedNode, public sim::FaultPoint {
   std::vector<openflow::CtSnapshot> ct_checkpoint_;
   bool ct_checkpoint_scheduled_ = false;
   bool ct_state_restored_ = false;  // restore happened; next resync is warm
-  ReplicationChannel* repl_out_ = nullptr;  // active side
-  ReplicationChannel* repl_in_ = nullptr;   // standby side
+  ReplicationChannel* repl_out_ = nullptr;  // publish direction (this -> peer)
+  ReplicationChannel* repl_in_ = nullptr;   // listen direction (peer -> this)
   bool ha_heartbeat_armed_ = false;
   bool ha_monitor_armed_ = false;
   bool ha_promoted_ = false;
   bool ha_heartbeat_seen_ = false;  // monitor only trips after first contact
   sim::SimNanos last_ha_heartbeat_ = 0;
   std::function<void()> ha_takeover_handler_;
+  // Witness-arbitrated fencing + failback (PR 10). All inert without
+  // set_ha_witness / a reverse channel — the PR-9 pair exactly.
+  sim::WitnessLink* ha_witness_ = nullptr;
+  HaRole ha_role_ = HaRole::kNone;
+  bool ha_fenced_ = false;
+  std::uint64_t ha_epoch_ = 0;
+  sim::SimNanos ha_lease_expires_ = 0;
+  bool ha_renew_armed_ = false;
+  bool ha_failback_pending_ = false;  // demoted, waiting for the peer's stream
   legacy::MacTable standalone_macs_;
   std::uint64_t seen_cache_epoch_ = 0;
   /// service_burst staging + result scratch, recycled across bursts

@@ -407,5 +407,136 @@ TEST(ConnTracker, NextDeadlineDrivesSweepScheduling) {
   EXPECT_EQ(ct.size(), 0u);
 }
 
+TEST(ConnTracker, FencedRefusesNewCommitsButServesEstablished) {
+  ConnTracker ct(CtConfig{}, 1);
+  const CtTuple orig = tuple(0x0a000001, 40000, 0x0a000002, 80);
+  ct.process(orig, net::kTcpSyn, 1000, kCommit);
+  ct.process(orig.reversed(), net::kTcpSyn | net::kTcpAck, 2000, kCommit);
+  ASSERT_EQ(ct.size(), 1u);
+
+  ct.set_fenced(true);
+  EXPECT_TRUE(ct.fenced());
+
+  // New connections (and their NAT allocations) are refused outright.
+  const CtTuple fresh = tuple(0x0a000003, 41000, 0x0a000002, 80);
+  CtAction snat;
+  snat.nat = CtAction::Nat::kSource;
+  snat.nat_ip = 0xc0000201;
+  snat.port_min = 50000;
+  snat.port_max = 50100;
+  const CtOutcome refused = ct.process(fresh, net::kTcpSyn, 3000, snat);
+  EXPECT_FALSE(refused.committed);
+  EXPECT_EQ(refused.state, kCtInvalid);
+  EXPECT_EQ(ct.stats().fenced_rejects, 1u);
+  EXPECT_EQ(ct.stats().nat_allocated, 0u);
+  EXPECT_EQ(ct.size(), 1u);
+
+  // The established flow keeps its fast path: classification and
+  // refresh still serve it — fencing stops state *minting*, not
+  // forwarding.
+  EXPECT_EQ(ct.classify(orig, net::kTcpAck, 3000), kCtTracked | kCtEstablished);
+  const CtOutcome served = ct.process(orig, net::kTcpAck, 3000, kCommit);
+  EXPECT_EQ(served.state, kCtTracked | kCtEstablished);
+
+  // Unfencing restores commits.
+  ct.set_fenced(false);
+  EXPECT_TRUE(ct.process(fresh, net::kTcpSyn, 4000, kCommit).committed);
+}
+
+TEST(ConnTracker, DirtyTracksMutationsAndClearDirtyArmsSkip) {
+  ConnTracker ct(CtConfig{}, 1);
+  EXPECT_FALSE(ct.dirty());
+  const CtTuple orig = tuple(0x0a000001, 40000, 0x0a000002, 80);
+  ct.process(orig, net::kTcpSyn, 1000, kCommit);
+  EXPECT_TRUE(ct.dirty());
+  ct.clear_dirty();
+  EXPECT_FALSE(ct.dirty());
+  // A pure classification does not dirty; a refresh does.
+  ct.classify(orig, net::kTcpAck, 2000);
+  EXPECT_FALSE(ct.dirty());
+  ct.process(orig, net::kTcpAck, 2000, kCommit);
+  EXPECT_TRUE(ct.dirty());
+}
+
+TEST(ConnTracker, ResyncUpsertsAuthoritativelyAndDemotesUncovered) {
+  ConnTracker active(CtConfig{}, 1);
+  ConnTracker rejoining(CtConfig{}, 1);
+
+  // The active holds two established connections (one NATed is not
+  // needed — resync carries nat verbatim either way).
+  const CtTuple c1 = tuple(0x0a000001, 40000, 0x0a000002, 80);
+  const CtTuple c2 = tuple(0x0a000001, 40001, 0x0a000002, 80);
+  for (const CtTuple& t : {c1, c2}) {
+    active.process(t, net::kTcpSyn, 1000, kCommit);
+    active.process(t.reversed(), net::kTcpSyn | net::kTcpAck, 2000, kCommit);
+  }
+
+  // The rejoining box has c1 (stale, pre-reply) plus a connection the
+  // active never saw (minted during a split that fencing would have
+  // prevented — resync must quarantine it).
+  rejoining.process(c1, net::kTcpSyn, 1500, kCommit);
+  const CtTuple ghost = tuple(0x0a000009, 49000, 0x0a000002, 80);
+  rejoining.process(ghost, net::kTcpSyn, 1500, kCommit);
+  rejoining.process(ghost.reversed(), net::kTcpSyn | net::kTcpAck, 1600, kCommit);
+
+  const CtSnapshot image = active.checkpoint(3000);
+  const std::size_t upserts = rejoining.resync(image, 4000);
+  EXPECT_EQ(upserts, 2u);
+  ASSERT_EQ(rejoining.size(), 3u);
+
+  for (const ConnEntry& entry : rejoining.snapshot()) {
+    if (entry.orig == ghost) {
+      // Uncovered: demoted to unconfirmed with a transient deadline.
+      EXPECT_FALSE(entry.confirmed);
+      EXPECT_LE(entry.expires_at, 4000 + CtConfig{}.tcp_transient_timeout);
+    } else {
+      // Covered: confirmed, carrying the active's view (seen_reply even
+      // for the locally-stale c1).
+      EXPECT_TRUE(entry.confirmed);
+      EXPECT_TRUE(entry.seen_reply);
+    }
+  }
+}
+
+TEST(ConnTracker, ResyncEvictsLocalCollisionsOnEitherTuple) {
+  ConnTracker active(CtConfig{}, 1);
+  ConnTracker rejoining(CtConfig{}, 1);
+
+  // Active: c via SNAT — its reply tuple claims external port 50000.
+  CtAction snat;
+  snat.nat = CtAction::Nat::kSource;
+  snat.nat_ip = 0xc0000201;
+  snat.port_min = 50000;
+  snat.port_max = 50000;
+  const CtTuple c = tuple(0x0a000001, 40000, 0x0a000002, 80);
+  ASSERT_TRUE(active.process(c, net::kTcpSyn, 1000, snat).committed);
+
+  // Rejoining box: a *different* connection grabbed the same external
+  // port during the split — the classic double-allocation conflict.
+  const CtTuple other = tuple(0x0a000005, 45000, 0x0a000002, 80);
+  ASSERT_TRUE(rejoining.process(other, net::kTcpSyn, 1000, snat).committed);
+
+  rejoining.resync(active.checkpoint(2000), 3000);
+  // The conflicting local connection was killed; the authoritative one
+  // owns the port now.
+  const auto entries = rejoining.snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].orig, c);
+  EXPECT_TRUE(entries[0].confirmed);
+}
+
+TEST(CtSnapshot, WireBytesMatchesSerializedSize) {
+  ConnTracker ct(CtConfig{}, 1);
+  for (int i = 0; i < 5; ++i) {
+    const CtTuple t = tuple(0x0a000001 + static_cast<std::uint32_t>(i), 40000,
+                            0x0a000002, 80);
+    ct.process(t, net::kTcpSyn, 1000, kCommit);
+  }
+  const CtSnapshot snap = ct.checkpoint(2000);
+  EXPECT_EQ(snap.wire_bytes(), snap.serialize().size());
+  const CtSnapshot empty{};
+  EXPECT_EQ(empty.wire_bytes(), empty.serialize().size());
+}
+
 }  // namespace
 }  // namespace harmless::openflow

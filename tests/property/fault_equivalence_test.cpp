@@ -25,6 +25,7 @@
 #include "sim/faults.hpp"
 #include "sim/network.hpp"
 #include "softswitch/soft_switch.hpp"
+#include "util/status.hpp"
 
 namespace {
 
@@ -269,6 +270,32 @@ TEST(FaultEquivalence, DerivedTargetNamesCoverTheFabric) {
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
+TEST(FaultEquivalence, DuplicateRegistrationFailsLoudly) {
+  sim::Network network;
+  sim::Host& h0 = network.add_host("h0", host_mac(0), host_ip(0));
+  sim::Host& h1 = network.add_host("h1", host_mac(1), host_ip(1));
+  network.connect(h0, 0, h1, 0, sim::LinkSpec::gbps(1));
+  sim::FaultInjector injector(network.engine());
+  sim::FaultPoint point;
+  sim::Channel* link = network.find_channels("h0").front();
+
+  injector.register_point("ctrl", point);
+  injector.register_link("wire", *link);
+  // Same object under the same name again: silent shadowing would make
+  // one plan event fire the fault twice — refuse instead.
+  EXPECT_THROW(injector.register_point("ctrl", point), util::ConfigError);
+  EXPECT_THROW(injector.register_link("wire", *link), util::ConfigError);
+  // Cross-type shadowing (a link named like a point or vice versa)
+  // would make target_names ambiguous — also refused.
+  EXPECT_THROW(injector.register_link("ctrl", *link), util::ConfigError);
+  EXPECT_THROW(injector.register_point("wire", point), util::ConfigError);
+  // Fan-out under one name with distinct objects stays legal (e.g.
+  // both directions of a duplex pair as one target).
+  sim::FaultPoint second;
+  injector.register_point("ctrl", second);
+  EXPECT_TRUE(injector.has_target("ctrl"));
+}
+
 // ---- (c) chaos with conntrack in the pipeline ------------------------
 
 /// Stateful-firewall rules (same scheme as the failover tests): only
@@ -474,6 +501,84 @@ TEST(FaultChaos, DoubleFailureInsideResyncWindowConverges) {
       rig.network.run_until(rig.network.now() + 200'000);
     }
     EXPECT_EQ(rig.b->counters().rx_tcp, before + 5) << "offset " << offset;
+  }
+}
+
+// ---- (d) split-brain safety under chaos (PR 10) ----------------------
+
+/// The PR-10 safety property: whatever the partition/crash schedule —
+/// replication cut in either direction, witness links cut, active
+/// crashed, even the witness itself crashed — the lease quorum plus
+/// fail-closed fencing admit AT MOST ONE unfenced active at any
+/// simulated instant, and fencing epochs never move backwards.
+TEST(FaultChaos, AtMostOneUnfencedActiveUnderAnySchedule) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Network network;
+    auto& act = network.add_node<SoftSwitch>("act", 0xA1, 2, /*table_count=*/1);
+    auto& stb = network.add_node<SoftSwitch>("stb", 0xA2, 2, /*table_count=*/1);
+    act.enable_conntrack(openflow::CtConfig{});
+    stb.enable_conntrack(openflow::CtConfig{});
+    softswitch::ReplicationChannel ab(network.engine());  // act -> stb
+    softswitch::ReplicationChannel ba(network.engine());  // stb -> act
+    sim::Witness witness;
+    sim::WitnessLink wl_act(network.engine(), witness, 0xA1);
+    sim::WitnessLink wl_stb(network.engine(), witness, 0xA2);
+    act.set_ha_witness(wl_act);
+    stb.set_ha_witness(wl_stb);
+    act.enable_ha_active(ab, &ba);
+    stb.enable_ha_standby(ab, &ba);
+
+    sim::FaultInjector injector(network.engine());
+    injector.register_point("repl:ab", ab);
+    injector.register_point("repl:ba", ba);
+    injector.register_point("wit:act", wl_act);
+    injector.register_point("wit:stb", wl_stb);
+    injector.register_point("act", act);
+    injector.register_point("witness", witness);
+
+    sim::FaultPlan plan;
+    plan.seed = seed;
+    plan.random_outages("repl:ab", 2, 5 * kMs, 60 * kMs, 3 * kMs)
+        .random_outages("repl:ba", 1, 5 * kMs, 60 * kMs, 3 * kMs)
+        .random_outages("wit:act", 1, 10 * kMs, 55 * kMs, 3 * kMs)
+        .random_outages("wit:stb", 1, 10 * kMs, 55 * kMs, 3 * kMs)
+        .random_crashes("act", 1, 20 * kMs, 50 * kMs, 4 * kMs);
+    if (seed % 2 == 0) plan.random_crashes("witness", 1, 30 * kMs, 45 * kMs, 2 * kMs);
+    injector.arm(plan);
+
+    // Dense probe: sample the global invariant every 50 us across the
+    // whole chaos window and well past the last heal.
+    std::uint64_t double_active_samples = 0;
+    std::uint64_t epoch_regressions = 0;
+    std::uint64_t epoch_overruns = 0;  // box epoch ahead of the ledger
+    std::uint64_t last_epoch_act = 0;
+    std::uint64_t last_epoch_stb = 0;
+    for (sim::SimNanos at = 0; at <= 90 * kMs; at += 50'000) {
+      network.engine().schedule_at(at, [&] {
+        if (act.ha_unfenced_active() && stb.ha_unfenced_active()) ++double_active_samples;
+        if (act.ha_epoch() < last_epoch_act || stb.ha_epoch() < last_epoch_stb)
+          ++epoch_regressions;
+        if (act.ha_epoch() > witness.epoch() || stb.ha_epoch() > witness.epoch())
+          ++epoch_overruns;
+        last_epoch_act = act.ha_epoch();
+        last_epoch_stb = stb.ha_epoch();
+      });
+    }
+
+    network.run_until(100 * kMs);
+
+    EXPECT_EQ(injector.stats().fired, injector.stats().armed) << "seed " << seed;
+    EXPECT_EQ(double_active_samples, 0u) << "seed " << seed;
+    EXPECT_EQ(epoch_regressions, 0u) << "seed " << seed;
+    EXPECT_EQ(epoch_overruns, 0u) << "seed " << seed;
+    // Everything healed: whoever ended up active, somebody is serving
+    // (or the sole contender is mid-renewal — but never both unfenced).
+    EXPECT_FALSE(act.restarting()) << "seed " << seed;
+    EXPECT_FALSE(witness.crashed()) << "seed " << seed;
+    EXPECT_LE(static_cast<int>(act.ha_unfenced_active()) +
+                  static_cast<int>(stb.ha_unfenced_active()),
+              1)
+        << "seed " << seed;
   }
 }
 

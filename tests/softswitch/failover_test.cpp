@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "net/build.hpp"
 #include "openflow/channel.hpp"
 #include "sim/network.hpp"
+#include "sim/witness.hpp"
 #include "softswitch/replication.hpp"
 #include "softswitch/soft_switch.hpp"
 
@@ -553,11 +555,37 @@ TEST(ReplicationChannelFailable, AttributesEveryLoss) {
   EXPECT_EQ(stats.batches_sent, stats.batches_delivered + stats.batches_dropped_down +
                                     stats.batches_dropped_loss);
 
-  // Heartbeats share the pipe and its fate.
+  // Heartbeats share the pipe and its fate — but losses land in their
+  // own buckets, so a heartbeat-starved standby (liveness signal) is
+  // distinguishable from a delta-starved one (state stream).
   repl.publish_heartbeat();
   engine.run();
   EXPECT_EQ(stats.heartbeats_sent, 1u);
   EXPECT_EQ(stats.heartbeats_delivered, 1u);
+
+  repl.set_up(false);
+  repl.publish_heartbeat();  // down at send time
+  engine.run();
+  EXPECT_EQ(stats.heartbeats_dropped_down, 1u);
+  repl.set_up(true);
+  repl.publish_heartbeat();  // in flight when the partition hits
+  repl.set_up(false);
+  engine.run();
+  EXPECT_EQ(stats.heartbeats_dropped_down, 2u);
+  repl.set_up(true);
+
+  repl.set_loss(1.0);
+  repl.publish_heartbeat();
+  engine.run();
+  EXPECT_EQ(stats.heartbeats_dropped_loss, 1u);
+  repl.set_loss(0.0);
+
+  // Heartbeat losses never leaked into the batch buckets, and both
+  // streams conserve independently.
+  EXPECT_EQ(stats.batches_sent, stats.batches_delivered + stats.batches_dropped_down +
+                                    stats.batches_dropped_loss);
+  EXPECT_EQ(stats.heartbeats_sent, stats.heartbeats_delivered + stats.heartbeats_dropped_down +
+                                       stats.heartbeats_dropped_loss);
 }
 
 TEST(ReplicationChannelFailable, BatchesCoalesceWithinInterval) {
@@ -577,6 +605,219 @@ TEST(ReplicationChannelFailable, BatchesCoalesceWithinInterval) {
   EXPECT_EQ(repl.stats().batches_sent, 1u);
   ASSERT_EQ(arrivals.size(), 4u);
   for (const sim::SimNanos at : arrivals) EXPECT_EQ(at, 110'000);
+}
+
+// ---- split-brain-safe HA: witness leases, fencing, failback (PR 10) ----
+
+/// SNAT gateway rule set (the conntrack_datapath idiom): outbound TCP
+/// is source-translated and committed, reverse traffic follows the
+/// stored mapping, everything else drops. NAT allocations are what
+/// make split-brain damage concrete — two unfenced actives hand the
+/// same external port to different connections.
+std::vector<openflow::FlowModMsg> snat_rules(net::MacAddr a_mac, net::MacAddr b_mac) {
+  std::vector<openflow::FlowModMsg> rules;
+  openflow::FlowModMsg out;
+  out.table_id = 0;
+  out.priority = 100;
+  out.match.in_port(1).eth_type(0x0800).ip_proto(6);
+  out.instructions = openflow::apply({openflow::ct_snat(net::Ipv4Addr(192, 0, 2, 1), 50000, 50100),
+                                      openflow::set_eth_dst(b_mac), openflow::output(2)});
+  rules.push_back(out);
+  openflow::FlowModMsg back;
+  back.table_id = 0;
+  back.priority = 100;
+  back.match.in_port(2).eth_type(0x0800).ip_proto(6).ct_tracked();
+  back.instructions =
+      openflow::apply({openflow::ct_commit(), openflow::set_eth_dst(a_mac), openflow::output(1)});
+  rules.push_back(back);
+  openflow::FlowModMsg drop;
+  drop.table_id = 0;
+  drop.priority = 0;
+  rules.push_back(drop);
+  return rules;
+}
+
+TEST(WitnessFencing, StandbyPromotionRequiresLeaseQuorum) {
+  sim::Network network;
+  auto& act = network.add_node<SoftSwitch>("act", 0xA1, 2, /*table_count=*/1);
+  auto& stb = network.add_node<SoftSwitch>("stb", 0xA2, 2, /*table_count=*/1);
+  act.enable_conntrack(openflow::CtConfig{});
+  stb.enable_conntrack(openflow::CtConfig{});
+  softswitch::ReplicationChannel repl(network.engine());
+  sim::Witness witness;
+  sim::WitnessLink wl_act(network.engine(), witness, 0xA1);
+  sim::WitnessLink wl_stb(network.engine(), witness, 0xA2);
+  act.set_ha_witness(wl_act);
+  stb.set_ha_witness(wl_stb);
+  // Witness-attached boxes start fenced: fail closed until a grant.
+  EXPECT_TRUE(act.ha_fenced());
+  EXPECT_TRUE(stb.ha_fenced());
+
+  act.enable_ha_active(repl);
+  stb.enable_ha_standby(repl);
+  network.run_until(5 * kMs);
+  EXPECT_TRUE(act.ha_unfenced_active());  // first grant landed, epoch 1
+  EXPECT_EQ(act.ha_epoch(), 1u);
+
+  // Partition ONLY the replication channel. The standby hears silence —
+  // but the witness still hears the active's renewals, so heartbeat
+  // evidence alone is not a quorum: every promotion request is denied
+  // and nobody double-activates.
+  repl.set_up(false);
+  network.run_until(network.now() + 20 * kMs);
+  EXPECT_FALSE(stb.ha_promoted());
+  EXPECT_EQ(stb.failover_stats().takeovers, 0u);
+  EXPECT_GE(stb.failover_stats().ha_promotions_denied, 1u);
+  EXPECT_GE(witness.stats().denials, 1u);
+  EXPECT_TRUE(act.ha_unfenced_active());
+  EXPECT_FALSE(stb.ha_unfenced_active());
+  EXPECT_EQ(witness.holder(), 0xA1u);
+  EXPECT_EQ(witness.epoch(), 1u);  // no holder change, no bump
+
+  // Heal: heartbeats resume, the standby settles back down.
+  repl.set_up(true);
+  network.run_until(network.now() + 10 * kMs);
+  EXPECT_FALSE(stb.ha_promoted());
+  EXPECT_TRUE(act.ha_unfenced_active());
+}
+
+TEST(WitnessFencing, ActiveSelfFencesWhenWitnessUnreachable) {
+  sim::Network network;
+  auto& sw = network.add_node<SoftSwitch>("act", 0xA1, 2, /*table_count=*/1);
+  sw.enable_conntrack(openflow::CtConfig{});
+  for (const openflow::FlowModMsg& rule : firewall_rules()) sw.install(rule).check();
+  sim::Host& a = network.add_host("a", host_mac(0), host_ip(0));
+  sim::Host& b = network.add_host("b", host_mac(1), host_ip(1));
+  network.connect(a, 0, sw, 0, sim::LinkSpec::gbps(10));
+  network.connect(b, 0, sw, 1, sim::LinkSpec::gbps(10));
+  softswitch::ReplicationChannel repl(network.engine());
+  sim::Witness witness;
+  sim::WitnessLink link(network.engine(), witness, 0xA1);
+  sw.set_ha_witness(link);
+  sw.enable_ha_active(repl);
+
+  // Establish one connection while the lease is healthy.
+  const net::FlowKey flow{a.mac(), b.mac(), a.ip(), b.ip(), 40000, 80};
+  const net::FlowKey reply{b.mac(), a.mac(), b.ip(), a.ip(), 80, 40000};
+  network.run_until(kMs);
+  ASSERT_FALSE(sw.ha_fenced());
+  a.send(net::make_tcp(flow, net::kTcpSyn));
+  network.run_until(network.now() + kMs);
+  b.send(net::make_tcp(reply, net::kTcpSyn | net::kTcpAck));
+  network.run_until(network.now() + kMs);
+  ASSERT_EQ(sw.pipeline().conntrack(0).size(), 1u);
+
+  // Cut the witness link: renewals die and the box fences itself at
+  // its local lease expiry — before the witness could grant elsewhere.
+  link.set_up(false);
+  network.run_until(network.now() + 3 * kMs);
+  EXPECT_TRUE(sw.ha_fenced());
+  EXPECT_GE(sw.failover_stats().ha_fences, 1u);
+  EXPECT_FALSE(sw.ha_unfenced_active());
+
+  // Fenced != dead: the established connection keeps its fast path...
+  const std::uint64_t before_est = b.counters().rx_tcp;
+  a.send(net::make_tcp(flow, net::kTcpAck));
+  network.run_until(network.now() + kMs);
+  EXPECT_EQ(b.counters().rx_tcp, before_est + 1);
+
+  // ...but no new state is minted: a fresh SYN's commit is refused and
+  // the connection table does not grow.
+  net::FlowKey fresh = flow;
+  fresh.src_port = 41000;
+  a.send(net::make_tcp(fresh, net::kTcpSyn));
+  network.run_until(network.now() + kMs);
+  EXPECT_EQ(sw.pipeline().conntrack(0).size(), 1u);
+  EXPECT_GE(sw.pipeline().conntrack(0).stats().fenced_rejects, 1u);
+
+  // Heal: the next renewal (same holder, expiry notwithstanding)
+  // re-arms the lease and lifts the fence; commits work again.
+  link.set_up(true);
+  network.run_until(network.now() + 2 * kMs);
+  EXPECT_FALSE(sw.ha_fenced());
+  EXPECT_GE(sw.failover_stats().ha_unfences, 1u);
+  a.send(net::make_tcp(fresh, net::kTcpSyn));
+  network.run_until(network.now() + kMs);
+  EXPECT_EQ(sw.pipeline().conntrack(0).size(), 2u);
+}
+
+TEST(WitnessFailback, ExActiveRejoinsWarmWithNatBindings) {
+  sim::Network network;
+  auto& act = network.add_node<SoftSwitch>("act", 0xA1, 2, /*table_count=*/1);
+  auto& stb = network.add_node<SoftSwitch>("stb", 0xA2, 2, /*table_count=*/1);
+  act.enable_conntrack(openflow::CtConfig{});
+  stb.enable_conntrack(openflow::CtConfig{});
+  sim::Host& a = network.add_host("a", host_mac(0), host_ip(0));
+  sim::Host& b = network.add_host("b", host_mac(1), host_ip(1));
+  network.connect(a, 0, act, 0, sim::LinkSpec::gbps(10));
+  network.connect(b, 0, act, 1, sim::LinkSpec::gbps(10));
+  for (const openflow::FlowModMsg& rule : snat_rules(a.mac(), b.mac())) {
+    act.install(rule).check();
+    stb.install(rule).check();
+  }
+  softswitch::ReplicationChannel ab(network.engine());  // act -> stb
+  softswitch::ReplicationChannel ba(network.engine());  // stb -> act
+  sim::Witness witness;
+  sim::WitnessLink wl_act(network.engine(), witness, 0xA1);
+  sim::WitnessLink wl_stb(network.engine(), witness, 0xA2);
+  act.set_ha_witness(wl_act);
+  stb.set_ha_witness(wl_stb);
+  act.enable_ha_active(ab, &ba);
+  stb.enable_ha_standby(ab, &ba);
+
+  // Two SNATed connections through the active; their deltas — NAT
+  // allocations included — ride onto the standby.
+  network.run_until(kMs);
+  for (int i = 0; i < 2; ++i) {
+    const net::FlowKey flow{a.mac(), b.mac(), a.ip(), b.ip(),
+                            static_cast<std::uint16_t>(40000 + i), 80};
+    a.send(net::make_tcp(flow, net::kTcpSyn));
+    network.run_until(network.now() + kMs);
+  }
+  ASSERT_EQ(act.pipeline().conntrack(0).size(), 2u);
+  ASSERT_EQ(stb.pipeline().conntrack(0).size(), 2u);
+  std::map<std::uint16_t, std::uint16_t> bindings;  // orig src port -> SNAT port
+  for (const openflow::ConnEntry& entry : act.pipeline().conntrack(0).snapshot()) {
+    ASSERT_EQ(entry.nat.kind, openflow::CtAction::Nat::kSource);
+    bindings[entry.orig.src_port] = entry.nat.port;
+  }
+
+  // Crash the active: its lease lapses, the standby wins the next
+  // grant under a bumped epoch and takes over.
+  act.fault_crash();
+  network.run_until(network.now() + 10 * kMs);
+  EXPECT_TRUE(stb.ha_promoted());
+  EXPECT_TRUE(stb.ha_unfenced_active());
+  EXPECT_EQ(stb.ha_epoch(), 2u);
+
+  // Restart the ex-active amnesiac (no checkpointing). The new
+  // active's higher epoch demotes it into a fenced standby, and the
+  // failback stream rebuilds its tables warm — a role swap, not a
+  // wipe-and-pray.
+  act.fault_restart();
+  ASSERT_EQ(act.pipeline().conntrack(0).size(), 0u);
+  network.run_until(network.now() + 10 * kMs);
+  EXPECT_EQ(act.ha_role(), SoftSwitch::HaRole::kStandby);
+  EXPECT_GE(act.failover_stats().ha_demotions, 1u);
+  EXPECT_FALSE(act.ha_unfenced_active());
+  EXPECT_TRUE(stb.ha_unfenced_active());
+  EXPECT_EQ(act.failover_stats().ha_failbacks, 1u);
+  EXPECT_GE(act.failover_stats().ha_failback_entries, 2u);
+  EXPECT_EQ(act.ha_epoch(), 2u);
+
+  // Warm: both connections are back with their NAT bindings intact.
+  const auto entries = act.pipeline().conntrack(0).snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  for (const openflow::ConnEntry& entry : entries) {
+    ASSERT_TRUE(bindings.count(entry.orig.src_port));
+    EXPECT_EQ(entry.nat.port, bindings[entry.orig.src_port]);
+    EXPECT_TRUE(entry.confirmed);
+  }
+
+  // At no point do we end with two unfenced actives.
+  EXPECT_LE(static_cast<int>(act.ha_unfenced_active()) +
+                static_cast<int>(stb.ha_unfenced_active()),
+            1);
 }
 
 TEST(LegacyLinkDown, FlushesMacsLearnedOnPort) {
